@@ -1,0 +1,49 @@
+//! E7 — the Cook–Levin series (Theorem 19): cost and output size of the
+//! `Σ₁^LFO → SAT-GRAPH` translation. The paper's shape claim: formula
+//! sizes are polynomial in the *local* neighborhood measure and
+//! independent of the global graph size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lph_bench::with_ids;
+use lph_graphs::generators;
+use lph_logic::examples;
+use lph_reductions::cook_levin::{formula_sizes, lfo_to_sat_graph};
+
+fn bench_cook_levin(c: &mut Criterion) {
+    // Printed locality series: max formula size on cycles of growing
+    // length (flat) vs stars of growing degree (growing).
+    println!("--- Thm 19 formula sizes (bytes) ---");
+    let sentence = examples::three_colorable();
+    for n in [4usize, 8, 16, 32] {
+        let (g, id) = with_ids(generators::cycle(n));
+        let (g2, _) = lfo_to_sat_graph(&sentence, &g, &id).unwrap();
+        let max = formula_sizes(&g2).into_iter().max().unwrap();
+        println!("cycle n = {n:3}: max formula {max} bytes (should be flat)");
+    }
+    for d in [2usize, 3, 4, 5] {
+        let (g, id) = with_ids(generators::star(d + 1));
+        let (g2, _) = lfo_to_sat_graph(&sentence, &g, &id).unwrap();
+        let max = formula_sizes(&g2).into_iter().max().unwrap();
+        println!("star degree = {d}: max formula {max} bytes (grows with degree)");
+    }
+
+    let mut group = c.benchmark_group("cook_levin_translation");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("three_col_on_cycle", n), &n, |b, &n| {
+            let (g, id) = with_ids(generators::cycle(n));
+            b.iter(|| lfo_to_sat_graph(&sentence, &g, &id).unwrap());
+        });
+    }
+    let all_sel = examples::all_selected();
+    for n in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("all_selected_on_cycle", n), &n, |b, &n| {
+            let (g, id) = with_ids(generators::cycle(n));
+            b.iter(|| lfo_to_sat_graph(&all_sel, &g, &id).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cook_levin);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E9 — the compiled-arbiter series (Theorem 12 backward direction): cost
+//! of one arbiter execution (flooding + local evaluation) and of full
+//! structured games for the paper's example sentences.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lph_bench::with_ids;
+use lph_core::{decide_game_with, GameLimits};
+use lph_fagin::compiler::{compile_sentence, relation_moves};
+use lph_graphs::{generators, CertificateList};
+use lph_logic::examples;
+use lph_machine::ExecLimits;
+
+fn bench_fagin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fagin_backward");
+    group.sample_size(10);
+
+    // One arbiter execution (empty certificates) as the graph grows: the
+    // flooding rounds are constant, so cost should grow ~linearly.
+    let all_sel = examples::all_selected();
+    for n in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("arbiter_exec_cycle", n), &n, |b, &n| {
+            let (g, id) = with_ids(generators::cycle(n));
+            let compiled = compile_sentence(&all_sel);
+            let exec = ExecLimits { max_rounds: 64, max_steps_per_round: 50_000_000 };
+            b.iter(|| {
+                compiled
+                    .arbiter
+                    .accepts(&g, &id, &CertificateList::new(), &exec)
+                    .unwrap()
+            });
+        });
+    }
+
+    // The full Σ₁ game for 3-COLORABLE on small graphs (structured moves).
+    let three_col = examples::three_colorable();
+    for n in [2usize, 3] {
+        group.bench_with_input(BenchmarkId::new("sigma1_game_path", n), &n, |b, &n| {
+            let (g, id) = with_ids(generators::path(n));
+            let compiled = compile_sentence(&three_col);
+            let moves: Vec<_> = (0..compiled.blocks.len())
+                .map(|i| relation_moves(&compiled, i, &g, &id))
+                .collect();
+            let lim = GameLimits {
+                max_runs: 50_000_000,
+                exec: ExecLimits { max_rounds: 64, max_steps_per_round: 50_000_000 },
+                ..GameLimits::default()
+            };
+            b.iter(|| decide_game_with(&compiled.arbiter, &g, &id, &moves, &lim).unwrap());
+        });
+    }
+
+    // The Σ₃ NOT-ALL-SELECTED game on a 2-node path: real alternation.
+    group.bench_function("sigma3_game_path2", |b| {
+        let (g, id) = with_ids(generators::labeled_path(&["1", "0"]));
+        let compiled = compile_sentence(&examples::not_all_selected());
+        let moves: Vec<_> = (0..compiled.blocks.len())
+            .map(|i| relation_moves(&compiled, i, &g, &id))
+            .collect();
+        let lim = GameLimits {
+            max_runs: 50_000_000,
+            exec: ExecLimits { max_rounds: 64, max_steps_per_round: 50_000_000 },
+            ..GameLimits::default()
+        };
+        b.iter(|| decide_game_with(&compiled.arbiter, &g, &id, &moves, &lim).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fagin);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! E1 — the certificate-game harness: cost of solving `Σ₁` and `Σ₃` games
+//! as the instance and certificate budget grow. The exponential wall is
+//! the *semantics* (it is a game over all bounded certificates); the series
+//! documents where exhaustive play stops being feasible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lph_bench::{one_zero_cycle, with_ids};
+use lph_core::{arbiters, decide_game, GameLimits};
+use lph_graphs::generators;
+
+fn bench_games(c: &mut Criterion) {
+    let mut group = c.benchmark_group("certificate_games");
+    group.sample_size(10);
+
+    // Σ₀: plain decision — linear in the graph.
+    for n in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("sigma0_eulerian", n), &n, |b, &n| {
+            let (g, id) = with_ids(generators::cycle(n));
+            let arb = arbiters::eulerian_decider();
+            let lim = GameLimits::default();
+            b.iter(|| decide_game(&arb, &g, &id, &lim).unwrap());
+        });
+    }
+
+    // Σ₁: 3-colorability with 2-bit certificates on cycles (yes-instances).
+    for n in [3usize, 4, 5, 6] {
+        group.bench_with_input(BenchmarkId::new("sigma1_three_col", n), &n, |b, &n| {
+            let (g, id) = with_ids(generators::cycle(n));
+            let arb = arbiters::three_colorable_verifier();
+            let lim = GameLimits { cert_len_cap: Some(2), ..GameLimits::default() };
+            b.iter(|| decide_game(&arb, &g, &id, &lim).unwrap());
+        });
+    }
+
+    // Σ₁ no-instances force exhausting the whole move space.
+    for n in [3usize, 4] {
+        group.bench_with_input(BenchmarkId::new("sigma1_exhaustive_no", n), &n, |b, &n| {
+            let (g, id) = with_ids(generators::complete(n.max(4)));
+            let _ = n;
+            let arb = arbiters::three_colorable_verifier();
+            let lim = GameLimits { cert_len_cap: Some(2), ..GameLimits::default() };
+            b.iter(|| decide_game(&arb, &g, &id, &lim).unwrap());
+        });
+    }
+
+    // Σ₁: the distance verifier across certificate budgets (the
+    // Proposition 23 series: budget 1 fails, budget 2 succeeds on C₆).
+    for bits in [1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("sigma1_distance_budget", bits),
+            &bits,
+            |b, &bits| {
+                let (g, id) = with_ids(one_zero_cycle(6));
+                let arb = arbiters::distance_to_unselected_verifier(bits);
+                let lim =
+                    GameLimits { cert_len_cap: Some(bits), ..GameLimits::default() };
+                b.iter(|| decide_game(&arb, &g, &id, &lim).unwrap());
+            },
+        );
+    }
+
+    // Σ₃: the Example 4 spanning-forest game (pointer/bit/bit moves).
+    group.bench_function("sigma3_not_all_selected_path2", |b| {
+        let (g, id) = with_ids(generators::labeled_path(&["1", "0"]));
+        let arb = arbiters::not_all_selected_sigma3();
+        let lim = GameLimits {
+            cert_len_cap: Some(2),
+            per_move_caps: Some(vec![2, 1, 1]),
+            max_runs: 50_000_000,
+            ..GameLimits::default()
+        };
+        b.iter(|| decide_game(&arb, &g, &id, &lim).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_games);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Model-checking series: brute-force second-order checking cost for the
+//! paper's example sentences as instances grow — documenting the
+//! exponential semantics the certificate games operationalize.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lph_graphs::{generators, GraphStructure};
+use lph_logic::check::CheckOptions;
+use lph_logic::examples;
+use lph_pictures::{langs, Picture};
+
+fn opts() -> CheckOptions {
+    CheckOptions { max_matrix_evals: 500_000_000, max_tuples_per_var: 22 }
+}
+
+fn bench_logic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_checking");
+    group.sample_size(10);
+
+    let three_col = examples::three_colorable();
+    for n in [3usize, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("three_col_cycle", n), &n, |b, &n| {
+            let gs = GraphStructure::of(&generators::cycle(n));
+            b.iter(|| three_col.check_on_graph(&gs, &opts()).unwrap());
+        });
+    }
+
+    let nas = examples::not_all_selected();
+    for n in [2usize, 3] {
+        group.bench_with_input(BenchmarkId::new("sigma3_nas_path", n), &n, |b, &n| {
+            let g = generators::labeled_path_bits(vec![
+                lph_graphs::BitString::from_bits01("1");
+                n
+            ]);
+            let gs = GraphStructure::of(&g);
+            b.iter(|| nas.check_on_graph(&gs, &opts()).unwrap());
+        });
+    }
+
+    let squares = langs::squares_emso();
+    for n in [2usize, 3] {
+        group.bench_with_input(BenchmarkId::new("squares_emso", n), &n, |b, &n| {
+            let p = Picture::blank(n, n, 0);
+            let ps = p.structure();
+            b.iter(|| squares.check(ps.structure(), None, &opts()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_logic);
+criterion_main!(benches);

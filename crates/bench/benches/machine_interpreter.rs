@@ -1,0 +1,53 @@
+//! E10 — the distributed-Turing-machine interpreter: execution throughput
+//! and the Lemma 10 step/space series printed for the record.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lph_bench::with_ids;
+use lph_graphs::{generators, CertificateList, GraphStructure};
+use lph_machine::{machines, run_tm, ExecLimits};
+
+fn bench_interpreter(c: &mut Criterion) {
+    // Printed Lemma 10 series: max steps/space vs card(N_{4r}^{$G}).
+    println!("--- Lemma 10 series (proper-coloring verifier, stars) ---");
+    for d in [2usize, 4, 8, 16, 32] {
+        let (g, id) = with_ids(generators::star(d + 1));
+        let out = run_tm(
+            &machines::proper_coloring_verifier(),
+            &g,
+            &id,
+            &CertificateList::new(),
+            &ExecLimits::default(),
+        )
+        .unwrap();
+        let gs = GraphStructure::of(&g);
+        let center = lph_graphs::NodeId(0);
+        let card = gs.neighborhood_card(&g, center, 8);
+        let (steps, space) = out.metrics.node_maxima()[0];
+        println!("degree {d:3}: card(N) = {card:4}, steps = {steps:6}, space = {space:4}");
+    }
+
+    let mut group = c.benchmark_group("tm_interpreter");
+    for n in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("all_selected_cycle", n), &n, |b, &n| {
+            let (g, id) = with_ids(generators::cycle(n));
+            let tm = machines::all_selected_decider();
+            b.iter(|| run_tm(&tm, &g, &id, &CertificateList::new(), &ExecLimits::default()));
+        });
+        group.bench_with_input(BenchmarkId::new("coloring_cycle", n), &n, |b, &n| {
+            let (g, id) = with_ids(generators::cycle(n));
+            let tm = machines::proper_coloring_verifier();
+            b.iter(|| run_tm(&tm, &g, &id, &CertificateList::new(), &ExecLimits::default()));
+        });
+    }
+    for d in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("coloring_star", d), &d, |b, &d| {
+            let (g, id) = with_ids(generators::star(d + 1));
+            let tm = machines::proper_coloring_verifier();
+            b.iter(|| run_tm(&tm, &g, &id, &CertificateList::new(), &ExecLimits::default()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpreter);
+criterion_main!(benches);

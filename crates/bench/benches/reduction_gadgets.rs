@@ -1,0 +1,74 @@
+//! E4/E5/E6/E8 — one series per reduction figure of the paper: the cost of
+//! applying each gadget construction as the input grows, plus printed
+//! output-size series (the paper's "polynomial step time / cluster size"
+//! shape claims).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lph_bench::{one_zero_cycle, with_ids, xor_ring};
+use lph_graphs::generators;
+use lph_reductions::{
+    apply, eulerian::AllSelectedToEulerian, hamiltonian::AllSelectedToHamiltonian,
+    hamiltonian::NotAllSelectedToHamiltonian, sat_to_three_sat::SatGraphToThreeSatGraph,
+    three_col::ThreeSatGraphToThreeColorable, LocalReduction,
+};
+
+fn series(red: &dyn LocalReduction, g: lph_graphs::LabeledGraph) -> (usize, usize) {
+    let (g, id) = with_ids(g);
+    let (out, _) = apply(red, &g, &id).expect("reduction applies");
+    (out.node_count(), out.edge_count())
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    // Printed output-size series (the figures' shape data).
+    println!("--- gadget output sizes (nodes, edges) ---");
+    for n in [4usize, 8, 16, 32] {
+        let e = series(&AllSelectedToEulerian, one_zero_cycle(n));
+        let h = series(&AllSelectedToHamiltonian, one_zero_cycle(n));
+        let nh = series(&NotAllSelectedToHamiltonian, one_zero_cycle(n));
+        println!(
+            "n = {n:3}: Fig7 eulerian {e:?}  Fig2 hamiltonian {h:?}  Fig9 not-all-sel {nh:?}"
+        );
+    }
+    for n in [3usize, 5, 9] {
+        let t = series(&SatGraphToThreeSatGraph, xor_ring(n));
+        let c3 = series(&ThreeSatGraphToThreeColorable, xor_ring(n));
+        println!("n = {n:3}: Thm20 step1 {t:?}  Fig10 3-coloring {c3:?}");
+    }
+
+    let mut group = c.benchmark_group("reduction_apply");
+    for n in [8usize, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("fig7_eulerian", n), &n, |b, &n| {
+            let (g, id) = with_ids(one_zero_cycle(n));
+            b.iter(|| apply(&AllSelectedToEulerian, &g, &id).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("fig2_hamiltonian", n), &n, |b, &n| {
+            let (g, id) = with_ids(one_zero_cycle(n));
+            b.iter(|| apply(&AllSelectedToHamiltonian, &g, &id).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("fig9_not_all_selected", n), &n, |b, &n| {
+            let (g, id) = with_ids(one_zero_cycle(n));
+            b.iter(|| apply(&NotAllSelectedToHamiltonian, &g, &id).unwrap());
+        });
+    }
+    for n in [3usize, 5, 9, 15] {
+        group.bench_with_input(BenchmarkId::new("thm20_tseytin", n), &n, |b, &n| {
+            let (g, id) = with_ids(xor_ring(n));
+            b.iter(|| apply(&SatGraphToThreeSatGraph, &g, &id).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("fig10_three_col", n), &n, |b, &n| {
+            let (g, id) = with_ids(xor_ring(n));
+            b.iter(|| apply(&ThreeSatGraphToThreeColorable, &g, &id).unwrap());
+        });
+    }
+    // Denser inputs: stars stress the per-node cluster size.
+    for d in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("fig2_star_degree", d), &d, |b, &d| {
+            let (g, id) = with_ids(generators::star(d + 1));
+            b.iter(|| apply(&AllSelectedToHamiltonian, &g, &id).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reductions);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E2 — the Proposition 21 fooling-pair series: constructing the
+//! odd/glued-cycle pair and verifying node-wise verdict coincidence for a
+//! concrete machine, across sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lph_core::separations::{prop21_fooling_pair, verdicts_coincide_on_pair};
+use lph_core::{arbiters, Arbiter, GameSpec};
+use lph_graphs::PolyBound;
+use lph_machine::{machines, ExecLimits};
+
+fn bench_symmetry(c: &mut Criterion) {
+    println!("--- Proposition 21 fooling pairs ---");
+    for n in [7usize, 15, 31] {
+        let pair = prop21_fooling_pair(n, 1);
+        let arb = Arbiter::from_tm(
+            "proper-coloring",
+            GameSpec::sigma(0, 1, 1, PolyBound::constant(0)),
+            machines::proper_coloring_verifier(),
+        );
+        let fooled = verdicts_coincide_on_pair(&arb, &pair, &ExecLimits::default()).unwrap();
+        println!(
+            "C_{n} vs C_{}: verdicts coincide = {fooled}; 2-colorable = {} vs {}",
+            2 * n,
+            lph_props::is_k_colorable(&pair.0, 2),
+            lph_props::is_k_colorable(&pair.2, 2),
+        );
+    }
+
+    let mut group = c.benchmark_group("prop21");
+    for n in [7usize, 15, 31] {
+        group.bench_with_input(BenchmarkId::new("fooling_pair_check", n), &n, |b, &n| {
+            let pair = prop21_fooling_pair(n, 1);
+            let arb = arbiters::eulerian_decider();
+            b.iter(|| verdicts_coincide_on_pair(&arb, &pair, &ExecLimits::default()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_symmetry);
+criterion_main!(benches);

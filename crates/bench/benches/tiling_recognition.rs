@@ -1,0 +1,45 @@
+//! E12/E14 — tiling-system recognition series: the `SQUARES` and
+//! binary-counter systems across picture sizes (Theorem 29's automata
+//! side, and the exponential-gap mechanism of Theorem 27).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lph_pictures::{langs, Picture};
+
+fn bench_tiling(c: &mut Criterion) {
+    println!("--- tiling systems ---");
+    let sq = langs::squares_tiling_system();
+    let ct = langs::counter_tiling_system();
+    println!(
+        "SQUARES: {} work symbols, {} tiles; COUNTER: {} work symbols, {} tiles",
+        sq.work_symbols(),
+        sq.tile_count(),
+        ct.work_symbols(),
+        ct.tile_count()
+    );
+
+    let mut group = c.benchmark_group("tiling_recognition");
+    for n in [3usize, 5, 8, 12] {
+        group.bench_with_input(BenchmarkId::new("squares_yes", n), &n, |b, &n| {
+            let p = Picture::blank(n, n, 0);
+            b.iter(|| sq.recognizes(&p));
+        });
+        group.bench_with_input(BenchmarkId::new("squares_no", n), &n, |b, &n| {
+            let p = Picture::blank(n, n + 1, 0);
+            b.iter(|| sq.recognizes(&p));
+        });
+    }
+    for m in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("counter_yes", m), &m, |b, &m| {
+            let p = Picture::blank(m, 1 << m, 0);
+            b.iter(|| ct.recognizes(&p));
+        });
+        group.bench_with_input(BenchmarkId::new("counter_no", m), &m, |b, &m| {
+            let p = Picture::blank(m, (1 << m) - 1, 0);
+            b.iter(|| ct.recognizes(&p));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiling);
+criterion_main!(benches);

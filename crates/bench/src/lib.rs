@@ -1,0 +1,55 @@
+//! Shared instance builders for the benchmark harnesses.
+//!
+//! Each Criterion bench in `benches/` regenerates one experiment series of
+//! `EXPERIMENTS.md`; the builders here keep instance construction out of
+//! the measured code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lph_graphs::{generators, BitString, IdAssignment, LabeledGraph};
+use lph_props::{BoolExpr, BooleanGraph};
+
+/// A labeled cycle with one unselected node (a canonical
+/// `NOT-ALL-SELECTED` yes-instance).
+pub fn one_zero_cycle(n: usize) -> LabeledGraph {
+    let labels: Vec<BitString> = (0..n)
+        .map(|i| BitString::from_bits01(if i == 0 { "0" } else { "1" }))
+        .collect();
+    generators::labeled_cycle_bits(labels)
+}
+
+/// A cycle-shaped `3-SAT-GRAPH` instance: each node carries a small 3-CNF
+/// over variables shared with its neighbors (an odd/even XOR ring, so
+/// satisfiability flips with the parity of `n`).
+pub fn xor_ring(n: usize) -> LabeledGraph {
+    assert!(n >= 3);
+    let var = |i: usize| format!("e{}", i % n);
+    let formulas: Vec<BoolExpr> = (0..n)
+        .map(|i| {
+            let a = var(i);
+            let b = var(i + 1);
+            BoolExpr::parse(&format!("&(|(v{a},v{b}),|(!v{a},!v{b}))")).expect("valid")
+        })
+        .collect();
+    BooleanGraph::new(generators::cycle(n), formulas).expect("matching counts").graph().clone()
+}
+
+/// A standard graph + globally unique identifiers pair.
+pub fn with_ids(g: LabeledGraph) -> (LabeledGraph, IdAssignment) {
+    let id = IdAssignment::global(&g);
+    (g, id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lph_props::{GraphProperty, NotAllSelected, ThreeSatGraph};
+
+    #[test]
+    fn builders_produce_expected_instances() {
+        assert!(NotAllSelected.holds(&one_zero_cycle(5)));
+        assert!(!ThreeSatGraph.holds(&xor_ring(3)));
+        assert!(ThreeSatGraph.holds(&xor_ring(4)));
+    }
+}

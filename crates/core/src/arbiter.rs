@@ -1,0 +1,189 @@
+use lph_graphs::{CertificateList, IdAssignment, LabeledGraph};
+use lph_machine::{
+    run_local, run_tm, DistributedTm, ExecLimits, LocalAlgorithm, LocalOutcome, MachineError,
+};
+
+use crate::game::GameSpec;
+
+/// Anything that can act as the judging machine of a certificate game:
+/// implemented by [`Arbiter`] and by the Lemma 8 combinator
+/// [`crate::restrictor::PermissiveArbiter`].
+pub trait Arbitrating {
+    /// The game parameters the machine is designed for.
+    fn spec(&self) -> &GameSpec;
+
+    /// Whether the machine accepts `(G, id, κ̄)` by unanimity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors.
+    fn accepts(
+        &self,
+        g: &LabeledGraph,
+        id: &IdAssignment,
+        certs: &CertificateList,
+        limits: &ExecLimits,
+    ) -> Result<bool, MachineError>;
+}
+
+/// The implementation backing an arbiter: an honest Turing-machine table or
+/// a metered closure algorithm (see `DESIGN.md` for the equivalence).
+pub enum ArbiterKind {
+    /// A raw distributed Turing machine.
+    Tm(DistributedTm),
+    /// A closure-based local algorithm with step metering.
+    Local(Box<dyn LocalAlgorithm + Send + Sync>),
+}
+
+impl std::fmt::Debug for ArbiterKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArbiterKind::Tm(tm) => write!(f, "Tm({} states)", tm.state_count()),
+            ArbiterKind::Local(_) => write!(f, "Local(..)"),
+        }
+    }
+}
+
+/// A named local-polynomial machine together with the parameters of the
+/// game it arbitrates: a `Σℓ^LP`- or `Πℓ^LP`-arbiter (Section 4).
+#[derive(Debug)]
+pub struct Arbiter {
+    name: String,
+    spec: GameSpec,
+    kind: ArbiterKind,
+}
+
+impl Arbiter {
+    /// Wraps a closure algorithm.
+    pub fn from_local(
+        name: impl Into<String>,
+        spec: GameSpec,
+        alg: impl LocalAlgorithm + Send + Sync + 'static,
+    ) -> Self {
+        Arbiter { name: name.into(), spec, kind: ArbiterKind::Local(Box::new(alg)) }
+    }
+
+    /// Wraps a distributed Turing machine.
+    pub fn from_tm(name: impl Into<String>, spec: GameSpec, tm: DistributedTm) -> Self {
+        Arbiter { name: name.into(), spec, kind: ArbiterKind::Tm(tm) }
+    }
+
+    /// The arbiter's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The game parameters.
+    pub fn spec(&self) -> &GameSpec {
+        &self.spec
+    }
+
+    /// The backing implementation.
+    pub fn kind(&self) -> &ArbiterKind {
+        &self.kind
+    }
+
+    /// Executes the arbiter on `(G, id, κ̄)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors ([`MachineError`]).
+    pub fn run(
+        &self,
+        g: &LabeledGraph,
+        id: &IdAssignment,
+        certs: &CertificateList,
+        limits: &ExecLimits,
+    ) -> Result<LocalOutcome, MachineError> {
+        match &self.kind {
+            ArbiterKind::Local(alg) => run_local(alg.as_ref(), g, id, certs, limits),
+            ArbiterKind::Tm(tm) => {
+                let out = run_tm(tm, g, id, certs, limits)?;
+                Ok(LocalOutcome {
+                    rounds: out.rounds,
+                    outputs: out.result_labels,
+                    verdicts: out.verdicts,
+                    accepted: out.accepted,
+                    metrics: out.metrics,
+                })
+            }
+        }
+    }
+
+    /// Whether the arbiter accepts `(G, id, κ̄)` by unanimity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors.
+    pub fn accepts(
+        &self,
+        g: &LabeledGraph,
+        id: &IdAssignment,
+        certs: &CertificateList,
+        limits: &ExecLimits,
+    ) -> Result<bool, MachineError> {
+        Ok(self.run(g, id, certs, limits)?.accepted)
+    }
+}
+
+impl Arbitrating for Arbiter {
+    fn spec(&self) -> &GameSpec {
+        Arbiter::spec(self)
+    }
+
+    fn accepts(
+        &self,
+        g: &LabeledGraph,
+        id: &IdAssignment,
+        certs: &CertificateList,
+        limits: &ExecLimits,
+    ) -> Result<bool, MachineError> {
+        Arbiter::accepts(self, g, id, certs, limits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::Player;
+    use lph_graphs::{generators, PolyBound};
+    use lph_machine::machines;
+
+    fn spec0() -> GameSpec {
+        GameSpec { ell: 0, first: Player::Eve, r_id: 1, r: 1, bound: PolyBound::linear(0, 1) }
+    }
+
+    #[test]
+    fn tm_backed_arbiter_runs() {
+        let arb = Arbiter::from_tm("all-selected", spec0(), machines::all_selected_decider());
+        let g = generators::cycle(4);
+        let id = IdAssignment::small(&g, 1);
+        assert!(arb
+            .accepts(&g, &id, &CertificateList::new(), &ExecLimits::default())
+            .unwrap());
+        assert_eq!(arb.name(), "all-selected");
+        assert_eq!(arb.spec().ell, 0);
+    }
+
+    #[test]
+    fn local_backed_arbiter_runs() {
+        use lph_machine::{NodeCtx, NodeInput, NodeProgram, RoundAction};
+        struct AcceptAll;
+        impl LocalAlgorithm for AcceptAll {
+            fn spawn(&self, _input: NodeInput) -> Box<dyn NodeProgram> {
+                Box::new(
+                    |ctx: &mut NodeCtx, _r: usize, _inbox: &[lph_graphs::BitString]| {
+                        ctx.charge(1);
+                        RoundAction::accept()
+                    },
+                )
+            }
+        }
+        let arb = Arbiter::from_local("yes", spec0(), AcceptAll);
+        let g = generators::path(3);
+        let id = IdAssignment::global(&g);
+        assert!(arb
+            .accepts(&g, &id, &CertificateList::new(), &ExecLimits::default())
+            .unwrap());
+    }
+}

@@ -1,0 +1,520 @@
+//! Concrete arbiters for the paper's properties, spanning levels `Σ₀`–`Σ₃`
+//! of the local-polynomial hierarchy.
+//!
+//! Besides the honest machines (`ALL-SELECTED`, `EULERIAN`), this module
+//! contains the two *instructive failures* used by the separation
+//! experiments of Proposition 23:
+//!
+//! * [`distance_to_unselected_verifier`] — a sound `NOT-ALL-SELECTED`
+//!   verifier whose certificates are exact distances; with certificate
+//!   length capped at `bits` (as the `(r, p)` bound demands on cycles), it
+//!   *fails yes-instances* longer than `2^bits`.
+//! * [`pointer_to_unselected_verifier`] — a pointer-chasing verifier that
+//!   accepts all genuine yes-instances but is *fooled into accepting*
+//!   all-selected cycles (every node points clockwise) — the cut-and-splice
+//!   counterexample made concrete.
+//!
+//! Their twin failure modes are exactly why `NOT-ALL-SELECTED ∉ NLP`.
+
+use lph_graphs::{BitString, PolyBound};
+use lph_machine::{machines, LocalAlgorithm, NodeCtx, NodeInput, NodeProgram, RoundAction};
+use lph_props::BoolExpr;
+
+use crate::arbiter::Arbiter;
+use crate::game::GameSpec;
+
+fn text_msg(s: &str) -> BitString {
+    BitString::from_bytes(s.as_bytes())
+}
+
+fn msg_text(m: &BitString) -> Option<String> {
+    String::from_utf8(m.to_bytes()?).ok()
+}
+
+fn bit_of(cert: &BitString) -> bool {
+    *cert == BitString::from_bits01("1")
+}
+
+/// The `Σ₀` arbiter (i.e. **LP**-decider) for `ALL-SELECTED`, backed by the
+/// honest Turing machine of `lph-machine`.
+pub fn all_selected_decider() -> Arbiter {
+    Arbiter::from_tm(
+        "ALL-SELECTED decider",
+        GameSpec::sigma(0, 1, 1, PolyBound::constant(0)),
+        machines::all_selected_decider(),
+    )
+}
+
+/// The `Σ₀` arbiter (i.e. **LP**-decider) for `EULERIAN` (Proposition 15),
+/// backed by the even-degree Turing machine.
+pub fn eulerian_decider() -> Arbiter {
+    Arbiter::from_tm(
+        "EULERIAN decider",
+        GameSpec::sigma(0, 1, 1, PolyBound::constant(0)),
+        machines::even_degree_decider(),
+    )
+}
+
+/// The `Σ₁` arbiter (i.e. **NLP**-verifier) for `3-COLORABLE` (Example 3):
+/// Eve's certificate is a 2-bit color (`00`, `01`, `10`); nodes exchange
+/// colors and accept iff their own color is valid and differs from every
+/// neighbor's.
+pub fn three_colorable_verifier() -> Arbiter {
+    struct V;
+    impl LocalAlgorithm for V {
+        fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
+            let color = input.certificates.first().cloned().unwrap_or_default();
+            let valid = color.len() == 2 && color != BitString::from_bits01("11");
+            Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+                ctx.charge(1 + inbox.iter().map(BitString::len).sum::<usize>());
+                match round {
+                    1 => RoundAction::Send(vec![color.clone(); inbox.len()]),
+                    _ => RoundAction::verdict(
+                        valid && inbox.iter().all(|m| *m != color),
+                    ),
+                }
+            })
+        }
+    }
+    Arbiter::from_local(
+        "3-COLORABLE verifier",
+        GameSpec::sigma(1, 1, 1, PolyBound::constant(2)),
+        V,
+    )
+}
+
+/// The `Σ₁` arbiter (i.e. **NLP**-verifier) for `2-COLORABLE`
+/// (Proposition 21's property): Eve's certificate is a single color bit;
+/// nodes exchange bits and accept iff their own is well-formed and differs
+/// from every neighbor's. The existential certificate is exactly the
+/// symmetry-breaking power that no deterministic machine has.
+pub fn two_colorable_verifier() -> Arbiter {
+    struct V;
+    impl LocalAlgorithm for V {
+        fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
+            let color = input.certificates.first().cloned().unwrap_or_default();
+            let valid = color.len() == 1;
+            Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+                ctx.charge(1 + inbox.len());
+                match round {
+                    1 => RoundAction::Send(vec![color.clone(); inbox.len()]),
+                    _ => RoundAction::verdict(valid && inbox.iter().all(|m| *m != color)),
+                }
+            })
+        }
+    }
+    Arbiter::from_local(
+        "2-COLORABLE verifier",
+        GameSpec::sigma(1, 1, 1, PolyBound::constant(1)),
+        V,
+    )
+}
+
+/// The `Σ₁` arbiter (i.e. **NLP**-verifier) for `SAT-GRAPH` (Theorem 19):
+/// Eve's certificate at `u` is a valuation of the variables of `u`'s
+/// formula (one bit per variable, in sorted name order). Nodes broadcast
+/// `name=bit` lists and accept iff their formula is satisfied and all
+/// shared variables agree with every neighbor.
+pub fn sat_graph_verifier() -> Arbiter {
+    struct V;
+    impl LocalAlgorithm for V {
+        fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
+            // Decode the formula and pair variables with certificate bits.
+            let decoded: Option<(BoolExpr, Vec<(String, bool)>)> = (|| {
+                let text = msg_text(&input.label)?;
+                let formula = BoolExpr::parse(&text).ok()?;
+                let vars: Vec<String> = formula.variables().into_iter().collect();
+                let cert = input.certificates.first()?;
+                if cert.len() != vars.len() {
+                    return None;
+                }
+                let valuation: Vec<(String, bool)> =
+                    vars.into_iter().zip(cert.iter()).collect();
+                Some((formula, valuation))
+            })();
+            Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+                ctx.charge(1 + inbox.iter().map(BitString::len).sum::<usize>());
+                let Some((formula, valuation)) = &decoded else {
+                    return RoundAction::reject();
+                };
+                ctx.charge(valuation.len());
+                match round {
+                    1 => {
+                        let payload: String = valuation
+                            .iter()
+                            .map(|(n, b)| format!("{n}={};", u8::from(*b)))
+                            .collect();
+                        RoundAction::Send(vec![text_msg(&payload); inbox.len()])
+                    }
+                    _ => {
+                        let satisfied = formula.eval(&|name: &str| {
+                            valuation
+                                .iter()
+                                .find(|(n, _)| n == name)
+                                .map(|&(_, b)| b)
+                                .unwrap_or(false)
+                        });
+                        let consistent = inbox.iter().all(|m| {
+                            let Some(text) = msg_text(m) else { return false };
+                            text.split(';').filter(|p| !p.is_empty()).all(|pair| {
+                                let Some((name, bit)) = pair.split_once('=') else {
+                                    return false;
+                                };
+                                match valuation.iter().find(|(n, _)| n == name) {
+                                    // Shared variable: must agree.
+                                    Some(&(_, mine)) => bit == if mine { "1" } else { "0" },
+                                    // Not my variable: no constraint.
+                                    None => true,
+                                }
+                            })
+                        });
+                        RoundAction::verdict(satisfied && consistent)
+                    }
+                }
+            })
+        }
+    }
+    Arbiter::from_local(
+        "SAT-GRAPH verifier",
+        GameSpec::sigma(1, 1, 1, PolyBound::linear(0, 1)),
+        V,
+    )
+}
+
+/// The `Σ₃` arbiter for `NOT-ALL-SELECTED`, operationalizing the
+/// spanning-forest game of Example 4:
+///
+/// * move 1 (Eve): `κ₁(u)` is a parent pointer — empty for "I am a root",
+///   otherwise the identifier of a neighbor;
+/// * move 2 (Adam): `κ₂(u)` is the challenge bit `X(u)`;
+/// * move 3 (Eve): `κ₃(u)` is the charge bit `Y(u)`.
+///
+/// The arbiter checks locally: roots must be unselected and positively
+/// charged; children must satisfy `Y(u) = Y(parent) ⊕ X(u)`.
+pub fn not_all_selected_sigma3() -> Arbiter {
+    struct V;
+    impl LocalAlgorithm for V {
+        fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
+            let selected = input.label == BitString::from_bits01("1");
+            let parent = input.certificates.first().cloned().unwrap_or_default();
+            let x_bit = input.certificates.get(1).map(bit_of).unwrap_or(false);
+            let y_bit = input.certificates.get(2).map(bit_of).unwrap_or(false);
+            let my_id = input.id.clone();
+            Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+                ctx.charge(1 + inbox.iter().map(BitString::len).sum::<usize>());
+                match round {
+                    1 => {
+                        // Broadcast (id, Y) so neighbors can locate their
+                        // parent and read its charge.
+                        let payload =
+                            format!("i{};y{};", my_id, u8::from(y_bit)).replace('ε', "");
+                        RoundAction::Send(vec![text_msg(&payload); inbox.len()])
+                    }
+                    _ => {
+                        if parent.is_empty() {
+                            // Root case: unselected and positively charged.
+                            return RoundAction::verdict(!selected && y_bit);
+                        }
+                        // Child case: find the parent among the neighbors.
+                        let parent_y = inbox.iter().find_map(|m| {
+                            let text = msg_text(m)?;
+                            let id_part = text.strip_prefix('i')?.split(';').next()?;
+                            let y_part = text.split(";y").nth(1)?.chars().next()?;
+                            if id_part == parent.to_string().replace('ε', "") {
+                                Some(y_part == '1')
+                            } else {
+                                None
+                            }
+                        });
+                        match parent_y {
+                            Some(py) => RoundAction::verdict(y_bit == (py ^ x_bit)),
+                            None => RoundAction::reject(), // dangling pointer
+                        }
+                    }
+                }
+            })
+        }
+    }
+    Arbiter::from_local(
+        "NOT-ALL-SELECTED Σ3 arbiter (Example 4)",
+        GameSpec::sigma(3, 1, 1, PolyBound::linear(1, 1)),
+        V,
+    )
+}
+
+/// A *sound but budget-limited* `Σ₁` candidate for `NOT-ALL-SELECTED`:
+/// Eve's certificate is the exact distance to an unselected node, encoded
+/// in at most `bits` bits. Nodes check `d = 0 ⟺ unselected` and
+/// `d > 0 ⟹ some neighbor has d − 1`.
+///
+/// Correct whenever distances fit, but on yes-instance cycles longer than
+/// `2^bits` Eve has no accepting certificate — the experimental face of
+/// `NOT-ALL-SELECTED ∉ Σ₁^LP` (Proposition 23): constant-size certificates
+/// cannot carry the global information.
+pub fn distance_to_unselected_verifier(bits: usize) -> Arbiter {
+    struct V {
+        bits: usize,
+    }
+    impl LocalAlgorithm for V {
+        fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
+            let selected = input.label == BitString::from_bits01("1");
+            let cert = input.certificates.first().cloned().unwrap_or_default();
+            let well_formed = cert.len() <= self.bits;
+            let d = cert.to_usize();
+            Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+                ctx.charge(1 + inbox.iter().map(BitString::len).sum::<usize>());
+                match round {
+                    1 => RoundAction::Send(vec![cert.clone(); inbox.len()]),
+                    _ => {
+                        if !well_formed {
+                            return RoundAction::reject();
+                        }
+                        let ok = if !selected {
+                            d == 0
+                        } else {
+                            d > 0 && inbox.iter().any(|m| m.to_usize() == d - 1)
+                        };
+                        RoundAction::verdict(ok)
+                    }
+                }
+            })
+        }
+    }
+    Arbiter::from_local(
+        format!("NOT-ALL-SELECTED distance verifier ({bits} bits)"),
+        GameSpec::sigma(1, 1, 1, PolyBound::constant(bits as u64)),
+        V { bits },
+    )
+}
+
+/// An *unsound* `Σ₁` candidate for `NOT-ALL-SELECTED`: Eve's certificate is
+/// a pointer (a neighbor's identifier) "toward" an unselected node; a
+/// selected node accepts if the pointed neighbor is unselected **or**
+/// points somewhere other than back to it.
+///
+/// On genuine yes-instances Eve points along shortest paths and wins; but
+/// on an all-selected cycle she also wins by pointing everyone clockwise —
+/// the false accept exhibited by the cut-and-splice argument of
+/// Proposition 23.
+pub fn pointer_to_unselected_verifier() -> Arbiter {
+    struct V;
+    impl LocalAlgorithm for V {
+        fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
+            let selected = input.label == BitString::from_bits01("1");
+            let pointer = input.certificates.first().cloned().unwrap_or_default();
+            let my_id = input.id.clone();
+            Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+                ctx.charge(1 + inbox.iter().map(BitString::len).sum::<usize>());
+                match round {
+                    1 => {
+                        // Broadcast (id, selected?, pointer).
+                        let payload = format!(
+                            "i{};s{};p{};",
+                            my_id,
+                            u8::from(selected),
+                            pointer
+                        )
+                        .replace('ε', "");
+                        RoundAction::Send(vec![text_msg(&payload); inbox.len()])
+                    }
+                    _ => {
+                        if !selected {
+                            return RoundAction::accept();
+                        }
+                        let me = my_id.to_string().replace('ε', "");
+                        let target = pointer.to_string().replace('ε', "");
+                        let ok = inbox.iter().any(|m| {
+                            let Some(text) = msg_text(m) else { return false };
+                            let mut id_part = "";
+                            let mut s_part = "";
+                            let mut p_part = "";
+                            for field in text.split(';') {
+                                if let Some(rest) = field.strip_prefix('i') {
+                                    id_part = rest;
+                                } else if let Some(rest) = field.strip_prefix('s') {
+                                    s_part = rest;
+                                } else if let Some(rest) = field.strip_prefix('p') {
+                                    p_part = rest;
+                                }
+                            }
+                            id_part == target && (s_part == "0" || p_part != me)
+                        });
+                        RoundAction::verdict(ok)
+                    }
+                }
+            })
+        }
+    }
+    Arbiter::from_local(
+        "NOT-ALL-SELECTED pointer verifier (unsound)",
+        GameSpec::sigma(1, 1, 1, PolyBound::linear(1, 1)),
+        V,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::{decide_game, GameLimits};
+    use lph_graphs::{enumerate, generators, IdAssignment, LabeledGraph};
+    use lph_props::{AllSelected, BooleanGraph, Eulerian, GraphProperty, KColorable, SatGraph};
+
+    fn limits(cap: usize) -> GameLimits {
+        GameLimits { cert_len_cap: Some(cap), ..GameLimits::default() }
+    }
+
+    fn play(arb: &Arbiter, g: &LabeledGraph, lim: &GameLimits) -> bool {
+        let id = IdAssignment::global(g);
+        decide_game(arb, g, &id, lim).expect("game within budget").eve_wins
+    }
+
+    #[test]
+    fn deciders_match_ground_truth() {
+        let all_sel = all_selected_decider();
+        let euler = eulerian_decider();
+        let zero = lph_graphs::BitString::from_bits01("0");
+        let one = lph_graphs::BitString::from_bits01("1");
+        for base in enumerate::connected_graphs_up_to(4) {
+            assert_eq!(play(&euler, &base, &limits(0)), Eulerian.holds(&base));
+            for g in enumerate::binary_labelings(&base, &zero, &one) {
+                assert_eq!(play(&all_sel, &g, &limits(0)), AllSelected.holds(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn three_colorable_game_matches_ground_truth() {
+        let arb = three_colorable_verifier();
+        let lim = limits(2);
+        for g in [
+            generators::cycle(3),
+            generators::cycle(5),
+            generators::path(4),
+            generators::complete(4),
+            generators::star(5),
+        ] {
+            assert_eq!(play(&arb, &g, &lim), KColorable::new(3).holds(&g), "graph: {g}");
+        }
+    }
+
+    #[test]
+    fn two_colorable_game_matches_ground_truth() {
+        let arb = two_colorable_verifier();
+        let lim = limits(1);
+        for n in [4usize, 5, 6, 7] {
+            let g = generators::cycle(n);
+            assert_eq!(play(&arb, &g, &lim), n % 2 == 0, "cycle {n}");
+        }
+        assert!(play(&arb, &generators::path(4), &lim));
+        assert!(!play(&arb, &generators::complete(3), &lim));
+    }
+
+    #[test]
+    fn three_colorable_witness_is_a_proper_coloring() {
+        let arb = three_colorable_verifier();
+        let g = generators::cycle(5);
+        let id = IdAssignment::global(&g);
+        let res = decide_game(&arb, &g, &id, &limits(2)).unwrap();
+        assert!(res.eve_wins);
+        let w = res.winning_first_move.unwrap();
+        for (u, v) in g.edges() {
+            assert_ne!(w.cert(u), w.cert(v), "adjacent nodes share a color");
+        }
+    }
+
+    #[test]
+    fn sat_graph_game_matches_ground_truth() {
+        let arb = sat_graph_verifier();
+        let cases: Vec<(Vec<&str>, bool)> = vec![
+            (vec!["vp", "!vp"], false),
+            (vec!["vp", "!vq"], true),
+            (vec!["&(vp,vq)", "vq"], true),
+            (vec!["&(vp,!vp)", "T"], false),
+        ];
+        for (formulas, expected) in cases {
+            let bg = BooleanGraph::new(
+                generators::path(formulas.len()),
+                formulas.iter().map(|s| BoolExpr::parse(s).unwrap()).collect(),
+            )
+            .unwrap();
+            assert_eq!(SatGraph.holds(bg.graph()), expected, "ground truth sanity");
+            // Certificates: one bit per variable (≤ 2 here).
+            assert_eq!(play(&arb, bg.graph(), &limits(2)), expected, "{formulas:?}");
+        }
+    }
+
+    #[test]
+    fn sigma3_arbiter_decides_not_all_selected() {
+        let arb = not_all_selected_sigma3();
+        // Per-move caps: pointer ≤ id length (2 bits for n ≤ 4), X/Y ≤ 1 bit.
+        let lim = GameLimits {
+            cert_len_cap: Some(2),
+            per_move_caps: Some(vec![2, 1, 1]),
+            max_runs: 50_000_000,
+            ..GameLimits::default()
+        };
+        for labels in [["1", "1"], ["1", "0"], ["0", "0"]] {
+            let g = generators::labeled_path(&labels);
+            let expected = labels.iter().any(|l| *l != "1");
+            assert_eq!(play(&arb, &g, &lim), expected, "labels {labels:?}");
+        }
+    }
+
+    #[test]
+    fn sigma3_arbiter_on_triangle() {
+        let arb = not_all_selected_sigma3();
+        let lim = GameLimits {
+            cert_len_cap: Some(2),
+            per_move_caps: Some(vec![2, 1, 1]),
+            max_runs: 50_000_000,
+            ..GameLimits::default()
+        };
+        let yes = generators::labeled_cycle(&["1", "0", "1"]);
+        assert!(play(&arb, &yes, &lim));
+        let no = generators::labeled_cycle(&["1", "1", "1"]);
+        assert!(!play(&arb, &no, &lim));
+    }
+
+    #[test]
+    fn distance_verifier_is_sound_within_budget() {
+        let arb = distance_to_unselected_verifier(3);
+        let lim = limits(3);
+        let yes = generators::labeled_path(&["1", "0", "1", "1"]);
+        assert!(play(&arb, &yes, &lim));
+        let no = generators::labeled_path(&["1", "1", "1"]);
+        assert!(!play(&arb, &no, &lim), "no certificate fools it on all-selected");
+    }
+
+    #[test]
+    fn distance_verifier_fails_long_yes_instances() {
+        // One unselected node on a cycle of length 6: the farthest node is
+        // at distance 3, which does not fit in 1 bit — Eve loses although
+        // the graph IS a yes-instance. (Proposition 23's budget horn.)
+        let labels = ["0", "1", "1", "1", "1", "1"];
+        let g = generators::labeled_cycle(&labels);
+        let arb = distance_to_unselected_verifier(1);
+        assert!(!play(&arb, &g, &limits(1)));
+        // With 2 bits the distances fit again and Eve wins.
+        let arb = distance_to_unselected_verifier(2);
+        assert!(play(&arb, &g, &limits(2)));
+    }
+
+    #[test]
+    fn pointer_verifier_accepts_yes_instances() {
+        let arb = pointer_to_unselected_verifier();
+        let yes = generators::labeled_path(&["1", "0", "1"]);
+        assert!(play(&arb, &yes, &limits(2)));
+    }
+
+    #[test]
+    fn pointer_verifier_is_fooled_on_all_selected_cycles() {
+        // Eve points everyone clockwise: all nodes accept although the
+        // graph is a no-instance — the false accept of Proposition 23.
+        let arb = pointer_to_unselected_verifier();
+        let no = generators::cycle(4);
+        assert!(
+            play(&arb, &no, &limits(2)),
+            "the pointer verifier must be fooled — that is the point"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+use std::fmt;
+
+/// The two players of the certificate game (Section 2.1): Eve quantifies
+/// existentially, Adam universally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Player {
+    /// The existential player (tries to prove membership).
+    Eve,
+    /// The universal player (tries to disprove membership).
+    Adam,
+}
+
+impl Player {
+    /// The opponent.
+    pub fn opponent(self) -> Player {
+        match self {
+            Player::Eve => Player::Adam,
+            Player::Adam => Player::Eve,
+        }
+    }
+}
+
+impl fmt::Display for Player {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Player::Eve => write!(f, "Eve"),
+            Player::Adam => write!(f, "Adam"),
+        }
+    }
+}
+
+/// Which of the two hierarchies a class belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hierarchy {
+    /// The local-polynomial hierarchy itself.
+    Lp,
+    /// Its complement hierarchy (`co`-classes).
+    CoLp,
+}
+
+/// A class of the local-polynomial hierarchy or its complement hierarchy
+/// (Figures 1 and 11): `Σℓ^LP`, `Πℓ^LP`, `coΣℓ^LP`, `coΠℓ^LP`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ClassId {
+    /// `Σℓ^LP` — Eve moves first (`ℓ` certificate moves).
+    Sigma(usize),
+    /// `Πℓ^LP` — Adam moves first.
+    Pi(usize),
+    /// `coΣℓ^LP` — complements of `Σℓ^LP` properties.
+    CoSigma(usize),
+    /// `coΠℓ^LP` — complements of `Πℓ^LP` properties.
+    CoPi(usize),
+}
+
+impl ClassId {
+    /// `LP = Σ₀^LP`.
+    pub const LP: ClassId = ClassId::Sigma(0);
+    /// `NLP = Σ₁^LP`.
+    pub const NLP: ClassId = ClassId::Sigma(1);
+    /// `coLP = coΣ₀^LP`.
+    pub const CO_LP: ClassId = ClassId::CoSigma(0);
+    /// `coNLP = coΣ₁^LP`.
+    pub const CO_NLP: ClassId = ClassId::CoSigma(1);
+
+    /// The number of certificate moves `ℓ`.
+    pub fn ell(self) -> usize {
+        match self {
+            ClassId::Sigma(l) | ClassId::Pi(l) | ClassId::CoSigma(l) | ClassId::CoPi(l) => l,
+        }
+    }
+
+    /// Which hierarchy the class lives in.
+    pub fn hierarchy(self) -> Hierarchy {
+        match self {
+            ClassId::Sigma(_) | ClassId::Pi(_) => Hierarchy::Lp,
+            ClassId::CoSigma(_) | ClassId::CoPi(_) => Hierarchy::CoLp,
+        }
+    }
+
+    /// The first player of the underlying game (for `ℓ = 0` there are no
+    /// moves; by convention we report Eve).
+    pub fn first_player(self) -> Player {
+        match self {
+            ClassId::Sigma(_) | ClassId::CoSigma(_) => Player::Eve,
+            ClassId::Pi(_) | ClassId::CoPi(_) => Player::Adam,
+        }
+    }
+
+    /// The complement class: `L ↦ {complement of L}` maps `Σℓ ↔ coΣℓ` and
+    /// `Πℓ ↔ coΠℓ`.
+    pub fn complement(self) -> ClassId {
+        match self {
+            ClassId::Sigma(l) => ClassId::CoSigma(l),
+            ClassId::Pi(l) => ClassId::CoPi(l),
+            ClassId::CoSigma(l) => ClassId::Sigma(l),
+            ClassId::CoPi(l) => ClassId::Pi(l),
+        }
+    }
+
+    /// The class of the same level with the other first player
+    /// (`Σℓ ↔ Πℓ`).
+    pub fn dual_start(self) -> ClassId {
+        match self {
+            ClassId::Sigma(l) => ClassId::Pi(l),
+            ClassId::Pi(l) => ClassId::Sigma(l),
+            ClassId::CoSigma(l) => ClassId::CoPi(l),
+            ClassId::CoPi(l) => ClassId::CoSigma(l),
+        }
+    }
+
+    /// The restriction of this class to single-node graphs is the
+    /// corresponding class of the classical polynomial hierarchy
+    /// (Section 4, "Connection to standard complexity classes"); this
+    /// returns its conventional name.
+    pub fn node_restriction_name(self) -> String {
+        // On NODE, the hierarchy and its complement hierarchy coincide, and
+        // Σ/Π keep their roles.
+        match self {
+            ClassId::Sigma(0) | ClassId::CoSigma(0) | ClassId::Pi(0) | ClassId::CoPi(0) => {
+                "P".to_owned()
+            }
+            ClassId::Sigma(1) | ClassId::CoSigma(1) => "NP".to_owned(),
+            ClassId::Pi(1) | ClassId::CoPi(1) => "coNP".to_owned(),
+            ClassId::Sigma(l) | ClassId::CoSigma(l) => format!("Sigma{l}^p"),
+            ClassId::Pi(l) | ClassId::CoPi(l) => format!("Pi{l}^p"),
+        }
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassId::Sigma(0) => write!(f, "LP"),
+            ClassId::Sigma(1) => write!(f, "NLP"),
+            ClassId::Sigma(l) => write!(f, "Σ{l}^LP"),
+            ClassId::Pi(l) => write!(f, "Π{l}^LP"),
+            ClassId::CoSigma(0) => write!(f, "coLP"),
+            ClassId::CoSigma(1) => write!(f, "coNLP"),
+            ClassId::CoSigma(l) => write!(f, "coΣ{l}^LP"),
+            ClassId::CoPi(l) => write!(f, "coΠ{l}^LP"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_constants() {
+        assert_eq!(ClassId::LP.to_string(), "LP");
+        assert_eq!(ClassId::NLP.to_string(), "NLP");
+        assert_eq!(ClassId::CO_NLP.to_string(), "coNLP");
+        assert_eq!(ClassId::Pi(2).to_string(), "Π2^LP");
+    }
+
+    #[test]
+    fn complement_is_involutive() {
+        for c in [ClassId::Sigma(3), ClassId::Pi(0), ClassId::CoSigma(2), ClassId::CoPi(5)] {
+            assert_eq!(c.complement().complement(), c);
+            assert_ne!(c.complement().hierarchy(), c.hierarchy());
+            assert_eq!(c.complement().ell(), c.ell());
+        }
+    }
+
+    #[test]
+    fn first_player_matches_definition() {
+        assert_eq!(ClassId::Sigma(2).first_player(), Player::Eve);
+        assert_eq!(ClassId::Pi(2).first_player(), Player::Adam);
+        assert_eq!(Player::Eve.opponent(), Player::Adam);
+    }
+
+    #[test]
+    fn node_restrictions_recover_the_polynomial_hierarchy() {
+        assert_eq!(ClassId::LP.node_restriction_name(), "P");
+        assert_eq!(ClassId::CO_LP.node_restriction_name(), "P");
+        assert_eq!(ClassId::NLP.node_restriction_name(), "NP");
+        assert_eq!(ClassId::Pi(1).node_restriction_name(), "coNP");
+        assert_eq!(ClassId::Sigma(2).node_restriction_name(), "Sigma2^p");
+    }
+}

@@ -1,0 +1,496 @@
+use std::error::Error;
+use std::fmt;
+
+use lph_graphs::{
+    enumerate, CertificateAssignment, CertificateList, IdAssignment, LabeledGraph, PolyBound,
+};
+use lph_machine::{ExecLimits, MachineError};
+
+use crate::arbiter::Arbitrating;
+use crate::class::Player;
+
+/// The parameters of a certificate game (Section 4): `ℓ` moves starting
+/// with `first`, identifiers `r_id`-locally unique, certificates
+/// `(r, p)`-bounded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GameSpec {
+    /// The number of certificate moves `ℓ`.
+    pub ell: usize,
+    /// Who moves first (`Eve` for `Σℓ`, `Adam` for `Πℓ`).
+    pub first: Player,
+    /// Local-uniqueness radius required of identifier assignments.
+    pub r_id: usize,
+    /// The neighborhood radius of the certificate bound.
+    pub r: usize,
+    /// The polynomial `p` of the `(r, p)`-bound.
+    pub bound: PolyBound,
+}
+
+impl GameSpec {
+    /// A `Σℓ` game (Eve first).
+    pub fn sigma(ell: usize, r_id: usize, r: usize, bound: PolyBound) -> Self {
+        GameSpec { ell, first: Player::Eve, r_id, r, bound }
+    }
+
+    /// A `Πℓ` game (Adam first).
+    pub fn pi(ell: usize, r_id: usize, r: usize, bound: PolyBound) -> Self {
+        GameSpec { ell, first: Player::Adam, r_id, r, bound }
+    }
+
+    /// The player making move `i` (0-indexed).
+    pub fn player_of_move(&self, i: usize) -> Player {
+        if i % 2 == 0 {
+            self.first
+        } else {
+            self.first.opponent()
+        }
+    }
+
+    /// The per-node certificate length budgets implied by the `(r, p)`
+    /// bound, optionally clamped by `cap`.
+    pub fn budgets(
+        &self,
+        g: &LabeledGraph,
+        id: &IdAssignment,
+        cap: Option<usize>,
+    ) -> Vec<usize> {
+        CertificateAssignment::budget(g, id, self.r, &self.bound)
+            .into_iter()
+            .map(|b| cap.map_or(b, |c| b.min(c)))
+            .collect()
+    }
+}
+
+/// Budgets for the exhaustive game search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GameLimits {
+    /// Clamp on per-node certificate lengths (the `(r, p)` budget can be
+    /// astronomically larger than what a property needs; the paper's
+    /// arbiters use structured certificates of known shape). `None` uses
+    /// the raw `(r, p)` budget.
+    pub cert_len_cap: Option<usize>,
+    /// Optional tighter per-move clamps (entry `i` caps move `i`); falls
+    /// back to `cert_len_cap` where absent. Structured games (e.g. the
+    /// Example 4 arbiter, whose moves are pointer/bit/bit) use this to
+    /// keep the search space honest but small.
+    pub per_move_caps: Option<Vec<usize>>,
+    /// Maximum number of arbiter executions before giving up.
+    pub max_runs: u64,
+    /// Per-execution limits.
+    pub exec: ExecLimits,
+}
+
+impl Default for GameLimits {
+    fn default() -> Self {
+        GameLimits {
+            cert_len_cap: Some(4),
+            per_move_caps: None,
+            max_runs: 2_000_000,
+            exec: ExecLimits::default(),
+        }
+    }
+}
+
+impl GameLimits {
+    /// The certificate-length cap for move `i`.
+    fn cap_for_move(&self, i: usize) -> Option<usize> {
+        match &self.per_move_caps {
+            Some(caps) if i < caps.len() => Some(caps[i]),
+            _ => self.cert_len_cap,
+        }
+    }
+}
+
+/// Why a game could not be solved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GameError {
+    /// The arbiter-execution budget was exhausted.
+    BudgetExceeded {
+        /// The configured budget.
+        limit: u64,
+    },
+    /// The certificate space of a single move is too large to enumerate.
+    MoveSpaceTooLarge {
+        /// Number of certificate assignments in one move.
+        combinations: u128,
+    },
+    /// The identifier assignment is not `r_id`-locally unique for the
+    /// game's specification.
+    IdsNotAdmissible {
+        /// The required radius.
+        r_id: usize,
+    },
+    /// An arbiter execution failed.
+    Machine(MachineError),
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GameError::BudgetExceeded { limit } => {
+                write!(f, "exceeded the budget of {limit} arbiter executions")
+            }
+            GameError::MoveSpaceTooLarge { combinations } => {
+                write!(f, "a single move has {combinations} certificate assignments")
+            }
+            GameError::IdsNotAdmissible { r_id } => {
+                write!(f, "identifier assignment is not {r_id}-locally unique")
+            }
+            GameError::Machine(e) => write!(f, "arbiter execution failed: {e}"),
+        }
+    }
+}
+
+impl Error for GameError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GameError::Machine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MachineError> for GameError {
+    fn from(e: MachineError) -> Self {
+        GameError::Machine(e)
+    }
+}
+
+/// The outcome of solving a certificate game.
+#[derive(Debug, Clone)]
+pub struct GameResult {
+    /// Whether Eve has a winning strategy (i.e. the graph has the property
+    /// arbitrated by the machine).
+    pub eve_wins: bool,
+    /// Number of arbiter executions performed.
+    pub runs: u64,
+    /// If the **first** player wins and `ℓ ≥ 1`: a winning first move.
+    pub winning_first_move: Option<CertificateAssignment>,
+}
+
+/// Enumerates every certificate assignment where node `u`'s certificate has
+/// length at most `budgets[u]`.
+///
+/// The space has `Π_u (2^{b_u + 1} − 1)` elements; the caller must guard
+/// against explosion (see [`GameLimits`]).
+pub fn enumerate_certificates(
+    g: &LabeledGraph,
+    budgets: &[usize],
+) -> Vec<CertificateAssignment> {
+    let per_node: Vec<Vec<lph_graphs::BitString>> =
+        budgets.iter().map(|&b| enumerate::bitstrings_up_to(b)).collect();
+    let mut out = Vec::new();
+    let mut current: Vec<usize> = vec![0; g.node_count()];
+    loop {
+        out.push(
+            CertificateAssignment::from_vec(
+                g,
+                current.iter().zip(&per_node).map(|(&i, opts)| opts[i].clone()).collect(),
+            )
+            .expect("one certificate per node"),
+        );
+        // Odometer increment.
+        let mut pos = g.node_count();
+        loop {
+            if pos == 0 {
+                return out;
+            }
+            pos -= 1;
+            current[pos] += 1;
+            if current[pos] < per_node[pos].len() {
+                break;
+            }
+            current[pos] = 0;
+        }
+    }
+}
+
+fn move_space_size(budgets: &[usize]) -> u128 {
+    budgets.iter().fold(1u128, |acc, &b| {
+        acc.saturating_mul((1u128 << (b + 1)).saturating_sub(1))
+    })
+}
+
+/// Solves the certificate game for `arbiter` on `(G, id)`: determines
+/// whether Eve has a winning strategy when both players range over
+/// length-bounded certificate assignments.
+///
+/// # Errors
+///
+/// Returns [`GameError`] if the identifiers are inadmissible, the move
+/// space is too large (> 2²⁰ assignments per move), the run budget is
+/// exhausted, or an arbiter execution fails.
+pub fn decide_game(
+    arbiter: &dyn Arbitrating,
+    g: &LabeledGraph,
+    id: &IdAssignment,
+    limits: &GameLimits,
+) -> Result<GameResult, GameError> {
+    let spec = arbiter.spec().clone();
+    if !id.is_locally_unique(g, spec.r_id) {
+        return Err(GameError::IdsNotAdmissible { r_id: spec.r_id });
+    }
+    let mut moves_per_move: Vec<Vec<CertificateAssignment>> = Vec::with_capacity(spec.ell);
+    for i in 0..spec.ell {
+        let budgets = spec.budgets(g, id, limits.cap_for_move(i));
+        let space = move_space_size(&budgets);
+        if space > 1 << 20 {
+            return Err(GameError::MoveSpaceTooLarge { combinations: space });
+        }
+        moves_per_move.push(enumerate_certificates(g, &budgets));
+    }
+    decide_game_with(arbiter, g, id, &moves_per_move, limits)
+}
+
+/// Like [`decide_game`], but with the per-move certificate spaces supplied
+/// by the caller. This is how *structured* games are solved — e.g. the
+/// Fagin-compiled arbiters, whose certificates are relation encodings that
+/// raw bit-string enumeration would never hit. Supplying only the
+/// well-formed certificates is faithful by the restrictive-arbiter argument
+/// of Lemma 8 (the compiled arbiters treat malformed moves exactly as a
+/// violated restriction).
+///
+/// # Errors
+///
+/// Returns [`GameError`] as for [`decide_game`].
+pub fn decide_game_with(
+    arbiter: &dyn Arbitrating,
+    g: &LabeledGraph,
+    id: &IdAssignment,
+    moves_per_move: &[Vec<CertificateAssignment>],
+    limits: &GameLimits,
+) -> Result<GameResult, GameError> {
+    let spec = arbiter.spec().clone();
+    if !id.is_locally_unique(g, spec.r_id) {
+        return Err(GameError::IdsNotAdmissible { r_id: spec.r_id });
+    }
+
+    let mut runs: u64 = 0;
+    let mut winning_first_move = None;
+
+    fn eve_wins_from(
+        arbiter: &dyn Arbitrating,
+        g: &LabeledGraph,
+        id: &IdAssignment,
+        moves: &[Vec<CertificateAssignment>],
+        prefix: &CertificateList,
+        move_idx: usize,
+        runs: &mut u64,
+        limits: &GameLimits,
+        winning_first: &mut Option<CertificateAssignment>,
+    ) -> Result<bool, GameError> {
+        let spec = arbiter.spec();
+        if move_idx == spec.ell {
+            *runs += 1;
+            if *runs > limits.max_runs {
+                return Err(GameError::BudgetExceeded { limit: limits.max_runs });
+            }
+            return Ok(arbiter.accepts(g, id, prefix, &limits.exec)?);
+        }
+        let player = spec.player_of_move(move_idx);
+        for k in &moves[move_idx] {
+            let ext = prefix.extended(k.clone());
+            let sub = eve_wins_from(
+                arbiter,
+                g,
+                id,
+                moves,
+                &ext,
+                move_idx + 1,
+                runs,
+                limits,
+                winning_first,
+            )?;
+            match player {
+                Player::Eve if sub => {
+                    if move_idx == 0 && spec.first == Player::Eve {
+                        *winning_first = Some(k.clone());
+                    }
+                    return Ok(true);
+                }
+                Player::Adam if !sub => {
+                    if move_idx == 0 && spec.first == Player::Adam {
+                        *winning_first = Some(k.clone());
+                    }
+                    return Ok(false);
+                }
+                _ => {}
+            }
+        }
+        Ok(player == Player::Adam)
+    }
+
+    let eve_wins = eve_wins_from(
+        arbiter,
+        g,
+        id,
+        moves_per_move,
+        &CertificateList::new(),
+        0,
+        &mut runs,
+        limits,
+        &mut winning_first_move,
+    )?;
+    Ok(GameResult { eve_wins, runs, winning_first_move })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiter::Arbiter;
+    use lph_graphs::{generators, BitString};
+    use lph_machine::{LocalAlgorithm, NodeCtx, NodeInput, NodeProgram, RoundAction};
+
+    /// A 0-round-communication verifier: accepts iff the node's (single)
+    /// certificate equals its label.
+    struct CertEqualsLabel;
+    impl LocalAlgorithm for CertEqualsLabel {
+        fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
+            let ok = input.certificates.len() == 1 && input.certificates[0] == input.label;
+            Box::new(move |ctx: &mut NodeCtx, _r: usize, _inbox: &[BitString]| {
+                ctx.charge(1);
+                RoundAction::verdict(ok)
+            })
+        }
+    }
+
+    fn sigma1_spec() -> GameSpec {
+        GameSpec::sigma(1, 1, 1, PolyBound::linear(0, 1))
+    }
+
+    #[test]
+    fn eve_finds_the_unique_witness() {
+        let arb = Arbiter::from_local("cert=label", sigma1_spec(), CertEqualsLabel);
+        let g = generators::labeled_path(&["1", "0"]);
+        let id = IdAssignment::global(&g);
+        let limits = GameLimits { cert_len_cap: Some(1), ..GameLimits::default() };
+        let res = decide_game(&arb, &g, &id, &limits).unwrap();
+        assert!(res.eve_wins);
+        let w = res.winning_first_move.unwrap();
+        assert_eq!(w.cert(lph_graphs::NodeId(0)), &BitString::from_bits01("1"));
+        assert_eq!(w.cert(lph_graphs::NodeId(1)), &BitString::from_bits01("0"));
+    }
+
+    #[test]
+    fn pi1_means_adam_moves_first() {
+        // Π₁ with the same arbiter: Adam picks the certificates, so he can
+        // always pick a wrong one — Eve loses on every graph with a node.
+        let spec = GameSpec::pi(1, 1, 1, PolyBound::linear(0, 1));
+        let arb = Arbiter::from_local("cert=label", spec, CertEqualsLabel);
+        let g = generators::labeled_path(&["1", "0"]);
+        let id = IdAssignment::global(&g);
+        let limits = GameLimits { cert_len_cap: Some(1), ..GameLimits::default() };
+        let res = decide_game(&arb, &g, &id, &limits).unwrap();
+        assert!(!res.eve_wins);
+        assert!(res.winning_first_move.is_some(), "Adam's refutation is recorded");
+    }
+
+    #[test]
+    fn zero_moves_is_plain_decision() {
+        struct RejectAll;
+        impl LocalAlgorithm for RejectAll {
+            fn spawn(&self, _input: NodeInput) -> Box<dyn NodeProgram> {
+                Box::new(|ctx: &mut NodeCtx, _r: usize, _i: &[BitString]| {
+                    ctx.charge(1);
+                    RoundAction::reject()
+                })
+            }
+        }
+        let spec = GameSpec::sigma(0, 1, 1, PolyBound::constant(0));
+        let arb = Arbiter::from_local("no", spec, RejectAll);
+        let g = generators::path(2);
+        let id = IdAssignment::global(&g);
+        let res = decide_game(&arb, &g, &id, &GameLimits::default()).unwrap();
+        assert!(!res.eve_wins);
+        assert_eq!(res.runs, 1);
+    }
+
+    #[test]
+    fn sigma2_alternation() {
+        // Arbiter: accepts iff Adam's certificate (move 2) equals Eve's
+        // (move 1) at every node. Eve cannot win: Adam flips a bit.
+        struct Match12;
+        impl LocalAlgorithm for Match12 {
+            fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
+                let ok = input.certificates.len() == 2
+                    && input.certificates[0] == input.certificates[1];
+                Box::new(move |ctx: &mut NodeCtx, _r: usize, _i: &[BitString]| {
+                    ctx.charge(1);
+                    RoundAction::verdict(ok)
+                })
+            }
+        }
+        let spec = GameSpec::sigma(2, 1, 1, PolyBound::linear(0, 1));
+        let arb = Arbiter::from_local("match", spec, Match12);
+        let g = generators::path(2);
+        let id = IdAssignment::global(&g);
+        let limits = GameLimits { cert_len_cap: Some(1), ..GameLimits::default() };
+        let res = decide_game(&arb, &g, &id, &limits).unwrap();
+        assert!(!res.eve_wins, "Adam mismatches Eve's move");
+
+        // Dually, an arbiter accepting iff the certificates *differ*
+        // somewhere also loses for Eve (Adam copies her move) — but as a Π₂
+        // game the roles flip and Eve wins (she answers Adam with a copy).
+        struct Differ;
+        impl LocalAlgorithm for Differ {
+            fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
+                let same = input.certificates.len() == 2
+                    && input.certificates[0] == input.certificates[1];
+                Box::new(move |ctx: &mut NodeCtx, _r: usize, _i: &[BitString]| {
+                    ctx.charge(1);
+                    RoundAction::verdict(same)
+                })
+            }
+        }
+        let spec = GameSpec::pi(2, 1, 1, PolyBound::linear(0, 1));
+        let arb = Arbiter::from_local("copy", spec, Differ);
+        let res = decide_game(&arb, &g, &id, &limits).unwrap();
+        assert!(res.eve_wins, "Eve copies Adam's move");
+    }
+
+    #[test]
+    fn budget_exhaustion_is_detected() {
+        let arb = Arbiter::from_local("cert=label", sigma1_spec(), CertEqualsLabel);
+        let g = generators::labeled_path(&["0", "1"]);
+        let id = IdAssignment::global(&g);
+        let limits = GameLimits {
+            cert_len_cap: Some(1),
+            max_runs: 1,
+            ..GameLimits::default()
+        };
+        // "0" sorts late enough in the odometer that one run cannot settle it.
+        let err = decide_game(&arb, &g, &id, &limits).unwrap_err();
+        assert_eq!(err, GameError::BudgetExceeded { limit: 1 });
+    }
+
+    #[test]
+    fn inadmissible_ids_are_rejected() {
+        let arb = Arbiter::from_local("cert=label", sigma1_spec(), CertEqualsLabel);
+        let g = generators::cycle(6);
+        let id = IdAssignment::cyclic(&g, 2); // not 1-locally unique
+        let err = decide_game(&arb, &g, &id, &GameLimits::default()).unwrap_err();
+        assert_eq!(err, GameError::IdsNotAdmissible { r_id: 1 });
+    }
+
+    #[test]
+    fn enumerate_certificates_counts() {
+        let g = generators::path(2);
+        // budgets [1, 0]: (2^2 - 1) * (2^1 - 1) = 3 * 1 = 3.
+        let all = enumerate_certificates(&g, &[1, 0]);
+        assert_eq!(all.len(), 3);
+        let mut dedup = all.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3);
+    }
+
+    #[test]
+    fn move_space_guard_triggers() {
+        let arb = Arbiter::from_local("cert=label", sigma1_spec(), CertEqualsLabel);
+        let g = generators::cycle(30);
+        let id = IdAssignment::global(&g);
+        let limits = GameLimits { cert_len_cap: Some(4), ..GameLimits::default() };
+        let err = decide_game(&arb, &g, &id, &limits).unwrap_err();
+        assert!(matches!(err, GameError::MoveSpaceTooLarge { .. }));
+    }
+}

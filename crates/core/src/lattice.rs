@@ -1,0 +1,265 @@
+//! The class lattice of Figures 1 and 11 as queryable data: inclusion
+//! edges between the local-polynomial hierarchy and its complement
+//! hierarchy, strictness annotations with the result that proves them, and
+//! the strict linear chain on graphs of bounded structural degree.
+
+use crate::class::ClassId;
+
+/// How an inclusion edge of Figure 11 is annotated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Solid line: the inclusion is proved strict (even on bounded
+    /// structural degree).
+    ProvedStrict,
+    /// Dashed line: an equality on bounded structural degree; strictness on
+    /// all graphs holds iff `P ≠ coNP` (Remark 37).
+    EqualityOnBoundedDegree,
+}
+
+/// One inclusion edge `lower ⊆ upper` of Figure 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InclusionEdge {
+    /// The smaller class.
+    pub lower: ClassId,
+    /// The larger class.
+    pub upper: ClassId,
+    /// Solid or dashed.
+    pub kind: EdgeKind,
+    /// The paper result justifying the inclusion (and its strictness for
+    /// solid edges).
+    pub justification: &'static str,
+}
+
+/// The inclusion edges of Figure 11, up to level `max_ell` (exclusive
+/// upper bound on the lower class's level).
+///
+/// Within each hierarchy, every class at level `ℓ` is included in both
+/// classes at level `ℓ + 1` (a player may skip a move). Across the two
+/// hierarchies, Proposition 39 and duality give
+/// `coΣℓ ⊆ Πℓ₊₁`, `coΠℓ ⊆ Σℓ₊₁`, `Σℓ ⊆ coΠℓ₊₁`, and `Πℓ ⊆ coΣℓ₊₁`.
+pub fn inclusion_edges(max_ell: usize) -> Vec<InclusionEdge> {
+    let mut edges = Vec::new();
+    for l in 0..max_ell {
+        // In-hierarchy edges (by definition: dummy moves).
+        for (lower, upper) in [
+            (ClassId::Sigma(l), ClassId::Sigma(l + 1)),
+            (ClassId::Sigma(l), ClassId::Pi(l + 1)),
+            (ClassId::Pi(l), ClassId::Sigma(l + 1)),
+            (ClassId::Pi(l), ClassId::Pi(l + 1)),
+            (ClassId::CoSigma(l), ClassId::CoSigma(l + 1)),
+            (ClassId::CoSigma(l), ClassId::CoPi(l + 1)),
+            (ClassId::CoPi(l), ClassId::CoSigma(l + 1)),
+            (ClassId::CoPi(l), ClassId::CoPi(l + 1)),
+        ] {
+            edges.push(InclusionEdge {
+                lower,
+                upper,
+                kind: kind_of(lower, upper),
+                justification: "definition (dummy moves)",
+            });
+        }
+        // Cross-hierarchy edges (Proposition 39 and duality).
+        for (lower, upper) in [
+            (ClassId::CoSigma(l), ClassId::Pi(l + 1)),
+            (ClassId::CoPi(l), ClassId::Sigma(l + 1)),
+            (ClassId::Sigma(l), ClassId::CoPi(l + 1)),
+            (ClassId::Pi(l), ClassId::CoSigma(l + 1)),
+        ] {
+            edges.push(InclusionEdge {
+                lower,
+                upper,
+                kind: kind_of(lower, upper),
+                justification: "Proposition 39 and duality",
+            });
+        }
+    }
+    edges
+}
+
+/// Figure 11's thick-bordered classes — the "meaningful" chain on graphs of
+/// bounded structural degree: `Π₀ ⊊ Σ₁ ⊊ Π₂ ⊊ Σ₃ ⊊ …` (alternating
+/// `Π`-even / `Σ`-odd).
+pub fn bounded_degree_chain(levels: usize) -> Vec<ClassId> {
+    (0..levels)
+        .map(|l| if l % 2 == 0 { ClassId::Pi(l) } else { ClassId::Sigma(l) })
+        .collect()
+}
+
+/// Whether a class is on the thick chain (its level's "strong side").
+pub fn is_thick(c: ClassId) -> bool {
+    matches!(
+        (c, c.ell() % 2),
+        (ClassId::Pi(_), 0) | (ClassId::Sigma(_), 1)
+    )
+}
+
+fn kind_of(lower: ClassId, upper: ClassId) -> EdgeKind {
+    // Figure 11: inclusions *into* the thick chain classes are strict; the
+    // inclusions from a thick class into the following weak-side class (on
+    // either hierarchy) collapse to equalities on bounded structural
+    // degree. Mirrored for the complement hierarchy by duality.
+    let upper_thick_side = match upper {
+        ClassId::Pi(l) | ClassId::CoPi(l) => l % 2 == 0,
+        ClassId::Sigma(l) | ClassId::CoSigma(l) => l % 2 == 1,
+    };
+    let lower_thick_side = match lower {
+        ClassId::Pi(l) | ClassId::CoPi(l) => l % 2 == 0,
+        ClassId::Sigma(l) | ClassId::CoSigma(l) => l % 2 == 1,
+    };
+    if lower_thick_side && !upper_thick_side {
+        EdgeKind::EqualityOnBoundedDegree
+    } else {
+        EdgeKind::ProvedStrict
+    }
+}
+
+/// The recorded pairwise distinctness results on each level: classes on the
+/// same level are pairwise distinct even on bounded structural degree
+/// (Figure 11 caption).
+pub fn same_level_distinctions(ell: usize) -> Vec<(ClassId, ClassId, &'static str)> {
+    let (s, p, cs, cp) = (
+        ClassId::Sigma(ell),
+        ClassId::Pi(ell),
+        ClassId::CoSigma(ell),
+        ClassId::CoPi(ell),
+    );
+    vec![
+        (s, p, "Theorem 33 / Corollary 36 and duality"),
+        (s, cs, "Corollary 38 (not closed under complement)"),
+        (s, cp, "Corollary 38"),
+        (p, cs, "Corollary 38"),
+        (p, cp, "Corollary 38"),
+        (cs, cp, "Theorem 33 / Corollary 36 and duality"),
+    ]
+}
+
+/// Whether `lower ⊆ upper` follows from the recorded edges (reflexive and
+/// transitive closure up to the given level bound).
+pub fn is_included(lower: ClassId, upper: ClassId, max_ell: usize) -> bool {
+    if lower == upper {
+        return true;
+    }
+    let edges = inclusion_edges(max_ell);
+    // BFS over the edge relation.
+    let mut frontier = vec![lower];
+    let mut seen = vec![lower];
+    while let Some(c) = frontier.pop() {
+        for e in edges.iter().filter(|e| e.lower == c) {
+            if e.upper == upper {
+                return true;
+            }
+            if !seen.contains(&e.upper) {
+                seen.push(e.upper);
+                frontier.push(e.upper);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::Hierarchy;
+
+    #[test]
+    fn edges_increase_level_by_one() {
+        for e in inclusion_edges(4) {
+            assert_eq!(e.upper.ell(), e.lower.ell() + 1, "{} ⊆ {}", e.lower, e.upper);
+        }
+    }
+
+    #[test]
+    fn lp_is_included_in_everything_one_up() {
+        assert!(is_included(ClassId::LP, ClassId::NLP, 3));
+        assert!(is_included(ClassId::LP, ClassId::Pi(1), 3));
+        assert!(is_included(ClassId::LP, ClassId::CoPi(1), 3));
+        assert!(is_included(ClassId::CO_LP, ClassId::Pi(1), 3));
+    }
+
+    #[test]
+    fn inclusion_is_transitive_up_the_chain() {
+        assert!(is_included(ClassId::LP, ClassId::Sigma(3), 4));
+        assert!(is_included(ClassId::CoSigma(0), ClassId::Sigma(3), 4));
+        assert!(!is_included(ClassId::Sigma(3), ClassId::LP, 4));
+    }
+
+    #[test]
+    fn same_level_classes_are_incomparable_in_the_edge_relation() {
+        assert!(!is_included(ClassId::NLP, ClassId::Pi(1), 4));
+        assert!(!is_included(ClassId::Pi(1), ClassId::NLP, 4));
+        assert!(!is_included(ClassId::NLP, ClassId::CO_NLP, 4));
+    }
+
+    #[test]
+    fn thick_chain_alternates() {
+        let chain = bounded_degree_chain(5);
+        assert_eq!(
+            chain,
+            vec![
+                ClassId::Pi(0),
+                ClassId::Sigma(1),
+                ClassId::Pi(2),
+                ClassId::Sigma(3),
+                ClassId::Pi(4)
+            ]
+        );
+        assert!(chain.iter().all(|&c| is_thick(c)));
+        assert!(!is_thick(ClassId::Sigma(0)));
+        assert!(!is_thick(ClassId::Pi(1)));
+    }
+
+    #[test]
+    fn consecutive_thick_classes_are_connected_by_strict_edges() {
+        let edges = inclusion_edges(5);
+        for w in bounded_degree_chain(5).windows(2) {
+            let e = edges
+                .iter()
+                .find(|e| e.lower == w[0] && e.upper == w[1])
+                .expect("chain edge exists");
+            assert_eq!(e.kind, EdgeKind::ProvedStrict, "{} ⊊ {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn thick_to_weak_edges_are_dashed() {
+        let edges = inclusion_edges(3);
+        // Σ1 (thick) ⊆ Σ2 (weak side): dashed.
+        let e = edges
+            .iter()
+            .find(|e| e.lower == ClassId::Sigma(1) && e.upper == ClassId::Sigma(2))
+            .unwrap();
+        assert_eq!(e.kind, EdgeKind::EqualityOnBoundedDegree);
+        // Σ0 (weak) ⊆ Σ1 (thick): solid.
+        let e = edges
+            .iter()
+            .find(|e| e.lower == ClassId::Sigma(0) && e.upper == ClassId::Sigma(1))
+            .unwrap();
+        assert_eq!(e.kind, EdgeKind::ProvedStrict);
+    }
+
+    #[test]
+    fn distinctions_cover_all_pairs() {
+        let d = same_level_distinctions(2);
+        assert_eq!(d.len(), 6);
+        for (a, b, why) in d {
+            assert_ne!(a, b);
+            assert_eq!(a.ell(), 2);
+            assert_eq!(b.ell(), 2);
+            assert!(!why.is_empty());
+        }
+    }
+
+    #[test]
+    fn complement_hierarchy_mirrors_the_main_one() {
+        let edges = inclusion_edges(3);
+        for e in &edges {
+            if e.lower.hierarchy() == Hierarchy::Lp && e.upper.hierarchy() == Hierarchy::Lp {
+                let mirrored = edges.iter().any(|f| {
+                    f.lower == e.lower.complement() && f.upper == e.upper.complement()
+                });
+                assert!(mirrored, "missing mirror of {} ⊆ {}", e.lower, e.upper);
+            }
+        }
+    }
+}

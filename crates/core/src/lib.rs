@@ -1,0 +1,53 @@
+//! The **local-polynomial hierarchy** `{Σℓ^LP, Πℓ^LP}` of *A LOCAL View of
+//! the Polynomial Hierarchy* (Reiter, PODC 2024), made executable:
+//!
+//! * [`GameSpec`] / [`decide_game`] — the certificate game between Eve and
+//!   Adam (Section 4): players alternately choose `(r, p)`-bounded
+//!   certificate assignments, and a local-polynomial machine arbitrates.
+//!   The solver searches the game tree exhaustively within explicit
+//!   budgets, and can extract Eve's winning first move.
+//! * [`Arbiter`] — a named local-polynomial machine (an honest
+//!   [`lph_machine::DistributedTm`] or a metered
+//!   [`lph_machine::LocalAlgorithm`]) together with its game parameters.
+//! * [`arbiters`] — concrete arbiters for the paper's properties:
+//!   `ALL-SELECTED` and `EULERIAN` deciders (`Σ₀`), verifiers for
+//!   `3-COLORABLE` and `SAT-GRAPH` (`Σ₁`), the spanning-forest game arbiter
+//!   for `NOT-ALL-SELECTED` (`Σ₃`, Example 4), and the *fooled* pointer
+//!   verifier used to exhibit `NOT-ALL-SELECTED ∉ NLP`.
+//! * [`restrictor`] — certificate restrictors, local repairability, and the
+//!   restrictive → permissive arbiter conversion of Lemma 8.
+//! * [`lattice`] — the class lattice of Figures 1 and 11 as queryable data.
+//! * [`separations`] — the executable separation constructions: the
+//!   indistinguishable odd/glued-cycle pair of Proposition 21 and the
+//!   cut-and-splice certificate pumping of Proposition 23.
+//!
+//! # Example
+//!
+//! ```
+//! use lph_graphs::{generators, IdAssignment};
+//! use lph_core::{arbiters, decide_game, GameLimits};
+//!
+//! let g = generators::cycle(4);
+//! let id = IdAssignment::small(&g, 1);
+//! let arb = arbiters::three_colorable_verifier();
+//! let res = decide_game(&arb, &g, &id, &GameLimits::default()).unwrap();
+//! assert!(res.eve_wins); // C4 is 3-colorable (even 2-colorable)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arbiter;
+pub mod arbiters;
+mod class;
+mod game;
+pub mod lattice;
+pub mod restrictor;
+pub mod separations;
+
+pub use arbiter::{Arbiter, ArbiterKind, Arbitrating};
+pub use class::{ClassId, Hierarchy, Player};
+pub use game::{
+    decide_game, decide_game_with, enumerate_certificates, GameError, GameLimits, GameResult,
+    GameSpec,
+};

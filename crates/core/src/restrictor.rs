@@ -1,0 +1,428 @@
+//! Certificate restrictors and the restrictive → permissive arbiter
+//! conversion of Lemma 8 (Section 6).
+//!
+//! A *certificate restrictor* is a local-polynomial machine `M_i` that
+//! filters the certificate assignments admissible as move `i`; it must be
+//! *locally repairable*: whenever a node rejects a certificate assignment,
+//! changing only that node's certificate can make it accept without
+//! affecting any other node's verdict.
+//!
+//! [`decide_restricted_game`] solves games whose moves are filtered by
+//! restrictors, and [`PermissiveArbiter`] implements the Lemma 8 proof's
+//! conversion: the permissive machine simulates the restrictors, keeps an
+//! `ok_i` flag per restrictor, and on a violated restriction returns the
+//! verdict prescribed by the violated move's quantifier (reject for Eve's
+//! moves, accept for Adam's). As in the proof, local repairability makes
+//! the verdicts of violation-unaware nodes legitimate.
+
+use lph_graphs::{CertificateAssignment, CertificateList, IdAssignment, LabeledGraph};
+use lph_machine::{ExecLimits, MachineError};
+
+use crate::arbiter::{Arbiter, Arbitrating};
+use crate::class::Player;
+use crate::game::{enumerate_certificates, GameError, GameLimits, GameResult, GameSpec};
+
+/// A certificate restrictor: an arbiter-shaped machine judging whether the
+/// *last* assignment of a certificate list is admissible given the previous
+/// ones.
+pub struct CertificateRestrictor {
+    inner: Arbiter,
+}
+
+impl CertificateRestrictor {
+    /// Wraps a machine as a restrictor.
+    pub fn new(inner: Arbiter) -> Self {
+        CertificateRestrictor { inner }
+    }
+
+    /// The trivial restrictor (accepts everything).
+    pub fn trivial(spec: GameSpec) -> Self {
+        use lph_machine::{LocalAlgorithm, NodeCtx, NodeInput, NodeProgram, RoundAction};
+        struct Yes;
+        impl LocalAlgorithm for Yes {
+            fn spawn(&self, _input: NodeInput) -> Box<dyn NodeProgram> {
+                Box::new(|ctx: &mut NodeCtx, _r: usize, _i: &[lph_graphs::BitString]| {
+                    ctx.charge(1);
+                    RoundAction::accept()
+                })
+            }
+        }
+        CertificateRestrictor { inner: Arbiter::from_local("trivial restrictor", spec, Yes) }
+    }
+
+    /// The per-node verdicts on `(G, id, κ̄·κ)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors.
+    pub fn verdicts(
+        &self,
+        g: &LabeledGraph,
+        id: &IdAssignment,
+        prefix: &CertificateList,
+        candidate: &CertificateAssignment,
+        limits: &ExecLimits,
+    ) -> Result<Vec<bool>, MachineError> {
+        let full = prefix.extended(candidate.clone());
+        Ok(self.inner.run(g, id, &full, limits)?.verdicts)
+    }
+
+    /// Whether the candidate move is admitted (all nodes accept).
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors.
+    pub fn admits(
+        &self,
+        g: &LabeledGraph,
+        id: &IdAssignment,
+        prefix: &CertificateList,
+        candidate: &CertificateAssignment,
+        limits: &ExecLimits,
+    ) -> Result<bool, MachineError> {
+        Ok(self.verdicts(g, id, prefix, candidate, limits)?.iter().all(|&v| v))
+    }
+}
+
+/// Checks *local repairability* (Section 6) of a restrictor on a concrete
+/// configuration: for every rejecting node `u`, some replacement of `u`'s
+/// certificate alone (within the given length budget) makes `u` accept
+/// while every other node's verdict is unchanged.
+///
+/// # Errors
+///
+/// Propagates execution errors.
+pub fn check_local_repairability(
+    restrictor: &CertificateRestrictor,
+    g: &LabeledGraph,
+    id: &IdAssignment,
+    prefix: &CertificateList,
+    candidate: &CertificateAssignment,
+    budgets: &[usize],
+    limits: &ExecLimits,
+) -> Result<bool, MachineError> {
+    let before = restrictor.verdicts(g, id, prefix, candidate, limits)?;
+    for u in g.nodes() {
+        if before[u.0] {
+            continue;
+        }
+        let mut repaired = false;
+        for alt in lph_graphs::enumerate::bitstrings_up_to(budgets[u.0]) {
+            let fixed = candidate.with_cert(u, alt);
+            let after = restrictor.verdicts(g, id, prefix, &fixed, limits)?;
+            let others_same =
+                g.nodes().filter(|&v| v != u).all(|v| after[v.0] == before[v.0]);
+            if after[u.0] && others_same {
+                repaired = true;
+                break;
+            }
+        }
+        if !repaired {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Solves a certificate game in which move `i` ranges only over assignments
+/// admitted by `restrictors[i]` — the semantics of restrictive arbiters.
+///
+/// # Errors
+///
+/// Returns [`GameError`] under the same conditions as
+/// [`crate::decide_game`].
+///
+/// # Panics
+///
+/// Panics if the number of restrictors differs from the arbiter's `ℓ`.
+pub fn decide_restricted_game(
+    arbiter: &Arbiter,
+    restrictors: &[CertificateRestrictor],
+    g: &LabeledGraph,
+    id: &IdAssignment,
+    limits: &GameLimits,
+) -> Result<GameResult, GameError> {
+    let spec = arbiter.spec().clone();
+    assert_eq!(restrictors.len(), spec.ell, "one restrictor per move");
+    if !id.is_locally_unique(g, spec.r_id) {
+        return Err(GameError::IdsNotAdmissible { r_id: spec.r_id });
+    }
+    let mut runs: u64 = 0;
+
+    fn go(
+        arbiter: &Arbiter,
+        restrictors: &[CertificateRestrictor],
+        g: &LabeledGraph,
+        id: &IdAssignment,
+        prefix: &CertificateList,
+        move_idx: usize,
+        runs: &mut u64,
+        limits: &GameLimits,
+    ) -> Result<bool, GameError> {
+        let spec = arbiter.spec();
+        if move_idx == spec.ell {
+            *runs += 1;
+            if *runs > limits.max_runs {
+                return Err(GameError::BudgetExceeded { limit: limits.max_runs });
+            }
+            return Ok(arbiter.accepts(g, id, prefix, &limits.exec)?);
+        }
+        let cap = match &limits.per_move_caps {
+            Some(caps) if move_idx < caps.len() => Some(caps[move_idx]),
+            _ => limits.cert_len_cap,
+        };
+        let budgets = spec.budgets(g, id, cap);
+        let player = spec.player_of_move(move_idx);
+        for k in enumerate_certificates(g, &budgets) {
+            *runs += 1;
+            if *runs > limits.max_runs {
+                return Err(GameError::BudgetExceeded { limit: limits.max_runs });
+            }
+            if !restrictors[move_idx].admits(g, id, prefix, &k, &limits.exec)? {
+                continue;
+            }
+            let sub =
+                go(arbiter, restrictors, g, id, &prefix.extended(k), move_idx + 1, runs, limits)?;
+            match player {
+                Player::Eve if sub => return Ok(true),
+                Player::Adam if !sub => return Ok(false),
+                _ => {}
+            }
+        }
+        Ok(player == Player::Adam)
+    }
+
+    let eve_wins =
+        go(arbiter, restrictors, g, id, &CertificateList::new(), 0, &mut runs, limits)?;
+    Ok(GameResult { eve_wins, runs, winning_first_move: None })
+}
+
+/// The Lemma 8 conversion: wraps a restrictive arbiter and its restrictors
+/// into a machine playable under **unrestricted** certificates.
+///
+/// On a certificate list `κ₁·…·κℓ`, it finds the first move `i` whose
+/// restrictor rejects at some node; that node (and only code paths through
+/// it) overrides its verdict with `reject` if move `i` belongs to Eve and
+/// `accept` if it belongs to Adam; violation-unaware nodes keep the inner
+/// arbiter's verdict, which local repairability legitimizes.
+pub struct PermissiveArbiter {
+    inner: Arbiter,
+    restrictors: Vec<CertificateRestrictor>,
+}
+
+impl PermissiveArbiter {
+    /// Builds the conversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of restrictors differs from the inner arbiter's
+    /// `ℓ`.
+    pub fn new(inner: Arbiter, restrictors: Vec<CertificateRestrictor>) -> Self {
+        assert_eq!(restrictors.len(), inner.spec().ell, "one restrictor per move");
+        PermissiveArbiter { inner, restrictors }
+    }
+}
+
+impl Arbitrating for PermissiveArbiter {
+    fn spec(&self) -> &GameSpec {
+        self.inner.spec()
+    }
+
+    fn accepts(
+        &self,
+        g: &LabeledGraph,
+        id: &IdAssignment,
+        certs: &CertificateList,
+        limits: &ExecLimits,
+    ) -> Result<bool, MachineError> {
+        let spec = self.inner.spec();
+        // Per-node verdicts of the inner arbiter.
+        let base = self.inner.run(g, id, certs, limits)?.verdicts;
+        // For each node: the first violated restriction, if any.
+        let mut first_violation: Vec<Option<usize>> = vec![None; g.node_count()];
+        for i in 0..spec.ell {
+            let prefix: CertificateList = certs.iter().take(i).cloned().collect();
+            let Some(candidate) = certs.get(i) else { break };
+            let v = self.restrictors[i].verdicts(g, id, &prefix, candidate, limits)?;
+            for u in g.nodes() {
+                if first_violation[u.0].is_none() && !v[u.0] {
+                    first_violation[u.0] = Some(i);
+                }
+            }
+        }
+        let verdicts: Vec<bool> = g
+            .nodes()
+            .map(|u| match first_violation[u.0] {
+                Some(i) => spec.player_of_move(i) == Player::Adam,
+                None => base[u.0],
+            })
+            .collect();
+        Ok(verdicts.iter().all(|&v| v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::decide_game;
+    use lph_graphs::{generators, BitString, PolyBound};
+    use lph_machine::{LocalAlgorithm, NodeCtx, NodeInput, NodeProgram, RoundAction};
+
+    /// Restrictor demanding the last certificate be exactly one bit.
+    fn one_bit_restrictor(spec: GameSpec) -> CertificateRestrictor {
+        struct R;
+        impl LocalAlgorithm for R {
+            fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
+                let ok = input.certificates.last().map(BitString::len) == Some(1);
+                Box::new(move |ctx: &mut NodeCtx, _r: usize, _i: &[BitString]| {
+                    ctx.charge(1);
+                    RoundAction::verdict(ok)
+                })
+            }
+        }
+        CertificateRestrictor::new(Arbiter::from_local("one-bit", spec, R))
+    }
+
+    /// Arbiter: accepts iff the (single) certificate bit equals the label
+    /// bit — but *any* certificate longer than 1 bit counts as accept,
+    /// which without restriction would let Eve cheat.
+    fn cheatable_arbiter() -> Arbiter {
+        struct A;
+        impl LocalAlgorithm for A {
+            fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
+                let cert = input.certificates.first().cloned().unwrap_or_default();
+                let ok = cert.len() > 1 || cert == input.label;
+                Box::new(move |ctx: &mut NodeCtx, _r: usize, _i: &[BitString]| {
+                    ctx.charge(1);
+                    RoundAction::verdict(ok)
+                })
+            }
+        }
+        Arbiter::from_local(
+            "cheatable",
+            GameSpec::sigma(1, 1, 1, PolyBound::linear(0, 1)),
+            A,
+        )
+    }
+
+    #[test]
+    fn restriction_changes_the_decided_property() {
+        let g = generators::labeled_path(&["1", "00"]); // label "00" ≠ any 1-bit cert
+        let id = IdAssignment::global(&g);
+        let lim = GameLimits { cert_len_cap: Some(2), ..GameLimits::default() };
+        // Unrestricted: Eve cheats with 2-bit certificates.
+        let arb = cheatable_arbiter();
+        assert!(decide_game(&arb, &g, &id, &lim).unwrap().eve_wins);
+        // Restricted to 1-bit certificates: no certificate matches "00".
+        let restr = vec![one_bit_restrictor(arb.spec().clone())];
+        assert!(!decide_restricted_game(&arb, &restr, &g, &id, &lim).unwrap().eve_wins);
+    }
+
+    #[test]
+    fn trivial_restrictor_changes_nothing() {
+        let g = generators::labeled_path(&["1", "0"]);
+        let id = IdAssignment::global(&g);
+        let lim = GameLimits { cert_len_cap: Some(2), ..GameLimits::default() };
+        let arb = cheatable_arbiter();
+        let free = decide_game(&arb, &g, &id, &lim).unwrap().eve_wins;
+        let restr = vec![CertificateRestrictor::trivial(arb.spec().clone())];
+        let restricted =
+            decide_restricted_game(&arb, &restr, &g, &id, &lim).unwrap().eve_wins;
+        assert_eq!(free, restricted);
+    }
+
+    #[test]
+    fn one_bit_restrictor_is_locally_repairable() {
+        let g = generators::path(3);
+        let id = IdAssignment::global(&g);
+        let spec = GameSpec::sigma(1, 1, 1, PolyBound::linear(0, 1));
+        let restr = one_bit_restrictor(spec);
+        // A candidate with one bad certificate (empty) at node 1.
+        let candidate = CertificateAssignment::from_vec(
+            &g,
+            vec![
+                BitString::from_bits01("0"),
+                BitString::new(),
+                BitString::from_bits01("1"),
+            ],
+        )
+        .unwrap();
+        let ok = check_local_repairability(
+            &restr,
+            &g,
+            &id,
+            &CertificateList::new(),
+            &candidate,
+            &[2, 2, 2],
+            &ExecLimits::default(),
+        )
+        .unwrap();
+        assert!(ok, "the empty certificate can be repaired to a 1-bit one");
+    }
+
+    #[test]
+    fn global_restrictor_is_not_locally_repairable() {
+        // A restrictor demanding that *some other* node has certificate
+        // length 1 cannot be repaired locally at the rejecting node: the
+        // rejecting node's verdict depends on its neighbor's certificate.
+        struct R;
+        impl LocalAlgorithm for R {
+            fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
+                let mine = input.certificates.last().cloned().unwrap_or_default();
+                Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+                    ctx.charge(1);
+                    match round {
+                        1 => RoundAction::Send(vec![mine.clone(); inbox.len()]),
+                        _ => RoundAction::verdict(
+                            inbox.iter().all(|m| m.len() == 1),
+                        ),
+                    }
+                })
+            }
+        }
+        let spec = GameSpec::sigma(1, 1, 1, PolyBound::linear(0, 1));
+        let restr = CertificateRestrictor::new(Arbiter::from_local("nbr", spec, R));
+        let g = generators::path(2);
+        let id = IdAssignment::global(&g);
+        let candidate = CertificateAssignment::from_vec(
+            &g,
+            vec![BitString::new(), BitString::from_bits01("1")],
+        )
+        .unwrap();
+        // Node 1 rejects (its neighbor's certificate is empty), and no
+        // change of node 1's own certificate can fix that.
+        let ok = check_local_repairability(
+            &restr,
+            &g,
+            &id,
+            &CertificateList::new(),
+            &candidate,
+            &[2, 2],
+            &ExecLimits::default(),
+        )
+        .unwrap();
+        assert!(!ok);
+    }
+
+    #[test]
+    fn lemma8_wrapper_agrees_with_the_restricted_game() {
+        // The permissive wrapper of (cheatable arbiter + one-bit
+        // restrictor) must decide the same property as the restricted game.
+        let lim = GameLimits { cert_len_cap: Some(2), ..GameLimits::default() };
+        for labels in [["1", "0"], ["1", "00"], ["0", "11"]] {
+            let g = generators::labeled_path(&labels);
+            let id = IdAssignment::global(&g);
+            let arb = cheatable_arbiter();
+            let restr = vec![one_bit_restrictor(arb.spec().clone())];
+            let restricted =
+                decide_restricted_game(&arb, &restr, &g, &id, &lim).unwrap().eve_wins;
+            let arb2 = cheatable_arbiter();
+            let wrapper = PermissiveArbiter::new(
+                arb2,
+                vec![one_bit_restrictor(cheatable_arbiter().spec().clone())],
+            );
+            let permissive = decide_game(&wrapper, &g, &id, &lim).unwrap().eve_wins;
+            assert_eq!(restricted, permissive, "labels {labels:?}");
+        }
+    }
+}

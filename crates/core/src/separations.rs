@@ -1,0 +1,333 @@
+//! Executable separation constructions (Section 9.1).
+//!
+//! * [`prop21_fooling_pair`] — Proposition 21 (`LP ⊊ NLP`): an odd cycle
+//!   `G` and the even cycle `G'` obtained by gluing two copies of it,
+//!   sharing an identifier assignment such that **every** deterministic
+//!   machine reaches node-wise identical verdicts on both — while only
+//!   `G'` is 2-colorable.
+//! * [`splice_cycle`] / [`pump_views`] — the cut-and-splice pumping of
+//!   Proposition 23 (`coLP ⊄ NLP`): two nodes of a labeled cycle with
+//!   identical radius-`r` views (labels, identifiers, certificates) are
+//!   identified, removing the arc between them; every surviving node keeps
+//!   its exact view, so any verifier's verdicts transfer.
+
+use lph_graphs::{
+    BitString, CertificateAssignment, CertificateList, GraphError, IdAssignment, LabeledGraph,
+};
+use lph_machine::{ExecLimits, LocalOutcome, MachineError};
+
+use crate::arbiter::Arbiter;
+
+/// The Proposition 21 construction: for an odd `n > 4·r_id + 1`, returns
+/// `(G, id, G', id')` where `G = C_n` (unlabeled, i.e. all labels `1`),
+/// `G'` is the "glued" cycle `C_{2n}`, and `id'` duplicates `id` on both
+/// copies. `id` is `r_id`-locally unique on both.
+///
+/// # Panics
+///
+/// Panics if `n` is even or too small for the radius.
+pub fn prop21_fooling_pair(
+    n: usize,
+    r_id: usize,
+) -> (LabeledGraph, IdAssignment, LabeledGraph, IdAssignment) {
+    assert!(n % 2 == 1, "the proof needs an odd cycle");
+    assert!(n > 4 * r_id + 1, "n must exceed 4·r_id + 1 so ids can repeat");
+    let g = lph_graphs::generators::cycle(n);
+    // Identifiers 0..n−1 around the cycle (globally unique on G).
+    let width = (usize::BITS as usize - (n - 1).leading_zeros() as usize).max(1);
+    let id = IdAssignment::from_vec(
+        &g,
+        (0..n).map(|i| BitString::from_usize(i, width)).collect(),
+    )
+    .expect("one id per node");
+    let g2 = lph_graphs::generators::cycle(2 * n);
+    let id2 = IdAssignment::from_vec(
+        &g2,
+        (0..2 * n).map(|i| BitString::from_usize(i % n, width)).collect(),
+    )
+    .expect("one id per node");
+    debug_assert!(id.is_locally_unique(&g, r_id));
+    debug_assert!(id2.is_locally_unique(&g2, r_id));
+    (g, id, g2, id2)
+}
+
+/// Runs an arbiter on both members of a fooling pair with the empty
+/// certificate list and reports whether the verdicts coincide node-wise
+/// (node `i` of `G'` compared against node `i mod n` of `G`) — which
+/// Proposition 21 guarantees for every machine.
+///
+/// # Errors
+///
+/// Propagates execution errors.
+pub fn verdicts_coincide_on_pair(
+    arbiter: &Arbiter,
+    pair: &(LabeledGraph, IdAssignment, LabeledGraph, IdAssignment),
+    limits: &ExecLimits,
+) -> Result<bool, MachineError> {
+    let (g, id, g2, id2) = pair;
+    let empty = CertificateList::new();
+    let out1: LocalOutcome = arbiter.run(g, id, &empty, limits)?;
+    let out2: LocalOutcome = arbiter.run(g2, id2, &empty, limits)?;
+    let n = g.node_count();
+    Ok((0..g2.node_count()).all(|i| out2.verdicts[i] == out1.verdicts[i % n]))
+}
+
+/// Checks the identifier-independence requirement of the hierarchy's
+/// definition (Section 4): the game outcome on `(G, id)` must be the same
+/// for every admissible identifier assignment. Returns the common outcome,
+/// or `None` if two assignments disagree (i.e. the machine is *not* a
+/// valid arbiter).
+///
+/// # Errors
+///
+/// Propagates game errors.
+pub fn game_outcome_id_independent(
+    arbiter: &Arbiter,
+    g: &LabeledGraph,
+    ids: &[IdAssignment],
+    limits: &crate::GameLimits,
+) -> Result<Option<bool>, crate::GameError> {
+    let mut outcome: Option<bool> = None;
+    for id in ids {
+        let res = crate::decide_game(arbiter, g, id, limits)?;
+        match outcome {
+            None => outcome = Some(res.eve_wins),
+            Some(prev) if prev != res.eve_wins => return Ok(None),
+            _ => {}
+        }
+    }
+    Ok(outcome)
+}
+
+/// A labeled cycle together with an identifier and certificate assignment,
+/// as used in the proof of Proposition 23.
+#[derive(Debug, Clone)]
+pub struct CycleConfig {
+    /// Node labels around the cycle.
+    pub labels: Vec<BitString>,
+    /// Identifiers around the cycle.
+    pub ids: Vec<BitString>,
+    /// Certificates around the cycle (a single Eve move).
+    pub certs: Vec<BitString>,
+}
+
+impl CycleConfig {
+    /// The number of nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the configuration is empty (it never is for valid cycles).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Materializes the cycle graph with its assignments.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fewer than 3 nodes are configured.
+    pub fn build(
+        &self,
+    ) -> Result<(LabeledGraph, IdAssignment, CertificateList), GraphError> {
+        if self.len() < 3 {
+            return Err(GraphError::EmptyGraph);
+        }
+        let g = lph_graphs::generators::labeled_cycle_bits(self.labels.clone());
+        let id = IdAssignment::from_vec(&g, self.ids.clone())?;
+        let k = CertificateAssignment::from_vec(&g, self.certs.clone())?;
+        Ok((g, id, CertificateList::from_assignments(vec![k])))
+    }
+
+    /// The *view* of node `i` at radius `r`: the sequence of
+    /// (label, id, certificate) triples of the nodes `i−r, …, i, …, i+r`
+    /// around the cycle.
+    pub fn view(&self, i: usize, r: usize) -> Vec<(BitString, BitString, BitString)> {
+        let n = self.len();
+        (0..=2 * r)
+            .map(|k| {
+                let j = (i + n + k - r) % n;
+                (self.labels[j].clone(), self.ids[j].clone(), self.certs[j].clone())
+            })
+            .collect()
+    }
+
+    /// Finds two distinct positions with identical radius-`r` views whose
+    /// distance along the cycle exceeds `2r` (so the splice leaves a valid
+    /// cycle), preferring pairs whose *surviving arc* (from the first to
+    /// the second position going forward) avoids `avoid`.
+    pub fn find_twin_views(&self, r: usize, avoid: usize) -> Option<(usize, usize)> {
+        let n = self.len();
+        for i in 0..n {
+            for j in i + 1..n {
+                let forward_gap = j - i;
+                let backward_gap = n - forward_gap;
+                if forward_gap <= 2 * r + 1 || backward_gap <= 2 * r + 1 {
+                    continue;
+                }
+                // The surviving arc is i..=j (forward); it must avoid the
+                // distinguished node.
+                let avoided = !(i <= avoid && avoid <= j);
+                if avoided && self.view(i, r) == self.view(j, r) {
+                    return Some((i, j));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Cut-and-splice (Proposition 23): given twin positions `i < j` with
+/// identical radius-`r` views, keeps the arc `i..j` (identifying `i` with
+/// `j`) and discards the rest. Every surviving node's radius-`r` view in
+/// the new cycle equals its view in the old one.
+///
+/// # Panics
+///
+/// Panics if the surviving arc is shorter than 3 nodes.
+pub fn splice_cycle(config: &CycleConfig, i: usize, j: usize) -> CycleConfig {
+    assert!(i < j && j < config.len());
+    let take = |v: &Vec<BitString>| -> Vec<BitString> { v[i..j].to_vec() };
+    let out = CycleConfig {
+        labels: take(&config.labels),
+        ids: take(&config.ids),
+        certs: take(&config.certs),
+    };
+    assert!(out.len() >= 3, "spliced cycle too short");
+    out
+}
+
+/// Verifies the pumping invariant: every node of the spliced configuration
+/// has the same radius-`r` view as the corresponding node of the original.
+pub fn pump_views(original: &CycleConfig, spliced: &CycleConfig, i: usize, r: usize) -> bool {
+    (0..spliced.len()).all(|k| spliced.view(k, r) == original.view(i + k, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiters;
+    use lph_machine::machines;
+
+    #[test]
+    fn fooling_pair_shapes() {
+        let (g, id, g2, id2) = prop21_fooling_pair(7, 1);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g2.node_count(), 14);
+        assert!(id.is_locally_unique(&g, 1));
+        assert!(id2.is_locally_unique(&g2, 1));
+        // The duplicated ids are NOT globally unique on G'.
+        assert!(!id2.is_locally_unique(&g2, 7));
+    }
+
+    #[test]
+    fn every_machine_is_fooled_on_the_pair() {
+        // Proposition 21's key invariant, checked on three very different
+        // machines: verdicts coincide node-wise between C_n and C_2n.
+        let pair = prop21_fooling_pair(7, 1);
+        let lim = ExecLimits::default();
+        for arb in [
+            arbiters::all_selected_decider(),
+            arbiters::eulerian_decider(),
+            Arbiter::from_tm(
+                "coloring",
+                crate::GameSpec::sigma(0, 1, 1, lph_graphs::PolyBound::constant(0)),
+                machines::proper_coloring_verifier(),
+            ),
+        ] {
+            assert!(
+                verdicts_coincide_on_pair(&arb, &pair, &lim).unwrap(),
+                "machine {} distinguished the fooling pair",
+                arb.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ground_truth_differs_on_the_pair() {
+        // …while 2-colorability tells them apart: that is the separation.
+        let (g, _, g2, _) = prop21_fooling_pair(11, 2);
+        assert!(!lph_props::is_k_colorable(&g, 2));
+        assert!(lph_props::is_k_colorable(&g2, 2));
+    }
+
+    #[test]
+    fn game_outcomes_are_id_independent() {
+        use crate::GameLimits;
+        let g = lph_graphs::generators::cycle(5);
+        let n = g.node_count();
+        let ids: Vec<IdAssignment> = vec![
+            IdAssignment::global(&g),
+            IdAssignment::from_vec(
+                &g,
+                (0..n).map(|i| BitString::from_usize(n - 1 - i, 3)).collect(),
+            )
+            .unwrap(),
+            IdAssignment::small(&g, 1),
+        ];
+        let lim = GameLimits { cert_len_cap: Some(2), ..GameLimits::default() };
+        let arb = crate::arbiters::three_colorable_verifier();
+        let outcome = game_outcome_id_independent(&arb, &g, &ids, &lim).unwrap();
+        assert_eq!(outcome, Some(true), "C5 is 3-colorable under every id assignment");
+    }
+
+    fn pointer_config(n: usize, unselected: usize, m: usize) -> CycleConfig {
+        // Labels: all 1 except `unselected`; ids cyclic with period m;
+        // certificates: every selected node points "clockwise" (to the id
+        // of its successor), the unselected one points nowhere.
+        let width = 4;
+        CycleConfig {
+            labels: (0..n)
+                .map(|i| BitString::from_bits01(if i == unselected { "0" } else { "1" }))
+                .collect(),
+            ids: (0..n).map(|i| BitString::from_usize(i % m, width)).collect(),
+            certs: (0..n)
+                .map(|i| {
+                    if i == unselected {
+                        BitString::new()
+                    } else {
+                        BitString::from_usize((i + 1) % m, width)
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn twin_views_exist_on_long_cycles() {
+        // Period-5 ids and clockwise pointers repeat every 5 nodes, so a
+        // cycle of length 25 has twin views far from the unselected node.
+        let cfg = pointer_config(25, 0, 5);
+        let (i, j) = cfg.find_twin_views(1, 0).expect("twins exist");
+        assert_eq!(cfg.view(i, 1), cfg.view(j, 1));
+        assert!(j - i > 3);
+    }
+
+    #[test]
+    fn splice_preserves_views_and_fools_the_pointer_verifier() {
+        let cfg = pointer_config(25, 0, 5);
+        let (i, j) = cfg.find_twin_views(1, 0).expect("twins exist");
+        let spliced = splice_cycle(&cfg, i, j);
+        assert!(pump_views(&cfg, &spliced, i, 1), "views must be preserved");
+        // The original is a genuine yes-instance accepted by the pointer
+        // verifier under these certificates…
+        let arb = arbiters::pointer_to_unselected_verifier();
+        let (g, id, certs) = cfg.build().unwrap();
+        assert!(arb.accepts(&g, &id, &certs, &ExecLimits::default()).unwrap());
+        // …and the spliced all-selected cycle is still accepted: the
+        // verifier is *fooled*, exhibiting NOT-ALL-SELECTED ∉ NLP.
+        let (g2, id2, certs2) = spliced.build().unwrap();
+        assert!(
+            spliced.labels.iter().all(|l| *l == BitString::from_bits01("1")),
+            "the unselected node was spliced away"
+        );
+        assert!(arb.accepts(&g2, &id2, &certs2, &ExecLimits::default()).unwrap());
+    }
+
+    #[test]
+    fn splice_requires_room() {
+        let cfg = pointer_config(25, 0, 5);
+        // Positions closer than 2r+1 are never returned as twins.
+        assert!(cfg.find_twin_views(12, 0).is_none());
+    }
+}

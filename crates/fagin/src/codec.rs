@@ -1,0 +1,375 @@
+//! Wire formats used by the compiled arbiters:
+//!
+//! * **Node records** — what the flooding protocol exchanges so every node
+//!   can reconstruct its `r`-neighborhood (id, label, certificates, and the
+//!   sorted neighbor ids — exactly the information a machine accumulates in
+//!   `r` rounds).
+//! * **Relation certificates** — the anchored-tuple encoding of quantified
+//!   relations from the proof of Theorem 12: node `u`'s certificate for a
+//!   quantifier block lists, per relation, the tuples whose first element
+//!   is owned by `u`, with elements referenced by their owner's locally
+//!   unique identifier.
+//!
+//! All payloads are ASCII text embedded into bit strings byte-wise; the
+//! grammar uses only characters outside the `0`/`1` data alphabet as
+//! delimiters.
+
+use std::collections::BTreeMap;
+
+use lph_graphs::{BitString, ElemId, ElemKind, GraphStructure, LabeledGraph, NodeId};
+use lph_logic::SoVar;
+
+/// A flooded record describing one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeRecord {
+    /// The node's identifier.
+    pub id: BitString,
+    /// The node's label.
+    pub label: BitString,
+    /// The node's certificates (one per move played).
+    pub certs: Vec<BitString>,
+    /// Identifiers of the node's neighbors.
+    pub neighbor_ids: Vec<BitString>,
+}
+
+fn bits01(b: &BitString) -> String {
+    b.iter().map(|x| if x { '1' } else { '0' }).collect()
+}
+
+fn parse_bits(s: &str) -> Option<BitString> {
+    BitString::try_from_bits01(s).ok()
+}
+
+impl NodeRecord {
+    /// Serializes the record (`I<id>~L<label>~C.<c1>.<c2>…~N.<n1>.<n2>…`);
+    /// each certificate/neighbor entry is *prefixed* by `.` so that empty
+    /// entries survive the round trip.
+    pub fn encode(&self) -> String {
+        let dot_list = |items: &[BitString]| -> String {
+            items.iter().map(|b| format!(".{}", bits01(b))).collect()
+        };
+        format!(
+            "I{}~L{}~C{}~N{}",
+            bits01(&self.id),
+            bits01(&self.label),
+            dot_list(&self.certs),
+            dot_list(&self.neighbor_ids),
+        )
+    }
+
+    /// Parses a record.
+    pub fn decode(s: &str) -> Option<NodeRecord> {
+        fn dot_list(rest: &str) -> Option<Vec<BitString>> {
+            let parts: Vec<&str> = rest.split('.').collect();
+            if parts[0] != "" {
+                return None; // entries are dot-prefixed
+            }
+            parts[1..].iter().map(|p| parse_bits(p)).collect()
+        }
+        let mut id = None;
+        let mut label = None;
+        let mut certs = None;
+        let mut nbrs = None;
+        for field in s.split('~') {
+            if field.is_empty() {
+                return None;
+            }
+            let (tag, rest) = field.split_at(1);
+            match tag {
+                "I" => id = parse_bits(rest),
+                "L" => label = parse_bits(rest),
+                "C" => certs = dot_list(rest),
+                "N" => nbrs = dot_list(rest),
+                _ => return None,
+            }
+        }
+        Some(NodeRecord {
+            id: id?,
+            label: label?,
+            certs: certs?,
+            neighbor_ids: nbrs?,
+        })
+    }
+}
+
+/// Serializes a set of records (joined by `/`) into a message bit string.
+pub fn encode_records(records: &[NodeRecord]) -> BitString {
+    let text: Vec<String> = records.iter().map(NodeRecord::encode).collect();
+    BitString::from_bytes(text.join("/").as_bytes())
+}
+
+/// Parses a message produced by [`encode_records`]; `None` on any malformed
+/// record.
+pub fn decode_records(msg: &BitString) -> Option<Vec<NodeRecord>> {
+    let bytes = msg.to_bytes()?;
+    let text = String::from_utf8(bytes).ok()?;
+    if text.is_empty() {
+        return Some(Vec::new());
+    }
+    text.split('/').map(NodeRecord::decode).collect()
+}
+
+/// Reconstructs the ball of radius `r` around the record with identifier
+/// `center` from a pool of records: a [`LabeledGraph`] (local indices),
+/// the per-node identifiers, and the per-node certificate lists.
+///
+/// Records are deduplicated by identifier (they are consistent within a
+/// locally unique ball); edges require at least one endpoint to list the
+/// other.
+pub fn assemble_ball(
+    records: &[NodeRecord],
+    center: &BitString,
+    r: usize,
+) -> Option<(LabeledGraph, Vec<BitString>, Vec<Vec<BitString>>, NodeId)> {
+    let mut by_id: BTreeMap<BitString, &NodeRecord> = BTreeMap::new();
+    for rec in records {
+        by_id.entry(rec.id.clone()).or_insert(rec);
+    }
+    by_id.get(center)?;
+    // BFS from the center through neighbor ids, limited to depth r.
+    let mut order: Vec<BitString> = vec![center.clone()];
+    let mut depth: BTreeMap<BitString, usize> = BTreeMap::new();
+    depth.insert(center.clone(), 0);
+    let mut head = 0;
+    while head < order.len() {
+        let cur = order[head].clone();
+        head += 1;
+        let d = depth[&cur];
+        if d == r {
+            continue;
+        }
+        if let Some(rec) = by_id.get(&cur) {
+            for nb in &rec.neighbor_ids {
+                if by_id.contains_key(nb) && !depth.contains_key(nb) {
+                    depth.insert(nb.clone(), d + 1);
+                    order.push(nb.clone());
+                }
+            }
+        }
+    }
+    let index: BTreeMap<&BitString, usize> =
+        order.iter().enumerate().map(|(i, id)| (id, i)).collect();
+    let mut edges = Vec::new();
+    for (i, idb) in order.iter().enumerate() {
+        let rec = by_id[idb];
+        for nb in &rec.neighbor_ids {
+            if let Some(&j) = index.get(nb) {
+                if i < j {
+                    edges.push((i, j));
+                }
+            }
+        }
+    }
+    let labels: Vec<BitString> = order.iter().map(|idb| by_id[idb].label.clone()).collect();
+    let graph = LabeledGraph::from_edges(labels, &edges).ok()?;
+    let ids: Vec<BitString> = order.clone();
+    let certs: Vec<Vec<BitString>> =
+        order.iter().map(|idb| by_id[idb].certs.clone()).collect();
+    Some((graph, ids, certs, NodeId(0)))
+}
+
+/// Describes an element of a structural representation by its owner's
+/// identifier: `n<id>` for nodes, `b<id>p<pos>` for labeling bits.
+pub fn elem_descriptor(gs: &GraphStructure, ids: &[BitString], e: ElemId) -> String {
+    match gs.kind(e) {
+        ElemKind::Node(v) => format!("n{}", bits01(&ids[v.0])),
+        ElemKind::Bit { node, pos } => format!("b{}p{pos}", bits01(&ids[node.0])),
+    }
+}
+
+/// Resolves a descriptor against a reconstructed ball; `None` if the id is
+/// unknown or the bit position out of range.
+pub fn resolve_descriptor(
+    gs: &GraphStructure,
+    ids: &[BitString],
+    descr: &str,
+) -> Option<ElemId> {
+    if let Some(rest) = descr.strip_prefix('n') {
+        let id = parse_bits(rest)?;
+        let v = ids.iter().position(|i| *i == id)?;
+        Some(gs.node_elem(NodeId(v)))
+    } else if let Some(rest) = descr.strip_prefix('b') {
+        let (id_part, pos_part) = rest.split_once('p')?;
+        let id = parse_bits(id_part)?;
+        let pos: usize = pos_part.parse().ok()?;
+        let v = ids.iter().position(|i| *i == id)?;
+        gs.bit_elem(NodeId(v), pos)
+    } else {
+        None
+    }
+}
+
+/// One node's share of an interpretation: per relation variable, the tuples
+/// anchored at that node (first element owned by it).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RelationShare {
+    /// `(relation, tuples as descriptor vectors)` in block order.
+    pub relations: Vec<(SoVar, Vec<Vec<String>>)>,
+}
+
+impl RelationShare {
+    /// Serializes (`R<i>a<k>:t1,t2|t1,t2;…`).
+    pub fn encode(&self) -> BitString {
+        let parts: Vec<String> = self
+            .relations
+            .iter()
+            .map(|(var, tuples)| {
+                let ts: Vec<String> = tuples.iter().map(|t| t.join(",")).collect();
+                format!("R{}a{}:{}", var.index, var.arity, ts.join("|"))
+            })
+            .collect();
+        BitString::from_bytes(parts.join(";").as_bytes())
+    }
+
+    /// Parses a certificate back into a share; `None` if malformed or not
+    /// matching the expected block variables (in order).
+    pub fn decode(cert: &BitString, block: &[SoVar]) -> Option<RelationShare> {
+        let text = String::from_utf8(cert.to_bytes()?).ok()?;
+        let parts: Vec<&str> = if text.is_empty() {
+            Vec::new()
+        } else {
+            text.split(';').collect()
+        };
+        if parts.len() != block.len() {
+            return None;
+        }
+        let mut relations = Vec::new();
+        for (part, &var) in parts.iter().zip(block) {
+            let (head, body) = part.split_once(':')?;
+            if head != format!("R{}a{}", var.index, var.arity) {
+                return None;
+            }
+            let tuples: Vec<Vec<String>> = if body.is_empty() {
+                Vec::new()
+            } else {
+                body.split('|')
+                    .map(|t| t.split(',').map(str::to_owned).collect::<Vec<String>>())
+                    .collect()
+            };
+            if tuples.iter().any(|t| t.len() != var.arity as usize) {
+                return None;
+            }
+            relations.push((var, tuples));
+        }
+        Some(RelationShare { relations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lph_graphs::generators;
+
+    fn rec(id: &str, label: &str, certs: &[&str], nbrs: &[&str]) -> NodeRecord {
+        NodeRecord {
+            id: BitString::from_bits01(id),
+            label: BitString::from_bits01(label),
+            certs: certs.iter().map(|c| BitString::from_bits01(c)).collect(),
+            neighbor_ids: nbrs.iter().map(|c| BitString::from_bits01(c)).collect(),
+        }
+    }
+
+    #[test]
+    fn record_round_trip() {
+        for r in [
+            rec("01", "1", &["10", ""], &["00", "10"]),
+            rec("0", "", &[], &[]),
+            rec("111", "0101", &[""], &["0"]),
+        ] {
+            let msg = encode_records(&[r.clone()]);
+            let back = decode_records(&msg).unwrap();
+            assert_eq!(back, vec![r]);
+        }
+    }
+
+    #[test]
+    fn multiple_records_round_trip() {
+        let rs = vec![rec("0", "1", &["1"], &["1"]), rec("1", "0", &["0"], &["0"])];
+        let back = decode_records(&encode_records(&rs)).unwrap();
+        assert_eq!(back, rs);
+    }
+
+    #[test]
+    fn malformed_records_are_rejected() {
+        assert!(decode_records(&BitString::from_bits01("0101")).is_none()); // not bytes
+        let junk = BitString::from_bytes(b"Xnope");
+        assert!(decode_records(&junk).is_none());
+    }
+
+    #[test]
+    fn assemble_ball_reconstructs_a_path() {
+        // Records for a path 00 – 01 – 10, assembling radius 1 around 01.
+        let records = vec![
+            rec("00", "1", &[], &["01"]),
+            rec("01", "0", &[], &["00", "10"]),
+            rec("10", "1", &[], &["01"]),
+        ];
+        let (g, ids, certs, center) =
+            assemble_ball(&records, &BitString::from_bits01("01"), 1).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(center, NodeId(0));
+        assert_eq!(ids[0], BitString::from_bits01("01"));
+        assert!(certs.iter().all(Vec::is_empty));
+        // Radius 0 keeps only the center.
+        let (g0, ..) = assemble_ball(&records, &BitString::from_bits01("01"), 0).unwrap();
+        assert_eq!(g0.node_count(), 1);
+    }
+
+    #[test]
+    fn assemble_ball_ignores_unknown_neighbors() {
+        let records = vec![rec("0", "1", &[], &["1", "110"])]; // 110 unknown… and 1 too
+        let (g, ..) = assemble_ball(&records, &BitString::from_bits01("0"), 2).unwrap();
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn descriptors_round_trip() {
+        let g = generators::labeled_path(&["10", "1"]);
+        let gs = GraphStructure::of(&g);
+        let ids =
+            vec![BitString::from_bits01("0"), BitString::from_bits01("1")];
+        for e in gs.structure().elements() {
+            let d = elem_descriptor(&gs, &ids, e);
+            assert_eq!(resolve_descriptor(&gs, &ids, &d), Some(e), "descriptor {d}");
+        }
+        assert_eq!(resolve_descriptor(&gs, &ids, "n01"), None);
+        assert_eq!(resolve_descriptor(&gs, &ids, "b1p7"), None);
+        assert_eq!(resolve_descriptor(&gs, &ids, "zzz"), None);
+    }
+
+    #[test]
+    fn relation_share_round_trip() {
+        let p = SoVar::binary(0);
+        let x = SoVar::set(1);
+        let share = RelationShare {
+            relations: vec![
+                (p, vec![vec!["n0".into(), "n1".into()], vec!["n0".into(), "n0".into()]]),
+                (x, vec![vec!["b1p1".into()]]),
+            ],
+        };
+        let cert = share.encode();
+        let back = RelationShare::decode(&cert, &[p, x]).unwrap();
+        assert_eq!(back, share);
+    }
+
+    #[test]
+    fn relation_share_rejects_mismatches() {
+        let p = SoVar::binary(0);
+        let share = RelationShare { relations: vec![(p, vec![])] };
+        let cert = share.encode();
+        // Wrong block (different variable).
+        assert!(RelationShare::decode(&cert, &[SoVar::set(0)]).is_none());
+        // Wrong number of relations.
+        assert!(RelationShare::decode(&cert, &[p, SoVar::set(1)]).is_none());
+        // Garbage bits.
+        assert!(RelationShare::decode(&BitString::from_bits01("010"), &[p]).is_none());
+    }
+
+    #[test]
+    fn empty_share_encodes_cleanly() {
+        let share = RelationShare { relations: vec![] };
+        let cert = share.encode();
+        assert_eq!(RelationShare::decode(&cert, &[]).unwrap(), share);
+    }
+}

@@ -1,0 +1,29 @@
+//! The distributed Fagin theorem (Theorems 11 and 12 of *A LOCAL View of
+//! the Polynomial Hierarchy*), made executable in both directions:
+//!
+//! * **Backward** (`formula → machine`), [`compiler`]: any sentence of the
+//!   local second-order hierarchy compiles to a restrictive arbiter whose
+//!   certificates encode the quantified relations (anchored tuple
+//!   encoding); the arbiter floods its `r`-neighborhood, decodes, and
+//!   evaluates the bounded-fragment matrix locally. Together with the game
+//!   solver of `lph-core`, this turns `Σℓ^LFO` sentences into playable
+//!   `Σℓ^LP` games.
+//! * **Forward** (`machine → formula`), [`tableau`]: the space–time-diagram
+//!   encoding at the heart of the proof, realized as the Cook–Levin route
+//!   of Theorem 19 — a one-round distributed Turing machine plus a
+//!   certificate budget become a `SAT-GRAPH` instance whose satisfiability
+//!   is exactly `∃κ: M(G, id, κ) ≡ ACCEPT`.
+//!
+//! The agreement experiments (logical truth ⟺ game acceptance, machine
+//! acceptance ⟺ tableau satisfiability) live in the crate tests and the
+//! workspace integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod compiler;
+pub mod tableau;
+
+pub use compiler::{compile_sentence, relation_moves, CompiledArbiter};
+pub use tableau::{machine_to_sat_graph, TableauBounds};

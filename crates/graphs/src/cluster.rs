@@ -1,0 +1,163 @@
+use crate::{GraphError, LabeledGraph, NodeId};
+
+/// A *cluster map* from a graph `G'` to a graph `G` (Section 8): a function
+/// `g : V(G') → V(G)` such that every edge `{u, v}` of `G'` satisfies
+/// `g(u) = g(v)` or `{g(u), g(v)} ∈ E(G)`.
+///
+/// Cluster maps are the correctness backbone of local-polynomial
+/// reductions: the *cluster* of a node `w ∈ G` is the induced subgraph of
+/// `G'` on the nodes mapped to `w`, and inter-cluster edges may only connect
+/// clusters of adjacent nodes, which is exactly what allows the nodes of `G`
+/// to simulate a distributed algorithm running on `G'`.
+///
+/// # Example
+///
+/// ```
+/// use lph_graphs::{generators, ClusterMap, NodeId};
+///
+/// let g = generators::path(2);
+/// let g_prime = generators::path(4);
+/// // Nodes 0,1 of G' form the cluster of node 0; nodes 2,3 that of node 1.
+/// let map = ClusterMap::new(&g_prime, &g, vec![NodeId(0), NodeId(0), NodeId(1), NodeId(1)]).unwrap();
+/// assert_eq!(map.cluster_nodes(NodeId(0)), vec![NodeId(0), NodeId(1)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterMap {
+    /// `assignment[w']` is the node of `G` that `w' ∈ G'` is mapped to.
+    assignment: Vec<NodeId>,
+    /// Number of nodes of `G` (the codomain).
+    base_nodes: usize,
+}
+
+impl ClusterMap {
+    /// Validates and wraps a cluster assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidClusterMap`] if the assignment has the
+    /// wrong length, maps to an out-of-range node, or violates the edge
+    /// condition.
+    pub fn new(
+        g_prime: &LabeledGraph,
+        g: &LabeledGraph,
+        assignment: Vec<NodeId>,
+    ) -> Result<Self, GraphError> {
+        if assignment.len() != g_prime.node_count() {
+            return Err(GraphError::InvalidClusterMap {
+                reason: format!(
+                    "assignment covers {} nodes but G' has {}",
+                    assignment.len(),
+                    g_prime.node_count()
+                ),
+            });
+        }
+        for (w, &target) in assignment.iter().enumerate() {
+            if target.0 >= g.node_count() {
+                return Err(GraphError::InvalidClusterMap {
+                    reason: format!("node v{w} of G' maps to out-of-range {target}"),
+                });
+            }
+        }
+        for (u, v) in g_prime.edges() {
+            let (gu, gv) = (assignment[u.0], assignment[v.0]);
+            if gu != gv && !g.has_edge(gu, gv) {
+                return Err(GraphError::InvalidClusterMap {
+                    reason: format!(
+                        "edge {{{u}, {v}}} of G' joins clusters of non-adjacent nodes {gu} and {gv}"
+                    ),
+                });
+            }
+        }
+        Ok(ClusterMap { assignment, base_nodes: g.node_count() })
+    }
+
+    /// The image `g(w')` of a node of `G'`.
+    pub fn image(&self, w_prime: NodeId) -> NodeId {
+        self.assignment[w_prime.0]
+    }
+
+    /// The full assignment, indexed by nodes of `G'`.
+    pub fn assignment(&self) -> &[NodeId] {
+        &self.assignment
+    }
+
+    /// The nodes of `G'` forming the cluster of `w ∈ G`, sorted ascending.
+    pub fn cluster_nodes(&self, w: NodeId) -> Vec<NodeId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t == w)
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
+    /// The sizes of all clusters, indexed by nodes of `G`.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0; self.base_nodes];
+        for &t in &self.assignment {
+            sizes[t.0] += 1;
+        }
+        sizes
+    }
+
+    /// Whether every node of `G` has a nonempty cluster (required when the
+    /// reduction must let every original node observe a verdict).
+    pub fn is_surjective(&self) -> bool {
+        self.cluster_sizes().iter().all(|&s| s > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn accepts_valid_map() {
+        let g = generators::path(2);
+        let gp = generators::cycle(4);
+        let map =
+            ClusterMap::new(&gp, &g, vec![NodeId(0), NodeId(0), NodeId(1), NodeId(1)]).unwrap();
+        assert!(map.is_surjective());
+        assert_eq!(map.cluster_sizes(), vec![2, 2]);
+        assert_eq!(map.image(NodeId(3)), NodeId(1));
+    }
+
+    #[test]
+    fn rejects_edge_between_non_adjacent_clusters() {
+        let g = generators::path(3); // 0-1-2: nodes 0 and 2 not adjacent
+        let gp = generators::path(2); // one edge
+        let err = ClusterMap::new(&gp, &g, vec![NodeId(0), NodeId(2)]).unwrap_err();
+        match err {
+            GraphError::InvalidClusterMap { reason } => {
+                assert!(reason.contains("non-adjacent"));
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_length_and_out_of_range() {
+        let g = generators::path(2);
+        let gp = generators::path(2);
+        assert!(ClusterMap::new(&gp, &g, vec![NodeId(0)]).is_err());
+        assert!(ClusterMap::new(&gp, &g, vec![NodeId(0), NodeId(9)]).is_err());
+    }
+
+    #[test]
+    fn intra_cluster_edges_are_always_fine() {
+        let g = generators::path(1); // single node
+        let gp = generators::complete(3);
+        let map = ClusterMap::new(&gp, &g, vec![NodeId(0); 3]).unwrap();
+        assert_eq!(map.cluster_nodes(NodeId(0)).len(), 3);
+    }
+
+    #[test]
+    fn non_surjective_map_detected() {
+        let g = generators::path(2);
+        let gp = generators::path(1);
+        let map = ClusterMap::new(&gp, &g, vec![NodeId(0)]).unwrap();
+        assert!(!map.is_surjective());
+        assert_eq!(map.cluster_nodes(NodeId(1)), vec![]);
+    }
+}

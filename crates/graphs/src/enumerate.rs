@@ -1,0 +1,168 @@
+//! Exhaustive enumeration of small connected graphs and labelings.
+//!
+//! Several of the paper's statements are universally quantified over all
+//! graphs ("for every graph G …"). The experiment harnesses check such
+//! statements exhaustively on every connected graph up to a small size, in
+//! addition to property-based testing on random families. This module
+//! provides those enumerations.
+
+use crate::{BitString, LabeledGraph};
+
+/// Enumerates every connected simple graph on exactly `n` labeled vertices
+/// (all `2^(n choose 2)` edge subsets, filtered for connectivity), with all
+/// node labels set to `"1"`.
+///
+/// The count grows as the number of connected labeled graphs
+/// (1, 1, 1, 4, 38, 728, 26704, …), so keep `n ≤ 6` in tests.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 8` (guard against accidental blow-ups).
+pub fn connected_graphs(n: usize) -> Vec<LabeledGraph> {
+    assert!(n >= 1 && n <= 8, "exhaustive enumeration is limited to 1..=8 nodes");
+    let pairs: Vec<(usize, usize)> =
+        (0..n).flat_map(|i| (i + 1..n).map(move |j| (i, j))).collect();
+    let m = pairs.len();
+    let mut out = Vec::new();
+    for mask in 0u64..(1u64 << m) {
+        let edges: Vec<(usize, usize)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| mask >> k & 1 == 1)
+            .map(|(_, &e)| e)
+            .collect();
+        if let Ok(g) =
+            LabeledGraph::from_edges(vec![BitString::from_bits01("1"); n], &edges)
+        {
+            out.push(g);
+        }
+    }
+    out
+}
+
+/// Enumerates every connected graph with between `1` and `max_n` nodes.
+pub fn connected_graphs_up_to(max_n: usize) -> Vec<LabeledGraph> {
+    (1..=max_n).flat_map(connected_graphs).collect()
+}
+
+/// Enumerates all `2^n` relabelings of `g` where each node independently
+/// receives one of the two given labels.
+pub fn binary_labelings(
+    g: &LabeledGraph,
+    zero: &BitString,
+    one: &BitString,
+) -> Vec<LabeledGraph> {
+    let n = g.node_count();
+    assert!(n <= 20, "2^n labelings; keep n small");
+    (0u64..(1u64 << n))
+        .map(|mask| {
+            let labels = (0..n)
+                .map(|i| if mask >> i & 1 == 1 { one.clone() } else { zero.clone() })
+                .collect();
+            g.with_labels(labels).expect("same node count")
+        })
+        .collect()
+}
+
+/// Enumerates all labelings of `g` drawing each node's label independently
+/// from the given list.
+pub fn labelings_from(g: &LabeledGraph, choices: &[BitString]) -> Vec<LabeledGraph> {
+    let n = g.node_count();
+    let k = choices.len();
+    assert!(k >= 1);
+    let total = k.checked_pow(n as u32).expect("label space too large");
+    assert!(total <= 1 << 22, "label space too large: {total}");
+    (0..total)
+        .map(|mut code| {
+            let labels = (0..n)
+                .map(|_| {
+                    let c = choices[code % k].clone();
+                    code /= k;
+                    c
+                })
+                .collect();
+            g.with_labels(labels).expect("same node count")
+        })
+        .collect()
+}
+
+/// Enumerates all bit strings of length exactly `len`.
+pub fn bitstrings_of_len(len: usize) -> Vec<BitString> {
+    assert!(len <= 24, "2^len strings; keep len small");
+    (0u64..(1u64 << len))
+        .map(|mask| (0..len).map(|i| mask >> i & 1 == 1).collect())
+        .collect()
+}
+
+/// Enumerates all bit strings of length at most `max_len` (including the
+/// empty string), in order of increasing length.
+pub fn bitstrings_up_to(max_len: usize) -> Vec<BitString> {
+    (0..=max_len).flat_map(bitstrings_of_len).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connected_graph_counts_match_oeis_a001187() {
+        // Number of connected labeled graphs on n nodes: 1, 1, 4, 38, 728.
+        assert_eq!(connected_graphs(1).len(), 1);
+        assert_eq!(connected_graphs(2).len(), 1);
+        assert_eq!(connected_graphs(3).len(), 4);
+        assert_eq!(connected_graphs(4).len(), 38);
+        assert_eq!(connected_graphs(5).len(), 728);
+    }
+
+    #[test]
+    fn up_to_accumulates() {
+        assert_eq!(connected_graphs_up_to(4).len(), 1 + 1 + 4 + 38);
+    }
+
+    #[test]
+    fn all_enumerated_graphs_are_valid() {
+        for g in connected_graphs_up_to(4) {
+            assert!(g.node_count() >= 1);
+            // Constructor already validated connectivity; spot-check diameter.
+            let _ = g.diameter();
+        }
+    }
+
+    #[test]
+    fn binary_labelings_cover_all_masks() {
+        let g = crate::generators::path(3);
+        let zero = BitString::from_bits01("0");
+        let one = BitString::from_bits01("1");
+        let all = binary_labelings(&g, &zero, &one);
+        assert_eq!(all.len(), 8);
+        let all_one = all
+            .iter()
+            .filter(|g| g.labels().iter().all(|l| *l == one))
+            .count();
+        assert_eq!(all_one, 1);
+    }
+
+    #[test]
+    fn labelings_from_enumerates_product_space() {
+        let g = crate::generators::path(2);
+        let choices = vec![
+            BitString::new(),
+            BitString::from_bits01("0"),
+            BitString::from_bits01("1"),
+        ];
+        let all = labelings_from(&g, &choices);
+        assert_eq!(all.len(), 9);
+    }
+
+    #[test]
+    fn bitstring_enumerations() {
+        assert_eq!(bitstrings_of_len(0).len(), 1);
+        assert_eq!(bitstrings_of_len(3).len(), 8);
+        assert_eq!(bitstrings_up_to(3).len(), 1 + 2 + 4 + 8);
+        // All distinct.
+        let mut v = bitstrings_up_to(3);
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 15);
+    }
+}

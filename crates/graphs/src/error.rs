@@ -1,0 +1,106 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when constructing or validating graph-related data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The node set was empty (graphs must have at least one node).
+    EmptyGraph,
+    /// An edge endpoint referred to a node index that does not exist.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+    /// An edge was a self-loop, which simple graphs forbid.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: usize,
+    },
+    /// The same edge was given twice (simple graphs have no multi-edges).
+    DuplicateEdge {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// The graph was not connected, as required by the paper's definition.
+    Disconnected,
+    /// An assignment (labels, identifiers, certificates) had the wrong length.
+    AssignmentLengthMismatch {
+        /// Expected number of entries (the node count).
+        expected: usize,
+        /// Number of entries provided.
+        found: usize,
+    },
+    /// A cluster map violated the adjacency condition of Section 8.
+    InvalidClusterMap {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A string contained a character other than `0`, `1` (or `#` where
+    /// separators are allowed).
+    InvalidSymbol {
+        /// The offending character.
+        found: char,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EmptyGraph => write!(f, "graph must contain at least one node"),
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node index {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop at node {node} is not allowed in a simple graph")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate edge {{{u}, {v}}} is not allowed in a simple graph")
+            }
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::AssignmentLengthMismatch { expected, found } => {
+                write!(f, "assignment has {found} entries but the graph has {expected} nodes")
+            }
+            GraphError::InvalidClusterMap { reason } => {
+                write!(f, "invalid cluster map: {reason}")
+            }
+            GraphError::InvalidSymbol { found } => {
+                write!(f, "invalid symbol {found:?}; expected '0' or '1'")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = GraphError::Disconnected;
+        let s = e.to_string();
+        assert!(s.starts_with("graph is not connected"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<GraphError>();
+    }
+
+    #[test]
+    fn display_mentions_offending_data() {
+        let e = GraphError::NodeOutOfRange { node: 7, node_count: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+        let e = GraphError::DuplicateEdge { u: 1, v: 2 };
+        assert!(e.to_string().contains("{1, 2}"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Constructors for the instance families used throughout the experiments:
+//! paths, cycles, stars, complete graphs, grids, trees, and seeded random
+//! connected graphs.
+//!
+//! Unless stated otherwise, every node is labeled `"1"` (the *selected*
+//! label of `ALL-SELECTED`); the `labeled_*` variants take explicit labels.
+
+use crate::{BitString, LabeledGraph};
+
+fn unit_labels(n: usize) -> Vec<BitString> {
+    vec![BitString::from_bits01("1"); n]
+}
+
+fn parse_labels(labels: &[&str]) -> Vec<BitString> {
+    labels.iter().map(|s| BitString::from_bits01(s)).collect()
+}
+
+/// The path graph `P_n` on `n ≥ 1` nodes.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> LabeledGraph {
+    labeled_path_bits(unit_labels(n))
+}
+
+/// A path with explicit labels, one `&str` of `0`/`1` per node.
+pub fn labeled_path(labels: &[&str]) -> LabeledGraph {
+    labeled_path_bits(parse_labels(labels))
+}
+
+/// A path with explicit [`BitString`] labels.
+pub fn labeled_path_bits(labels: Vec<BitString>) -> LabeledGraph {
+    let n = labels.len();
+    let edges: Vec<(usize, usize)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    LabeledGraph::from_edges(labels, &edges).expect("paths are valid graphs")
+}
+
+/// The cycle graph `C_n` on `n ≥ 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (cycles of length < 3 are not simple graphs).
+pub fn cycle(n: usize) -> LabeledGraph {
+    labeled_cycle_bits(unit_labels(n))
+}
+
+/// A cycle with explicit labels, one `&str` of `0`/`1` per node.
+pub fn labeled_cycle(labels: &[&str]) -> LabeledGraph {
+    labeled_cycle_bits(parse_labels(labels))
+}
+
+/// A cycle with explicit [`BitString`] labels.
+///
+/// # Panics
+///
+/// Panics if fewer than 3 labels are given.
+pub fn labeled_cycle_bits(labels: Vec<BitString>) -> LabeledGraph {
+    let n = labels.len();
+    assert!(n >= 3, "cycles need at least 3 nodes, got {n}");
+    let mut edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    edges.push((n - 1, 0));
+    LabeledGraph::from_edges(labels, &edges).expect("cycles are valid graphs")
+}
+
+/// The star graph on `n ≥ 2` nodes: node 0 is the center.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> LabeledGraph {
+    assert!(n >= 2, "stars need at least 2 nodes, got {n}");
+    let edges: Vec<(usize, usize)> = (1..n).map(|i| (0, i)).collect();
+    LabeledGraph::from_edges(unit_labels(n), &edges).expect("stars are valid graphs")
+}
+
+/// The complete graph `K_n` on `n ≥ 1` nodes.
+pub fn complete(n: usize) -> LabeledGraph {
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            edges.push((i, j));
+        }
+    }
+    LabeledGraph::from_edges(unit_labels(n), &edges).expect("complete graphs are valid")
+}
+
+/// The `rows × cols` grid graph (`rows, cols ≥ 1`), nodes in row-major
+/// order. Grids are the graph encodings of pictures (Section 9.2.2).
+pub fn grid(rows: usize, cols: usize) -> LabeledGraph {
+    labeled_grid_bits(rows, cols, unit_labels(rows * cols))
+}
+
+/// A grid with explicit [`BitString`] labels in row-major order.
+///
+/// # Panics
+///
+/// Panics if `rows * cols != labels.len()` or either dimension is zero.
+pub fn labeled_grid_bits(rows: usize, cols: usize, labels: Vec<BitString>) -> LabeledGraph {
+    assert!(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+    assert_eq!(labels.len(), rows * cols, "label count must match grid size");
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((idx(r, c), idx(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((idx(r, c), idx(r + 1, c)));
+            }
+        }
+    }
+    LabeledGraph::from_edges(labels, &edges).expect("grids are valid graphs")
+}
+
+/// The complete binary tree of the given `depth` (`depth = 0` is a single
+/// node).
+pub fn binary_tree(depth: u32) -> LabeledGraph {
+    let n = (1usize << (depth + 1)) - 1;
+    let mut edges = Vec::new();
+    for i in 1..n {
+        edges.push(((i - 1) / 2, i));
+    }
+    LabeledGraph::from_edges(unit_labels(n), &edges).expect("trees are valid graphs")
+}
+
+/// A deterministic pseudo-random connected graph on `n` nodes: a random
+/// spanning tree (random-parent construction) plus `extra_edges` additional
+/// random non-edges, all driven by a simple xorshift generator seeded with
+/// `seed` — reproducible without external crates.
+pub fn random_connected(n: usize, extra_edges: usize, seed: u64) -> LabeledGraph {
+    assert!(n >= 1);
+    let mut rng = XorShift::new(seed);
+    let mut edges = Vec::new();
+    for i in 1..n {
+        let parent = (rng.next() as usize) % i;
+        edges.push((parent, i));
+    }
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < extra_edges && attempts < extra_edges * 20 + 100 {
+        attempts += 1;
+        if n < 2 {
+            break;
+        }
+        let u = (rng.next() as usize) % n;
+        let v = (rng.next() as usize) % n;
+        let (a, b) = (u.min(v), u.max(v));
+        if a != b && !edges.contains(&(a, b)) {
+            edges.push((a, b));
+            added += 1;
+        }
+    }
+    LabeledGraph::from_edges(unit_labels(n), &edges).expect("tree plus edges is connected")
+}
+
+/// A deterministic pseudo-random labeling: each node gets a label of length
+/// in `1..=max_len` with pseudo-random bits.
+pub fn random_labels(n: usize, max_len: usize, seed: u64) -> Vec<BitString> {
+    let mut rng = XorShift::new(seed.wrapping_add(0x9e37_79b9));
+    (0..n)
+        .map(|_| {
+            let len = 1 + (rng.next() as usize) % max_len.max(1);
+            (0..len).map(|_| rng.next() % 2 == 1).collect()
+        })
+        .collect()
+}
+
+/// Minimal xorshift64* generator for reproducible instance generation
+/// without external dependencies.
+#[derive(Debug, Clone)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Creates a generator from a seed (zero is remapped to a fixed odd
+    /// constant).
+    pub fn new(seed: u64) -> Self {
+        XorShift { state: if seed == 0 { 0x853c_49e6_748f_ea9b } else { seed } }
+    }
+
+    /// The next pseudo-random value.
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A pseudo-random value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0);
+        (self.next() as usize) % bound
+    }
+
+    /// A pseudo-random boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next() % 2 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(2)), 2);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.nodes().all(|u| g.degree(u) == 2));
+        assert_eq!(g.diameter(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn cycle_rejects_small() {
+        let _ = cycle(2);
+    }
+
+    #[test]
+    fn star_and_complete_shapes() {
+        let g = star(5);
+        assert_eq!(g.degree(NodeId(0)), 4);
+        assert!(g.nodes().skip(1).all(|u| g.degree(u) == 1));
+        let k = complete(4);
+        assert_eq!(k.edge_count(), 6);
+        assert_eq!(k.diameter(), 1);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert_eq!(g.diameter(), 2 + 3);
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(3);
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.edge_count(), 14);
+    }
+
+    #[test]
+    fn labeled_variants_carry_labels() {
+        let g = labeled_cycle(&["0", "1", "10"]);
+        assert_eq!(g.label(NodeId(2)), &BitString::from_bits01("10"));
+        let g = labeled_path(&["", "1"]);
+        assert_eq!(g.label(NodeId(0)).len(), 0);
+    }
+
+    #[test]
+    fn random_connected_is_connected_and_deterministic() {
+        for seed in 0..5 {
+            let g1 = random_connected(20, 10, seed);
+            let g2 = random_connected(20, 10, seed);
+            assert_eq!(g1, g2);
+            assert_eq!(g1.node_count(), 20);
+            assert!(g1.edge_count() >= 19);
+        }
+    }
+
+    #[test]
+    fn random_labels_are_deterministic_and_bounded() {
+        let a = random_labels(10, 4, 7);
+        let b = random_labels(10, 4, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|l| (1..=4).contains(&l.len())));
+    }
+
+    #[test]
+    fn xorshift_below_is_in_range() {
+        let mut rng = XorShift::new(42);
+        for _ in 0..100 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn single_node_path() {
+        let g = path(1);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,470 @@
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::{BitString, GraphError};
+
+/// Index of a node in a [`LabeledGraph`].
+///
+/// Node indices are dense (`0..node_count()`) and stable for the lifetime of
+/// the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A finite, simple, undirected, **connected** labeled graph
+/// `G = (V, E, λ)` with `λ : V → {0,1}*` (Section 3 of the paper).
+///
+/// The connectedness requirement is part of the paper's definition of
+/// "graph" and is validated at construction time.
+///
+/// # Example
+///
+/// ```
+/// use lph_graphs::{LabeledGraph, BitString, NodeId};
+///
+/// let g = LabeledGraph::from_edges(
+///     vec![BitString::from_bits01("1"); 3],
+///     &[(0, 1), (1, 2)],
+/// ).unwrap();
+/// assert_eq!(g.degree(NodeId(1)), 2);
+/// assert_eq!(g.diameter(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LabeledGraph {
+    /// Adjacency lists, sorted ascending, no duplicates, no self-loops.
+    adj: Vec<Vec<NodeId>>,
+    /// Node labels (`λ`).
+    labels: Vec<BitString>,
+}
+
+impl LabeledGraph {
+    /// Builds a graph from labels and an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the node set is empty, an edge endpoint is out of
+    /// range, an edge is a self-loop or duplicated, or the graph is not
+    /// connected.
+    pub fn from_edges(
+        labels: Vec<BitString>,
+        edges: &[(usize, usize)],
+    ) -> Result<Self, GraphError> {
+        let n = labels.len();
+        if n == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            if u >= n {
+                return Err(GraphError::NodeOutOfRange { node: u, node_count: n });
+            }
+            if v >= n {
+                return Err(GraphError::NodeOutOfRange { node: v, node_count: n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { node: u });
+            }
+            if adj[u].contains(&NodeId(v)) {
+                return Err(GraphError::DuplicateEdge { u: u.min(v), v: u.max(v) });
+            }
+            adj[u].push(NodeId(v));
+            adj[v].push(NodeId(u));
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        let g = LabeledGraph { adj, labels };
+        if !g.is_connected() {
+            return Err(GraphError::Disconnected);
+        }
+        Ok(g)
+    }
+
+    /// Builds a single-node graph (the class `NODE` of the paper), which the
+    /// paper identifies with the bit string labeling its unique node.
+    pub fn single_node(label: BitString) -> Self {
+        LabeledGraph { adj: vec![Vec::new()], labels: vec![label] }
+    }
+
+    /// Number of nodes, written `card(G)` in the paper.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|l| l.len()).sum::<usize>() / 2
+    }
+
+    /// Iterates over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId)
+    }
+
+    /// Iterates over all undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, list)| {
+            list.iter().filter(move |v| u < v.0).map(move |&v| (NodeId(u), v))
+        })
+    }
+
+    /// The sorted neighbor list of `u`.
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adj[u.0]
+    }
+
+    /// Whether `{u, v}` is an edge.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u.0].binary_search(&v).is_ok()
+    }
+
+    /// The degree of `u`.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u.0].len()
+    }
+
+    /// The label `λ(u)`.
+    pub fn label(&self, u: NodeId) -> &BitString {
+        &self.labels[u.0]
+    }
+
+    /// All labels, indexed by node.
+    pub fn labels(&self) -> &[BitString] {
+        &self.labels
+    }
+
+    /// Returns a copy of this graph with the labeling replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::AssignmentLengthMismatch`] if `labels` does not
+    /// have one entry per node.
+    pub fn with_labels(&self, labels: Vec<BitString>) -> Result<Self, GraphError> {
+        if labels.len() != self.node_count() {
+            return Err(GraphError::AssignmentLengthMismatch {
+                expected: self.node_count(),
+                found: labels.len(),
+            });
+        }
+        Ok(LabeledGraph { adj: self.adj.clone(), labels })
+    }
+
+    /// The *structural degree* of `u` (Section 9): its degree plus its label
+    /// length, i.e. the number of elements adjacent to `u` in the structural
+    /// representation `$G`.
+    pub fn structural_degree(&self, u: NodeId) -> usize {
+        self.degree(u) + self.label(u).len()
+    }
+
+    /// Whether the graph has `Δ`-bounded structural degree
+    /// (the class `GRAPH(Δ)` of Section 9).
+    pub fn has_bounded_structural_degree(&self, delta: usize) -> bool {
+        self.nodes().all(|u| self.structural_degree(u) <= delta)
+    }
+
+    /// Breadth-first distances from `u`; `None` is unreachable (cannot occur
+    /// in a validated graph, but kept for internal use during construction).
+    pub fn bfs_distances(&self, u: NodeId) -> Vec<Option<usize>> {
+        let mut dist = vec![None; self.node_count()];
+        let mut queue = VecDeque::new();
+        dist[u.0] = Some(0);
+        queue.push_back(u);
+        while let Some(w) = queue.pop_front() {
+            let d = dist[w.0].expect("queued nodes have distances");
+            for &x in &self.adj[w.0] {
+                if dist[x.0].is_none() {
+                    dist[x.0] = Some(d + 1);
+                    queue.push_back(x);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The distance between `u` and `v`.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> usize {
+        self.bfs_distances(u)[v.0].expect("validated graphs are connected")
+    }
+
+    /// The diameter of the graph.
+    pub fn diameter(&self) -> usize {
+        self.nodes()
+            .map(|u| {
+                self.bfs_distances(u)
+                    .into_iter()
+                    .map(|d| d.expect("validated graphs are connected"))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn is_connected(&self) -> bool {
+        self.bfs_distances(NodeId(0)).iter().all(Option::is_some)
+    }
+
+    /// The nodes at distance at most `r` from `u`, sorted ascending.
+    pub fn ball(&self, u: NodeId, r: usize) -> Vec<NodeId> {
+        self.bfs_distances(u)
+            .into_iter()
+            .enumerate()
+            .filter_map(|(v, d)| match d {
+                Some(d) if d <= r => Some(NodeId(v)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The `r`-neighborhood `N_r(u)`: the subgraph induced by all nodes at
+    /// distance at most `r` from `u`, with labels restricted accordingly.
+    pub fn neighborhood(&self, u: NodeId, r: usize) -> Neighborhood {
+        let members = self.ball(u, r);
+        let mut to_local = vec![usize::MAX; self.node_count()];
+        for (i, &v) in members.iter().enumerate() {
+            to_local[v.0] = i;
+        }
+        let mut edges = Vec::new();
+        for (i, &v) in members.iter().enumerate() {
+            for &w in &self.adj[v.0] {
+                let j = to_local[w.0];
+                if j != usize::MAX && i < j {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let labels = members.iter().map(|&v| self.labels[v.0].clone()).collect();
+        let graph = LabeledGraph::from_edges(labels, &edges)
+            .expect("induced ball around a node is connected");
+        Neighborhood { graph, members, center_local: NodeId(to_local[u.0]) }
+    }
+
+    /// The induced subgraph on `members` (must be connected); returns the
+    /// subgraph together with the member list in the order used for local
+    /// indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Disconnected`] if the induced subgraph is not
+    /// connected, or [`GraphError::EmptyGraph`] if `members` is empty.
+    pub fn induced_subgraph(&self, members: &[NodeId]) -> Result<LabeledGraph, GraphError> {
+        let mut to_local = vec![usize::MAX; self.node_count()];
+        for (i, &v) in members.iter().enumerate() {
+            to_local[v.0] = i;
+        }
+        let mut edges = Vec::new();
+        for (i, &v) in members.iter().enumerate() {
+            for &w in &self.adj[v.0] {
+                let j = to_local[w.0];
+                if j != usize::MAX && i < j {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let labels = members.iter().map(|&v| self.labels[v.0].clone()).collect();
+        LabeledGraph::from_edges(labels, &edges)
+    }
+
+    /// The paper's neighborhood *information measure*: for node `u` and
+    /// radius `r`, the quantity
+    /// `Σ_{v ∈ N_r(u)} 1 + len(λ(v)) + len(id(v))`
+    /// used in the `(r,p)`-boundedness condition for certificates.
+    ///
+    /// `ids` provides `len(id(v))` per node (pass all zeros for unlabeled
+    /// settings).
+    pub fn neighborhood_information(&self, u: NodeId, r: usize, id_lens: &[usize]) -> usize {
+        self.ball(u, r)
+            .into_iter()
+            .map(|v| 1 + self.labels[v.0].len() + id_lens[v.0])
+            .sum()
+    }
+}
+
+impl fmt::Display for LabeledGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "graph with {} nodes, {} edges", self.node_count(), self.edge_count())?;
+        for u in self.nodes() {
+            write!(f, "  {} [{}]:", u, self.label(u))?;
+            for v in self.neighbors(u) {
+                write!(f, " {v}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of extracting an `r`-neighborhood `N_r(u)`: a standalone
+/// [`LabeledGraph`] plus the mapping between local and global node indices.
+#[derive(Debug, Clone)]
+pub struct Neighborhood {
+    /// The induced subgraph, with local node indices.
+    pub graph: LabeledGraph,
+    /// `members[i]` is the global node corresponding to local node `i`.
+    pub members: Vec<NodeId>,
+    /// The local index of the center node `u`.
+    pub center_local: NodeId,
+}
+
+impl Neighborhood {
+    /// Translates a global node id to a local one, if it is in the
+    /// neighborhood.
+    pub fn to_local(&self, global: NodeId) -> Option<NodeId> {
+        self.members.iter().position(|&v| v == global).map(NodeId)
+    }
+
+    /// Translates a local node id back to the global graph.
+    pub fn to_global(&self, local: NodeId) -> NodeId {
+        self.members[local.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize) -> Vec<BitString> {
+        vec![BitString::from_bits01("1"); n]
+    }
+
+    #[test]
+    fn rejects_empty_graph() {
+        assert_eq!(LabeledGraph::from_edges(vec![], &[]), Err(GraphError::EmptyGraph));
+    }
+
+    #[test]
+    fn rejects_disconnected_graph() {
+        let err = LabeledGraph::from_edges(labels(4), &[(0, 1), (2, 3)]).unwrap_err();
+        assert_eq!(err, GraphError::Disconnected);
+    }
+
+    #[test]
+    fn rejects_self_loop_and_duplicates() {
+        assert_eq!(
+            LabeledGraph::from_edges(labels(2), &[(0, 0)]).unwrap_err(),
+            GraphError::SelfLoop { node: 0 }
+        );
+        assert_eq!(
+            LabeledGraph::from_edges(labels(2), &[(0, 1), (1, 0)]).unwrap_err(),
+            GraphError::DuplicateEdge { u: 0, v: 1 }
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_edge() {
+        assert_eq!(
+            LabeledGraph::from_edges(labels(2), &[(0, 5)]).unwrap_err(),
+            GraphError::NodeOutOfRange { node: 5, node_count: 2 }
+        );
+    }
+
+    #[test]
+    fn single_node_graph_is_valid() {
+        let g = LabeledGraph::single_node(BitString::from_bits01("0110"));
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.diameter(), 0);
+        assert_eq!(g.structural_degree(NodeId(0)), 4);
+    }
+
+    #[test]
+    fn path_distances_and_diameter() {
+        let g = LabeledGraph::from_edges(labels(5), &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(g.distance(NodeId(0), NodeId(4)), 4);
+        assert_eq!(g.distance(NodeId(2), NodeId(2)), 0);
+        assert_eq!(g.diameter(), 4);
+    }
+
+    #[test]
+    fn neighborhood_of_path_center() {
+        let g = LabeledGraph::from_edges(labels(5), &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let nb = g.neighborhood(NodeId(2), 1);
+        assert_eq!(nb.graph.node_count(), 3);
+        assert_eq!(nb.graph.edge_count(), 2);
+        assert_eq!(nb.to_global(nb.center_local), NodeId(2));
+        assert_eq!(nb.to_local(NodeId(0)), None);
+    }
+
+    #[test]
+    fn neighborhood_radius_zero_is_single_node() {
+        let g = LabeledGraph::from_edges(labels(3), &[(0, 1), (1, 2)]).unwrap();
+        let nb = g.neighborhood(NodeId(1), 0);
+        assert_eq!(nb.graph.node_count(), 1);
+        assert_eq!(nb.members, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn neighborhood_covers_whole_graph_at_diameter() {
+        let g = LabeledGraph::from_edges(labels(4), &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let nb = g.neighborhood(NodeId(0), g.diameter());
+        assert_eq!(nb.graph.node_count(), 4);
+        assert_eq!(nb.graph.edge_count(), 4);
+    }
+
+    #[test]
+    fn edges_iterator_reports_each_edge_once() {
+        let g = LabeledGraph::from_edges(labels(3), &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let e: Vec<_> = g.edges().collect();
+        assert_eq!(e.len(), 3);
+        assert!(e.contains(&(NodeId(0), NodeId(1))));
+        assert!(e.contains(&(NodeId(0), NodeId(2))));
+        assert!(e.contains(&(NodeId(1), NodeId(2))));
+    }
+
+    #[test]
+    fn structural_degree_sums_degree_and_label_length() {
+        let g = LabeledGraph::from_edges(
+            vec![BitString::from_bits01("101"), BitString::new()],
+            &[(0, 1)],
+        )
+        .unwrap();
+        assert_eq!(g.structural_degree(NodeId(0)), 4);
+        assert_eq!(g.structural_degree(NodeId(1)), 1);
+        assert!(g.has_bounded_structural_degree(4));
+        assert!(!g.has_bounded_structural_degree(3));
+    }
+
+    #[test]
+    fn neighborhood_information_counts_labels_and_ids() {
+        let g = LabeledGraph::from_edges(
+            vec![BitString::from_bits01("11"), BitString::from_bits01("0")],
+            &[(0, 1)],
+        )
+        .unwrap();
+        // N_1(v0) = {v0, v1}: (1 + 2 + id0) + (1 + 1 + id1)
+        assert_eq!(g.neighborhood_information(NodeId(0), 1, &[3, 2]), 10);
+        // N_0(v0) = {v0}
+        assert_eq!(g.neighborhood_information(NodeId(0), 0, &[3, 2]), 6);
+    }
+
+    #[test]
+    fn with_labels_validates_length() {
+        let g = LabeledGraph::from_edges(labels(2), &[(0, 1)]).unwrap();
+        assert!(g.with_labels(vec![BitString::new()]).is_err());
+        let g2 = g.with_labels(vec![BitString::new(), BitString::from_bits01("1")]).unwrap();
+        assert_eq!(g2.label(NodeId(0)), &BitString::new());
+        assert_eq!(g2.edge_count(), 1);
+    }
+
+    #[test]
+    fn induced_subgraph_checks_connectivity() {
+        let g = LabeledGraph::from_edges(labels(4), &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(g.induced_subgraph(&[NodeId(0), NodeId(1)]).is_ok());
+        assert_eq!(
+            g.induced_subgraph(&[NodeId(0), NodeId(3)]).unwrap_err(),
+            GraphError::Disconnected
+        );
+    }
+}

@@ -1,0 +1,256 @@
+use crate::{BitString, GraphError, LabeledGraph, NodeId};
+
+/// An identifier assignment `id : V → {0,1}*` (Section 3).
+///
+/// The LOCAL model of the paper only requires identifiers to be
+/// `r_id`-**locally unique**: any two distinct nodes within distance
+/// `2·r_id` of each other must receive different identifiers. A *small*
+/// assignment additionally bounds `len(id(u))` logarithmically in the
+/// cardinality of `u`'s `2·r_id`-neighborhood (Remark 1).
+///
+/// # Example
+///
+/// ```
+/// use lph_graphs::{generators, IdAssignment};
+///
+/// let g = generators::cycle(9);
+/// let id = IdAssignment::cyclic(&g, 3); // ids 0,1,2,0,1,2,…
+/// assert!(id.is_locally_unique(&g, 1));
+/// assert!(!id.is_locally_unique(&g, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IdAssignment {
+    ids: Vec<BitString>,
+}
+
+impl IdAssignment {
+    /// Wraps raw identifiers (one per node, by node index).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::AssignmentLengthMismatch`] if the number of
+    /// identifiers differs from the graph's node count.
+    pub fn from_vec(g: &LabeledGraph, ids: Vec<BitString>) -> Result<Self, GraphError> {
+        if ids.len() != g.node_count() {
+            return Err(GraphError::AssignmentLengthMismatch {
+                expected: g.node_count(),
+                found: ids.len(),
+            });
+        }
+        Ok(IdAssignment { ids })
+    }
+
+    /// A globally unique assignment giving node `i` the identifier `bin(i)`
+    /// padded to `⌈log₂ n⌉` bits. Globally unique implies `r_id`-locally
+    /// unique for every `r_id`.
+    pub fn global(g: &LabeledGraph) -> Self {
+        let n = g.node_count();
+        let width = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+        let width = width.max(1);
+        IdAssignment {
+            ids: (0..n).map(|i| BitString::from_usize(i, width)).collect(),
+        }
+    }
+
+    /// A *small* `r_id`-locally unique assignment, built greedily as in
+    /// Remark 1: each node picks the smallest number not used by an
+    /// already-processed node in its `2·r_id`-ball, encoded with
+    /// `⌈log₂ card(N_{2·r_id}(u))⌉` bits (at least 1 bit).
+    pub fn small(g: &LabeledGraph, r_id: usize) -> Self {
+        let n = g.node_count();
+        let mut chosen: Vec<Option<usize>> = vec![None; n];
+        for u in g.nodes() {
+            let ball = g.ball(u, 2 * r_id);
+            let used: Vec<usize> =
+                ball.iter().filter_map(|&v| chosen[v.0]).collect();
+            let mut candidate = 0;
+            while used.contains(&candidate) {
+                candidate += 1;
+            }
+            chosen[u.0] = Some(candidate);
+        }
+        let ids = g
+            .nodes()
+            .map(|u| {
+                let ball_size = g.ball(u, 2 * r_id).len();
+                // The greedy value is < ball_size, so ⌈log₂ ball_size⌉ bits
+                // suffice (at least 1 bit so single-node balls get "0").
+                let width = ceil_log2(ball_size).max(1);
+                let value = chosen[u.0].expect("all nodes processed");
+                BitString::from_usize(value, width)
+            })
+            .collect();
+        IdAssignment { ids }
+    }
+
+    /// The *cyclic* assignment used in the proof of Proposition 23: node `i`
+    /// receives `bin(i mod m)`, all padded to the same width. On a cycle
+    /// graph whose length is a multiple of `m`, this is
+    /// `r_id`-locally unique whenever `m ≥ 2·r_id + 1`.
+    pub fn cyclic(g: &LabeledGraph, m: usize) -> Self {
+        assert!(m > 0, "modulus must be positive");
+        let width = ceil_log2(m).max(1);
+        IdAssignment {
+            ids: (0..g.node_count()).map(|i| BitString::from_usize(i % m, width)).collect(),
+        }
+    }
+
+    /// The identifier of node `u`.
+    pub fn id(&self, u: NodeId) -> &BitString {
+        &self.ids[u.0]
+    }
+
+    /// All identifiers, indexed by node.
+    pub fn ids(&self) -> &[BitString] {
+        &self.ids
+    }
+
+    /// The identifier lengths per node (used in `(r,p)`-bound computations).
+    pub fn lengths(&self) -> Vec<usize> {
+        self.ids.iter().map(BitString::len).collect()
+    }
+
+    /// Whether the assignment is `r_id`-locally unique on `g`: distinct
+    /// nodes within distance `2·r_id` of each other (equivalently, in the
+    /// `r_id`-ball of a common node) receive distinct identifiers.
+    pub fn is_locally_unique(&self, g: &LabeledGraph, r_id: usize) -> bool {
+        for u in g.nodes() {
+            for v in g.ball(u, 2 * r_id) {
+                if v != u && self.ids[u.0] == self.ids[v.0] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether the assignment is *small* with respect to `r_id`:
+    /// `len(id(u)) ≤ ⌈log₂ card(N_{2·r_id}(u))⌉` for every node `u`
+    /// (with the convention that single-node balls allow 1 bit).
+    pub fn is_small(&self, g: &LabeledGraph, r_id: usize) -> bool {
+        g.nodes().all(|u| {
+            let ball_size = g.ball(u, 2 * r_id).len();
+            self.ids[u.0].len() <= ceil_log2(ball_size).max(1)
+        })
+    }
+
+    /// The neighbors of `u`, sorted in ascending identifier order — the
+    /// order in which the LOCAL execution concatenates incoming messages
+    /// (Section 4, phase 1).
+    pub fn sorted_neighbors(&self, g: &LabeledGraph, u: NodeId) -> Vec<NodeId> {
+        let mut nbrs: Vec<NodeId> = g.neighbors(u).to_vec();
+        nbrs.sort_by(|a, b| self.ids[a.0].cmp(&self.ids[b.0]).then(a.cmp(b)));
+        nbrs
+    }
+}
+
+/// `⌈log₂ n⌉` for `n ≥ 1` (0 for `n = 1`).
+pub(crate) fn ceil_log2(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS as usize - (n - 1).leading_zeros() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+    }
+
+    #[test]
+    fn global_assignment_is_locally_unique_at_any_radius() {
+        let g = generators::cycle(7);
+        let id = IdAssignment::global(&g);
+        for r in 0..5 {
+            assert!(id.is_locally_unique(&g, r));
+        }
+    }
+
+    #[test]
+    fn small_assignment_is_locally_unique_and_small() {
+        for n in [3, 5, 8, 12] {
+            let g = generators::cycle(n);
+            for r_id in 1..3 {
+                let id = IdAssignment::small(&g, r_id);
+                assert!(id.is_locally_unique(&g, r_id), "cycle {n}, r_id {r_id}");
+                assert!(id.is_small(&g, r_id), "cycle {n}, r_id {r_id}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_assignment_on_paths_and_stars() {
+        let g = generators::path(9);
+        let id = IdAssignment::small(&g, 2);
+        assert!(id.is_locally_unique(&g, 2));
+        assert!(id.is_small(&g, 2));
+        let g = generators::star(6);
+        let id = IdAssignment::small(&g, 1);
+        assert!(id.is_locally_unique(&g, 1));
+        assert!(id.is_small(&g, 1));
+    }
+
+    #[test]
+    fn cyclic_assignment_local_uniqueness_threshold() {
+        // Cycle of length 12 with period-m ids: r_id-locally unique iff all
+        // pairs at distance ≤ 2·r_id get distinct values, i.e. m > 2·r_id.
+        let g = generators::cycle(12);
+        let id3 = IdAssignment::cyclic(&g, 3);
+        assert!(id3.is_locally_unique(&g, 1)); // pairs at distance ≤ 2: offsets 1,2 mod 3 ≠ 0
+        assert!(!id3.is_locally_unique(&g, 2)); // offset 3 ≡ 0 mod 3
+        let id6 = IdAssignment::cyclic(&g, 6);
+        assert!(id6.is_locally_unique(&g, 2));
+        assert!(!id6.is_locally_unique(&g, 3)); // offset 6 ≡ 0 mod 6
+    }
+
+    #[test]
+    fn cyclic_assignment_matches_prop23_recipe() {
+        // Proposition 23: on cycles of length divisible by (r+1), assigning
+        // each node its index modulo (r+1) is r_id-locally unique when
+        // r + 1 > 4·r_id (ball of radius 2·r_id has 4·r_id+1 nodes).
+        let r = 8;
+        let g = generators::cycle(3 * (r + 1));
+        let id = IdAssignment::cyclic(&g, r + 1);
+        assert!(id.is_locally_unique(&g, 2));
+    }
+
+    #[test]
+    fn sorted_neighbors_follow_identifier_order() {
+        let g = generators::star(4); // center 0, leaves 1..=3... star(4): 4 nodes
+        let ids = vec![
+            BitString::from_bits01("11"),
+            BitString::from_bits01("10"),
+            BitString::from_bits01("0"),
+            BitString::from_bits01("01"),
+        ];
+        let id = IdAssignment::from_vec(&g, ids).unwrap();
+        let sorted = id.sorted_neighbors(&g, NodeId(0));
+        assert_eq!(sorted, vec![NodeId(2), NodeId(3), NodeId(1)]);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        let g = generators::path(3);
+        assert!(IdAssignment::from_vec(&g, vec![BitString::new()]).is_err());
+    }
+
+    #[test]
+    fn single_node_graph_small_assignment() {
+        let g = LabeledGraph::single_node(BitString::new());
+        let id = IdAssignment::small(&g, 3);
+        assert!(id.is_locally_unique(&g, 3));
+        assert!(id.id(NodeId(0)).len() <= 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Labeled graphs, identifier assignments, certificate assignments, and
+//! relational structural representations for the LOCAL model, as defined in
+//! Sections 3 and 4 of *A LOCAL View of the Polynomial Hierarchy*
+//! (Reiter, PODC 2024).
+//!
+//! This crate is the substrate everything else in the workspace builds on:
+//!
+//! * [`LabeledGraph`] — finite, simple, undirected, **connected** graphs whose
+//!   nodes carry bit-string labels (`λ : V → {0,1}*`), together with
+//!   neighborhoods `N_r`, distances, and degree/structural-degree queries.
+//! * [`BitString`] — the label/identifier/certificate alphabet `{0,1}*`,
+//!   ordered exactly as the paper's *identifier order* (prefix first, then
+//!   first differing bit).
+//! * [`IdAssignment`] — `r_id`-locally unique identifier assignments,
+//!   including the *small* assignments of Remark 1 and the cyclic assignments
+//!   used in the proof of Proposition 23.
+//! * [`CertificateAssignment`] / [`CertificateList`] — Eve's and Adam's moves
+//!   in the certificate game, with the `(r, p)`-boundedness condition made
+//!   explicit through [`PolyBound`].
+//! * [`Structure`] and the structural representation [`GraphStructure`]
+//!   (`$G` in the paper, Figure 4) on which logical formulas are evaluated.
+//! * Graph [`generators`] and an exhaustive small-graph [`enumerate`] module
+//!   used by the universally-quantified experiments.
+//! * [`ClusterMap`] — the cluster maps underlying local-polynomial
+//!   reductions (Section 8).
+//!
+//! # Example
+//!
+//! ```
+//! use lph_graphs::{LabeledGraph, BitString, IdAssignment};
+//!
+//! // A triangle plus a pendant node, in the spirit of Figure 4.
+//! let g = LabeledGraph::from_edges(
+//!     vec![BitString::from_bits01("0"), BitString::from_bits01("10"),
+//!          BitString::from_bits01(""), BitString::from_bits01("1")],
+//!     &[(0, 1), (1, 2), (0, 2), (2, 3)],
+//! ).unwrap();
+//! assert_eq!(g.node_count(), 4);
+//! let id = IdAssignment::small(&g, 1);
+//! assert!(id.is_locally_unique(&g, 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitstring;
+mod certificates;
+mod cluster;
+pub mod enumerate;
+mod error;
+pub mod generators;
+mod graph;
+mod ids;
+mod iso;
+mod polybound;
+mod structure;
+
+pub use bitstring::BitString;
+pub use certificates::{CertSymbol, CertificateAssignment, CertificateList};
+pub use cluster::ClusterMap;
+pub use error::GraphError;
+pub use graph::{LabeledGraph, Neighborhood, NodeId};
+pub use ids::IdAssignment;
+pub use iso::{are_isomorphic, find_isomorphism};
+pub use polybound::PolyBound;
+pub use structure::{ElemId, ElemKind, GraphStructure, Structure};

@@ -1,0 +1,222 @@
+use std::fmt;
+
+/// A polynomial function `p : ℕ → ℕ` with nonnegative integer coefficients,
+/// used to express the paper's polynomial bounds: step time of
+/// local-polynomial machines and the `(r, p)`-boundedness of certificates.
+///
+/// `p(n) = coeffs[0] + coeffs[1]·n + coeffs[2]·n² + …`, evaluated with
+/// saturating arithmetic so pathological inputs cannot overflow.
+///
+/// # Example
+///
+/// ```
+/// use lph_graphs::PolyBound;
+///
+/// let p = PolyBound::new(vec![3, 0, 2]); // 3 + 2n²
+/// assert_eq!(p.eval(4), 35);
+/// assert_eq!(p.degree(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PolyBound {
+    coeffs: Vec<u64>,
+}
+
+impl PolyBound {
+    /// Creates a polynomial from its coefficients, constant term first.
+    /// Trailing zero coefficients are trimmed.
+    pub fn new(mut coeffs: Vec<u64>) -> Self {
+        while coeffs.len() > 1 && coeffs.last() == Some(&0) {
+            coeffs.pop();
+        }
+        if coeffs.is_empty() {
+            coeffs.push(0);
+        }
+        PolyBound { coeffs }
+    }
+
+    /// The constant polynomial `p(n) = c`.
+    pub fn constant(c: u64) -> Self {
+        PolyBound::new(vec![c])
+    }
+
+    /// The linear polynomial `p(n) = a + b·n`.
+    pub fn linear(a: u64, b: u64) -> Self {
+        PolyBound::new(vec![a, b])
+    }
+
+    /// The monomial `p(n) = c·n^k`.
+    pub fn monomial(c: u64, k: usize) -> Self {
+        let mut coeffs = vec![0; k + 1];
+        coeffs[k] = c;
+        PolyBound::new(coeffs)
+    }
+
+    /// Evaluates `p(n)` with saturating arithmetic.
+    pub fn eval(&self, n: usize) -> usize {
+        let n = n as u64;
+        let mut acc: u64 = 0;
+        let mut pow: u64 = 1;
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if i > 0 {
+                pow = pow.saturating_mul(n);
+            }
+            acc = acc.saturating_add(c.saturating_mul(pow));
+        }
+        usize::try_from(acc).unwrap_or(usize::MAX)
+    }
+
+    /// The degree of the polynomial (`0` for constants, including the zero
+    /// polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// The coefficients, constant term first.
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Pointwise maximum bound: a polynomial `q` with
+    /// `q(n) ≥ max(self(n), other(n))` for all `n` (coefficient-wise max,
+    /// which suffices because all coefficients are nonnegative).
+    pub fn max(&self, other: &PolyBound) -> PolyBound {
+        let len = self.coeffs.len().max(other.coeffs.len());
+        let coeffs = (0..len)
+            .map(|i| {
+                self.coeffs.get(i).copied().unwrap_or(0).max(other.coeffs.get(i).copied().unwrap_or(0))
+            })
+            .collect();
+        PolyBound::new(coeffs)
+    }
+
+    /// The sum of two polynomials.
+    pub fn add(&self, other: &PolyBound) -> PolyBound {
+        let len = self.coeffs.len().max(other.coeffs.len());
+        let coeffs = (0..len)
+            .map(|i| {
+                self.coeffs
+                    .get(i)
+                    .copied()
+                    .unwrap_or(0)
+                    .saturating_add(other.coeffs.get(i).copied().unwrap_or(0))
+            })
+            .collect();
+        PolyBound::new(coeffs)
+    }
+
+    /// The product of two polynomials (used when composing step-time bounds).
+    pub fn mul(&self, other: &PolyBound) -> PolyBound {
+        let mut coeffs = vec![0u64; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] = coeffs[i + j].saturating_add(a.saturating_mul(b));
+            }
+        }
+        PolyBound::new(coeffs)
+    }
+
+    /// Composition `self ∘ other`, i.e. `p(q(n))` — the bound obtained when a
+    /// polynomial-time stage feeds into another (proof of Lemma 10).
+    pub fn compose(&self, other: &PolyBound) -> PolyBound {
+        let mut acc = PolyBound::constant(0);
+        // Horner's scheme over polynomials.
+        for &c in self.coeffs.iter().rev() {
+            acc = acc.mul(other).add(&PolyBound::constant(c));
+        }
+        acc
+    }
+}
+
+impl fmt::Display for PolyBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (i, &c) in self.coeffs.iter().enumerate().rev() {
+            if c == 0 && self.coeffs.len() > 1 {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            match i {
+                0 => write!(f, "{c}")?,
+                1 if c == 1 => write!(f, "n")?,
+                1 => write!(f, "{c}n")?,
+                _ if c == 1 => write!(f, "n^{i}")?,
+                _ => write!(f, "{c}n^{i}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_matches_horner() {
+        let p = PolyBound::new(vec![1, 2, 3]); // 1 + 2n + 3n²
+        assert_eq!(p.eval(0), 1);
+        assert_eq!(p.eval(1), 6);
+        assert_eq!(p.eval(10), 321);
+    }
+
+    #[test]
+    fn trims_trailing_zeros() {
+        let p = PolyBound::new(vec![5, 0, 0]);
+        assert_eq!(p.degree(), 0);
+        assert_eq!(p, PolyBound::constant(5));
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let p = PolyBound::monomial(u64::MAX, 3);
+        assert_eq!(p.eval(usize::MAX), usize::MAX);
+    }
+
+    #[test]
+    fn max_dominates_both() {
+        let p = PolyBound::new(vec![1, 5]);
+        let q = PolyBound::new(vec![9, 0, 2]);
+        let m = p.max(&q);
+        for n in 0..20 {
+            assert!(m.eval(n) >= p.eval(n));
+            assert!(m.eval(n) >= q.eval(n));
+        }
+    }
+
+    #[test]
+    fn add_and_mul_agree_with_eval() {
+        let p = PolyBound::new(vec![1, 2]);
+        let q = PolyBound::new(vec![3, 0, 1]);
+        for n in 0..10 {
+            assert_eq!(p.add(&q).eval(n), p.eval(n) + q.eval(n));
+            assert_eq!(p.mul(&q).eval(n), p.eval(n) * q.eval(n));
+        }
+    }
+
+    #[test]
+    fn compose_agrees_with_eval() {
+        let p = PolyBound::new(vec![1, 0, 2]); // 1 + 2n²
+        let q = PolyBound::new(vec![0, 3]); // 3n
+        let c = p.compose(&q); // 1 + 18n²
+        for n in 0..10 {
+            assert_eq!(c.eval(n), p.eval(q.eval(n)));
+        }
+        assert_eq!(c, PolyBound::new(vec![1, 0, 18]));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(PolyBound::new(vec![3, 1, 2]).to_string(), "2n^2 + n + 3");
+        assert_eq!(PolyBound::constant(0).to_string(), "0");
+    }
+
+    #[test]
+    fn monomial_shape() {
+        let p = PolyBound::monomial(4, 3);
+        assert_eq!(p.degree(), 3);
+        assert_eq!(p.eval(2), 32);
+    }
+}

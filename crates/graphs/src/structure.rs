@@ -1,0 +1,437 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{LabeledGraph, NodeId};
+
+/// Index of an element in a [`Structure`]'s domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ElemId(pub usize);
+
+impl ElemId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ElemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A finite relational structure
+/// `S = (D, ⊙₁,…,⊙ₘ, ⇀₁,…,⇀ₙ)` of signature `(m, n)` (Section 3):
+/// a nonempty domain, `m` unary relations and `n` binary relations.
+///
+/// Logical formulas (crate `lph-logic`) are evaluated on these structures.
+///
+/// # Example
+///
+/// ```
+/// use lph_graphs::{Structure, ElemId};
+///
+/// // The string 010011 as a structure (Section 2.3): successor chain of six
+/// // elements, with the 1-bits in the unary relation.
+/// let mut s = Structure::new(6, 1, 1);
+/// for i in 0..5 { s.add_pair(0, ElemId(i), ElemId(i + 1)); }
+/// for i in [1, 4, 5] { s.add_unary(0, ElemId(i)); }
+/// assert!(s.in_unary(0, ElemId(4)));
+/// assert!(s.related(0, ElemId(0), ElemId(1)));
+/// assert!(!s.related(0, ElemId(1), ElemId(0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Structure {
+    domain: usize,
+    unary: Vec<BTreeSet<ElemId>>,
+    binary: Vec<BTreeSet<(ElemId, ElemId)>>,
+    /// Symmetric-closure adjacency (the Gaifman neighbors used by bounded
+    /// quantification `∃x ⇌ y`), per element, deduplicated and sorted.
+    gaifman: Vec<Vec<ElemId>>,
+}
+
+impl Structure {
+    /// Creates a structure with `domain` elements, `m` empty unary relations
+    /// and `n` empty binary relations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` is zero (the paper requires nonempty domains).
+    pub fn new(domain: usize, m: usize, n: usize) -> Self {
+        assert!(domain > 0, "structures must have a nonempty domain");
+        Structure {
+            domain,
+            unary: vec![BTreeSet::new(); m],
+            binary: vec![BTreeSet::new(); n],
+            gaifman: vec![Vec::new(); domain],
+        }
+    }
+
+    /// The cardinality of the domain, `card(S)`.
+    pub fn card(&self) -> usize {
+        self.domain
+    }
+
+    /// The signature `(m, n)`.
+    pub fn signature(&self) -> (usize, usize) {
+        (self.unary.len(), self.binary.len())
+    }
+
+    /// Iterates over all elements.
+    pub fn elements(&self) -> impl Iterator<Item = ElemId> {
+        (0..self.domain).map(ElemId)
+    }
+
+    /// Adds element `a` to the unary relation `⊙_{i+1}` (0-indexed here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `a` is out of range.
+    pub fn add_unary(&mut self, i: usize, a: ElemId) {
+        assert!(a.0 < self.domain, "element out of range");
+        self.unary[i].insert(a);
+    }
+
+    /// Adds the pair `(a, b)` to the binary relation `⇀_{i+1}` (0-indexed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i`, `a`, or `b` is out of range.
+    pub fn add_pair(&mut self, i: usize, a: ElemId, b: ElemId) {
+        assert!(a.0 < self.domain && b.0 < self.domain, "element out of range");
+        if self.binary[i].insert((a, b)) {
+            if let Err(pos) = self.gaifman[a.0].binary_search(&b) {
+                self.gaifman[a.0].insert(pos, b);
+            }
+            if let Err(pos) = self.gaifman[b.0].binary_search(&a) {
+                self.gaifman[b.0].insert(pos, a);
+            }
+        }
+    }
+
+    /// Whether `a ∈ ⊙_{i+1}`.
+    pub fn in_unary(&self, i: usize, a: ElemId) -> bool {
+        self.unary[i].contains(&a)
+    }
+
+    /// Whether `a ⇀_{i+1} b`.
+    pub fn related(&self, i: usize, a: ElemId, b: ElemId) -> bool {
+        self.binary[i].contains(&(a, b))
+    }
+
+    /// Whether `a ⇌ b`: related by *some* binary relation or its inverse
+    /// (the connectivity notion of bounded quantification).
+    pub fn connected(&self, a: ElemId, b: ElemId) -> bool {
+        self.gaifman[a.0].binary_search(&b).is_ok()
+    }
+
+    /// The Gaifman neighbors of `a` (all `b` with `a ⇌ b`), sorted.
+    pub fn gaifman_neighbors(&self, a: ElemId) -> &[ElemId] {
+        &self.gaifman[a.0]
+    }
+
+    /// All elements within Gaifman distance `r` of `a` (including `a`),
+    /// sorted ascending.
+    pub fn gaifman_ball(&self, a: ElemId, r: usize) -> Vec<ElemId> {
+        let mut dist = vec![usize::MAX; self.domain];
+        let mut queue = std::collections::VecDeque::new();
+        dist[a.0] = 0;
+        queue.push_back(a);
+        while let Some(x) = queue.pop_front() {
+            if dist[x.0] == r {
+                continue;
+            }
+            for &y in &self.gaifman[x.0] {
+                if dist[y.0] == usize::MAX {
+                    dist[y.0] = dist[x.0] + 1;
+                    queue.push_back(y);
+                }
+            }
+        }
+        (0..self.domain).filter(|&i| dist[i] != usize::MAX).map(ElemId).collect()
+    }
+
+    /// The pairs of the binary relation `⇀_{i+1}`.
+    pub fn pairs(&self, i: usize) -> impl Iterator<Item = (ElemId, ElemId)> + '_ {
+        self.binary[i].iter().copied()
+    }
+
+    /// The members of the unary relation `⊙_{i+1}`.
+    pub fn unary_members(&self, i: usize) -> impl Iterator<Item = ElemId> + '_ {
+        self.unary[i].iter().copied()
+    }
+}
+
+/// What an element of a structural representation `$G` stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElemKind {
+    /// The element represents a node of the graph.
+    Node(NodeId),
+    /// The element represents the `pos`-th labeling bit (1-indexed) of a
+    /// node.
+    Bit {
+        /// The owning node.
+        node: NodeId,
+        /// The 1-indexed bit position within the node's label.
+        pos: usize,
+    },
+}
+
+/// The structural representation `$G` of a labeled graph (Section 3,
+/// Figure 4): a structure of signature `(1, 2)` with
+///
+/// * one element per node and one per labeling bit,
+/// * `⊙₁` marking the 1-valued bits,
+/// * `⇀₁` holding the (symmetric) edge pairs and the bit-successor chain,
+/// * `⇀₂` connecting each node to each of its labeling bits.
+///
+/// # Example
+///
+/// ```
+/// use lph_graphs::{generators, GraphStructure, NodeId};
+///
+/// let g = generators::labeled_cycle(&["1", "0", "11"]);
+/// let s = GraphStructure::of(&g);
+/// assert_eq!(s.structure().card(), 3 + 4);
+/// assert_eq!(s.node_elem(NodeId(2)), s.node_elem(NodeId(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphStructure {
+    structure: Structure,
+    kinds: Vec<ElemKind>,
+    node_elems: Vec<ElemId>,
+    /// `bit_elems[u][i]` is the element for bit `i+1` of node `u`.
+    bit_elems: Vec<Vec<ElemId>>,
+}
+
+impl GraphStructure {
+    /// Builds `$G` from a labeled graph.
+    pub fn of(g: &LabeledGraph) -> Self {
+        let mut kinds = Vec::new();
+        let mut node_elems = Vec::with_capacity(g.node_count());
+        let mut bit_elems = Vec::with_capacity(g.node_count());
+        for u in g.nodes() {
+            node_elems.push(ElemId(kinds.len()));
+            kinds.push(ElemKind::Node(u));
+        }
+        for u in g.nodes() {
+            let mut bits = Vec::with_capacity(g.label(u).len());
+            for pos in 1..=g.label(u).len() {
+                bits.push(ElemId(kinds.len()));
+                kinds.push(ElemKind::Bit { node: u, pos });
+            }
+            bit_elems.push(bits);
+        }
+        let mut s = Structure::new(kinds.len(), 1, 2);
+        for (u, v) in g.edges() {
+            // Edges are undirected: ⇀₁ contains both orientations.
+            s.add_pair(0, node_elems[u.0], node_elems[v.0]);
+            s.add_pair(0, node_elems[v.0], node_elems[u.0]);
+        }
+        for u in g.nodes() {
+            let label = g.label(u);
+            for pos in 1..=label.len() {
+                let e = bit_elems[u.0][pos - 1];
+                if label.bit(pos).expect("in range") {
+                    s.add_unary(0, e);
+                }
+                if pos < label.len() {
+                    s.add_pair(0, e, bit_elems[u.0][pos]);
+                }
+                s.add_pair(1, node_elems[u.0], e);
+            }
+        }
+        GraphStructure { structure: s, kinds, node_elems, bit_elems }
+    }
+
+    /// The underlying structure.
+    pub fn structure(&self) -> &Structure {
+        &self.structure
+    }
+
+    /// What element `e` stands for.
+    pub fn kind(&self, e: ElemId) -> ElemKind {
+        self.kinds[e.0]
+    }
+
+    /// The element representing node `u`.
+    pub fn node_elem(&self, u: NodeId) -> ElemId {
+        self.node_elems[u.0]
+    }
+
+    /// The element representing bit `pos` (1-indexed) of node `u`, if any.
+    pub fn bit_elem(&self, u: NodeId, pos: usize) -> Option<ElemId> {
+        if pos == 0 {
+            return None;
+        }
+        self.bit_elems[u.0].get(pos - 1).copied()
+    }
+
+    /// All node elements.
+    pub fn node_elems(&self) -> &[ElemId] {
+        &self.node_elems
+    }
+
+    /// The owning node of element `e` (the node itself for node elements).
+    pub fn owner(&self, e: ElemId) -> NodeId {
+        match self.kinds[e.0] {
+            ElemKind::Node(u) => u,
+            ElemKind::Bit { node, .. } => node,
+        }
+    }
+
+    /// `card(N_r^{$G}(u))`: the number of elements (nodes plus labeling
+    /// bits) in the structural representation of `u`'s `r`-neighborhood in
+    /// the *graph* (this is the paper's measure in Lemma 10, defined via
+    /// graph distance, not Gaifman distance).
+    pub fn neighborhood_card(&self, g: &LabeledGraph, u: NodeId, r: usize) -> usize {
+        g.ball(u, r).into_iter().map(|v| 1 + g.label(v).len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, BitString};
+
+    fn figure4_like_graph() -> LabeledGraph {
+        // Four nodes with labels of lengths 1, 2, 0, 1.
+        LabeledGraph::from_edges(
+            vec![
+                BitString::from_bits01("0"),
+                BitString::from_bits01("10"),
+                BitString::new(),
+                BitString::from_bits01("1"),
+            ],
+            &[(0, 1), (1, 2), (0, 2), (2, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn domain_counts_nodes_and_bits() {
+        let g = figure4_like_graph();
+        let s = GraphStructure::of(&g);
+        assert_eq!(s.structure().card(), 4 + 4);
+        assert_eq!(s.structure().signature(), (1, 2));
+    }
+
+    #[test]
+    fn unary_relation_marks_one_bits() {
+        let g = figure4_like_graph();
+        let s = GraphStructure::of(&g);
+        // Node 0 label "0": bit 1 has value 0.
+        assert!(!s.structure().in_unary(0, s.bit_elem(NodeId(0), 1).unwrap()));
+        // Node 1 label "10": bit 1 is 1, bit 2 is 0.
+        assert!(s.structure().in_unary(0, s.bit_elem(NodeId(1), 1).unwrap()));
+        assert!(!s.structure().in_unary(0, s.bit_elem(NodeId(1), 2).unwrap()));
+        // Node elements are never in ⊙₁.
+        assert!(!s.structure().in_unary(0, s.node_elem(NodeId(3))));
+    }
+
+    #[test]
+    fn edges_are_symmetric_in_relation_one() {
+        let g = figure4_like_graph();
+        let s = GraphStructure::of(&g);
+        let (a, b) = (s.node_elem(NodeId(0)), s.node_elem(NodeId(1)));
+        assert!(s.structure().related(0, a, b));
+        assert!(s.structure().related(0, b, a));
+        let c = s.node_elem(NodeId(3));
+        assert!(!s.structure().related(0, a, c));
+    }
+
+    #[test]
+    fn bit_successors_are_asymmetric() {
+        let g = figure4_like_graph();
+        let s = GraphStructure::of(&g);
+        let b1 = s.bit_elem(NodeId(1), 1).unwrap();
+        let b2 = s.bit_elem(NodeId(1), 2).unwrap();
+        assert!(s.structure().related(0, b1, b2));
+        assert!(!s.structure().related(0, b2, b1));
+    }
+
+    #[test]
+    fn ownership_relation_links_node_to_bits() {
+        let g = figure4_like_graph();
+        let s = GraphStructure::of(&g);
+        let u = s.node_elem(NodeId(1));
+        let b1 = s.bit_elem(NodeId(1), 1).unwrap();
+        let b2 = s.bit_elem(NodeId(1), 2).unwrap();
+        assert!(s.structure().related(1, u, b1));
+        assert!(s.structure().related(1, u, b2));
+        assert!(!s.structure().related(1, b1, u));
+        // Bits of other nodes are not owned.
+        let other = s.bit_elem(NodeId(0), 1).unwrap();
+        assert!(!s.structure().related(1, u, other));
+    }
+
+    #[test]
+    fn empty_label_node_has_no_bits() {
+        let g = figure4_like_graph();
+        let s = GraphStructure::of(&g);
+        assert_eq!(s.bit_elem(NodeId(2), 1), None);
+    }
+
+    #[test]
+    fn kinds_and_owner_round_trip() {
+        let g = figure4_like_graph();
+        let s = GraphStructure::of(&g);
+        assert_eq!(s.kind(s.node_elem(NodeId(2))), ElemKind::Node(NodeId(2)));
+        let b = s.bit_elem(NodeId(1), 2).unwrap();
+        assert_eq!(s.kind(b), ElemKind::Bit { node: NodeId(1), pos: 2 });
+        assert_eq!(s.owner(b), NodeId(1));
+        assert_eq!(s.owner(s.node_elem(NodeId(0))), NodeId(0));
+    }
+
+    #[test]
+    fn neighborhood_cards_match_paper_example() {
+        // The paper (Section 3) gives, for the upper-right node u of the
+        // Figure 4 graph: card(N_0^$G(u)) = 4, card(N_1^$G(u)) = 8,
+        // N_2^$G(u) = $G. We reproduce the arithmetic shape with our
+        // stand-in graph: pick the node with a 3-bit label.
+        let g = LabeledGraph::from_edges(
+            vec![
+                BitString::from_bits01("101"), // u: node + 3 bits = 4 elements
+                BitString::from_bits01("1"),
+                BitString::from_bits01("0"),
+                BitString::new(),
+            ],
+            &[(0, 1), (0, 2), (1, 2), (2, 3)],
+        )
+        .unwrap();
+        let s = GraphStructure::of(&g);
+        assert_eq!(s.neighborhood_card(&g, NodeId(0), 0), 4);
+        assert_eq!(s.neighborhood_card(&g, NodeId(0), 1), 8);
+        assert_eq!(s.neighborhood_card(&g, NodeId(0), 2), s.structure().card());
+    }
+
+    #[test]
+    fn gaifman_ball_grows_with_radius() {
+        let g = generators::labeled_path(&["11", "0", ""]);
+        let s = GraphStructure::of(&g);
+        let u = s.node_elem(NodeId(0));
+        // r=0: just u. r=1: u, its neighbor node, and its first bit
+        // (bit 1 connects to u via ⇀₂; bit 2 is 2 steps away via successor).
+        assert_eq!(s.structure().gaifman_ball(u, 0), vec![u]);
+        let ball1 = s.structure().gaifman_ball(u, 1);
+        assert_eq!(ball1.len(), 1 + 1 + 2); // u + neighbor + u's two bits
+        let all = s.structure().gaifman_ball(u, 3);
+        assert_eq!(all.len(), s.structure().card());
+    }
+
+    #[test]
+    fn string_structure_example_from_paper() {
+        // 010011 as in Section 2.3.
+        let mut s = Structure::new(6, 1, 1);
+        for i in 0..5 {
+            s.add_pair(0, ElemId(i), ElemId(i + 1));
+        }
+        for i in [1, 4, 5] {
+            s.add_unary(0, ElemId(i));
+        }
+        assert_eq!(s.unary_members(0).count(), 3);
+        assert_eq!(s.pairs(0).count(), 5);
+        assert!(s.connected(ElemId(2), ElemId(1)));
+        assert!(!s.connected(ElemId(0), ElemId(2)));
+    }
+}

@@ -1,0 +1,380 @@
+//! Second-order model checking by exhaustive game search.
+//!
+//! A sentence `Q₁R₁ … Q_nR_n M` is checked by playing the Eve/Adam game
+//! over relation interpretations: existential variables try all candidates
+//! until one makes the rest true, universal ones until one makes the rest
+//! false. Candidate relations are enumerated as subsets of a *tuple
+//! universe* determined by each variable's [`Support`] hint.
+//!
+//! This is inherently exponential — it is the semantics, not an algorithm —
+//! so the checker carries an explicit work budget and errors out instead of
+//! silently running forever. For larger instances, the workspace's
+//! certificate games (`lph-core`) and compiled arbiters (`lph-fagin`)
+//! provide the operational route the paper actually takes.
+
+use std::error::Error;
+use std::fmt;
+
+use lph_graphs::{ElemId, GraphStructure, Structure};
+
+use crate::sentence::{Matrix, Quantifier, Sentence, SoQuant, Support};
+use crate::var::{Assignment, Relation};
+
+/// Budget and size limits for [`Sentence::check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckOptions {
+    /// Maximum number of matrix evaluations before giving up.
+    pub max_matrix_evals: u64,
+    /// Maximum size of a single variable's tuple universe (the relation
+    /// space is `2^tuples`).
+    pub max_tuples_per_var: usize,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions { max_matrix_evals: 5_000_000, max_tuples_per_var: 22 }
+    }
+}
+
+/// Why a check could not be completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckError {
+    /// A variable's tuple universe exceeded
+    /// [`CheckOptions::max_tuples_per_var`].
+    TooManyTuples {
+        /// Display form of the offending variable.
+        var: String,
+        /// Size of its tuple universe.
+        tuples: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The matrix-evaluation budget was exhausted.
+    BudgetExceeded {
+        /// The configured budget.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::TooManyTuples { var, tuples, limit } => write!(
+                f,
+                "relation variable {var} ranges over {tuples} tuples (limit {limit}); \
+                 the relation space is too large for exhaustive checking"
+            ),
+            CheckError::BudgetExceeded { limit } => {
+                write!(f, "exceeded the budget of {limit} matrix evaluations")
+            }
+        }
+    }
+}
+
+impl Error for CheckError {}
+
+struct Ctx<'a> {
+    s: &'a Structure,
+    nodes: Option<&'a [ElemId]>,
+    opts: CheckOptions,
+    evals: u64,
+    quants: Vec<(Quantifier, SoQuant)>,
+}
+
+impl Ctx<'_> {
+    fn universe(&self, q: &SoQuant) -> Result<Vec<Vec<ElemId>>, CheckError> {
+        let elems: Vec<ElemId> = match (q.support, self.nodes) {
+            (Support::NodesOnly, Some(nodes)) => nodes.to_vec(),
+            _ => self.s.elements().collect(),
+        };
+        let k = q.var.arity as usize;
+        let count = elems.len().checked_pow(k as u32).unwrap_or(usize::MAX);
+        if count > self.opts.max_tuples_per_var {
+            return Err(CheckError::TooManyTuples {
+                var: q.var.to_string(),
+                tuples: count,
+                limit: self.opts.max_tuples_per_var,
+            });
+        }
+        // Enumerate elems^k in mixed-radix order.
+        let mut out = Vec::with_capacity(count);
+        let mut idx = vec![0usize; k];
+        loop {
+            out.push(idx.iter().map(|&i| elems[i]).collect());
+            let mut pos = k;
+            loop {
+                if pos == 0 {
+                    return Ok(out);
+                }
+                pos -= 1;
+                idx[pos] += 1;
+                if idx[pos] < elems.len() {
+                    break;
+                }
+                idx[pos] = 0;
+            }
+        }
+    }
+
+    fn eval_matrix(&mut self, m: &Matrix, sigma: &mut Assignment) -> Result<bool, CheckError> {
+        self.evals += 1;
+        if self.evals > self.opts.max_matrix_evals {
+            return Err(CheckError::BudgetExceeded { limit: self.opts.max_matrix_evals });
+        }
+        Ok(match m {
+            Matrix::Lfo { x, body } => self.s.elements().all(|a| {
+                sigma.push_fo(*x, a);
+                let v = body.eval(self.s, sigma);
+                sigma.pop_fo();
+                v
+            }),
+            Matrix::Fo(f) => f.eval(self.s, sigma),
+        })
+    }
+
+    fn game(
+        &mut self,
+        i: usize,
+        m: &Matrix,
+        sigma: &mut Assignment,
+    ) -> Result<bool, CheckError> {
+        if i == self.quants.len() {
+            return self.eval_matrix(m, sigma);
+        }
+        let (quant, sq) = self.quants[i];
+        let universe = self.universe(&sq)?;
+        let t = universe.len();
+        debug_assert!(t <= 63);
+        for mask in 0u64..(1u64 << t) {
+            let rel = Relation::from_tuples(
+                sq.var.arity as usize,
+                (0..t).filter(|j| mask >> j & 1 == 1).map(|j| universe[j].clone()),
+            );
+            sigma.push_so(sq.var, rel);
+            let sub = self.game(i + 1, m, sigma);
+            sigma.pop_so();
+            let sub = sub?;
+            match quant {
+                Quantifier::Exists if sub => return Ok(true),
+                Quantifier::Forall if !sub => return Ok(false),
+                _ => {}
+            }
+        }
+        Ok(quant == Quantifier::Forall)
+    }
+}
+
+impl Sentence {
+    /// Checks the sentence on a structure. `nodes`, when given, is the
+    /// element set used for [`Support::NodesOnly`] variables (without it
+    /// they fall back to the full domain).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckError`] when the search space or budget limits are
+    /// exceeded.
+    pub fn check(
+        &self,
+        s: &Structure,
+        nodes: Option<&[ElemId]>,
+        opts: &CheckOptions,
+    ) -> Result<bool, CheckError> {
+        let mut ctx =
+            Ctx { s, nodes, opts: *opts, evals: 0, quants: self.flat_quantifiers() };
+        ctx.game(0, &self.matrix, &mut Assignment::new())
+    }
+
+    /// Checks the sentence on a graph's structural representation, using
+    /// the graph's node elements for [`Support::NodesOnly`] variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckError`] when the search space or budget limits are
+    /// exceeded.
+    pub fn check_on_graph(
+        &self,
+        gs: &GraphStructure,
+        opts: &CheckOptions,
+    ) -> Result<bool, CheckError> {
+        self.check(gs.structure(), Some(gs.node_elems()), opts)
+    }
+
+    /// Checks the sentence with the relations of the *first* quantified
+    /// variables fixed to the given witness interpretations (in prefix
+    /// order), quantifying only over the rest. Used to validate the
+    /// constructive Eve strategies described in the paper's Examples 4–7 on
+    /// instances too large for a full game search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckError`] on budget/size limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more witnesses than quantified variables are supplied or a
+    /// witness arity mismatches its variable.
+    pub fn check_with_witness(
+        &self,
+        witnesses: &[Relation],
+        s: &Structure,
+        nodes: Option<&[ElemId]>,
+        opts: &CheckOptions,
+    ) -> Result<bool, CheckError> {
+        let quants = self.flat_quantifiers();
+        assert!(witnesses.len() <= quants.len(), "too many witnesses");
+        let mut sigma = Assignment::new();
+        for (w, (_, sq)) in witnesses.iter().zip(&quants) {
+            assert_eq!(w.arity(), sq.var.arity as usize, "witness arity mismatch");
+            sigma.push_so(sq.var, w.clone());
+        }
+        let mut ctx = Ctx {
+            s,
+            nodes,
+            opts: *opts,
+            evals: 0,
+            quants: quants[witnesses.len()..].to_vec(),
+        };
+        ctx.game(0, &self.matrix, &mut sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::sentence::SoBlock;
+    use crate::var::{FoVar, SoVar};
+    use lph_graphs::generators;
+
+    /// `∃X ∀x (X(x) ↔ ⊙₁x)` — trivially true: Eve picks X = the 1-bits.
+    fn exists_matching_set() -> Sentence {
+        let x = FoVar(0);
+        let big_x = SoVar::set(0);
+        Sentence::new(
+            vec![SoBlock { quantifier: Quantifier::Exists, vars: vec![SoQuant::all(big_x)] }],
+            Matrix::Fo(forall(x, iff(app(big_x, vec![x]), unary(0, x)))),
+        )
+    }
+
+    /// `∀X ∃x X(x)` — false: Adam picks X = ∅.
+    fn forall_nonempty() -> Sentence {
+        let x = FoVar(0);
+        let big_x = SoVar::set(0);
+        Sentence::new(
+            vec![SoBlock { quantifier: Quantifier::Forall, vars: vec![SoQuant::all(big_x)] }],
+            Matrix::Fo(exists(x, app(big_x, vec![x]))),
+        )
+    }
+
+    #[test]
+    fn existential_witness_is_found() {
+        let g = generators::labeled_path(&["1", "0", "1"]);
+        let s = lph_graphs::GraphStructure::of(&g);
+        assert!(exists_matching_set()
+            .check(s.structure(), None, &CheckOptions::default())
+            .unwrap());
+    }
+
+    #[test]
+    fn universal_counterexample_is_found() {
+        let g = generators::path(2);
+        let s = lph_graphs::GraphStructure::of(&g);
+        assert!(!forall_nonempty()
+            .check(s.structure(), None, &CheckOptions::default())
+            .unwrap());
+    }
+
+    #[test]
+    fn alternation_order_matters() {
+        // ∃X ∀x (X(x) ↔ ⊙₁x) is true, but ∀X ∃x ¬(X(x) ↔ ⊙₁x) is its
+        // negation-ish dual and must be false on any structure (Adam cannot
+        // beat the matching set — wait, Adam *picks* X here, so he picks the
+        // matching set and the ∃x fails).
+        let x = FoVar(0);
+        let big_x = SoVar::set(0);
+        let dual = Sentence::new(
+            vec![SoBlock { quantifier: Quantifier::Forall, vars: vec![SoQuant::all(big_x)] }],
+            Matrix::Fo(exists(x, not(iff(app(big_x, vec![x]), unary(0, x))))),
+        );
+        let g = generators::labeled_path(&["1", "0"]);
+        let s = lph_graphs::GraphStructure::of(&g);
+        assert!(!dual.check(s.structure(), None, &CheckOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn nodes_only_support_shrinks_the_universe() {
+        // ∃X (∀x: X(x) → IsNode(x)) ∧ (∀x: IsNode(x) → X(x)): with
+        // NodesOnly support the witness is the full node set.
+        let x = FoVar(0);
+        let aux = FoVar(1);
+        let big_x = SoVar::set(0);
+        let phi = Sentence::new(
+            vec![SoBlock::exists(vec![big_x])],
+            Matrix::Fo(forall(x, iff(app(big_x, vec![x]), is_node(x, aux)))),
+        );
+        let g = generators::labeled_path(&["101", "11"]);
+        let gs = lph_graphs::GraphStructure::of(&g);
+        assert!(phi.check_on_graph(&gs, &CheckOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        // ∃X ∀x X(x): the only witness is the full set, which mask-order
+        // enumeration reaches last — so a budget of 2 evals must trip.
+        let x = FoVar(0);
+        let big_x = SoVar::set(0);
+        let phi = Sentence::new(
+            vec![SoBlock { quantifier: Quantifier::Exists, vars: vec![SoQuant::all(big_x)] }],
+            Matrix::Fo(forall(x, app(big_x, vec![x]))),
+        );
+        let g = generators::path(3);
+        let s = lph_graphs::GraphStructure::of(&g);
+        let opts = CheckOptions { max_matrix_evals: 2, max_tuples_per_var: 22 };
+        let err = phi.check(s.structure(), None, &opts).unwrap_err();
+        assert_eq!(err, CheckError::BudgetExceeded { limit: 2 });
+    }
+
+    #[test]
+    fn tuple_limit_is_enforced() {
+        let g = generators::path(5); // 10 elements with labels
+        let s = lph_graphs::GraphStructure::of(&g);
+        let r = SoVar::binary(0);
+        let x = FoVar(0);
+        let phi = Sentence::new(
+            vec![SoBlock { quantifier: Quantifier::Exists, vars: vec![SoQuant::all(r)] }],
+            Matrix::Fo(forall(x, not(app(r, vec![x, x])))),
+        );
+        let err = phi.check(s.structure(), None, &CheckOptions::default()).unwrap_err();
+        assert!(matches!(err, CheckError::TooManyTuples { .. }));
+    }
+
+    #[test]
+    fn witness_checking_fixes_outer_relations() {
+        let g = generators::labeled_path(&["1", "0"]);
+        let s = lph_graphs::GraphStructure::of(&g);
+        let phi = exists_matching_set();
+        // Correct witness: exactly the 1-bits.
+        let ones = Relation::from_set(s.structure().unary_members(0));
+        assert!(phi
+            .check_with_witness(&[ones], s.structure(), None, &CheckOptions::default())
+            .unwrap());
+        // Wrong witness: empty set (there is a 1-bit, so the ↔ fails).
+        let empty = Relation::empty(1);
+        assert!(!phi
+            .check_with_witness(&[empty], s.structure(), None, &CheckOptions::default())
+            .unwrap());
+    }
+
+    #[test]
+    fn empty_prefix_is_plain_fo_checking() {
+        let x = FoVar(0);
+        let phi = Sentence::new(vec![], Matrix::Fo(exists(x, unary(0, x))));
+        let g = generators::labeled_path(&["0", "1"]);
+        let s = lph_graphs::GraphStructure::of(&g);
+        assert!(phi.check(s.structure(), None, &CheckOptions::default()).unwrap());
+        let g = generators::labeled_path(&["0", "0"]);
+        let s = lph_graphs::GraphStructure::of(&g);
+        assert!(!phi.check(s.structure(), None, &CheckOptions::default()).unwrap());
+    }
+}

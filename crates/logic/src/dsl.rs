@@ -1,0 +1,273 @@
+//! Concise constructors for [`Formula`]s, plus the graph-specific helper
+//! formulas of Section 5 (`IsNode`, `IsBit`, node-restricted quantifiers).
+//!
+//! On structural representations of graphs (signature `(1, 2)`), relation 0
+//! is `⇀₁` (edges and bit successors) and relation 1 is `⇀₂` (bit
+//! ownership); the unary relation 0 is `⊙₁` (bits of value 1).
+
+use crate::var::{FoVar, SoVar};
+use crate::Formula;
+
+/// `⊙_{rel+1} x`.
+pub fn unary(rel: usize, x: FoVar) -> Formula {
+    Formula::Unary { rel, x }
+}
+
+/// `x ⇀_{rel+1} y`.
+pub fn edge(rel: usize, x: FoVar, y: FoVar) -> Formula {
+    Formula::Edge { rel, x, y }
+}
+
+/// `x ≐ y`.
+pub fn eq(x: FoVar, y: FoVar) -> Formula {
+    Formula::Eq(x, y)
+}
+
+/// `x ≐ y` negated.
+pub fn neq(x: FoVar, y: FoVar) -> Formula {
+    not(eq(x, y))
+}
+
+/// `R(args…)`.
+///
+/// # Panics
+///
+/// Panics if the argument count does not match the variable's arity.
+pub fn app(rel: SoVar, args: Vec<FoVar>) -> Formula {
+    assert_eq!(args.len(), rel.arity as usize, "arity mismatch for {rel}");
+    Formula::App { rel, args }
+}
+
+/// `¬φ`.
+pub fn not(f: Formula) -> Formula {
+    Formula::Not(Box::new(f))
+}
+
+/// n-ary conjunction.
+pub fn and(fs: Vec<Formula>) -> Formula {
+    Formula::And(fs)
+}
+
+/// n-ary disjunction.
+pub fn or(fs: Vec<Formula>) -> Formula {
+    Formula::Or(fs)
+}
+
+/// `φ → ψ`.
+pub fn implies(a: Formula, b: Formula) -> Formula {
+    Formula::Implies(Box::new(a), Box::new(b))
+}
+
+/// `φ ↔ ψ`.
+pub fn iff(a: Formula, b: Formula) -> Formula {
+    Formula::Iff(Box::new(a), Box::new(b))
+}
+
+/// Unbounded `∃x φ`.
+pub fn exists(x: FoVar, body: Formula) -> Formula {
+    Formula::Exists { x, body: Box::new(body) }
+}
+
+/// Unbounded `∀x φ`.
+pub fn forall(x: FoVar, body: Formula) -> Formula {
+    Formula::Forall { x, body: Box::new(body) }
+}
+
+/// Strict `∃x ⇌ y φ` (Table 1 line 8): `x` ranges over the elements
+/// *connected* to `y`, excluding `y` itself on loop-free structures.
+///
+/// # Panics
+///
+/// Panics if `x == anchor` (the grammar requires distinct variables).
+pub fn exists_adj(x: FoVar, anchor: FoVar, body: Formula) -> Formula {
+    assert_ne!(x, anchor, "bounded quantification requires x ≠ y");
+    Formula::ExistsAdj { x, anchor, body: Box::new(body) }
+}
+
+/// Strict `∀x ⇌ y φ`.
+///
+/// # Panics
+///
+/// Panics if `x == anchor`.
+pub fn forall_adj(x: FoVar, anchor: FoVar, body: Formula) -> Formula {
+    assert_ne!(x, anchor, "bounded quantification requires x ≠ y");
+    Formula::ForallAdj { x, anchor, body: Box::new(body) }
+}
+
+/// Bounded `∃x ⇌≤r y φ` (includes the anchor at distance 0).
+///
+/// # Panics
+///
+/// Panics if `x == anchor` (the grammar requires distinct variables).
+pub fn exists_near(x: FoVar, anchor: FoVar, radius: usize, body: Formula) -> Formula {
+    assert_ne!(x, anchor, "bounded quantification requires x ≠ y");
+    Formula::ExistsNear { x, anchor, radius, body: Box::new(body) }
+}
+
+/// Bounded `∀x ⇌≤r y φ`.
+///
+/// # Panics
+///
+/// Panics if `x == anchor`.
+pub fn forall_near(x: FoVar, anchor: FoVar, radius: usize, body: Formula) -> Formula {
+    assert_ne!(x, anchor, "bounded quantification requires x ≠ y");
+    Formula::ForallNear { x, anchor, radius, body: Box::new(body) }
+}
+
+// --- Graph-specific helpers (structural representations, Section 5.1) ---
+
+/// `IsNode(x) = ¬∃y⇌x (y ⇀₂ x)`: nothing owns `x`, so `x` is a node, not a
+/// labeling bit. `aux` must be a variable not otherwise used.
+pub fn is_node(x: FoVar, aux: FoVar) -> Formula {
+    not(exists_adj(aux, x, edge(1, aux, x)))
+}
+
+/// `IsSelected(x)` (Example 2): node `x` is labeled with exactly the string
+/// `1`. `aux1`/`aux2` are fresh helper variables.
+pub fn is_selected(x: FoVar, aux1: FoVar, aux2: FoVar) -> Formula {
+    exists_adj(
+        aux1,
+        x,
+        and(vec![
+            is_bit1(aux1, aux2),
+            not(exists_adj(aux2, aux1, or(vec![edge(0, aux2, aux1), edge(0, aux1, aux2)]))),
+        ]),
+    )
+}
+
+/// Node-restricted strict adjacency: `∃°y ⇌ x φ`.
+pub fn exists_node_adj(x: FoVar, anchor: FoVar, aux: FoVar, body: Formula) -> Formula {
+    exists_adj(x, anchor, and(vec![is_node(x, aux), body]))
+}
+
+/// Node-restricted strict adjacency: `∀°y ⇌ x φ`.
+pub fn forall_node_adj(x: FoVar, anchor: FoVar, aux: FoVar, body: Formula) -> Formula {
+    forall_adj(x, anchor, implies(is_node(x, aux), body))
+}
+
+/// `IsBit₀(x)`: a labeling bit of value 0.
+pub fn is_bit0(x: FoVar, aux: FoVar) -> Formula {
+    and(vec![not(is_node(x, aux)), not(unary(0, x))])
+}
+
+/// `IsBit₁(x)`: a labeling bit of value 1.
+pub fn is_bit1(x: FoVar, aux: FoVar) -> Formula {
+    and(vec![not(is_node(x, aux)), unary(0, x)])
+}
+
+/// Node-restricted bounded existential: `∃°x ⇌≤r y φ`, i.e.
+/// `∃x ⇌≤r y (IsNode(x) ∧ φ)`. `aux` is a fresh helper variable.
+pub fn exists_node_near(
+    x: FoVar,
+    anchor: FoVar,
+    radius: usize,
+    aux: FoVar,
+    body: Formula,
+) -> Formula {
+    exists_near(x, anchor, radius, and(vec![is_node(x, aux), body]))
+}
+
+/// Node-restricted bounded universal: `∀°x ⇌≤r y φ`.
+pub fn forall_node_near(
+    x: FoVar,
+    anchor: FoVar,
+    radius: usize,
+    aux: FoVar,
+    body: Formula,
+) -> Formula {
+    forall_near(x, anchor, radius, implies(is_node(x, aux), body))
+}
+
+/// Node-restricted unbounded universal `∀°x φ` (the outermost quantifier of
+/// LFO sentences).
+pub fn forall_node(x: FoVar, aux: FoVar, body: Formula) -> Formula {
+    forall(x, implies(is_node(x, aux), body))
+}
+
+/// Node-restricted unbounded existential `∃°x φ`.
+pub fn exists_node(x: FoVar, aux: FoVar, body: Formula) -> Formula {
+    exists(x, and(vec![is_node(x, aux), body]))
+}
+
+/// `Adjacent(x, y) = x ⇀₁ y ∨ y ⇀₁ x` — since `⇀₁` stores both
+/// orientations of every graph edge, either direction works for node pairs,
+/// but the symmetric form is also correct on bit chains.
+pub fn adjacent(x: FoVar, y: FoVar) -> Formula {
+    or(vec![edge(0, x, y), edge(0, y, x)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Assignment;
+    use lph_graphs::{generators, GraphStructure, NodeId};
+
+    #[test]
+    fn is_node_distinguishes_nodes_from_bits() {
+        let g = generators::labeled_path(&["1", "0"]);
+        let s = GraphStructure::of(&g);
+        let (x, aux) = (FoVar(0), FoVar(1));
+        let phi = is_node(x, aux);
+        let mut sig = Assignment::new();
+        sig.push_fo(x, s.node_elem(NodeId(0)));
+        assert!(phi.eval(s.structure(), &mut sig));
+        sig.pop_fo();
+        sig.push_fo(x, s.bit_elem(NodeId(0), 1).unwrap());
+        assert!(!phi.eval(s.structure(), &mut sig));
+    }
+
+    #[test]
+    fn is_bit_values() {
+        let g = generators::labeled_path(&["1", "0"]);
+        let s = GraphStructure::of(&g);
+        let (x, aux) = (FoVar(0), FoVar(1));
+        let mut sig = Assignment::new();
+        sig.push_fo(x, s.bit_elem(NodeId(0), 1).unwrap());
+        assert!(is_bit1(x, aux).eval(s.structure(), &mut sig));
+        assert!(!is_bit0(x, aux).eval(s.structure(), &mut sig));
+        sig.pop_fo();
+        sig.push_fo(x, s.bit_elem(NodeId(1), 1).unwrap());
+        assert!(is_bit0(x, aux).eval(s.structure(), &mut sig));
+    }
+
+    #[test]
+    fn node_restricted_quantifiers_skip_bits() {
+        let g = generators::labeled_path(&["1", "1"]);
+        let s = GraphStructure::of(&g);
+        let (x, y, aux) = (FoVar(0), FoVar(1), FoVar(2));
+        // ∀°y ⇌≤2 x: all nodes within distance 2 are nodes (trivially true),
+        // while the unrestricted version is false because bits are not nodes.
+        let mut sig = Assignment::new();
+        sig.push_fo(x, s.node_elem(NodeId(0)));
+        let restricted = forall_node_near(y, x, 2, aux, is_node(y, aux));
+        assert!(restricted.eval(s.structure(), &mut sig));
+        let unrestricted = forall_near(y, x, 2, is_node(y, aux));
+        assert!(!unrestricted.eval(s.structure(), &mut sig));
+    }
+
+    #[test]
+    fn adjacency_works_both_ways() {
+        let g = generators::path(2);
+        let s = GraphStructure::of(&g);
+        let (x, y) = (FoVar(0), FoVar(1));
+        let mut sig = Assignment::new();
+        sig.push_fo(x, s.node_elem(NodeId(0)));
+        sig.push_fo(y, s.node_elem(NodeId(1)));
+        assert!(adjacent(x, y).eval(s.structure(), &mut sig));
+        assert!(adjacent(y, x).eval(s.structure(), &mut sig));
+    }
+
+    #[test]
+    #[should_panic(expected = "x ≠ y")]
+    fn bounded_quantifier_rejects_equal_vars() {
+        let x = FoVar(0);
+        let _ = exists_near(x, x, 1, Formula::True);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn app_checks_arity() {
+        let r = SoVar::binary(0);
+        let _ = app(r, vec![FoVar(0)]);
+    }
+}

@@ -1,0 +1,523 @@
+//! The paper's example formulas (Section 5.2, Examples 2–7) as executable
+//! constructors, together with the `PointsTo` spanning-forest schema of
+//! Example 4.
+//!
+//! Fixed variable conventions (all constructors use the same):
+//!
+//! * `x = FoVar(0)` — the outer `∀°x` variable of every LFO matrix;
+//! * helper first-order variables are drawn from indices ≥ 10;
+//! * second-order variables: `P = binary 0`, `X = set 1`, `Y = set 2`,
+//!   `H = binary 3`, `S = set 4`, `C = set 5`, `C₀,C₁,C₂ = sets 6,7,8`.
+
+use crate::dsl::*;
+use crate::sentence::{Matrix, SoBlock};
+use crate::var::{FoVar, SoVar};
+use crate::{Formula, Sentence};
+
+/// The LFO universal variable `x`.
+pub fn var_x() -> FoVar {
+    FoVar(0)
+}
+
+/// The spanning-forest pointer relation `P` (Example 4).
+pub fn var_p() -> SoVar {
+    SoVar::binary(0)
+}
+
+/// Adam's challenge set `X` (Example 4).
+pub fn var_big_x() -> SoVar {
+    SoVar::set(1)
+}
+
+/// Eve's charge set `Y` (Example 4).
+pub fn var_big_y() -> SoVar {
+    SoVar::set(2)
+}
+
+/// The spanning-subgraph relation `H` (Example 6).
+pub fn var_h() -> SoVar {
+    SoVar::binary(3)
+}
+
+/// Adam's partition set `S` (Example 6).
+pub fn var_s() -> SoVar {
+    SoVar::set(4)
+}
+
+/// Eve's case-distinction set `C` (Example 6).
+pub fn var_c() -> SoVar {
+    SoVar::set(5)
+}
+
+/// The three color sets `C₀, C₁, C₂` (Example 3).
+pub fn var_colors() -> [SoVar; 3] {
+    [SoVar::set(6), SoVar::set(7), SoVar::set(8)]
+}
+
+/// **Example 2** — `ALL-SELECTED` as the LFO sentence
+/// `∀°x IsSelected(x)`.
+pub fn all_selected() -> Sentence {
+    let x = var_x();
+    let (a1, a2, a3) = (FoVar(10), FoVar(11), FoVar(12));
+    Sentence::lfo(x, implies(is_node(x, a3), is_selected(x, a1, a2)))
+}
+
+/// `WellColored(x)` (Example 3): `x` has exactly one of the three colors
+/// and differs from all neighbors.
+pub fn well_colored(x: FoVar) -> Formula {
+    let [c0, c1, c2] = var_colors();
+    let colors = [c0, c1, c2];
+    let y = FoVar(13);
+    let aux = FoVar(14);
+    let has_some = or(colors.iter().map(|&c| app(c, vec![x])).collect());
+    let mut exclusive = Vec::new();
+    for i in 0..3 {
+        for j in 0..3 {
+            if i != j {
+                exclusive
+                    .push(not(and(vec![app(colors[i], vec![x]), app(colors[j], vec![x])])));
+            }
+        }
+    }
+    let differs = forall_node_adj(
+        y,
+        x,
+        aux,
+        and(colors.iter().map(|&c| not(and(vec![app(c, vec![x]), app(c, vec![y])]))).collect()),
+    );
+    and(vec![has_some, and(exclusive), differs])
+}
+
+/// **Example 3** — `3-COLORABLE` as the `Σ₁^LFO` sentence
+/// `∃C₀,C₁,C₂ ∀°x WellColored(x)`.
+pub fn three_colorable() -> Sentence {
+    let x = var_x();
+    let aux = FoVar(15);
+    Sentence::new(
+        vec![SoBlock::exists(var_colors().to_vec())],
+        Matrix::Lfo { x, body: implies(is_node(x, aux), well_colored(x)) },
+    )
+}
+
+/// The `k-COLORABLE` generalization of Example 3 (the paper's Proposition
+/// 21 uses `k = 2`): `∃C₀,…,C_{k−1} ∀°x WellColoredₖ(x)`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn k_colorable(k: usize) -> Sentence {
+    assert!(k >= 1);
+    let x = var_x();
+    let aux = FoVar(15);
+    let y = FoVar(13);
+    let aux2 = FoVar(14);
+    let colors: Vec<SoVar> = (0..k).map(|i| SoVar::set(30 + i as u32)).collect();
+    let has_some = or(colors.iter().map(|&c| app(c, vec![x])).collect());
+    let mut exclusive = Vec::new();
+    for i in 0..k {
+        for j in 0..k {
+            if i != j {
+                exclusive.push(not(and(vec![
+                    app(colors[i], vec![x]),
+                    app(colors[j], vec![x]),
+                ])));
+            }
+        }
+    }
+    let differs = forall_node_adj(
+        y,
+        x,
+        aux2,
+        and(colors
+            .iter()
+            .map(|&c| not(and(vec![app(c, vec![x]), app(c, vec![y])])))
+            .collect()),
+    );
+    let body = implies(
+        is_node(x, aux),
+        and(vec![has_some, and(exclusive), differs]),
+    );
+    Sentence::new(vec![SoBlock::exists(colors)], Matrix::Lfo { x, body })
+}
+
+/// The `PointsTo[θ]` formula schema of Example 4: `x` has a unique parent
+/// pointer under `P`; roots satisfy `θ` and are positively charged; children
+/// copy or flip their parent's charge in `Y` according to membership in `X`.
+///
+/// `theta` receives the variable at which the target condition is
+/// evaluated.
+pub fn points_to(x: FoVar, theta: impl Fn(FoVar) -> Formula) -> Formula {
+    let p = var_p();
+    let big_x = var_big_x();
+    let big_y = var_big_y();
+    let y = FoVar(16);
+    let z = FoVar(17);
+    let aux = FoVar(18);
+
+    let unique_parent = exists_node_near(
+        y,
+        x,
+        1,
+        aux,
+        and(vec![
+            app(p, vec![x, y]),
+            forall_node_near(z, x, 1, aux, implies(app(p, vec![x, z]), eq(z, y))),
+        ]),
+    );
+    let root_case =
+        implies(app(p, vec![x, x]), and(vec![theta(x), app(big_y, vec![x])]));
+    let child_case = implies(
+        not(app(p, vec![x, x])),
+        exists_node_adj(
+            y,
+            x,
+            aux,
+            and(vec![
+                app(p, vec![x, y]),
+                iff(
+                    app(big_y, vec![x]),
+                    not(iff(app(big_y, vec![y]), app(big_x, vec![x]))),
+                ),
+            ]),
+        ),
+    );
+    and(vec![unique_parent, root_case, child_case])
+}
+
+/// **Example 4** — `NOT-ALL-SELECTED` as the `Σ₃^LFO` sentence
+/// `∃P ∀X ∃Y ∀°x PointsTo[¬IsSelected](x)`.
+pub fn not_all_selected() -> Sentence {
+    let x = var_x();
+    let aux = FoVar(19);
+    let body = implies(
+        is_node(x, aux),
+        points_to(x, |v| not(is_selected(v, FoVar(20), FoVar(21)))),
+    );
+    Sentence::new(
+        vec![
+            SoBlock::exists(vec![var_p()]),
+            SoBlock::forall(vec![var_big_x()]),
+            SoBlock::exists(vec![var_big_y()]),
+        ],
+        Matrix::Lfo { x, body },
+    )
+}
+
+/// **Example 5** — `NON-3-COLORABLE` as the `Π₄^LFO` sentence
+/// `∀C₀,C₁,C₂ ∃P ∀X ∃Y ∀°x PointsTo[¬WellColored](x)`.
+pub fn non_three_colorable() -> Sentence {
+    let x = var_x();
+    let aux = FoVar(19);
+    let body = implies(is_node(x, aux), points_to(x, |v| not(well_colored(v))));
+    Sentence::new(
+        vec![
+            SoBlock::forall(var_colors().to_vec()),
+            SoBlock::exists(vec![var_p()]),
+            SoBlock::forall(vec![var_big_x()]),
+            SoBlock::exists(vec![var_big_y()]),
+        ],
+        Matrix::Lfo { x, body },
+    )
+}
+
+/// `DegreeTwo(x)` (Example 6): `x` has exactly two `H`-neighbors, and `H`
+/// is symmetric at `x`.
+pub fn degree_two(x: FoVar) -> Formula {
+    let h = var_h();
+    let (y1, y2, z, aux) = (FoVar(22), FoVar(23), FoVar(24), FoVar(25));
+    exists_node_adj(
+        y1,
+        x,
+        aux,
+        exists_node_adj(
+            y2,
+            x,
+            aux,
+            and(vec![
+                neq(y1, y2),
+                app(h, vec![x, y1]),
+                app(h, vec![y1, x]),
+                app(h, vec![x, y2]),
+                app(h, vec![y2, x]),
+                forall_node_adj(
+                    z,
+                    x,
+                    aux,
+                    implies(
+                        or(vec![app(h, vec![x, z]), app(h, vec![z, x])]),
+                        or(vec![eq(z, y1), eq(z, y2)]),
+                    ),
+                ),
+            ]),
+        ),
+    )
+}
+
+/// `InAgreementOn[R](x)` (Example 6): all neighbors of `x` agree with `x`
+/// about membership in the set `R`.
+pub fn in_agreement_on(set: SoVar, x: FoVar) -> Formula {
+    let y = FoVar(26);
+    let aux = FoVar(27);
+    forall_node_adj(y, x, aux, iff(app(set, vec![x]), app(set, vec![y])))
+}
+
+/// `DiscontinuityAt(x)` (Example 6): some `H`-neighbor of `x` lies on the
+/// other side of the partition `S`.
+pub fn discontinuity_at(x: FoVar) -> Formula {
+    let h = var_h();
+    let s = var_s();
+    let y = FoVar(28);
+    let aux = FoVar(29);
+    exists_node_adj(
+        y,
+        x,
+        aux,
+        and(vec![app(h, vec![x, y]), iff(app(s, vec![x]), not(app(s, vec![y])))]),
+    )
+}
+
+/// **Example 6** — `HAMILTONIAN` as the `Σ₅^LFO` sentence
+/// `∃H ∀S ∃C,P ∀X ∃Y ∀°x (DegreeTwo(x) ∧ ConnectivityTest(x))`.
+pub fn hamiltonian() -> Sentence {
+    let x = var_x();
+    let c = var_c();
+    let s = var_s();
+    let aux = FoVar(19);
+    let trivial_case = implies(not(app(c, vec![x])), in_agreement_on(s, x));
+    let partitioned_case =
+        implies(app(c, vec![x]), points_to(x, discontinuity_at));
+    let connectivity_test =
+        and(vec![in_agreement_on(c, x), trivial_case, partitioned_case]);
+    let body = implies(is_node(x, aux), and(vec![degree_two(x), connectivity_test]));
+    Sentence::new(
+        vec![
+            SoBlock::exists(vec![var_h()]),
+            SoBlock::forall(vec![var_s()]),
+            SoBlock::exists(vec![var_c(), var_p()]),
+            SoBlock::forall(vec![var_big_x()]),
+            SoBlock::exists(vec![var_big_y()]),
+        ],
+        Matrix::Lfo { x, body },
+    )
+}
+
+/// **Example 7** — `NON-HAMILTONIAN` as the `Π₄^LFO` sentence
+/// `∀H ∃C,S,P ∀X ∃Y ∀°x (InAgreementOn[C](x) ∧ InvalidCase(x) ∧ DisjointCase(x))`.
+pub fn non_hamiltonian() -> Sentence {
+    let x = var_x();
+    let c = var_c();
+    let s = var_s();
+    let aux = FoVar(19);
+    let invalid_case =
+        implies(not(app(c, vec![x])), points_to(x, |v| not(degree_two(v))));
+    let division_at = |v: FoVar| not(in_agreement_on(s, v));
+    let disjoint_case = implies(
+        app(c, vec![x]),
+        and(vec![not(discontinuity_at(x)), points_to(x, division_at)]),
+    );
+    let body = implies(
+        is_node(x, aux),
+        and(vec![in_agreement_on(c, x), invalid_case, disjoint_case]),
+    );
+    Sentence::new(
+        vec![
+            SoBlock::forall(vec![var_h()]),
+            SoBlock::exists(vec![var_c(), var_s(), var_p()]),
+            SoBlock::forall(vec![var_big_x()]),
+            SoBlock::exists(vec![var_big_y()]),
+        ],
+        Matrix::Lfo { x, body },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::CheckOptions;
+    use lph_graphs::{enumerate, generators, BitString, GraphStructure, LabeledGraph};
+
+    fn strong_opts() -> CheckOptions {
+        CheckOptions { max_matrix_evals: 50_000_000, max_tuples_per_var: 22 }
+    }
+
+    fn truth(s: &Sentence, g: &LabeledGraph) -> bool {
+        s.check_on_graph(&GraphStructure::of(g), &strong_opts()).expect("within budget")
+    }
+
+    #[test]
+    fn levels_match_the_paper() {
+        assert_eq!(all_selected().level().to_string(), "Σ0 = Π0");
+        assert_eq!(three_colorable().level().to_string(), "Σ1");
+        assert_eq!(not_all_selected().level().to_string(), "Σ3");
+        assert_eq!(non_three_colorable().level().to_string(), "Π4");
+        assert_eq!(hamiltonian().level().to_string(), "Σ5");
+        assert_eq!(non_hamiltonian().level().to_string(), "Π4");
+    }
+
+    #[test]
+    fn all_matrices_are_local() {
+        for s in [
+            all_selected(),
+            three_colorable(),
+            not_all_selected(),
+            non_three_colorable(),
+            hamiltonian(),
+            non_hamiltonian(),
+        ] {
+            assert!(s.is_local(), "matrix of {s} must be LFO");
+        }
+    }
+
+    #[test]
+    fn all_selected_agrees_with_ground_truth() {
+        let phi = all_selected();
+        let zero = BitString::from_bits01("0");
+        let one = BitString::from_bits01("1");
+        for base in enumerate::connected_graphs_up_to(3) {
+            for g in enumerate::binary_labelings(&base, &zero, &one) {
+                let expected = g.labels().iter().all(|l| *l == one);
+                assert_eq!(truth(&phi, &g), expected, "graph: {g}");
+            }
+        }
+        // Longer labels starting with 1 are not "selected".
+        let g = generators::labeled_path(&["11", "1"]);
+        assert!(!truth(&phi, &g));
+    }
+
+    #[test]
+    fn three_colorable_agrees_with_ground_truth_on_small_graphs() {
+        let phi = three_colorable();
+        // K4 is not 3-colorable; C5 and K3 are; paths are.
+        assert!(truth(&phi, &generators::complete(3)));
+        assert!(!truth(&phi, &generators::complete(4)));
+        assert!(truth(&phi, &generators::cycle(5)));
+        assert!(truth(&phi, &generators::path(4)));
+    }
+
+    #[test]
+    fn k_colorable_matches_chromatic_numbers() {
+        // χ(C5) = 3, χ(P4) = 2, χ(K4) = 4.
+        assert!(!truth(&k_colorable(2), &generators::cycle(5)));
+        assert!(truth(&k_colorable(3), &generators::cycle(5)));
+        assert!(truth(&k_colorable(2), &generators::path(4)));
+        assert!(!truth(&k_colorable(3), &generators::complete(4)));
+        assert!(truth(&k_colorable(4), &generators::complete(4)));
+        assert!(truth(&k_colorable(1), &generators::path(1)));
+        assert_eq!(k_colorable(2).level().to_string(), "Σ1");
+    }
+
+    #[test]
+    fn not_all_selected_on_two_node_graphs() {
+        let phi = not_all_selected();
+        let g = generators::labeled_path(&["1", "0"]);
+        assert!(truth(&phi, &g), "an unselected node exists");
+        let g = generators::labeled_path(&["1", "1"]);
+        assert!(!truth(&phi, &g), "all nodes selected");
+    }
+
+    #[test]
+    fn not_all_selected_on_three_node_graphs() {
+        let phi = not_all_selected();
+        for labels in [["0", "1", "1"], ["1", "0", "1"], ["1", "1", "0"], ["0", "0", "0"]] {
+            let g = generators::labeled_cycle(&labels);
+            assert!(truth(&phi, &g), "labels {labels:?}");
+        }
+        let g = generators::labeled_cycle(&["1", "1", "1"]);
+        assert!(!truth(&phi, &g));
+    }
+
+    #[test]
+    fn points_to_demands_unique_parents() {
+        // With P = ∅ no node has a parent, so PointsTo fails everywhere;
+        // NOT-ALL-SELECTED must hold via some other P on a yes instance,
+        // but the empty witness must lose.
+        use crate::var::Relation;
+        let g = generators::labeled_path(&["0", "0"]);
+        let gs = GraphStructure::of(&g);
+        let phi = not_all_selected();
+        let empty_p = Relation::empty(2);
+        let lost = phi
+            .check_with_witness(
+                &[empty_p],
+                gs.structure(),
+                Some(gs.node_elems()),
+                &strong_opts(),
+            )
+            .unwrap();
+        assert!(!lost, "the empty forest is not a winning first move");
+        // But the correct witness (both nodes point to themselves — both are
+        // unselected roots) wins.
+        let mut good_p = Relation::empty(2);
+        for &e in gs.node_elems() {
+            good_p.insert(vec![e, e]);
+        }
+        let won = phi
+            .check_with_witness(
+                &[good_p],
+                gs.structure(),
+                Some(gs.node_elems()),
+                &strong_opts(),
+            )
+            .unwrap();
+        assert!(won);
+    }
+
+    #[test]
+    fn adam_singleton_catches_cycles_in_p() {
+        // A 2-cycle in P (u→v→u) on an all-unselected graph: Eve's forest is
+        // invalid; Adam's singleton X must beat every Y. The full game then
+        // rejects this witness.
+        use crate::var::Relation;
+        let g = generators::labeled_path(&["0", "0"]);
+        let gs = GraphStructure::of(&g);
+        let (u, v) = (gs.node_elems()[0], gs.node_elems()[1]);
+        let mut cyc_p = Relation::empty(2);
+        cyc_p.insert(vec![u, v]);
+        cyc_p.insert(vec![v, u]);
+        let phi = not_all_selected();
+        let won = phi
+            .check_with_witness(
+                &[cyc_p],
+                gs.structure(),
+                Some(gs.node_elems()),
+                &strong_opts(),
+            )
+            .unwrap();
+        assert!(!won, "a cyclic P must lose: no root ever witnesses ¬IsSelected");
+    }
+
+    #[test]
+    fn degree_two_evaluates_on_explicit_h() {
+        use crate::var::{Assignment, Relation};
+        let g = generators::cycle(4);
+        let gs = GraphStructure::of(&g);
+        let mut h = Relation::empty(2);
+        for (a, b) in g.edges() {
+            h.insert(vec![gs.node_elem(a), gs.node_elem(b)]);
+            h.insert(vec![gs.node_elem(b), gs.node_elem(a)]);
+        }
+        let x = var_x();
+        let mut sigma = Assignment::new();
+        sigma.push_so(var_h(), h);
+        sigma.push_fo(x, gs.node_elem(lph_graphs::NodeId(0)));
+        assert!(degree_two(x).eval(gs.structure(), &mut sigma));
+        // Remove one orientation: symmetry check fails.
+        let mut h2 = Relation::empty(2);
+        for (a, b) in g.edges() {
+            h2.insert(vec![gs.node_elem(a), gs.node_elem(b)]);
+        }
+        sigma.pop_so();
+        sigma.push_so(var_h(), h2);
+        assert!(!degree_two(x).eval(gs.structure(), &mut sigma));
+    }
+
+    #[test]
+    fn bounded_depths_are_small_constants() {
+        // The arbiter radius of each example formula is a small constant —
+        // the locality the paper insists on.
+        assert!(all_selected().radius() <= 3);
+        assert!(three_colorable().radius() <= 3);
+        assert!(not_all_selected().radius() <= 4);
+        assert!(hamiltonian().radius() <= 5);
+    }
+}

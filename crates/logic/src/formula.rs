@@ -1,0 +1,548 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use lph_graphs::{ElemId, Structure};
+
+use crate::var::{Assignment, FoVar, SoVar};
+
+/// A logical formula over structures, covering lines 1–8 of Table 1 plus the
+/// standard derived connectives and the `∃x ⇌≤r y` shorthand as first-class
+/// nodes (second-order quantification lives in [`crate::Sentence`]
+/// prefixes).
+///
+/// The *bounded fragment* `BF` consists of the formulas with no unbounded
+/// quantifier ([`Formula::is_bf`]); `FO` additionally allows `∃x φ`/`∀x φ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// The truth constant `⊤`.
+    True,
+    /// The truth constant `⊥`.
+    False,
+    /// `⊙_{rel+1} x` — membership in a unary relation of the structure.
+    Unary {
+        /// 0-based index of the unary relation.
+        rel: usize,
+        /// The element variable.
+        x: FoVar,
+    },
+    /// `x ⇀_{rel+1} y` — a binary relation of the structure.
+    Edge {
+        /// 0-based index of the binary relation.
+        rel: usize,
+        /// Source variable.
+        x: FoVar,
+        /// Target variable.
+        y: FoVar,
+    },
+    /// `x ≐ y`.
+    Eq(FoVar, FoVar),
+    /// `R(x₁, …, x_k)` — an atom over a second-order variable.
+    App {
+        /// The relation variable.
+        rel: SoVar,
+        /// The argument variables (length = arity).
+        args: Vec<FoVar>,
+    },
+    /// `¬φ`.
+    Not(Box<Formula>),
+    /// `φ₁ ∧ … ∧ φ_n` (empty conjunction is `⊤`).
+    And(Vec<Formula>),
+    /// `φ₁ ∨ … ∨ φ_n` (empty disjunction is `⊥`).
+    Or(Vec<Formula>),
+    /// `φ₁ → φ₂`.
+    Implies(Box<Formula>, Box<Formula>),
+    /// `φ₁ ↔ φ₂`.
+    Iff(Box<Formula>, Box<Formula>),
+    /// Unbounded `∃x φ` (line 7) — **not** in the bounded fragment.
+    Exists {
+        /// The bound variable.
+        x: FoVar,
+        /// The body.
+        body: Box<Formula>,
+    },
+    /// Unbounded `∀x φ` — not in the bounded fragment.
+    Forall {
+        /// The bound variable.
+        x: FoVar,
+        /// The body.
+        body: Box<Formula>,
+    },
+    /// Bounded `∃x ⇌ y φ` — Table 1 line 8 verbatim: there is an element
+    /// `x` *connected to* `y` (related by some binary relation or its
+    /// inverse; the anchor itself is **not** included unless it has a
+    /// self-loop) such that `φ` holds.
+    ExistsAdj {
+        /// The bound variable (must differ from `anchor`).
+        x: FoVar,
+        /// The anchor variable `y`, free in this formula.
+        anchor: FoVar,
+        /// The body.
+        body: Box<Formula>,
+    },
+    /// Bounded `∀x ⇌ y φ`, i.e. `¬∃x ⇌ y ¬φ`.
+    ForallAdj {
+        /// The bound variable (must differ from `anchor`).
+        x: FoVar,
+        /// The anchor variable `y`, free in this formula.
+        anchor: FoVar,
+        /// The body.
+        body: Box<Formula>,
+    },
+    /// Bounded `∃x ⇌≤r y φ` (the Section 5.1 shorthand; **includes** the
+    /// anchor at distance 0): there is an element `x` at Gaifman distance at most
+    /// `radius` from `y` satisfying `φ`. `radius = 0` forces `x = y`.
+    ExistsNear {
+        /// The bound variable (must differ from `anchor`).
+        x: FoVar,
+        /// The anchor variable `y`, free in this formula.
+        anchor: FoVar,
+        /// The distance bound `r`.
+        radius: usize,
+        /// The body.
+        body: Box<Formula>,
+    },
+    /// Bounded `∀x ⇌≤r y φ`, i.e. `¬∃x ⇌≤r y ¬φ`.
+    ForallNear {
+        /// The bound variable (must differ from `anchor`).
+        x: FoVar,
+        /// The anchor variable `y`, free in this formula.
+        anchor: FoVar,
+        /// The distance bound `r`.
+        radius: usize,
+        /// The body.
+        body: Box<Formula>,
+    },
+}
+
+impl Formula {
+    /// The set of free first-order variables, per Table 1.
+    pub fn free_fo(&self) -> BTreeSet<FoVar> {
+        let mut out = BTreeSet::new();
+        self.collect_free_fo(&mut out);
+        out
+    }
+
+    fn collect_free_fo(&self, out: &mut BTreeSet<FoVar>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Unary { x, .. } => {
+                out.insert(*x);
+            }
+            Formula::Edge { x, y, .. } | Formula::Eq(x, y) => {
+                out.insert(*x);
+                out.insert(*y);
+            }
+            Formula::App { args, .. } => out.extend(args.iter().copied()),
+            Formula::Not(f) => f.collect_free_fo(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free_fo(out);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.collect_free_fo(out);
+                b.collect_free_fo(out);
+            }
+            Formula::Exists { x, body } | Formula::Forall { x, body } => {
+                let mut inner = BTreeSet::new();
+                body.collect_free_fo(&mut inner);
+                inner.remove(x);
+                out.extend(inner);
+            }
+            Formula::ExistsAdj { x, anchor, body }
+            | Formula::ForallAdj { x, anchor, body }
+            | Formula::ExistsNear { x, anchor, body, .. }
+            | Formula::ForallNear { x, anchor, body, .. } => {
+                let mut inner = BTreeSet::new();
+                body.collect_free_fo(&mut inner);
+                inner.remove(x);
+                out.extend(inner);
+                out.insert(*anchor);
+            }
+        }
+    }
+
+    /// The set of second-order variables occurring (they are always free in
+    /// a [`Formula`]; binding happens in [`crate::Sentence`] prefixes).
+    pub fn so_vars(&self) -> BTreeSet<SoVar> {
+        let mut out = BTreeSet::new();
+        self.collect_so(&mut out);
+        out
+    }
+
+    fn collect_so(&self, out: &mut BTreeSet<SoVar>) {
+        match self {
+            Formula::True
+            | Formula::False
+            | Formula::Unary { .. }
+            | Formula::Edge { .. }
+            | Formula::Eq(..) => {}
+            Formula::App { rel, .. } => {
+                out.insert(*rel);
+            }
+            Formula::Not(f) => f.collect_so(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_so(out);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.collect_so(out);
+                b.collect_so(out);
+            }
+            Formula::Exists { body, .. }
+            | Formula::Forall { body, .. }
+            | Formula::ExistsAdj { body, .. }
+            | Formula::ForallAdj { body, .. }
+            | Formula::ExistsNear { body, .. }
+            | Formula::ForallNear { body, .. } => body.collect_so(out),
+        }
+    }
+
+    /// Whether the formula belongs to the bounded fragment `BF`: no
+    /// unbounded first-order quantifier anywhere.
+    pub fn is_bf(&self) -> bool {
+        match self {
+            Formula::Exists { .. } | Formula::Forall { .. } => false,
+            Formula::True
+            | Formula::False
+            | Formula::Unary { .. }
+            | Formula::Edge { .. }
+            | Formula::Eq(..)
+            | Formula::App { .. } => true,
+            Formula::Not(f) => f.is_bf(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(Formula::is_bf),
+            Formula::Implies(a, b) | Formula::Iff(a, b) => a.is_bf() && b.is_bf(),
+            Formula::ExistsAdj { body, .. }
+            | Formula::ForallAdj { body, .. }
+            | Formula::ExistsNear { body, .. }
+            | Formula::ForallNear { body, .. } => body.is_bf(),
+        }
+    }
+
+    /// The maximum nesting depth of bounded quantifiers, counting a
+    /// `⇌≤r` quantifier as depth `r` — intuitively, the distance up to
+    /// which the formula can "see" from its free variables (used as the
+    /// radius of the arbiters compiled from formulas in Theorem 12).
+    pub fn bounded_depth(&self) -> usize {
+        match self {
+            Formula::True
+            | Formula::False
+            | Formula::Unary { .. }
+            | Formula::Edge { .. }
+            | Formula::Eq(..)
+            | Formula::App { .. } => 0,
+            Formula::Not(f) => f.bounded_depth(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(Formula::bounded_depth).max().unwrap_or(0)
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.bounded_depth().max(b.bounded_depth())
+            }
+            Formula::Exists { body, .. } | Formula::Forall { body, .. } => body.bounded_depth(),
+            Formula::ExistsAdj { body, .. } | Formula::ForallAdj { body, .. } => {
+                1 + body.bounded_depth()
+            }
+            Formula::ExistsNear { radius, body, .. }
+            | Formula::ForallNear { radius, body, .. } => radius + body.bounded_depth(),
+        }
+    }
+
+    /// The number of AST nodes — the size measure used when discussing the
+    /// polynomial growth of translated formulas (Theorem 19).
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            Formula::True
+            | Formula::False
+            | Formula::Unary { .. }
+            | Formula::Edge { .. }
+            | Formula::Eq(..)
+            | Formula::App { .. } => 0,
+            Formula::Not(f) => f.node_count(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().map(Formula::node_count).sum(),
+            Formula::Implies(a, b) | Formula::Iff(a, b) => a.node_count() + b.node_count(),
+            Formula::Exists { body, .. }
+            | Formula::Forall { body, .. }
+            | Formula::ExistsAdj { body, .. }
+            | Formula::ForallAdj { body, .. }
+            | Formula::ExistsNear { body, .. }
+            | Formula::ForallNear { body, .. } => body.node_count(),
+        }
+    }
+
+    /// Evaluates the formula on a structure under an assignment covering all
+    /// free variables (Table 1 semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a free variable is unassigned or an atom refers to a
+    /// relation index outside the structure's signature.
+    pub fn eval(&self, s: &Structure, sigma: &mut Assignment) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Unary { rel, x } => {
+                s.in_unary(*rel, sigma.elem(*x).expect("unassigned variable"))
+            }
+            Formula::Edge { rel, x, y } => s.related(
+                *rel,
+                sigma.elem(*x).expect("unassigned variable"),
+                sigma.elem(*y).expect("unassigned variable"),
+            ),
+            Formula::Eq(x, y) => {
+                sigma.elem(*x).expect("unassigned variable")
+                    == sigma.elem(*y).expect("unassigned variable")
+            }
+            Formula::App { rel, args } => {
+                let tuple: Vec<ElemId> = args
+                    .iter()
+                    .map(|a| sigma.elem(*a).expect("unassigned variable"))
+                    .collect();
+                sigma.relation(*rel).expect("unassigned relation variable").contains(&tuple)
+            }
+            Formula::Not(f) => !f.eval(s, sigma),
+            Formula::And(fs) => fs.iter().all(|f| f.eval(s, sigma)),
+            Formula::Or(fs) => fs.iter().any(|f| f.eval(s, sigma)),
+            Formula::Implies(a, b) => !a.eval(s, sigma) || b.eval(s, sigma),
+            Formula::Iff(a, b) => a.eval(s, sigma) == b.eval(s, sigma),
+            Formula::Exists { x, body } => s.elements().any(|a| {
+                sigma.push_fo(*x, a);
+                let v = body.eval(s, sigma);
+                sigma.pop_fo();
+                v
+            }),
+            Formula::Forall { x, body } => s.elements().all(|a| {
+                sigma.push_fo(*x, a);
+                let v = body.eval(s, sigma);
+                sigma.pop_fo();
+                v
+            }),
+            Formula::ExistsAdj { x, anchor, body } => {
+                let base = sigma.elem(*anchor).expect("unassigned anchor");
+                s.gaifman_neighbors(base).iter().copied().any(|a| {
+                    sigma.push_fo(*x, a);
+                    let v = body.eval(s, sigma);
+                    sigma.pop_fo();
+                    v
+                })
+            }
+            Formula::ForallAdj { x, anchor, body } => {
+                let base = sigma.elem(*anchor).expect("unassigned anchor");
+                s.gaifman_neighbors(base).iter().copied().all(|a| {
+                    sigma.push_fo(*x, a);
+                    let v = body.eval(s, sigma);
+                    sigma.pop_fo();
+                    v
+                })
+            }
+            Formula::ExistsNear { x, anchor, radius, body } => {
+                let base = sigma.elem(*anchor).expect("unassigned anchor");
+                s.gaifman_ball(base, *radius).into_iter().any(|a| {
+                    sigma.push_fo(*x, a);
+                    let v = body.eval(s, sigma);
+                    sigma.pop_fo();
+                    v
+                })
+            }
+            Formula::ForallNear { x, anchor, radius, body } => {
+                let base = sigma.elem(*anchor).expect("unassigned anchor");
+                s.gaifman_ball(base, *radius).into_iter().all(|a| {
+                    sigma.push_fo(*x, a);
+                    let v = body.eval(s, sigma);
+                    sigma.pop_fo();
+                    v
+                })
+            }
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "⊤"),
+            Formula::False => write!(f, "⊥"),
+            Formula::Unary { rel, x } => write!(f, "⊙{}({x})", rel + 1),
+            Formula::Edge { rel, x, y } => write!(f, "{x} ⇀{} {y}", rel + 1),
+            Formula::Eq(x, y) => write!(f, "{x} ≐ {y}"),
+            Formula::App { rel, args } => {
+                write!(f, "{rel}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Not(g) => write!(f, "¬{g}"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Implies(a, b) => write!(f, "({a} → {b})"),
+            Formula::Iff(a, b) => write!(f, "({a} ↔ {b})"),
+            Formula::Exists { x, body } => write!(f, "∃{x} {body}"),
+            Formula::Forall { x, body } => write!(f, "∀{x} {body}"),
+            Formula::ExistsAdj { x, anchor, body } => write!(f, "∃{x}⇌{anchor} {body}"),
+            Formula::ForallAdj { x, anchor, body } => write!(f, "∀{x}⇌{anchor} {body}"),
+            Formula::ExistsNear { x, anchor, radius, body } => {
+                write!(f, "∃{x}⇌≤{radius}{anchor} {body}")
+            }
+            Formula::ForallNear { x, anchor, radius, body } => {
+                write!(f, "∀{x}⇌≤{radius}{anchor} {body}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use lph_graphs::ElemId;
+
+    /// The string 010011 of Section 2.3 as a structure.
+    fn string_structure() -> Structure {
+        let mut s = Structure::new(6, 1, 1);
+        for i in 0..5 {
+            s.add_pair(0, ElemId(i), ElemId(i + 1));
+        }
+        for i in [1, 4, 5] {
+            s.add_unary(0, ElemId(i));
+        }
+        s
+    }
+
+    #[test]
+    fn atoms_evaluate() {
+        let s = string_structure();
+        let x = FoVar(0);
+        let y = FoVar(1);
+        let mut sig = Assignment::new();
+        sig.push_fo(x, ElemId(1));
+        sig.push_fo(y, ElemId(2));
+        assert!(unary(0, x).eval(&s, &mut sig));
+        assert!(!unary(0, y).eval(&s, &mut sig));
+        assert!(edge(0, x, y).eval(&s, &mut sig));
+        assert!(!edge(0, y, x).eval(&s, &mut sig));
+        assert!(!eq(x, y).eval(&s, &mut sig));
+    }
+
+    #[test]
+    fn unbounded_quantifiers_evaluate() {
+        let s = string_structure();
+        let x = FoVar(0);
+        // ∃x ⊙₁x — some bit is 1.
+        assert!(exists(x, unary(0, x)).eval(&s, &mut Assignment::new()));
+        // ∀x ⊙₁x — not all bits are 1.
+        assert!(!forall(x, unary(0, x)).eval(&s, &mut Assignment::new()));
+    }
+
+    #[test]
+    fn bounded_quantifier_sees_only_the_ball() {
+        let s = string_structure();
+        let (x, y) = (FoVar(0), FoVar(1));
+        let mut sig = Assignment::new();
+        sig.push_fo(y, ElemId(0));
+        // Within distance 1 of element 0 (elements 0 and 1): a 1-bit exists.
+        assert!(exists_near(x, y, 1, unary(0, x)).eval(&s, &mut sig));
+        // Within distance 0 (only element 0): none.
+        assert!(!exists_near(x, y, 0, unary(0, x)).eval(&s, &mut sig));
+        // Radius 0 really substitutes x := y.
+        assert!(exists_near(x, y, 0, eq(x, y)).eval(&s, &mut sig));
+    }
+
+    #[test]
+    fn second_order_atoms_use_the_assignment() {
+        let s = string_structure();
+        let r = SoVar::binary(0);
+        let (x, y) = (FoVar(0), FoVar(1));
+        let mut rel = crate::Relation::empty(2);
+        rel.insert(vec![ElemId(3), ElemId(0)]);
+        let mut sig = Assignment::new();
+        sig.push_so(r, rel);
+        sig.push_fo(x, ElemId(3));
+        sig.push_fo(y, ElemId(0));
+        assert!(app(r, vec![x, y]).eval(&s, &mut sig));
+        assert!(!app(r, vec![y, x]).eval(&s, &mut sig));
+    }
+
+    #[test]
+    fn free_variables_follow_table_one() {
+        let (x, y, z) = (FoVar(0), FoVar(1), FoVar(2));
+        let phi = exists_near(z, y, 1, and(vec![eq(z, x), unary(0, z)]));
+        // free(∃z⇌y φ) = {y} ∪ free(φ) \ {z} = {x, y}.
+        let free: Vec<FoVar> = phi.free_fo().into_iter().collect();
+        assert_eq!(free, vec![x, y]);
+    }
+
+    #[test]
+    fn bf_classification() {
+        let (x, y) = (FoVar(0), FoVar(1));
+        assert!(exists_near(x, y, 2, unary(0, x)).is_bf());
+        assert!(!exists(x, unary(0, x)).is_bf());
+        assert!(!forall_near(x, y, 1, exists(y, eq(x, y))).is_bf());
+        assert!(not(and(vec![eq(x, y), or(vec![unary(0, x)])])).is_bf());
+    }
+
+    #[test]
+    fn bounded_depth_adds_radii() {
+        let (x, y, z) = (FoVar(0), FoVar(1), FoVar(2));
+        let phi = exists_near(x, y, 2, forall_near(z, x, 3, eq(z, z)));
+        assert_eq!(phi.bounded_depth(), 5);
+        assert_eq!(eq(x, y).bounded_depth(), 0);
+    }
+
+    #[test]
+    fn derived_connectives_evaluate() {
+        let s = string_structure();
+        let x = FoVar(0);
+        let mut sig = Assignment::new();
+        sig.push_fo(x, ElemId(1));
+        assert!(implies(Formula::False, unary(0, x)).eval(&s, &mut sig));
+        assert!(iff(unary(0, x), Formula::True).eval(&s, &mut sig));
+        assert!(Formula::And(vec![]).eval(&s, &mut sig));
+        assert!(!Formula::Or(vec![]).eval(&s, &mut sig));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let (x, y) = (FoVar(0), FoVar(1));
+        let phi = exists_near(x, y, 1, not(eq(x, y)));
+        assert_eq!(phi.to_string(), "∃x0⇌≤1x1 ¬x0 ≐ x1");
+    }
+
+    #[test]
+    fn node_count_is_structural_size() {
+        let (x, y) = (FoVar(0), FoVar(1));
+        assert_eq!(eq(x, y).node_count(), 1);
+        assert_eq!(not(eq(x, y)).node_count(), 2);
+        assert_eq!(and(vec![eq(x, y), eq(y, x)]).node_count(), 3);
+        assert_eq!(exists_near(x, y, 2, not(eq(x, y))).node_count(), 3);
+    }
+
+    #[test]
+    fn so_vars_are_collected() {
+        let r = SoVar::set(3);
+        let x = FoVar(0);
+        let phi = forall_near(x, FoVar(1), 1, app(r, vec![x]));
+        assert_eq!(phi.so_vars().into_iter().collect::<Vec<_>>(), vec![r]);
+    }
+}

@@ -1,0 +1,372 @@
+use std::fmt;
+
+use crate::var::{FoVar, SoVar};
+use crate::Formula;
+
+/// Whether a quantifier block is existential (Eve's move) or universal
+/// (Adam's move).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quantifier {
+    /// `∃` — chosen by Eve.
+    Exists,
+    /// `∀` — chosen by Adam.
+    Forall,
+}
+
+impl Quantifier {
+    /// The other player's quantifier.
+    pub fn dual(self) -> Quantifier {
+        match self {
+            Quantifier::Exists => Quantifier::Forall,
+            Quantifier::Forall => Quantifier::Exists,
+        }
+    }
+}
+
+impl fmt::Display for Quantifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Quantifier::Exists => write!(f, "∃"),
+            Quantifier::Forall => write!(f, "∀"),
+        }
+    }
+}
+
+/// A *support hint* restricting the tuples a quantified relation may
+/// contain during model checking.
+///
+/// The paper's formulas over graphs only ever apply their second-order
+/// variables to node elements (`∃°`/`∀°`-guarded positions), so restricting
+/// enumeration to node tuples is semantics-preserving for them while
+/// shrinking the search space exponentially. `All` performs unrestricted
+/// enumeration (needed for Fagin-style completeness arguments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Support {
+    /// Tuples over the full domain.
+    All,
+    /// Tuples over node elements only (graph structural representations).
+    NodesOnly,
+}
+
+/// One quantified relation variable with its support hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoQuant {
+    /// The relation variable.
+    pub var: SoVar,
+    /// Enumeration support.
+    pub support: Support,
+}
+
+impl SoQuant {
+    /// A variable quantified over node tuples only.
+    pub fn nodes(var: SoVar) -> Self {
+        SoQuant { var, support: Support::NodesOnly }
+    }
+
+    /// A variable quantified over all tuples.
+    pub fn all(var: SoVar) -> Self {
+        SoQuant { var, support: Support::All }
+    }
+}
+
+/// A maximal block of second-order quantifiers of one kind
+/// (`∃R₁ … ∃R_n` or `∀R₁ … ∀R_n`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoBlock {
+    /// The block's quantifier.
+    pub quantifier: Quantifier,
+    /// The variables bound by the block, in order.
+    pub vars: Vec<SoQuant>,
+}
+
+impl SoBlock {
+    /// An existential block over node-supported variables.
+    pub fn exists(vars: Vec<SoVar>) -> Self {
+        SoBlock {
+            quantifier: Quantifier::Exists,
+            vars: vars.into_iter().map(SoQuant::nodes).collect(),
+        }
+    }
+
+    /// A universal block over node-supported variables.
+    pub fn forall(vars: Vec<SoVar>) -> Self {
+        SoBlock {
+            quantifier: Quantifier::Forall,
+            vars: vars.into_iter().map(SoQuant::nodes).collect(),
+        }
+    }
+}
+
+/// The first-order matrix of a [`Sentence`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Matrix {
+    /// An `LFO` matrix `∀x φ` with `φ ∈ BF` — the shape required by the
+    /// local second-order hierarchy.
+    Lfo {
+        /// The single universally quantified first-order variable.
+        x: FoVar,
+        /// The bounded-fragment body.
+        body: Formula,
+    },
+    /// A general first-order sentence (for the unrestricted second-order
+    /// hierarchy `Σℓ^FO` / `Πℓ^FO`).
+    Fo(Formula),
+}
+
+impl Matrix {
+    /// The matrix's formula body.
+    pub fn body(&self) -> &Formula {
+        match self {
+            Matrix::Lfo { body, .. } => body,
+            Matrix::Fo(f) => f,
+        }
+    }
+
+    /// Whether the matrix is of the local (`LFO`) shape.
+    pub fn is_local(&self) -> bool {
+        matches!(self, Matrix::Lfo { .. })
+    }
+}
+
+/// A sentence's position in a second-order hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Level {
+    /// The number of quantifier-alternation blocks (`ℓ`); `0` means no
+    /// second-order prefix.
+    pub ell: usize,
+    /// The leading quantifier, if `ell > 0` (`Exists` → `Σℓ`,
+    /// `Forall` → `Πℓ`).
+    pub leading: Option<Quantifier>,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.leading {
+            None => write!(f, "Σ0 = Π0"),
+            Some(Quantifier::Exists) => write!(f, "Σ{}", self.ell),
+            Some(Quantifier::Forall) => write!(f, "Π{}", self.ell),
+        }
+    }
+}
+
+/// A prenex second-order sentence: a sequence of quantifier blocks over a
+/// first-order matrix. Instances with an [`Matrix::Lfo`] matrix are the
+/// sentences of the *local second-order hierarchy*
+/// (`Σℓ^LFO` / `Πℓ^LFO`, Section 5.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sentence {
+    /// The second-order prefix.
+    pub blocks: Vec<SoBlock>,
+    /// The first-order matrix.
+    pub matrix: Matrix,
+}
+
+impl Sentence {
+    /// Builds and validates a sentence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an `Lfo` matrix body is not in `BF`, has free first-order
+    /// variables other than its `∀x` variable, or if the matrix mentions a
+    /// second-order variable not bound by the prefix.
+    pub fn new(blocks: Vec<SoBlock>, matrix: Matrix) -> Self {
+        match &matrix {
+            Matrix::Lfo { x, body } => {
+                assert!(body.is_bf(), "LFO matrix body must be in the bounded fragment");
+                let free = body.free_fo();
+                assert!(
+                    free.iter().all(|v| v == x),
+                    "LFO matrix body may only have {x} free, found {free:?}"
+                );
+            }
+            Matrix::Fo(f) => {
+                assert!(
+                    f.free_fo().is_empty(),
+                    "FO matrix must be a sentence (no free first-order variables)"
+                );
+            }
+        }
+        let bound: Vec<SoVar> =
+            blocks.iter().flat_map(|b| b.vars.iter().map(|q| q.var)).collect();
+        {
+            let mut seen = bound.clone();
+            seen.sort();
+            let before = seen.len();
+            seen.dedup();
+            assert_eq!(before, seen.len(), "second-order variables must be distinct");
+        }
+        for v in matrix.body().so_vars() {
+            assert!(bound.contains(&v), "unbound second-order variable {v}");
+        }
+        Sentence { blocks, matrix }
+    }
+
+    /// An `LFO` sentence `∀x φ` with no second-order prefix.
+    pub fn lfo(x: FoVar, body: Formula) -> Self {
+        Sentence::new(Vec::new(), Matrix::Lfo { x, body })
+    }
+
+    /// The minimal syntactic level in the (local) second-order hierarchy:
+    /// adjacent blocks with equal quantifiers are merged before counting
+    /// alternations.
+    pub fn level(&self) -> Level {
+        let mut merged: Vec<Quantifier> = Vec::new();
+        for b in &self.blocks {
+            if b.vars.is_empty() {
+                continue;
+            }
+            if merged.last() != Some(&b.quantifier) {
+                merged.push(b.quantifier);
+            }
+        }
+        Level { ell: merged.len(), leading: merged.first().copied() }
+    }
+
+    /// Whether all quantified relation variables are unary (the *monadic*
+    /// fragments `mΣℓ` / `mΠℓ` of Section 9.2).
+    pub fn is_monadic(&self) -> bool {
+        self.blocks.iter().all(|b| b.vars.iter().all(|q| q.var.arity == 1))
+    }
+
+    /// Whether the sentence belongs to the *local* hierarchy (`LFO` matrix).
+    pub fn is_local(&self) -> bool {
+        self.matrix.is_local()
+    }
+
+    /// The flattened quantifier sequence, one entry per variable.
+    pub fn flat_quantifiers(&self) -> Vec<(Quantifier, SoQuant)> {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.vars.iter().map(move |q| (b.quantifier, *q)))
+            .collect()
+    }
+
+    /// The radius up to which the matrix body can "see" (its bounded
+    /// quantifier depth) — the `r` of the arbiter compiled from this
+    /// sentence in Theorem 12.
+    pub fn radius(&self) -> usize {
+        self.matrix.body().bounded_depth()
+    }
+}
+
+impl fmt::Display for Sentence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.blocks {
+            for q in &b.vars {
+                write!(f, "{}{} ", b.quantifier, q.var)?;
+            }
+        }
+        match &self.matrix {
+            Matrix::Lfo { x, body } => write!(f, "∀{x} {body}"),
+            Matrix::Fo(body) => write!(f, "{body}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+
+    fn bf_body(x: FoVar) -> Formula {
+        // A trivial BF formula with only x free.
+        exists_adj(FoVar(99), x, Formula::True)
+    }
+
+    #[test]
+    fn lfo_sentence_has_level_zero() {
+        let x = FoVar(0);
+        let s = Sentence::lfo(x, bf_body(x));
+        let lv = s.level();
+        assert_eq!(lv.ell, 0);
+        assert_eq!(lv.leading, None);
+        assert!(s.is_local());
+        assert_eq!(lv.to_string(), "Σ0 = Π0");
+    }
+
+    #[test]
+    fn sigma_and_pi_levels() {
+        let x = FoVar(0);
+        let a = SoVar::set(0);
+        let b = SoVar::set(1);
+        let c = SoVar::binary(2);
+        let body = and(vec![bf_body(x), app(a, vec![x]), app(b, vec![x]), app(c, vec![x, x])]);
+        let s = Sentence::new(
+            vec![SoBlock::exists(vec![a]), SoBlock::forall(vec![b]), SoBlock::exists(vec![c])],
+            Matrix::Lfo { x, body: body.clone() },
+        );
+        let lv = s.level();
+        assert_eq!((lv.ell, lv.leading), (3, Some(Quantifier::Exists)));
+        assert_eq!(lv.to_string(), "Σ3");
+        assert!(!s.is_monadic());
+
+        let s = Sentence::new(
+            vec![SoBlock::forall(vec![a, b]), SoBlock::exists(vec![c])],
+            Matrix::Lfo { x, body },
+        );
+        assert_eq!(s.level().to_string(), "Π2");
+    }
+
+    #[test]
+    fn adjacent_equal_blocks_merge() {
+        let x = FoVar(0);
+        let a = SoVar::set(0);
+        let b = SoVar::set(1);
+        let body = and(vec![bf_body(x), app(a, vec![x]), app(b, vec![x])]);
+        let s = Sentence::new(
+            vec![SoBlock::exists(vec![a]), SoBlock::exists(vec![b])],
+            Matrix::Lfo { x, body },
+        );
+        assert_eq!(s.level().ell, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounded fragment")]
+    fn lfo_rejects_unbounded_bodies() {
+        let x = FoVar(0);
+        let y = FoVar(1);
+        let _ = Sentence::lfo(x, exists(y, eq(x, y)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound second-order variable")]
+    fn rejects_unbound_so_vars() {
+        let x = FoVar(0);
+        let _ = Sentence::lfo(x, app(SoVar::set(7), vec![x]));
+    }
+
+    #[test]
+    #[should_panic(expected = "may only have")]
+    fn rejects_stray_free_variables() {
+        let x = FoVar(0);
+        let y = FoVar(1);
+        let _ = Sentence::lfo(x, eq(x, y));
+    }
+
+    #[test]
+    fn monadic_detection() {
+        let x = FoVar(0);
+        let a = SoVar::set(0);
+        let s = Sentence::new(
+            vec![SoBlock::exists(vec![a])],
+            Matrix::Lfo { x, body: and(vec![bf_body(x), app(a, vec![x])]) },
+        );
+        assert!(s.is_monadic());
+    }
+
+    #[test]
+    fn radius_reports_bounded_depth() {
+        let x = FoVar(0);
+        let y = FoVar(1);
+        let z = FoVar(2);
+        let body = exists_near(y, x, 2, exists_adj(z, y, Formula::True));
+        let s = Sentence::lfo(x, body);
+        assert_eq!(s.radius(), 3);
+    }
+
+    #[test]
+    fn quantifier_dual() {
+        assert_eq!(Quantifier::Exists.dual(), Quantifier::Forall);
+        assert_eq!(Quantifier::Forall.dual(), Quantifier::Exists);
+    }
+}

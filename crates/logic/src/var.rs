@@ -1,0 +1,243 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use lph_graphs::ElemId;
+
+/// A first-order variable (an element of `V_FO`), identified by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FoVar(pub u32);
+
+impl fmt::Display for FoVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A second-order (relation) variable of a fixed arity (an element of
+/// `V_SO(k)`). Variables with different arities are distinct even if their
+/// indices coincide, matching `V_SO(k) ∩ V_SO(k') = ∅`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SoVar {
+    /// The variable's index.
+    pub index: u32,
+    /// The arity `k ≥ 1`.
+    pub arity: u8,
+}
+
+impl SoVar {
+    /// A unary (set) variable.
+    pub fn set(index: u32) -> Self {
+        SoVar { index, arity: 1 }
+    }
+
+    /// A binary relation variable.
+    pub fn binary(index: u32) -> Self {
+        SoVar { index, arity: 2 }
+    }
+}
+
+impl fmt::Display for SoVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}^{}", self.index, self.arity)
+    }
+}
+
+/// A fresh-variable supply used when expanding derived forms.
+#[derive(Debug, Default)]
+pub struct VarPool {
+    next_fo: u32,
+    next_so: u32,
+}
+
+impl VarPool {
+    /// A pool handing out variables starting from the given indices (choose
+    /// them above any manually assigned variables).
+    pub fn starting_at(fo: u32, so: u32) -> Self {
+        VarPool { next_fo: fo, next_so: so }
+    }
+
+    /// A fresh first-order variable.
+    pub fn fo(&mut self) -> FoVar {
+        let v = FoVar(self.next_fo);
+        self.next_fo += 1;
+        v
+    }
+
+    /// A fresh second-order variable of the given arity.
+    pub fn so(&mut self, arity: u8) -> SoVar {
+        let v = SoVar { index: self.next_so, arity };
+        self.next_so += 1;
+        v
+    }
+}
+
+/// A finite relation over a structure's domain: the interpretation of a
+/// second-order variable.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Relation {
+    arity: usize,
+    tuples: BTreeSet<Vec<ElemId>>,
+}
+
+impl Relation {
+    /// The empty relation of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        Relation { arity, tuples: BTreeSet::new() }
+    }
+
+    /// Builds a relation from tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tuple's length differs from `arity`.
+    pub fn from_tuples<I: IntoIterator<Item = Vec<ElemId>>>(arity: usize, tuples: I) -> Self {
+        let tuples: BTreeSet<Vec<ElemId>> = tuples.into_iter().collect();
+        assert!(
+            tuples.iter().all(|t| t.len() == arity),
+            "all tuples must have length {arity}"
+        );
+        Relation { arity, tuples }
+    }
+
+    /// A unary relation from a set of elements.
+    pub fn from_set<I: IntoIterator<Item = ElemId>>(elems: I) -> Self {
+        Relation { arity: 1, tuples: elems.into_iter().map(|e| vec![e]).collect() }
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Whether the tuple belongs to the relation.
+    pub fn contains(&self, tuple: &[ElemId]) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        self.tuples.contains(tuple)
+    }
+
+    /// Inserts a tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuple's length differs from the arity.
+    pub fn insert(&mut self, tuple: Vec<ElemId>) {
+        assert_eq!(tuple.len(), self.arity);
+        self.tuples.insert(tuple);
+    }
+
+    /// The number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterates over the tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &Vec<ElemId>> {
+        self.tuples.iter()
+    }
+}
+
+/// A variable assignment `σ`, mapping first-order variables to elements and
+/// second-order variables to relations.
+#[derive(Debug, Clone, Default)]
+pub struct Assignment {
+    fo: Vec<(FoVar, ElemId)>,
+    so: Vec<(SoVar, Relation)>,
+}
+
+impl Assignment {
+    /// The empty assignment.
+    pub fn new() -> Self {
+        Assignment::default()
+    }
+
+    /// The element assigned to `x`, if any.
+    pub fn elem(&self, x: FoVar) -> Option<ElemId> {
+        self.fo.iter().rev().find(|(v, _)| *v == x).map(|&(_, e)| e)
+    }
+
+    /// The relation assigned to `r`, if any.
+    pub fn relation(&self, r: SoVar) -> Option<&Relation> {
+        self.so.iter().rev().find(|(v, _)| *v == r).map(|(_, rel)| rel)
+    }
+
+    /// Pushes a first-order binding (`σ[x ↦ a]`); pop with
+    /// [`Assignment::pop_fo`].
+    pub fn push_fo(&mut self, x: FoVar, a: ElemId) {
+        self.fo.push((x, a));
+    }
+
+    /// Removes the most recent first-order binding.
+    pub fn pop_fo(&mut self) {
+        self.fo.pop();
+    }
+
+    /// Pushes a second-order binding (`σ[R ↦ A]`).
+    pub fn push_so(&mut self, r: SoVar, rel: Relation) {
+        self.so.push((r, rel));
+    }
+
+    /// Removes the most recent second-order binding.
+    pub fn pop_so(&mut self) {
+        self.so.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn so_vars_distinguish_arities() {
+        assert_ne!(SoVar::set(0), SoVar::binary(0));
+    }
+
+    #[test]
+    fn pool_hands_out_distinct_vars() {
+        let mut p = VarPool::starting_at(10, 5);
+        assert_eq!(p.fo(), FoVar(10));
+        assert_eq!(p.fo(), FoVar(11));
+        assert_eq!(p.so(2), SoVar { index: 5, arity: 2 });
+        assert_eq!(p.so(1), SoVar { index: 6, arity: 1 });
+    }
+
+    #[test]
+    fn relation_membership() {
+        let mut r = Relation::empty(2);
+        r.insert(vec![ElemId(0), ElemId(1)]);
+        assert!(r.contains(&[ElemId(0), ElemId(1)]));
+        assert!(!r.contains(&[ElemId(1), ElemId(0)]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn relation_rejects_wrong_arity() {
+        let _ = Relation::from_tuples(2, vec![vec![ElemId(0)]]);
+    }
+
+    #[test]
+    fn assignment_shadowing_is_lifo() {
+        let mut s = Assignment::new();
+        let x = FoVar(0);
+        s.push_fo(x, ElemId(1));
+        s.push_fo(x, ElemId(2));
+        assert_eq!(s.elem(x), Some(ElemId(2)));
+        s.pop_fo();
+        assert_eq!(s.elem(x), Some(ElemId(1)));
+        s.pop_fo();
+        assert_eq!(s.elem(x), None);
+    }
+
+    #[test]
+    fn from_set_builds_unary() {
+        let r = Relation::from_set([ElemId(2), ElemId(0)]);
+        assert_eq!(r.arity(), 1);
+        assert!(r.contains(&[ElemId(0)]));
+        assert!(!r.contains(&[ElemId(1)]));
+    }
+}

@@ -1,0 +1,111 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or executing distributed machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MachineError {
+    /// The transition table has no entry for the current configuration.
+    MissingTransition {
+        /// Name of the stuck state.
+        state: String,
+        /// The three scanned symbols (receiving, internal, sending).
+        scanned: [char; 3],
+    },
+    /// A tape head attempted to move left of the left-end marker.
+    HeadOffTape {
+        /// Which tape (0 = receiving, 1 = internal, 2 = sending).
+        tape: usize,
+    },
+    /// A transition attempted to overwrite the left-end marker `⊢`.
+    OverwroteLeftEnd {
+        /// Which tape (0 = receiving, 1 = internal, 2 = sending).
+        tape: usize,
+    },
+    /// A node exceeded the per-round step limit (the execution is either
+    /// non-terminating or not polynomially bounded for the configured
+    /// limits).
+    StepLimitExceeded {
+        /// The node that ran too long.
+        node: usize,
+        /// The round in which it happened (1-indexed).
+        round: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// Not all nodes reached `q_stop` within the configured round limit.
+    RoundLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// Two states were registered under the same name, or a rule referenced
+    /// an unknown state.
+    UnknownState {
+        /// The offending state name.
+        name: String,
+    },
+    /// Conflicting rules were given for the same configuration.
+    ConflictingRule {
+        /// Name of the state with conflicting rules.
+        state: String,
+        /// The three scanned symbols of the conflicting configuration.
+        scanned: [char; 3],
+    },
+    /// The identifier assignment was not even 1-locally unique, which the
+    /// execution semantics require (message order would be ill-defined).
+    IdsNotLocallyUnique,
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::MissingTransition { state, scanned } => write!(
+                f,
+                "no transition from state {state:?} scanning ({}, {}, {})",
+                scanned[0], scanned[1], scanned[2]
+            ),
+            MachineError::HeadOffTape { tape } => {
+                write!(f, "head on tape {tape} moved left of the left-end marker")
+            }
+            MachineError::OverwroteLeftEnd { tape } => {
+                write!(f, "transition overwrote the left-end marker on tape {tape}")
+            }
+            MachineError::StepLimitExceeded { node, round, limit } => write!(
+                f,
+                "node v{node} exceeded the step limit {limit} in round {round}"
+            ),
+            MachineError::RoundLimitExceeded { limit } => {
+                write!(f, "execution did not terminate within {limit} rounds")
+            }
+            MachineError::UnknownState { name } => write!(f, "unknown state {name:?}"),
+            MachineError::ConflictingRule { state, scanned } => write!(
+                f,
+                "conflicting rules for state {state:?} scanning ({}, {}, {})",
+                scanned[0], scanned[1], scanned[2]
+            ),
+            MachineError::IdsNotLocallyUnique => {
+                write!(f, "identifier assignment is not 1-locally unique")
+            }
+        }
+    }
+}
+
+impl Error for MachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync_error() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<MachineError>();
+    }
+
+    #[test]
+    fn display_mentions_details() {
+        let e = MachineError::StepLimitExceeded { node: 3, round: 2, limit: 100 };
+        let s = e.to_string();
+        assert!(s.contains("v3") && s.contains('2') && s.contains("100"));
+    }
+}

@@ -1,0 +1,101 @@
+use crate::machines::verdict_states;
+use crate::tm::{DistributedTm, Move, Pat, Sym, TmBuilder, WriteOp};
+
+/// The one-round **LP**-decider for `ALL-SELECTED` (Remark 14): each node
+/// accepts iff its own label is exactly the string `1`; acceptance by
+/// unanimity then decides the property.
+///
+/// Internal tape at round start: `λ(u) # id(u) # κ̄(u)`. The machine checks
+/// that cell 1 holds `1` and cell 2 holds `#`, then runs the verdict
+/// epilogue.
+pub fn all_selected_decider() -> DistributedTm {
+    let mut b = TmBuilder::new();
+    let (acc, rej) = verdict_states(&mut b);
+    let first = b.state("check_first");
+    let second = b.state("check_second");
+    // Step off the left-end marker.
+    b.rule(
+        b.start(),
+        [Pat::Any; 3],
+        first,
+        [WriteOp::Keep; 3],
+        [Move::S, Move::R, Move::S],
+    );
+    // First label symbol must be 1 …
+    b.rule(
+        first,
+        [Pat::Any, Pat::Is(Sym::One), Pat::Any],
+        second,
+        [WriteOp::Keep; 3],
+        [Move::S, Move::R, Move::S],
+    );
+    b.rule(first, [Pat::Any; 3], rej, [WriteOp::Keep; 3], [Move::S; 3]);
+    // … and must be followed by the separator ending the label.
+    b.rule(
+        second,
+        [Pat::Any, Pat::Is(Sym::Sep), Pat::Any],
+        acc,
+        [WriteOp::Keep; 3],
+        [Move::S; 3],
+    );
+    b.rule(second, [Pat::Any; 3], rej, [WriteOp::Keep; 3], [Move::S; 3]);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::tests::run;
+    use lph_graphs::{enumerate, generators, BitString};
+
+    #[test]
+    fn accepts_exactly_the_all_selected_graphs() {
+        let zero = BitString::from_bits01("0");
+        let one = BitString::from_bits01("1");
+        let tm = all_selected_decider();
+        for base in enumerate::connected_graphs_up_to(4) {
+            for g in enumerate::binary_labelings(&base, &zero, &one) {
+                let expected = g.labels().iter().all(|l| *l == one);
+                let out = run(&tm, &g);
+                assert_eq!(out.accepted, expected, "graph: {g}");
+                assert_eq!(out.rounds, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_long_labels_starting_with_one() {
+        let tm = all_selected_decider();
+        let g = generators::labeled_path(&["11", "1"]);
+        let out = run(&tm, &g);
+        assert!(!out.verdicts[0]);
+        assert!(out.verdicts[1]);
+        assert!(!out.accepted);
+    }
+
+    #[test]
+    fn rejects_empty_labels() {
+        let tm = all_selected_decider();
+        let g = generators::labeled_path(&["", "1"]);
+        assert!(!run(&tm, &g).accepted);
+    }
+
+    #[test]
+    fn single_selected_node_is_accepted() {
+        let tm = all_selected_decider();
+        let g = lph_graphs::LabeledGraph::single_node(BitString::from_bits01("1"));
+        assert!(run(&tm, &g).accepted);
+    }
+
+    #[test]
+    fn step_time_is_linear_in_label_length() {
+        // The decider reads at most 2 label cells plus the erase sweep:
+        // steps are O(input length), witnessing polynomial step time.
+        let tm = all_selected_decider();
+        let long_label: String = "1".repeat(40);
+        let g = generators::labeled_path(&[&long_label, "1"]);
+        let out = run(&tm, &g);
+        let input_len = out.metrics.per_node[0][0].input_int_len;
+        assert!(out.metrics.per_node[0][0].steps <= 2 * input_len + 10);
+    }
+}

@@ -1,0 +1,231 @@
+use crate::machines::verdict_states;
+use crate::tm::{DistributedTm, Move, Pat, Sym, TmBuilder, WriteOp};
+
+/// A two-round **LP**-decider checking that the labeling is a *proper
+/// coloring*: every node accepts iff its label differs from the label of
+/// each of its neighbors (labels play the role of colors; any bit string is
+/// a color). This is the archetypal locally checkable labeling from the
+/// introduction of the paper ("each node compares its own color with those
+/// of its neighbors").
+///
+/// Protocol (all on raw tapes):
+///
+/// * **Round 1** — the node broadcasts `1·λ(u)` to every neighbor (the
+///   leading `1` is a sentinel making round 2 recognizable from the shape
+///   of the receiving tape) and pauses.
+/// * **Round 2** — the receiving tape holds `1μ₁#1μ₂#…#`; the node compares
+///   each `μᵢ` against its own label by co-scanning the receiving and
+///   internal tapes, rejecting on the first exact match.
+///
+/// Isolated nodes accept immediately in round 1.
+pub fn proper_coloring_verifier() -> DistributedTm {
+    let mut b = TmBuilder::new();
+    let (acc, rej) = verdict_states(&mut b);
+    let r_detect = b.state("r_detect");
+    let b_sent = b.state("bcast_sentinel");
+    let b_copy = b.state("bcast_copy");
+    let b_rew = b.state("bcast_rewind");
+    let b_next = b.state("bcast_next");
+    let b_look = b.state("bcast_look");
+    let c_cmp = b.state("cmp");
+    let c_skip = b.state("cmp_skip");
+    let c_rew = b.state("cmp_rewind");
+    let c_adv = b.state("cmp_advance");
+    let c_look = b.state("cmp_look");
+
+    let keep = [WriteOp::Keep; 3];
+    let stay = [Move::S; 3];
+
+    // Step off the receiving tape's left-end marker and look at cell 1.
+    b.rule(b.start(), [Pat::Any; 3], r_detect, keep, [Move::R, Move::S, Move::S]);
+    // Blank: no neighbors at all — trivially properly colored.
+    b.rule(r_detect, [Pat::Is(Sym::Blank), Pat::Any, Pat::Any], acc, keep, stay);
+    // Separator: round 1 (`#^d`) — broadcast. Step the sending head off
+    // its left-end marker so the sentinel lands on cell 1.
+    b.rule(
+        r_detect,
+        [Pat::Is(Sym::Sep), Pat::Any, Pat::Any],
+        b_sent,
+        keep,
+        [Move::S, Move::S, Move::R],
+    );
+    // Sentinel bit: round 2 — start comparing after the sentinel, with the
+    // internal head on the first label cell.
+    b.rule(
+        r_detect,
+        [Pat::Is(Sym::One), Pat::Any, Pat::Any],
+        c_cmp,
+        keep,
+        [Move::R, Move::R, Move::S],
+    );
+    b.rule(r_detect, [Pat::Any; 3], rej, keep, stay);
+
+    // --- Round 1: broadcast `1·λ` once per separator on the receiving tape.
+    // b_sent: int at ⊢; write the sentinel on the sending tape.
+    b.rule(
+        b_sent,
+        [Pat::Any; 3],
+        b_copy,
+        [WriteOp::Keep, WriteOp::Keep, WriteOp::Put(Sym::One)],
+        [Move::S, Move::R, Move::R],
+    );
+    // b_copy: copy label bits to the sending tape until the separator.
+    b.rule(
+        b_copy,
+        [Pat::Any, Pat::Is(Sym::Zero), Pat::Any],
+        b_copy,
+        [WriteOp::Keep, WriteOp::Keep, WriteOp::Put(Sym::Zero)],
+        [Move::S, Move::R, Move::R],
+    );
+    b.rule(
+        b_copy,
+        [Pat::Any, Pat::Is(Sym::One), Pat::Any],
+        b_copy,
+        [WriteOp::Keep, WriteOp::Keep, WriteOp::Put(Sym::One)],
+        [Move::S, Move::R, Move::R],
+    );
+    b.rule(
+        b_copy,
+        [Pat::Any, Pat::Is(Sym::Sep), Pat::Any],
+        b_rew,
+        [WriteOp::Keep, WriteOp::Keep, WriteOp::Put(Sym::Sep)],
+        [Move::S, Move::L, Move::R],
+    );
+    b.rule(b_copy, [Pat::Any; 3], rej, keep, stay);
+    // b_rew: rewind the internal head to ⊢.
+    b.rule(b_rew, [Pat::Any, Pat::Is(Sym::LeftEnd), Pat::Any], b_next, keep, stay);
+    b.rule(b_rew, [Pat::Any; 3], b_rew, keep, [Move::S, Move::L, Move::S]);
+    // b_next / b_look: advance to the next separator or finish the round.
+    b.rule(b_next, [Pat::Any; 3], b_look, keep, [Move::R, Move::S, Move::S]);
+    b.rule(b_look, [Pat::Is(Sym::Sep), Pat::Any, Pat::Any], b_sent, keep, stay);
+    b.rule(b_look, [Pat::Is(Sym::Blank), Pat::Any, Pat::Any], b.pause(), keep, stay);
+    b.rule(b_look, [Pat::Any; 3], rej, keep, stay);
+
+    // --- Round 2: compare each message against the label.
+    // c_cmp: co-scan; both tapes advance on matching bits.
+    b.rule(
+        c_cmp,
+        [Pat::Is(Sym::Zero), Pat::Is(Sym::Zero), Pat::Any],
+        c_cmp,
+        keep,
+        [Move::R, Move::R, Move::S],
+    );
+    b.rule(
+        c_cmp,
+        [Pat::Is(Sym::One), Pat::Is(Sym::One), Pat::Any],
+        c_cmp,
+        keep,
+        [Move::R, Move::R, Move::S],
+    );
+    // Both ended simultaneously: the neighbor has the same color — reject.
+    b.rule(c_cmp, [Pat::Is(Sym::Sep), Pat::Is(Sym::Sep), Pat::Any], rej, keep, stay);
+    // Message ended first: colors differ; rewind and move on.
+    b.rule(
+        c_cmp,
+        [Pat::Is(Sym::Sep), Pat::Any, Pat::Any],
+        c_rew,
+        keep,
+        [Move::S, Move::L, Move::S],
+    );
+    // Malformed tape (blank inside a message): reject.
+    b.rule(c_cmp, [Pat::Is(Sym::Blank), Pat::Any, Pat::Any], rej, keep, stay);
+    // Label ended first, or the bits differ: skip the rest of the message.
+    b.rule(c_cmp, [Pat::Any; 3], c_skip, keep, [Move::R, Move::S, Move::S]);
+    // c_skip: advance the receiving head to the message's separator.
+    b.rule(
+        c_skip,
+        [Pat::Is(Sym::Sep), Pat::Any, Pat::Any],
+        c_rew,
+        keep,
+        [Move::S, Move::L, Move::S],
+    );
+    b.rule(c_skip, [Pat::Is(Sym::Blank), Pat::Any, Pat::Any], rej, keep, stay);
+    b.rule(c_skip, [Pat::Any; 3], c_skip, keep, [Move::R, Move::S, Move::S]);
+    // c_rew: rewind the internal head to ⊢.
+    b.rule(c_rew, [Pat::Any, Pat::Is(Sym::LeftEnd), Pat::Any], c_adv, keep, stay);
+    b.rule(c_rew, [Pat::Any; 3], c_rew, keep, [Move::S, Move::L, Move::S]);
+    // c_adv: step past the separator; internal head back to cell 1.
+    b.rule(c_adv, [Pat::Any; 3], c_look, keep, [Move::R, Move::R, Move::S]);
+    // c_look: sentinel of the next message, or the end of the inbox.
+    b.rule(
+        c_look,
+        [Pat::Is(Sym::One), Pat::Any, Pat::Any],
+        c_cmp,
+        keep,
+        [Move::R, Move::S, Move::S],
+    );
+    b.rule(c_look, [Pat::Is(Sym::Blank), Pat::Any, Pat::Any], acc, keep, stay);
+    b.rule(c_look, [Pat::Any; 3], rej, keep, stay);
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::tests::run;
+    use lph_graphs::{enumerate, generators, BitString, LabeledGraph};
+
+    fn ground_truth_proper(g: &LabeledGraph) -> bool {
+        g.edges().all(|(u, v)| g.label(u) != g.label(v))
+    }
+
+    #[test]
+    fn agrees_with_ground_truth_on_all_small_graphs_and_labelings() {
+        let tm = proper_coloring_verifier();
+        let choices: Vec<BitString> =
+            ["", "0", "1", "01"].iter().map(|s| BitString::from_bits01(s)).collect();
+        for base in enumerate::connected_graphs_up_to(4) {
+            for g in enumerate::labelings_from(&base, &choices) {
+                let out = run(&tm, &g);
+                assert_eq!(out.accepted, ground_truth_proper(&g), "graph: {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_rounds_unless_isolated() {
+        let tm = proper_coloring_verifier();
+        let g = generators::labeled_path(&["0", "1"]);
+        assert_eq!(run(&tm, &g).rounds, 2);
+        let g = LabeledGraph::single_node(BitString::from_bits01("0"));
+        assert_eq!(run(&tm, &g).rounds, 1);
+    }
+
+    #[test]
+    fn per_node_verdicts_localize_conflicts() {
+        let tm = proper_coloring_verifier();
+        // 0 -1- 2 path labeled a, a, b: the conflict is on edge (0,1).
+        let g = generators::labeled_path(&["0", "0", "1"]);
+        let out = run(&tm, &g);
+        assert_eq!(out.verdicts, vec![false, false, true]);
+    }
+
+    #[test]
+    fn prefix_colors_are_distinct() {
+        // "0" vs "01": one is a proper prefix of the other but they differ.
+        let tm = proper_coloring_verifier();
+        let g = generators::labeled_path(&["0", "01"]);
+        assert!(run(&tm, &g).accepted);
+        let g = generators::labeled_path(&["01", "0"]);
+        assert!(run(&tm, &g).accepted);
+    }
+
+    #[test]
+    fn proper_two_coloring_of_even_cycle_accepted() {
+        let tm = proper_coloring_verifier();
+        let g = generators::labeled_cycle(&["0", "1", "0", "1", "0", "1"]);
+        assert!(run(&tm, &g).accepted);
+        let g = generators::labeled_cycle(&["0", "1", "0", "1", "0"]);
+        assert!(!run(&tm, &g).accepted, "odd cycle cannot be 2-colored");
+    }
+
+    #[test]
+    fn empty_labels_conflict_with_each_other() {
+        let tm = proper_coloring_verifier();
+        let g = generators::labeled_path(&["", ""]);
+        assert!(!run(&tm, &g).accepted);
+        let g = generators::labeled_path(&["", "1"]);
+        assert!(run(&tm, &g).accepted);
+    }
+}

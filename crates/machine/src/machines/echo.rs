@@ -1,0 +1,114 @@
+use crate::machines::verdict_states;
+use crate::tm::{DistributedTm, Move, Pat, Sym, TmBuilder, WriteOp};
+
+/// A two-round *echo* machine exercising the full message plumbing: in
+/// round 1 every node sends the one-bit message `1` to each neighbor; in
+/// round 2 it accepts iff it received exactly `degree` nonempty messages —
+/// i.e. iff the synchronous message exchange is lossless and symmetric.
+///
+/// Used as an interpreter self-test (any bug in message routing, ordering,
+/// or tape handling makes some node reject).
+pub fn echo_machine() -> DistributedTm {
+    let mut b = TmBuilder::new();
+    let (acc, rej) = verdict_states(&mut b);
+    let detect = b.state("detect");
+    let bcast = b.state("bcast");
+    let bcast_sep = b.state("bcast_sep");
+    let count = b.state("count");
+    let expect_sep = b.state("expect_sep");
+
+    let keep = [WriteOp::Keep; 3];
+    let stay = [Move::S; 3];
+
+    // Look at receiving cell 1.
+    b.rule(b.start(), [Pat::Any; 3], detect, keep, [Move::R, Move::S, Move::R]);
+    // No neighbors: trivially accept in round 1.
+    b.rule(detect, [Pat::Is(Sym::Blank), Pat::Any, Pat::Any], acc, keep, stay);
+    // Round 1 (`#^d`): write `1#` per separator seen.
+    b.rule(detect, [Pat::Is(Sym::Sep), Pat::Any, Pat::Any], bcast, keep, stay);
+    // Round 2 (`1#1#…#`): the leading `1` is consumed here; from then on
+    // alternate separator/message checks.
+    b.rule(
+        detect,
+        [Pat::Is(Sym::One), Pat::Any, Pat::Any],
+        expect_sep,
+        keep,
+        [Move::R, Move::S, Move::S],
+    );
+    b.rule(detect, [Pat::Any; 3], rej, keep, stay);
+
+    // Broadcast loop: at each receiving `#`, emit `1#` on the sending tape.
+    b.rule(
+        bcast,
+        [Pat::Is(Sym::Sep), Pat::Any, Pat::Any],
+        bcast_sep,
+        [WriteOp::Keep, WriteOp::Keep, WriteOp::Put(Sym::One)],
+        [Move::R, Move::S, Move::R],
+    );
+    b.rule(bcast, [Pat::Is(Sym::Blank), Pat::Any, Pat::Any], b.pause(), keep, stay);
+    b.rule(bcast, [Pat::Any; 3], rej, keep, stay);
+    b.rule(
+        bcast_sep,
+        [Pat::Any; 3],
+        bcast,
+        [WriteOp::Keep, WriteOp::Keep, WriteOp::Put(Sym::Sep)],
+        [Move::S, Move::S, Move::R],
+    );
+
+    // Counting loop: after a `1` we expect `#`; after `#` either another
+    // `1` or the end of the inbox.
+    b.rule(
+        expect_sep,
+        [Pat::Is(Sym::Sep), Pat::Any, Pat::Any],
+        count,
+        keep,
+        [Move::R, Move::S, Move::S],
+    );
+    b.rule(expect_sep, [Pat::Any; 3], rej, keep, stay);
+    b.rule(
+        count,
+        [Pat::Is(Sym::One), Pat::Any, Pat::Any],
+        expect_sep,
+        keep,
+        [Move::R, Move::S, Move::S],
+    );
+    b.rule(count, [Pat::Is(Sym::Blank), Pat::Any, Pat::Any], acc, keep, stay);
+    b.rule(count, [Pat::Any; 3], rej, keep, stay);
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::tests::run;
+    use lph_graphs::{enumerate, generators};
+
+    #[test]
+    fn echo_accepts_on_every_small_graph() {
+        let tm = echo_machine();
+        for g in enumerate::connected_graphs_up_to(5) {
+            let out = run(&tm, &g);
+            assert!(out.accepted, "message plumbing broke on {g}");
+        }
+    }
+
+    #[test]
+    fn echo_round_counts() {
+        let tm = echo_machine();
+        assert_eq!(run(&tm, &generators::path(1)).rounds, 1);
+        assert_eq!(run(&tm, &generators::cycle(5)).rounds, 2);
+        assert_eq!(run(&tm, &generators::star(6)).rounds, 2);
+    }
+
+    #[test]
+    fn echo_works_under_small_local_ids() {
+        use lph_graphs::{CertificateList, IdAssignment};
+        let tm = echo_machine();
+        let g = generators::cycle(9);
+        let id = IdAssignment::small(&g, 1);
+        let out = crate::run_tm(&tm, &g, &id, &CertificateList::new(), &crate::ExecLimits::default())
+            .unwrap();
+        assert!(out.accepted);
+    }
+}

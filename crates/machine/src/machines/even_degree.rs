@@ -1,0 +1,89 @@
+use crate::machines::verdict_states;
+use crate::tm::{DistributedTm, Move, Pat, Sym, TmBuilder, WriteOp};
+
+/// The one-round **LP**-decider for `EULERIAN` (Proposition 15): by Euler's
+/// theorem, a connected graph is Eulerian iff every node has even degree.
+/// Each node reads its round-1 receiving tape `#^d` and accepts iff the
+/// number of separators is even.
+pub fn even_degree_decider() -> DistributedTm {
+    let mut b = TmBuilder::new();
+    let (acc, rej) = verdict_states(&mut b);
+    let even = b.state("parity_even");
+    let odd = b.state("parity_odd");
+    // Step off the left-end marker of the receiving tape.
+    b.rule(
+        b.start(),
+        [Pat::Any; 3],
+        even,
+        [WriteOp::Keep; 3],
+        [Move::R, Move::S, Move::S],
+    );
+    for (me, other, verdict) in [(even, odd, acc), (odd, even, rej)] {
+        // A separator toggles the parity.
+        b.rule(
+            me,
+            [Pat::Is(Sym::Sep), Pat::Any, Pat::Any],
+            other,
+            [WriteOp::Keep; 3],
+            [Move::R, Move::S, Move::S],
+        );
+        // End of the receiving tape: report the parity.
+        b.rule(
+            me,
+            [Pat::Is(Sym::Blank), Pat::Any, Pat::Any],
+            verdict,
+            [WriteOp::Keep; 3],
+            [Move::S; 3],
+        );
+        // Any other symbol (cannot occur in round 1) is skipped, keeping
+        // the table total.
+        b.rule(me, [Pat::Any; 3], me, [WriteOp::Keep; 3], [Move::R, Move::S, Move::S]);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::tests::run;
+    use lph_graphs::{enumerate, generators};
+
+    fn ground_truth_eulerian(g: &lph_graphs::LabeledGraph) -> bool {
+        g.nodes().all(|u| g.degree(u) % 2 == 0)
+    }
+
+    #[test]
+    fn agrees_with_euler_criterion_on_all_small_graphs() {
+        let tm = even_degree_decider();
+        for g in enumerate::connected_graphs_up_to(5) {
+            let out = run(&tm, &g);
+            assert_eq!(out.accepted, ground_truth_eulerian(&g), "graph: {g}");
+            assert_eq!(out.rounds, 1);
+        }
+    }
+
+    #[test]
+    fn cycles_are_eulerian_paths_are_not() {
+        let tm = even_degree_decider();
+        assert!(run(&tm, &generators::cycle(7)).accepted);
+        assert!(!run(&tm, &generators::path(4)).accepted);
+        assert!(run(&tm, &generators::path(1)).accepted); // isolated node
+    }
+
+    #[test]
+    fn per_node_verdicts_localize_odd_degrees() {
+        let tm = even_degree_decider();
+        let g = generators::star(4); // center degree 3, leaves degree 1
+        let out = run(&tm, &g);
+        assert_eq!(out.verdicts, vec![false, false, false, false]);
+        let g = generators::cycle(4);
+        assert_eq!(run(&tm, &g).verdicts, vec![true; 4]);
+    }
+
+    #[test]
+    fn complete_graph_parity() {
+        let tm = even_degree_decider();
+        assert!(run(&tm, &generators::complete(5)).accepted); // degree 4
+        assert!(!run(&tm, &generators::complete(4)).accepted); // degree 3
+    }
+}

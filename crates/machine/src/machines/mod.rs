@@ -1,0 +1,99 @@
+//! Hand-built distributed Turing machines with explicit transition tables.
+//!
+//! These machines demonstrate that the interpreter in [`crate::run_tm`] is a
+//! faithful implementation of the paper's model — the deciders here are real
+//! `(Q, δ)` tables, not closures. Each is tested against a ground-truth
+//! predicate over exhaustively enumerated instances.
+//!
+//! All machines share a *verdict epilogue* ([`verdict_states`]): rewind the
+//! internal head to `⊢`, erase the entire tape content, write a single `1`
+//! (accept) or `0` (reject), and enter `q_stop`. This guarantees the
+//! result label is exactly the verdict bit.
+
+mod all_selected;
+mod coloring;
+mod echo;
+mod even_degree;
+mod project_label;
+
+pub use all_selected::all_selected_decider;
+pub use coloring::proper_coloring_verifier;
+pub use echo::echo_machine;
+pub use even_degree::even_degree_decider;
+pub use project_label::project_label_machine;
+
+use crate::tm::{Move, Pat, StateId, Sym, TmBuilder, WriteOp};
+
+/// Adds the shared verdict epilogue to a machine under construction and
+/// returns `(accept_entry, reject_entry)`: states that, from any internal
+/// head position, rewind to `⊢`, erase the content, write the verdict bit,
+/// and stop.
+pub fn verdict_states(b: &mut TmBuilder) -> (StateId, StateId) {
+    let rew_acc = b.state("verdict_rewind_acc");
+    let rew_rej = b.state("verdict_rewind_rej");
+    let wipe_acc = b.state("verdict_wipe_acc");
+    let wipe_rej = b.state("verdict_wipe_rej");
+    for (rew, wipe, bit) in
+        [(rew_acc, wipe_acc, Sym::One), (rew_rej, wipe_rej, Sym::Zero)]
+    {
+        // Rewind the internal head to the left-end marker.
+        b.rule(
+            rew,
+            [Pat::Any, Pat::Is(Sym::LeftEnd), Pat::Any],
+            wipe,
+            [WriteOp::Keep; 3],
+            [Move::S, Move::R, Move::S],
+        );
+        b.rule(rew, [Pat::Any; 3], rew, [WriteOp::Keep; 3], [Move::S, Move::L, Move::S]);
+        // Erase rightwards; at the first blank, write the verdict and stop.
+        b.rule(
+            wipe,
+            [Pat::Any, Pat::Is(Sym::Blank), Pat::Any],
+            StateId(2), // q_stop
+            [WriteOp::Keep, WriteOp::Put(bit), WriteOp::Keep],
+            [Move::S, Move::S, Move::S],
+        );
+        b.rule(
+            wipe,
+            [Pat::Any; 3],
+            wipe,
+            [WriteOp::Keep, WriteOp::Put(Sym::Blank), WriteOp::Keep],
+            [Move::S, Move::R, Move::S],
+        );
+    }
+    (rew_acc, rew_rej)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_tm, ExecLimits};
+    use lph_graphs::{CertificateList, IdAssignment, LabeledGraph};
+
+    pub(crate) fn run(
+        tm: &crate::DistributedTm,
+        g: &LabeledGraph,
+    ) -> crate::TmOutcome {
+        let id = IdAssignment::global(g);
+        run_tm(tm, g, &id, &CertificateList::new(), &ExecLimits::default())
+            .expect("machine must terminate cleanly")
+    }
+
+    #[test]
+    fn verdict_epilogue_produces_clean_bit() {
+        // A machine that walks its internal head 3 cells right, then accepts.
+        let mut b = TmBuilder::new();
+        let (acc, _rej) = verdict_states(&mut b);
+        let w1 = b.state("w1");
+        let w2 = b.state("w2");
+        b.rule(b.start(), [Pat::Any; 3], w1, [WriteOp::Keep; 3], [Move::S, Move::R, Move::S]);
+        b.rule(w1, [Pat::Any; 3], w2, [WriteOp::Keep; 3], [Move::S, Move::R, Move::S]);
+        b.rule(w2, [Pat::Any; 3], acc, [WriteOp::Keep; 3], [Move::S, Move::R, Move::S]);
+        let tm = b.build();
+        let g = lph_graphs::generators::labeled_path(&["0110", "101"]);
+        let out = run(&tm, &g);
+        assert!(out.accepted);
+        assert_eq!(out.result_labels[0], lph_graphs::BitString::from_bits01("1"));
+        assert_eq!(out.result_labels[1], lph_graphs::BitString::from_bits01("1"));
+    }
+}

@@ -1,0 +1,95 @@
+use crate::tm::{DistributedTm, Move, Pat, Sym, TmBuilder, WriteOp};
+
+/// A one-round machine whose *result graph* relabels every node with its own
+/// input label: it erases everything from the first separator on (identifier
+/// and certificates), leaving exactly `λ(u)` as the node's output.
+///
+/// Used to exercise the result-graph extraction of Section 4 and as the
+/// identity stage when composing graph transformations.
+pub fn project_label_machine() -> DistributedTm {
+    let mut b = TmBuilder::new();
+    let scan = b.state("scan_label");
+    let wipe = b.state("wipe_rest");
+    b.rule(
+        b.start(),
+        [Pat::Any; 3],
+        scan,
+        [WriteOp::Keep; 3],
+        [Move::S, Move::R, Move::S],
+    );
+    // Keep label bits; at the first separator start erasing.
+    b.rule(
+        scan,
+        [Pat::Any, Pat::Is(Sym::Sep), Pat::Any],
+        wipe,
+        [WriteOp::Keep, WriteOp::Put(Sym::Blank), WriteOp::Keep],
+        [Move::S, Move::R, Move::S],
+    );
+    b.rule(
+        scan,
+        [Pat::Any, Pat::Is(Sym::Blank), Pat::Any],
+        b.stop(),
+        [WriteOp::Keep; 3],
+        [Move::S; 3],
+    );
+    b.rule(scan, [Pat::Any; 3], scan, [WriteOp::Keep; 3], [Move::S, Move::R, Move::S]);
+    b.rule(
+        wipe,
+        [Pat::Any, Pat::Is(Sym::Blank), Pat::Any],
+        b.stop(),
+        [WriteOp::Keep; 3],
+        [Move::S; 3],
+    );
+    b.rule(
+        wipe,
+        [Pat::Any; 3],
+        wipe,
+        [WriteOp::Keep, WriteOp::Put(Sym::Blank), WriteOp::Keep],
+        [Move::S, Move::R, Move::S],
+    );
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::tests::run;
+    use lph_graphs::{generators, BitString, NodeId};
+
+    #[test]
+    fn result_graph_carries_original_labels() {
+        let tm = project_label_machine();
+        let g = generators::labeled_cycle(&["01", "", "110"]);
+        let out = run(&tm, &g);
+        assert_eq!(out.result_labels[0], BitString::from_bits01("01"));
+        assert_eq!(out.result_labels[1], BitString::new());
+        assert_eq!(out.result_labels[2], BitString::from_bits01("110"));
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn verdict_semantics_follow_result_labels() {
+        let tm = project_label_machine();
+        let g = generators::labeled_path(&["1", "1", "0"]);
+        let out = run(&tm, &g);
+        // Nodes labeled "1" accept; the node labeled "0" rejects.
+        assert_eq!(out.verdicts, vec![true, true, false]);
+        assert!(!out.accepted);
+        assert_eq!(out.result_labels[2], BitString::from_bits01("0"));
+        let _ = g.label(NodeId(2));
+    }
+
+    #[test]
+    fn certificates_are_wiped_from_output() {
+        use lph_graphs::{CertificateAssignment, CertificateList, IdAssignment};
+        let tm = project_label_machine();
+        let g = generators::labeled_path(&["1", "1"]);
+        let id = IdAssignment::global(&g);
+        let certs = CertificateList::from_assignments(vec![CertificateAssignment::uniform(
+            &g,
+            BitString::from_bits01("0101"),
+        )]);
+        let out = crate::run_tm(&tm, &g, &id, &certs, &crate::ExecLimits::default()).unwrap();
+        assert!(out.accepted, "certificate bits must not leak into the result");
+    }
+}

@@ -1,0 +1,103 @@
+/// Per-node statistics for one communication round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Number of local computation steps made in phase 2 (the paper's *step
+    /// running time* of the node in this round).
+    pub steps: usize,
+    /// Maximum total number of tape cells occupied during the round (the
+    /// paper's *space usage*; summed over the three tapes).
+    pub space: usize,
+    /// Length of the receiving tape's initial content (`len(s)` in the step
+    /// time definition).
+    pub input_rcv_len: usize,
+    /// Length of the internal tape's initial content (`len(t)`).
+    pub input_int_len: usize,
+}
+
+/// Step/space metrics for a whole execution, indexed `[node][round-1]`.
+///
+/// These are the measured quantities that the Lemma 10 experiment compares
+/// against the polynomial bound `f(card(N_{4r}^{$G}(u)))`.
+#[derive(Debug, Clone, Default)]
+pub struct ExecMetrics {
+    /// `per_node[u][i]` holds the stats of node `u` in round `i+1`.
+    pub per_node: Vec<Vec<RoundStats>>,
+}
+
+impl ExecMetrics {
+    /// Creates metrics storage for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        ExecMetrics { per_node: vec![Vec::new(); n] }
+    }
+
+    /// Records the stats of one node for the round just executed.
+    pub fn record(&mut self, node: usize, stats: RoundStats) {
+        self.per_node[node].push(stats);
+    }
+
+    /// The maximum step count over all nodes and rounds.
+    pub fn max_steps(&self) -> usize {
+        self.per_node
+            .iter()
+            .flat_map(|rounds| rounds.iter().map(|s| s.steps))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The maximum space usage over all nodes and rounds.
+    pub fn max_space(&self) -> usize {
+        self.per_node
+            .iter()
+            .flat_map(|rounds| rounds.iter().map(|s| s.space))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total steps across all nodes and rounds (a throughput measure for
+    /// benches).
+    pub fn total_steps(&self) -> usize {
+        self.per_node
+            .iter()
+            .flat_map(|rounds| rounds.iter().map(|s| s.steps))
+            .sum()
+    }
+
+    /// The per-node maxima of steps and space over all rounds, as
+    /// `(steps, space)` pairs — one data point per node for the Lemma 10
+    /// series.
+    pub fn node_maxima(&self) -> Vec<(usize, usize)> {
+        self.per_node
+            .iter()
+            .map(|rounds| {
+                (
+                    rounds.iter().map(|s| s.steps).max().unwrap_or(0),
+                    rounds.iter().map(|s| s.space).max().unwrap_or(0),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_over_nodes_and_rounds() {
+        let mut m = ExecMetrics::new(2);
+        m.record(0, RoundStats { steps: 5, space: 10, input_rcv_len: 1, input_int_len: 2 });
+        m.record(0, RoundStats { steps: 7, space: 8, input_rcv_len: 3, input_int_len: 2 });
+        m.record(1, RoundStats { steps: 2, space: 20, input_rcv_len: 0, input_int_len: 0 });
+        assert_eq!(m.max_steps(), 7);
+        assert_eq!(m.max_space(), 20);
+        assert_eq!(m.total_steps(), 14);
+        assert_eq!(m.node_maxima(), vec![(7, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = ExecMetrics::new(3);
+        assert_eq!(m.max_steps(), 0);
+        assert_eq!(m.node_maxima(), vec![(0, 0); 3]);
+    }
+}

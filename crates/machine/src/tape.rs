@@ -1,0 +1,290 @@
+use lph_graphs::BitString;
+
+use crate::{MachineError, Move, Sym};
+
+/// A one-way infinite tape with its head position.
+///
+/// Cell 0 always holds the left-end marker `⊢`; blanks extend to the right
+/// on demand. The *content* of a tape is the symbol sequence with leading or
+/// trailing `⊢`/`□` ignored (Section 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tape {
+    cells: Vec<Sym>,
+    head: usize,
+    /// High-water mark of touched cells (for space accounting).
+    touched: usize,
+}
+
+impl Tape {
+    /// An empty tape (`⊢` followed by blanks), head on cell 0.
+    pub fn empty() -> Self {
+        Tape { cells: vec![Sym::LeftEnd], head: 0, touched: 1 }
+    }
+
+    /// A tape initialized with `⊢` followed by the given symbols, head on
+    /// cell 0.
+    pub fn with_content(content: &[Sym]) -> Self {
+        let mut cells = Vec::with_capacity(content.len() + 1);
+        cells.push(Sym::LeftEnd);
+        cells.extend_from_slice(content);
+        let touched = cells.len();
+        Tape { cells, head: 0, touched }
+    }
+
+    /// The scanned symbol.
+    pub fn read(&self) -> Sym {
+        self.cells.get(self.head).copied().unwrap_or(Sym::Blank)
+    }
+
+    /// Writes a symbol at the head.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::OverwroteLeftEnd`] (tagged with `tape_index`)
+    /// if the head is on cell 0 and the symbol is not `⊢`, or if `⊢` is
+    /// written to a later cell (the marker is unique by construction).
+    pub fn write(&mut self, s: Sym, tape_index: usize) -> Result<(), MachineError> {
+        if self.head == 0 && s != Sym::LeftEnd {
+            return Err(MachineError::OverwroteLeftEnd { tape: tape_index });
+        }
+        if self.head != 0 && s == Sym::LeftEnd {
+            return Err(MachineError::OverwroteLeftEnd { tape: tape_index });
+        }
+        while self.cells.len() <= self.head {
+            self.cells.push(Sym::Blank);
+        }
+        self.cells[self.head] = s;
+        self.touched = self.touched.max(self.head + 1);
+        Ok(())
+    }
+
+    /// Moves the head.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::HeadOffTape`] on a left move from cell 0.
+    pub fn shift(&mut self, m: Move, tape_index: usize) -> Result<(), MachineError> {
+        match m {
+            Move::L => {
+                if self.head == 0 {
+                    return Err(MachineError::HeadOffTape { tape: tape_index });
+                }
+                self.head -= 1;
+            }
+            Move::S => {}
+            Move::R => {
+                self.head += 1;
+                self.touched = self.touched.max(self.head + 1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Resets the head to cell 0 (start of a round).
+    pub fn rewind(&mut self) {
+        self.head = 0;
+    }
+
+    /// The head position.
+    pub fn head(&self) -> usize {
+        self.head
+    }
+
+    /// The number of cells ever touched (space accounting, Lemma 10).
+    pub fn touched(&self) -> usize {
+        self.touched
+    }
+
+    /// The tape *content*: symbols after the `⊢`, with trailing blanks
+    /// stripped. Interior blanks are preserved.
+    pub fn content(&self) -> Vec<Sym> {
+        let mut end = self.cells.len();
+        while end > 1 && self.cells[end - 1] == Sym::Blank {
+            end -= 1;
+        }
+        self.cells[1..end].to_vec()
+    }
+
+    /// Replaces the entire tape content (head stays where it is unless out
+    /// of bounds, in which case it is clamped — used only between rounds,
+    /// where heads are rewound anyway).
+    pub fn set_content(&mut self, content: &[Sym]) {
+        self.cells.clear();
+        self.cells.push(Sym::LeftEnd);
+        self.cells.extend_from_slice(content);
+        self.touched = self.touched.max(self.cells.len());
+        if self.head >= self.cells.len() {
+            self.head = self.cells.len() - 1;
+        }
+    }
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Tape::empty()
+    }
+}
+
+/// Extracts the verdict bit string from a final internal tape: all symbols
+/// other than `0` and `1` are ignored (Section 4, "Result and decision").
+pub fn content_bits(content: &[Sym]) -> BitString {
+    content
+        .iter()
+        .filter_map(|s| match s {
+            Sym::Zero => Some(false),
+            Sym::One => Some(true),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Splits a sending-tape content into the messages for the first `d`
+/// neighbors: `□`s are ignored and `#` separates messages; missing messages
+/// default to the empty string (Section 4, phase 3).
+pub fn split_messages(content: &[Sym], d: usize) -> Vec<BitString> {
+    let mut messages = Vec::with_capacity(d);
+    let mut current = BitString::new();
+    for &s in content {
+        match s {
+            Sym::Zero => current.push(false),
+            Sym::One => current.push(true),
+            Sym::Sep => {
+                messages.push(std::mem::take(&mut current));
+                if messages.len() == d {
+                    break;
+                }
+            }
+            Sym::Blank | Sym::LeftEnd => {}
+        }
+    }
+    if messages.len() < d && !current.is_empty() {
+        messages.push(current);
+    }
+    while messages.len() < d {
+        messages.push(BitString::new());
+    }
+    messages.truncate(d);
+    messages
+}
+
+/// Encodes a bit string as tape symbols.
+pub fn bits_to_syms(bits: &BitString) -> Vec<Sym> {
+    bits.iter().map(Sym::bit).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tape_reads_left_end() {
+        let t = Tape::empty();
+        assert_eq!(t.read(), Sym::LeftEnd);
+        assert!(t.content().is_empty());
+    }
+
+    #[test]
+    fn reading_past_content_yields_blanks() {
+        let mut t = Tape::with_content(&[Sym::One]);
+        t.shift(Move::R, 0).unwrap();
+        t.shift(Move::R, 0).unwrap();
+        assert_eq!(t.read(), Sym::Blank);
+        t.shift(Move::R, 0).unwrap();
+        assert_eq!(t.read(), Sym::Blank);
+    }
+
+    #[test]
+    fn cannot_move_left_of_marker() {
+        let mut t = Tape::empty();
+        assert_eq!(t.shift(Move::L, 2).unwrap_err(), MachineError::HeadOffTape { tape: 2 });
+    }
+
+    #[test]
+    fn cannot_clobber_marker() {
+        let mut t = Tape::empty();
+        assert_eq!(
+            t.write(Sym::One, 1).unwrap_err(),
+            MachineError::OverwroteLeftEnd { tape: 1 }
+        );
+        t.shift(Move::R, 1).unwrap();
+        assert_eq!(
+            t.write(Sym::LeftEnd, 1).unwrap_err(),
+            MachineError::OverwroteLeftEnd { tape: 1 }
+        );
+    }
+
+    #[test]
+    fn write_and_content_round_trip() {
+        let mut t = Tape::empty();
+        t.shift(Move::R, 0).unwrap();
+        t.write(Sym::One, 0).unwrap();
+        t.shift(Move::R, 0).unwrap();
+        t.write(Sym::Sep, 0).unwrap();
+        t.shift(Move::R, 0).unwrap();
+        t.write(Sym::Zero, 0).unwrap();
+        assert_eq!(t.content(), vec![Sym::One, Sym::Sep, Sym::Zero]);
+        // Trailing blank is stripped, interior blanks are preserved.
+        t.shift(Move::R, 0).unwrap();
+        t.shift(Move::R, 0).unwrap();
+        t.write(Sym::One, 0).unwrap();
+        assert_eq!(
+            t.content(),
+            vec![Sym::One, Sym::Sep, Sym::Zero, Sym::Blank, Sym::One]
+        );
+    }
+
+    #[test]
+    fn touched_tracks_space_usage() {
+        let mut t = Tape::empty();
+        for _ in 0..5 {
+            t.shift(Move::R, 0).unwrap();
+        }
+        assert_eq!(t.touched(), 6);
+        t.rewind();
+        assert_eq!(t.touched(), 6);
+    }
+
+    #[test]
+    fn content_bits_ignores_non_bits() {
+        let content = vec![Sym::Sep, Sym::One, Sym::Blank, Sym::Zero, Sym::Sep, Sym::One];
+        assert_eq!(content_bits(&content), BitString::from_bits01("101"));
+    }
+
+    #[test]
+    fn split_messages_pads_and_truncates() {
+        // Content: 10#1#0 — three messages for d = 2 keeps the first two.
+        let content = vec![Sym::One, Sym::Zero, Sym::Sep, Sym::One, Sym::Sep, Sym::Zero];
+        let m = split_messages(&content, 2);
+        assert_eq!(m, vec![BitString::from_bits01("10"), BitString::from_bits01("1")]);
+        // d = 4 pads with empties; the trailing "0" lacks a separator but
+        // still counts as a message.
+        let m = split_messages(&content, 4);
+        assert_eq!(
+            m,
+            vec![
+                BitString::from_bits01("10"),
+                BitString::from_bits01("1"),
+                BitString::from_bits01("0"),
+                BitString::new()
+            ]
+        );
+    }
+
+    #[test]
+    fn split_messages_ignores_blanks() {
+        let content = vec![Sym::One, Sym::Blank, Sym::Zero, Sym::Sep];
+        assert_eq!(split_messages(&content, 1), vec![BitString::from_bits01("10")]);
+    }
+
+    #[test]
+    fn split_messages_empty_tape_gives_empty_messages() {
+        assert_eq!(split_messages(&[], 3), vec![BitString::new(); 3]);
+    }
+
+    #[test]
+    fn set_content_replaces_everything() {
+        let mut t = Tape::with_content(&[Sym::One; 5]);
+        t.set_content(&[Sym::Zero]);
+        assert_eq!(t.content(), vec![Sym::Zero]);
+    }
+}

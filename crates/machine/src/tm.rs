@@ -1,0 +1,411 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::MachineError;
+
+/// A symbol of the tape alphabet `Σ = {⊢, □, #, 0, 1}` (Section 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sym {
+    /// The left-end marker `⊢` occupying the first cell of every tape.
+    LeftEnd,
+    /// The blank symbol `□`.
+    Blank,
+    /// The separator `#`.
+    Sep,
+    /// The bit 0.
+    Zero,
+    /// The bit 1.
+    One,
+}
+
+impl Sym {
+    /// All five symbols, for wildcard expansion.
+    pub const ALL: [Sym; 5] = [Sym::LeftEnd, Sym::Blank, Sym::Sep, Sym::Zero, Sym::One];
+
+    /// A display character for diagnostics.
+    pub fn as_char(self) -> char {
+        match self {
+            Sym::LeftEnd => '⊢',
+            Sym::Blank => '□',
+            Sym::Sep => '#',
+            Sym::Zero => '0',
+            Sym::One => '1',
+        }
+    }
+
+    /// The symbol for a bit.
+    pub fn bit(b: bool) -> Sym {
+        if b {
+            Sym::One
+        } else {
+            Sym::Zero
+        }
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_char())
+    }
+}
+
+/// A head movement: left, stay, or right (`-1, 0, 1` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Move {
+    /// Move one cell to the left.
+    L,
+    /// Stay on the current cell.
+    S,
+    /// Move one cell to the right.
+    R,
+}
+
+/// Index of a state in a [`DistributedTm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StateId(pub usize);
+
+/// The effect of a transition: next state, symbols written on the three
+/// tapes, and the three head movements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// The successor state.
+    pub next: StateId,
+    /// Symbols written to (receiving, internal, sending) tapes.
+    pub write: [Sym; 3],
+    /// Head movements for the three tapes.
+    pub moves: [Move; 3],
+}
+
+/// A distributed Turing machine `M = (Q, δ)` (Section 4): a finite state
+/// set with designated states `q_start`, `q_pause`, `q_stop`, and a
+/// transition table
+/// `δ : Q × Σ³ → Q × Σ³ × {-1,0,1}³` over the three tapes
+/// (receiving, internal, sending).
+///
+/// Build machines with [`TmBuilder`]; concrete examples live in
+/// [`crate::machines`].
+#[derive(Debug, Clone)]
+pub struct DistributedTm {
+    state_names: Vec<String>,
+    start: StateId,
+    pause: StateId,
+    stop: StateId,
+    table: HashMap<(StateId, [Sym; 3]), Transition>,
+}
+
+impl DistributedTm {
+    /// The designated start state `q_start`.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// The designated pause state `q_pause` (ends the local computation of
+    /// the current round).
+    pub fn pause(&self) -> StateId {
+        self.pause
+    }
+
+    /// The designated stop state `q_stop` (the node's final halt).
+    pub fn stop(&self) -> StateId {
+        self.stop
+    }
+
+    /// The number of states.
+    pub fn state_count(&self) -> usize {
+        self.state_names.len()
+    }
+
+    /// The name of a state (for diagnostics).
+    pub fn state_name(&self, q: StateId) -> &str {
+        &self.state_names[q.0]
+    }
+
+    /// Looks up `δ(q, scanned)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::MissingTransition`] if the table has no entry
+    /// — the paper requires total, terminating machines, so a missing
+    /// transition indicates a bug in the machine's construction.
+    pub fn step(&self, q: StateId, scanned: [Sym; 3]) -> Result<Transition, MachineError> {
+        self.table.get(&(q, scanned)).copied().ok_or_else(|| MachineError::MissingTransition {
+            state: self.state_names[q.0].clone(),
+            scanned: [scanned[0].as_char(), scanned[1].as_char(), scanned[2].as_char()],
+        })
+    }
+
+    /// The number of populated transition entries.
+    pub fn transition_count(&self) -> usize {
+        self.table.len()
+    }
+}
+
+/// A pattern matching tape symbols when declaring transition rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pat {
+    /// Matches any symbol.
+    Any,
+    /// Matches exactly one symbol.
+    Is(Sym),
+    /// Matches a bit (`0` or `1`).
+    Bit,
+    /// Matches anything except the given symbol.
+    Not(Sym),
+}
+
+impl Pat {
+    fn matches(self, s: Sym) -> bool {
+        match self {
+            Pat::Any => true,
+            Pat::Is(t) => s == t,
+            Pat::Bit => matches!(s, Sym::Zero | Sym::One),
+            Pat::Not(t) => s != t,
+        }
+    }
+}
+
+/// What a rule writes back to a tape cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Leave the scanned symbol unchanged.
+    Keep,
+    /// Write the given symbol.
+    Put(Sym),
+}
+
+impl WriteOp {
+    fn apply(self, scanned: Sym) -> Sym {
+        match self {
+            WriteOp::Keep => scanned,
+            WriteOp::Put(s) => s,
+        }
+    }
+}
+
+/// Builder assembling a [`DistributedTm`] from named states and wildcard
+/// rules.
+///
+/// Rules are expanded over all matching symbol triples; **earlier rules take
+/// precedence** — a later rule that overlaps an earlier one only fills the
+/// configurations the earlier one left open. Declaring two rules for the
+/// same state with *identical* pattern triples is rejected as a conflict.
+///
+/// # Example
+///
+/// ```
+/// use lph_machine::{TmBuilder, Pat, WriteOp, Move, Sym};
+///
+/// let mut b = TmBuilder::new();
+/// let scan = b.state("scan");
+/// // From q_start: move the internal head right, enter `scan`.
+/// b.rule(b.start(), [Pat::Any, Pat::Any, Pat::Any], scan,
+///        [WriteOp::Keep, WriteOp::Keep, WriteOp::Keep], [Move::S, Move::R, Move::S]);
+/// // In `scan`: halt as soon as a blank is seen.
+/// b.rule(scan, [Pat::Any, Pat::Is(Sym::Blank), Pat::Any], b.stop(),
+///        [WriteOp::Keep, WriteOp::Put(Sym::One), WriteOp::Keep], [Move::S, Move::S, Move::S]);
+/// // Otherwise keep moving right.
+/// b.rule(scan, [Pat::Any, Pat::Any, Pat::Any], scan,
+///        [WriteOp::Keep, WriteOp::Keep, WriteOp::Keep], [Move::S, Move::R, Move::S]);
+/// let tm = b.build();
+/// assert!(tm.state_count() >= 4);
+/// ```
+#[derive(Debug)]
+pub struct TmBuilder {
+    state_names: Vec<String>,
+    table: HashMap<(StateId, [Sym; 3]), Transition>,
+    declared: Vec<(StateId, [Pat; 3])>,
+}
+
+impl TmBuilder {
+    /// Creates a builder with the three designated states pre-registered.
+    pub fn new() -> Self {
+        TmBuilder {
+            state_names: vec!["q_start".into(), "q_pause".into(), "q_stop".into()],
+            table: HashMap::new(),
+            declared: Vec::new(),
+        }
+    }
+
+    /// `q_start`.
+    pub fn start(&self) -> StateId {
+        StateId(0)
+    }
+
+    /// `q_pause`.
+    pub fn pause(&self) -> StateId {
+        StateId(1)
+    }
+
+    /// `q_stop`.
+    pub fn stop(&self) -> StateId {
+        StateId(2)
+    }
+
+    /// Registers (or retrieves) a state by name.
+    pub fn state(&mut self, name: &str) -> StateId {
+        if let Some(i) = self.state_names.iter().position(|n| n == name) {
+            return StateId(i);
+        }
+        self.state_names.push(name.to_owned());
+        StateId(self.state_names.len() - 1)
+    }
+
+    /// Declares a rule: in state `q`, for every symbol triple matching
+    /// `pats`, write `writes`, move `moves`, and go to `next`. Earlier rules
+    /// win on overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exact same `(state, patterns)` pair was already
+    /// declared (a genuine authoring conflict).
+    pub fn rule(
+        &mut self,
+        q: StateId,
+        pats: [Pat; 3],
+        next: StateId,
+        writes: [WriteOp; 3],
+        moves: [Move; 3],
+    ) -> &mut Self {
+        assert!(
+            !self.declared.contains(&(q, pats)),
+            "conflicting duplicate rule for state {} with identical patterns",
+            self.state_names[q.0]
+        );
+        self.declared.push((q, pats));
+        for s0 in Sym::ALL {
+            if !pats[0].matches(s0) {
+                continue;
+            }
+            for s1 in Sym::ALL {
+                if !pats[1].matches(s1) {
+                    continue;
+                }
+                for s2 in Sym::ALL {
+                    if !pats[2].matches(s2) {
+                        continue;
+                    }
+                    let scanned = [s0, s1, s2];
+                    self.table.entry((q, scanned)).or_insert(Transition {
+                        next,
+                        write: [
+                            writes[0].apply(s0),
+                            writes[1].apply(s1),
+                            writes[2].apply(s2),
+                        ],
+                        moves,
+                    });
+                }
+            }
+        }
+        self
+    }
+
+    /// Finalizes the machine.
+    pub fn build(self) -> DistributedTm {
+        DistributedTm {
+            state_names: self.state_names,
+            start: StateId(0),
+            pause: StateId(1),
+            stop: StateId(2),
+            table: self.table,
+        }
+    }
+}
+
+impl Default for TmBuilder {
+    fn default() -> Self {
+        TmBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn designated_states_are_preregistered() {
+        let b = TmBuilder::new();
+        let tm = b.build();
+        assert_eq!(tm.state_name(tm.start()), "q_start");
+        assert_eq!(tm.state_name(tm.pause()), "q_pause");
+        assert_eq!(tm.state_name(tm.stop()), "q_stop");
+        assert_eq!(tm.state_count(), 3);
+    }
+
+    #[test]
+    fn state_registration_is_idempotent() {
+        let mut b = TmBuilder::new();
+        let a = b.state("work");
+        let a2 = b.state("work");
+        assert_eq!(a, a2);
+        assert_eq!(b.build().state_count(), 4);
+    }
+
+    #[test]
+    fn earlier_rules_take_precedence() {
+        let mut b = TmBuilder::new();
+        let win = b.state("win");
+        let lose = b.state("lose");
+        b.rule(
+            b.start(),
+            [Pat::Any, Pat::Is(Sym::One), Pat::Any],
+            win,
+            [WriteOp::Keep; 3],
+            [Move::S; 3],
+        );
+        b.rule(
+            b.start(),
+            [Pat::Any, Pat::Any, Pat::Any],
+            lose,
+            [WriteOp::Keep; 3],
+            [Move::S; 3],
+        );
+        let tm = b.build();
+        let t = tm.step(tm.start(), [Sym::Blank, Sym::One, Sym::Blank]).unwrap();
+        assert_eq!(tm.state_name(t.next), "win");
+        let t = tm.step(tm.start(), [Sym::Blank, Sym::Zero, Sym::Blank]).unwrap();
+        assert_eq!(tm.state_name(t.next), "lose");
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting duplicate rule")]
+    fn identical_patterns_conflict() {
+        let mut b = TmBuilder::new();
+        let s = b.state("s");
+        b.rule(s, [Pat::Any; 3], s, [WriteOp::Keep; 3], [Move::S; 3]);
+        b.rule(s, [Pat::Any; 3], s, [WriteOp::Keep; 3], [Move::S; 3]);
+    }
+
+    #[test]
+    fn missing_transition_is_reported() {
+        let tm = TmBuilder::new().build();
+        let err = tm.step(tm.start(), [Sym::LeftEnd; 3]).unwrap_err();
+        match err {
+            MachineError::MissingTransition { state, .. } => assert_eq!(state, "q_start"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn patterns_match_as_documented() {
+        assert!(Pat::Any.matches(Sym::Sep));
+        assert!(Pat::Bit.matches(Sym::Zero));
+        assert!(Pat::Bit.matches(Sym::One));
+        assert!(!Pat::Bit.matches(Sym::Sep));
+        assert!(Pat::Not(Sym::Blank).matches(Sym::One));
+        assert!(!Pat::Not(Sym::Blank).matches(Sym::Blank));
+    }
+
+    #[test]
+    fn write_ops_apply() {
+        assert_eq!(WriteOp::Keep.apply(Sym::Sep), Sym::Sep);
+        assert_eq!(WriteOp::Put(Sym::One).apply(Sym::Sep), Sym::One);
+    }
+
+    #[test]
+    fn wildcard_rule_expands_to_125_entries() {
+        let mut b = TmBuilder::new();
+        b.rule(b.start(), [Pat::Any; 3], b.stop(), [WriteOp::Keep; 3], [Move::S; 3]);
+        assert_eq!(b.build().transition_count(), 125);
+    }
+}

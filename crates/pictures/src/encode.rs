@@ -1,0 +1,290 @@
+//! The picture-to-graph encoding of Section 9.2.2, with alternation-level-
+//! preserving formula transport.
+//!
+//! A `t`-bit picture becomes a grid-shaped labeled graph: each pixel is a
+//! node whose label carries the `t` pixel bits followed by four *position
+//! parity* bits — the row index mod 3 and the column index mod 3, each in
+//! two bits. Undirected grid edges plus the mod-3 parities let a
+//! bounded-fragment graph formula recover both **directed** successor
+//! relations of the picture (`+1 ≠ −1 (mod 3)`), so any sentence of the
+//! local (monadic) second-order hierarchy over pictures transports to a
+//! graph sentence at the *same* level — the key step in carrying the
+//! picture-hierarchy separations over to graphs (Theorem 33's mechanism).
+
+use lph_graphs::{BitString, LabeledGraph};
+use lph_logic::dsl::*;
+use lph_logic::{FoVar, Formula, Matrix, Sentence, SoBlock, SoQuant, VarPool};
+
+use crate::Picture;
+
+/// Encodes a picture as a grid-shaped labeled graph (see module docs).
+pub fn picture_to_graph(p: &Picture) -> LabeledGraph {
+    let (m, n) = p.size();
+    let t = p.bits_per_pixel();
+    let labels: Vec<BitString> = (1..=m)
+        .flat_map(|i| {
+            (1..=n).map(move |j| (i, j))
+        })
+        .map(|(i, j)| {
+            let mut label = p.pixel(i, j).clone();
+            let rm = (i - 1) % 3;
+            let cm = (j - 1) % 3;
+            label.push(rm & 2 != 0);
+            label.push(rm & 1 != 0);
+            label.push(cm & 2 != 0);
+            label.push(cm & 1 != 0);
+            debug_assert_eq!(label.len(), t + 4);
+            label
+        })
+        .collect();
+    lph_graphs::generators::labeled_grid_bits(m, n, labels)
+}
+
+/// Decodes an encoded graph back into a picture, given the original
+/// dimensions (used by round-trip tests).
+///
+/// # Panics
+///
+/// Panics if the node count does not match `rows·cols` or labels are too
+/// short.
+pub fn graph_to_picture(g: &LabeledGraph, rows: usize, cols: usize, bits: usize) -> Picture {
+    assert_eq!(g.node_count(), rows * cols);
+    let mut p = Picture::blank(rows, cols, bits);
+    for (idx, u) in g.nodes().enumerate() {
+        let label = g.label(u);
+        assert!(label.len() >= bits + 4);
+        let value: BitString = (1..=bits).map(|k| label.bit(k).expect("in range")).collect();
+        p.set_pixel(idx / cols + 1, idx % cols + 1, value);
+    }
+    p
+}
+
+/// `bit k of x's label = val` as a bounded graph formula: walk from `x`
+/// along `⇀₂` to the first labeling bit (the one without a `⇀₁`
+/// predecessor among bits), then `k − 1` successor steps, and test `⊙₁`.
+fn label_bit_is(x: FoVar, k: usize, val: bool, pool: &mut VarPool) -> Formula {
+    assert!(k >= 1);
+    let mut chain: Vec<FoVar> = (0..k).map(|_| pool.fo()).collect();
+    let aux = pool.fo();
+    // Innermost test at the k-th bit.
+    let last = chain[k - 1];
+    let mut body = if val { unary(0, last) } else { not(unary(0, last)) };
+    // Chain backwards: bit_{i+1} is the ⇀₁-successor of bit_i.
+    for i in (0..k - 1).rev() {
+        let cur = chain[i];
+        let next = chain[i + 1];
+        body = exists_adj(next, cur, and(vec![edge(0, cur, next), body]));
+    }
+    // bit_1: owned by x and without a predecessor bit.
+    let first = chain.remove(0);
+    let chain_body = body;
+    exists_adj(
+        first,
+        x,
+        and(vec![
+            edge(1, x, first),
+            not(exists_adj(aux, first, edge(0, aux, first))),
+            chain_body,
+        ]),
+    )
+}
+
+/// `row(x) ≡ r (mod 3)` on encoded graphs (`t` = pixel bits).
+fn row_mod_is(x: FoVar, t: usize, r: usize, pool: &mut VarPool) -> Formula {
+    and(vec![
+        label_bit_is(x, t + 1, r & 2 != 0, pool),
+        label_bit_is(x, t + 2, r & 1 != 0, pool),
+    ])
+}
+
+/// `col(x) ≡ c (mod 3)` on encoded graphs.
+fn col_mod_is(x: FoVar, t: usize, c: usize, pool: &mut VarPool) -> Formula {
+    and(vec![
+        label_bit_is(x, t + 3, c & 2 != 0, pool),
+        label_bit_is(x, t + 4, c & 1 != 0, pool),
+    ])
+}
+
+/// `y` is the **vertical** successor of `x` (down): adjacent nodes with
+/// equal column parity and row parity advanced by one.
+pub fn vertical_successor(x: FoVar, y: FoVar, t: usize, pool: &mut VarPool) -> Formula {
+    let mut cases = Vec::new();
+    for r in 0..3 {
+        for c in 0..3 {
+            cases.push(and(vec![
+                row_mod_is(x, t, r, pool),
+                col_mod_is(x, t, c, pool),
+                row_mod_is(y, t, (r + 1) % 3, pool),
+                col_mod_is(y, t, c, pool),
+            ]));
+        }
+    }
+    and(vec![adjacent(x, y), or(cases)])
+}
+
+/// `y` is the **horizontal** successor of `x` (right).
+pub fn horizontal_successor(x: FoVar, y: FoVar, t: usize, pool: &mut VarPool) -> Formula {
+    let mut cases = Vec::new();
+    for r in 0..3 {
+        for c in 0..3 {
+            cases.push(and(vec![
+                row_mod_is(x, t, r, pool),
+                col_mod_is(x, t, c, pool),
+                row_mod_is(y, t, r, pool),
+                col_mod_is(y, t, (c + 1) % 3, pool),
+            ]));
+        }
+    }
+    and(vec![adjacent(x, y), or(cases)])
+}
+
+/// Transports a bounded-fragment picture formula to the encoded graphs:
+/// `⇀₁`/`⇀₂` atoms become the successor formulas above, unary atoms become
+/// label-bit tests, and first-order quantifiers are restricted to nodes.
+fn transport_body(f: &Formula, t: usize, pool: &mut VarPool) -> Formula {
+    match f {
+        Formula::True => Formula::True,
+        Formula::False => Formula::False,
+        Formula::Unary { rel, x } => label_bit_is(*x, rel + 1, true, pool),
+        Formula::Edge { rel: 0, x, y } => vertical_successor(*x, *y, t, pool),
+        Formula::Edge { rel: 1, x, y } => horizontal_successor(*x, *y, t, pool),
+        Formula::Edge { .. } => {
+            unreachable!("picture structures have exactly two binary relations")
+        }
+        Formula::Eq(x, y) => eq(*x, *y),
+        Formula::App { rel, args } => app(*rel, args.clone()),
+        Formula::Not(g) => not(transport_body(g, t, pool)),
+        Formula::And(fs) => and(fs.iter().map(|g| transport_body(g, t, pool)).collect()),
+        Formula::Or(fs) => or(fs.iter().map(|g| transport_body(g, t, pool)).collect()),
+        Formula::Implies(a, b) => {
+            implies(transport_body(a, t, pool), transport_body(b, t, pool))
+        }
+        Formula::Iff(a, b) => iff(transport_body(a, t, pool), transport_body(b, t, pool)),
+        Formula::Exists { x, body } => {
+            let aux = pool.fo();
+            exists_node(*x, aux, transport_body(body, t, pool))
+        }
+        Formula::Forall { x, body } => {
+            let aux = pool.fo();
+            forall_node(*x, aux, transport_body(body, t, pool))
+        }
+        Formula::ExistsAdj { x, anchor, body } => {
+            let aux = pool.fo();
+            exists_node_adj(*x, *anchor, aux, transport_body(body, t, pool))
+        }
+        Formula::ForallAdj { x, anchor, body } => {
+            let aux = pool.fo();
+            forall_node_adj(*x, *anchor, aux, transport_body(body, t, pool))
+        }
+        Formula::ExistsNear { x, anchor, radius, body } => {
+            let aux = pool.fo();
+            exists_node_near(*x, *anchor, *radius, aux, transport_body(body, t, pool))
+        }
+        Formula::ForallNear { x, anchor, radius, body } => {
+            let aux = pool.fo();
+            forall_node_near(*x, *anchor, *radius, aux, transport_body(body, t, pool))
+        }
+    }
+}
+
+/// Transports a picture sentence (over `t`-bit picture structures) to a
+/// graph sentence over [`picture_to_graph`]-encoded graphs. The
+/// second-order prefix is copied verbatim with node-only support, so the
+/// quantifier alternation level is **preserved** — the property the
+/// Section 9.2.2 transfer depends on.
+///
+/// # Panics
+///
+/// Panics if the sentence's matrix is not `LFO`.
+pub fn transport_sentence(sentence: &Sentence, t: usize) -> Sentence {
+    let Matrix::Lfo { x, body } = &sentence.matrix else {
+        panic!("only LFO matrices are transported");
+    };
+    let mut pool = VarPool::starting_at(1000, 1000);
+    let aux = pool.fo();
+    let new_body = implies(is_node(*x, aux), transport_body(body, t, &mut pool));
+    let blocks: Vec<SoBlock> = sentence
+        .blocks
+        .iter()
+        .map(|b| SoBlock {
+            quantifier: b.quantifier,
+            vars: b.vars.iter().map(|q| SoQuant::nodes(q.var)).collect(),
+        })
+        .collect();
+    Sentence::new(blocks, Matrix::Lfo { x: *x, body: new_body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::langs;
+    use lph_logic::check::CheckOptions;
+    use lph_graphs::GraphStructure;
+
+    #[test]
+    fn encoding_round_trips() {
+        let p = Picture::from_rows(2, &[&["10", "01", "11"], &["00", "10", "01"]]);
+        let g = picture_to_graph(&p);
+        assert_eq!(g.node_count(), 6);
+        let back = graph_to_picture(&g, 2, 3, 2);
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn labels_carry_parities() {
+        let p = Picture::blank(4, 4, 0);
+        let g = picture_to_graph(&p);
+        // Node (1,1) → label 0000 (row 0, col 0); node (2, 3) → row 1,
+        // col 2 → bits 01 10.
+        let idx = |i: usize, j: usize| lph_graphs::NodeId((i - 1) * 4 + (j - 1));
+        assert_eq!(g.label(idx(1, 1)), &BitString::from_bits01("0000"));
+        assert_eq!(g.label(idx(2, 3)), &BitString::from_bits01("0110"));
+        // Row 4 wraps: (4, 1) → row 3 mod 3 = 0.
+        assert_eq!(g.label(idx(4, 1)), &BitString::from_bits01("0000"));
+    }
+
+    #[test]
+    fn successor_formulas_recover_directions() {
+        use lph_logic::Assignment;
+        let p = Picture::blank(3, 3, 0);
+        let g = picture_to_graph(&p);
+        let gs = GraphStructure::of(&g);
+        let idx = |i: usize, j: usize| lph_graphs::NodeId((i - 1) * 3 + (j - 1));
+        let (x, y) = (FoVar(0), FoVar(1));
+        let mut pool = VarPool::starting_at(100, 100);
+        let vs = vertical_successor(x, y, 0, &mut pool);
+        let hs = horizontal_successor(x, y, 0, &mut pool);
+        let holds = |f: &Formula, a: lph_graphs::NodeId, b: lph_graphs::NodeId| {
+            let mut sigma = Assignment::new();
+            sigma.push_fo(x, gs.node_elem(a));
+            sigma.push_fo(y, gs.node_elem(b));
+            f.eval(gs.structure(), &mut sigma)
+        };
+        // Down is vertical-successor, up is not; right is horizontal.
+        assert!(holds(&vs, idx(1, 1), idx(2, 1)));
+        assert!(!holds(&vs, idx(2, 1), idx(1, 1)));
+        assert!(!holds(&vs, idx(1, 1), idx(1, 2)));
+        assert!(holds(&hs, idx(2, 2), idx(2, 3)));
+        assert!(!holds(&hs, idx(2, 3), idx(2, 2)));
+        assert!(!holds(&hs, idx(1, 1), idx(2, 1)));
+        // Non-adjacent pairs are never successors.
+        assert!(!holds(&vs, idx(1, 1), idx(3, 1)));
+    }
+
+    #[test]
+    fn transported_squares_sentence_preserves_level_and_truth() {
+        let s = langs::squares_emso();
+        let ts = transport_sentence(&s, 0);
+        assert_eq!(ts.level(), s.level());
+        assert!(ts.is_monadic());
+        assert!(ts.is_local());
+        let opts = CheckOptions { max_matrix_evals: 50_000_000, max_tuples_per_var: 22 };
+        for (m, n) in [(1, 1), (2, 2), (1, 2), (2, 3), (3, 3), (2, 2)] {
+            let p = Picture::blank(m, n, 0);
+            let g = picture_to_graph(&p);
+            let gs = GraphStructure::of(&g);
+            let got = ts.check_on_graph(&gs, &opts).expect("within budget");
+            assert_eq!(got, m == n, "size ({m}, {n})");
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Concrete picture languages with ground-truth checkers, tiling systems,
+//! and logical definitions — the Section 9.2 toolbox.
+//!
+//! * `SQUARES` — the classic diagonal-signal language: recognized by a
+//!   3-symbol tiling system *and* definable in `mΣ₁` over picture
+//!   structures, exercising the Giammarresi–Restivo–Seibert–Thomas
+//!   correspondence (Theorem 29) on concrete instances.
+//! * `width = 2^height` — the binary-counter language whose exponential
+//!   size gap powers the Matz–Schweikardt–Thomas hierarchy witnesses
+//!   (Theorem 27): a 4-symbol tiling system whose working colorings are
+//!   incrementing binary counters.
+
+use std::sync::OnceLock;
+
+use lph_graphs::BitString;
+use lph_logic::dsl::*;
+use lph_logic::{FoVar, Matrix, Sentence, SoBlock, SoQuant, SoVar};
+
+use crate::{Picture, TilingSystem};
+
+/// Ground truth for `SQUARES`: is the picture square?
+pub fn is_square(p: &Picture) -> bool {
+    p.rows() == p.cols()
+}
+
+/// The diagonal coloring of an `n×n` square: symbol 0 on the diagonal,
+/// 1 above it, 2 below it.
+pub fn square_coloring(n: usize) -> Vec<Vec<u8>> {
+    (1..=n)
+        .map(|i| {
+            (1..=n)
+                .map(|j| match i.cmp(&j) {
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Less => 1,
+                    std::cmp::Ordering::Greater => 2,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The tiling system recognizing `SQUARES` over unlabeled (0-bit) pictures:
+/// working alphabet `{d, u, l}` with the diagonal-signal tiles, derived
+/// from the colorings of squares up to size 6 (which exhibit every window
+/// type of the uniform construction).
+pub fn squares_tiling_system() -> TilingSystem {
+    static TS: OnceLock<TilingSystem> = OnceLock::new();
+    TS.get_or_init(|| {
+        let examples: Vec<Vec<Vec<u8>>> = (1..=6).map(square_coloring).collect();
+        TilingSystem::from_colorings(3, vec![BitString::new(); 3], 0, &examples)
+    })
+    .clone()
+}
+
+/// `SQUARES` as an `mΣ₁` sentence over picture structures (`⇀₁` = down,
+/// `⇀₂` = right): there is a set `D` containing the top-left corner such
+/// that every `D`-element has a down-neighbor iff it has a right-neighbor,
+/// and the down-right diagonal successor of any interior `D`-element is
+/// again in `D`. Such a `D` exists iff the picture is square.
+pub fn squares_emso() -> Sentence {
+    let d = SoVar::set(0);
+    let x = FoVar(0);
+    let y = FoVar(1);
+    let z = FoVar(2);
+
+    let is_top_left = and(vec![
+        not(exists_adj(y, x, edge(0, y, x))),
+        not(exists_adj(y, x, edge(1, y, x))),
+    ]);
+    let has_down = exists_adj(y, x, edge(0, x, y));
+    let has_right = exists_adj(y, x, edge(1, x, y));
+    let dr_in_d = exists_adj(
+        y,
+        x,
+        and(vec![
+            edge(0, x, y),
+            exists_adj(z, y, and(vec![edge(1, y, z), app(d, vec![z])])),
+        ]),
+    );
+    let body = and(vec![
+        implies(is_top_left, app(d, vec![x])),
+        implies(app(d, vec![x]), iff(has_down.clone(), has_right.clone())),
+        implies(and(vec![app(d, vec![x]), has_down, has_right]), dr_in_d),
+    ]);
+    Sentence::new(
+        vec![SoBlock { quantifier: lph_logic::Quantifier::Exists, vars: vec![SoQuant::all(d)] }],
+        Matrix::Lfo { x, body },
+    )
+}
+
+/// The wide-rectangle coloring (`m < n`): the diagonal signal runs until it
+/// falls off the bottom edge, then a horizontal "overflow" signal continues
+/// along the last row to the right border. Symbols: 0 = diagonal, 1 = above,
+/// 2 = below, 3 = overflow run.
+fn wide_coloring(m: usize, n: usize) -> Vec<Vec<u8>> {
+    assert!(m < n);
+    (1..=m)
+        .map(|i| {
+            (1..=n)
+                .map(|j| match i.cmp(&j) {
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Less => {
+                        if i == m && j > m {
+                            3 // the overflow run along the bottom row
+                        } else {
+                            1
+                        }
+                    }
+                    std::cmp::Ordering::Greater => 2,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The tall-rectangle coloring (`m > n`), the transpose story with symbols
+/// shifted by 4 (so the two regimes cannot mix inside one picture).
+fn tall_coloring(m: usize, n: usize) -> Vec<Vec<u8>> {
+    assert!(m > n);
+    (1..=m)
+        .map(|i| {
+            (1..=n)
+                .map(|j| match i.cmp(&j) {
+                    std::cmp::Ordering::Equal => 4,
+                    std::cmp::Ordering::Less => 5,
+                    std::cmp::Ordering::Greater => {
+                        if j == n && i > n {
+                            7 // the overflow run down the last column
+                        } else {
+                            6
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Ground truth for `NOT-SQUARES`.
+pub fn is_not_square(p: &Picture) -> bool {
+    !is_square(p)
+}
+
+/// A tiling system recognizing `NOT-SQUARES` — the union of the `m < n`
+/// and `m > n` regimes over **disjoint** working alphabets (symbols 0–3
+/// and 4–7), the standard closure-under-union construction for
+/// recognizable picture languages. Together with
+/// [`squares_tiling_system`], this exhibits both a language and its
+/// complement as recognizable — unlike the asymmetric situation in the
+/// local-polynomial hierarchy itself (Corollary 38).
+pub fn non_squares_tiling_system() -> TilingSystem {
+    static TS: OnceLock<TilingSystem> = OnceLock::new();
+    TS.get_or_init(|| {
+        let mut examples: Vec<Vec<Vec<u8>>> = Vec::new();
+        for m in 1..=5usize {
+            for n in 1..=5usize {
+                if m < n {
+                    examples.push(wide_coloring(m, n));
+                } else if m > n {
+                    examples.push(tall_coloring(m, n));
+                }
+            }
+        }
+        TilingSystem::from_colorings(8, vec![BitString::new(); 8], 0, &examples)
+    })
+    .clone()
+}
+
+/// Ground truth for the counter language: is the (unlabeled) picture of
+/// size `(m, 2^m)`?
+pub fn width_is_power_of_height(p: &Picture) -> bool {
+    p.bits_per_pixel() == 0 && p.cols() == 1usize << p.rows()
+}
+
+/// The binary-counter coloring of the `(m, 2^m)` picture: cell `(i, j)`
+/// carries `(bit, carry)` where `bit` is bit `m−i` of `j−1` (row `m` is the
+/// least significant) and `carry` is the carry into position `m−i` when
+/// incrementing `j−1`. Symbols are encoded as `bit·2 + carry`.
+pub fn counter_coloring(m: usize) -> Vec<Vec<u8>> {
+    let n = 1usize << m;
+    (1..=m)
+        .map(|i| {
+            (1..=n)
+                .map(|j| {
+                    let v = j - 1;
+                    let pos = m - i; // bit position, LSB = 0
+                    let bit = (v >> pos) & 1;
+                    let low_mask = (1usize << pos) - 1;
+                    let carry = usize::from(v & low_mask == low_mask);
+                    (bit * 2 + carry) as u8
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The tiling system recognizing `{pictures of size (m, 2^m)}` over
+/// unlabeled pictures, derived from the counter colorings for
+/// `m = 1, …, 4`.
+pub fn counter_tiling_system() -> TilingSystem {
+    static TS: OnceLock<TilingSystem> = OnceLock::new();
+    TS.get_or_init(|| {
+        let examples: Vec<Vec<Vec<u8>>> = (1..=4).map(counter_coloring).collect();
+        TilingSystem::from_colorings(4, vec![BitString::new(); 4], 0, &examples)
+    })
+    .clone()
+}
+
+/// Ground truth: all pixels are the all-ones string (`ALL-SELECTED`'s
+/// picture cousin, used in smoke tests).
+pub fn all_ones(p: &Picture) -> bool {
+    p.positions().all(|(i, j)| p.pixel(i, j).iter().all(|b| b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lph_logic::check::CheckOptions;
+
+    fn emso_truth(s: &Sentence, p: &Picture) -> bool {
+        let ps = p.structure();
+        s.check(ps.structure(), None, &CheckOptions::default()).expect("within budget")
+    }
+
+    #[test]
+    fn squares_tiling_system_is_exact_on_small_pictures() {
+        let ts = squares_tiling_system();
+        for m in 1..=4 {
+            for n in 1..=4 {
+                let p = Picture::blank(m, n, 0);
+                assert_eq!(ts.recognizes(&p), m == n, "size ({m}, {n})");
+            }
+        }
+        // A couple of larger sanity points, including sizes beyond the
+        // derivation examples.
+        assert!(ts.recognizes(&Picture::blank(7, 7, 0)));
+        assert!(!ts.recognizes(&Picture::blank(7, 8, 0)));
+    }
+
+    #[test]
+    fn squares_emso_is_exact_on_small_pictures() {
+        let s = squares_emso();
+        assert_eq!(s.level().to_string(), "Σ1");
+        assert!(s.is_monadic());
+        assert!(s.is_local());
+        for m in 1..=3 {
+            for n in 1..=3 {
+                let p = Picture::blank(m, n, 0);
+                assert_eq!(emso_truth(&s, &p), m == n, "size ({m}, {n})");
+            }
+        }
+        assert!(emso_truth(&s, &Picture::blank(4, 4, 0)));
+        assert!(!emso_truth(&s, &Picture::blank(3, 4, 0)));
+    }
+
+    #[test]
+    fn theorem_29_correspondence_on_squares() {
+        // The executable face of Giammarresi–Restivo–Seibert–Thomas:
+        // tiling recognition and mΣ₁ truth coincide on every small picture.
+        let ts = squares_tiling_system();
+        let s = squares_emso();
+        for m in 1..=3 {
+            for n in 1..=3 {
+                let p = Picture::blank(m, n, 0);
+                assert_eq!(ts.recognizes(&p), emso_truth(&s, &p), "size ({m}, {n})");
+            }
+        }
+    }
+
+    #[test]
+    fn non_squares_tiling_system_is_exact_on_small_pictures() {
+        let ts = non_squares_tiling_system();
+        for m in 1..=4 {
+            for n in 1..=4 {
+                let p = Picture::blank(m, n, 0);
+                assert_eq!(ts.recognizes(&p), m != n, "size ({m}, {n})");
+            }
+        }
+        // Beyond the derivation examples.
+        assert!(ts.recognizes(&Picture::blank(2, 7, 0)));
+        assert!(ts.recognizes(&Picture::blank(7, 2, 0)));
+        assert!(!ts.recognizes(&Picture::blank(6, 6, 0)));
+    }
+
+    #[test]
+    fn squares_and_complement_partition_all_small_pictures() {
+        // REC is closed under union — and here both a language and its
+        // complement are recognizable, so recognition partitions the sizes.
+        let yes = squares_tiling_system();
+        let no = non_squares_tiling_system();
+        for m in 1..=4 {
+            for n in 1..=4 {
+                let p = Picture::blank(m, n, 0);
+                assert_ne!(yes.recognizes(&p), no.recognizes(&p), "size ({m}, {n})");
+            }
+        }
+    }
+
+    #[test]
+    fn counter_coloring_is_a_binary_counter() {
+        let c = counter_coloring(3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0].len(), 8);
+        // Column j encodes j−1: read bits top-down (MSB first).
+        for j in 1..=8usize {
+            let mut v = 0;
+            for row in &c {
+                v = v * 2 + (row[j - 1] >> 1) as usize;
+            }
+            assert_eq!(v, j - 1, "column {j}");
+        }
+        // Last column is all ones.
+        assert!(c.iter().all(|row| row[7] >> 1 == 1));
+    }
+
+    #[test]
+    fn counter_tiling_system_accepts_exactly_powers_of_two() {
+        let ts = counter_tiling_system();
+        for m in 1..=3usize {
+            for n in 1..=(1 << m) + 2 {
+                let p = Picture::blank(m, n, 0);
+                assert_eq!(
+                    ts.recognizes(&p),
+                    n == 1 << m,
+                    "size ({m}, {n})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counter_system_demonstrates_the_exponential_gap() {
+        // The mechanism behind the Matz–Schweikardt–Thomas witnesses: a
+        // constant-size tiling system (4 working symbols) pins the width to
+        // be exponential in the height.
+        let ts = counter_tiling_system();
+        assert_eq!(ts.work_symbols(), 4);
+        assert!(ts.recognizes(&Picture::blank(4, 16, 0)));
+        assert!(!ts.recognizes(&Picture::blank(4, 15, 0)));
+        assert!(!ts.recognizes(&Picture::blank(4, 17, 0)));
+    }
+
+    #[test]
+    fn all_ones_checker() {
+        let p = Picture::from_rows(1, &[&["1", "1"], &["1", "1"]]);
+        assert!(all_ones(&p));
+        let p = Picture::from_rows(1, &[&["1", "0"]]);
+        assert!(!all_ones(&p));
+    }
+}

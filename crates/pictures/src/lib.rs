@@ -1,0 +1,41 @@
+//! Pictures, tiling systems, and monadic second-order logic on pictures —
+//! the Section 9.2 machinery behind the infiniteness of the
+//! local-polynomial hierarchy in *A LOCAL View of the Polynomial
+//! Hierarchy* (Reiter, PODC 2024).
+//!
+//! * [`Picture`] — `t`-bit matrices with their structural representations
+//!   `$P` (Figures 5/12): vertical/horizontal successor relations plus one
+//!   unary relation per bit.
+//! * [`TilingSystem`] — finite automata on pictures in the sense of
+//!   Giammarresi–Restivo–Seibert–Thomas (Theorem 29): a set of allowed
+//!   `2×2` tiles over a bordered working alphabet plus a projection; with
+//!   a backtracking/frontier recognizer.
+//! * [`langs`] — concrete picture languages: `SQUARES` (with a hand-built
+//!   tiling system *and* an `mΣ₁` sentence, exercising the EMSO ⟷ tiling
+//!   correspondence), the binary-counter language `width = 2^height`
+//!   (the exponential-gap mechanism behind the Matz–Schweikardt–Thomas
+//!   hierarchy witnesses), and ground-truth checkers.
+//! * [`encode`] — the picture-to-graph encoding of Section 9.2.2, with a
+//!   formula transporter that preserves the second-order quantifier
+//!   alternation level.
+//!
+//! # Example
+//!
+//! ```
+//! use lph_pictures::{Picture, langs};
+//!
+//! let p = Picture::blank(3, 3, 0); // unlabeled 3×3 picture
+//! assert!(langs::is_square(&p));
+//! assert!(langs::squares_tiling_system().recognizes(&p));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encode;
+pub mod langs;
+mod picture;
+mod tiling;
+
+pub use picture::{Picture, PictureStructure};
+pub use tiling::{Tile, TilingSystem};

@@ -1,0 +1,279 @@
+use std::fmt;
+
+use lph_graphs::{BitString, ElemId, Structure};
+
+/// A `t`-bit picture of size `(m, n)` (Section 9.2.1): an `m × n` matrix
+/// whose entries are bit strings of length exactly `t`. Positions are
+/// 1-indexed as in the paper (`(1, 1)` is the top-left corner).
+///
+/// # Example
+///
+/// ```
+/// use lph_graphs::BitString;
+/// use lph_pictures::Picture;
+///
+/// let p = Picture::from_rows(2, &[
+///     &["10", "01", "00"],
+///     &["11", "00", "10"],
+/// ]);
+/// assert_eq!(p.size(), (2, 3));
+/// assert_eq!(p.pixel(1, 2), &BitString::from_bits01("01"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Picture {
+    rows: usize,
+    cols: usize,
+    bits: usize,
+    /// Row-major pixel data.
+    data: Vec<BitString>,
+}
+
+impl Picture {
+    /// Creates a picture with all pixels set to the all-zero string of
+    /// length `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn blank(rows: usize, cols: usize, bits: usize) -> Self {
+        assert!(rows >= 1 && cols >= 1, "pictures must be nonempty");
+        let zero: BitString = (0..bits).map(|_| false).collect();
+        Picture { rows, cols, bits, data: vec![zero; rows * cols] }
+    }
+
+    /// Builds a picture from rows of `0`/`1` strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged rows or entries of the wrong length.
+    pub fn from_rows(bits: usize, rows: &[&[&str]]) -> Self {
+        assert!(!rows.is_empty() && !rows[0].is_empty(), "pictures must be nonempty");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "all rows must have the same length");
+            for entry in *row {
+                let b = BitString::from_bits01(entry);
+                assert_eq!(b.len(), bits, "entry {entry:?} must have {bits} bits");
+                data.push(b);
+            }
+        }
+        Picture { rows: rows.len(), cols, bits, data }
+    }
+
+    /// The size `(m, n)` — rows and columns.
+    pub fn size(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The number of rows `m`.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The number of columns `n`.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Bits per pixel `t`.
+    pub fn bits_per_pixel(&self) -> usize {
+        self.bits
+    }
+
+    /// The pixel at 1-indexed position `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of range.
+    pub fn pixel(&self, i: usize, j: usize) -> &BitString {
+        assert!((1..=self.rows).contains(&i) && (1..=self.cols).contains(&j));
+        &self.data[(i - 1) * self.cols + (j - 1)]
+    }
+
+    /// Sets the pixel at 1-indexed position `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range or if the value has the wrong length.
+    pub fn set_pixel(&mut self, i: usize, j: usize, value: BitString) {
+        assert!((1..=self.rows).contains(&i) && (1..=self.cols).contains(&j));
+        assert_eq!(value.len(), self.bits);
+        self.data[(i - 1) * self.cols + (j - 1)] = value;
+    }
+
+    /// Iterates over positions in row-major order.
+    pub fn positions(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (1..=self.rows).flat_map(move |i| (1..=self.cols).map(move |j| (i, j)))
+    }
+
+    /// The structural representation `$P` (Figure 12): one element per
+    /// pixel, `t` unary relations for the bit values, `⇀₁` the vertical
+    /// successor (down), `⇀₂` the horizontal successor (right).
+    pub fn structure(&self) -> PictureStructure {
+        let m = self.rows;
+        let n = self.cols;
+        let mut s = Structure::new(m * n, self.bits, 2);
+        let idx = |i: usize, j: usize| ElemId((i - 1) * n + (j - 1));
+        for (i, j) in self.positions() {
+            for k in 1..=self.bits {
+                if self.pixel(i, j).bit(k).expect("bit in range") {
+                    s.add_unary(k - 1, idx(i, j));
+                }
+            }
+            if i < m {
+                s.add_pair(0, idx(i, j), idx(i + 1, j));
+            }
+            if j < n {
+                s.add_pair(1, idx(i, j), idx(i, j + 1));
+            }
+        }
+        PictureStructure { structure: s, rows: m, cols: n }
+    }
+
+    /// Enumerates all `t`-bit pictures of the given size (there are
+    /// `2^(t·m·n)`; keep the exponent small).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t·m·n > 20`.
+    pub fn enumerate(rows: usize, cols: usize, bits: usize) -> Vec<Picture> {
+        let total = bits * rows * cols;
+        assert!(total <= 20, "2^{total} pictures is too many");
+        (0u64..1 << total)
+            .map(|mask| {
+                let mut p = Picture::blank(rows, cols, bits);
+                let mut bit = 0;
+                for i in 1..=rows {
+                    for j in 1..=cols {
+                        let val: BitString =
+                            (0..bits).map(|k| mask >> (bit + k) & 1 == 1).collect();
+                        p.set_pixel(i, j, val);
+                        bit += bits;
+                    }
+                }
+                p
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Picture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}×{} picture ({} bits/pixel)", self.rows, self.cols, self.bits)?;
+        for i in 1..=self.rows {
+            write!(f, "  ")?;
+            for j in 1..=self.cols {
+                if j > 1 {
+                    write!(f, " ")?;
+                }
+                if self.bits == 0 {
+                    write!(f, "·")?;
+                } else {
+                    write!(f, "{}", self.pixel(i, j))?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The structural representation of a picture, with position bookkeeping.
+#[derive(Debug, Clone)]
+pub struct PictureStructure {
+    structure: Structure,
+    rows: usize,
+    cols: usize,
+}
+
+impl PictureStructure {
+    /// The underlying relational structure.
+    pub fn structure(&self) -> &Structure {
+        &self.structure
+    }
+
+    /// The element for 1-indexed position `(i, j)`.
+    pub fn elem(&self, i: usize, j: usize) -> ElemId {
+        assert!((1..=self.rows).contains(&i) && (1..=self.cols).contains(&j));
+        ElemId((i - 1) * self.cols + (j - 1))
+    }
+
+    /// The 1-indexed position of an element.
+    pub fn position(&self, e: ElemId) -> (usize, usize) {
+        (e.0 / self.cols + 1, e.0 % self.cols + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_12_structure_shape() {
+        // A 2-bit picture of size (3, 4): 12 elements, 2 unary relations,
+        // vertical successors 2·4·… let's count: (m−1)·n vertical and
+        // m·(n−1) horizontal pairs.
+        let p = Picture::blank(3, 4, 2);
+        let s = p.structure();
+        assert_eq!(s.structure().card(), 12);
+        assert_eq!(s.structure().signature(), (2, 2));
+        assert_eq!(s.structure().pairs(0).count(), 2 * 4);
+        assert_eq!(s.structure().pairs(1).count(), 3 * 3);
+    }
+
+    #[test]
+    fn successors_are_directed() {
+        let p = Picture::blank(2, 2, 0);
+        let s = p.structure();
+        let (a, b) = (s.elem(1, 1), s.elem(2, 1));
+        assert!(s.structure().related(0, a, b)); // down
+        assert!(!s.structure().related(0, b, a));
+        let (a, c) = (s.elem(1, 1), s.elem(1, 2));
+        assert!(s.structure().related(1, a, c)); // right
+        assert!(!s.structure().related(1, c, a));
+        assert!(!s.structure().related(0, a, c));
+    }
+
+    #[test]
+    fn bit_relations_reflect_pixels() {
+        let p = Picture::from_rows(2, &[&["10", "01"], &["11", "00"]]);
+        let s = p.structure();
+        assert!(s.structure().in_unary(0, s.elem(1, 1))); // bit 1 of "10"
+        assert!(!s.structure().in_unary(1, s.elem(1, 1)));
+        assert!(s.structure().in_unary(1, s.elem(1, 2)));
+        assert!(!s.structure().in_unary(0, s.elem(2, 2)));
+    }
+
+    #[test]
+    fn position_round_trip() {
+        let p = Picture::blank(3, 5, 0);
+        let s = p.structure();
+        for (i, j) in p.positions() {
+            assert_eq!(s.position(s.elem(i, j)), (i, j));
+        }
+    }
+
+    #[test]
+    fn enumerate_counts() {
+        assert_eq!(Picture::enumerate(2, 2, 1).len(), 16);
+        assert_eq!(Picture::enumerate(1, 3, 0).len(), 1);
+        // All distinct.
+        let mut v = Picture::enumerate(2, 2, 1);
+        v.dedup();
+        assert_eq!(v.len(), 16);
+    }
+
+    #[test]
+    fn pixel_setters_validate() {
+        let mut p = Picture::blank(2, 2, 1);
+        p.set_pixel(1, 2, BitString::from_bits01("1"));
+        assert_eq!(p.pixel(1, 2), &BitString::from_bits01("1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must have 2 bits")]
+    fn ragged_bits_are_rejected() {
+        let _ = Picture::from_rows(2, &[&["10", "1"]]);
+    }
+}

@@ -1,0 +1,443 @@
+use std::collections::BTreeSet;
+
+use lph_graphs::BitString;
+
+use crate::Picture;
+
+/// A `2×2` tile over the bordered working alphabet: `None` is the border
+/// symbol `#`, `Some(γ)` a working symbol.
+pub type Tile = [[Option<u8>; 2]; 2];
+
+/// A tiling system in the sense of Giammarresi–Restivo–Seibert–Thomas
+/// (Theorem 29): a finite working alphabet `Γ`, a set of allowed `2×2`
+/// tiles over `Γ ∪ {#}`, and a projection `π : Γ → Σ` onto pixel values.
+/// A picture `P` is *recognized* if some `Γ`-coloring of its positions
+/// projects to `P` and has all `2×2` windows of its `#`-bordered version in
+/// the tile set.
+///
+/// Recognition is decided by backtracking over positions in raster order
+/// with windows checked as soon as they complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TilingSystem {
+    /// Number of working symbols (`Γ = {0, …, k−1}`).
+    work_symbols: u8,
+    /// The allowed tiles.
+    tiles: BTreeSet<Tile>,
+    /// Projection: working symbol → pixel value (all of length `bits`).
+    projection: Vec<BitString>,
+    /// Bits per pixel of the recognized pictures.
+    bits: usize,
+}
+
+impl TilingSystem {
+    /// Creates a tiling system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the projection's length differs from the alphabet size, a
+    /// projected value has the wrong bit count, or a tile mentions an
+    /// out-of-range symbol.
+    pub fn new(
+        work_symbols: u8,
+        tiles: BTreeSet<Tile>,
+        projection: Vec<BitString>,
+        bits: usize,
+    ) -> Self {
+        assert_eq!(projection.len(), work_symbols as usize);
+        assert!(projection.iter().all(|p| p.len() == bits));
+        for t in &tiles {
+            for row in t {
+                for cell in row {
+                    if let Some(s) = cell {
+                        assert!(*s < work_symbols, "tile symbol out of range");
+                    }
+                }
+            }
+        }
+        TilingSystem { work_symbols, tiles, projection, bits }
+    }
+
+    /// Derives a tiling system from explicit valid colorings: the tile set
+    /// is exactly the set of `2×2` windows occurring in the `#`-bordered
+    /// versions of the examples. (The classic constructions — diagonal
+    /// signals, binary counters — are uniform, so a few examples already
+    /// exhibit every window type; the crate tests verify exactness on all
+    /// small pictures.)
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`TilingSystem::new`], or if an
+    /// example coloring is empty/ragged.
+    pub fn from_colorings(
+        work_symbols: u8,
+        projection: Vec<BitString>,
+        bits: usize,
+        examples: &[Vec<Vec<u8>>],
+    ) -> Self {
+        let mut tiles = BTreeSet::new();
+        for coloring in examples {
+            let m = coloring.len();
+            assert!(m >= 1);
+            let n = coloring[0].len();
+            assert!(n >= 1 && coloring.iter().all(|r| r.len() == n));
+            let at = |i: isize, j: isize| -> Option<u8> {
+                if i < 1 || j < 1 || i > m as isize || j > n as isize {
+                    None
+                } else {
+                    Some(coloring[i as usize - 1][j as usize - 1])
+                }
+            };
+            for i in 0..=m as isize {
+                for j in 0..=n as isize {
+                    tiles.insert([
+                        [at(i, j), at(i, j + 1)],
+                        [at(i + 1, j), at(i + 1, j + 1)],
+                    ]);
+                }
+            }
+        }
+        TilingSystem::new(work_symbols, tiles, projection, bits)
+    }
+
+    /// The number of tiles.
+    pub fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// The working alphabet size.
+    pub fn work_symbols(&self) -> u8 {
+        self.work_symbols
+    }
+
+    /// Whether the system recognizes the picture.
+    pub fn recognizes(&self, p: &Picture) -> bool {
+        self.witness(p).is_some()
+    }
+
+    /// The disjoint-alphabet **union** of two tiling systems — the classic
+    /// proof that recognizable picture languages are closed under union:
+    /// `other`'s working symbols are shifted past `self`'s, so no mixed
+    /// window is ever a tile and every witnessing coloring commits to one
+    /// operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the systems recognize pictures of different bit widths or
+    /// the combined alphabet exceeds 255 symbols.
+    pub fn union(&self, other: &TilingSystem) -> TilingSystem {
+        assert_eq!(self.bits, other.bits, "bit width mismatch");
+        let shift = self.work_symbols;
+        assert!(shift.checked_add(other.work_symbols).is_some(), "alphabet overflow");
+        let mut tiles = self.tiles.clone();
+        for t in &other.tiles {
+            let shifted: Tile = [
+                [t[0][0].map(|s| s + shift), t[0][1].map(|s| s + shift)],
+                [t[1][0].map(|s| s + shift), t[1][1].map(|s| s + shift)],
+            ];
+            tiles.insert(shifted);
+        }
+        let mut projection = self.projection.clone();
+        projection.extend(other.projection.iter().cloned());
+        TilingSystem::new(shift + other.work_symbols, tiles, projection, self.bits)
+    }
+
+    /// Counts the witnessing colorings of a picture, up to `cap`
+    /// (enumeration stops early once the cap is reached). Deterministic
+    /// constructions — like the binary-counter system — have exactly one
+    /// witness per accepted picture.
+    pub fn count_witnesses(&self, p: &Picture, cap: usize) -> usize {
+        assert_eq!(p.bits_per_pixel(), self.bits, "bit width mismatch");
+        let (m, n) = p.size();
+        let candidates: Vec<Vec<Vec<u8>>> = (1..=m)
+            .map(|i| {
+                (1..=n)
+                    .map(|j| {
+                        (0..self.work_symbols)
+                            .filter(|&s| self.projection[s as usize] == *p.pixel(i, j))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut grid: Vec<Vec<Option<u8>>> = vec![vec![None; n]; m];
+        let mut count = 0usize;
+        self.count_fill(&mut grid, &candidates, 0, m, n, &mut count, cap);
+        count
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn count_fill(
+        &self,
+        grid: &mut Vec<Vec<Option<u8>>>,
+        candidates: &[Vec<Vec<u8>>],
+        pos: usize,
+        m: usize,
+        n: usize,
+        count: &mut usize,
+        cap: usize,
+    ) {
+        if *count >= cap {
+            return;
+        }
+        if pos == m * n {
+            *count += 1;
+            return;
+        }
+        let (i, j) = (pos / n + 1, pos % n + 1);
+        for &s in &candidates[i - 1][j - 1] {
+            grid[i - 1][j - 1] = Some(s);
+            let mut ok = self.window_ok(grid, i as isize - 1, j as isize - 1);
+            if ok && j == n {
+                ok = self.window_ok(grid, i as isize - 1, n as isize);
+            }
+            if ok && i == m {
+                ok = self.window_ok(grid, m as isize, j as isize - 1);
+            }
+            if ok && i == m && j == n {
+                ok = self.window_ok(grid, m as isize, n as isize);
+            }
+            if ok {
+                self.count_fill(grid, candidates, pos + 1, m, n, count, cap);
+            }
+            grid[i - 1][j - 1] = None;
+        }
+    }
+
+    /// A witnessing coloring (row-major, 0-indexed), if the picture is
+    /// recognized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the picture's bit width differs from the system's.
+    pub fn witness(&self, p: &Picture) -> Option<Vec<Vec<u8>>> {
+        assert_eq!(p.bits_per_pixel(), self.bits, "bit width mismatch");
+        let (m, n) = p.size();
+        // Candidate symbols per position: those projecting to the pixel.
+        let candidates: Vec<Vec<Vec<u8>>> = (1..=m)
+            .map(|i| {
+                (1..=n)
+                    .map(|j| {
+                        (0..self.work_symbols)
+                            .filter(|&s| self.projection[s as usize] == *p.pixel(i, j))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut grid: Vec<Vec<Option<u8>>> = vec![vec![None; n]; m];
+        if self.fill(&mut grid, &candidates, 0, m, n) {
+            Some(
+                grid.into_iter()
+                    .map(|row| row.into_iter().map(|c| c.expect("filled")).collect())
+                    .collect(),
+            )
+        } else {
+            None
+        }
+    }
+
+    fn window_ok(&self, grid: &[Vec<Option<u8>>], ti: isize, tj: isize) -> bool {
+        let m = grid.len() as isize;
+        let n = grid[0].len() as isize;
+        let at = |i: isize, j: isize| -> Option<u8> {
+            if i < 1 || j < 1 || i > m || j > n {
+                None
+            } else {
+                grid[i as usize - 1][j as usize - 1].expect("window cells are assigned")
+                    .into()
+            }
+        };
+        let tile: Tile =
+            [[at(ti, tj), at(ti, tj + 1)], [at(ti + 1, tj), at(ti + 1, tj + 1)]];
+        self.tiles.contains(&tile)
+    }
+
+    fn fill(
+        &self,
+        grid: &mut Vec<Vec<Option<u8>>>,
+        candidates: &[Vec<Vec<u8>>],
+        pos: usize,
+        m: usize,
+        n: usize,
+    ) -> bool {
+        if pos == m * n {
+            return true;
+        }
+        let (i, j) = (pos / n + 1, pos % n + 1); // bordered coords of this cell
+        for &s in &candidates[i - 1][j - 1] {
+            grid[i - 1][j - 1] = Some(s);
+            // Windows completed by assigning (i, j).
+            let mut ok = self.window_ok(grid, i as isize - 1, j as isize - 1);
+            if ok && j == n {
+                ok = self.window_ok(grid, i as isize - 1, n as isize);
+            }
+            if ok && i == m {
+                ok = self.window_ok(grid, m as isize, j as isize - 1);
+            }
+            if ok && i == m && j == n {
+                ok = self.window_ok(grid, m as isize, n as isize);
+            }
+            if ok && self.fill(grid, candidates, pos + 1, m, n) {
+                return true;
+            }
+            grid[i - 1][j - 1] = None;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trivial system recognizing every 1-bit picture: one working
+    /// symbol per pixel value, all tiles allowed.
+    fn all_pictures_system() -> TilingSystem {
+        let mut tiles = BTreeSet::new();
+        let opts = [None, Some(0u8), Some(1u8)];
+        for a in opts {
+            for b in opts {
+                for c in opts {
+                    for d in opts {
+                        tiles.insert([[a, b], [c, d]]);
+                    }
+                }
+            }
+        }
+        TilingSystem::new(
+            2,
+            tiles,
+            vec![BitString::from_bits01("0"), BitString::from_bits01("1")],
+            1,
+        )
+    }
+
+    #[test]
+    fn permissive_system_recognizes_everything() {
+        let ts = all_pictures_system();
+        for p in Picture::enumerate(2, 2, 1) {
+            assert!(ts.recognizes(&p));
+        }
+    }
+
+    #[test]
+    fn empty_tile_set_recognizes_nothing() {
+        let ts = TilingSystem::new(
+            1,
+            BTreeSet::new(),
+            vec![BitString::new()],
+            0,
+        );
+        assert!(!ts.recognizes(&Picture::blank(1, 1, 0)));
+    }
+
+    #[test]
+    fn projection_constrains_candidates() {
+        // Working alphabet {0}, projecting to pixel "0" only: pictures with
+        // a "1" pixel are rejected outright.
+        let mut tiles = BTreeSet::new();
+        let opts = [None, Some(0u8)];
+        for a in opts {
+            for b in opts {
+                for c in opts {
+                    for d in opts {
+                        tiles.insert([[a, b], [c, d]]);
+                    }
+                }
+            }
+        }
+        let ts = TilingSystem::new(1, tiles, vec![BitString::from_bits01("0")], 1);
+        let p = Picture::blank(2, 2, 1); // all zeros
+        assert!(ts.recognizes(&p));
+        let mut p1 = Picture::blank(2, 2, 1);
+        p1.set_pixel(1, 1, BitString::from_bits01("1"));
+        assert!(!ts.recognizes(&p1));
+    }
+
+    #[test]
+    fn from_colorings_collects_windows() {
+        // A single 1×1 example yields the four corner windows.
+        let ts = TilingSystem::from_colorings(
+            1,
+            vec![BitString::new()],
+            0,
+            &[vec![vec![0]]],
+        );
+        assert_eq!(ts.tile_count(), 4);
+        assert!(ts.recognizes(&Picture::blank(1, 1, 0)));
+        // A 1×2 picture needs windows the single example never produced.
+        assert!(!ts.recognizes(&Picture::blank(1, 2, 0)));
+    }
+
+    #[test]
+    fn vertical_stripes_language() {
+        // Columns alternate 1,0,1,0,… — derived from two examples; then
+        // test exactness on all 2×2 and 2×3 one-bit pictures.
+        let stripe =
+            |m: usize, n: usize| -> Vec<Vec<u8>> {
+                (0..m).map(|_| (0..n).map(|j| ((j + 1) % 2) as u8).collect()).collect()
+            };
+        let ts = TilingSystem::from_colorings(
+            2,
+            vec![BitString::from_bits01("0"), BitString::from_bits01("1")],
+            1,
+            &[stripe(1, 1), stripe(2, 3), stripe(3, 4), stripe(3, 5)],
+        );
+        for (m, n) in [(2, 2), (2, 3)] {
+            for p in Picture::enumerate(m, n, 1) {
+                let expected = (1..=m).all(|i| {
+                    (1..=n).all(|j| {
+                        p.pixel(i, j)
+                            == &BitString::from_bits01(if j % 2 == 1 { "1" } else { "0" })
+                    })
+                });
+                assert_eq!(ts.recognizes(&p), expected, "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn union_recognizes_either_operand() {
+        use crate::langs;
+        // SQUARES ∪ {(m, 2^m)} via the closure construction.
+        let u = langs::squares_tiling_system().union(&langs::counter_tiling_system());
+        assert_eq!(u.work_symbols(), 3 + 4);
+        for (m, n) in [(2, 2), (3, 3), (2, 4), (3, 8)] {
+            assert!(u.recognizes(&Picture::blank(m, n, 0)), "size ({m}, {n})");
+        }
+        for (m, n) in [(2, 3), (3, 5), (2, 5)] {
+            assert!(!u.recognizes(&Picture::blank(m, n, 0)), "size ({m}, {n})");
+        }
+    }
+
+    #[test]
+    fn counter_witnesses_are_unique() {
+        use crate::langs;
+        let ct = langs::counter_tiling_system();
+        for m in 1..=3usize {
+            assert_eq!(ct.count_witnesses(&Picture::blank(m, 1 << m, 0), 10), 1);
+            assert_eq!(ct.count_witnesses(&Picture::blank(m, (1 << m) + 1, 0), 10), 0);
+        }
+    }
+
+    #[test]
+    fn witness_counting_respects_the_cap() {
+        let ts = all_pictures_system();
+        let p = Picture::blank(2, 2, 1);
+        // 2^4 candidate colorings, but each pixel value admits exactly one
+        // symbol, so exactly one witness; with a permissive projection the
+        // cap kicks in.
+        assert_eq!(ts.count_witnesses(&p, 100), 1);
+    }
+
+    #[test]
+    fn witness_projects_back() {
+        let ts = all_pictures_system();
+        let mut p = Picture::blank(2, 3, 1);
+        p.set_pixel(1, 2, BitString::from_bits01("1"));
+        let w = ts.witness(&p).unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0][1], 1);
+        assert_eq!(w[1][2], 0);
+    }
+}

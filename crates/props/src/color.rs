@@ -1,0 +1,139 @@
+//! Backtracking graph coloring — ground truth for `k-COLORABLE`
+//! (Example 3, Theorem 20, Proposition 21).
+
+use lph_graphs::LabeledGraph;
+
+/// Finds a proper `k`-coloring if one exists, as a vector of colors in
+/// `0..k` indexed by node.
+///
+/// Uses DSATUR-style backtracking: always branch on an uncolored node with
+/// the fewest remaining admissible colors (ties broken by degree), which
+/// fails fast on the constraint-gadget graphs produced by the Theorem 20
+/// reduction.
+pub fn find_coloring(g: &LabeledGraph, k: usize) -> Option<Vec<usize>> {
+    if k == 0 {
+        return None;
+    }
+    assert!(k <= 64, "color sets above 64 are not supported");
+    let n = g.node_count();
+    let full: u64 = if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
+    let mut colors: Vec<Option<usize>> = vec![None; n];
+    // allowed[u] is the bitmask of colors not yet used by u's neighbors.
+    let mut allowed: Vec<u64> = vec![full; n];
+
+    fn go(
+        g: &LabeledGraph,
+        colors: &mut Vec<Option<usize>>,
+        allowed: &mut Vec<u64>,
+        remaining: usize,
+    ) -> bool {
+        if remaining == 0 {
+            return true;
+        }
+        // Most-constrained uncolored node.
+        let u = g
+            .nodes()
+            .filter(|u| colors[u.0].is_none())
+            .min_by_key(|u| {
+                (allowed[u.0].count_ones(), std::cmp::Reverse(g.degree(*u)))
+            })
+            .expect("remaining > 0");
+        let mut options = allowed[u.0];
+        while options != 0 {
+            let c = options.trailing_zeros() as usize;
+            options &= options - 1;
+            colors[u.0] = Some(c);
+            let mut touched = Vec::new();
+            let mut dead_end = false;
+            for &v in g.neighbors(u) {
+                if colors[v.0].is_none() && allowed[v.0] & (1 << c) != 0 {
+                    allowed[v.0] &= !(1 << c);
+                    touched.push(v);
+                    if allowed[v.0] == 0 {
+                        dead_end = true;
+                    }
+                }
+            }
+            if !dead_end && go(g, colors, allowed, remaining - 1) {
+                return true;
+            }
+            for v in touched {
+                allowed[v.0] |= 1 << c;
+            }
+            colors[u.0] = None;
+        }
+        false
+    }
+    if go(g, &mut colors, &mut allowed, n) {
+        Some(colors.into_iter().map(|c| c.expect("complete coloring")).collect())
+    } else {
+        None
+    }
+}
+
+/// Whether the graph is `k`-colorable.
+pub fn is_k_colorable(g: &LabeledGraph, k: usize) -> bool {
+    find_coloring(g, k).is_some()
+}
+
+/// The chromatic number (smallest `k` with a proper `k`-coloring).
+pub fn chromatic_number(g: &LabeledGraph) -> usize {
+    (1..=g.node_count())
+        .find(|&k| is_k_colorable(g, k))
+        .expect("every graph is n-colorable")
+}
+
+/// Whether an explicit color vector is a proper coloring of `g`.
+pub fn is_proper_coloring(g: &LabeledGraph, colors: &[usize]) -> bool {
+    colors.len() == g.node_count() && g.edges().all(|(u, v)| colors[u.0] != colors[v.0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lph_graphs::generators;
+
+    #[test]
+    fn classic_chromatic_numbers() {
+        assert_eq!(chromatic_number(&generators::path(1)), 1);
+        assert_eq!(chromatic_number(&generators::path(5)), 2);
+        assert_eq!(chromatic_number(&generators::cycle(6)), 2);
+        assert_eq!(chromatic_number(&generators::cycle(7)), 3);
+        assert_eq!(chromatic_number(&generators::complete(5)), 5);
+        assert_eq!(chromatic_number(&generators::grid(3, 3)), 2);
+    }
+
+    #[test]
+    fn returned_colorings_are_proper() {
+        for g in [generators::cycle(5), generators::complete(4), generators::grid(2, 4)] {
+            let k = chromatic_number(&g);
+            let coloring = find_coloring(&g, k).unwrap();
+            assert!(is_proper_coloring(&g, &coloring));
+            assert!(coloring.iter().all(|&c| c < k));
+            assert!(find_coloring(&g, k - 1).is_none());
+        }
+    }
+
+    #[test]
+    fn zero_colors_never_work() {
+        assert!(!is_k_colorable(&generators::path(1), 0));
+    }
+
+    #[test]
+    fn is_proper_coloring_checks_length_and_edges() {
+        let g = generators::path(3);
+        assert!(is_proper_coloring(&g, &[0, 1, 0]));
+        assert!(!is_proper_coloring(&g, &[0, 0, 1]));
+        assert!(!is_proper_coloring(&g, &[0, 1]));
+    }
+
+    #[test]
+    fn odd_even_cycles_mirror_proposition_21() {
+        // The separation witness of Proposition 21: odd cycles are not
+        // 2-colorable, the doubled ("glued") even cycle is.
+        for n in [5, 7, 9] {
+            assert!(!is_k_colorable(&generators::cycle(n), 2));
+            assert!(is_k_colorable(&generators::cycle(2 * n), 2));
+        }
+    }
+}

@@ -1,0 +1,56 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when decoding labels into structured payloads (Boolean
+/// formulas) or validating property-specific input shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PropsError {
+    /// A node label was not a valid byte-aligned payload.
+    MalformedLabel {
+        /// The node whose label failed to decode.
+        node: usize,
+    },
+    /// A Boolean formula failed to parse.
+    ParseFormula {
+        /// Position in the input at which parsing failed.
+        position: usize,
+        /// What was expected.
+        expected: String,
+    },
+    /// A formula was required to be in 3-CNF but was not.
+    NotThreeCnf {
+        /// The node carrying the offending formula.
+        node: usize,
+    },
+}
+
+impl fmt::Display for PropsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropsError::MalformedLabel { node } => {
+                write!(f, "label of node v{node} is not a byte-aligned payload")
+            }
+            PropsError::ParseFormula { position, expected } => {
+                write!(f, "formula parse error at byte {position}: expected {expected}")
+            }
+            PropsError::NotThreeCnf { node } => {
+                write!(f, "formula of node v{node} is not in 3-CNF")
+            }
+        }
+    }
+}
+
+impl Error for PropsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_well_behaved() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<PropsError>();
+        assert!(PropsError::NotThreeCnf { node: 4 }.to_string().contains("v4"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Further graph properties referenced by the paper's discussion sections:
+//! bipartiteness (= 2-colorability, the Proposition 21 witness), regularity
+//! (locally checkable), bounded diameter (inherently global), and the
+//! `SELECTED-EXISTS` / `NOT-ALL-SELECTED` relatives used when discussing
+//! the `ind`/`log` hierarchies in Section 1.3.
+
+use lph_graphs::{BitString, LabeledGraph};
+
+use crate::color::is_k_colorable;
+use crate::property::GraphProperty;
+
+/// `BIPARTITE` (= `2-COLORABLE`): the Proposition 21 separation witness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Bipartite;
+
+impl GraphProperty for Bipartite {
+    fn name(&self) -> &str {
+        "BIPARTITE"
+    }
+
+    fn holds(&self, g: &LabeledGraph) -> bool {
+        is_k_colorable(g, 2)
+    }
+}
+
+/// `d-REGULAR`: every node has degree exactly `d` — locally checkable in a
+/// single round (each node sees its own degree on its receiving tape), the
+/// archetype of an `LP` property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Regular {
+    d: usize,
+}
+
+impl Regular {
+    /// The property of being `d`-regular.
+    pub fn new(d: usize) -> Self {
+        Regular { d }
+    }
+}
+
+impl GraphProperty for Regular {
+    fn name(&self) -> &str {
+        "d-REGULAR"
+    }
+
+    fn holds(&self, g: &LabeledGraph) -> bool {
+        g.nodes().all(|u| g.degree(u) == self.d)
+    }
+}
+
+/// `DIAMETER ≤ k`: an inherently *global* property (no constant-radius
+/// view determines it), used as a beyond-the-hierarchy contrast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiameterAtMost {
+    k: usize,
+}
+
+impl DiameterAtMost {
+    /// The property `diam(G) ≤ k`.
+    pub fn new(k: usize) -> Self {
+        DiameterAtMost { k }
+    }
+}
+
+impl GraphProperty for DiameterAtMost {
+    fn name(&self) -> &str {
+        "DIAMETER≤k"
+    }
+
+    fn holds(&self, g: &LabeledGraph) -> bool {
+        g.diameter() <= self.k
+    }
+}
+
+/// `SELECTED-EXISTS`: at least one node is labeled exactly `1`. Like
+/// `NOT-ALL-SELECTED`, an existential global property that constant-size
+/// certificates cannot verify (Section 1.3's `NOT-ALL-SELECTED` argument
+/// applies verbatim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SelectedExists;
+
+impl GraphProperty for SelectedExists {
+    fn name(&self) -> &str {
+        "SELECTED-EXISTS"
+    }
+
+    fn holds(&self, g: &LabeledGraph) -> bool {
+        let one = BitString::from_bits01("1");
+        g.labels().iter().any(|l| *l == one)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lph_graphs::{enumerate, generators};
+
+    #[test]
+    fn bipartite_matches_two_colorable_everywhere() {
+        for g in enumerate::connected_graphs_up_to(5) {
+            assert_eq!(Bipartite.holds(&g), is_k_colorable(&g, 2), "graph {g}");
+        }
+    }
+
+    #[test]
+    fn regularity() {
+        assert!(Regular::new(2).holds(&generators::cycle(6)));
+        assert!(!Regular::new(2).holds(&generators::path(4)));
+        assert!(Regular::new(3).holds(&generators::complete(4)));
+        assert!(Regular::new(0).holds(&generators::path(1)));
+    }
+
+    #[test]
+    fn diameter_bounds() {
+        assert!(DiameterAtMost::new(1).holds(&generators::complete(5)));
+        assert!(!DiameterAtMost::new(2).holds(&generators::path(5)));
+        assert!(DiameterAtMost::new(3).holds(&generators::cycle(6)));
+        assert!(!DiameterAtMost::new(2).holds(&generators::cycle(6)));
+    }
+
+    #[test]
+    fn selected_exists_vs_all_selected() {
+        use crate::property::{AllSelected, NotAllSelected};
+        let zero = BitString::from_bits01("0");
+        let one = BitString::from_bits01("1");
+        for base in enumerate::connected_graphs_up_to(3) {
+            for g in enumerate::binary_labelings(&base, &zero, &one) {
+                // ALL-SELECTED ⟹ SELECTED-EXISTS, and the complement
+                // relations hold.
+                if AllSelected.holds(&g) {
+                    assert!(SelectedExists.holds(&g));
+                }
+                assert_eq!(AllSelected.holds(&g), !NotAllSelected.holds(&g));
+            }
+        }
+        let g = generators::labeled_path(&["0", "0"]);
+        assert!(!SelectedExists.holds(&g));
+    }
+}

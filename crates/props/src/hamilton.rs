@@ -1,0 +1,112 @@
+//! Backtracking search for Hamiltonian cycles — ground truth for
+//! `HAMILTONIAN` (Propositions 16 and 17).
+
+use lph_graphs::{LabeledGraph, NodeId};
+
+/// Finds a Hamiltonian cycle if one exists, returned as a node sequence
+/// `v₀, v₁, …, v_{n-1}` with consecutive nodes (and `v_{n-1}, v₀`)
+/// adjacent. Graphs with fewer than 3 nodes have no cycles.
+pub fn find_hamiltonian_cycle(g: &LabeledGraph) -> Option<Vec<NodeId>> {
+    let n = g.node_count();
+    if n < 3 {
+        return None;
+    }
+    // Degree-2 lower bound prune.
+    if g.nodes().any(|u| g.degree(u) < 2) {
+        return None;
+    }
+    let mut path = vec![NodeId(0)];
+    let mut used = vec![false; n];
+    used[0] = true;
+    fn go(g: &LabeledGraph, path: &mut Vec<NodeId>, used: &mut Vec<bool>) -> bool {
+        if path.len() == g.node_count() {
+            return g.has_edge(*path.last().expect("nonempty"), path[0]);
+        }
+        let last = *path.last().expect("nonempty");
+        for &v in g.neighbors(last) {
+            if !used[v.0] {
+                used[v.0] = true;
+                path.push(v);
+                if go(g, path, used) {
+                    return true;
+                }
+                path.pop();
+                used[v.0] = false;
+            }
+        }
+        false
+    }
+    if go(g, &mut path, &mut used) {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+/// Whether the graph contains a Hamiltonian cycle.
+pub fn is_hamiltonian(g: &LabeledGraph) -> bool {
+    find_hamiltonian_cycle(g).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lph_graphs::generators;
+
+    #[test]
+    fn cycles_and_complete_graphs_are_hamiltonian() {
+        for n in 3..8 {
+            assert!(is_hamiltonian(&generators::cycle(n)));
+            assert!(is_hamiltonian(&generators::complete(n)));
+        }
+    }
+
+    #[test]
+    fn paths_trees_and_stars_are_not() {
+        assert!(!is_hamiltonian(&generators::path(4)));
+        assert!(!is_hamiltonian(&generators::star(5)));
+        assert!(!is_hamiltonian(&generators::binary_tree(2)));
+    }
+
+    #[test]
+    fn tiny_graphs_have_no_cycles() {
+        assert!(!is_hamiltonian(&generators::path(1)));
+        assert!(!is_hamiltonian(&generators::path(2)));
+    }
+
+    #[test]
+    fn returned_cycle_is_valid() {
+        let g = generators::grid(2, 3); // 2×3 grid is Hamiltonian
+        let cycle = find_hamiltonian_cycle(&g).expect("2×3 grid has a Hamiltonian cycle");
+        assert_eq!(cycle.len(), 6);
+        let mut seen = vec![false; 6];
+        for w in cycle.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+        assert!(g.has_edge(cycle[5], cycle[0]));
+        for v in &cycle {
+            assert!(!seen[v.0], "node visited twice");
+            seen[v.0] = true;
+        }
+    }
+
+    #[test]
+    fn odd_by_odd_grids_are_not_hamiltonian() {
+        // Bipartite parity argument: a 3×3 grid has 5+4 bipartition.
+        assert!(!is_hamiltonian(&generators::grid(3, 3)));
+        assert!(is_hamiltonian(&generators::grid(3, 4)));
+    }
+
+    #[test]
+    fn pendant_node_blocks_hamiltonicity() {
+        // A cycle plus a degree-1 node (the u_bad gadget of Proposition 16).
+        let mut edges: Vec<(usize, usize)> = vec![(0, 1), (1, 2), (2, 0)];
+        edges.push((2, 3));
+        let g = lph_graphs::LabeledGraph::from_edges(
+            vec![lph_graphs::BitString::from_bits01("1"); 4],
+            &edges,
+        )
+        .unwrap();
+        assert!(!is_hamiltonian(&g));
+    }
+}

@@ -1,0 +1,269 @@
+//! The [`GraphProperty`] trait and the paper's named properties with their
+//! centralized ground-truth deciders.
+
+use lph_graphs::{BitString, LabeledGraph};
+
+use crate::color::is_k_colorable;
+use crate::hamilton::is_hamiltonian;
+use crate::satgraph::{sat_graph_satisfiable, BooleanGraph};
+
+/// An isomorphism-closed set of labeled graphs, decided by a centralized
+/// reference algorithm. These are the *specifications* that distributed
+/// machines, arbiters, and reductions are validated against.
+pub trait GraphProperty {
+    /// A short name, e.g. `ALL-SELECTED`.
+    fn name(&self) -> &str;
+
+    /// Ground-truth membership.
+    fn holds(&self, g: &LabeledGraph) -> bool;
+}
+
+/// `ALL-SELECTED`: every node is labeled exactly `1` (Section 5.2). The
+/// canonical **LP**-complete property (Remark 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllSelected;
+
+impl GraphProperty for AllSelected {
+    fn name(&self) -> &str {
+        "ALL-SELECTED"
+    }
+
+    fn holds(&self, g: &LabeledGraph) -> bool {
+        let one = BitString::from_bits01("1");
+        g.labels().iter().all(|l| *l == one)
+    }
+}
+
+/// `NOT-ALL-SELECTED`: at least one node is not labeled `1` — the
+/// complement of [`AllSelected`], **coLP**-complete, and the separator of
+/// `coLP` from `NLP` (Proposition 23).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NotAllSelected;
+
+impl GraphProperty for NotAllSelected {
+    fn name(&self) -> &str {
+        "NOT-ALL-SELECTED"
+    }
+
+    fn holds(&self, g: &LabeledGraph) -> bool {
+        !AllSelected.holds(g)
+    }
+}
+
+/// `k-COLORABLE` (Example 3; Theorem 20 for `k = 3`; Proposition 21 for
+/// `k = 2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KColorable {
+    k: usize,
+}
+
+impl KColorable {
+    /// The property of being properly colorable with `k` colors.
+    pub fn new(k: usize) -> Self {
+        KColorable { k }
+    }
+
+    /// The number of colors.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl GraphProperty for KColorable {
+    fn name(&self) -> &str {
+        match self.k {
+            2 => "2-COLORABLE",
+            3 => "3-COLORABLE",
+            _ => "k-COLORABLE",
+        }
+    }
+
+    fn holds(&self, g: &LabeledGraph) -> bool {
+        is_k_colorable(g, self.k)
+    }
+}
+
+/// `EULERIAN`: the graph contains a cycle using each edge exactly once; by
+/// Euler's theorem, equivalent to all degrees being even (**LP**-complete,
+/// Proposition 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Eulerian;
+
+impl GraphProperty for Eulerian {
+    fn name(&self) -> &str {
+        "EULERIAN"
+    }
+
+    fn holds(&self, g: &LabeledGraph) -> bool {
+        g.nodes().all(|u| g.degree(u) % 2 == 0)
+    }
+}
+
+/// `HAMILTONIAN`: the graph contains a cycle through each node exactly once
+/// (**LP**-hard and **coLP**-hard, Propositions 16 and 17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Hamiltonian;
+
+impl GraphProperty for Hamiltonian {
+    fn name(&self) -> &str {
+        "HAMILTONIAN"
+    }
+
+    fn holds(&self, g: &LabeledGraph) -> bool {
+        is_hamiltonian(g)
+    }
+}
+
+/// `TREE`: the graph is acyclic (being connected by definition) — the
+/// textbook example of a property outside **LD**/**LP** (Section 1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Tree;
+
+impl GraphProperty for Tree {
+    fn name(&self) -> &str {
+        "TREE"
+    }
+
+    fn holds(&self, g: &LabeledGraph) -> bool {
+        g.edge_count() == g.node_count() - 1
+    }
+}
+
+/// `SAT-GRAPH`: the node labels encode Boolean formulas, and consistent
+/// satisfying valuations exist (**NLP**-complete, Theorem 19). Graphs whose
+/// labels fail to decode are no-instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SatGraph;
+
+impl GraphProperty for SatGraph {
+    fn name(&self) -> &str {
+        "SAT-GRAPH"
+    }
+
+    fn holds(&self, g: &LabeledGraph) -> bool {
+        sat_graph_satisfiable(g)
+    }
+}
+
+/// `3-SAT-GRAPH`: `SAT-GRAPH` restricted to nodes labeled with 3-CNF
+/// formulas (Theorem 20, step 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ThreeSatGraph;
+
+impl GraphProperty for ThreeSatGraph {
+    fn name(&self) -> &str {
+        "3-SAT-GRAPH"
+    }
+
+    fn holds(&self, g: &LabeledGraph) -> bool {
+        match BooleanGraph::decode(g) {
+            Ok(bg) => bg.is_three_cnf() && bg.is_satisfiable(),
+            Err(_) => false,
+        }
+    }
+}
+
+/// The complement `GRAPH \ L` of a property `L` (the `co` operator of the
+/// complement hierarchy, Section 4).
+#[derive(Debug, Clone, Copy)]
+pub struct PropertyComplement<P> {
+    inner: P,
+}
+
+impl<P: GraphProperty> PropertyComplement<P> {
+    /// Wraps a property with its complement.
+    pub fn new(inner: P) -> Self {
+        PropertyComplement { inner }
+    }
+}
+
+impl<P: GraphProperty> GraphProperty for PropertyComplement<P> {
+    fn name(&self) -> &str {
+        // A static name is impossible without allocation; expose the
+        // underlying name (display contexts prepend "NON-").
+        self.inner.name()
+    }
+
+    fn holds(&self, g: &LabeledGraph) -> bool {
+        !self.inner.holds(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lph_graphs::{enumerate, generators};
+
+    #[test]
+    fn all_selected_and_complement_partition() {
+        let zero = BitString::from_bits01("0");
+        let one = BitString::from_bits01("1");
+        for base in enumerate::connected_graphs_up_to(3) {
+            for g in enumerate::binary_labelings(&base, &zero, &one) {
+                assert_ne!(AllSelected.holds(&g), NotAllSelected.holds(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn eulerian_iff_even_degrees() {
+        assert!(Eulerian.holds(&generators::cycle(5)));
+        assert!(!Eulerian.holds(&generators::path(3)));
+        assert!(Eulerian.holds(&generators::path(1)));
+        assert!(Eulerian.holds(&generators::complete(5)));
+        assert!(!Eulerian.holds(&generators::complete(4)));
+    }
+
+    #[test]
+    fn tree_detection() {
+        assert!(Tree.holds(&generators::binary_tree(3)));
+        assert!(Tree.holds(&generators::path(5)));
+        assert!(!Tree.holds(&generators::cycle(4)));
+    }
+
+    #[test]
+    fn colorability_and_hamiltonicity_sanity() {
+        assert!(KColorable::new(3).holds(&generators::cycle(5)));
+        assert!(!KColorable::new(3).holds(&generators::complete(4)));
+        assert!(Hamiltonian.holds(&generators::cycle(4)));
+        assert!(!Hamiltonian.holds(&generators::star(4)));
+    }
+
+    #[test]
+    fn complement_negates() {
+        let non_ham = PropertyComplement::new(Hamiltonian);
+        assert!(non_ham.holds(&generators::path(4)));
+        assert!(!non_ham.holds(&generators::cycle(4)));
+    }
+
+    #[test]
+    fn sat_graph_properties_hold_on_encoded_instances() {
+        let bg = BooleanGraph::new(
+            generators::path(2),
+            vec![
+                crate::BoolExpr::parse("&(|(vp,vq),|(!vp))").unwrap(),
+                crate::BoolExpr::parse("vq").unwrap(),
+            ],
+        )
+        .unwrap();
+        assert!(SatGraph.holds(bg.graph()));
+        assert!(ThreeSatGraph.holds(bg.graph()));
+        let unsat = BooleanGraph::new(
+            generators::path(2),
+            vec![
+                crate::BoolExpr::parse("vp").unwrap(),
+                crate::BoolExpr::parse("!vp").unwrap(),
+            ],
+        )
+        .unwrap();
+        assert!(!SatGraph.holds(unsat.graph()));
+    }
+
+    #[test]
+    fn property_names_are_stable() {
+        assert_eq!(AllSelected.name(), "ALL-SELECTED");
+        assert_eq!(KColorable::new(3).name(), "3-COLORABLE");
+        assert_eq!(KColorable::new(7).name(), "k-COLORABLE");
+        assert_eq!(SatGraph.name(), "SAT-GRAPH");
+    }
+}

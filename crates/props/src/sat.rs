@@ -1,0 +1,264 @@
+//! A DPLL satisfiability solver over named-variable CNFs — the ground
+//! truth behind `SAT` / `SAT-GRAPH` (Theorems 18 and 19).
+//!
+//! The solver uses occurrence lists and a unit-propagation worklist, so
+//! propagation touches only clauses containing newly assigned variables —
+//! this keeps the (large but propagation-dominated) Cook–Levin tableaux of
+//! `lph-fagin` tractable. Branching follows variable-name order, which the
+//! tableau encoder exploits by naming its nondeterministic choice
+//! variables to sort first.
+
+use std::collections::BTreeMap;
+
+use crate::boolean::Cnf;
+
+/// Decides satisfiability of a CNF.
+pub fn dpll_sat(cnf: &Cnf) -> bool {
+    dpll_sat_with_model(cnf).is_some()
+}
+
+/// Decides satisfiability and returns a satisfying model (as a map from
+/// variable name to value) if one exists. Variables not constrained by the
+/// search are reported as `false`.
+pub fn dpll_sat_with_model(cnf: &Cnf) -> Option<BTreeMap<String, bool>> {
+    if cnf.clauses.iter().any(Vec::is_empty) {
+        return None;
+    }
+    let names: Vec<String> = cnf.variables().into_iter().collect();
+    let index: BTreeMap<&str, usize> =
+        names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+    let clauses: Vec<Vec<(usize, bool)>> = cnf
+        .clauses
+        .iter()
+        .map(|c| c.iter().map(|l| (index[l.var.as_str()], l.positive)).collect())
+        .collect();
+    let mut occurs: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+    for (ci, clause) in clauses.iter().enumerate() {
+        for &(v, _) in clause {
+            occurs[v].push(ci);
+        }
+    }
+    let mut solver = Solver {
+        clauses,
+        occurs,
+        assignment: vec![None; names.len()],
+        trail: Vec::new(),
+    };
+    // Top-level unit clauses seed the propagation.
+    let mut seeds = Vec::new();
+    for clause in &solver.clauses {
+        if clause.len() == 1 {
+            seeds.push(clause[0]);
+        }
+    }
+    for (v, val) in seeds {
+        if !solver.assign_and_propagate(v, val) {
+            return None;
+        }
+    }
+    if solver.search(0) {
+        Some(
+            names
+                .into_iter()
+                .enumerate()
+                .map(|(i, n)| (n, solver.assignment[i].unwrap_or(false)))
+                .collect(),
+        )
+    } else {
+        None
+    }
+}
+
+struct Solver {
+    clauses: Vec<Vec<(usize, bool)>>,
+    occurs: Vec<Vec<usize>>,
+    assignment: Vec<Option<bool>>,
+    trail: Vec<usize>,
+}
+
+impl Solver {
+    /// Assigns `v := val` and runs unit propagation through the occurrence
+    /// lists. Returns `false` on conflict, leaving all consequences on the
+    /// trail for the caller to undo.
+    fn assign_and_propagate(&mut self, v: usize, val: bool) -> bool {
+        if let Some(existing) = self.assignment[v] {
+            return existing == val;
+        }
+        self.assignment[v] = Some(val);
+        self.trail.push(v);
+        let mut queue = vec![v];
+        while let Some(v) = queue.pop() {
+            for ci in 0..self.occurs[v].len() {
+                let clause_idx = self.occurs[v][ci];
+                let mut satisfied = false;
+                let mut unassigned: Option<(usize, bool)> = None;
+                let mut unassigned_count = 0;
+                for &(w, pos) in &self.clauses[clause_idx] {
+                    match self.assignment[w] {
+                        Some(b) if b == pos => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            unassigned = Some((w, pos));
+                            unassigned_count += 1;
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match unassigned_count {
+                    0 => return false,
+                    1 => {
+                        let (w, pos) = unassigned.expect("counted");
+                        self.assignment[w] = Some(pos);
+                        self.trail.push(w);
+                        queue.push(w);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        true
+    }
+
+    fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let v = self.trail.pop().expect("trail nonempty");
+            self.assignment[v] = None;
+        }
+    }
+
+    /// Branches on unassigned variables in index (i.e. name) order.
+    fn search(&mut self, from: usize) -> bool {
+        let mut v = from;
+        while v < self.assignment.len() && self.assignment[v].is_some() {
+            v += 1;
+        }
+        if v == self.assignment.len() {
+            return true;
+        }
+        for val in [true, false] {
+            let mark = self.trail.len();
+            if self.assign_and_propagate(v, val) && self.search(v + 1) {
+                return true;
+            }
+            self.undo_to(mark);
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boolean::{BoolExpr, Lit};
+    use lph_graphs::generators::XorShift;
+
+    fn brute_force_sat(cnf: &Cnf) -> bool {
+        let vars: Vec<String> = cnf.variables().into_iter().collect();
+        assert!(vars.len() <= 20);
+        (0u32..1 << vars.len()).any(|mask| {
+            cnf.clauses.iter().all(|c| {
+                c.iter().any(|l| {
+                    let i = vars.iter().position(|v| *v == l.var).unwrap();
+                    (mask >> i & 1 == 1) == l.positive
+                })
+            })
+        })
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert!(dpll_sat(&Cnf { clauses: vec![] }));
+        assert!(!dpll_sat(&Cnf { clauses: vec![vec![]] }));
+        assert!(dpll_sat(&Cnf { clauses: vec![vec![Lit::pos("a")]] }));
+        assert!(!dpll_sat(&Cnf {
+            clauses: vec![vec![Lit::pos("a")], vec![Lit::neg("a")]]
+        }));
+    }
+
+    #[test]
+    fn model_satisfies_the_cnf() {
+        let e = BoolExpr::parse("&(|(vp,vq),|(!vp,vr),|(!vq,!vr))").unwrap();
+        let cnf = e.to_cnf_by_distribution();
+        let model = dpll_sat_with_model(&cnf).expect("satisfiable");
+        let ok = cnf
+            .clauses
+            .iter()
+            .all(|c| c.iter().any(|l| model.get(&l.var).copied().unwrap_or(false) == l.positive));
+        assert!(ok);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_cnfs() {
+        let mut rng = XorShift::new(2024);
+        for round in 0..300 {
+            let nvars = 1 + rng.below(6);
+            let nclauses = rng.below(14);
+            let clauses: Vec<Vec<Lit>> = (0..nclauses)
+                .map(|_| {
+                    let len = 1 + rng.below(3);
+                    (0..len)
+                        .map(|_| Lit {
+                            var: format!("x{}", rng.below(nvars)),
+                            positive: rng.bool(),
+                        })
+                        .collect()
+                })
+                .collect();
+            let cnf = Cnf { clauses };
+            assert_eq!(dpll_sat(&cnf), brute_force_sat(&cnf), "round {round}: {cnf:?}");
+        }
+    }
+
+    #[test]
+    fn pigeonhole_three_into_two_is_unsat() {
+        // PHP(3,2): three pigeons, two holes.
+        let mut clauses = Vec::new();
+        for p in 0..3 {
+            clauses.push(vec![Lit::pos(format!("p{p}h0")), Lit::pos(format!("p{p}h1"))]);
+        }
+        for h in 0..2 {
+            for p in 0..3 {
+                for q in p + 1..3 {
+                    clauses.push(vec![
+                        Lit::neg(format!("p{p}h{h}")),
+                        Lit::neg(format!("p{q}h{h}")),
+                    ]);
+                }
+            }
+        }
+        assert!(!dpll_sat(&Cnf { clauses }));
+    }
+
+    #[test]
+    fn long_implication_chains_propagate_linearly() {
+        // x0 → x1 → … → x_n, plus x0: the solver must finish instantly.
+        let n = 5000;
+        let mut clauses = vec![vec![Lit::pos("x00000")]];
+        for i in 0..n {
+            clauses.push(vec![
+                Lit::neg(format!("x{i:05}")),
+                Lit::pos(format!("x{:05}", i + 1)),
+            ]);
+        }
+        assert!(dpll_sat(&Cnf { clauses: clauses.clone() }));
+        clauses.push(vec![Lit::neg(format!("x{n:05}"))]);
+        assert!(!dpll_sat(&Cnf { clauses }));
+    }
+
+    #[test]
+    fn duplicate_and_tautological_literals_are_handled() {
+        let cnf = Cnf {
+            clauses: vec![
+                vec![Lit::pos("a"), Lit::pos("a")],
+                vec![Lit::pos("b"), Lit::neg("b")],
+                vec![Lit::neg("a")],
+            ],
+        };
+        assert!(!dpll_sat(&cnf));
+    }
+}

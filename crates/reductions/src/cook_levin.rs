@@ -1,0 +1,355 @@
+//! The distributed Cook–Levin translation (Theorem 19): every property
+//! defined by a `Σ₁^LFO` sentence reduces to `SAT-GRAPH` by a
+//! **topology-preserving** local-polynomial reduction.
+//!
+//! Each node `u` receives the Boolean formula
+//! `φ_u = ⋀_{a ∈ {u} ∪ bits(u)} τ_{x↦a}(ψ)`,
+//! where `ψ` is the sentence's bounded-fragment matrix and the translation
+//! `τ_σ` (proof of Theorem 19) replaces second-order atoms `R(ā)` by
+//! Boolean variables named after `R` and the identifiers of the referenced
+//! elements, first-order atoms by their truth values, and bounded
+//! quantifiers by finite disjunctions/conjunctions over Gaifman balls.
+//!
+//! Identifiers must be `(r+1)`-locally unique for `r` the matrix's bounded
+//! depth, so that same-named Boolean variables in the formulas of one node
+//! or two adjacent nodes always denote the same element.
+
+use std::collections::BTreeMap;
+
+use lph_graphs::{
+    BitString, ClusterMap, ElemId, ElemKind, GraphStructure, IdAssignment, LabeledGraph,
+};
+use lph_logic::{Formula, FoVar, Matrix, Quantifier, Sentence};
+use lph_props::BoolExpr;
+
+use crate::framework::{apply, ClusterPatch, LocalReduction, LocalView, ReductionError};
+
+/// The Theorem 19 reduction for a fixed `Σ₁^LFO` sentence.
+#[derive(Debug, Clone)]
+pub struct LfoToSatGraph {
+    sentence: Sentence,
+    radius: usize,
+}
+
+impl LfoToSatGraph {
+    /// Wraps a sentence whose matrix is `LFO` and whose prefix is (at most)
+    /// one existential block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sentence is not of `Σ₁^LFO` shape.
+    pub fn new(sentence: Sentence) -> Self {
+        assert!(sentence.is_local(), "the sentence must have an LFO matrix");
+        assert!(
+            sentence.level().ell <= 1
+                && sentence.level().leading != Some(Quantifier::Forall),
+            "the sentence must be Σ₁ (or Σ₀)"
+        );
+        let radius = sentence.radius();
+        LfoToSatGraph { sentence, radius }
+    }
+
+    /// The underlying sentence.
+    pub fn sentence(&self) -> &Sentence {
+        &self.sentence
+    }
+}
+
+/// The Boolean variable naming an interpretation bit: `R(ā)` becomes
+/// `R<i>a<k>.<descr(a₁)>_…_<descr(a_k)>`, with elements described by their
+/// owner's identifier (`n<id>` for nodes, `b<id>p<pos>` for labeling bits).
+fn atom_var_name(
+    rel: lph_logic::SoVar,
+    args: &[ElemId],
+    gs: &GraphStructure,
+    ids: &[BitString],
+) -> String {
+    let descr = |e: ElemId| -> String {
+        match gs.kind(e) {
+            ElemKind::Node(v) => format!("n{}", ids[v.0]).replace('ε', ""),
+            ElemKind::Bit { node, pos } => {
+                format!("b{}p{pos}", ids[node.0]).replace('ε', "")
+            }
+        }
+    };
+    let parts: Vec<String> = args.iter().map(|&a| descr(a)).collect();
+    format!("R{}a{}.{}", rel.index, rel.arity, parts.join("_"))
+}
+
+/// The τ translation: turns a bounded-fragment formula into a Boolean
+/// expression over atom variables, under a first-order assignment.
+///
+/// # Panics
+///
+/// Panics on unbounded quantifiers (the input must be in `BF`) or
+/// unassigned variables.
+fn tau(
+    psi: &Formula,
+    sigma: &mut BTreeMap<FoVar, ElemId>,
+    gs: &GraphStructure,
+    ids: &[BitString],
+) -> BoolExpr {
+    let elem = |sigma: &BTreeMap<FoVar, ElemId>, v: FoVar| -> ElemId {
+        *sigma.get(&v).expect("unassigned variable in τ")
+    };
+    match psi {
+        Formula::True => BoolExpr::Const(true),
+        Formula::False => BoolExpr::Const(false),
+        Formula::Unary { rel, x } => {
+            BoolExpr::Const(gs.structure().in_unary(*rel, elem(sigma, *x)))
+        }
+        Formula::Edge { rel, x, y } => BoolExpr::Const(gs.structure().related(
+            *rel,
+            elem(sigma, *x),
+            elem(sigma, *y),
+        )),
+        Formula::Eq(x, y) => BoolExpr::Const(elem(sigma, *x) == elem(sigma, *y)),
+        Formula::App { rel, args } => {
+            let tuple: Vec<ElemId> = args.iter().map(|&a| elem(sigma, a)).collect();
+            BoolExpr::Var(atom_var_name(*rel, &tuple, gs, ids))
+        }
+        Formula::Not(f) => tau(f, sigma, gs, ids).negated(),
+        Formula::And(fs) => {
+            BoolExpr::And(fs.iter().map(|f| tau(f, sigma, gs, ids)).collect())
+        }
+        Formula::Or(fs) => {
+            BoolExpr::Or(fs.iter().map(|f| tau(f, sigma, gs, ids)).collect())
+        }
+        Formula::Implies(a, b) => BoolExpr::Or(vec![
+            tau(a, sigma, gs, ids).negated(),
+            tau(b, sigma, gs, ids),
+        ]),
+        Formula::Iff(a, b) => {
+            let ta = tau(a, sigma, gs, ids);
+            let tb = tau(b, sigma, gs, ids);
+            BoolExpr::Or(vec![
+                BoolExpr::And(vec![ta.clone(), tb.clone()]),
+                BoolExpr::And(vec![ta.negated(), tb.negated()]),
+            ])
+        }
+        Formula::ExistsAdj { x, anchor, body } => {
+            let base = elem(sigma, *anchor);
+            let opts = gs.structure().gaifman_neighbors(base).to_vec();
+            BoolExpr::Or(
+                opts.into_iter()
+                    .map(|a| {
+                        let prev = sigma.insert(*x, a);
+                        let t = tau(body, sigma, gs, ids);
+                        restore(sigma, *x, prev);
+                        t
+                    })
+                    .collect(),
+            )
+        }
+        Formula::ForallAdj { x, anchor, body } => {
+            let base = elem(sigma, *anchor);
+            let opts = gs.structure().gaifman_neighbors(base).to_vec();
+            BoolExpr::And(
+                opts.into_iter()
+                    .map(|a| {
+                        let prev = sigma.insert(*x, a);
+                        let t = tau(body, sigma, gs, ids);
+                        restore(sigma, *x, prev);
+                        t
+                    })
+                    .collect(),
+            )
+        }
+        Formula::ExistsNear { x, anchor, radius, body } => {
+            let base = elem(sigma, *anchor);
+            let opts = gs.structure().gaifman_ball(base, *radius);
+            BoolExpr::Or(
+                opts.into_iter()
+                    .map(|a| {
+                        let prev = sigma.insert(*x, a);
+                        let t = tau(body, sigma, gs, ids);
+                        restore(sigma, *x, prev);
+                        t
+                    })
+                    .collect(),
+            )
+        }
+        Formula::ForallNear { x, anchor, radius, body } => {
+            let base = elem(sigma, *anchor);
+            let opts = gs.structure().gaifman_ball(base, *radius);
+            BoolExpr::And(
+                opts.into_iter()
+                    .map(|a| {
+                        let prev = sigma.insert(*x, a);
+                        let t = tau(body, sigma, gs, ids);
+                        restore(sigma, *x, prev);
+                        t
+                    })
+                    .collect(),
+            )
+        }
+        Formula::Exists { .. } | Formula::Forall { .. } => {
+            unreachable!("LFO matrix bodies are in the bounded fragment")
+        }
+    }
+}
+
+fn restore(sigma: &mut BTreeMap<FoVar, ElemId>, x: FoVar, prev: Option<ElemId>) {
+    match prev {
+        Some(e) => {
+            sigma.insert(x, e);
+        }
+        None => {
+            sigma.remove(&x);
+        }
+    }
+}
+
+impl LocalReduction for LfoToSatGraph {
+    fn name(&self) -> &str {
+        "Σ₁^LFO → SAT-GRAPH (Thm. 19)"
+    }
+
+    fn radius(&self) -> usize {
+        self.radius
+    }
+
+    fn cluster(&self, view: &LocalView) -> Result<ClusterPatch, ReductionError> {
+        let gs = GraphStructure::of(&view.neighborhood.graph);
+        let Matrix::Lfo { x, body } = &self.sentence.matrix else {
+            unreachable!("validated at construction")
+        };
+        // Conjoin τ for the center's node element and each of its bits.
+        let center = view.center;
+        let mut conjuncts = Vec::new();
+        let mut anchors = vec![gs.node_elem(center)];
+        for pos in 1..=view.neighborhood.graph.label(center).len() {
+            anchors.push(gs.bit_elem(center, pos).expect("bit in range"));
+        }
+        for a in anchors {
+            let mut sigma = BTreeMap::new();
+            sigma.insert(*x, a);
+            conjuncts.push(tau(body, &mut sigma, &gs, &view.ids));
+        }
+        let phi = BoolExpr::And(conjuncts).simplified();
+        let mut patch = ClusterPatch::default();
+        patch.node("f", BitString::from_bytes(phi.to_string().as_bytes()));
+        for (_, nbr_id, _) in view.sorted_neighbors() {
+            patch.outer_edge("f", nbr_id, "f");
+        }
+        Ok(patch)
+    }
+}
+
+/// Applies the Theorem 19 reduction, validating that the identifier
+/// assignment is `(r+1)`-locally unique for the sentence's radius `r`.
+///
+/// # Errors
+///
+/// Returns [`ReductionError`] if the identifiers are insufficiently unique
+/// or assembly fails.
+pub fn lfo_to_sat_graph(
+    sentence: &Sentence,
+    g: &LabeledGraph,
+    id: &IdAssignment,
+) -> Result<(LabeledGraph, ClusterMap), ReductionError> {
+    let red = LfoToSatGraph::new(sentence.clone());
+    if !id.is_locally_unique(g, red.radius() + 1) {
+        return Err(ReductionError::BadPatch {
+            node: 0,
+            reason: format!(
+                "identifiers must be {}-locally unique for this sentence",
+                red.radius() + 1
+            ),
+        });
+    }
+    apply(&red, g, id)
+}
+
+/// Convenience for experiments: the size (in bytes) of each produced
+/// formula, indexed by node — the paper's polynomiality claim is that this
+/// grows polynomially with `card(N_r^{$G}(u))`.
+pub fn formula_sizes(g_prime: &LabeledGraph) -> Vec<usize> {
+    g_prime.nodes().map(|u| g_prime.label(u).len() / 8).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lph_graphs::{generators, NodeId};
+    use lph_logic::examples;
+    use lph_props::{GraphProperty, SatGraph};
+
+    fn equisatisfiable(sentence: &Sentence, g: &LabeledGraph, expected: bool) {
+        let id = IdAssignment::global(g);
+        let (g2, map) = lfo_to_sat_graph(sentence, g, &id).unwrap();
+        assert_eq!(g2.node_count(), g.node_count(), "topology-preserving");
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert!(map.cluster_sizes().iter().all(|&s| s == 1));
+        assert_eq!(SatGraph.holds(&g2), expected, "graph: {g}");
+    }
+
+    #[test]
+    fn all_selected_translates_to_constant_formulas() {
+        // Σ₀ sentence: no Boolean variables at all; φ_u is a ground truth
+        // value, so SAT-GRAPH membership is simply the property itself.
+        let s = examples::all_selected();
+        equisatisfiable(&s, &generators::labeled_cycle(&["1", "1", "1"]), true);
+        equisatisfiable(&s, &generators::labeled_cycle(&["1", "0", "1"]), false);
+        equisatisfiable(&s, &generators::labeled_path(&["1", "11"]), false);
+    }
+
+    #[test]
+    fn three_colorable_translates_equisatisfiably() {
+        let s = examples::three_colorable();
+        equisatisfiable(&s, &generators::cycle(4), true);
+        equisatisfiable(&s, &generators::cycle(5), true);
+        equisatisfiable(&s, &generators::complete(4), false);
+        equisatisfiable(&s, &generators::path(3), true);
+    }
+
+    #[test]
+    fn triangle_is_exactly_three_colorable() {
+        let s = examples::three_colorable();
+        equisatisfiable(&s, &generators::complete(3), true);
+    }
+
+    #[test]
+    fn variable_names_are_id_scoped_and_shared_on_edges() {
+        let s = examples::three_colorable();
+        let g = generators::path(2);
+        let id = IdAssignment::global(&g);
+        let (g2, _) = lfo_to_sat_graph(&s, &g, &id).unwrap();
+        let bg = lph_props::BooleanGraph::decode(&g2).unwrap();
+        let v0 = bg.formula(NodeId(0)).variables();
+        let v1 = bg.formula(NodeId(1)).variables();
+        // Each node's formula mentions color atoms for both endpoints
+        // (WellColored looks at the neighbors), so the variable sets
+        // intersect — that intersection carries the consistency.
+        assert!(v0.intersection(&v1).next().is_some());
+    }
+
+    #[test]
+    fn insufficiently_unique_ids_are_rejected() {
+        let s = examples::three_colorable();
+        let g = generators::cycle(8);
+        // Period-3 ids are 1-locally unique but not (r+1)-locally unique
+        // for the sentence's radius.
+        let id = IdAssignment::cyclic(&g, 3);
+        assert!(lfo_to_sat_graph(&s, &g, &id).is_err());
+    }
+
+    #[test]
+    fn formula_sizes_grow_with_degree_not_graph_size() {
+        let s = examples::all_selected();
+        // Same degree-2 local structure, different global sizes: formula
+        // sizes must be (roughly) the same.
+        let g_small = generators::cycle(4);
+        let g_big = generators::cycle(12);
+        let (p_small, _) =
+            lfo_to_sat_graph(&s, &g_small, &IdAssignment::global(&g_small)).unwrap();
+        let (p_big, _) =
+            lfo_to_sat_graph(&s, &g_big, &IdAssignment::global(&g_big)).unwrap();
+        let max_small = formula_sizes(&p_small).into_iter().max().unwrap();
+        let max_big = formula_sizes(&p_big).into_iter().max().unwrap();
+        assert!(
+            max_big <= 2 * max_small + 64,
+            "locality: {max_big} vs {max_small}"
+        );
+    }
+}

@@ -1,0 +1,475 @@
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use lph_graphs::{
+    BitString, ClusterMap, GraphError, IdAssignment, LabeledGraph, Neighborhood, NodeId,
+};
+use lph_machine::{ExecLimits, MachineError};
+
+/// What a node sees when computing its cluster: exactly the information a
+/// local-polynomial machine can gather in `radius` rounds — its
+/// `radius`-neighborhood with the labels and identifiers therein.
+#[derive(Debug, Clone)]
+pub struct LocalView {
+    /// The induced `radius`-neighborhood (local node indices).
+    pub neighborhood: Neighborhood,
+    /// Identifiers of the neighborhood's nodes, by local index.
+    pub ids: Vec<BitString>,
+    /// The center's local index (the node computing the cluster).
+    pub center: NodeId,
+}
+
+impl LocalView {
+    /// The center's label.
+    pub fn label(&self) -> &BitString {
+        self.neighborhood.graph.label(self.center)
+    }
+
+    /// The center's identifier.
+    pub fn id(&self) -> &BitString {
+        &self.ids[self.center.0]
+    }
+
+    /// The center's degree.
+    pub fn degree(&self) -> usize {
+        self.neighborhood.graph.degree(self.center)
+    }
+
+    /// The center's neighbors in **ascending identifier order** (the order
+    /// in which a machine would enumerate them), as
+    /// `(local index, id, label)`.
+    pub fn sorted_neighbors(&self) -> Vec<(NodeId, BitString, BitString)> {
+        let mut out: Vec<(NodeId, BitString, BitString)> = self
+            .neighborhood
+            .graph
+            .neighbors(self.center)
+            .iter()
+            .map(|&v| {
+                (v, self.ids[v.0].clone(), self.neighborhood.graph.label(v).clone())
+            })
+            .collect();
+        out.sort_by(|a, b| a.1.cmp(&b.1));
+        out
+    }
+}
+
+/// The patch of `G'` produced by one node: its cluster's nodes and labels,
+/// the intra-cluster edges, and the stubs of edges into the clusters of
+/// adjacent original nodes.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterPatch {
+    /// Cluster nodes as `(local name, label)`; names must be unique within
+    /// the patch.
+    pub nodes: Vec<(String, BitString)>,
+    /// Intra-cluster edges by local name.
+    pub inner_edges: Vec<(String, String)>,
+    /// Inter-cluster edge stubs: `(my node's name, neighbor's identifier,
+    /// name of the node in the neighbor's cluster)`. Either endpoint may
+    /// declare the edge; duplicates are merged.
+    pub outer_edges: Vec<(String, BitString, String)>,
+}
+
+impl ClusterPatch {
+    /// Adds a cluster node.
+    pub fn node(&mut self, name: impl Into<String>, label: BitString) -> &mut Self {
+        self.nodes.push((name.into(), label));
+        self
+    }
+
+    /// Adds an intra-cluster edge.
+    pub fn edge(&mut self, a: impl Into<String>, b: impl Into<String>) -> &mut Self {
+        self.inner_edges.push((a.into(), b.into()));
+        self
+    }
+
+    /// Adds an inter-cluster edge stub.
+    pub fn outer_edge(
+        &mut self,
+        mine: impl Into<String>,
+        neighbor_id: BitString,
+        theirs: impl Into<String>,
+    ) -> &mut Self {
+        self.outer_edges.push((mine.into(), neighbor_id, theirs.into()));
+        self
+    }
+}
+
+/// A local-polynomial reduction: a graph transformation computed cluster by
+/// cluster from constant-radius views (Section 8's implementable
+/// functions).
+pub trait LocalReduction {
+    /// A short name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// The radius of the views the reduction needs (its round time).
+    fn radius(&self) -> usize;
+
+    /// Computes the cluster of the view's center node.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may reject malformed inputs.
+    fn cluster(&self, view: &LocalView) -> Result<ClusterPatch, ReductionError>;
+}
+
+/// Errors raised while applying a reduction.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ReductionError {
+    /// A patch used the same local name twice, or an edge referenced an
+    /// unknown name.
+    BadPatch {
+        /// The original node whose patch is malformed.
+        node: usize,
+        /// Description.
+        reason: String,
+    },
+    /// An outer-edge stub referenced an identifier that no neighbor has.
+    DanglingStub {
+        /// The original node declaring the stub.
+        node: usize,
+        /// The unmatched identifier.
+        id: String,
+    },
+    /// The assembled graph was invalid (e.g. disconnected).
+    Assembly(GraphError),
+    /// A label could not be decoded into the payload the reduction expects.
+    BadLabel {
+        /// The offending original node.
+        node: usize,
+    },
+    /// Simulating a machine through the reduction failed.
+    Machine(MachineError),
+}
+
+impl fmt::Display for ReductionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReductionError::BadPatch { node, reason } => {
+                write!(f, "malformed cluster patch at node v{node}: {reason}")
+            }
+            ReductionError::DanglingStub { node, id } => {
+                write!(f, "node v{node} declared an edge stub to unknown neighbor id {id}")
+            }
+            ReductionError::Assembly(e) => write!(f, "assembled graph is invalid: {e}"),
+            ReductionError::BadLabel { node } => {
+                write!(f, "label of node v{node} does not decode to the expected payload")
+            }
+            ReductionError::Machine(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl Error for ReductionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReductionError::Assembly(e) => Some(e),
+            ReductionError::Machine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ReductionError {
+    fn from(e: GraphError) -> Self {
+        ReductionError::Assembly(e)
+    }
+}
+
+impl From<MachineError> for ReductionError {
+    fn from(e: MachineError) -> Self {
+        ReductionError::Machine(e)
+    }
+}
+
+/// Applies a reduction to `(G, id)`, assembling the output graph `G'` and
+/// the cluster map from `G'` to `G`.
+///
+/// # Errors
+///
+/// Returns a [`ReductionError`] on malformed patches, dangling stubs, or an
+/// invalid assembled graph.
+pub fn apply(
+    red: &dyn LocalReduction,
+    g: &LabeledGraph,
+    id: &IdAssignment,
+) -> Result<(LabeledGraph, ClusterMap), ReductionError> {
+    let r = red.radius();
+    // Compute all patches from local views.
+    let mut patches = Vec::with_capacity(g.node_count());
+    for u in g.nodes() {
+        let nb = g.neighborhood(u, r);
+        let ids = nb.members.iter().map(|&v| id.id(v).clone()).collect();
+        let view = LocalView { center: nb.center_local, neighborhood: nb, ids };
+        patches.push(red.cluster(&view)?);
+    }
+    // Global node table: (original node, local name) → new index.
+    let mut index: BTreeMap<(usize, &str), usize> = BTreeMap::new();
+    let mut labels: Vec<BitString> = Vec::new();
+    let mut owners: Vec<NodeId> = Vec::new();
+    for (u, patch) in patches.iter().enumerate() {
+        for (name, label) in &patch.nodes {
+            if index.insert((u, name.as_str()), labels.len()).is_some() {
+                return Err(ReductionError::BadPatch {
+                    node: u,
+                    reason: format!("duplicate cluster node name {name:?}"),
+                });
+            }
+            labels.push(label.clone());
+            owners.push(NodeId(u));
+        }
+    }
+    // Edges (deduplicated via a set; stubs may be declared by both sides).
+    let mut edge_set: std::collections::BTreeSet<(usize, usize)> =
+        std::collections::BTreeSet::new();
+    let mut push_edge = |a: usize, b: usize| {
+        edge_set.insert((a.min(b), a.max(b)));
+    };
+    for (u, patch) in patches.iter().enumerate() {
+        for (a, b) in &patch.inner_edges {
+            let ia = *index.get(&(u, a.as_str())).ok_or_else(|| ReductionError::BadPatch {
+                node: u,
+                reason: format!("edge endpoint {a:?} is not a cluster node"),
+            })?;
+            let ib = *index.get(&(u, b.as_str())).ok_or_else(|| ReductionError::BadPatch {
+                node: u,
+                reason: format!("edge endpoint {b:?} is not a cluster node"),
+            })?;
+            push_edge(ia, ib);
+        }
+        for (mine, nbr_id, theirs) in &patch.outer_edges {
+            let ia =
+                *index.get(&(u, mine.as_str())).ok_or_else(|| ReductionError::BadPatch {
+                    node: u,
+                    reason: format!("stub endpoint {mine:?} is not a cluster node"),
+                })?;
+            // Locate the neighbor with the given identifier.
+            let v = g
+                .neighbors(NodeId(u))
+                .iter()
+                .copied()
+                .find(|&v| id.id(v) == nbr_id)
+                .ok_or_else(|| ReductionError::DanglingStub {
+                    node: u,
+                    id: nbr_id.to_string(),
+                })?;
+            let ib = *index.get(&(v.0, theirs.as_str())).ok_or_else(|| {
+                ReductionError::BadPatch {
+                    node: v.0,
+                    reason: format!(
+                        "stub from v{u} references unknown node {theirs:?} in v{}'s cluster",
+                        v.0
+                    ),
+                }
+            })?;
+            push_edge(ia, ib);
+        }
+    }
+    let edges: Vec<(usize, usize)> = edge_set.into_iter().collect();
+    let g_prime = LabeledGraph::from_edges(labels, &edges)?;
+    let map = ClusterMap::new(&g_prime, g, owners)?;
+    Ok((g_prime, map))
+}
+
+/// Simulates an **LP**-decider through a reduction (the hardness transport
+/// of Section 8): applies the reduction, derives locally unique identifiers
+/// for `G'` from those of `G`, runs the decider on `G'`, and accepts iff
+/// all cluster nodes of every original node accept.
+///
+/// # Errors
+///
+/// Propagates reduction and execution errors.
+pub fn simulate_decider(
+    red: &dyn LocalReduction,
+    decider: &lph_core::Arbiter,
+    g: &LabeledGraph,
+    id: &IdAssignment,
+    limits: &ExecLimits,
+) -> Result<bool, ReductionError> {
+    let (g_prime, map) = apply(red, g, id)?;
+    let id_prime = derive_cluster_ids(&g_prime, &map, id);
+    let out = decider.run(&g_prime, &id_prime, &lph_graphs::CertificateList::new(), limits)?;
+    Ok(out.accepted)
+}
+
+/// Simulates a certificate **game** through a reduction (the hardness
+/// transport for nondeterministic levels, Corollaries 22 and 25): applies
+/// the reduction, derives identifiers, and plays `arbiter`'s game on `G'`.
+/// A node of `G` "accepts" when all nodes of its cluster do, so Eve wins on
+/// `G'` iff `G` has the source property — provided the reduction is correct
+/// for the arbitrated target property.
+///
+/// # Errors
+///
+/// Propagates reduction and game errors.
+pub fn simulate_game(
+    red: &dyn LocalReduction,
+    arbiter: &lph_core::Arbiter,
+    g: &LabeledGraph,
+    id: &IdAssignment,
+    limits: &lph_core::GameLimits,
+) -> Result<bool, ReductionError> {
+    let (g_prime, map) = apply(red, g, id)?;
+    let id_prime = derive_cluster_ids(&g_prime, &map, id);
+    let res = lph_core::decide_game(arbiter, &g_prime, &id_prime, limits)
+        .map_err(|e| ReductionError::BadPatch {
+            node: 0,
+            reason: format!("game on the reduced graph failed: {e}"),
+        })?;
+    Ok(res.eve_wins)
+}
+
+/// Derives an identifier assignment for `G'` from one for `G`: node `w'`
+/// in the cluster of `u` gets `id(u) ++ bin(index of w' within the
+/// cluster)`, with a fixed suffix width — preserving local uniqueness at
+/// the same radius (cluster-mates differ in the suffix; nodes of nearby
+/// clusters differ in the prefix whenever their owners' ids differ).
+pub fn derive_cluster_ids(
+    g_prime: &LabeledGraph,
+    map: &ClusterMap,
+    id: &IdAssignment,
+) -> IdAssignment {
+    let max_cluster = map.cluster_sizes().into_iter().max().unwrap_or(1).max(1);
+    let width =
+        (usize::BITS as usize - (max_cluster - 1).leading_zeros() as usize).max(1);
+    let mut within: BTreeMap<usize, usize> = BTreeMap::new();
+    let ids: Vec<BitString> = g_prime
+        .nodes()
+        .map(|w| {
+            let owner = map.image(w);
+            let k = within.entry(owner.0).or_insert(0);
+            let suffix = BitString::from_usize(*k, width);
+            *k += 1;
+            id.id(owner).concat(&suffix)
+        })
+        .collect();
+    IdAssignment::from_vec(g_prime, ids).expect("one id per node")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lph_graphs::generators;
+
+    /// A toy reduction: every node becomes a 2-node cluster (`a`, `b`)
+    /// with an internal edge, and `a`-nodes of adjacent clusters are
+    /// connected. Labels are copied onto `a` and inverted onto `b`.
+    struct Doubler;
+    impl LocalReduction for Doubler {
+        fn name(&self) -> &str {
+            "doubler"
+        }
+
+        fn radius(&self) -> usize {
+            1
+        }
+
+        fn cluster(&self, view: &LocalView) -> Result<ClusterPatch, ReductionError> {
+            let mut patch = ClusterPatch::default();
+            patch.node("a", view.label().clone());
+            patch.node("b", BitString::from_bools(&[view.label().is_empty()]));
+            patch.edge("a", "b");
+            for (_, nbr_id, _) in view.sorted_neighbors().iter().map(|t| (0, t.1.clone(), 0))
+            {
+                patch.outer_edge("a", nbr_id, "a");
+            }
+            Ok(patch)
+        }
+    }
+
+    #[test]
+    fn doubler_assembles_correctly() {
+        let g = generators::labeled_path(&["1", ""]);
+        let id = IdAssignment::global(&g);
+        let (g2, map) = apply(&Doubler, &g, &id).unwrap();
+        assert_eq!(g2.node_count(), 4);
+        // Edges: 2 internal + 1 between the a-nodes.
+        assert_eq!(g2.edge_count(), 3);
+        assert!(map.is_surjective());
+        assert_eq!(map.cluster_sizes(), vec![2, 2]);
+    }
+
+    #[test]
+    fn outer_edges_are_merged_not_duplicated() {
+        // Both endpoints declare the same inter-cluster edge; the assembly
+        // must merge them into one.
+        let g = generators::path(2);
+        let id = IdAssignment::global(&g);
+        let (g2, _) = apply(&Doubler, &g, &id).unwrap();
+        assert_eq!(g2.edge_count(), 3);
+    }
+
+    #[test]
+    fn dangling_stub_is_reported() {
+        struct Bad;
+        impl LocalReduction for Bad {
+            fn name(&self) -> &str {
+                "bad"
+            }
+            fn radius(&self) -> usize {
+                1
+            }
+            fn cluster(&self, _view: &LocalView) -> Result<ClusterPatch, ReductionError> {
+                let mut p = ClusterPatch::default();
+                p.node("a", BitString::new());
+                p.outer_edge("a", BitString::from_bits01("10101"), "a");
+                Ok(p)
+            }
+        }
+        let g = generators::path(2);
+        let id = IdAssignment::global(&g);
+        assert!(matches!(
+            apply(&Bad, &g, &id),
+            Err(ReductionError::DanglingStub { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_are_reported() {
+        struct Dup;
+        impl LocalReduction for Dup {
+            fn name(&self) -> &str {
+                "dup"
+            }
+            fn radius(&self) -> usize {
+                0
+            }
+            fn cluster(&self, _view: &LocalView) -> Result<ClusterPatch, ReductionError> {
+                let mut p = ClusterPatch::default();
+                p.node("a", BitString::new());
+                p.node("a", BitString::new());
+                Ok(p)
+            }
+        }
+        let g = generators::path(1);
+        let id = IdAssignment::global(&g);
+        assert!(matches!(apply(&Dup, &g, &id), Err(ReductionError::BadPatch { .. })));
+    }
+
+    #[test]
+    fn derived_ids_stay_locally_unique() {
+        let g = generators::cycle(6);
+        let id = IdAssignment::small(&g, 2);
+        let (g2, map) = apply(&Doubler, &g, &id).unwrap();
+        let id2 = derive_cluster_ids(&g2, &map, &id);
+        assert!(id2.is_locally_unique(&g2, 2));
+    }
+
+    #[test]
+    fn local_view_exposes_sorted_neighbors() {
+        let g = generators::star(4);
+        let id = IdAssignment::from_vec(
+            &g,
+            ["11", "10", "01", "00"].iter().map(|s| BitString::from_bits01(s)).collect(),
+        )
+        .unwrap();
+        let nb = g.neighborhood(NodeId(0), 1);
+        let ids = nb.members.iter().map(|&v| id.id(v).clone()).collect();
+        let view = LocalView { center: nb.center_local, neighborhood: nb, ids };
+        let sorted = view.sorted_neighbors();
+        let id_strs: Vec<String> = sorted.iter().map(|t| t.1.to_string()).collect();
+        assert_eq!(id_strs, vec!["00", "01", "10"]);
+        assert_eq!(view.degree(), 3);
+    }
+}

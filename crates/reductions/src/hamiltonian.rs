@@ -1,0 +1,228 @@
+//! The Hamiltonicity reductions:
+//!
+//! * [`AllSelectedToHamiltonian`] — `ALL-SELECTED → HAMILTONIAN`
+//!   (Proposition 16, Figures 2/8): each node becomes a cycle of ports
+//!   (two per neighbor, in ascending identifier order) so that a
+//!   Hamiltonian cycle of `G'` is an Euler tour of a spanning tree of `G`;
+//!   unselected nodes grow a degree-1 pendant `bad` node that kills all
+//!   cycles.
+//! * [`NotAllSelectedToHamiltonian`] — `NOT-ALL-SELECTED → HAMILTONIAN`
+//!   (Proposition 17, Figure 9): two port-cycles (`top`/`bot`) per node,
+//!   connectable only at unselected nodes, so a Hamiltonian cycle exists
+//!   iff the two global cycles can be joined somewhere.
+
+use lph_graphs::BitString;
+
+use crate::framework::{ClusterPatch, LocalReduction, LocalView, ReductionError};
+
+fn is_selected(view: &LocalView) -> bool {
+    *view.label() == BitString::from_bits01("1")
+}
+
+/// The Proposition 16 reduction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllSelectedToHamiltonian;
+
+impl LocalReduction for AllSelectedToHamiltonian {
+    fn name(&self) -> &str {
+        "ALL-SELECTED → HAMILTONIAN (Prop. 16)"
+    }
+
+    fn radius(&self) -> usize {
+        1
+    }
+
+    fn cluster(&self, view: &LocalView) -> Result<ClusterPatch, ReductionError> {
+        let mut patch = ClusterPatch::default();
+        let blank = BitString::new();
+        // Ring nodes: ports to/from each neighbor, in ascending id order,
+        // padded with dummies to length ≥ 3.
+        let mut ring: Vec<String> = Vec::new();
+        for (_, nbr_id, _) in view.sorted_neighbors() {
+            ring.push(format!("to:{nbr_id}"));
+            ring.push(format!("from:{nbr_id}"));
+        }
+        let mut dummy = 0;
+        while ring.len() < 3 {
+            ring.push(format!("pad:{dummy}"));
+            dummy += 1;
+        }
+        for name in &ring {
+            patch.node(name.clone(), blank.clone());
+        }
+        for i in 0..ring.len() {
+            patch.edge(ring[i].clone(), ring[(i + 1) % ring.len()].clone());
+        }
+        // Cross edges: {u→v, v←u} and {u←v, v→u}.
+        let my_id = view.id().clone();
+        for (_, nbr_id, _) in view.sorted_neighbors() {
+            patch.outer_edge(format!("to:{nbr_id}"), nbr_id.clone(), format!("from:{my_id}"));
+            patch.outer_edge(format!("from:{nbr_id}"), nbr_id.clone(), format!("to:{my_id}"));
+        }
+        // Unselected nodes get the pendant that blocks Hamiltonicity.
+        if !is_selected(view) {
+            patch.node("bad", blank);
+            patch.edge("bad", ring[0].clone());
+        }
+        Ok(patch)
+    }
+}
+
+/// The Proposition 17 reduction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NotAllSelectedToHamiltonian;
+
+impl LocalReduction for NotAllSelectedToHamiltonian {
+    fn name(&self) -> &str {
+        "NOT-ALL-SELECTED → HAMILTONIAN (Prop. 17)"
+    }
+
+    fn radius(&self) -> usize {
+        1
+    }
+
+    fn cluster(&self, view: &LocalView) -> Result<ClusterPatch, ReductionError> {
+        let mut patch = ClusterPatch::default();
+        let blank = BitString::new();
+        let my_id = view.id().clone();
+        // Two rings of length 2d + 3: ports plus the connector triple.
+        for side in ["top", "bot"] {
+            let mut ring: Vec<String> = Vec::new();
+            for (_, nbr_id, _) in view.sorted_neighbors() {
+                ring.push(format!("{side}:to:{nbr_id}"));
+                ring.push(format!("{side}:from:{nbr_id}"));
+            }
+            for c in 1..=3 {
+                ring.push(format!("{side}:c{c}"));
+            }
+            for name in &ring {
+                patch.node(name.clone(), blank.clone());
+            }
+            for i in 0..ring.len() {
+                patch.edge(ring[i].clone(), ring[(i + 1) % ring.len()].clone());
+            }
+            for (_, nbr_id, _) in view.sorted_neighbors() {
+                patch.outer_edge(
+                    format!("{side}:to:{nbr_id}"),
+                    nbr_id.clone(),
+                    format!("{side}:from:{my_id}"),
+                );
+                patch.outer_edge(
+                    format!("{side}:from:{nbr_id}"),
+                    nbr_id.clone(),
+                    format!("{side}:to:{my_id}"),
+                );
+            }
+        }
+        // The vertical edge keeping G' connected…
+        patch.edge("top:c2", "bot:c2");
+        // …and, at unselected nodes, the second vertical edge that lets a
+        // Hamiltonian cycle switch between the two global rings.
+        if !is_selected(view) {
+            patch.edge("top:c1", "bot:c1");
+        }
+        Ok(patch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::apply;
+    use lph_graphs::{enumerate, generators, IdAssignment, LabeledGraph};
+    use lph_props::{AllSelected, GraphProperty, Hamiltonian, NotAllSelected};
+
+    fn transform(red: &dyn LocalReduction, g: &LabeledGraph) -> LabeledGraph {
+        let id = IdAssignment::global(g);
+        apply(red, g, &id).unwrap().0
+    }
+
+    #[test]
+    fn prop16_equivalence_on_small_graphs() {
+        let zero = BitString::from_bits01("0");
+        let one = BitString::from_bits01("1");
+        for base in enumerate::connected_graphs_up_to(3) {
+            for g in enumerate::binary_labelings(&base, &zero, &one) {
+                let g2 = transform(&AllSelectedToHamiltonian, &g);
+                assert_eq!(
+                    AllSelected.holds(&g),
+                    Hamiltonian.holds(&g2),
+                    "graph: {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prop16_on_selected_four_node_graphs() {
+        for g in [
+            generators::cycle(4),
+            generators::star(4),
+            generators::path(4),
+            generators::complete(4),
+        ] {
+            let g2 = transform(&AllSelectedToHamiltonian, &g);
+            assert!(Hamiltonian.holds(&g2), "graph: {g}");
+        }
+    }
+
+    #[test]
+    fn prop16_cluster_sizes_match_the_construction() {
+        // A node of degree d ≥ 2 contributes 2d ring nodes (+1 if
+        // unselected).
+        let g = generators::labeled_cycle(&["1", "0", "1"]);
+        let id = IdAssignment::global(&g);
+        let (g2, map) = apply(&AllSelectedToHamiltonian, &g, &id).unwrap();
+        assert_eq!(map.cluster_sizes(), vec![4, 5, 4]);
+        assert_eq!(g2.node_count(), 13);
+        // The pendant has degree 1.
+        let pendant = g2.nodes().find(|&w| g2.degree(w) == 1);
+        assert!(pendant.is_some());
+    }
+
+    #[test]
+    fn prop16_handles_low_degree_padding() {
+        // Degree-1 endpoints pad their ring to length 3.
+        let g = generators::labeled_path(&["1", "1"]);
+        let g2 = transform(&AllSelectedToHamiltonian, &g);
+        assert_eq!(g2.node_count(), 6);
+        assert!(Hamiltonian.holds(&g2));
+        // A single selected node pads to a triangle.
+        let g = LabeledGraph::single_node(BitString::from_bits01("1"));
+        let g2 = transform(&AllSelectedToHamiltonian, &g);
+        assert_eq!(g2.node_count(), 3);
+        assert!(Hamiltonian.holds(&g2));
+    }
+
+    #[test]
+    fn prop17_equivalence_on_tiny_graphs() {
+        let zero = BitString::from_bits01("0");
+        let one = BitString::from_bits01("1");
+        for base in enumerate::connected_graphs_up_to(2) {
+            for g in enumerate::binary_labelings(&base, &zero, &one) {
+                let g2 = transform(&NotAllSelectedToHamiltonian, &g);
+                assert_eq!(
+                    NotAllSelected.holds(&g),
+                    Hamiltonian.holds(&g2),
+                    "graph: {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prop17_yes_instance_on_a_path_of_three() {
+        let g = generators::labeled_path(&["1", "0", "1"]);
+        let g2 = transform(&NotAllSelectedToHamiltonian, &g);
+        assert!(Hamiltonian.holds(&g2));
+    }
+
+    #[test]
+    fn prop17_ring_lengths_are_2d_plus_3() {
+        let g = generators::labeled_path(&["1", "1", "0"]);
+        let id = IdAssignment::global(&g);
+        let (_, map) = apply(&NotAllSelectedToHamiltonian, &g, &id).unwrap();
+        // Degrees 1, 2, 1 → cluster sizes 2·(2d+3).
+        assert_eq!(map.cluster_sizes(), vec![10, 14, 10]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Local-polynomial reductions (Section 8 of *A LOCAL View of the
+//! Polynomial Hierarchy*) and every gadget construction from the paper.
+//!
+//! A [`LocalReduction`] turns an input graph `G` into a new graph `G'` by
+//! having each node compute a *cluster* — a patch of `G'` — from nothing
+//! but its constant-radius [`LocalView`]. The framework assembles patches
+//! into `G'` together with the witnessing [`lph_graphs::ClusterMap`],
+//! enforces the cluster-map adjacency condition, and can simulate deciders
+//! and verifier games *through* a reduction (the hardness transport of
+//! Section 8).
+//!
+//! Implemented reductions:
+//!
+//! | module | paper item | from → to |
+//! |---|---|---|
+//! | [`eulerian`] | Prop. 15, Fig. 7 | `ALL-SELECTED → EULERIAN` |
+//! | [`hamiltonian`] | Prop. 16, Fig. 2/8 | `ALL-SELECTED → HAMILTONIAN` |
+//! | [`hamiltonian`] | Prop. 17, Fig. 9 | `NOT-ALL-SELECTED → HAMILTONIAN` |
+//! | [`sat_to_three_sat`] | Thm. 20 (step 1) | `SAT-GRAPH → 3-SAT-GRAPH` |
+//! | [`three_col`] | Thm. 20, Fig. 3/10 | `3-SAT-GRAPH → 3-COLORABLE` |
+//! | [`cook_levin`] | Thm. 19 | `Σ₁^LFO` property → `SAT-GRAPH` |
+//!
+//! # Example
+//!
+//! ```
+//! use lph_graphs::{generators, IdAssignment};
+//! use lph_props::{GraphProperty, AllSelected, Eulerian};
+//! use lph_reductions::{apply, eulerian::AllSelectedToEulerian};
+//!
+//! let g = generators::labeled_cycle(&["1", "1", "0"]);
+//! let id = IdAssignment::global(&g);
+//! let (g2, _map) = apply(&AllSelectedToEulerian, &g, &id).unwrap();
+//! assert_eq!(AllSelected.holds(&g), Eulerian.holds(&g2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cook_levin;
+pub mod eulerian;
+mod framework;
+pub mod hamiltonian;
+pub mod sat_to_three_sat;
+pub mod three_col;
+
+pub use framework::{
+    apply, derive_cluster_ids, simulate_decider, simulate_game, ClusterPatch,
+    LocalReduction, LocalView, ReductionError,
+};

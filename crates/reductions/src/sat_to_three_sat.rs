@@ -1,0 +1,148 @@
+//! `SAT-GRAPH → 3-SAT-GRAPH` (Theorem 20, step 1): a topology-preserving
+//! relabeling replacing each node's formula by an equisatisfiable 3-CNF via
+//! the Tseytin transformation, with auxiliary variables scoped by the
+//! node's identifier so that adjacent nodes never share them.
+
+use lph_graphs::BitString;
+use lph_props::BoolExpr;
+
+use crate::framework::{ClusterPatch, LocalReduction, LocalView, ReductionError};
+
+/// The Theorem 20 (step 1) reduction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SatGraphToThreeSatGraph;
+
+impl LocalReduction for SatGraphToThreeSatGraph {
+    fn name(&self) -> &str {
+        "SAT-GRAPH → 3-SAT-GRAPH (Thm. 20, step 1)"
+    }
+
+    fn radius(&self) -> usize {
+        // Radius 1: the node needs its neighbors' identifiers to re-emit
+        // its incident edges (the formula rewrite itself is radius 0).
+        1
+    }
+
+    fn cluster(&self, view: &LocalView) -> Result<ClusterPatch, ReductionError> {
+        let node = view.neighborhood.to_global(view.center).0;
+        let text = view
+            .label()
+            .to_bytes()
+            .and_then(|b| String::from_utf8(b).ok())
+            .ok_or(ReductionError::BadLabel { node })?;
+        let formula =
+            BoolExpr::parse(&text).map_err(|_| ReductionError::BadLabel { node })?;
+        // Tseytin with id-scoped auxiliary names: "aux.<id>." cannot clash
+        // with user variables of adjacent nodes (nor, thanks to local
+        // uniqueness, with the auxiliaries of adjacent nodes).
+        let aux_prefix = format!("aux.{}.", view.id());
+        let cnf = formula.tseytin(&aux_prefix).to_three_cnf(&format!("{aux_prefix}s"));
+        let new_formula = cnf.to_expr();
+        let mut patch = ClusterPatch::default();
+        patch.node("f", BitString::from_bytes(new_formula.to_string().as_bytes()));
+        for (_, nbr_id, _) in view.sorted_neighbors() {
+            patch.outer_edge("f", nbr_id, "f");
+        }
+        Ok(patch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::apply;
+    use lph_graphs::{generators, IdAssignment, LabeledGraph};
+    use lph_props::{BooleanGraph, GraphProperty, SatGraph, ThreeSatGraph};
+
+    fn boolean_graph(topology: LabeledGraph, formulas: &[&str]) -> LabeledGraph {
+        BooleanGraph::new(
+            topology,
+            formulas.iter().map(|s| BoolExpr::parse(s).unwrap()).collect(),
+        )
+        .unwrap()
+        .graph()
+        .clone()
+    }
+
+    #[test]
+    fn preserves_topology_and_produces_three_cnf() {
+        let g = boolean_graph(generators::cycle(3), &["&(vp,|(vq,!vr))", "vq", "!vp"]);
+        let id = IdAssignment::global(&g);
+        let (g2, map) = apply(&SatGraphToThreeSatGraph, &g, &id).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert!(map.cluster_sizes().iter().all(|&s| s == 1));
+        let bg = BooleanGraph::decode(&g2).unwrap();
+        assert!(bg.is_three_cnf());
+    }
+
+    #[test]
+    fn equisatisfiability_on_instances() {
+        let cases: Vec<(LabeledGraph, Vec<&str>)> = vec![
+            (generators::path(2), vec!["vp", "!vp"]),
+            (generators::path(2), vec!["vp", "!vq"]),
+            (generators::path(3), vec!["vp", "|(vp,!vp)", "!vp"]),
+            (generators::cycle(3), vec!["&(vp,vq)", "|(!vp,vq)", "vq"]),
+            (generators::cycle(3), vec!["&(vp,!vp)", "T", "T"]),
+            (
+                generators::path(2),
+                vec!["|(&(vp,vq,vr),&(!vp,!vq))", "&(vp,vq)"],
+            ),
+        ];
+        for (topology, formulas) in cases {
+            let g = boolean_graph(topology, &formulas);
+            let id = IdAssignment::global(&g);
+            let (g2, _) = apply(&SatGraphToThreeSatGraph, &g, &id).unwrap();
+            assert_eq!(
+                SatGraph.holds(&g),
+                ThreeSatGraph.holds(&g2),
+                "formulas {formulas:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_variables_keep_their_names() {
+        // The reduction must not rename *user* variables, or adjacency
+        // consistency would be lost.
+        let g = boolean_graph(generators::path(2), &["vp", "vp"]);
+        let id = IdAssignment::global(&g);
+        let (g2, _) = apply(&SatGraphToThreeSatGraph, &g, &id).unwrap();
+        let bg = BooleanGraph::decode(&g2).unwrap();
+        for u in g2.nodes() {
+            assert!(bg.formula(u).variables().contains("p"), "p must survive at {u}");
+        }
+    }
+
+    #[test]
+    fn aux_variables_are_id_scoped() {
+        let g = boolean_graph(generators::path(2), &["&(vp,vq)", "&(vp,vq)"]);
+        let id = IdAssignment::global(&g);
+        let (g2, _) = apply(&SatGraphToThreeSatGraph, &g, &id).unwrap();
+        let bg = BooleanGraph::decode(&g2).unwrap();
+        let aux0: Vec<String> = bg
+            .formula(lph_graphs::NodeId(0))
+            .variables()
+            .into_iter()
+            .filter(|v| v.starts_with("aux."))
+            .collect();
+        let aux1: Vec<String> = bg
+            .formula(lph_graphs::NodeId(1))
+            .variables()
+            .into_iter()
+            .filter(|v| v.starts_with("aux."))
+            .collect();
+        assert!(!aux0.is_empty());
+        assert!(aux0.iter().all(|v| !aux1.contains(v)), "no shared auxiliaries");
+    }
+
+    #[test]
+    fn malformed_labels_are_rejected() {
+        let g = generators::labeled_path(&["101", "1"]);
+        let id = IdAssignment::global(&g);
+        assert!(matches!(
+            apply(&SatGraphToThreeSatGraph, &g, &id),
+            Err(ReductionError::BadLabel { .. })
+        ));
+    }
+}

@@ -1,0 +1,276 @@
+//! `3-SAT-GRAPH → 3-COLORABLE` (Theorem 20, Figures 3/10).
+//!
+//! Each node's cluster contains the classical 3-SAT-to-3-coloring formula
+//! gadget: a palette triangle `T–F–G` (*true*, *false*, *ground*), a
+//! literal pair `P/¬P` per variable (in a triangle with `G`), and an
+//! OR-gadget chain per clause whose output is forced to the color of `T`.
+//! Between adjacent clusters, 2-auxiliary **equality gadgets** force
+//! `F`, `G`, and every *shared* variable's positive literal node to take
+//! the same color, so valuations are consistent across edges.
+
+use std::collections::BTreeSet;
+
+use lph_graphs::BitString;
+use lph_props::{BoolExpr, Lit};
+
+use crate::framework::{ClusterPatch, LocalReduction, LocalView, ReductionError};
+
+/// The Theorem 20 reduction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreeSatGraphToThreeColorable;
+
+/// Extracts the clauses of a 3-CNF-shaped [`BoolExpr`]; `None` if the
+/// expression is not in 3-CNF.
+pub fn extract_clauses(e: &BoolExpr) -> Option<Vec<Vec<Lit>>> {
+    fn literal(e: &BoolExpr) -> Option<Lit> {
+        match e {
+            BoolExpr::Var(v) => Some(Lit::pos(v.clone())),
+            BoolExpr::Not(inner) => match &**inner {
+                BoolExpr::Var(v) => Some(Lit::neg(v.clone())),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+    fn clause(e: &BoolExpr) -> Option<Vec<Lit>> {
+        match e {
+            BoolExpr::Or(ls) if ls.len() <= 3 => ls.iter().map(literal).collect(),
+            other => literal(other).map(|l| vec![l]),
+        }
+    }
+    match e {
+        BoolExpr::And(cs) => cs.iter().map(clause).collect(),
+        BoolExpr::Const(true) => Some(vec![]),
+        BoolExpr::Const(false) => Some(vec![vec![]]),
+        other => clause(other).map(|c| vec![c]),
+    }
+}
+
+fn decode_formula(view: &LocalView, local: lph_graphs::NodeId) -> Option<BoolExpr> {
+    let bytes = view.neighborhood.graph.label(local).to_bytes()?;
+    let text = String::from_utf8(bytes).ok()?;
+    BoolExpr::parse(&text).ok()
+}
+
+impl LocalReduction for ThreeSatGraphToThreeColorable {
+    fn name(&self) -> &str {
+        "3-SAT-GRAPH → 3-COLORABLE (Thm. 20)"
+    }
+
+    fn radius(&self) -> usize {
+        1
+    }
+
+    fn cluster(&self, view: &LocalView) -> Result<ClusterPatch, ReductionError> {
+        let node = view.neighborhood.to_global(view.center).0;
+        let formula =
+            decode_formula(view, view.center).ok_or(ReductionError::BadLabel { node })?;
+        let clauses = extract_clauses(&formula).ok_or(ReductionError::BadLabel { node })?;
+        let vars: BTreeSet<String> = formula.variables();
+        let blank = BitString::new();
+        let mut patch = ClusterPatch::default();
+
+        // Palette triangle.
+        for n in ["T", "F", "G"] {
+            patch.node(n, blank.clone());
+        }
+        patch.edge("T", "F").edge("F", "G").edge("T", "G");
+
+        // Literal pairs.
+        for p in &vars {
+            patch.node(format!("v+:{p}"), blank.clone());
+            patch.node(format!("v-:{p}"), blank.clone());
+            patch
+                .edge(format!("v+:{p}"), format!("v-:{p}"))
+                .edge(format!("v+:{p}"), "G")
+                .edge(format!("v-:{p}"), "G");
+        }
+
+        // Clause gadgets: chained ORs, output forced to T's color.
+        let lit_node = |l: &Lit| {
+            if l.positive {
+                format!("v+:{}", l.var)
+            } else {
+                format!("v-:{}", l.var)
+            }
+        };
+        let mut fresh = 0usize;
+        for (ci, clause) in clauses.iter().enumerate() {
+            if clause.is_empty() {
+                // An empty clause is unsatisfiable: a node adjacent to the
+                // whole palette kills 3-colorability.
+                let n = format!("c{ci}:absurd");
+                patch.node(n.clone(), blank.clone());
+                patch.edge(n.clone(), "T").edge(n.clone(), "F").edge(n, "G");
+                continue;
+            }
+            // Pad to 3 literals by repetition (OR is idempotent).
+            let mut lits: Vec<String> = clause.iter().map(lit_node).collect();
+            while lits.len() < 3 {
+                lits.push(lits.last().expect("nonempty").clone());
+            }
+            // or(a, b) -> output, via x, y auxiliaries.
+            let mut or_gadget = |patch: &mut ClusterPatch, a: &str, b: &str| -> String {
+                let x = format!("c{ci}:x{fresh}");
+                let y = format!("c{ci}:y{fresh}");
+                let z = format!("c{ci}:z{fresh}");
+                fresh += 1;
+                patch.node(x.clone(), blank.clone());
+                patch.node(y.clone(), blank.clone());
+                patch.node(z.clone(), blank.clone());
+                patch
+                    .edge(a, x.clone())
+                    .edge(b, y.clone())
+                    .edge(x.clone(), y.clone())
+                    .edge(x.clone(), z.clone())
+                    .edge(y.clone(), z.clone());
+                z
+            };
+            let o1 = or_gadget(&mut patch, &lits[0], &lits[1]);
+            let o2 = or_gadget(&mut patch, &o1, &lits[2]);
+            // Force the clause output to be colored like T.
+            patch.edge(o2.clone(), "F").edge(o2, "G");
+        }
+
+        // Equality gadgets toward each neighbor: F, G, and shared variables.
+        let my_id = view.id().clone();
+        for (nbr_local, nbr_id, _) in view.sorted_neighbors() {
+            let their_formula = decode_formula(view, nbr_local)
+                .ok_or(ReductionError::BadLabel { node })?;
+            let shared: Vec<String> =
+                vars.intersection(&their_formula.variables()).cloned().collect();
+            let mut items: Vec<String> = vec!["F".into(), "G".into()];
+            items.extend(shared.iter().map(|p| format!("v+:{p}")));
+            for item in items {
+                // The gadget's nodes are named after the *peer* id, so both
+                // sides derive the same names: the smaller-id side hosts
+                // `p = eq:<item>:<larger id>:p`, the larger-id side hosts
+                // `q = eq:<item>:<smaller id>:q`.
+                if my_id < nbr_id {
+                    let p = format!("eq:{item}:{nbr_id}:p");
+                    let their_q = format!("eq:{item}:{my_id}:q");
+                    // Inner edge item–p; outer edges item–q, p–q, p–(their
+                    // item).
+                    patch.node(p.clone(), blank.clone());
+                    patch.edge(item.clone(), p.clone());
+                    patch.outer_edge(item.clone(), nbr_id.clone(), their_q.clone());
+                    patch.outer_edge(p.clone(), nbr_id.clone(), their_q);
+                    patch.outer_edge(p, nbr_id.clone(), item.clone());
+                } else {
+                    let q = format!("eq:{item}:{nbr_id}:q");
+                    // Inner edge item–q; the remaining edges are declared by
+                    // the smaller side (stubs are merged).
+                    patch.node(q.clone(), blank.clone());
+                    patch.edge(item.clone(), q);
+                }
+            }
+        }
+        Ok(patch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::apply;
+    use lph_graphs::{generators, IdAssignment, LabeledGraph};
+    use lph_props::{is_k_colorable, BooleanGraph, GraphProperty, ThreeSatGraph};
+
+    fn boolean_graph(topology: LabeledGraph, formulas: &[&str]) -> LabeledGraph {
+        BooleanGraph::new(
+            topology,
+            formulas.iter().map(|s| BoolExpr::parse(s).unwrap()).collect(),
+        )
+        .unwrap()
+        .graph()
+        .clone()
+    }
+
+    fn check_equivalence(topology: LabeledGraph, formulas: &[&str]) {
+        let g = boolean_graph(topology, formulas);
+        let id = IdAssignment::global(&g);
+        let (g2, map) = apply(&ThreeSatGraphToThreeColorable, &g, &id).unwrap();
+        assert_eq!(
+            ThreeSatGraph.holds(&g),
+            is_k_colorable(&g2, 3),
+            "formulas {formulas:?}"
+        );
+        assert!(map.is_surjective());
+    }
+
+    #[test]
+    fn extract_clauses_shapes() {
+        let e = BoolExpr::parse("&(|(vp,!vq,vr),vq)").unwrap();
+        let cs = extract_clauses(&e).unwrap();
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].len(), 3);
+        assert_eq!(cs[1], vec![Lit::pos("q")]);
+        assert!(extract_clauses(&BoolExpr::parse("|(vp,vq,vr,vs)").unwrap()).is_none());
+        assert_eq!(extract_clauses(&BoolExpr::parse("T").unwrap()).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn single_node_instances_mirror_classical_reduction() {
+        // Satisfiable formulas.
+        for f in ["vp", "&(|(vp,vq),|(!vp,vq))", "T", "&(|(vp),|(!vq))"] {
+            check_equivalence(generators::path(1), &[f]);
+        }
+        // Unsatisfiable formulas.
+        for f in ["&(vp,!vp)", "F", "&(|(vp,vq),|(!vp,vq),|(vp,!vq),|(!vp,!vq))"] {
+            check_equivalence(generators::path(1), &[f]);
+        }
+    }
+
+    #[test]
+    fn consistency_is_enforced_across_edges() {
+        // p demanded true on one side, false on the other.
+        check_equivalence(generators::path(2), &["vp", "!vp"]); // unsat
+        check_equivalence(generators::path(2), &["vp", "vp"]); // sat
+        check_equivalence(generators::path(2), &["vp", "!vq"]); // sat
+    }
+
+    #[test]
+    fn transitive_consistency_through_chains() {
+        check_equivalence(generators::path(3), &["vp", "|(vp,!vp)", "!vp"]); // unsat
+        check_equivalence(generators::path(3), &["vp", "vq", "!vp"]); // sat
+    }
+
+    #[test]
+    fn cycles_with_xor_constraints() {
+        // The odd XOR ring from the props tests, now through the gadget.
+        check_equivalence(
+            generators::cycle(3),
+            &[
+                "&(|(va,vb),|(!va,!vb))",
+                "&(|(vb,vc),|(!vb,!vc))",
+                "&(|(vc,va),|(!vc,!va))",
+            ],
+        ); // unsat: a⊕b, b⊕c, c⊕a
+        check_equivalence(
+            generators::cycle(3),
+            &["|(va,vb)", "|(vb,vc)", "|(vc,va)"],
+        ); // sat
+    }
+
+    #[test]
+    fn gadget_sizes_are_polynomial_in_the_formula() {
+        let g = boolean_graph(generators::path(2), &["&(|(vp,vq,vr),|(!vp,!vq,!vr))", "vp"]);
+        let id = IdAssignment::global(&g);
+        let (g2, map) = apply(&ThreeSatGraphToThreeColorable, &g, &id).unwrap();
+        // Palette 3 + 2 per var + 6 per clause + 1 per clause output… just
+        // assert a sane bound: ≤ 3 + 2·vars + 7·clauses + eq gadget nodes.
+        let sizes = map.cluster_sizes();
+        assert!(sizes[0] <= 3 + 2 * 3 + 7 * 2 + 4, "cluster 0: {}", sizes[0]);
+        assert!(g2.node_count() < 60);
+    }
+
+    #[test]
+    fn malformed_or_non_cnf_labels_are_rejected() {
+        let g = boolean_graph(generators::path(2), &["|(vp,vq,vr,vs)", "vp"]);
+        let id = IdAssignment::global(&g);
+        assert!(matches!(
+            apply(&ThreeSatGraphToThreeColorable, &g, &id),
+            Err(ReductionError::BadLabel { .. })
+        ));
+    }
+}

@@ -1,0 +1,107 @@
+//! E1 — regenerates Figure 1 / Figure 11: the local-polynomial hierarchy,
+//! its complement hierarchy, the inclusion edges with their solid/dashed
+//! annotations, and the executable separation evidence for the lowest
+//! levels.
+//!
+//! ```bash
+//! cargo run --example hierarchy_map
+//! ```
+
+use lph::core::lattice::{
+    bounded_degree_chain, inclusion_edges, is_thick, same_level_distinctions, EdgeKind,
+};
+use lph::core::separations::{prop21_fooling_pair, verdicts_coincide_on_pair};
+use lph::core::{arbiters, decide_game, Arbiter, ClassId, GameLimits, GameSpec};
+use lph::graphs::{generators, IdAssignment, PolyBound};
+use lph::machine::{machines, ExecLimits};
+use lph::props::is_k_colorable;
+
+fn main() {
+    println!("=== Figure 1 / Figure 11: the local-polynomial hierarchy ===\n");
+
+    println!("Inclusion edges up to level 3 (solid = proved strict):");
+    for e in inclusion_edges(3) {
+        let marker = match e.kind {
+            EdgeKind::ProvedStrict => "⊊ (solid)",
+            EdgeKind::EqualityOnBoundedDegree => "⊆ (dashed; = on GRAPH(Δ))",
+        };
+        println!("  {:10} {} {:10}   [{}]", e.lower.to_string(), marker, e.upper.to_string(), e.justification);
+    }
+
+    println!("\nThick chain on bounded structural degree (Figure 11):");
+    let chain = bounded_degree_chain(6);
+    let rendered: Vec<String> = chain.iter().map(ToString::to_string).collect();
+    println!("  {}", rendered.join(" ⊊ "));
+    assert!(chain.iter().all(|&c| is_thick(c)));
+
+    println!("\nSame-level distinctness (level 1):");
+    for (a, b, why) in same_level_distinctions(1) {
+        println!("  {a} ≠ {b}   [{why}]");
+    }
+
+    println!("\nNode restrictions recover the classical polynomial hierarchy:");
+    for c in [ClassId::LP, ClassId::NLP, ClassId::Pi(1), ClassId::Sigma(2)] {
+        println!("  {c}|NODE = {}", c.node_restriction_name());
+    }
+
+    println!("\n=== Executable separation evidence ===\n");
+
+    // Proposition 21: LP ⊊ NLP.
+    let pair = prop21_fooling_pair(7, 1);
+    let coloring = Arbiter::from_tm(
+        "proper-coloring machine",
+        GameSpec::sigma(0, 1, 1, PolyBound::constant(0)),
+        machines::proper_coloring_verifier(),
+    );
+    let fooled =
+        verdicts_coincide_on_pair(&coloring, &pair, &ExecLimits::default()).unwrap();
+    println!(
+        "Prop 21: C7 vs glued C14 — machine verdicts coincide: {fooled}; \
+         2-colorable: {} vs {}",
+        is_k_colorable(&pair.0, 2),
+        is_k_colorable(&pair.2, 2)
+    );
+    let two_col = arbiters::two_colorable_verifier();
+    let lim = GameLimits { cert_len_cap: Some(1), ..GameLimits::default() };
+    let c6 = generators::cycle(6);
+    let id6 = IdAssignment::global(&c6);
+    println!(
+        "         …but the NLP game decides it: Eve wins on C6 = {}, on C5 = {}",
+        decide_game(&two_col, &c6, &id6, &lim).unwrap().eve_wins,
+        {
+            let c5 = generators::cycle(5);
+            let id5 = IdAssignment::global(&c5);
+            decide_game(&two_col, &c5, &id5, &lim).unwrap().eve_wins
+        }
+    );
+
+    // Proposition 23: the two failure horns for NOT-ALL-SELECTED ∈ NLP.
+    let mut labels = vec!["1"; 6];
+    labels[0] = "0";
+    let g = generators::labeled_cycle(&labels);
+    let id = IdAssignment::global(&g);
+    let d1 = arbiters::distance_to_unselected_verifier(1);
+    let d2 = arbiters::distance_to_unselected_verifier(2);
+    println!(
+        "Prop 23: distance verifier on C6 (one unselected): 1-bit certs → Eve wins {}, \
+         2-bit certs → Eve wins {}",
+        decide_game(&d1, &g, &id, &GameLimits { cert_len_cap: Some(1), ..GameLimits::default() })
+            .unwrap()
+            .eve_wins,
+        decide_game(&d2, &g, &id, &GameLimits { cert_len_cap: Some(2), ..GameLimits::default() })
+            .unwrap()
+            .eve_wins,
+    );
+    let pointer = arbiters::pointer_to_unselected_verifier();
+    let c4 = generators::cycle(4);
+    let id4 = IdAssignment::global(&c4);
+    println!(
+        "         pointer verifier fooled on all-selected C4: Eve wins = {} (false accept)",
+        decide_game(&pointer, &c4, &id4, &GameLimits { cert_len_cap: Some(2), ..GameLimits::default() })
+            .unwrap()
+            .eve_wins
+    );
+
+    println!("\n(The higher-level separations — Theorem 33 — ride on logic on");
+    println!("pictures; run `cargo run --example picture_hierarchy` for that part.)");
+}

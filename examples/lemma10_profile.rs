@@ -1,0 +1,52 @@
+//! E10 — the Lemma 10 profile: measured per-node step time and space usage
+//! of real Turing-machine executions against the neighborhood measure
+//! `card(N_{4r}^{$G}(u))` that the lemma bounds them by.
+//!
+//! ```bash
+//! cargo run --example lemma10_profile
+//! ```
+
+use lph::graphs::{generators, CertificateList, GraphStructure, IdAssignment, NodeId};
+use lph::machine::{machines, run_tm, ExecLimits};
+
+fn main() {
+    let tm = machines::proper_coloring_verifier();
+    let r = 2; // its round time
+    let exec = ExecLimits::default();
+
+    println!("=== Lemma 10: step/space vs card(N_4r^$G(u)) ===\n");
+    println!("machine: 2-round proper-coloring verifier (r = {r})\n");
+
+    println!("--- stars of growing degree (center node) ---");
+    println!(" degree | card(N) | steps | space");
+    for d in [2usize, 4, 8, 16, 32] {
+        let g = generators::star(d + 1);
+        let id = IdAssignment::global(&g);
+        let out = run_tm(&tm, &g, &id, &CertificateList::new(), &exec).unwrap();
+        let gs = GraphStructure::of(&g);
+        let card = gs.neighborhood_card(&g, NodeId(0), 4 * r);
+        let (steps, space) = out.metrics.node_maxima()[0];
+        println!(" {d:6} | {card:7} | {steps:5} | {space:5}");
+    }
+
+    println!("\n--- cycles of growing length (any node; locality ⇒ flat) ---");
+    println!(" length | card(N) | steps | space");
+    for n in [8usize, 16, 32, 64, 128] {
+        let g = generators::cycle(n);
+        let id = IdAssignment::small(&g, r);
+        let out = run_tm(&tm, &g, &id, &CertificateList::new(), &exec).unwrap();
+        let gs = GraphStructure::of(&g);
+        let card = gs.neighborhood_card(&g, NodeId(0), 4 * r).min(gs.structure().card());
+        let (steps, space) = out
+            .metrics
+            .node_maxima()
+            .into_iter()
+            .fold((0, 0), |a, x| (a.0.max(x.0), a.1.max(x.1)));
+        println!(" {n:6} | {card:7} | {steps:5} | {space:5}");
+    }
+
+    println!("\nReading: on stars the measure grows with the degree and the");
+    println!("metrics track it (well inside a fixed polynomial); on cycles");
+    println!("the measure is constant and so are the metrics, regardless of");
+    println!("the global size — the locality Lemma 10 formalizes.");
+}

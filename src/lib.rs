@@ -1,0 +1,35 @@
+//! # lph — A LOCAL View of the Polynomial Hierarchy, executable
+//!
+//! Facade crate re-exporting the whole workspace: an executable
+//! reproduction of *A LOCAL View of the Polynomial Hierarchy*
+//! (Fabian Reiter, PODC 2024).
+//!
+//! The workspace implements, from scratch:
+//!
+//! * the LOCAL model with polynomially bounded nodes and distributed Turing
+//!   machines ([`machine`]),
+//! * labeled graphs, identifiers, certificates and structural
+//!   representations ([`graphs`]),
+//! * first-order logic with bounded quantifiers and the (local/monadic)
+//!   second-order hierarchies ([`logic`]),
+//! * the local-polynomial hierarchy and its Eve/Adam certificate games
+//!   ([`core`]),
+//! * graph properties with ground-truth deciders ([`props`]),
+//! * local-polynomial reductions and all gadget constructions of the paper
+//!   ([`reductions`]),
+//! * the distributed Fagin and Cook–Levin translations ([`fagin`]),
+//! * pictures, tiling systems, and logic on pictures ([`pictures`]).
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+
+pub use lph_core as core;
+pub use lph_fagin as fagin;
+pub use lph_graphs as graphs;
+pub use lph_logic as logic;
+pub use lph_machine as machine;
+pub use lph_pictures as pictures;
+pub use lph_props as props;
+pub use lph_reductions as reductions;

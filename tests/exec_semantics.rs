@@ -1,0 +1,181 @@
+//! Deep checks of the Section 4 execution semantics: message ordering by
+//! identifier, unanimity asymmetry, certificate delivery, and agreement
+//! between the two execution engines (honest Turing machines vs. metered
+//! closure algorithms) on the same property.
+
+use lph_graphs::{
+    enumerate, generators, BitString, CertificateAssignment, CertificateList, IdAssignment,
+    NodeId,
+};
+use lph_machine::{
+    machines, run_local, run_tm, ExecLimits, LocalAlgorithm, NodeCtx, NodeInput,
+    NodeProgram, RoundAction,
+};
+
+/// The closure twin of the proper-coloring Turing machine.
+struct ClosureColoring;
+
+impl LocalAlgorithm for ClosureColoring {
+    fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
+        let label = input.label.clone();
+        Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+            ctx.charge(1 + inbox.iter().map(BitString::len).sum::<usize>());
+            match round {
+                1 => RoundAction::Send(vec![label.clone(); inbox.len()]),
+                _ => RoundAction::verdict(inbox.iter().all(|m| *m != label)),
+            }
+        })
+    }
+}
+
+/// The two engines must agree on every small instance — verdict by
+/// verdict, not just on acceptance.
+#[test]
+fn turing_machine_and_closure_agree_nodewise() {
+    let tm = machines::proper_coloring_verifier();
+    let exec = ExecLimits::default();
+    let choices = [
+        BitString::from_bits01("0"),
+        BitString::from_bits01("1"),
+        BitString::from_bits01("01"),
+    ];
+    for base in enumerate::connected_graphs_up_to(4) {
+        for g in enumerate::labelings_from(&base, &choices).into_iter().step_by(3) {
+            let id = IdAssignment::global(&g);
+            let a = run_tm(&tm, &g, &id, &CertificateList::new(), &exec).unwrap();
+            let b = run_local(&ClosureColoring, &g, &id, &CertificateList::new(), &exec)
+                .unwrap();
+            assert_eq!(a.verdicts, b.verdicts, "graph: {g}");
+        }
+    }
+}
+
+/// Messages arrive sorted by the *identifier order*, not by node index:
+/// permuting identifiers permutes inbox slots accordingly.
+#[test]
+fn inbox_order_follows_identifiers() {
+    struct RecordInbox;
+    impl LocalAlgorithm for RecordInbox {
+        fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
+            let my_id = input.id.clone();
+            Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+                ctx.charge(1);
+                match round {
+                    1 => RoundAction::Send(vec![my_id.clone(); inbox.len()]),
+                    _ => {
+                        // Output the concatenation of received ids.
+                        let mut out = BitString::new();
+                        for m in inbox {
+                            out = out.concat(m);
+                        }
+                        RoundAction::Halt(out)
+                    }
+                }
+            })
+        }
+    }
+    let g = generators::star(4); // center v0, leaves v1..v3
+    // Give the leaves ids in decreasing order of node index.
+    let id = IdAssignment::from_vec(
+        &g,
+        vec![
+            BitString::from_bits01("11"),
+            BitString::from_bits01("10"),
+            BitString::from_bits01("01"),
+            BitString::from_bits01("00"),
+        ],
+    )
+    .unwrap();
+    let out = run_local(&RecordInbox, &g, &id, &CertificateList::new(), &ExecLimits::default())
+        .unwrap();
+    // The center receives the leaf ids in ascending identifier order:
+    // 00 (v3), 01 (v2), 10 (v1).
+    assert_eq!(out.outputs[0], BitString::from_bits01("000110"));
+}
+
+/// Unanimity is asymmetric (the root of the hierarchy's complement
+/// asymmetry, Corollary 38): acceptance needs all nodes, rejection needs
+/// one.
+#[test]
+fn unanimity_asymmetry() {
+    let tm = machines::all_selected_decider();
+    let exec = ExecLimits::default();
+    // One bad node anywhere rejects the whole graph…
+    for flip in 0..4 {
+        let mut labels = vec!["1"; 4];
+        labels[flip] = "0";
+        let g = generators::labeled_cycle(&labels);
+        let id = IdAssignment::global(&g);
+        let out = run_tm(&tm, &g, &id, &CertificateList::new(), &exec).unwrap();
+        assert!(!out.accepted);
+        assert_eq!(out.verdicts.iter().filter(|&&v| !v).count(), 1);
+        assert!(!out.verdicts[flip]);
+    }
+}
+
+/// Certificate lists are delivered `κ₁#κ₂#…` per node: a machine that
+/// copies its input certificates into its output label sees exactly the
+/// assignments the game played.
+#[test]
+fn certificate_lists_reach_each_node_in_order() {
+    struct DumpCerts;
+    impl LocalAlgorithm for DumpCerts {
+        fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
+            let mut out = BitString::new();
+            for c in &input.certificates {
+                out = out.concat(c);
+            }
+            Box::new(move |ctx: &mut NodeCtx, _round: usize, _inbox: &[BitString]| {
+                ctx.charge(1);
+                RoundAction::Halt(out.clone())
+            })
+        }
+    }
+    let g = generators::path(2);
+    let id = IdAssignment::global(&g);
+    let k1 = CertificateAssignment::from_vec(
+        &g,
+        vec![BitString::from_bits01("10"), BitString::from_bits01("0")],
+    )
+    .unwrap();
+    let k2 = CertificateAssignment::from_vec(
+        &g,
+        vec![BitString::from_bits01("1"), BitString::new()],
+    )
+    .unwrap();
+    let certs = CertificateList::from_assignments(vec![k1, k2]);
+    let out =
+        run_local(&DumpCerts, &g, &id, &certs, &ExecLimits::default()).unwrap();
+    assert_eq!(out.outputs[0], BitString::from_bits01("101"));
+    assert_eq!(out.outputs[1], BitString::from_bits01("0"));
+}
+
+/// Round counting: the echo machine needs exactly two rounds on any graph
+/// with an edge, and the round count is engine-independent.
+#[test]
+fn round_counts_match_across_engines() {
+    let tm = machines::echo_machine();
+    let exec = ExecLimits::default();
+    for g in [generators::path(2), generators::cycle(6), generators::star(5)] {
+        let id = IdAssignment::global(&g);
+        let out = run_tm(&tm, &g, &id, &CertificateList::new(), &exec).unwrap();
+        assert_eq!(out.rounds, 2, "graph: {g}");
+        assert!(out.accepted);
+    }
+}
+
+/// The result-graph semantics: `project_label` reproduces the input
+/// labeling as output, for arbitrary labels.
+#[test]
+fn result_graphs_round_trip_labels() {
+    let tm = machines::project_label_machine();
+    let exec = ExecLimits::default();
+    let labels = ["", "0", "1", "0101", "111"];
+    let g = generators::labeled_path(&labels);
+    let id = IdAssignment::global(&g);
+    let out = run_tm(&tm, &g, &id, &CertificateList::new(), &exec).unwrap();
+    for (u, expected) in g.nodes().zip(labels) {
+        assert_eq!(out.result_labels[u.0], BitString::from_bits01(expected));
+    }
+    let _ = NodeId(0);
+}

@@ -1,0 +1,101 @@
+//! E9 — the Fagin agreement experiment: for the paper's example sentences,
+//! logical truth (brute-force model checking), certificate-game acceptance
+//! (compiled arbiters), and ground-truth deciders all coincide on small
+//! instances.
+
+use lph_core::GameLimits;
+use lph_fagin::compiler::sentence_game;
+use lph_graphs::{enumerate, generators, BitString, GraphStructure, IdAssignment};
+use lph_logic::check::CheckOptions;
+use lph_logic::examples;
+use lph_machine::ExecLimits;
+use lph_props::{AllSelected, GraphProperty, KColorable, NotAllSelected};
+
+fn game_limits() -> GameLimits {
+    GameLimits {
+        max_runs: 50_000_000,
+        exec: ExecLimits { max_rounds: 64, max_steps_per_round: 50_000_000 },
+        ..GameLimits::default()
+    }
+}
+
+fn logic_opts() -> CheckOptions {
+    CheckOptions { max_matrix_evals: 50_000_000, max_tuples_per_var: 22 }
+}
+
+/// `ALL-SELECTED` (Example 2, level Σ₀): three-way agreement on every
+/// connected graph with ≤ 3 nodes and 0/1 labels.
+#[test]
+fn all_selected_three_way_agreement() {
+    let sentence = examples::all_selected();
+    let zero = BitString::from_bits01("0");
+    let one = BitString::from_bits01("1");
+    for base in enumerate::connected_graphs_up_to(3) {
+        for g in enumerate::binary_labelings(&base, &zero, &one) {
+            let truth = AllSelected.holds(&g);
+            let logical = sentence
+                .check_on_graph(&GraphStructure::of(&g), &logic_opts())
+                .unwrap();
+            let id = IdAssignment::global(&g);
+            let game = sentence_game(&sentence, &g, &id, &game_limits()).unwrap();
+            assert_eq!(logical, truth, "logic vs truth on {g}");
+            assert_eq!(game, truth, "game vs truth on {g}");
+        }
+    }
+}
+
+/// `3-COLORABLE` (Example 3, level Σ₁): agreement on assorted instances.
+#[test]
+fn three_colorable_three_way_agreement() {
+    let sentence = examples::three_colorable();
+    for g in [
+        generators::cycle(3),
+        generators::cycle(4),
+        generators::path(4),
+        generators::star(4),
+        generators::complete(4),
+    ] {
+        let truth = KColorable::new(3).holds(&g);
+        let logical = sentence
+            .check_on_graph(&GraphStructure::of(&g), &logic_opts())
+            .unwrap();
+        let id = IdAssignment::global(&g);
+        let game = sentence_game(&sentence, &g, &id, &game_limits()).unwrap();
+        assert_eq!(logical, truth, "logic vs truth on {g}");
+        assert_eq!(game, truth, "game vs truth on {g}");
+    }
+}
+
+/// `NOT-ALL-SELECTED` (Example 4, level Σ₃): the spanning-forest game with
+/// genuine ∃∀∃ alternation, in both the logical and the operational
+/// reading.
+#[test]
+fn not_all_selected_sigma3_agreement() {
+    let sentence = examples::not_all_selected();
+    assert_eq!(sentence.level().to_string(), "Σ3");
+    for labels in [["1", "1"], ["1", "0"], ["0", "0"], ["0", "1"]] {
+        let g = generators::labeled_path(&labels);
+        let truth = NotAllSelected.holds(&g);
+        let logical = sentence
+            .check_on_graph(&GraphStructure::of(&g), &logic_opts())
+            .unwrap();
+        let id = IdAssignment::global(&g);
+        let game = sentence_game(&sentence, &g, &id, &game_limits()).unwrap();
+        assert_eq!(logical, truth, "logic vs truth on labels {labels:?}");
+        assert_eq!(game, truth, "game vs truth on labels {labels:?}");
+    }
+}
+
+/// The triangle instance of the Σ₃ game — three nodes, real cycles
+/// available to Eve's forest relation, Adam's challenge biting.
+#[test]
+fn not_all_selected_sigma3_on_the_triangle() {
+    let sentence = examples::not_all_selected();
+    for labels in [["1", "1", "1"], ["1", "0", "1"]] {
+        let g = generators::labeled_cycle(&labels);
+        let truth = NotAllSelected.holds(&g);
+        let id = IdAssignment::global(&g);
+        let game = sentence_game(&sentence, &g, &id, &game_limits()).unwrap();
+        assert_eq!(game, truth, "game vs truth on labels {labels:?}");
+    }
+}

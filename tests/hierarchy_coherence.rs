@@ -1,0 +1,74 @@
+//! Coherence checks tying the class lattice (Figure 11) to the executable
+//! artifacts: every class that claims a complete problem has a working
+//! arbiter at that level, and game solvability respects the lattice's
+//! inclusion direction (a lower-level arbiter is also a valid higher-level
+//! arbiter with dummy moves).
+
+use lph_core::{arbiters, decide_game, Arbiter, ClassId, GameLimits, GameSpec, Player};
+use lph_graphs::{generators, IdAssignment, PolyBound};
+use lph_machine::machines;
+use lph_props::{AllSelected, Eulerian, GraphProperty};
+
+/// Complete problems at their levels: ALL-SELECTED and EULERIAN at `LP`
+/// (Remark 14, Proposition 15): the Σ₀ games decide them.
+#[test]
+fn lp_complete_problems_have_sigma0_arbiters() {
+    assert_eq!(ClassId::LP.ell(), 0);
+    let lim = GameLimits::default();
+    for (arb, truth) in [
+        (arbiters::all_selected_decider(), AllSelected.holds(&generators::cycle(4))),
+        (arbiters::eulerian_decider(), Eulerian.holds(&generators::cycle(4))),
+    ] {
+        assert_eq!(arb.spec().ell, 0);
+        let g = generators::cycle(4);
+        let id = IdAssignment::global(&g);
+        assert_eq!(decide_game(&arb, &g, &id, &lim).unwrap().eve_wins, truth);
+    }
+}
+
+/// Dummy moves implement the lattice's upward inclusions: an `LP` decider
+/// re-declared as a `Σ₁` (or `Π₁`) arbiter that ignores its certificate
+/// decides the same property — `Σ₀ ⊆ Σ₁` and `Σ₀ ⊆ Π₁` operationally.
+#[test]
+fn dummy_moves_realize_upward_inclusions() {
+    let g = generators::labeled_cycle(&["1", "1", "0"]);
+    let id = IdAssignment::global(&g);
+    let truth = AllSelected.holds(&g);
+    let lim = GameLimits { cert_len_cap: Some(1), ..GameLimits::default() };
+    for first in [Player::Eve, Player::Adam] {
+        let spec = GameSpec { ell: 1, first, r_id: 1, r: 1, bound: PolyBound::constant(1) };
+        let lifted =
+            Arbiter::from_tm("lifted ALL-SELECTED", spec, machines::all_selected_decider());
+        let res = decide_game(&lifted, &g, &id, &lim).unwrap();
+        assert_eq!(res.eve_wins, truth, "first player {first}");
+    }
+    // And on a yes-instance as well.
+    let g = generators::cycle(3);
+    let id = IdAssignment::global(&g);
+    for first in [Player::Eve, Player::Adam] {
+        let spec = GameSpec { ell: 1, first, r_id: 1, r: 1, bound: PolyBound::constant(1) };
+        let lifted =
+            Arbiter::from_tm("lifted ALL-SELECTED", spec, machines::all_selected_decider());
+        assert!(decide_game(&lifted, &g, &id, &lim).unwrap().eve_wins);
+    }
+}
+
+/// The complement operation on classes corresponds to negating the decided
+/// property only through the *machine-level* complement — not by swapping
+/// players (the unanimity asymmetry): a Π₁ game against the ALL-SELECTED
+/// decider still decides ALL-SELECTED, not its complement.
+#[test]
+fn swapping_players_does_not_complement() {
+    let g = generators::labeled_cycle(&["1", "0", "1"]); // NOT all selected
+    let id = IdAssignment::global(&g);
+    let lim = GameLimits { cert_len_cap: Some(1), ..GameLimits::default() };
+    let spec = GameSpec::pi(1, 1, 1, PolyBound::constant(1));
+    let pi_arb =
+        Arbiter::from_tm("Π1 ALL-SELECTED", spec, machines::all_selected_decider());
+    let res = decide_game(&pi_arb, &g, &id, &lim).unwrap();
+    // Adam's move is ignored by the machine, so Eve still loses exactly
+    // when the graph is not all-selected.
+    assert!(!res.eve_wins);
+    assert_eq!(ClassId::Pi(1).complement(), ClassId::CoPi(1));
+    assert_ne!(ClassId::Pi(1).complement(), ClassId::Sigma(1).dual_start());
+}

@@ -1,0 +1,94 @@
+//! Section 3 demands that graph properties be closed under isomorphism —
+//! this suite verifies it for every implemented property, and checks that
+//! the reductions commute with node renaming up to isomorphism of their
+//! outputs.
+
+use lph_graphs::{are_isomorphic, enumerate, generators, IdAssignment, LabeledGraph};
+use lph_props::{
+    AllSelected, Bipartite, Eulerian, GraphProperty, Hamiltonian, KColorable,
+    NotAllSelected, Regular, SatGraph, SelectedExists, ThreeSatGraph, Tree,
+};
+use lph_reductions::{apply, eulerian::AllSelectedToEulerian};
+
+fn rotations(n: usize) -> Vec<Vec<usize>> {
+    (0..n).map(|s| (0..n).map(|i| (i + s) % n).collect()).collect()
+}
+
+#[test]
+fn all_properties_are_isomorphism_closed() {
+    let props: Vec<Box<dyn GraphProperty>> = vec![
+        Box::new(AllSelected),
+        Box::new(NotAllSelected),
+        Box::new(SelectedExists),
+        Box::new(KColorable::new(2)),
+        Box::new(KColorable::new(3)),
+        Box::new(Bipartite),
+        Box::new(Eulerian),
+        Box::new(Hamiltonian),
+        Box::new(Tree),
+        Box::new(Regular::new(2)),
+        Box::new(SatGraph),
+        Box::new(ThreeSatGraph),
+    ];
+    let zero = lph_graphs::BitString::from_bits01("0");
+    let one = lph_graphs::BitString::from_bits01("1");
+    let mut rng = generators::XorShift::new(99);
+    for base in enumerate::connected_graphs(4) {
+        for g in enumerate::binary_labelings(&base, &zero, &one).into_iter().take(4) {
+            // A random permutation.
+            let n = g.node_count();
+            let mut perm: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                perm.swap(i, rng.below(i + 1));
+            }
+            let h = g.permuted(&perm);
+            assert!(are_isomorphic(&g, &h));
+            for p in &props {
+                assert_eq!(
+                    p.holds(&g),
+                    p.holds(&h),
+                    "{} is not isomorphism-closed on {g}",
+                    p.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reductions_commute_with_renaming_up_to_isomorphism() {
+    // Applying a reduction to a rotated cycle yields a graph isomorphic to
+    // the rotation-free output (the clusters just get renamed).
+    let labels = ["1", "0", "1", "1"];
+    let g = generators::labeled_cycle(&labels);
+    let id = IdAssignment::global(&g);
+    let (out, _) = apply(&AllSelectedToEulerian, &g, &id).unwrap();
+    for perm in rotations(4).into_iter().skip(1) {
+        let h: LabeledGraph = g.permuted(&perm);
+        let idh = IdAssignment::global(&h);
+        let (out_h, _) = apply(&AllSelectedToEulerian, &h, &idh).unwrap();
+        assert!(
+            are_isomorphic(&out, &out_h),
+            "outputs differ non-isomorphically under rotation {perm:?}"
+        );
+    }
+}
+
+#[test]
+fn permutation_respects_certificate_games() {
+    use lph_core::{arbiters, decide_game, GameLimits};
+    // Game verdicts (membership) are isomorphism-invariant even though the
+    // individual winning certificates are not.
+    let lim = GameLimits { cert_len_cap: Some(2), ..GameLimits::default() };
+    let arb = arbiters::three_colorable_verifier();
+    for g in [generators::cycle(4), generators::complete(4)] {
+        let id = IdAssignment::global(&g);
+        let base = decide_game(&arb, &g, &id, &lim).unwrap().eve_wins;
+        let n = g.node_count();
+        let perm: Vec<usize> = (0..n).map(|i| (i + 1) % n).collect();
+        let h = g.permuted(&perm);
+        let idh = IdAssignment::global(&h);
+        let rotated = decide_game(&arb, &h, &idh, &lim).unwrap().eve_wins;
+        assert_eq!(base, rotated);
+    }
+}

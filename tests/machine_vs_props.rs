@@ -1,0 +1,71 @@
+//! Cross-crate agreement between the honest Turing machines, the
+//! closure-based arbiters, and the centralized ground-truth deciders, on
+//! exhaustively enumerated instances — the "the interpreter is real"
+//! experiment.
+
+use lph_core::{arbiters, decide_game, GameLimits};
+use lph_graphs::{enumerate, BitString, CertificateList, IdAssignment};
+use lph_machine::{machines, run_tm, ExecLimits};
+use lph_props::{AllSelected, Eulerian, GraphProperty};
+
+#[test]
+fn turing_machines_agree_with_ground_truth_everywhere() {
+    let all_sel_tm = machines::all_selected_decider();
+    let euler_tm = machines::even_degree_decider();
+    let exec = ExecLimits::default();
+    let zero = BitString::from_bits01("0");
+    let one = BitString::from_bits01("1");
+    for base in enumerate::connected_graphs_up_to(4) {
+        let id = IdAssignment::global(&base);
+        let euler =
+            run_tm(&euler_tm, &base, &id, &CertificateList::new(), &exec).unwrap();
+        assert_eq!(euler.accepted, Eulerian.holds(&base), "eulerian on {base}");
+        for g in enumerate::binary_labelings(&base, &zero, &one) {
+            let out =
+                run_tm(&all_sel_tm, &g, &id, &CertificateList::new(), &exec).unwrap();
+            assert_eq!(out.accepted, AllSelected.holds(&g), "all-selected on {g}");
+        }
+    }
+}
+
+#[test]
+fn machine_verdicts_are_identifier_independent() {
+    // The defining robustness property of LP: the collective decision must
+    // not depend on the (admissible) identifier assignment.
+    let tm = machines::proper_coloring_verifier();
+    let exec = ExecLimits::default();
+    for base in enumerate::connected_graphs_up_to(4) {
+        for g in enumerate::binary_labelings(
+            &base,
+            &BitString::from_bits01("0"),
+            &BitString::from_bits01("1"),
+        ) {
+            let a = run_tm(&tm, &g, &IdAssignment::global(&g), &CertificateList::new(), &exec)
+                .unwrap()
+                .accepted;
+            // A different globally unique assignment: reversed indices.
+            let n = g.node_count();
+            let width = (usize::BITS as usize - n.leading_zeros() as usize).max(1);
+            let rev = IdAssignment::from_vec(
+                &g,
+                (0..n).map(|i| BitString::from_usize(n - 1 - i, width)).collect(),
+            )
+            .unwrap();
+            let b = run_tm(&tm, &g, &rev, &CertificateList::new(), &exec).unwrap().accepted;
+            assert_eq!(a, b, "identifier dependence on {g}");
+        }
+    }
+}
+
+#[test]
+fn sigma0_games_and_direct_runs_coincide() {
+    // decide_game with ℓ = 0 must equal a single machine run.
+    let arb = arbiters::eulerian_decider();
+    let lim = GameLimits::default();
+    for g in enumerate::connected_graphs_up_to(4) {
+        let id = IdAssignment::global(&g);
+        let game = decide_game(&arb, &g, &id, &lim).unwrap();
+        assert_eq!(game.eve_wins, Eulerian.holds(&g), "graph {g}");
+        assert_eq!(game.runs, 1);
+    }
+}

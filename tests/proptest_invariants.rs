@@ -1,0 +1,212 @@
+//! Property-based tests over the substrate invariants, with `proptest`.
+
+use lph_graphs::{
+    enumerate, generators, BitString, CertificateAssignment, GraphStructure, IdAssignment,
+    LabeledGraph, PolyBound,
+};
+use proptest::prelude::*;
+
+/// A random connected graph strategy (tree + extra edges from a seed).
+fn graph_strategy() -> impl Strategy<Value = LabeledGraph> {
+    (1usize..24, 0usize..16, any::<u64>())
+        .prop_map(|(n, extra, seed)| generators::random_connected(n, extra, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn small_id_assignments_are_locally_unique(g in graph_strategy(), r in 0usize..3) {
+        let id = IdAssignment::small(&g, r);
+        prop_assert!(id.is_locally_unique(&g, r));
+        prop_assert!(id.is_small(&g, r));
+    }
+
+    #[test]
+    fn global_ids_are_locally_unique_at_every_radius(g in graph_strategy(), r in 0usize..4) {
+        let id = IdAssignment::global(&g);
+        prop_assert!(id.is_locally_unique(&g, r));
+    }
+
+    #[test]
+    fn balls_are_monotone_in_radius(g in graph_strategy(), r in 0usize..4) {
+        for u in g.nodes() {
+            let small = g.ball(u, r);
+            let big = g.ball(u, r + 1);
+            prop_assert!(small.iter().all(|v| big.contains(v)));
+            prop_assert!(big.contains(&u));
+        }
+    }
+
+    #[test]
+    fn neighborhoods_are_induced_and_centered(g in graph_strategy(), r in 0usize..3) {
+        for u in g.nodes() {
+            let nb = g.neighborhood(u, r);
+            prop_assert_eq!(nb.to_global(nb.center_local), u);
+            prop_assert_eq!(nb.graph.node_count(), g.ball(u, r).len());
+            // Edges of the neighborhood exist in the original graph.
+            for (a, b) in nb.graph.edges() {
+                prop_assert!(g.has_edge(nb.to_global(a), nb.to_global(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn structural_representation_cardinality(g in graph_strategy()) {
+        let gs = GraphStructure::of(&g);
+        let expected: usize = g.nodes().map(|u| 1 + g.label(u).len()).sum();
+        prop_assert_eq!(gs.structure().card(), expected);
+    }
+
+    #[test]
+    fn certificate_budget_is_monotone_in_radius(
+        g in graph_strategy(),
+        r in 0usize..3,
+    ) {
+        let id = IdAssignment::global(&g);
+        let p = PolyBound::linear(1, 2);
+        let small = CertificateAssignment::budget(&g, &id, r, &p);
+        let big = CertificateAssignment::budget(&g, &id, r + 1, &p);
+        for (s, b) in small.iter().zip(&big) {
+            prop_assert!(s <= b);
+        }
+    }
+
+    #[test]
+    fn bitstring_order_is_total_and_prefix_respecting(
+        a in proptest::collection::vec(any::<bool>(), 0..12),
+        b in proptest::collection::vec(any::<bool>(), 0..12),
+    ) {
+        let x = BitString::from_bools(&a);
+        let y = BitString::from_bools(&b);
+        // Totality.
+        prop_assert!(x < y || y < x || x == y);
+        // Prefix rule.
+        if x.is_proper_prefix_of(&y) {
+            prop_assert!(x < y);
+        }
+    }
+
+    #[test]
+    fn polybound_algebra_is_pointwise_correct(
+        coeffs_a in proptest::collection::vec(0u64..50, 1..4),
+        coeffs_b in proptest::collection::vec(0u64..50, 1..4),
+        n in 0usize..30,
+    ) {
+        let p = PolyBound::new(coeffs_a);
+        let q = PolyBound::new(coeffs_b);
+        prop_assert_eq!(p.add(&q).eval(n), p.eval(n) + q.eval(n));
+        prop_assert_eq!(p.mul(&q).eval(n), p.eval(n) * q.eval(n));
+        prop_assert!(p.max(&q).eval(n) >= p.eval(n).max(q.eval(n)));
+        prop_assert_eq!(p.compose(&q).eval(n), p.eval(q.eval(n)));
+    }
+
+    #[test]
+    fn dpll_agrees_with_brute_force(
+        seed in any::<u64>(),
+        nvars in 1usize..6,
+        nclauses in 0usize..12,
+    ) {
+        use lph_props::{dpll_sat, Cnf, Lit};
+        let mut rng = generators::XorShift::new(seed);
+        let clauses: Vec<Vec<Lit>> = (0..nclauses)
+            .map(|_| {
+                (0..1 + rng.below(3))
+                    .map(|_| Lit {
+                        var: format!("x{}", rng.below(nvars)),
+                        positive: rng.bool(),
+                    })
+                    .collect()
+            })
+            .collect();
+        let cnf = Cnf { clauses };
+        let vars: Vec<String> = cnf.variables().into_iter().collect();
+        let brute = (0u32..1 << vars.len()).any(|mask| {
+            cnf.clauses.iter().all(|c| {
+                c.iter().any(|l| {
+                    let i = vars.iter().position(|v| *v == l.var).unwrap();
+                    (mask >> i & 1 == 1) == l.positive
+                })
+            })
+        });
+        prop_assert_eq!(dpll_sat(&cnf), brute);
+    }
+
+    #[test]
+    fn tseytin_preserves_satisfiability(seed in any::<u64>(), depth in 1usize..4) {
+        use lph_props::{dpll_sat, BoolExpr};
+        fn random_expr(rng: &mut generators::XorShift, depth: usize) -> BoolExpr {
+            if depth == 0 {
+                return match rng.below(3) {
+                    0 => BoolExpr::Const(rng.bool()),
+                    _ => BoolExpr::var(format!("v{}", rng.below(4))),
+                };
+            }
+            match rng.below(3) {
+                0 => random_expr(rng, depth - 1).negated(),
+                1 => BoolExpr::And(
+                    (0..1 + rng.below(3)).map(|_| random_expr(rng, depth - 1)).collect(),
+                ),
+                _ => BoolExpr::Or(
+                    (0..1 + rng.below(3)).map(|_| random_expr(rng, depth - 1)).collect(),
+                ),
+            }
+        }
+        let mut rng = generators::XorShift::new(seed);
+        let e = random_expr(&mut rng, depth);
+        let vars: Vec<String> = e.variables().into_iter().collect();
+        let brute = (0u32..1u32 << vars.len()).any(|mask| {
+            e.eval(&|name: &str| {
+                let i = vars.iter().position(|v| v == name).unwrap();
+                mask >> i & 1 == 1
+            })
+        });
+        prop_assert_eq!(dpll_sat(&e.tseytin("aux.")), brute);
+        // 3-CNF splitting preserves it too.
+        prop_assert_eq!(dpll_sat(&e.tseytin("aux.").to_three_cnf("aux.s")), brute);
+    }
+
+    #[test]
+    fn boolean_formula_codec_round_trips(seed in any::<u64>(), depth in 0usize..4) {
+        use lph_props::BoolExpr;
+        fn random_expr(rng: &mut generators::XorShift, depth: usize) -> BoolExpr {
+            if depth == 0 {
+                return match rng.below(3) {
+                    0 => BoolExpr::Const(rng.bool()),
+                    _ => BoolExpr::var(format!("p{}", rng.below(5))),
+                };
+            }
+            match rng.below(3) {
+                0 => random_expr(rng, depth - 1).negated(),
+                1 => BoolExpr::And(
+                    (0..rng.below(4)).map(|_| random_expr(rng, depth - 1)).collect(),
+                ),
+                _ => BoolExpr::Or(
+                    (0..rng.below(4)).map(|_| random_expr(rng, depth - 1)).collect(),
+                ),
+            }
+        }
+        let mut rng = generators::XorShift::new(seed);
+        let e = random_expr(&mut rng, depth);
+        prop_assert_eq!(BoolExpr::parse(&e.to_string()).unwrap(), e);
+    }
+}
+
+/// Non-proptest exhaustive check kept here for locality: every enumerated
+/// small graph round-trips through the structural representation's
+/// neighborhood cardinality arithmetic.
+#[test]
+fn neighborhood_information_matches_structure_cards() {
+    for g in enumerate::connected_graphs_up_to(4) {
+        let gs = GraphStructure::of(&g);
+        let zeros = vec![0usize; g.node_count()];
+        for u in g.nodes() {
+            for r in 0..3 {
+                assert_eq!(
+                    g.neighborhood_information(u, r, &zeros),
+                    gs.neighborhood_card(&g, u, r),
+                );
+            }
+        }
+    }
+}

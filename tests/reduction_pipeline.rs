@@ -1,0 +1,146 @@
+//! E8 — the full Theorem 20 pipeline across crates:
+//! `Σ₁^LFO` sentence → `SAT-GRAPH` (Thm. 19) → `3-SAT-GRAPH` (Tseytin) →
+//! `3-COLORABLE` (gadgets), with every intermediate property checked
+//! against ground truth, plus decider simulation through a reduction.
+
+use lph_core::arbiters;
+use lph_graphs::{generators, IdAssignment, LabeledGraph};
+use lph_logic::examples;
+use lph_props::{
+    is_k_colorable, AllSelected, Eulerian, GraphProperty, SatGraph, ThreeSatGraph,
+};
+use lph_reductions::{
+    apply, cook_levin::lfo_to_sat_graph, eulerian::AllSelectedToEulerian,
+    sat_to_three_sat::SatGraphToThreeSatGraph, simulate_decider,
+    three_col::ThreeSatGraphToThreeColorable,
+};
+
+/// Chains Theorem 19 and both steps of Theorem 20 on concrete instances:
+/// `G ⊨ φ ⟺ SAT-GRAPH ⟺ 3-SAT-GRAPH ⟺ 3-COLORABLE`.
+#[test]
+fn full_cook_levin_to_three_coloring_pipeline() {
+    let sentence = examples::all_selected();
+    let cases: Vec<(LabeledGraph, bool)> = vec![
+        (generators::labeled_cycle(&["1", "1", "1"]), true),
+        (generators::labeled_cycle(&["1", "0", "1"]), false),
+        (generators::labeled_path(&["1", "1"]), true),
+        (generators::labeled_path(&["0", "1"]), false),
+    ];
+    for (g, expected) in cases {
+        let id = IdAssignment::global(&g);
+        // Stage 1: Theorem 19 (formula → SAT-GRAPH).
+        let (sat_g, _) = lfo_to_sat_graph(&sentence, &g, &id).unwrap();
+        assert_eq!(SatGraph.holds(&sat_g), expected, "stage 1 on {g}");
+        // Stage 2: Tseytin (SAT-GRAPH → 3-SAT-GRAPH).
+        let id1 = IdAssignment::global(&sat_g);
+        let (three_g, _) = apply(&SatGraphToThreeSatGraph, &sat_g, &id1).unwrap();
+        assert_eq!(ThreeSatGraph.holds(&three_g), expected, "stage 2 on {g}");
+        // Stage 3: gadgets (3-SAT-GRAPH → 3-COLORABLE).
+        let id2 = IdAssignment::global(&three_g);
+        let (col_g, map) = apply(&ThreeSatGraphToThreeColorable, &three_g, &id2).unwrap();
+        assert_eq!(is_k_colorable(&col_g, 3), expected, "stage 3 on {g}");
+        assert!(map.is_surjective());
+    }
+}
+
+/// The same pipeline starting from the genuinely nondeterministic
+/// 3-colorability sentence (so the SAT-GRAPH stage carries real Boolean
+/// variables).
+#[test]
+fn three_colorable_sentence_through_the_pipeline() {
+    let sentence = examples::three_colorable();
+    for (g, expected) in [
+        (generators::cycle(4), true),
+        (generators::complete(4), false),
+        (generators::path(3), true),
+    ] {
+        let id = IdAssignment::global(&g);
+        let (sat_g, _) = lfo_to_sat_graph(&sentence, &g, &id).unwrap();
+        assert_eq!(SatGraph.holds(&sat_g), expected, "stage 1 on {g}");
+        let id1 = IdAssignment::global(&sat_g);
+        let (three_g, _) = apply(&SatGraphToThreeSatGraph, &sat_g, &id1).unwrap();
+        assert_eq!(ThreeSatGraph.holds(&three_g), expected, "stage 2 on {g}");
+    }
+}
+
+/// Section 8's hardness transport: simulating the Eulerian LP decider
+/// through the ALL-SELECTED → EULERIAN reduction yields an ALL-SELECTED
+/// decider — "an efficient decider for L' converts into one for L".
+#[test]
+fn decider_simulation_through_a_reduction() {
+    let decider = arbiters::eulerian_decider();
+    for base in lph_graphs::enumerate::connected_graphs_up_to(4) {
+        if base.node_count() < 2 {
+            continue;
+        }
+        for g in lph_graphs::enumerate::binary_labelings(
+            &base,
+            &lph_graphs::BitString::from_bits01("0"),
+            &lph_graphs::BitString::from_bits01("1"),
+        ) {
+            let id = IdAssignment::global(&g);
+            let accepted = simulate_decider(
+                &AllSelectedToEulerian,
+                &decider,
+                &g,
+                &id,
+                &lph_machine::ExecLimits::default(),
+            )
+            .unwrap();
+            assert_eq!(accepted, AllSelected.holds(&g), "graph: {g}");
+        }
+    }
+}
+
+/// Reductions compose: `ALL-SELECTED → EULERIAN` twice still decides
+/// `ALL-SELECTED` correctly iff the intermediate property matches — a
+/// sanity check of the framework's assembly on nested clusters.
+#[test]
+fn reductions_compose() {
+    let g = generators::labeled_cycle(&["1", "1", "0"]);
+    let id = IdAssignment::global(&g);
+    let (g1, _) = apply(&AllSelectedToEulerian, &g, &id).unwrap();
+    assert!(!Eulerian.holds(&g1));
+    // The output labels are all empty (i.e. nothing is "1"), so g1 is not
+    // ALL-SELECTED, and a second application must yield a non-Eulerian
+    // graph — the composed equivalence.
+    let id1 = IdAssignment::global(&g1);
+    let (g2, _) = apply(&AllSelectedToEulerian, &g1, &id1).unwrap();
+    assert!(!AllSelected.holds(&g1));
+    assert_eq!(Eulerian.holds(&g2), AllSelected.holds(&g1));
+}
+
+/// Corollary 22/25's mechanism: playing the `SAT-GRAPH` verifier's Σ₁ game
+/// *through* the Tseytin reduction decides `SAT-GRAPH` on the original
+/// instance — an NLP-hardness transport with live certificates.
+#[test]
+fn verifier_game_simulation_through_tseytin() {
+    use lph_core::{arbiters, GameLimits};
+    use lph_props::{BoolExpr, BooleanGraph};
+    use lph_reductions::simulate_game;
+
+    let cases: Vec<(Vec<&str>, bool)> = vec![
+        (vec!["|(vp,vq)", "vq"], true),
+        (vec!["vp", "!vp"], false),
+    ];
+    for (formulas, expected) in cases {
+        let bg = BooleanGraph::new(
+            generators::path(formulas.len()),
+            formulas.iter().map(|s| BoolExpr::parse(s).unwrap()).collect(),
+        )
+        .unwrap();
+        let g = bg.graph().clone();
+        assert_eq!(SatGraph.holds(&g), expected, "source sanity");
+        let id = IdAssignment::global(&g);
+        let arb = arbiters::sat_graph_verifier();
+        // Certificates: one bit per variable of the Tseytin-rewritten
+        // formulas (a handful of auxiliaries per node).
+        let lim = GameLimits {
+            cert_len_cap: Some(6),
+            max_runs: 50_000_000,
+            ..GameLimits::default()
+        };
+        let got = simulate_game(&SatGraphToThreeSatGraph, &arb, &g, &id, &lim).unwrap();
+        assert_eq!(got, expected, "formulas {formulas:?}");
+    }
+}

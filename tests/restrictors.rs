@@ -1,0 +1,132 @@
+//! E15 — Lemma 8 across crates: restrictive arbiters with certificate
+//! restrictors decide the same properties as their permissive conversions,
+//! and local repairability is what makes the conversion sound.
+
+use lph_core::restrictor::{
+    check_local_repairability, decide_restricted_game, CertificateRestrictor,
+    PermissiveArbiter,
+};
+use lph_core::{decide_game, Arbiter, GameLimits, GameSpec};
+use lph_graphs::{
+    generators, BitString, CertificateAssignment, CertificateList, IdAssignment, PolyBound,
+};
+use lph_machine::{ExecLimits, LocalAlgorithm, NodeCtx, NodeInput, NodeProgram, RoundAction};
+
+/// A restrictor accepting only certificates that parse as a color in
+/// `{00, 01, 10}` — the restriction used when compiling `3-COLORABLE`.
+fn color_restrictor(spec: GameSpec) -> CertificateRestrictor {
+    struct R;
+    impl LocalAlgorithm for R {
+        fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
+            let ok = input
+                .certificates
+                .last()
+                .map(|c| c.len() == 2 && *c != BitString::from_bits01("11"))
+                .unwrap_or(false);
+            Box::new(move |ctx: &mut NodeCtx, _r: usize, _i: &[BitString]| {
+                ctx.charge(1);
+                RoundAction::verdict(ok)
+            })
+        }
+    }
+    CertificateRestrictor::new(Arbiter::from_local("color shape", spec, R))
+}
+
+/// A lenient coloring arbiter that *relies* on the restrictor: it only
+/// compares colors, accepting malformed certificates outright.
+fn lenient_coloring_arbiter() -> Arbiter {
+    struct A;
+    impl LocalAlgorithm for A {
+        fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
+            let color = input.certificates.first().cloned().unwrap_or_default();
+            Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+                ctx.charge(1 + inbox.len());
+                match round {
+                    1 => RoundAction::Send(vec![color.clone(); inbox.len()]),
+                    _ => {
+                        if color.len() != 2 {
+                            return RoundAction::accept(); // lenient!
+                        }
+                        RoundAction::verdict(inbox.iter().all(|m| *m != color))
+                    }
+                }
+            })
+        }
+    }
+    Arbiter::from_local(
+        "lenient coloring",
+        GameSpec::sigma(1, 1, 1, PolyBound::constant(2)),
+        A,
+    )
+}
+
+#[test]
+fn restricted_game_decides_three_colorable_where_the_lenient_arbiter_alone_fails() {
+    let lim = GameLimits { cert_len_cap: Some(2), ..GameLimits::default() };
+    let g = generators::complete(4); // not 3-colorable
+    let id = IdAssignment::global(&g);
+
+    // Unrestricted, the lenient arbiter is cheated by malformed
+    // certificates (everyone plays the empty string and accepts).
+    let arb = lenient_coloring_arbiter();
+    assert!(decide_game(&arb, &g, &id, &lim).unwrap().eve_wins, "cheat succeeds");
+
+    // With the color-shape restrictor, the game decides correctly.
+    let restr = vec![color_restrictor(arb.spec().clone())];
+    assert!(!decide_restricted_game(&arb, &restr, &g, &id, &lim).unwrap().eve_wins);
+
+    // And on a 3-colorable instance the restricted game accepts.
+    let g = generators::cycle(5);
+    let id = IdAssignment::global(&g);
+    let arb = lenient_coloring_arbiter();
+    let restr = vec![color_restrictor(arb.spec().clone())];
+    assert!(decide_restricted_game(&arb, &restr, &g, &id, &lim).unwrap().eve_wins);
+}
+
+#[test]
+fn lemma8_conversion_agrees_with_the_restricted_game() {
+    let lim = GameLimits { cert_len_cap: Some(2), ..GameLimits::default() };
+    for g in [generators::cycle(4), generators::complete(4), generators::path(3)] {
+        let id = IdAssignment::global(&g);
+        let arb = lenient_coloring_arbiter();
+        let restr = vec![color_restrictor(arb.spec().clone())];
+        let restricted = decide_restricted_game(&arb, &restr, &g, &id, &lim)
+            .unwrap()
+            .eve_wins;
+        let wrapper = PermissiveArbiter::new(
+            lenient_coloring_arbiter(),
+            vec![color_restrictor(lenient_coloring_arbiter().spec().clone())],
+        );
+        let permissive = decide_game(&wrapper, &g, &id, &lim).unwrap().eve_wins;
+        assert_eq!(restricted, permissive, "graph: {g}");
+    }
+}
+
+#[test]
+fn the_color_restrictor_is_locally_repairable() {
+    let g = generators::cycle(4);
+    let id = IdAssignment::global(&g);
+    let spec = GameSpec::sigma(1, 1, 1, PolyBound::constant(2));
+    let restr = color_restrictor(spec);
+    // Break two nodes' certificates in different ways.
+    let candidate = CertificateAssignment::from_vec(
+        &g,
+        vec![
+            BitString::from_bits01("00"),
+            BitString::from_bits01("11"), // forbidden color
+            BitString::from_bits01("0"),  // wrong length
+            BitString::from_bits01("10"),
+        ],
+    )
+    .unwrap();
+    assert!(check_local_repairability(
+        &restr,
+        &g,
+        &id,
+        &CertificateList::new(),
+        &candidate,
+        &[2, 2, 2, 2],
+        &ExecLimits::default(),
+    )
+    .unwrap());
+}

@@ -1,0 +1,146 @@
+//! E2/E3 — the separation experiments of Section 9.1 (Figure 1's solid
+//! lines at the lowest levels), run end to end across crates.
+
+use lph_core::separations::{
+    prop21_fooling_pair, pump_views, splice_cycle, verdicts_coincide_on_pair, CycleConfig,
+};
+use lph_core::{arbiters, decide_game, Arbiter, GameLimits, GameSpec};
+use lph_graphs::{generators, BitString, IdAssignment, PolyBound};
+use lph_machine::{machines, ExecLimits};
+use lph_props::{is_k_colorable, GraphProperty, NotAllSelected};
+
+/// Proposition 21 (`LP ⊊ NLP`): every deterministic machine reaches
+/// node-wise identical verdicts on the odd cycle `C_n` and the glued even
+/// cycle `C_2n`, yet 2-colorability separates them — so no LP machine
+/// decides `2-COLORABLE`, while the NLP game does.
+#[test]
+fn proposition_21_lp_strictly_below_nlp() {
+    let pair = prop21_fooling_pair(7, 1);
+    let (g, _, g2, _) = &pair;
+
+    // (1) Indistinguishability for concrete deterministic machines.
+    for arb in [
+        arbiters::all_selected_decider(),
+        arbiters::eulerian_decider(),
+        Arbiter::from_tm(
+            "proper-coloring",
+            GameSpec::sigma(0, 1, 1, PolyBound::constant(0)),
+            machines::proper_coloring_verifier(),
+        ),
+    ] {
+        assert!(
+            verdicts_coincide_on_pair(&arb, &pair, &ExecLimits::default()).unwrap(),
+            "{} must not distinguish the fooling pair",
+            arb.name()
+        );
+    }
+
+    // (2) Ground truth separates the pair.
+    assert!(!is_k_colorable(g, 2));
+    assert!(is_k_colorable(g2, 2));
+
+    // (3) The nondeterministic game *does* decide 2-colorability: Eve's
+    // 1-bit certificates are the colors. (Exhaustive play on C14 would
+    // enumerate 3^14 moves; the same claim on C6/C5 keeps the game within
+    // the move-space guard.)
+    let two_col = arbiters::two_colorable_verifier();
+    let limits = GameLimits { cert_len_cap: Some(1), ..GameLimits::default() };
+    let even = generators::cycle(6);
+    let id_even = IdAssignment::global(&even);
+    assert!(decide_game(&two_col, &even, &id_even, &limits).unwrap().eve_wins);
+    let odd = generators::cycle(5);
+    let id = IdAssignment::global(&odd);
+    assert!(!decide_game(&two_col, &odd, &id, &limits).unwrap().eve_wins);
+    let _ = g2;
+}
+
+/// Proposition 23 (`coLP ⊄ NLP`): the two failure horns for candidate
+/// `NOT-ALL-SELECTED` verifiers, exhibited concretely.
+#[test]
+fn proposition_23_both_failure_horns() {
+    // Horn 1 — bounded certificates cannot carry distances: the sound
+    // distance verifier fails a *yes*-instance once the cycle outgrows its
+    // certificate budget.
+    let labels: Vec<&str> =
+        std::iter::once("0").chain(std::iter::repeat("1").take(5)).collect();
+    let g = generators::labeled_cycle(&labels);
+    assert!(NotAllSelected.holds(&g));
+    let id = IdAssignment::global(&g);
+    let one_bit = arbiters::distance_to_unselected_verifier(1);
+    let lim = GameLimits { cert_len_cap: Some(1), ..GameLimits::default() };
+    assert!(
+        !decide_game(&one_bit, &g, &id, &lim).unwrap().eve_wins,
+        "1-bit distances cannot reach around a 6-cycle"
+    );
+
+    // Horn 2 — the pointer verifier accepts yes-instances but gets fooled
+    // by the cut-and-splice construction.
+    let cfg = CycleConfig {
+        labels: (0..25)
+            .map(|i| BitString::from_bits01(if i == 0 { "0" } else { "1" }))
+            .collect(),
+        ids: (0..25).map(|i| BitString::from_usize(i % 5, 4)).collect(),
+        certs: (0..25)
+            .map(|i| {
+                if i == 0 {
+                    BitString::new()
+                } else {
+                    BitString::from_usize((i + 1) % 5, 4)
+                }
+            })
+            .collect(),
+    };
+    let (i, j) = cfg.find_twin_views(1, 0).expect("twins on a long cycle");
+    let spliced = splice_cycle(&cfg, i, j);
+    assert!(pump_views(&cfg, &spliced, i, 1));
+
+    let pointer = arbiters::pointer_to_unselected_verifier();
+    let (g_yes, id_yes, certs_yes) = cfg.build().unwrap();
+    let (g_no, id_no, certs_no) = spliced.build().unwrap();
+    assert!(NotAllSelected.holds(&g_yes));
+    assert!(!NotAllSelected.holds(&g_no), "splicing removed the unselected node");
+    let ex = ExecLimits::default();
+    assert!(pointer.accepts(&g_yes, &id_yes, &certs_yes, &ex).unwrap());
+    assert!(
+        pointer.accepts(&g_no, &id_no, &certs_no, &ex).unwrap(),
+        "the transplanted certificates must fool the verifier"
+    );
+}
+
+/// Corollary 24 (`LP ≠ coLP`) exhibited through the complete problems:
+/// `ALL-SELECTED` is decided by an LP machine, and the same machine run on
+/// complements would need `NOT-ALL-SELECTED ∈ LP` — but any LP decider is
+/// fooled on cycles where the unselected node is far away.
+#[test]
+fn corollary_24_complement_asymmetry() {
+    // The LP decider for ALL-SELECTED works.
+    let arb = arbiters::all_selected_decider();
+    let lim = GameLimits::default();
+    for labels in [["1", "1", "1"], ["1", "0", "1"]] {
+        let g = generators::labeled_cycle(&labels);
+        let id = IdAssignment::global(&g);
+        assert_eq!(
+            decide_game(&arb, &g, &id, &lim).unwrap().eve_wins,
+            labels.iter().all(|l| *l == "1")
+        );
+    }
+    // A purported LP decider for NOT-ALL-SELECTED would have to accept
+    // with *every* node accepting; but nodes far from the unselected node
+    // see an all-selected neighborhood — indistinguishable, by the
+    // Proposition 21 argument, from a genuinely all-selected cycle. We
+    // exhibit the indistinguishability directly on views.
+    let mut labels = vec!["1"; 12];
+    labels[0] = "0";
+    let cfg = CycleConfig {
+        labels: labels.iter().map(|l| BitString::from_bits01(l)).collect(),
+        ids: (0..12).map(|i| BitString::from_usize(i % 4, 3)).collect(),
+        certs: vec![BitString::new(); 12],
+    };
+    let all_one = CycleConfig {
+        labels: vec![BitString::from_bits01("1"); 12],
+        ids: cfg.ids.clone(),
+        certs: cfg.certs.clone(),
+    };
+    // Node 6 (antipodal) has the same radius-2 view in both worlds.
+    assert_eq!(cfg.view(6, 2), all_one.view(6, 2));
+}

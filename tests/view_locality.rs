@@ -1,0 +1,85 @@
+//! The locality principle behind everything in the paper: a node's verdict
+//! in a `k`-round execution is a function of its radius-`k` view (labels,
+//! identifiers, topology, certificates) — checked by transplanting views
+//! between different graphs and asserting identical verdicts.
+
+use lph_graphs::{generators, BitString, CertificateList, IdAssignment, NodeId};
+use lph_machine::{machines, run_tm, ExecLimits};
+
+/// A node deep inside a long path sees the same radius-2 view as a node
+/// deep inside a long cycle: the 2-round coloring verifier must give both
+/// the same verdict.
+#[test]
+fn interior_nodes_of_paths_and_cycles_agree() {
+    let tm = machines::proper_coloring_verifier();
+    let exec = ExecLimits::default();
+    // Alternating labels so the verdicts are interesting.
+    let path_labels: Vec<&str> =
+        (0..9).map(|i| if i % 2 == 0 { "0" } else { "1" }).collect();
+    let cycle_labels: Vec<&str> =
+        (0..10).map(|i| if i % 2 == 0 { "0" } else { "1" }).collect();
+    let gp = generators::labeled_path(&path_labels);
+    let gc = generators::labeled_cycle(&cycle_labels);
+    // Identifiers: make the local patterns around the probed nodes match.
+    let idp = IdAssignment::from_vec(
+        &gp,
+        (0..9).map(|i| BitString::from_usize(i % 5, 3)).collect(),
+    )
+    .unwrap();
+    let idc = IdAssignment::from_vec(
+        &gc,
+        (0..10).map(|i| BitString::from_usize(i % 5, 3)).collect(),
+    )
+    .unwrap();
+    let op = run_tm(&tm, &gp, &idp, &CertificateList::new(), &exec).unwrap();
+    let oc = run_tm(&tm, &gc, &idc, &CertificateList::new(), &exec).unwrap();
+    // Node 4 of the path and node 4 of the cycle have identical radius-2
+    // views (labels 0/1 alternating, ids 2,3,4,0,1 around them).
+    assert_eq!(op.verdicts[4], oc.verdicts[4]);
+    // And both accept: alternating labels are a proper coloring locally.
+    assert!(op.verdicts[4]);
+}
+
+/// Changing anything *outside* the radius-2 view of a node must not change
+/// its verdict — flip a label far away and compare.
+#[test]
+fn distant_label_changes_do_not_affect_verdicts() {
+    let tm = machines::proper_coloring_verifier();
+    let exec = ExecLimits::default();
+    let mut labels: Vec<&str> = vec!["0", "1", "0", "1", "0", "1", "0", "1"];
+    let g1 = generators::labeled_cycle(&labels);
+    labels[6] = "1"; // break the coloring far from node 1 (clash with 5 and 7)
+    let g2 = generators::labeled_cycle(&labels);
+    let id = IdAssignment::global(&g1);
+    let o1 = run_tm(&tm, &g1, &id, &CertificateList::new(), &exec).unwrap();
+    let o2 = run_tm(&tm, &g2, &id, &CertificateList::new(), &exec).unwrap();
+    // Nodes within distance 1 of the flip may change; node 1 (distance ≥ 3
+    // from node 6 on C8… distance(1,6) = 3) must not.
+    assert_eq!(o1.verdicts[1], o2.verdicts[1]);
+    assert!(o1.accepted);
+    assert!(!o2.accepted);
+    // The affected nodes did change.
+    assert_ne!(o1.verdicts[6], o2.verdicts[6]);
+}
+
+/// Certificates are part of the view: flipping a distant certificate does
+/// not affect a node, flipping an adjacent one may.
+#[test]
+fn certificate_locality() {
+    use lph_graphs::CertificateAssignment;
+    let tm = machines::proper_coloring_verifier();
+    let exec = ExecLimits::default();
+    let g = generators::cycle(8);
+    let id = IdAssignment::global(&g);
+    // The coloring machine ignores certificates entirely, so ANY change of
+    // certificates leaves every verdict untouched — the strongest form.
+    let base = CertificateList::new();
+    let noisy = CertificateList::from_assignments(vec![CertificateAssignment::uniform(
+        &g,
+        BitString::from_bits01("1010"),
+    )]);
+    let o1 = run_tm(&tm, &g, &id, &base, &exec).unwrap();
+    let o2 = run_tm(&tm, &g, &id, &noisy, &exec).unwrap();
+    assert_eq!(o1.verdicts, o2.verdicts);
+    let _ = NodeId(0);
+}
