@@ -1,0 +1,337 @@
+//! Contract checks for arbiters and local reductions (rules
+//! `ARB001`/`ARB002` and `RED001`/`RED002`).
+//!
+//! Arbiters and reductions carry *declarations* — the complexity class an
+//! arbiter decides, the round budget it needs, the cluster structure a
+//! reduction produces — that the type system cannot enforce. These rules
+//! replay the artifacts on small probe inputs and compare the declarations
+//! against what actually happened.
+
+use lph_core::{Arbiter, Player};
+use lph_graphs::{CertificateAssignment, CertificateList, IdAssignment, LabeledGraph, NodeId};
+use lph_machine::ExecLimits;
+use lph_reductions::{apply, LocalReduction};
+
+use crate::diagnostic::Diagnostic;
+
+/// An arbiter plus the author's claims and a set of probe graphs.
+pub struct ArbiterArtifact {
+    /// The arbiter (its [`Arbiter::name`] names the diagnostics).
+    pub arbiter: Arbiter,
+    /// Claimed decision class, e.g. `"Σ1"` or `"Π2"` (`"Σ0"` for
+    /// deciders; for `ℓ = 0` the two names coincide and either is
+    /// accepted).
+    pub claimed_class: String,
+    /// Declared upper bound on communication rounds per run.
+    pub declared_rounds: usize,
+    /// Labeled inputs the arbiter is replayed on (labels must match the
+    /// encoding the arbiter expects).
+    pub probes: Vec<LabeledGraph>,
+}
+
+impl ArbiterArtifact {
+    /// Wraps an arbiter with its claims.
+    pub fn new(arbiter: Arbiter, claimed_class: &str, declared_rounds: usize) -> Self {
+        ArbiterArtifact {
+            arbiter,
+            claimed_class: claimed_class.to_owned(),
+            declared_rounds,
+            probes: Vec::new(),
+        }
+    }
+
+    /// Adds probe inputs.
+    #[must_use]
+    pub fn with_probes(mut self, probes: Vec<LabeledGraph>) -> Self {
+        self.probes = probes;
+        self
+    }
+
+    fn artifact(&self) -> String {
+        format!("arbiter:{}", self.arbiter.name())
+    }
+}
+
+/// Parses `"Σℓ"` / `"Πℓ"` into `(leading player, ℓ)`.
+fn parse_class(s: &str) -> Option<(Player, usize)> {
+    let mut chars = s.chars();
+    let player = match chars.next()? {
+        'Σ' => Player::Eve,
+        'Π' => Player::Adam,
+        _ => return None,
+    };
+    let ell: usize = chars.as_str().parse().ok()?;
+    Some((player, ell))
+}
+
+/// `ARB001` — the arbiter's [`lph_core::GameSpec`] must realize the
+/// claimed class: `ℓ` moves, Eve first for `Σℓ`, Adam first for `Πℓ`.
+pub fn check_game_spec(a: &ArbiterArtifact) -> Vec<Diagnostic> {
+    let spec = a.arbiter.spec();
+    let Some((player, ell)) = parse_class(&a.claimed_class) else {
+        return vec![Diagnostic::error(
+            "ARB001",
+            a.artifact(),
+            format!(
+                "unparseable class claim {:?} (expected Σℓ or Πℓ)",
+                a.claimed_class
+            ),
+        )];
+    };
+    let mut out = Vec::new();
+    if spec.ell != ell {
+        out.push(Diagnostic::error(
+            "ARB001",
+            a.artifact(),
+            format!(
+                "claimed {} but the game spec plays {} certificate moves",
+                a.claimed_class, spec.ell
+            ),
+        ));
+    }
+    if spec.ell > 0 && ell > 0 && spec.first != player {
+        let (want, have) = match player {
+            Player::Eve => ("Eve", "Adam"),
+            Player::Adam => ("Adam", "Eve"),
+        };
+        out.push(
+            Diagnostic::error(
+                "ARB001",
+                a.artifact(),
+                format!(
+                    "claimed {} ({want} moves first) but the spec starts with {have}",
+                    a.claimed_class
+                ),
+            )
+            .with_suggestion("use GameSpec::sigma for Σℓ and GameSpec::pi for Πℓ"),
+        );
+    }
+    out
+}
+
+/// `ARB002` — replay each probe with `ℓ` empty certificate moves and
+/// compare the metered round count against the declared bound. (Round
+/// count is independent of certificate *content* for the corpus machines:
+/// they pause once per traversed edge of their scan structure.)
+pub fn check_metered_rounds(a: &ArbiterArtifact) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if a.probes.is_empty() {
+        out.push(
+            Diagnostic::note(
+                "ARB002",
+                a.artifact(),
+                "no probe inputs declared; metered-usage checks were skipped",
+            )
+            .with_suggestion("attach at least one probe graph via with_probes"),
+        );
+        return out;
+    }
+    let spec = a.arbiter.spec().clone();
+    let limits = ExecLimits::default();
+    for (i, g) in a.probes.iter().enumerate() {
+        let id = IdAssignment::global(g);
+        let certs = CertificateList::from_assignments(
+            (0..spec.ell)
+                .map(|_| CertificateAssignment::empty(g))
+                .collect(),
+        );
+        match a.arbiter.run(g, &id, &certs, &limits) {
+            Ok(outcome) => {
+                if outcome.rounds > a.declared_rounds {
+                    out.push(
+                        Diagnostic::warning(
+                            "ARB002",
+                            a.artifact(),
+                            format!(
+                                "probe #{i} ({} nodes) ran {} rounds, exceeding the declared \
+                                 bound of {}",
+                                g.node_count(),
+                                outcome.rounds,
+                                a.declared_rounds,
+                            ),
+                        )
+                        .with_suggestion("raise the declared round bound or tighten the machine"),
+                    );
+                }
+            }
+            Err(e) => {
+                out.push(Diagnostic::error(
+                    "ARB002",
+                    a.artifact(),
+                    format!(
+                        "probe #{i} ({} nodes) failed to execute: {e}",
+                        g.node_count()
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// A local reduction plus probe inputs to replay it on.
+pub struct ReductionArtifact {
+    /// The reduction.
+    pub reduction: Box<dyn LocalReduction>,
+    /// Labeled inputs (labels must match the encoding the reduction
+    /// expects).
+    pub probes: Vec<LabeledGraph>,
+}
+
+impl ReductionArtifact {
+    /// Wraps a reduction with its probes.
+    pub fn new(reduction: Box<dyn LocalReduction>, probes: Vec<LabeledGraph>) -> Self {
+        ReductionArtifact { reduction, probes }
+    }
+
+    fn artifact(&self) -> String {
+        format!("reduction:{}", self.reduction.name())
+    }
+}
+
+/// A hand-presented cluster map `g : V(G') → V(G)` to check directly
+/// (used by fixtures and by external tooling; [`apply`] outputs are
+/// checked via [`check_reduction`]).
+pub struct ClusterMapArtifact {
+    /// Name for diagnostics.
+    pub name: String,
+    /// The output graph `G'`.
+    pub g_prime: LabeledGraph,
+    /// The input graph `G`.
+    pub g: LabeledGraph,
+    /// `assignment[w']` is the claimed image of `w' ∈ G'`.
+    pub assignment: Vec<NodeId>,
+}
+
+/// The Definition 21 conditions on a cluster assignment, checked from
+/// first principles: every node of `G'` maps into `G` (`RED001`), every
+/// edge of `G'` stays within a cluster or joins clusters of adjacent
+/// nodes (`RED001`), and every node of `G` has a nonempty cluster
+/// (`RED002`).
+pub fn check_assignment(
+    artifact: &str,
+    g_prime: &LabeledGraph,
+    g: &LabeledGraph,
+    assignment: &[NodeId],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if assignment.len() != g_prime.node_count() {
+        out.push(Diagnostic::error(
+            "RED001",
+            artifact,
+            format!(
+                "cluster assignment covers {} nodes but G' has {}",
+                assignment.len(),
+                g_prime.node_count(),
+            ),
+        ));
+        return out;
+    }
+    for (w, &target) in assignment.iter().enumerate() {
+        if target.0 >= g.node_count() {
+            out.push(Diagnostic::error(
+                "RED001",
+                artifact,
+                format!("node v{w} of G' maps to {target}, outside G"),
+            ));
+            return out;
+        }
+    }
+    for (u, v) in g_prime.edges() {
+        let (gu, gv) = (assignment[u.0], assignment[v.0]);
+        if gu != gv && !g.has_edge(gu, gv) {
+            out.push(
+                Diagnostic::error(
+                    "RED001",
+                    artifact,
+                    format!(
+                        "edge {{{u}, {v}}} of G' joins the clusters of non-adjacent nodes \
+                         {gu} and {gv}",
+                    ),
+                )
+                .with_suggestion(
+                    "outer edges may only connect a cluster to clusters of graph neighbors",
+                ),
+            );
+        }
+    }
+    let mut sizes = vec![0usize; g.node_count()];
+    for &t in assignment {
+        sizes[t.0] += 1;
+    }
+    for (w, &s) in sizes.iter().enumerate() {
+        if s == 0 {
+            out.push(
+                Diagnostic::warning(
+                    "RED002",
+                    artifact,
+                    format!("cluster of node v{w} of G is empty"),
+                )
+                .with_suggestion(
+                    "emit at least one node per cluster so every original node observes the \
+                     verdict",
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Runs `RED001`/`RED002` on a hand-presented cluster map.
+pub fn check_cluster_map(a: &ClusterMapArtifact) -> Vec<Diagnostic> {
+    check_assignment(
+        &format!("cluster-map:{}", a.name),
+        &a.g_prime,
+        &a.g,
+        &a.assignment,
+    )
+}
+
+/// Replays a reduction on its probes and runs the cluster-map conditions
+/// on each output (`RED001`/`RED002`; a probe the reduction rejects is an
+/// error, since corpus probes are well-formed inputs).
+pub fn check_reduction(a: &ReductionArtifact) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if a.probes.is_empty() {
+        out.push(
+            Diagnostic::note(
+                "RED001",
+                a.artifact(),
+                "no probe inputs declared; cluster-map checks were skipped",
+            )
+            .with_suggestion("attach at least one probe graph"),
+        );
+        return out;
+    }
+    for (i, g) in a.probes.iter().enumerate() {
+        let id = IdAssignment::global(g);
+        match apply(a.reduction.as_ref(), g, &id) {
+            Ok((g_prime, map)) => {
+                out.extend(check_assignment(
+                    &a.artifact(),
+                    &g_prime,
+                    g,
+                    map.assignment(),
+                ));
+            }
+            Err(e) => {
+                out.push(Diagnostic::error(
+                    "RED001",
+                    a.artifact(),
+                    format!(
+                        "probe #{i} ({} nodes) failed to reduce: {e}",
+                        g.node_count()
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Runs every contract rule over one arbiter artifact.
+pub fn check_arbiter(a: &ArbiterArtifact) -> Vec<Diagnostic> {
+    let mut out = check_game_spec(a);
+    out.extend(check_metered_rounds(a));
+    out
+}

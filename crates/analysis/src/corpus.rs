@@ -1,0 +1,174 @@
+//! The built-in corpus: every hand-built machine, example sentence,
+//! arbiter, and reduction shipped by the workspace, wrapped as artifacts
+//! with the claims stated in their documentation.
+//!
+//! `lph-lint` runs the full rule set over [`builtin`]; the tier-1 test
+//! `tests/lint_corpus.rs` asserts the result is empty.
+
+use lph_core::arbiters;
+use lph_graphs::{generators, IdAssignment, LabeledGraph};
+use lph_logic::examples;
+use lph_machine::machines;
+use lph_reductions::{
+    apply,
+    cook_levin::{lfo_to_sat_graph, LfoToSatGraph},
+    eulerian::AllSelectedToEulerian,
+    hamiltonian::{AllSelectedToHamiltonian, NotAllSelectedToHamiltonian},
+    sat_to_three_sat::SatGraphToThreeSatGraph,
+    three_col::ThreeSatGraphToThreeColorable,
+};
+
+use crate::contract::{self, ArbiterArtifact, ClusterMapArtifact, ReductionArtifact};
+use crate::diagnostic::{sort_diagnostics, Diagnostic};
+use crate::dtm::{self, DtmArtifact};
+use crate::formula::{self, SentenceArtifact};
+use crate::registry::RuleConfig;
+
+/// Every artifact the analyzer ships with.
+pub struct Corpus {
+    /// Hand-built distributed Turing machines.
+    pub dtms: Vec<DtmArtifact>,
+    /// Example sentences with their hierarchy claims.
+    pub sentences: Vec<SentenceArtifact>,
+    /// Arbiters with class claims and probe inputs.
+    pub arbiters: Vec<ArbiterArtifact>,
+    /// Local reductions with probe inputs.
+    pub reductions: Vec<ReductionArtifact>,
+    /// Hand-presented cluster maps (empty in the built-in corpus; the
+    /// reductions' maps are derived from probes).
+    pub cluster_maps: Vec<ClusterMapArtifact>,
+}
+
+/// Small `{0,1}`-labeled probe inputs for selected-style artifacts.
+fn selected_probes() -> Vec<LabeledGraph> {
+    // No single-node probe: the Eulerian/Hamiltonian gadget reductions
+    // need every node to have an incident edge to anchor their gadgets.
+    vec![
+        generators::labeled_cycle(&["1", "1", "1"]),
+        generators::labeled_path(&["1", "0"]),
+    ]
+}
+
+/// A well-formed `SAT-GRAPH` probe, produced by the Theorem 19 reduction
+/// itself (the only shipped producer of that labeling).
+fn sat_graph_probe() -> LabeledGraph {
+    let g = generators::labeled_cycle(&["1", "1", "1"]);
+    let id = IdAssignment::global(&g);
+    let (sat_g, _) = lfo_to_sat_graph(&examples::all_selected(), &g, &id)
+        .expect("Theorem 19 reduction on a well-formed probe");
+    sat_g
+}
+
+/// A well-formed `3-SAT-GRAPH` probe (Tseytin applied to the SAT probe).
+fn three_sat_graph_probe() -> LabeledGraph {
+    let sat_g = sat_graph_probe();
+    let id = IdAssignment::global(&sat_g);
+    let (three_g, _) = apply(&SatGraphToThreeSatGraph, &sat_g, &id)
+        .expect("Tseytin reduction on a well-formed probe");
+    three_g
+}
+
+/// The built-in corpus, with the claims stated in each artifact's
+/// documentation.
+pub fn builtin() -> Corpus {
+    let dtms = vec![
+        DtmArtifact::new(
+            "all_selected_decider",
+            machines::all_selected_decider(),
+            true,
+        ),
+        DtmArtifact::new(
+            "proper_coloring_verifier",
+            machines::proper_coloring_verifier(),
+            false,
+        ),
+        DtmArtifact::new("echo_machine", machines::echo_machine(), false),
+        DtmArtifact::new("even_degree_decider", machines::even_degree_decider(), true),
+        DtmArtifact::new(
+            "project_label_machine",
+            machines::project_label_machine(),
+            true,
+        ),
+    ];
+    let sentences = vec![
+        SentenceArtifact::new("all_selected", examples::all_selected(), "Σ0 = Π0"),
+        SentenceArtifact::new("three_colorable", examples::three_colorable(), "Σ1").monadic(),
+        SentenceArtifact::new("two_colorable", examples::k_colorable(2), "Σ1").monadic(),
+        SentenceArtifact::new("not_all_selected", examples::not_all_selected(), "Σ3"),
+        SentenceArtifact::new("non_three_colorable", examples::non_three_colorable(), "Π4"),
+        SentenceArtifact::new("hamiltonian", examples::hamiltonian(), "Σ5"),
+        SentenceArtifact::new("non_hamiltonian", examples::non_hamiltonian(), "Π4"),
+    ];
+    let arbiters = vec![
+        ArbiterArtifact::new(arbiters::all_selected_decider(), "Σ0", 1)
+            .with_probes(selected_probes()),
+        ArbiterArtifact::new(arbiters::eulerian_decider(), "Σ0", 1)
+            .with_probes(vec![generators::cycle(4), generators::complete(3)]),
+        ArbiterArtifact::new(arbiters::three_colorable_verifier(), "Σ1", 2)
+            .with_probes(vec![generators::cycle(4), generators::complete(3)]),
+        ArbiterArtifact::new(arbiters::two_colorable_verifier(), "Σ1", 2)
+            .with_probes(vec![generators::cycle(4), generators::path(3)]),
+        ArbiterArtifact::new(arbiters::sat_graph_verifier(), "Σ1", 2)
+            .with_probes(vec![sat_graph_probe()]),
+        ArbiterArtifact::new(arbiters::not_all_selected_sigma3(), "Σ3", 2)
+            .with_probes(selected_probes()),
+        ArbiterArtifact::new(arbiters::distance_to_unselected_verifier(2), "Σ1", 2)
+            .with_probes(selected_probes()),
+        ArbiterArtifact::new(arbiters::pointer_to_unselected_verifier(), "Σ1", 2)
+            .with_probes(selected_probes()),
+    ];
+    let reductions = vec![
+        ReductionArtifact::new(Box::new(AllSelectedToEulerian), selected_probes()),
+        ReductionArtifact::new(Box::new(AllSelectedToHamiltonian), selected_probes()),
+        ReductionArtifact::new(Box::new(NotAllSelectedToHamiltonian), selected_probes()),
+        ReductionArtifact::new(
+            Box::new(LfoToSatGraph::new(examples::all_selected())),
+            selected_probes(),
+        ),
+        ReductionArtifact::new(
+            Box::new(LfoToSatGraph::new(examples::three_colorable())),
+            selected_probes(),
+        ),
+        ReductionArtifact::new(Box::new(SatGraphToThreeSatGraph), vec![sat_graph_probe()]),
+        ReductionArtifact::new(
+            Box::new(ThreeSatGraphToThreeColorable),
+            vec![three_sat_graph_probe()],
+        ),
+    ];
+    Corpus {
+        dtms,
+        sentences,
+        arbiters,
+        reductions,
+        cluster_maps: Vec::new(),
+    }
+}
+
+/// Runs every rule over a corpus, applies the configuration, and sorts
+/// the surviving diagnostics for stable output.
+pub fn run(corpus: &Corpus, config: &RuleConfig) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for a in &corpus.dtms {
+        diags.extend(dtm::check_all(a));
+    }
+    for a in &corpus.sentences {
+        diags.extend(formula::check_all(a));
+    }
+    for a in &corpus.arbiters {
+        diags.extend(contract::check_arbiter(a));
+    }
+    for a in &corpus.reductions {
+        diags.extend(contract::check_reduction(a));
+    }
+    for a in &corpus.cluster_maps {
+        diags.extend(contract::check_cluster_map(a));
+    }
+    let mut diags = config.apply(diags);
+    sort_diagnostics(&mut diags);
+    diags
+}
+
+/// Runs every rule over the built-in corpus.
+pub fn run_builtin(config: &RuleConfig) -> Vec<Diagnostic> {
+    run(&builtin(), config)
+}

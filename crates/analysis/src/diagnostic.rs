@@ -1,0 +1,168 @@
+//! The shared diagnostic type every lint rule emits.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+///
+/// `Error` means the artifact violates a property the paper's definitions
+/// require (the corpus must never ship one); `Warning` flags likely
+/// authoring mistakes; `Note` is informational.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational.
+    Note,
+    /// Probable authoring mistake.
+    Warning,
+    /// Definition-level violation.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase name used in text and JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses the lowercase name back into a severity.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "note" => Some(Severity::Note),
+            "warning" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding of a lint rule over one artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule code, e.g. `DTM001` (see [`crate::registry::RULES`]).
+    pub code: String,
+    /// The finding's severity (after configuration is applied).
+    pub severity: Severity,
+    /// The artifact the finding is about, e.g. `dtm:all_selected_decider`.
+    pub artifact: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it, when the rule can tell.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// An error-severity diagnostic.
+    pub fn error(
+        code: &str,
+        artifact: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code: code.to_owned(),
+            severity: Severity::Error,
+            artifact: artifact.into(),
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// A warning-severity diagnostic.
+    pub fn warning(
+        code: &str,
+        artifact: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, artifact, message)
+        }
+    }
+
+    /// A note-severity diagnostic.
+    pub fn note(code: &str, artifact: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Note,
+            ..Diagnostic::error(code, artifact, message)
+        }
+    }
+
+    /// Attaches a fix suggestion.
+    #[must_use]
+    pub fn with_suggestion(mut self, s: impl Into<String>) -> Diagnostic {
+        self.suggestion = Some(s.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    /// `error[DTM001] dtm:echo: message` plus an indented suggestion line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.artifact, self.message
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, "\n    suggestion: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Orders diagnostics for stable output: most severe first, then by
+/// artifact, code, and message.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.artifact.cmp(&b.artifact))
+            .then_with(|| a.code.cmp(&b.code))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shows_code_artifact_and_suggestion() {
+        let d = Diagnostic::warning("DTM002", "dtm:echo", "state `x` is unreachable")
+            .with_suggestion("remove the state");
+        let s = d.to_string();
+        assert!(s.starts_with("warning[DTM002] dtm:echo: state"));
+        assert!(s.contains("suggestion: remove the state"));
+    }
+
+    #[test]
+    fn severity_round_trips_through_names() {
+        for sev in [Severity::Note, Severity::Warning, Severity::Error] {
+            assert_eq!(Severity::parse(sev.as_str()), Some(sev));
+        }
+        assert_eq!(Severity::parse("fatal"), None);
+    }
+
+    #[test]
+    fn sorting_puts_errors_first() {
+        let mut ds = vec![
+            Diagnostic::note("A", "z", "n"),
+            Diagnostic::error("B", "a", "e"),
+            Diagnostic::warning("C", "m", "w"),
+        ];
+        sort_diagnostics(&mut ds);
+        let sevs: Vec<Severity> = ds.iter().map(|d| d.severity).collect();
+        assert_eq!(
+            sevs,
+            vec![Severity::Error, Severity::Warning, Severity::Note]
+        );
+    }
+}

@@ -1,0 +1,486 @@
+//! Static checks over [`DistributedTm`] transition tables (rules
+//! `DTM001`–`DTM006`).
+//!
+//! The checks work on the *expanded* table (the builder's wildcard rules
+//! are already resolved to concrete `(state, Σ³)` entries), so they see
+//! exactly what the interpreter in `lph_machine::run_tm` sees.
+//!
+//! The left-end–discipline rule (`DTM004`) runs a small abstract
+//! interpretation tracking, per state and tape, whether the head can be on
+//! cell 0 (the `⊢` cell). Wildcard-built machines contain many entries
+//! that scan `⊢` but are dynamically dead — the head never returns to the
+//! marker in that state — and the abstraction separates those from entries
+//! that can really fire. The abstraction is sound (over-approximates
+//! reachable head positions) as long as no entry writes `⊢` onto another
+//! cell, which is itself checked first.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use lph_machine::{DistributedTm, Move, StateId, Sym};
+
+use crate::diagnostic::Diagnostic;
+
+/// A distributed Turing machine plus the author's claims about it.
+pub struct DtmArtifact {
+    /// Corpus name (diagnostics are reported against `dtm:<name>`).
+    pub name: String,
+    /// The machine.
+    pub tm: DistributedTm,
+    /// Claimed to finish in a single round (never reach `q_pause`).
+    pub single_round: bool,
+    /// Claimed per-round step budget, if the author states one.
+    pub step_budget: Option<usize>,
+}
+
+impl DtmArtifact {
+    /// Wraps a machine with its claims.
+    pub fn new(name: &str, tm: DistributedTm, single_round: bool) -> Self {
+        DtmArtifact {
+            name: name.to_owned(),
+            tm,
+            single_round,
+            step_budget: None,
+        }
+    }
+
+    /// Adds a claimed per-round step budget.
+    #[must_use]
+    pub fn with_step_budget(mut self, steps: usize) -> Self {
+        self.step_budget = Some(steps);
+        self
+    }
+
+    fn artifact(&self) -> String {
+        format!("dtm:{}", self.name)
+    }
+}
+
+fn fmt_triple(s: [Sym; 3]) -> String {
+    format!(
+        "({}, {}, {})",
+        s[0].as_char(),
+        s[1].as_char(),
+        s[2].as_char()
+    )
+}
+
+/// States whose entries the interpreter can consult: everything reachable
+/// from `q_start` in the state graph, minus `q_pause`/`q_stop` (the round
+/// loop exits before scanning in either).
+fn reachable_states(tm: &DistributedTm) -> BTreeSet<usize> {
+    let mut succ: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for (q, _, t) in tm.transitions() {
+        succ.entry(q.0).or_default().insert(t.next.0);
+    }
+    let mut seen = BTreeSet::from([tm.start().0]);
+    let mut queue = VecDeque::from([tm.start().0]);
+    while let Some(q) = queue.pop_front() {
+        for &n in succ.get(&q).into_iter().flatten() {
+            if seen.insert(n) {
+                queue.push_back(n);
+            }
+        }
+    }
+    seen
+}
+
+/// `DTM001` — totality: every reachable computing state must have an entry
+/// for each of the 125 symbol triples (the paper's `δ` is a total
+/// function; a gap is a latent [`lph_machine::MachineError::MissingTransition`]).
+pub fn check_totality(a: &DtmArtifact) -> Vec<Diagnostic> {
+    let reachable = reachable_states(&a.tm);
+    let mut present: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut example_missing: BTreeMap<usize, [Sym; 3]> = BTreeMap::new();
+    for (q, scanned, _) in a.tm.transitions() {
+        *present.entry(q.0).or_default() += 1;
+        example_missing.remove(&q.0);
+        let _ = scanned;
+    }
+    let mut out = Vec::new();
+    for &q in &reachable {
+        if q == a.tm.pause().0 || q == a.tm.stop().0 {
+            continue;
+        }
+        let have = present.get(&q).copied().unwrap_or(0);
+        if have < 125 {
+            // Find one concrete missing triple for the message.
+            let mut missing = None;
+            'search: for s0 in Sym::ALL {
+                for s1 in Sym::ALL {
+                    for s2 in Sym::ALL {
+                        if a.tm.step(StateId(q), [s0, s1, s2]).is_err() {
+                            missing = Some([s0, s1, s2]);
+                            break 'search;
+                        }
+                    }
+                }
+            }
+            let triple = missing.map(fmt_triple).unwrap_or_default();
+            out.push(
+                Diagnostic::error(
+                    "DTM001",
+                    a.artifact(),
+                    format!(
+                        "state `{}` covers {have}/125 symbol triples; e.g. no entry for {triple}",
+                        a.tm.state_name(StateId(q)),
+                    ),
+                )
+                .with_suggestion(
+                    "add a final catch-all rule ([Pat::Any; 3]) routing to the verdict epilogue",
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// `DTM002` — unreachable states, and `DTM003` — dead transitions (entries
+/// of states the interpreter can never consult: unreachable states plus
+/// `q_pause`/`q_stop`).
+pub fn check_reachability(a: &DtmArtifact) -> Vec<Diagnostic> {
+    let reachable = reachable_states(&a.tm);
+    let mut out = Vec::new();
+    for q in a.tm.states() {
+        let designated = [a.tm.start(), a.tm.pause(), a.tm.stop()].contains(&q);
+        if !designated && !reachable.contains(&q.0) {
+            out.push(
+                Diagnostic::warning(
+                    "DTM002",
+                    a.artifact(),
+                    format!("state `{}` is unreachable from q_start", a.tm.state_name(q)),
+                )
+                .with_suggestion("remove the state or add a rule transitioning into it"),
+            );
+        }
+    }
+    let mut dead: BTreeMap<usize, usize> = BTreeMap::new();
+    for (q, _, _) in a.tm.transitions() {
+        let never_scans = q == a.tm.pause() || q == a.tm.stop() || !reachable.contains(&q.0);
+        if never_scans {
+            *dead.entry(q.0).or_default() += 1;
+        }
+    }
+    for (q, count) in dead {
+        out.push(
+            Diagnostic::warning(
+                "DTM003",
+                a.artifact(),
+                format!(
+                    "{count} dead transition entr{} from `{}`, which never scans",
+                    if count == 1 { "y" } else { "ies" },
+                    a.tm.state_name(StateId(q)),
+                ),
+            )
+            .with_suggestion("delete the rules declared for this state"),
+        );
+    }
+    out
+}
+
+/// Per-tape head-position abstraction: can the head be on cell 0, can it
+/// be elsewhere?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct HeadAbs {
+    at0: bool,
+    beyond: bool,
+}
+
+impl HeadAbs {
+    fn join(self, other: HeadAbs) -> HeadAbs {
+        HeadAbs {
+            at0: self.at0 || other.at0,
+            beyond: self.beyond || other.beyond,
+        }
+    }
+}
+
+/// The abstractly reachable `(state, per-tape head abstraction)` pairs,
+/// starting from `q_start` with all heads on cell 0. Entries scanning `⊢`
+/// on tape `i` only apply when the abstraction admits `at0` there (sound
+/// while no entry writes `⊢` elsewhere — checked by `DTM004` first).
+type EntryTable = BTreeMap<(usize, [Sym; 3]), (StateId, [Sym; 3], [Move; 3])>;
+
+fn head_abstraction(tm: &DistributedTm) -> BTreeMap<usize, [HeadAbs; 3]> {
+    let mut table: EntryTable = BTreeMap::new();
+    for (q, scanned, t) in tm.transitions() {
+        table.insert((q.0, scanned), (t.next, t.write, t.moves));
+    }
+    let init = [HeadAbs {
+        at0: true,
+        beyond: false,
+    }; 3];
+    let mut best: BTreeMap<usize, [HeadAbs; 3]> = BTreeMap::from([(tm.start().0, init)]);
+    let mut queue = VecDeque::from([tm.start().0]);
+    while let Some(q) = queue.pop_front() {
+        if q == tm.pause().0 || q == tm.stop().0 {
+            continue;
+        }
+        let abs = best[&q];
+        for (&(state, scanned), &(next, _write, moves)) in table.range((q, [Sym::LeftEnd; 3])..) {
+            if state != q {
+                break;
+            }
+            // Does the abstraction admit this scanned triple?
+            let admitted = (0..3).all(|i| {
+                if scanned[i] == Sym::LeftEnd {
+                    abs[i].at0
+                } else {
+                    abs[i].beyond
+                }
+            });
+            if !admitted {
+                continue;
+            }
+            // Refine each head to the position the scan implies, then move.
+            let mut succ = [HeadAbs {
+                at0: false,
+                beyond: false,
+            }; 3];
+            for i in 0..3 {
+                let refined_at0 = scanned[i] == Sym::LeftEnd;
+                succ[i] = match (moves[i], refined_at0) {
+                    (Move::S, true) => HeadAbs {
+                        at0: true,
+                        beyond: false,
+                    },
+                    (Move::S, false) => HeadAbs {
+                        at0: false,
+                        beyond: true,
+                    },
+                    (Move::R, _) => HeadAbs {
+                        at0: false,
+                        beyond: true,
+                    },
+                    // L from cell 0 is a runtime error (flagged by DTM004);
+                    // L from beyond may land on cell 0 or stay beyond.
+                    (Move::L, true) => HeadAbs {
+                        at0: true,
+                        beyond: false,
+                    },
+                    (Move::L, false) => HeadAbs {
+                        at0: true,
+                        beyond: true,
+                    },
+                };
+            }
+            let merged = match best.get(&next.0) {
+                Some(old) => [
+                    old[0].join(succ[0]),
+                    old[1].join(succ[1]),
+                    old[2].join(succ[2]),
+                ],
+                None => succ,
+            };
+            if best.get(&next.0) != Some(&merged) {
+                best.insert(next.0, merged);
+                queue.push_back(next.0);
+            }
+        }
+    }
+    best
+}
+
+/// `DTM004` — left-end (and tape-alphabet) discipline:
+///
+/// * writing `⊢` onto a cell that did not scan `⊢` breaks the invariant
+///   that the marker occupies exactly cell 0 (error — it also invalidates
+///   every other static check);
+/// * an abstractly reachable entry that scans `⊢` and overwrites it, or
+///   scans `⊢` and moves left, is a latent `OverwroteLeftEnd` /
+///   `HeadOffTape` runtime error (warning — the abstraction may
+///   over-approximate).
+pub fn check_tape_discipline(a: &DtmArtifact) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let tape_name = ["receiving", "internal", "sending"];
+    for (q, scanned, t) in a.tm.transitions() {
+        for i in 0..3 {
+            if t.write[i] == Sym::LeftEnd && scanned[i] != Sym::LeftEnd {
+                out.push(
+                    Diagnostic::error(
+                        "DTM004",
+                        a.artifact(),
+                        format!(
+                            "entry ({}, {}) writes `⊢` onto the {} tape away from cell 0",
+                            a.tm.state_name(q),
+                            fmt_triple(scanned),
+                            tape_name[i],
+                        ),
+                    )
+                    .with_suggestion("only WriteOp::Keep may preserve the left-end marker"),
+                );
+            }
+        }
+    }
+    if !out.is_empty() {
+        // The abstraction below assumes marker discipline; don't pile
+        // unsound findings on top of the closure violation.
+        return out;
+    }
+    let abs = head_abstraction(&a.tm);
+    for (q, scanned, t) in a.tm.transitions() {
+        let Some(cfg) = abs.get(&q.0) else { continue };
+        let admitted = (0..3).all(|i| {
+            if scanned[i] == Sym::LeftEnd {
+                cfg[i].at0
+            } else {
+                cfg[i].beyond
+            }
+        });
+        if !admitted {
+            continue;
+        }
+        for i in 0..3 {
+            if scanned[i] != Sym::LeftEnd {
+                continue;
+            }
+            if t.write[i] != Sym::LeftEnd {
+                out.push(
+                    Diagnostic::warning(
+                        "DTM004",
+                        a.artifact(),
+                        format!(
+                            "reachable entry ({}, {}) overwrites `⊢` on the {} tape",
+                            a.tm.state_name(q),
+                            fmt_triple(scanned),
+                            tape_name[i],
+                        ),
+                    )
+                    .with_suggestion("guard the rule with Pat::Not(Sym::LeftEnd)"),
+                );
+            }
+            if t.moves[i] == Move::L {
+                out.push(
+                    Diagnostic::warning(
+                        "DTM004",
+                        a.artifact(),
+                        format!(
+                            "reachable entry ({}, {}) moves the {} head left of `⊢`",
+                            a.tm.state_name(q),
+                            fmt_triple(scanned),
+                            tape_name[i],
+                        ),
+                    )
+                    .with_suggestion("use Move::S or Move::R when scanning the marker"),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// `DTM005` — halt-state reachability: `q_stop` must be reachable from
+/// `q_start` (otherwise every execution dies on the round limit), and the
+/// single-round claim must agree with `q_pause` reachability.
+pub fn check_halting(a: &DtmArtifact) -> Vec<Diagnostic> {
+    let reachable = reachable_states(&a.tm);
+    let mut out = Vec::new();
+    if !reachable.contains(&a.tm.stop().0) {
+        out.push(
+            Diagnostic::error(
+                "DTM005",
+                a.artifact(),
+                "q_stop is unreachable from q_start: the machine can never halt",
+            )
+            .with_suggestion("route at least one rule (directly or transitively) to q_stop"),
+        );
+    }
+    let pauses = reachable.contains(&a.tm.pause().0);
+    if a.single_round && pauses {
+        out.push(Diagnostic::warning(
+            "DTM005",
+            a.artifact(),
+            "machine is declared single-round but q_pause is reachable",
+        ));
+    }
+    if !a.single_round && !pauses {
+        out.push(
+            Diagnostic::warning(
+                "DTM005",
+                a.artifact(),
+                "machine is declared multi-round but q_pause is unreachable",
+            )
+            .with_suggestion("declare the machine single-round"),
+        );
+    }
+    out
+}
+
+/// `DTM006` — conservative non-termination detection: an entry with no
+/// progress (writes back what it scanned, all heads stay) repeats the
+/// exact machine configuration, so any cycle of such entries — the scanned
+/// triple cannot change along it — loops forever once entered.
+pub fn check_progress(a: &DtmArtifact) -> Vec<Diagnostic> {
+    let mut no_progress: BTreeMap<[Sym; 3], BTreeMap<usize, usize>> = BTreeMap::new();
+    for (q, scanned, t) in a.tm.transitions() {
+        if t.write == scanned && t.moves == [Move::S; 3] {
+            no_progress
+                .entry(scanned)
+                .or_default()
+                .insert(q.0, t.next.0);
+        }
+    }
+    let reachable = reachable_states(&a.tm);
+    let mut out = Vec::new();
+    for (scanned, succ) in &no_progress {
+        // Functional graph on states: walk from each state, a revisit
+        // within the walk is a cycle.
+        let mut classified: BTreeSet<usize> = BTreeSet::new();
+        for &start in succ.keys() {
+            if classified.contains(&start) || !reachable.contains(&start) {
+                continue;
+            }
+            let mut path = Vec::new();
+            let mut seen_here: BTreeSet<usize> = BTreeSet::new();
+            let mut cur = start;
+            while let Some(&next) = succ.get(&cur) {
+                if seen_here.contains(&cur) {
+                    // Cycle found; report it once via its smallest state.
+                    let cycle_start = cur;
+                    let names: Vec<&str> = path
+                        .iter()
+                        .skip_while(|&&q| q != cycle_start)
+                        .map(|&q| a.tm.state_name(StateId(q)))
+                        .collect();
+                    let budget_note = match a.step_budget {
+                        Some(b) => {
+                            format!(" (the declared step budget of {b} cannot be met)")
+                        }
+                        None => String::new(),
+                    };
+                    out.push(
+                        Diagnostic::error(
+                            "DTM006",
+                            a.artifact(),
+                            format!(
+                                "no-progress cycle [{}] scanning {}: the configuration \
+                                 repeats exactly, so the round never ends{budget_note}",
+                                names.join(" → "),
+                                fmt_triple(*scanned),
+                            ),
+                        )
+                        .with_suggestion(
+                            "make some transition of the cycle move a head or write a \
+                             different symbol",
+                        ),
+                    );
+                    break;
+                }
+                seen_here.insert(cur);
+                path.push(cur);
+                cur = next;
+            }
+            classified.extend(seen_here);
+        }
+    }
+    out
+}
+
+/// Runs every DTM rule over one artifact.
+pub fn check_all(a: &DtmArtifact) -> Vec<Diagnostic> {
+    let mut out = check_totality(a);
+    out.extend(check_reachability(a));
+    out.extend(check_tape_discipline(a));
+    out.extend(check_halting(a));
+    out.extend(check_progress(a));
+    out
+}

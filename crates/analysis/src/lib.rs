@@ -1,0 +1,52 @@
+//! Rule-based static analysis over the workspace's formal artifacts —
+//! distributed Turing machines, prenex second-order sentences, arbiters,
+//! and local reductions.
+//!
+//! The repo's artifacts carry *claims* the type system cannot see: a
+//! transition table claims to be total, a sentence claims to sit on level
+//! `Σ3` of the local hierarchy, an arbiter claims to realize a `Σ1` game
+//! in two rounds, a reduction claims to output valid cluster maps. Each
+//! lint rule recomputes one such claim from first principles and emits a
+//! [`Diagnostic`] when the artifact disagrees with itself.
+//!
+//! * [`dtm`] — transition-table rules `DTM001`–`DTM006` (totality,
+//!   reachability, dead entries, left-end discipline, halting,
+//!   non-termination).
+//! * [`formula`] — sentence rules `FRM001`–`FRM005` (unused and shadowed
+//!   variables, signature conformance, level/fragment claims,
+//!   monadicity claims).
+//! * [`contract`] — arbiter and reduction rules `ARB001`/`ARB002` and
+//!   `RED001`/`RED002` (game-spec realization, metered rounds,
+//!   cluster-map conditions).
+//! * [`registry`] — the rule table and allow/deny configuration.
+//! * [`corpus`] — the built-in corpus of shipped artifacts; `lph-lint`
+//!   runs the rules over it.
+//! * [`json`] — a dependency-free JSON emitter/parser for `--format json`.
+//!
+//! # Example
+//!
+//! ```
+//! use lph_analysis::{run_builtin, RuleConfig};
+//!
+//! // The shipped corpus is lint-clean.
+//! let diags = run_builtin(&RuleConfig::new());
+//! assert!(diags.is_empty(), "{diags:?}");
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod contract;
+pub mod corpus;
+pub mod diagnostic;
+pub mod dtm;
+pub mod formula;
+pub mod json;
+pub mod registry;
+
+pub use contract::{ArbiterArtifact, ClusterMapArtifact, ReductionArtifact};
+pub use corpus::{builtin, run, run_builtin, Corpus};
+pub use diagnostic::{sort_diagnostics, Diagnostic, Severity};
+pub use dtm::DtmArtifact;
+pub use formula::SentenceArtifact;
+pub use json::{diagnostics_from_json, diagnostics_to_json, Json};
+pub use registry::{rule, RuleConfig, RuleInfo, RULES};

@@ -1,0 +1,229 @@
+//! The rule registry: one row per lint rule, plus the allow/deny
+//! configuration applied to raw diagnostics.
+
+use std::collections::BTreeSet;
+
+use crate::diagnostic::{Diagnostic, Severity};
+
+/// Static metadata about one lint rule.
+pub struct RuleInfo {
+    /// The diagnostic code, e.g. `DTM001`.
+    pub code: &'static str,
+    /// A short name.
+    pub name: &'static str,
+    /// What the rule checks.
+    pub description: &'static str,
+    /// The severity the rule usually fires at (individual diagnostics may
+    /// differ; e.g. `DTM004` has both error- and warning-level findings).
+    pub default_severity: Severity,
+}
+
+/// Every rule the analyzer knows, in code order.
+pub const RULES: [RuleInfo; 15] = [
+    RuleInfo {
+        code: "DTM001",
+        name: "tm-totality",
+        description: "every reachable computing state covers all 125 symbol triples",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        code: "DTM002",
+        name: "tm-unreachable-state",
+        description: "non-designated states must be reachable from q_start",
+        default_severity: Severity::Warning,
+    },
+    RuleInfo {
+        code: "DTM003",
+        name: "tm-dead-transitions",
+        description: "no transition entries from states that never scan",
+        default_severity: Severity::Warning,
+    },
+    RuleInfo {
+        code: "DTM004",
+        name: "tm-tape-discipline",
+        description: "the left-end marker stays on cell 0 and is never overwritten or crossed",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        code: "DTM005",
+        name: "tm-halting",
+        description: "q_stop is reachable and the single-round claim matches q_pause use",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        code: "DTM006",
+        name: "tm-no-progress-cycle",
+        description: "no cycle of transitions that repeat the machine configuration exactly",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        code: "FRM001",
+        name: "formula-unused-var",
+        description: "every quantified variable occurs in its body",
+        default_severity: Severity::Warning,
+    },
+    RuleInfo {
+        code: "FRM002",
+        name: "formula-shadowing",
+        description: "no quantifier re-binds a variable already in scope",
+        default_severity: Severity::Warning,
+    },
+    RuleInfo {
+        code: "FRM003",
+        name: "formula-signature",
+        description: "atoms stay inside the declared signature; SO indices are arity-consistent",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        code: "FRM004",
+        name: "formula-level-claim",
+        description: "the claimed Σℓ/Πℓ level and LFO/FO fragment match the recomputed ones",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        code: "FRM005",
+        name: "formula-monadic-claim",
+        description: "monadicity claims match the quantified arities",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        code: "ARB001",
+        name: "arbiter-game-spec",
+        description: "the game spec realizes the claimed Σℓ/Πℓ class",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        code: "ARB002",
+        name: "arbiter-metered-rounds",
+        description: "replayed round counts stay within the declared bound",
+        default_severity: Severity::Warning,
+    },
+    RuleInfo {
+        code: "RED001",
+        name: "reduction-cluster-adjacency",
+        description: "reduction outputs satisfy the Definition 21 cluster-map edge condition",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        code: "RED002",
+        name: "reduction-cluster-surjectivity",
+        description: "every input node receives a nonempty cluster",
+        default_severity: Severity::Warning,
+    },
+];
+
+/// Looks a rule up by code.
+pub fn rule(code: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.code == code)
+}
+
+/// Allow/deny configuration, with `rustc`-like semantics: `allow`
+/// suppresses a rule's diagnostics entirely, `deny` escalates them to
+/// errors, and `deny_warnings` escalates every warning.
+#[derive(Debug, Default, Clone)]
+pub struct RuleConfig {
+    allowed: BTreeSet<String>,
+    denied: BTreeSet<String>,
+    deny_warnings: bool,
+}
+
+impl RuleConfig {
+    /// The default configuration (rule severities unchanged).
+    pub fn new() -> Self {
+        RuleConfig::default()
+    }
+
+    /// Suppresses a rule. Unknown codes are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending code when it names no rule.
+    pub fn allow(&mut self, code: &str) -> Result<(), String> {
+        if rule(code).is_none() {
+            return Err(format!("unknown rule code `{code}`"));
+        }
+        self.allowed.insert(code.to_owned());
+        Ok(())
+    }
+
+    /// Escalates a rule to error severity. Unknown codes are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending code when it names no rule.
+    pub fn deny(&mut self, code: &str) -> Result<(), String> {
+        if rule(code).is_none() {
+            return Err(format!("unknown rule code `{code}`"));
+        }
+        self.denied.insert(code.to_owned());
+        Ok(())
+    }
+
+    /// Escalates every warning to an error (`--deny warnings`).
+    pub fn deny_all_warnings(&mut self) {
+        self.deny_warnings = true;
+    }
+
+    /// Applies the configuration: drops allowed codes and escalates
+    /// denied ones, preserving the input order otherwise.
+    pub fn apply(&self, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        diags
+            .into_iter()
+            .filter(|d| !self.allowed.contains(&d.code))
+            .map(|mut d| {
+                if self.denied.contains(&d.code)
+                    || (self.deny_warnings && d.severity == Severity::Warning)
+                {
+                    d.severity = Severity::Error;
+                }
+                d
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_codes_are_unique_and_sorted_per_family() {
+        let codes: Vec<&str> = RULES.iter().map(|r| r.code).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), RULES.len(), "duplicate rule code");
+        assert!(rule("DTM001").is_some());
+        assert!(rule("XXX999").is_none());
+    }
+
+    #[test]
+    fn allow_drops_and_deny_escalates() {
+        let mut cfg = RuleConfig::new();
+        cfg.allow("DTM002").unwrap();
+        cfg.deny("FRM001").unwrap();
+        assert!(cfg.allow("NOPE01").is_err());
+        let diags = vec![
+            Diagnostic::warning("DTM002", "a", "dropped"),
+            Diagnostic::warning("FRM001", "a", "escalated"),
+            Diagnostic::warning("FRM002", "a", "kept"),
+        ];
+        let out = cfg.apply(diags);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].code, "FRM001");
+        assert_eq!(out[0].severity, Severity::Error);
+        assert_eq!(out[1].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn deny_warnings_spares_notes() {
+        let mut cfg = RuleConfig::new();
+        cfg.deny_all_warnings();
+        let out = cfg.apply(vec![
+            Diagnostic::warning("DTM002", "a", "w"),
+            Diagnostic::note("FRM005", "a", "n"),
+        ]);
+        assert_eq!(out[0].severity, Severity::Error);
+        assert_eq!(out[1].severity, Severity::Note);
+    }
+}

@@ -1,0 +1,541 @@
+//! Per-rule fixtures: every lint rule has a known-bad artifact it fires
+//! on and a clean artifact it stays silent on, so no rule can pass
+//! vacuously.
+
+use lph_analysis::contract::{
+    check_cluster_map, check_game_spec, check_metered_rounds, ArbiterArtifact, ClusterMapArtifact,
+};
+use lph_analysis::dtm::{
+    check_halting, check_progress, check_reachability, check_tape_discipline, check_totality,
+    DtmArtifact,
+};
+use lph_analysis::formula::{
+    check_level, check_monadic, check_shadowing, check_signature, check_unused, SentenceArtifact,
+};
+use lph_analysis::{Diagnostic, Severity};
+use lph_core::arbiters;
+use lph_graphs::{generators, NodeId};
+use lph_logic::dsl::{exists_adj, unary};
+use lph_logic::examples;
+use lph_logic::{FoVar, Formula, Matrix, Sentence, SoBlock, SoVar};
+use lph_machine::{machines, DistributedTm, Move, Pat, Sym, TmBuilder, WriteOp};
+
+fn codes(diags: &[Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.code.as_str()).collect()
+}
+
+fn assert_fires(diags: &[Diagnostic], code: &str) {
+    assert!(codes(diags).contains(&code), "expected {code} in {diags:?}");
+}
+
+fn assert_silent(diags: &[Diagnostic], code: &str) {
+    assert!(
+        !codes(diags).contains(&code),
+        "unexpected {code} in {diags:?}"
+    );
+}
+
+/// A minimal total, halting, well-behaved machine: step off the marker,
+/// then stop on anything.
+fn clean_machine() -> DistributedTm {
+    let mut b = TmBuilder::new();
+    let go = b.state("go");
+    b.rule(
+        b.start(),
+        [Pat::Any; 3],
+        go,
+        [WriteOp::Keep; 3],
+        [Move::S, Move::R, Move::S],
+    );
+    b.rule(
+        go,
+        [Pat::Any; 3],
+        b.stop(),
+        [WriteOp::Keep; 3],
+        [Move::S; 3],
+    );
+    b.build()
+}
+
+fn clean_artifact() -> DtmArtifact {
+    DtmArtifact::new("clean", clean_machine(), true)
+}
+
+// ---------------------------------------------------------------- DTM001
+
+#[test]
+fn dtm001_fires_on_partial_table() {
+    let mut b = TmBuilder::new();
+    let go = b.state("go");
+    b.rule(
+        b.start(),
+        [Pat::Any; 3],
+        go,
+        [WriteOp::Keep; 3],
+        [Move::S, Move::R, Move::S],
+    );
+    // `go` only covers triples whose internal symbol is One.
+    b.rule(
+        go,
+        [Pat::Any, Pat::Is(Sym::One), Pat::Any],
+        b.stop(),
+        [WriteOp::Keep; 3],
+        [Move::S; 3],
+    );
+    let a = DtmArtifact::new("partial", b.build(), true);
+    let diags = check_totality(&a);
+    assert_fires(&diags, "DTM001");
+    assert_eq!(diags[0].severity, Severity::Error);
+}
+
+#[test]
+fn dtm001_silent_on_total_table() {
+    assert_silent(&check_totality(&clean_artifact()), "DTM001");
+}
+
+// ---------------------------------------------------------------- DTM002
+
+#[test]
+fn dtm002_fires_on_unreachable_state() {
+    let mut b = TmBuilder::new();
+    let go = b.state("go");
+    let orphan = b.state("orphan");
+    b.rule(
+        b.start(),
+        [Pat::Any; 3],
+        go,
+        [WriteOp::Keep; 3],
+        [Move::S; 3],
+    );
+    b.rule(
+        go,
+        [Pat::Any; 3],
+        b.stop(),
+        [WriteOp::Keep; 3],
+        [Move::S; 3],
+    );
+    b.rule(
+        orphan,
+        [Pat::Any; 3],
+        b.stop(),
+        [WriteOp::Keep; 3],
+        [Move::S; 3],
+    );
+    let a = DtmArtifact::new("orphaned", b.build(), true);
+    let diags = check_reachability(&a);
+    assert_fires(&diags, "DTM002");
+    // The orphan's entries are dead too.
+    assert_fires(&diags, "DTM003");
+}
+
+#[test]
+fn dtm002_silent_on_fully_reachable_machine() {
+    let diags = check_reachability(&clean_artifact());
+    assert_silent(&diags, "DTM002");
+    assert_silent(&diags, "DTM003");
+}
+
+// ---------------------------------------------------------------- DTM003
+
+#[test]
+fn dtm003_fires_on_rules_from_stop() {
+    let mut b = TmBuilder::new();
+    let go = b.state("go");
+    b.rule(
+        b.start(),
+        [Pat::Any; 3],
+        go,
+        [WriteOp::Keep; 3],
+        [Move::S; 3],
+    );
+    b.rule(
+        go,
+        [Pat::Any; 3],
+        b.stop(),
+        [WriteOp::Keep; 3],
+        [Move::S; 3],
+    );
+    // q_stop never scans; these entries can never fire.
+    b.rule(
+        b.stop(),
+        [Pat::Any; 3],
+        go,
+        [WriteOp::Keep; 3],
+        [Move::S; 3],
+    );
+    let a = DtmArtifact::new("stop_rules", b.build(), true);
+    assert_fires(&check_reachability(&a), "DTM003");
+}
+
+#[test]
+fn dtm003_silent_on_corpus_machine() {
+    let a = DtmArtifact::new("echo", machines::echo_machine(), false);
+    assert_silent(&check_reachability(&a), "DTM003");
+}
+
+// ---------------------------------------------------------------- DTM004
+
+#[test]
+fn dtm004_fires_on_spurious_marker_write() {
+    let mut b = TmBuilder::new();
+    let go = b.state("go");
+    b.rule(
+        b.start(),
+        [Pat::Any; 3],
+        go,
+        [WriteOp::Keep; 3],
+        [Move::S, Move::R, Move::S],
+    );
+    // Writes ⊢ onto a blank internal cell: breaks marker discipline.
+    b.rule(
+        go,
+        [Pat::Any; 3],
+        b.stop(),
+        [WriteOp::Keep, WriteOp::Put(Sym::LeftEnd), WriteOp::Keep],
+        [Move::S; 3],
+    );
+    let a = DtmArtifact::new("marker_writer", b.build(), true);
+    let diags = check_tape_discipline(&a);
+    assert_fires(&diags, "DTM004");
+    assert!(diags.iter().any(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn dtm004_fires_on_reachable_left_move_off_marker() {
+    let mut b = TmBuilder::new();
+    // At round start every head sits on ⊢; moving left falls off the tape.
+    b.rule(
+        b.start(),
+        [Pat::Any; 3],
+        b.stop(),
+        [WriteOp::Keep; 3],
+        [Move::L, Move::S, Move::S],
+    );
+    let a = DtmArtifact::new("fall_off", b.build(), true);
+    let diags = check_tape_discipline(&a);
+    assert_fires(&diags, "DTM004");
+}
+
+#[test]
+fn dtm004_silent_on_dead_marker_entries() {
+    // The corpus machines all contain [Pat::Any; 3] catch-alls whose
+    // ⊢-scanning expansions are dynamically dead; the head-position
+    // abstraction must not flag them.
+    for (name, tm) in [
+        ("all_selected", machines::all_selected_decider()),
+        ("coloring", machines::proper_coloring_verifier()),
+        ("echo", machines::echo_machine()),
+    ] {
+        let a = DtmArtifact::new(name, tm, true);
+        assert_silent(&check_tape_discipline(&a), "DTM004");
+    }
+}
+
+// ---------------------------------------------------------------- DTM005
+
+#[test]
+fn dtm005_fires_when_stop_is_unreachable() {
+    let mut b = TmBuilder::new();
+    let spin = b.state("spin");
+    b.rule(
+        b.start(),
+        [Pat::Any; 3],
+        spin,
+        [WriteOp::Keep; 3],
+        [Move::S, Move::R, Move::S],
+    );
+    b.rule(
+        spin,
+        [Pat::Any; 3],
+        spin,
+        [WriteOp::Keep; 3],
+        [Move::S, Move::R, Move::S],
+    );
+    let a = DtmArtifact::new("never_stops", b.build(), true);
+    let diags = check_halting(&a);
+    assert_fires(&diags, "DTM005");
+    assert!(diags.iter().any(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn dtm005_fires_on_wrong_single_round_claim() {
+    // echo pauses, so claiming single-round is wrong (warning).
+    let a = DtmArtifact::new("echo", machines::echo_machine(), true);
+    assert_fires(&check_halting(&a), "DTM005");
+}
+
+#[test]
+fn dtm005_silent_on_correct_claims() {
+    assert_silent(&check_halting(&clean_artifact()), "DTM005");
+    let echo = DtmArtifact::new("echo", machines::echo_machine(), false);
+    assert_silent(&check_halting(&echo), "DTM005");
+}
+
+// ---------------------------------------------------------------- DTM006
+
+#[test]
+fn dtm006_fires_on_no_progress_self_loop() {
+    let mut b = TmBuilder::new();
+    let spin = b.state("spin");
+    b.rule(
+        b.start(),
+        [Pat::Any; 3],
+        spin,
+        [WriteOp::Keep; 3],
+        [Move::S, Move::R, Move::S],
+    );
+    // Keep + all-stay: the configuration repeats exactly.
+    b.rule(spin, [Pat::Any; 3], spin, [WriteOp::Keep; 3], [Move::S; 3]);
+    let a = DtmArtifact::new("spinner", b.build(), true).with_step_budget(10);
+    let diags = check_progress(&a);
+    assert_fires(&diags, "DTM006");
+    assert!(diags[0].message.contains("step budget"), "{diags:?}");
+}
+
+#[test]
+fn dtm006_fires_on_two_state_no_progress_cycle() {
+    let mut b = TmBuilder::new();
+    let ping = b.state("ping");
+    let pong = b.state("pong");
+    b.rule(
+        b.start(),
+        [Pat::Any; 3],
+        ping,
+        [WriteOp::Keep; 3],
+        [Move::S, Move::R, Move::S],
+    );
+    b.rule(ping, [Pat::Any; 3], pong, [WriteOp::Keep; 3], [Move::S; 3]);
+    b.rule(pong, [Pat::Any; 3], ping, [WriteOp::Keep; 3], [Move::S; 3]);
+    let a = DtmArtifact::new("ping_pong", b.build(), true);
+    assert_fires(&check_progress(&a), "DTM006");
+}
+
+#[test]
+fn dtm006_silent_on_progressing_machines() {
+    assert_silent(&check_progress(&clean_artifact()), "DTM006");
+    let coloring = DtmArtifact::new("coloring", machines::proper_coloring_verifier(), false);
+    assert_silent(&check_progress(&coloring), "DTM006");
+}
+
+// ---------------------------------------------------------------- FRM001
+
+#[test]
+fn frm001_fires_on_unused_so_and_fo_variables() {
+    let x = FoVar(0);
+    let y = FoVar(1);
+    let c = SoVar::set(0);
+    // ∃C ∀°x ∃y⇌x ⊤ — C and y are both dead.
+    let s = Sentence::new(
+        vec![SoBlock::exists(vec![c])],
+        Matrix::Lfo {
+            x,
+            body: exists_adj(y, x, Formula::True),
+        },
+    );
+    let a = SentenceArtifact::new("dead_vars", s, "Σ1");
+    let diags = check_unused(&a);
+    assert_eq!(
+        diags.iter().filter(|d| d.code == "FRM001").count(),
+        2,
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn frm001_silent_on_corpus_sentence() {
+    let a = SentenceArtifact::new("ham", examples::hamiltonian(), "Σ5");
+    assert_silent(&check_unused(&a), "FRM001");
+}
+
+// ---------------------------------------------------------------- FRM002
+
+#[test]
+fn frm002_fires_on_shadowed_binder() {
+    let x = FoVar(0);
+    let y = FoVar(1);
+    // ∀°x ∃y⇌x ∃y⇌x ⊙₁y — the inner ∃y shadows the outer one.
+    let body = exists_adj(y, x, exists_adj(y, x, unary(0, y)));
+    let a = SentenceArtifact::new("shadowed", Sentence::lfo(x, body), "Σ0 = Π0");
+    assert_fires(&check_shadowing(&a), "FRM002");
+}
+
+#[test]
+fn frm002_silent_on_corpus_sentence() {
+    let a = SentenceArtifact::new("nas", examples::not_all_selected(), "Σ3");
+    assert_silent(&check_shadowing(&a), "FRM002");
+}
+
+// ---------------------------------------------------------------- FRM003
+
+#[test]
+fn frm003_fires_on_out_of_signature_atom() {
+    let x = FoVar(0);
+    // ⊙₅ does not exist in the (1 unary, 2 binary) graph signature.
+    let a = SentenceArtifact::new("bad_atom", Sentence::lfo(x, unary(4, x)), "Σ0 = Π0");
+    let diags = check_signature(&a);
+    assert_fires(&diags, "FRM003");
+    assert_eq!(diags[0].severity, Severity::Error);
+}
+
+#[test]
+fn frm003_fires_on_arity_colliding_so_indices() {
+    let x = FoVar(0);
+    let set0 = SoVar::set(0);
+    let bin0 = SoVar::binary(0);
+    let s = Sentence::new(
+        vec![SoBlock::exists(vec![set0, bin0])],
+        Matrix::Lfo {
+            x,
+            body: lph_logic::dsl::and(vec![
+                lph_logic::dsl::app(set0, vec![x]),
+                lph_logic::dsl::app(bin0, vec![x, x]),
+            ]),
+        },
+    );
+    let a = SentenceArtifact::new("collide", s, "Σ1");
+    assert_fires(&check_signature(&a), "FRM003");
+}
+
+#[test]
+fn frm003_silent_on_corpus_sentence() {
+    let a = SentenceArtifact::new("3col", examples::three_colorable(), "Σ1");
+    assert_silent(&check_signature(&a), "FRM003");
+}
+
+// ---------------------------------------------------------------- FRM004
+
+#[test]
+fn frm004_fires_on_mislabeled_level() {
+    // three_colorable is Σ1, claiming Σ2 must fire.
+    let a = SentenceArtifact::new("mislabeled", examples::three_colorable(), "Σ2");
+    let diags = check_level(&a);
+    assert_fires(&diags, "FRM004");
+    assert_eq!(diags[0].severity, Severity::Error);
+}
+
+#[test]
+fn frm004_fires_on_wrong_locality_claim() {
+    let a =
+        SentenceArtifact::new("fake_fo", examples::all_selected(), "Σ0 = Π0").claim_local(false);
+    assert_fires(&check_level(&a), "FRM004");
+}
+
+#[test]
+fn frm004_silent_on_correct_claims() {
+    let a = SentenceArtifact::new("nonham", examples::non_hamiltonian(), "Π4");
+    assert_silent(&check_level(&a), "FRM004");
+}
+
+// ---------------------------------------------------------------- FRM005
+
+#[test]
+fn frm005_fires_on_false_monadicity_claim() {
+    // not_all_selected quantifies the binary pointer relation P.
+    let a = SentenceArtifact::new("fake_monadic", examples::not_all_selected(), "Σ3").monadic();
+    let diags = check_monadic(&a);
+    assert_fires(&diags, "FRM005");
+    assert_eq!(diags[0].severity, Severity::Error);
+}
+
+#[test]
+fn frm005_notes_unclaimed_monadicity_and_accepts_correct_claim() {
+    let unclaimed = SentenceArtifact::new("3col", examples::three_colorable(), "Σ1");
+    let diags = check_monadic(&unclaimed);
+    assert_fires(&diags, "FRM005");
+    assert_eq!(diags[0].severity, Severity::Note);
+
+    let claimed = SentenceArtifact::new("3col", examples::three_colorable(), "Σ1").monadic();
+    assert_silent(&check_monadic(&claimed), "FRM005");
+}
+
+// ---------------------------------------------------------------- ARB001
+
+#[test]
+fn arb001_fires_on_wrong_class_claim() {
+    // The 3-COLORABLE verifier realizes Σ1; claiming Π1 and Σ2 both fire.
+    for claim in ["Π1", "Σ2"] {
+        let a = ArbiterArtifact::new(arbiters::three_colorable_verifier(), claim, 2);
+        let diags = check_game_spec(&a);
+        assert_fires(&diags, "ARB001");
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+}
+
+#[test]
+fn arb001_silent_on_correct_claim() {
+    let a = ArbiterArtifact::new(arbiters::not_all_selected_sigma3(), "Σ3", 2);
+    assert_silent(&check_game_spec(&a), "ARB001");
+}
+
+// ---------------------------------------------------------------- ARB002
+
+#[test]
+fn arb002_fires_when_declared_rounds_are_exceeded() {
+    let a = ArbiterArtifact::new(arbiters::three_colorable_verifier(), "Σ1", 1)
+        .with_probes(vec![generators::cycle(4)]);
+    assert_fires(&check_metered_rounds(&a), "ARB002");
+}
+
+#[test]
+fn arb002_silent_with_adequate_declaration() {
+    let a = ArbiterArtifact::new(arbiters::three_colorable_verifier(), "Σ1", 2)
+        .with_probes(vec![generators::cycle(4)]);
+    assert_silent(&check_metered_rounds(&a), "ARB002");
+}
+
+// ---------------------------------------------------------------- RED001
+
+#[test]
+fn red001_fires_on_adjacency_violation() {
+    // G = path 0–1–2 (0 and 2 non-adjacent); G' = path with an edge
+    // joining the clusters of 0 and 2.
+    let a = ClusterMapArtifact {
+        name: "bad_adjacency".to_owned(),
+        g_prime: generators::path(2),
+        g: generators::path(3),
+        assignment: vec![NodeId(0), NodeId(2)],
+    };
+    let diags = check_cluster_map(&a);
+    assert_fires(&diags, "RED001");
+    assert!(diags.iter().any(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn red001_silent_on_valid_map() {
+    let a = ClusterMapArtifact {
+        name: "identity".to_owned(),
+        g_prime: generators::path(3),
+        g: generators::path(3),
+        assignment: vec![NodeId(0), NodeId(1), NodeId(2)],
+    };
+    let diags = check_cluster_map(&a);
+    assert_silent(&diags, "RED001");
+    assert_silent(&diags, "RED002");
+}
+
+// ---------------------------------------------------------------- RED002
+
+#[test]
+fn red002_fires_on_empty_cluster() {
+    // Both G' nodes map to node 0; node 1's cluster is empty.
+    let a = ClusterMapArtifact {
+        name: "empty_cluster".to_owned(),
+        g_prime: generators::path(2),
+        g: generators::path(2),
+        assignment: vec![NodeId(0), NodeId(0)],
+    };
+    let diags = check_cluster_map(&a);
+    assert_fires(&diags, "RED002");
+    assert_silent(&diags, "RED001");
+}
+
+#[test]
+fn red002_silent_on_surjective_map() {
+    let a = ClusterMapArtifact {
+        name: "surjective".to_owned(),
+        g_prime: generators::cycle(4),
+        g: generators::path(2),
+        assignment: vec![NodeId(0), NodeId(0), NodeId(1), NodeId(1)],
+    };
+    assert_silent(&check_cluster_map(&a), "RED002");
+}

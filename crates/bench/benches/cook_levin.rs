@@ -3,8 +3,8 @@
 //! sizes are polynomial in the *local* neighborhood measure and
 //! independent of the global graph size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lph_bench::with_ids;
+use lph_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lph_graphs::generators;
 use lph_logic::examples;
 use lph_reductions::cook_levin::{formula_sizes, lfo_to_sat_graph};

@@ -2,8 +2,8 @@
 //! of one arbiter execution (flooding + local evaluation) and of full
 //! structured games for the paper's example sentences.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lph_bench::with_ids;
+use lph_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lph_core::{decide_game_with, GameLimits};
 use lph_fagin::compiler::{compile_sentence, relation_moves};
 use lph_graphs::{generators, CertificateList};
@@ -21,7 +21,10 @@ fn bench_fagin(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("arbiter_exec_cycle", n), &n, |b, &n| {
             let (g, id) = with_ids(generators::cycle(n));
             let compiled = compile_sentence(&all_sel);
-            let exec = ExecLimits { max_rounds: 64, max_steps_per_round: 50_000_000 };
+            let exec = ExecLimits {
+                max_rounds: 64,
+                max_steps_per_round: 50_000_000,
+            };
             b.iter(|| {
                 compiled
                     .arbiter
@@ -42,7 +45,10 @@ fn bench_fagin(c: &mut Criterion) {
                 .collect();
             let lim = GameLimits {
                 max_runs: 50_000_000,
-                exec: ExecLimits { max_rounds: 64, max_steps_per_round: 50_000_000 },
+                exec: ExecLimits {
+                    max_rounds: 64,
+                    max_steps_per_round: 50_000_000,
+                },
                 ..GameLimits::default()
             };
             b.iter(|| decide_game_with(&compiled.arbiter, &g, &id, &moves, &lim).unwrap());
@@ -58,7 +64,10 @@ fn bench_fagin(c: &mut Criterion) {
             .collect();
         let lim = GameLimits {
             max_runs: 50_000_000,
-            exec: ExecLimits { max_rounds: 64, max_steps_per_round: 50_000_000 },
+            exec: ExecLimits {
+                max_rounds: 64,
+                max_steps_per_round: 50_000_000,
+            },
             ..GameLimits::default()
         };
         b.iter(|| decide_game_with(&compiled.arbiter, &g, &id, &moves, &lim).unwrap());

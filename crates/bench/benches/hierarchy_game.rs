@@ -3,7 +3,7 @@
 //! the *semantics* (it is a game over all bounded certificates); the series
 //! documents where exhaustive play stops being feasible.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lph_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lph_bench::{one_zero_cycle, with_ids};
 use lph_core::{arbiters, decide_game, GameLimits};
 use lph_graphs::generators;
@@ -27,7 +27,10 @@ fn bench_games(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sigma1_three_col", n), &n, |b, &n| {
             let (g, id) = with_ids(generators::cycle(n));
             let arb = arbiters::three_colorable_verifier();
-            let lim = GameLimits { cert_len_cap: Some(2), ..GameLimits::default() };
+            let lim = GameLimits {
+                cert_len_cap: Some(2),
+                ..GameLimits::default()
+            };
             b.iter(|| decide_game(&arb, &g, &id, &lim).unwrap());
         });
     }
@@ -38,7 +41,10 @@ fn bench_games(c: &mut Criterion) {
             let (g, id) = with_ids(generators::complete(n.max(4)));
             let _ = n;
             let arb = arbiters::three_colorable_verifier();
-            let lim = GameLimits { cert_len_cap: Some(2), ..GameLimits::default() };
+            let lim = GameLimits {
+                cert_len_cap: Some(2),
+                ..GameLimits::default()
+            };
             b.iter(|| decide_game(&arb, &g, &id, &lim).unwrap());
         });
     }
@@ -52,8 +58,10 @@ fn bench_games(c: &mut Criterion) {
             |b, &bits| {
                 let (g, id) = with_ids(one_zero_cycle(6));
                 let arb = arbiters::distance_to_unselected_verifier(bits);
-                let lim =
-                    GameLimits { cert_len_cap: Some(bits), ..GameLimits::default() };
+                let lim = GameLimits {
+                    cert_len_cap: Some(bits),
+                    ..GameLimits::default()
+                };
                 b.iter(|| decide_game(&arb, &g, &id, &lim).unwrap());
             },
         );

@@ -2,14 +2,17 @@
 //! paper's example sentences as instances grow — documenting the
 //! exponential semantics the certificate games operationalize.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lph_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lph_graphs::{generators, GraphStructure};
 use lph_logic::check::CheckOptions;
 use lph_logic::examples;
 use lph_pictures::{langs, Picture};
 
 fn opts() -> CheckOptions {
-    CheckOptions { max_matrix_evals: 500_000_000, max_tuples_per_var: 22 }
+    CheckOptions {
+        max_matrix_evals: 500_000_000,
+        max_tuples_per_var: 22,
+    }
 }
 
 fn bench_logic(c: &mut Criterion) {
@@ -27,10 +30,7 @@ fn bench_logic(c: &mut Criterion) {
     let nas = examples::not_all_selected();
     for n in [2usize, 3] {
         group.bench_with_input(BenchmarkId::new("sigma3_nas_path", n), &n, |b, &n| {
-            let g = generators::labeled_path_bits(vec![
-                lph_graphs::BitString::from_bits01("1");
-                n
-            ]);
+            let g = generators::labeled_path_bits(vec![lph_graphs::BitString::from_bits01("1"); n]);
             let gs = GraphStructure::of(&g);
             b.iter(|| nas.check_on_graph(&gs, &opts()).unwrap());
         });

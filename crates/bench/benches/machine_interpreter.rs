@@ -1,8 +1,8 @@
 //! E10 — the distributed-Turing-machine interpreter: execution throughput
 //! and the Lemma 10 step/space series printed for the record.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lph_bench::with_ids;
+use lph_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lph_graphs::{generators, CertificateList, GraphStructure};
 use lph_machine::{machines, run_tm, ExecLimits};
 
@@ -31,19 +31,43 @@ fn bench_interpreter(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("all_selected_cycle", n), &n, |b, &n| {
             let (g, id) = with_ids(generators::cycle(n));
             let tm = machines::all_selected_decider();
-            b.iter(|| run_tm(&tm, &g, &id, &CertificateList::new(), &ExecLimits::default()));
+            b.iter(|| {
+                run_tm(
+                    &tm,
+                    &g,
+                    &id,
+                    &CertificateList::new(),
+                    &ExecLimits::default(),
+                )
+            });
         });
         group.bench_with_input(BenchmarkId::new("coloring_cycle", n), &n, |b, &n| {
             let (g, id) = with_ids(generators::cycle(n));
             let tm = machines::proper_coloring_verifier();
-            b.iter(|| run_tm(&tm, &g, &id, &CertificateList::new(), &ExecLimits::default()));
+            b.iter(|| {
+                run_tm(
+                    &tm,
+                    &g,
+                    &id,
+                    &CertificateList::new(),
+                    &ExecLimits::default(),
+                )
+            });
         });
     }
     for d in [4usize, 16] {
         group.bench_with_input(BenchmarkId::new("coloring_star", d), &d, |b, &d| {
             let (g, id) = with_ids(generators::star(d + 1));
             let tm = machines::proper_coloring_verifier();
-            b.iter(|| run_tm(&tm, &g, &id, &CertificateList::new(), &ExecLimits::default()));
+            b.iter(|| {
+                run_tm(
+                    &tm,
+                    &g,
+                    &id,
+                    &CertificateList::new(),
+                    &ExecLimits::default(),
+                )
+            });
         });
     }
     group.finish();

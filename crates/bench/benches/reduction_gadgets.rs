@@ -3,7 +3,7 @@
 //! output-size series (the paper's "polynomial step time / cluster size"
 //! shape claims).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lph_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lph_bench::{one_zero_cycle, with_ids, xor_ring};
 use lph_graphs::generators;
 use lph_reductions::{
@@ -25,9 +25,7 @@ fn bench_reductions(c: &mut Criterion) {
         let e = series(&AllSelectedToEulerian, one_zero_cycle(n));
         let h = series(&AllSelectedToHamiltonian, one_zero_cycle(n));
         let nh = series(&NotAllSelectedToHamiltonian, one_zero_cycle(n));
-        println!(
-            "n = {n:3}: Fig7 eulerian {e:?}  Fig2 hamiltonian {h:?}  Fig9 not-all-sel {nh:?}"
-        );
+        println!("n = {n:3}: Fig7 eulerian {e:?}  Fig2 hamiltonian {h:?}  Fig9 not-all-sel {nh:?}");
     }
     for n in [3usize, 5, 9] {
         let t = series(&SatGraphToThreeSatGraph, xor_ring(n));

@@ -2,7 +2,7 @@
 //! odd/glued-cycle pair and verifying node-wise verdict coincidence for a
 //! concrete machine, across sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lph_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lph_core::separations::{prop21_fooling_pair, verdicts_coincide_on_pair};
 use lph_core::{arbiters, Arbiter, GameSpec};
 use lph_graphs::PolyBound;

@@ -2,7 +2,7 @@
 //! binary-counter systems across picture sizes (Theorem 29's automata
 //! side, and the exponential-gap mechanism of Theorem 27).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lph_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lph_pictures::{langs, Picture};
 
 fn bench_tiling(c: &mut Criterion) {

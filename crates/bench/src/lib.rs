@@ -7,6 +7,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
+pub use harness::{black_box, Bencher, BenchmarkGroup, BenchmarkId, Criterion};
+
 use lph_graphs::{generators, BitString, IdAssignment, LabeledGraph};
 use lph_props::{BoolExpr, BooleanGraph};
 
@@ -32,7 +36,10 @@ pub fn xor_ring(n: usize) -> LabeledGraph {
             BoolExpr::parse(&format!("&(|(v{a},v{b}),|(!v{a},!v{b}))")).expect("valid")
         })
         .collect();
-    BooleanGraph::new(generators::cycle(n), formulas).expect("matching counts").graph().clone()
+    BooleanGraph::new(generators::cycle(n), formulas)
+        .expect("matching counts")
+        .graph()
+        .clone()
 }
 
 /// A standard graph + globally unique identifiers pair.

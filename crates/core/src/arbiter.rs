@@ -60,12 +60,20 @@ impl Arbiter {
         spec: GameSpec,
         alg: impl LocalAlgorithm + Send + Sync + 'static,
     ) -> Self {
-        Arbiter { name: name.into(), spec, kind: ArbiterKind::Local(Box::new(alg)) }
+        Arbiter {
+            name: name.into(),
+            spec,
+            kind: ArbiterKind::Local(Box::new(alg)),
+        }
     }
 
     /// Wraps a distributed Turing machine.
     pub fn from_tm(name: impl Into<String>, spec: GameSpec, tm: DistributedTm) -> Self {
-        Arbiter { name: name.into(), spec, kind: ArbiterKind::Tm(tm) }
+        Arbiter {
+            name: name.into(),
+            spec,
+            kind: ArbiterKind::Tm(tm),
+        }
     }
 
     /// The arbiter's name.
@@ -150,7 +158,13 @@ mod tests {
     use lph_machine::machines;
 
     fn spec0() -> GameSpec {
-        GameSpec { ell: 0, first: Player::Eve, r_id: 1, r: 1, bound: PolyBound::linear(0, 1) }
+        GameSpec {
+            ell: 0,
+            first: Player::Eve,
+            r_id: 1,
+            r: 1,
+            bound: PolyBound::linear(0, 1),
+        }
     }
 
     #[test]

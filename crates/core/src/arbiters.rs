@@ -65,15 +65,15 @@ pub fn three_colorable_verifier() -> Arbiter {
         fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
             let color = input.certificates.first().cloned().unwrap_or_default();
             let valid = color.len() == 2 && color != BitString::from_bits01("11");
-            Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
-                ctx.charge(1 + inbox.iter().map(BitString::len).sum::<usize>());
-                match round {
-                    1 => RoundAction::Send(vec![color.clone(); inbox.len()]),
-                    _ => RoundAction::verdict(
-                        valid && inbox.iter().all(|m| *m != color),
-                    ),
-                }
-            })
+            Box::new(
+                move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+                    ctx.charge(1 + inbox.iter().map(BitString::len).sum::<usize>());
+                    match round {
+                        1 => RoundAction::Send(vec![color.clone(); inbox.len()]),
+                        _ => RoundAction::verdict(valid && inbox.iter().all(|m| *m != color)),
+                    }
+                },
+            )
         }
     }
     Arbiter::from_local(
@@ -94,13 +94,15 @@ pub fn two_colorable_verifier() -> Arbiter {
         fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
             let color = input.certificates.first().cloned().unwrap_or_default();
             let valid = color.len() == 1;
-            Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
-                ctx.charge(1 + inbox.len());
-                match round {
-                    1 => RoundAction::Send(vec![color.clone(); inbox.len()]),
-                    _ => RoundAction::verdict(valid && inbox.iter().all(|m| *m != color)),
-                }
-            })
+            Box::new(
+                move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+                    ctx.charge(1 + inbox.len());
+                    match round {
+                        1 => RoundAction::Send(vec![color.clone(); inbox.len()]),
+                        _ => RoundAction::verdict(valid && inbox.iter().all(|m| *m != color)),
+                    }
+                },
+            )
         }
     }
     Arbiter::from_local(
@@ -128,50 +130,53 @@ pub fn sat_graph_verifier() -> Arbiter {
                 if cert.len() != vars.len() {
                     return None;
                 }
-                let valuation: Vec<(String, bool)> =
-                    vars.into_iter().zip(cert.iter()).collect();
+                let valuation: Vec<(String, bool)> = vars.into_iter().zip(cert.iter()).collect();
                 Some((formula, valuation))
             })();
-            Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
-                ctx.charge(1 + inbox.iter().map(BitString::len).sum::<usize>());
-                let Some((formula, valuation)) = &decoded else {
-                    return RoundAction::reject();
-                };
-                ctx.charge(valuation.len());
-                match round {
-                    1 => {
-                        let payload: String = valuation
-                            .iter()
-                            .map(|(n, b)| format!("{n}={};", u8::from(*b)))
-                            .collect();
-                        RoundAction::Send(vec![text_msg(&payload); inbox.len()])
-                    }
-                    _ => {
-                        let satisfied = formula.eval(&|name: &str| {
-                            valuation
+            Box::new(
+                move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+                    ctx.charge(1 + inbox.iter().map(BitString::len).sum::<usize>());
+                    let Some((formula, valuation)) = &decoded else {
+                        return RoundAction::reject();
+                    };
+                    ctx.charge(valuation.len());
+                    match round {
+                        1 => {
+                            let payload: String = valuation
                                 .iter()
-                                .find(|(n, _)| n == name)
-                                .map(|&(_, b)| b)
-                                .unwrap_or(false)
-                        });
-                        let consistent = inbox.iter().all(|m| {
-                            let Some(text) = msg_text(m) else { return false };
-                            text.split(';').filter(|p| !p.is_empty()).all(|pair| {
-                                let Some((name, bit)) = pair.split_once('=') else {
+                                .map(|(n, b)| format!("{n}={};", u8::from(*b)))
+                                .collect();
+                            RoundAction::Send(vec![text_msg(&payload); inbox.len()])
+                        }
+                        _ => {
+                            let satisfied = formula.eval(&|name: &str| {
+                                valuation
+                                    .iter()
+                                    .find(|(n, _)| n == name)
+                                    .map(|&(_, b)| b)
+                                    .unwrap_or(false)
+                            });
+                            let consistent = inbox.iter().all(|m| {
+                                let Some(text) = msg_text(m) else {
                                     return false;
                                 };
-                                match valuation.iter().find(|(n, _)| n == name) {
-                                    // Shared variable: must agree.
-                                    Some(&(_, mine)) => bit == if mine { "1" } else { "0" },
-                                    // Not my variable: no constraint.
-                                    None => true,
-                                }
-                            })
-                        });
-                        RoundAction::verdict(satisfied && consistent)
+                                text.split(';').filter(|p| !p.is_empty()).all(|pair| {
+                                    let Some((name, bit)) = pair.split_once('=') else {
+                                        return false;
+                                    };
+                                    match valuation.iter().find(|(n, _)| n == name) {
+                                        // Shared variable: must agree.
+                                        Some(&(_, mine)) => bit == if mine { "1" } else { "0" },
+                                        // Not my variable: no constraint.
+                                        None => true,
+                                    }
+                                })
+                            });
+                            RoundAction::verdict(satisfied && consistent)
+                        }
                     }
-                }
-            })
+                },
+            )
         }
     }
     Arbiter::from_local(
@@ -200,39 +205,41 @@ pub fn not_all_selected_sigma3() -> Arbiter {
             let x_bit = input.certificates.get(1).map(bit_of).unwrap_or(false);
             let y_bit = input.certificates.get(2).map(bit_of).unwrap_or(false);
             let my_id = input.id.clone();
-            Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
-                ctx.charge(1 + inbox.iter().map(BitString::len).sum::<usize>());
-                match round {
-                    1 => {
-                        // Broadcast (id, Y) so neighbors can locate their
-                        // parent and read its charge.
-                        let payload =
-                            format!("i{};y{};", my_id, u8::from(y_bit)).replace('ε', "");
-                        RoundAction::Send(vec![text_msg(&payload); inbox.len()])
-                    }
-                    _ => {
-                        if parent.is_empty() {
-                            // Root case: unselected and positively charged.
-                            return RoundAction::verdict(!selected && y_bit);
+            Box::new(
+                move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+                    ctx.charge(1 + inbox.iter().map(BitString::len).sum::<usize>());
+                    match round {
+                        1 => {
+                            // Broadcast (id, Y) so neighbors can locate their
+                            // parent and read its charge.
+                            let payload =
+                                format!("i{};y{};", my_id, u8::from(y_bit)).replace('ε', "");
+                            RoundAction::Send(vec![text_msg(&payload); inbox.len()])
                         }
-                        // Child case: find the parent among the neighbors.
-                        let parent_y = inbox.iter().find_map(|m| {
-                            let text = msg_text(m)?;
-                            let id_part = text.strip_prefix('i')?.split(';').next()?;
-                            let y_part = text.split(";y").nth(1)?.chars().next()?;
-                            if id_part == parent.to_string().replace('ε', "") {
-                                Some(y_part == '1')
-                            } else {
-                                None
+                        _ => {
+                            if parent.is_empty() {
+                                // Root case: unselected and positively charged.
+                                return RoundAction::verdict(!selected && y_bit);
                             }
-                        });
-                        match parent_y {
-                            Some(py) => RoundAction::verdict(y_bit == (py ^ x_bit)),
-                            None => RoundAction::reject(), // dangling pointer
+                            // Child case: find the parent among the neighbors.
+                            let parent_y = inbox.iter().find_map(|m| {
+                                let text = msg_text(m)?;
+                                let id_part = text.strip_prefix('i')?.split(';').next()?;
+                                let y_part = text.split(";y").nth(1)?.chars().next()?;
+                                if id_part == parent.to_string().replace('ε', "") {
+                                    Some(y_part == '1')
+                                } else {
+                                    None
+                                }
+                            });
+                            match parent_y {
+                                Some(py) => RoundAction::verdict(y_bit == (py ^ x_bit)),
+                                None => RoundAction::reject(), // dangling pointer
+                            }
                         }
                     }
-                }
-            })
+                },
+            )
         }
     }
     Arbiter::from_local(
@@ -261,23 +268,25 @@ pub fn distance_to_unselected_verifier(bits: usize) -> Arbiter {
             let cert = input.certificates.first().cloned().unwrap_or_default();
             let well_formed = cert.len() <= self.bits;
             let d = cert.to_usize();
-            Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
-                ctx.charge(1 + inbox.iter().map(BitString::len).sum::<usize>());
-                match round {
-                    1 => RoundAction::Send(vec![cert.clone(); inbox.len()]),
-                    _ => {
-                        if !well_formed {
-                            return RoundAction::reject();
+            Box::new(
+                move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+                    ctx.charge(1 + inbox.iter().map(BitString::len).sum::<usize>());
+                    match round {
+                        1 => RoundAction::Send(vec![cert.clone(); inbox.len()]),
+                        _ => {
+                            if !well_formed {
+                                return RoundAction::reject();
+                            }
+                            let ok = if !selected {
+                                d == 0
+                            } else {
+                                d > 0 && inbox.iter().any(|m| m.to_usize() == d - 1)
+                            };
+                            RoundAction::verdict(ok)
                         }
-                        let ok = if !selected {
-                            d == 0
-                        } else {
-                            d > 0 && inbox.iter().any(|m| m.to_usize() == d - 1)
-                        };
-                        RoundAction::verdict(ok)
                     }
-                }
-            })
+                },
+            )
         }
     }
     Arbiter::from_local(
@@ -303,46 +312,46 @@ pub fn pointer_to_unselected_verifier() -> Arbiter {
             let selected = input.label == BitString::from_bits01("1");
             let pointer = input.certificates.first().cloned().unwrap_or_default();
             let my_id = input.id.clone();
-            Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
-                ctx.charge(1 + inbox.iter().map(BitString::len).sum::<usize>());
-                match round {
-                    1 => {
-                        // Broadcast (id, selected?, pointer).
-                        let payload = format!(
-                            "i{};s{};p{};",
-                            my_id,
-                            u8::from(selected),
-                            pointer
-                        )
-                        .replace('ε', "");
-                        RoundAction::Send(vec![text_msg(&payload); inbox.len()])
-                    }
-                    _ => {
-                        if !selected {
-                            return RoundAction::accept();
+            Box::new(
+                move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+                    ctx.charge(1 + inbox.iter().map(BitString::len).sum::<usize>());
+                    match round {
+                        1 => {
+                            // Broadcast (id, selected?, pointer).
+                            let payload =
+                                format!("i{};s{};p{};", my_id, u8::from(selected), pointer)
+                                    .replace('ε', "");
+                            RoundAction::Send(vec![text_msg(&payload); inbox.len()])
                         }
-                        let me = my_id.to_string().replace('ε', "");
-                        let target = pointer.to_string().replace('ε', "");
-                        let ok = inbox.iter().any(|m| {
-                            let Some(text) = msg_text(m) else { return false };
-                            let mut id_part = "";
-                            let mut s_part = "";
-                            let mut p_part = "";
-                            for field in text.split(';') {
-                                if let Some(rest) = field.strip_prefix('i') {
-                                    id_part = rest;
-                                } else if let Some(rest) = field.strip_prefix('s') {
-                                    s_part = rest;
-                                } else if let Some(rest) = field.strip_prefix('p') {
-                                    p_part = rest;
-                                }
+                        _ => {
+                            if !selected {
+                                return RoundAction::accept();
                             }
-                            id_part == target && (s_part == "0" || p_part != me)
-                        });
-                        RoundAction::verdict(ok)
+                            let me = my_id.to_string().replace('ε', "");
+                            let target = pointer.to_string().replace('ε', "");
+                            let ok = inbox.iter().any(|m| {
+                                let Some(text) = msg_text(m) else {
+                                    return false;
+                                };
+                                let mut id_part = "";
+                                let mut s_part = "";
+                                let mut p_part = "";
+                                for field in text.split(';') {
+                                    if let Some(rest) = field.strip_prefix('i') {
+                                        id_part = rest;
+                                    } else if let Some(rest) = field.strip_prefix('s') {
+                                        s_part = rest;
+                                    } else if let Some(rest) = field.strip_prefix('p') {
+                                        p_part = rest;
+                                    }
+                                }
+                                id_part == target && (s_part == "0" || p_part != me)
+                            });
+                            RoundAction::verdict(ok)
+                        }
                     }
-                }
-            })
+                },
+            )
         }
     }
     Arbiter::from_local(
@@ -360,12 +369,17 @@ mod tests {
     use lph_props::{AllSelected, BooleanGraph, Eulerian, GraphProperty, KColorable, SatGraph};
 
     fn limits(cap: usize) -> GameLimits {
-        GameLimits { cert_len_cap: Some(cap), ..GameLimits::default() }
+        GameLimits {
+            cert_len_cap: Some(cap),
+            ..GameLimits::default()
+        }
     }
 
     fn play(arb: &Arbiter, g: &LabeledGraph, lim: &GameLimits) -> bool {
         let id = IdAssignment::global(g);
-        decide_game(arb, g, &id, lim).expect("game within budget").eve_wins
+        decide_game(arb, g, &id, lim)
+            .expect("game within budget")
+            .eve_wins
     }
 
     #[test]
@@ -393,7 +407,11 @@ mod tests {
             generators::complete(4),
             generators::star(5),
         ] {
-            assert_eq!(play(&arb, &g, &lim), KColorable::new(3).holds(&g), "graph: {g}");
+            assert_eq!(
+                play(&arb, &g, &lim),
+                KColorable::new(3).holds(&g),
+                "graph: {g}"
+            );
         }
     }
 
@@ -434,7 +452,10 @@ mod tests {
         for (formulas, expected) in cases {
             let bg = BooleanGraph::new(
                 generators::path(formulas.len()),
-                formulas.iter().map(|s| BoolExpr::parse(s).unwrap()).collect(),
+                formulas
+                    .iter()
+                    .map(|s| BoolExpr::parse(s).unwrap())
+                    .collect(),
             )
             .unwrap();
             assert_eq!(SatGraph.holds(bg.graph()), expected, "ground truth sanity");
@@ -482,7 +503,10 @@ mod tests {
         let yes = generators::labeled_path(&["1", "0", "1", "1"]);
         assert!(play(&arb, &yes, &lim));
         let no = generators::labeled_path(&["1", "1", "1"]);
-        assert!(!play(&arb, &no, &lim), "no certificate fools it on all-selected");
+        assert!(
+            !play(&arb, &no, &lim),
+            "no certificate fools it on all-selected"
+        );
     }
 
     #[test]

@@ -156,7 +156,12 @@ mod tests {
 
     #[test]
     fn complement_is_involutive() {
-        for c in [ClassId::Sigma(3), ClassId::Pi(0), ClassId::CoSigma(2), ClassId::CoPi(5)] {
+        for c in [
+            ClassId::Sigma(3),
+            ClassId::Pi(0),
+            ClassId::CoSigma(2),
+            ClassId::CoPi(5),
+        ] {
             assert_eq!(c.complement().complement(), c);
             assert_ne!(c.complement().hierarchy(), c.hierarchy());
             assert_eq!(c.complement().ell(), c.ell());

@@ -29,17 +29,29 @@ pub struct GameSpec {
 impl GameSpec {
     /// A `Σℓ` game (Eve first).
     pub fn sigma(ell: usize, r_id: usize, r: usize, bound: PolyBound) -> Self {
-        GameSpec { ell, first: Player::Eve, r_id, r, bound }
+        GameSpec {
+            ell,
+            first: Player::Eve,
+            r_id,
+            r,
+            bound,
+        }
     }
 
     /// A `Πℓ` game (Adam first).
     pub fn pi(ell: usize, r_id: usize, r: usize, bound: PolyBound) -> Self {
-        GameSpec { ell, first: Player::Adam, r_id, r, bound }
+        GameSpec {
+            ell,
+            first: Player::Adam,
+            r_id,
+            r,
+            bound,
+        }
     }
 
     /// The player making move `i` (0-indexed).
     pub fn player_of_move(&self, i: usize) -> Player {
-        if i % 2 == 0 {
+        if i.is_multiple_of(2) {
             self.first
         } else {
             self.first.opponent()
@@ -48,12 +60,7 @@ impl GameSpec {
 
     /// The per-node certificate length budgets implied by the `(r, p)`
     /// bound, optionally clamped by `cap`.
-    pub fn budgets(
-        &self,
-        g: &LabeledGraph,
-        id: &IdAssignment,
-        cap: Option<usize>,
-    ) -> Vec<usize> {
+    pub fn budgets(&self, g: &LabeledGraph, id: &IdAssignment, cap: Option<usize>) -> Vec<usize> {
         CertificateAssignment::budget(g, id, self.r, &self.bound)
             .into_iter()
             .map(|b| cap.map_or(b, |c| b.min(c)))
@@ -132,7 +139,10 @@ impl fmt::Display for GameError {
                 write!(f, "exceeded the budget of {limit} arbiter executions")
             }
             GameError::MoveSpaceTooLarge { combinations } => {
-                write!(f, "a single move has {combinations} certificate assignments")
+                write!(
+                    f,
+                    "a single move has {combinations} certificate assignments"
+                )
             }
             GameError::IdsNotAdmissible { r_id } => {
                 write!(f, "identifier assignment is not {r_id}-locally unique")
@@ -174,19 +184,22 @@ pub struct GameResult {
 ///
 /// The space has `Π_u (2^{b_u + 1} − 1)` elements; the caller must guard
 /// against explosion (see [`GameLimits`]).
-pub fn enumerate_certificates(
-    g: &LabeledGraph,
-    budgets: &[usize],
-) -> Vec<CertificateAssignment> {
-    let per_node: Vec<Vec<lph_graphs::BitString>> =
-        budgets.iter().map(|&b| enumerate::bitstrings_up_to(b)).collect();
+pub fn enumerate_certificates(g: &LabeledGraph, budgets: &[usize]) -> Vec<CertificateAssignment> {
+    let per_node: Vec<Vec<lph_graphs::BitString>> = budgets
+        .iter()
+        .map(|&b| enumerate::bitstrings_up_to(b))
+        .collect();
     let mut out = Vec::new();
     let mut current: Vec<usize> = vec![0; g.node_count()];
     loop {
         out.push(
             CertificateAssignment::from_vec(
                 g,
-                current.iter().zip(&per_node).map(|(&i, opts)| opts[i].clone()).collect(),
+                current
+                    .iter()
+                    .zip(&per_node)
+                    .map(|(&i, opts)| opts[i].clone())
+                    .collect(),
             )
             .expect("one certificate per node"),
         );
@@ -236,7 +249,9 @@ pub fn decide_game(
         let budgets = spec.budgets(g, id, limits.cap_for_move(i));
         let space = move_space_size(&budgets);
         if space > 1 << 20 {
-            return Err(GameError::MoveSpaceTooLarge { combinations: space });
+            return Err(GameError::MoveSpaceTooLarge {
+                combinations: space,
+            });
         }
         moves_per_move.push(enumerate_certificates(g, &budgets));
     }
@@ -269,6 +284,9 @@ pub fn decide_game_with(
     let mut runs: u64 = 0;
     let mut winning_first_move = None;
 
+    // The recursion threads the whole game state; bundling it in a struct
+    // would only rename the problem.
+    #[allow(clippy::too_many_arguments)]
     fn eve_wins_from(
         arbiter: &dyn Arbitrating,
         g: &LabeledGraph,
@@ -284,7 +302,9 @@ pub fn decide_game_with(
         if move_idx == spec.ell {
             *runs += 1;
             if *runs > limits.max_runs {
-                return Err(GameError::BudgetExceeded { limit: limits.max_runs });
+                return Err(GameError::BudgetExceeded {
+                    limit: limits.max_runs,
+                });
             }
             return Ok(arbiter.accepts(g, id, prefix, &limits.exec)?);
         }
@@ -332,7 +352,11 @@ pub fn decide_game_with(
         limits,
         &mut winning_first_move,
     )?;
-    Ok(GameResult { eve_wins, runs, winning_first_move })
+    Ok(GameResult {
+        eve_wins,
+        runs,
+        winning_first_move,
+    })
 }
 
 #[cfg(test)]
@@ -364,7 +388,10 @@ mod tests {
         let arb = Arbiter::from_local("cert=label", sigma1_spec(), CertEqualsLabel);
         let g = generators::labeled_path(&["1", "0"]);
         let id = IdAssignment::global(&g);
-        let limits = GameLimits { cert_len_cap: Some(1), ..GameLimits::default() };
+        let limits = GameLimits {
+            cert_len_cap: Some(1),
+            ..GameLimits::default()
+        };
         let res = decide_game(&arb, &g, &id, &limits).unwrap();
         assert!(res.eve_wins);
         let w = res.winning_first_move.unwrap();
@@ -380,10 +407,16 @@ mod tests {
         let arb = Arbiter::from_local("cert=label", spec, CertEqualsLabel);
         let g = generators::labeled_path(&["1", "0"]);
         let id = IdAssignment::global(&g);
-        let limits = GameLimits { cert_len_cap: Some(1), ..GameLimits::default() };
+        let limits = GameLimits {
+            cert_len_cap: Some(1),
+            ..GameLimits::default()
+        };
         let res = decide_game(&arb, &g, &id, &limits).unwrap();
         assert!(!res.eve_wins);
-        assert!(res.winning_first_move.is_some(), "Adam's refutation is recorded");
+        assert!(
+            res.winning_first_move.is_some(),
+            "Adam's refutation is recorded"
+        );
     }
 
     #[test]
@@ -413,8 +446,8 @@ mod tests {
         struct Match12;
         impl LocalAlgorithm for Match12 {
             fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
-                let ok = input.certificates.len() == 2
-                    && input.certificates[0] == input.certificates[1];
+                let ok =
+                    input.certificates.len() == 2 && input.certificates[0] == input.certificates[1];
                 Box::new(move |ctx: &mut NodeCtx, _r: usize, _i: &[BitString]| {
                     ctx.charge(1);
                     RoundAction::verdict(ok)
@@ -425,7 +458,10 @@ mod tests {
         let arb = Arbiter::from_local("match", spec, Match12);
         let g = generators::path(2);
         let id = IdAssignment::global(&g);
-        let limits = GameLimits { cert_len_cap: Some(1), ..GameLimits::default() };
+        let limits = GameLimits {
+            cert_len_cap: Some(1),
+            ..GameLimits::default()
+        };
         let res = decide_game(&arb, &g, &id, &limits).unwrap();
         assert!(!res.eve_wins, "Adam mismatches Eve's move");
 
@@ -435,8 +471,8 @@ mod tests {
         struct Differ;
         impl LocalAlgorithm for Differ {
             fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
-                let same = input.certificates.len() == 2
-                    && input.certificates[0] == input.certificates[1];
+                let same =
+                    input.certificates.len() == 2 && input.certificates[0] == input.certificates[1];
                 Box::new(move |ctx: &mut NodeCtx, _r: usize, _i: &[BitString]| {
                     ctx.charge(1);
                     RoundAction::verdict(same)
@@ -489,7 +525,10 @@ mod tests {
         let arb = Arbiter::from_local("cert=label", sigma1_spec(), CertEqualsLabel);
         let g = generators::cycle(30);
         let id = IdAssignment::global(&g);
-        let limits = GameLimits { cert_len_cap: Some(4), ..GameLimits::default() };
+        let limits = GameLimits {
+            cert_len_cap: Some(4),
+            ..GameLimits::default()
+        };
         let err = decide_game(&arb, &g, &id, &limits).unwrap_err();
         assert!(matches!(err, GameError::MoveSpaceTooLarge { .. }));
     }

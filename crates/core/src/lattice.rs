@@ -81,7 +81,13 @@ pub fn inclusion_edges(max_ell: usize) -> Vec<InclusionEdge> {
 /// `Π`-even / `Σ`-odd).
 pub fn bounded_degree_chain(levels: usize) -> Vec<ClassId> {
     (0..levels)
-        .map(|l| if l % 2 == 0 { ClassId::Pi(l) } else { ClassId::Sigma(l) })
+        .map(|l| {
+            if l % 2 == 0 {
+                ClassId::Pi(l)
+            } else {
+                ClassId::Sigma(l)
+            }
+        })
         .collect()
 }
 
@@ -165,7 +171,13 @@ mod tests {
     #[test]
     fn edges_increase_level_by_one() {
         for e in inclusion_edges(4) {
-            assert_eq!(e.upper.ell(), e.lower.ell() + 1, "{} ⊆ {}", e.lower, e.upper);
+            assert_eq!(
+                e.upper.ell(),
+                e.lower.ell() + 1,
+                "{} ⊆ {}",
+                e.lower,
+                e.upper
+            );
         }
     }
 
@@ -255,9 +267,9 @@ mod tests {
         let edges = inclusion_edges(3);
         for e in &edges {
             if e.lower.hierarchy() == Hierarchy::Lp && e.upper.hierarchy() == Hierarchy::Lp {
-                let mirrored = edges.iter().any(|f| {
-                    f.lower == e.lower.complement() && f.upper == e.upper.complement()
-                });
+                let mirrored = edges
+                    .iter()
+                    .any(|f| f.lower == e.lower.complement() && f.upper == e.upper.complement());
                 assert!(mirrored, "missing mirror of {} ⊆ {}", e.lower, e.upper);
             }
         }

@@ -41,13 +41,17 @@ impl CertificateRestrictor {
         struct Yes;
         impl LocalAlgorithm for Yes {
             fn spawn(&self, _input: NodeInput) -> Box<dyn NodeProgram> {
-                Box::new(|ctx: &mut NodeCtx, _r: usize, _i: &[lph_graphs::BitString]| {
-                    ctx.charge(1);
-                    RoundAction::accept()
-                })
+                Box::new(
+                    |ctx: &mut NodeCtx, _r: usize, _i: &[lph_graphs::BitString]| {
+                        ctx.charge(1);
+                        RoundAction::accept()
+                    },
+                )
             }
         }
-        CertificateRestrictor { inner: Arbiter::from_local("trivial restrictor", spec, Yes) }
+        CertificateRestrictor {
+            inner: Arbiter::from_local("trivial restrictor", spec, Yes),
+        }
     }
 
     /// The per-node verdicts on `(G, id, κ̄·κ)`.
@@ -80,7 +84,10 @@ impl CertificateRestrictor {
         candidate: &CertificateAssignment,
         limits: &ExecLimits,
     ) -> Result<bool, MachineError> {
-        Ok(self.verdicts(g, id, prefix, candidate, limits)?.iter().all(|&v| v))
+        Ok(self
+            .verdicts(g, id, prefix, candidate, limits)?
+            .iter()
+            .all(|&v| v))
     }
 }
 
@@ -110,8 +117,10 @@ pub fn check_local_repairability(
         for alt in lph_graphs::enumerate::bitstrings_up_to(budgets[u.0]) {
             let fixed = candidate.with_cert(u, alt);
             let after = restrictor.verdicts(g, id, prefix, &fixed, limits)?;
-            let others_same =
-                g.nodes().filter(|&v| v != u).all(|v| after[v.0] == before[v.0]);
+            let others_same = g
+                .nodes()
+                .filter(|&v| v != u)
+                .all(|v| after[v.0] == before[v.0]);
             if after[u.0] && others_same {
                 repaired = true;
                 break;
@@ -149,6 +158,7 @@ pub fn decide_restricted_game(
     }
     let mut runs: u64 = 0;
 
+    #[allow(clippy::too_many_arguments)]
     fn go(
         arbiter: &Arbiter,
         restrictors: &[CertificateRestrictor],
@@ -163,7 +173,9 @@ pub fn decide_restricted_game(
         if move_idx == spec.ell {
             *runs += 1;
             if *runs > limits.max_runs {
-                return Err(GameError::BudgetExceeded { limit: limits.max_runs });
+                return Err(GameError::BudgetExceeded {
+                    limit: limits.max_runs,
+                });
             }
             return Ok(arbiter.accepts(g, id, prefix, &limits.exec)?);
         }
@@ -176,13 +188,23 @@ pub fn decide_restricted_game(
         for k in enumerate_certificates(g, &budgets) {
             *runs += 1;
             if *runs > limits.max_runs {
-                return Err(GameError::BudgetExceeded { limit: limits.max_runs });
+                return Err(GameError::BudgetExceeded {
+                    limit: limits.max_runs,
+                });
             }
             if !restrictors[move_idx].admits(g, id, prefix, &k, &limits.exec)? {
                 continue;
             }
-            let sub =
-                go(arbiter, restrictors, g, id, &prefix.extended(k), move_idx + 1, runs, limits)?;
+            let sub = go(
+                arbiter,
+                restrictors,
+                g,
+                id,
+                &prefix.extended(k),
+                move_idx + 1,
+                runs,
+                limits,
+            )?;
             match player {
                 Player::Eve if sub => return Ok(true),
                 Player::Adam if !sub => return Ok(false),
@@ -192,9 +214,21 @@ pub fn decide_restricted_game(
         Ok(player == Player::Adam)
     }
 
-    let eve_wins =
-        go(arbiter, restrictors, g, id, &CertificateList::new(), 0, &mut runs, limits)?;
-    Ok(GameResult { eve_wins, runs, winning_first_move: None })
+    let eve_wins = go(
+        arbiter,
+        restrictors,
+        g,
+        id,
+        &CertificateList::new(),
+        0,
+        &mut runs,
+        limits,
+    )?;
+    Ok(GameResult {
+        eve_wins,
+        runs,
+        winning_first_move: None,
+    })
 }
 
 /// The Lemma 8 conversion: wraps a restrictive arbiter and its restrictors
@@ -218,7 +252,11 @@ impl PermissiveArbiter {
     /// Panics if the number of restrictors differs from the inner arbiter's
     /// `ℓ`.
     pub fn new(inner: Arbiter, restrictors: Vec<CertificateRestrictor>) -> Self {
-        assert_eq!(restrictors.len(), inner.spec().ell, "one restrictor per move");
+        assert_eq!(
+            restrictors.len(),
+            inner.spec().ell,
+            "one restrictor per move"
+        );
         PermissiveArbiter { inner, restrictors }
     }
 }
@@ -309,25 +347,36 @@ mod tests {
     fn restriction_changes_the_decided_property() {
         let g = generators::labeled_path(&["1", "00"]); // label "00" ≠ any 1-bit cert
         let id = IdAssignment::global(&g);
-        let lim = GameLimits { cert_len_cap: Some(2), ..GameLimits::default() };
+        let lim = GameLimits {
+            cert_len_cap: Some(2),
+            ..GameLimits::default()
+        };
         // Unrestricted: Eve cheats with 2-bit certificates.
         let arb = cheatable_arbiter();
         assert!(decide_game(&arb, &g, &id, &lim).unwrap().eve_wins);
         // Restricted to 1-bit certificates: no certificate matches "00".
         let restr = vec![one_bit_restrictor(arb.spec().clone())];
-        assert!(!decide_restricted_game(&arb, &restr, &g, &id, &lim).unwrap().eve_wins);
+        assert!(
+            !decide_restricted_game(&arb, &restr, &g, &id, &lim)
+                .unwrap()
+                .eve_wins
+        );
     }
 
     #[test]
     fn trivial_restrictor_changes_nothing() {
         let g = generators::labeled_path(&["1", "0"]);
         let id = IdAssignment::global(&g);
-        let lim = GameLimits { cert_len_cap: Some(2), ..GameLimits::default() };
+        let lim = GameLimits {
+            cert_len_cap: Some(2),
+            ..GameLimits::default()
+        };
         let arb = cheatable_arbiter();
         let free = decide_game(&arb, &g, &id, &lim).unwrap().eve_wins;
         let restr = vec![CertificateRestrictor::trivial(arb.spec().clone())];
-        let restricted =
-            decide_restricted_game(&arb, &restr, &g, &id, &lim).unwrap().eve_wins;
+        let restricted = decide_restricted_game(&arb, &restr, &g, &id, &lim)
+            .unwrap()
+            .eve_wins;
         assert_eq!(free, restricted);
     }
 
@@ -369,15 +418,15 @@ mod tests {
         impl LocalAlgorithm for R {
             fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
                 let mine = input.certificates.last().cloned().unwrap_or_default();
-                Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
-                    ctx.charge(1);
-                    match round {
-                        1 => RoundAction::Send(vec![mine.clone(); inbox.len()]),
-                        _ => RoundAction::verdict(
-                            inbox.iter().all(|m| m.len() == 1),
-                        ),
-                    }
-                })
+                Box::new(
+                    move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+                        ctx.charge(1);
+                        match round {
+                            1 => RoundAction::Send(vec![mine.clone(); inbox.len()]),
+                            _ => RoundAction::verdict(inbox.iter().all(|m| m.len() == 1)),
+                        }
+                    },
+                )
             }
         }
         let spec = GameSpec::sigma(1, 1, 1, PolyBound::linear(0, 1));
@@ -408,14 +457,18 @@ mod tests {
     fn lemma8_wrapper_agrees_with_the_restricted_game() {
         // The permissive wrapper of (cheatable arbiter + one-bit
         // restrictor) must decide the same property as the restricted game.
-        let lim = GameLimits { cert_len_cap: Some(2), ..GameLimits::default() };
+        let lim = GameLimits {
+            cert_len_cap: Some(2),
+            ..GameLimits::default()
+        };
         for labels in [["1", "0"], ["1", "00"], ["0", "11"]] {
             let g = generators::labeled_path(&labels);
             let id = IdAssignment::global(&g);
             let arb = cheatable_arbiter();
             let restr = vec![one_bit_restrictor(arb.spec().clone())];
-            let restricted =
-                decide_restricted_game(&arb, &restr, &g, &id, &lim).unwrap().eve_wins;
+            let restricted = decide_restricted_game(&arb, &restr, &g, &id, &lim)
+                .unwrap()
+                .eve_wins;
             let arb2 = cheatable_arbiter();
             let wrapper = PermissiveArbiter::new(
                 arb2,

@@ -31,7 +31,10 @@ pub fn prop21_fooling_pair(
     r_id: usize,
 ) -> (LabeledGraph, IdAssignment, LabeledGraph, IdAssignment) {
     assert!(n % 2 == 1, "the proof needs an odd cycle");
-    assert!(n > 4 * r_id + 1, "n must exceed 4·r_id + 1 so ids can repeat");
+    assert!(
+        n > 4 * r_id + 1,
+        "n must exceed 4·r_id + 1 so ids can repeat"
+    );
     let g = lph_graphs::generators::cycle(n);
     // Identifiers 0..n−1 around the cycle (globally unique on G).
     let width = (usize::BITS as usize - (n - 1).leading_zeros() as usize).max(1);
@@ -43,7 +46,9 @@ pub fn prop21_fooling_pair(
     let g2 = lph_graphs::generators::cycle(2 * n);
     let id2 = IdAssignment::from_vec(
         &g2,
-        (0..2 * n).map(|i| BitString::from_usize(i % n, width)).collect(),
+        (0..2 * n)
+            .map(|i| BitString::from_usize(i % n, width))
+            .collect(),
     )
     .expect("one id per node");
     debug_assert!(id.is_locally_unique(&g, r_id));
@@ -127,9 +132,7 @@ impl CycleConfig {
     /// # Errors
     ///
     /// Returns an error if fewer than 3 nodes are configured.
-    pub fn build(
-        &self,
-    ) -> Result<(LabeledGraph, IdAssignment, CertificateList), GraphError> {
+    pub fn build(&self) -> Result<(LabeledGraph, IdAssignment, CertificateList), GraphError> {
         if self.len() < 3 {
             return Err(GraphError::EmptyGraph);
         }
@@ -147,7 +150,11 @@ impl CycleConfig {
         (0..=2 * r)
             .map(|k| {
                 let j = (i + n + k - r) % n;
-                (self.labels[j].clone(), self.ids[j].clone(), self.certs[j].clone())
+                (
+                    self.labels[j].clone(),
+                    self.ids[j].clone(),
+                    self.certs[j].clone(),
+                )
             })
             .collect()
     }
@@ -260,15 +267,24 @@ mod tests {
             IdAssignment::global(&g),
             IdAssignment::from_vec(
                 &g,
-                (0..n).map(|i| BitString::from_usize(n - 1 - i, 3)).collect(),
+                (0..n)
+                    .map(|i| BitString::from_usize(n - 1 - i, 3))
+                    .collect(),
             )
             .unwrap(),
             IdAssignment::small(&g, 1),
         ];
-        let lim = GameLimits { cert_len_cap: Some(2), ..GameLimits::default() };
+        let lim = GameLimits {
+            cert_len_cap: Some(2),
+            ..GameLimits::default()
+        };
         let arb = crate::arbiters::three_colorable_verifier();
         let outcome = game_outcome_id_independent(&arb, &g, &ids, &lim).unwrap();
-        assert_eq!(outcome, Some(true), "C5 is 3-colorable under every id assignment");
+        assert_eq!(
+            outcome,
+            Some(true),
+            "C5 is 3-colorable under every id assignment"
+        );
     }
 
     fn pointer_config(n: usize, unselected: usize, m: usize) -> CycleConfig {
@@ -280,7 +296,9 @@ mod tests {
             labels: (0..n)
                 .map(|i| BitString::from_bits01(if i == unselected { "0" } else { "1" }))
                 .collect(),
-            ids: (0..n).map(|i| BitString::from_usize(i % m, width)).collect(),
+            ids: (0..n)
+                .map(|i| BitString::from_usize(i % m, width))
+                .collect(),
             certs: (0..n)
                 .map(|i| {
                     if i == unselected {
@@ -313,15 +331,22 @@ mod tests {
         // verifier under these certificates…
         let arb = arbiters::pointer_to_unselected_verifier();
         let (g, id, certs) = cfg.build().unwrap();
-        assert!(arb.accepts(&g, &id, &certs, &ExecLimits::default()).unwrap());
+        assert!(arb
+            .accepts(&g, &id, &certs, &ExecLimits::default())
+            .unwrap());
         // …and the spliced all-selected cycle is still accepted: the
         // verifier is *fooled*, exhibiting NOT-ALL-SELECTED ∉ NLP.
         let (g2, id2, certs2) = spliced.build().unwrap();
         assert!(
-            spliced.labels.iter().all(|l| *l == BitString::from_bits01("1")),
+            spliced
+                .labels
+                .iter()
+                .all(|l| *l == BitString::from_bits01("1")),
             "the unselected node was spliced away"
         );
-        assert!(arb.accepts(&g2, &id2, &certs2, &ExecLimits::default()).unwrap());
+        assert!(arb
+            .accepts(&g2, &id2, &certs2, &ExecLimits::default())
+            .unwrap());
     }
 
     #[test]

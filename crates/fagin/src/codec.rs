@@ -61,7 +61,7 @@ impl NodeRecord {
     pub fn decode(s: &str) -> Option<NodeRecord> {
         fn dot_list(rest: &str) -> Option<Vec<BitString>> {
             let parts: Vec<&str> = rest.split('.').collect();
-            if parts[0] != "" {
+            if !parts[0].is_empty() {
                 return None; // entries are dot-prefixed
             }
             parts[1..].iter().map(|p| parse_bits(p)).collect()
@@ -113,6 +113,10 @@ pub fn decode_records(msg: &BitString) -> Option<Vec<NodeRecord>> {
 /// `center` from a pool of records: a [`LabeledGraph`] (local indices),
 /// the per-node identifiers, and the per-node certificate lists.
 ///
+/// An assembled ball: the graph, per-node identifiers, per-node
+/// certificate stacks, and the center's node id.
+pub type AssembledBall = (LabeledGraph, Vec<BitString>, Vec<Vec<BitString>>, NodeId);
+
 /// Records are deduplicated by identifier (they are consistent within a
 /// locally unique ball); edges require at least one endpoint to list the
 /// other.
@@ -120,7 +124,7 @@ pub fn assemble_ball(
     records: &[NodeRecord],
     center: &BitString,
     r: usize,
-) -> Option<(LabeledGraph, Vec<BitString>, Vec<Vec<BitString>>, NodeId)> {
+) -> Option<AssembledBall> {
     let mut by_id: BTreeMap<BitString, &NodeRecord> = BTreeMap::new();
     for rec in records {
         by_id.entry(rec.id.clone()).or_insert(rec);
@@ -163,8 +167,7 @@ pub fn assemble_ball(
     let labels: Vec<BitString> = order.iter().map(|idb| by_id[idb].label.clone()).collect();
     let graph = LabeledGraph::from_edges(labels, &edges).ok()?;
     let ids: Vec<BitString> = order.clone();
-    let certs: Vec<Vec<BitString>> =
-        order.iter().map(|idb| by_id[idb].certs.clone()).collect();
+    let certs: Vec<Vec<BitString>> = order.iter().map(|idb| by_id[idb].certs.clone()).collect();
     Some((graph, ids, certs, NodeId(0)))
 }
 
@@ -179,11 +182,7 @@ pub fn elem_descriptor(gs: &GraphStructure, ids: &[BitString], e: ElemId) -> Str
 
 /// Resolves a descriptor against a reconstructed ball; `None` if the id is
 /// unknown or the bit position out of range.
-pub fn resolve_descriptor(
-    gs: &GraphStructure,
-    ids: &[BitString],
-    descr: &str,
-) -> Option<ElemId> {
+pub fn resolve_descriptor(gs: &GraphStructure, ids: &[BitString], descr: &str) -> Option<ElemId> {
     if let Some(rest) = descr.strip_prefix('n') {
         let id = parse_bits(rest)?;
         let v = ids.iter().position(|i| *i == id)?;
@@ -276,7 +275,7 @@ mod tests {
             rec("0", "", &[], &[]),
             rec("111", "0101", &[""], &["0"]),
         ] {
-            let msg = encode_records(&[r.clone()]);
+            let msg = encode_records(std::slice::from_ref(&r));
             let back = decode_records(&msg).unwrap();
             assert_eq!(back, vec![r]);
         }
@@ -327,8 +326,7 @@ mod tests {
     fn descriptors_round_trip() {
         let g = generators::labeled_path(&["10", "1"]);
         let gs = GraphStructure::of(&g);
-        let ids =
-            vec![BitString::from_bits01("0"), BitString::from_bits01("1")];
+        let ids = vec![BitString::from_bits01("0"), BitString::from_bits01("1")];
         for e in gs.structure().elements() {
             let d = elem_descriptor(&gs, &ids, e);
             assert_eq!(resolve_descriptor(&gs, &ids, &d), Some(e), "descriptor {d}");
@@ -344,7 +342,13 @@ mod tests {
         let x = SoVar::set(1);
         let share = RelationShare {
             relations: vec![
-                (p, vec![vec!["n0".into(), "n1".into()], vec!["n0".into(), "n0".into()]]),
+                (
+                    p,
+                    vec![
+                        vec!["n0".into(), "n1".into()],
+                        vec!["n0".into(), "n0".into()],
+                    ],
+                ),
                 (x, vec![vec!["b1p1".into()]]),
             ],
         };
@@ -356,7 +360,9 @@ mod tests {
     #[test]
     fn relation_share_rejects_mismatches() {
         let p = SoVar::binary(0);
-        let share = RelationShare { relations: vec![(p, vec![])] };
+        let share = RelationShare {
+            relations: vec![(p, vec![])],
+        };
         let cert = share.encode();
         // Wrong block (different variable).
         assert!(RelationShare::decode(&cert, &[SoVar::set(0)]).is_none());

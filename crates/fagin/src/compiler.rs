@@ -26,15 +26,15 @@ use std::sync::Arc;
 
 use lph_core::{Arbiter, GameSpec, Player};
 use lph_graphs::{
-    BitString, CertificateAssignment, ElemId, GraphStructure, IdAssignment, LabeledGraph,
-    NodeId, PolyBound,
+    BitString, CertificateAssignment, ElemId, GraphStructure, IdAssignment, LabeledGraph, NodeId,
+    PolyBound,
 };
 use lph_logic::{Assignment, Matrix, Quantifier, Relation, Sentence, SoVar, Support};
 use lph_machine::{LocalAlgorithm, NodeCtx, NodeInput, NodeProgram, RoundAction};
 
 use crate::codec::{
-    assemble_ball, decode_records, elem_descriptor, encode_records, resolve_descriptor,
-    NodeRecord, RelationShare,
+    assemble_ball, decode_records, elem_descriptor, encode_records, resolve_descriptor, NodeRecord,
+    RelationShare,
 };
 
 /// A sentence compiled into a playable arbiter.
@@ -68,8 +68,7 @@ struct FaginProgram {
 impl FaginProgram {
     fn verdict(&self) -> bool {
         let records: Vec<NodeRecord> = self.known.values().cloned().collect();
-        let Some((graph, ids, certs, center)) =
-            assemble_ball(&records, &self.my_id, self.radius)
+        let Some((graph, ids, certs, center)) = assemble_ball(&records, &self.my_id, self.radius)
         else {
             return false;
         };
@@ -169,8 +168,7 @@ impl NodeProgram for FaginProgram {
                     neighbor_ids: self.neighbor_ids.clone(),
                 };
                 self.known.insert(self.my_id.clone(), me);
-                let payload =
-                    encode_records(&self.known.values().cloned().collect::<Vec<_>>());
+                let payload = encode_records(&self.known.values().cloned().collect::<Vec<_>>());
                 RoundAction::Send(vec![payload; inbox.len()])
             }
             k if k <= self.radius + 2 => {
@@ -189,8 +187,7 @@ impl NodeProgram for FaginProgram {
                     ctx.charge(self.known.len().pow(2));
                     RoundAction::verdict(accept)
                 } else {
-                    let payload =
-                        encode_records(&self.known.values().cloned().collect::<Vec<_>>());
+                    let payload = encode_records(&self.known.values().cloned().collect::<Vec<_>>());
                     RoundAction::Send(vec![payload; inbox.len()])
                 }
             }
@@ -232,7 +229,13 @@ pub fn compile_sentence(sentence: &Sentence) -> CompiledArbiter {
         .iter()
         .filter(|b| !b.vars.is_empty())
         .map(|b| {
-            (b.quantifier, b.vars.iter().map(|q| (q.var, q.support)).collect::<Vec<_>>())
+            (
+                b.quantifier,
+                b.vars
+                    .iter()
+                    .map(|q| (q.var, q.support))
+                    .collect::<Vec<_>>(),
+            )
         })
         .collect();
     let level = sentence.level();
@@ -254,7 +257,11 @@ pub fn compile_sentence(sentence: &Sentence) -> CompiledArbiter {
         radius,
     };
     let arbiter = Arbiter::from_local(format!("Fagin[{sentence}]"), spec, alg);
-    CompiledArbiter { arbiter, blocks, radius }
+    CompiledArbiter {
+        arbiter,
+        blocks,
+        radius,
+    }
 }
 
 /// Enumerates the certificate space of block `block_idx` on `(G, id)`: one
@@ -312,13 +319,15 @@ pub fn relation_moves(
         universes.push((*var, tuples));
     }
     let total_bits: usize = universes.iter().map(|(_, t)| t.len()).sum();
-    assert!(total_bits <= 22, "interpretation space 2^{total_bits} too large");
+    assert!(
+        total_bits <= 22,
+        "interpretation space 2^{total_bits} too large"
+    );
     let ids: Vec<BitString> = g.nodes().map(|u| id.id(u).clone()).collect();
     let mut out = Vec::new();
     for mask in 0u64..(1u64 << total_bits) {
         // Split the mask across relations and group tuples by anchor owner.
-        let mut per_node: Vec<Vec<(SoVar, Vec<Vec<String>>)>> =
-            vec![Vec::new(); g.node_count()];
+        let mut per_node: Vec<Vec<(SoVar, Vec<Vec<String>>)>> = vec![Vec::new(); g.node_count()];
         let mut bit = 0;
         for (var, tuples) in &universes {
             let mut by_owner: BTreeMap<usize, Vec<Vec<String>>> = BTreeMap::new();
@@ -331,8 +340,8 @@ pub fn relation_moves(
                 }
                 bit += 1;
             }
-            for u in 0..g.node_count() {
-                per_node[u].push((*var, by_owner.remove(&u).unwrap_or_default()));
+            for (u, shares) in per_node.iter_mut().enumerate() {
+                shares.push((*var, by_owner.remove(&u).unwrap_or_default()));
             }
         }
         let certs: Vec<BitString> = per_node
@@ -377,7 +386,10 @@ mod tests {
     fn limits() -> GameLimits {
         GameLimits {
             max_runs: 10_000_000,
-            exec: ExecLimits { max_rounds: 64, max_steps_per_round: 10_000_000 },
+            exec: ExecLimits {
+                max_rounds: 64,
+                max_steps_per_round: 10_000_000,
+            },
             ..GameLimits::default()
         }
     }

@@ -69,10 +69,20 @@ impl fmt::Display for TableauError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TableauError::UnsupportedMachine { reason } => {
-                write!(f, "machine not encodable as a one-round internal tableau: {reason}")
+                write!(
+                    f,
+                    "machine not encodable as a one-round internal tableau: {reason}"
+                )
             }
-            TableauError::InputTooLarge { node, needed, space } => {
-                write!(f, "input of node v{node} needs {needed} cells but space bound is {space}")
+            TableauError::InputTooLarge {
+                node,
+                needed,
+                space,
+            } => {
+                write!(
+                    f,
+                    "input of node v{node} needs {needed} cells but space bound is {space}"
+                )
             }
         }
     }
@@ -131,8 +141,7 @@ fn validate(tm: &DistributedTm) -> Result<(), TableauError> {
                         ),
                     });
                 }
-                if tr.moves[0] != lph_machine::Move::S || tr.moves[2] != lph_machine::Move::S
-                {
+                if tr.moves[0] != lph_machine::Move::S || tr.moves[2] != lph_machine::Move::S {
                     return Err(TableauError::UnsupportedMachine {
                         reason: format!(
                             "state {} moves a communication head",
@@ -155,7 +164,9 @@ fn encode_node(
     fixed_input: &[Sym],
     bounds: TableauBounds,
 ) -> Result<BoolExpr, TableauError> {
-    let e = Enc { pfx: pfx.to_owned() };
+    let e = Enc {
+        pfx: pfx.to_owned(),
+    };
     let t_max = bounds.steps;
     let s_max = bounds.space;
     let b = bounds.cert_bits;
@@ -198,7 +209,10 @@ fn encode_node(
             e.tp(0, base + j, Sym::Blank),
         ]));
         if j + 1 < b {
-            cs.push(BoolExpr::Or(vec![cert_blank(j).negated(), cert_blank(j + 1)]));
+            cs.push(BoolExpr::Or(vec![
+                cert_blank(j).negated(),
+                cert_blank(j + 1),
+            ]));
         }
         let a_blank = BoolExpr::var(format!("{}a{j}bl", e.pfx));
         let a_one = BoolExpr::var(format!("{}a{j}one", e.pfx));
@@ -211,7 +225,11 @@ fn encode_node(
             a_one.clone().negated(),
             e.tp(0, base + j, Sym::One),
         ]));
-        cs.push(BoolExpr::Or(vec![a_blank, a_one, e.tp(0, base + j, Sym::Zero)]));
+        cs.push(BoolExpr::Or(vec![
+            a_blank,
+            a_one,
+            e.tp(0, base + j, Sym::Zero),
+        ]));
     }
     for p in base + b..s_max {
         cs.push(e.tp(0, p, Sym::Blank));
@@ -345,9 +363,11 @@ pub fn machine_to_sat_graph(
         fixed.push(Sym::Sep);
         let pfx = format!("u{}.", id.id(u)).replace('ε', "");
         let phi = encode_node(tm, &pfx, &fixed, bounds).map_err(|err| match err {
-            TableauError::InputTooLarge { needed, space, .. } => {
-                TableauError::InputTooLarge { node: u.0, needed, space }
-            }
+            TableauError::InputTooLarge { needed, space, .. } => TableauError::InputTooLarge {
+                node: u.0,
+                needed,
+                space,
+            },
             other => other,
         })?;
         labels.push(BitString::from_bytes(phi.to_string().as_bytes()));
@@ -363,7 +383,11 @@ mod tests {
     use lph_props::{GraphProperty, SatGraph};
 
     fn bounds(steps: usize, space: usize, cert_bits: usize) -> TableauBounds {
-        TableauBounds { steps, space, cert_bits }
+        TableauBounds {
+            steps,
+            space,
+            cert_bits,
+        }
     }
 
     /// Ground truth: does some certificate within the budget make the
@@ -375,19 +399,22 @@ mod tests {
         cert_bits: usize,
     ) -> bool {
         use lph_graphs::{enumerate, CertificateAssignment};
-        let spaces: Vec<Vec<BitString>> =
-            (0..g.node_count()).map(|_| enumerate::bitstrings_up_to(cert_bits)).collect();
+        let spaces: Vec<Vec<BitString>> = (0..g.node_count())
+            .map(|_| enumerate::bitstrings_up_to(cert_bits))
+            .collect();
         let mut idx = vec![0usize; g.node_count()];
         loop {
             let certs = CertificateAssignment::from_vec(
                 g,
-                idx.iter().zip(&spaces).map(|(&i, s)| s[i].clone()).collect(),
+                idx.iter()
+                    .zip(&spaces)
+                    .map(|(&i, s)| s[i].clone())
+                    .collect(),
             )
             .unwrap();
             let list = CertificateList::from_assignments(vec![certs]);
             let out =
-                lph_machine::run_tm(tm, g, id, &list, &lph_machine::ExecLimits::default())
-                    .unwrap();
+                lph_machine::run_tm(tm, g, id, &list, &lph_machine::ExecLimits::default()).unwrap();
             if out.accepted {
                 return true;
             }
@@ -440,7 +467,13 @@ mod tests {
         let skip1 = b.state("skip_to_sep1");
         let skip2 = b.state("skip_to_sep2");
         let look = b.state("look");
-        b.rule(b.start(), [Pat::Any; 3], skip1, [WriteOp::Keep; 3], [Move::S, Move::R, Move::S]);
+        b.rule(
+            b.start(),
+            [Pat::Any; 3],
+            skip1,
+            [WriteOp::Keep; 3],
+            [Move::S, Move::R, Move::S],
+        );
         b.rule(
             skip1,
             [Pat::Any, Pat::Is(Sym::Sep), Pat::Any],
@@ -448,7 +481,13 @@ mod tests {
             [WriteOp::Keep; 3],
             [Move::S, Move::R, Move::S],
         );
-        b.rule(skip1, [Pat::Any; 3], skip1, [WriteOp::Keep; 3], [Move::S, Move::R, Move::S]);
+        b.rule(
+            skip1,
+            [Pat::Any; 3],
+            skip1,
+            [WriteOp::Keep; 3],
+            [Move::S, Move::R, Move::S],
+        );
         b.rule(
             skip2,
             [Pat::Any, Pat::Is(Sym::Sep), Pat::Any],
@@ -456,7 +495,13 @@ mod tests {
             [WriteOp::Keep; 3],
             [Move::S, Move::R, Move::S],
         );
-        b.rule(skip2, [Pat::Any; 3], skip2, [WriteOp::Keep; 3], [Move::S, Move::R, Move::S]);
+        b.rule(
+            skip2,
+            [Pat::Any; 3],
+            skip2,
+            [WriteOp::Keep; 3],
+            [Move::S, Move::R, Move::S],
+        );
         b.rule(
             look,
             [Pat::Any, Pat::Is(Sym::One), Pat::Any],

@@ -35,7 +35,9 @@ impl BitString {
 
     /// Creates a bit string from a slice of booleans (`true` = 1).
     pub fn from_bools(bits: &[bool]) -> Self {
-        BitString { bits: bits.to_vec() }
+        BitString {
+            bits: bits.to_vec(),
+        }
     }
 
     /// Creates a bit string from a `str` of `'0'`/`'1'` characters.
@@ -101,7 +103,7 @@ impl BitString {
     /// Decodes a bit string produced by [`BitString::from_bytes`] back into
     /// bytes. Returns `None` if the length is not a multiple of 8.
     pub fn to_bytes(&self) -> Option<Vec<u8>> {
-        if self.bits.len() % 8 != 0 {
+        if !self.bits.len().is_multiple_of(8) {
             return None;
         }
         let mut out = Vec::with_capacity(self.bits.len() / 8);
@@ -208,7 +210,9 @@ impl From<&str> for BitString {
 
 impl FromIterator<bool> for BitString {
     fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
-        BitString { bits: iter.into_iter().collect() }
+        BitString {
+            bits: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -304,10 +308,12 @@ mod tests {
 
     #[test]
     fn ordering_is_total_on_samples() {
-        let mut v: Vec<BitString> =
-            ["", "0", "1", "00", "01", "10", "11", "010"].iter().map(|s| BitString::from_bits01(s)).collect();
+        let mut v: Vec<BitString> = ["", "0", "1", "00", "01", "10", "11", "010"]
+            .iter()
+            .map(|s| BitString::from_bits01(s))
+            .collect();
         v.sort();
-        let shown: Vec<String> = v.iter().map(|b| b.to_string()).collect();
+        let shown: Vec<String> = v.iter().map(std::string::ToString::to_string).collect();
         assert_eq!(shown, vec!["ε", "0", "00", "01", "010", "1", "10", "11"]);
     }
 }

@@ -60,12 +60,16 @@ impl CertificateAssignment {
 
     /// The trivial assignment giving every node the empty certificate.
     pub fn empty(g: &LabeledGraph) -> Self {
-        CertificateAssignment { certs: vec![BitString::new(); g.node_count()] }
+        CertificateAssignment {
+            certs: vec![BitString::new(); g.node_count()],
+        }
     }
 
     /// Gives every node the same certificate.
     pub fn uniform(g: &LabeledGraph, cert: BitString) -> Self {
-        CertificateAssignment { certs: vec![cert; g.node_count()] }
+        CertificateAssignment {
+            certs: vec![cert; g.node_count()],
+        }
     }
 
     /// The certificate `κ(u)`.
@@ -89,23 +93,18 @@ impl CertificateAssignment {
     /// Whether the assignment is `(r, p)`-bounded (Section 3): for every
     /// node `u`,
     /// `len(κ(u)) ≤ p( Σ_{v ∈ N_r(u)} 1 + len(λ(v)) + len(id(v)) )`.
-    pub fn is_bounded(
-        &self,
-        g: &LabeledGraph,
-        id: &IdAssignment,
-        r: usize,
-        p: &PolyBound,
-    ) -> bool {
+    pub fn is_bounded(&self, g: &LabeledGraph, id: &IdAssignment, r: usize, p: &PolyBound) -> bool {
         let id_lens = id.lengths();
-        g.nodes().all(|u| {
-            self.certs[u.0].len() <= p.eval(g.neighborhood_information(u, r, &id_lens))
-        })
+        g.nodes()
+            .all(|u| self.certs[u.0].len() <= p.eval(g.neighborhood_information(u, r, &id_lens)))
     }
 
     /// The per-node certificate length budget under the `(r, p)` bound.
     pub fn budget(g: &LabeledGraph, id: &IdAssignment, r: usize, p: &PolyBound) -> Vec<usize> {
         let id_lens = id.lengths();
-        g.nodes().map(|u| p.eval(g.neighborhood_information(u, r, &id_lens))).collect()
+        g.nodes()
+            .map(|u| p.eval(g.neighborhood_information(u, r, &id_lens)))
+            .collect()
     }
 }
 
@@ -170,27 +169,27 @@ impl CertificateList {
                 out.push(CertSymbol::Sep);
             }
             for bit in k.cert(u).iter() {
-                out.push(if bit { CertSymbol::One } else { CertSymbol::Zero });
+                out.push(if bit {
+                    CertSymbol::One
+                } else {
+                    CertSymbol::Zero
+                });
             }
         }
         out
     }
 
     /// Whether every constituent assignment is `(r, p)`-bounded.
-    pub fn is_bounded(
-        &self,
-        g: &LabeledGraph,
-        id: &IdAssignment,
-        r: usize,
-        p: &PolyBound,
-    ) -> bool {
+    pub fn is_bounded(&self, g: &LabeledGraph, id: &IdAssignment, r: usize, p: &PolyBound) -> bool {
         self.lists.iter().all(|k| k.is_bounded(g, id, r, p))
     }
 }
 
 impl FromIterator<CertificateAssignment> for CertificateList {
     fn from_iter<I: IntoIterator<Item = CertificateAssignment>>(iter: I) -> Self {
-        CertificateList { lists: iter.into_iter().collect() }
+        CertificateList {
+            lists: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -203,7 +202,7 @@ mod tests {
     fn boundedness_uses_neighborhood_information() {
         let g = generators::path(3); // labels "1" each (len 1)
         let id = IdAssignment::global(&g); // ids of len 2
-        // Endpoint v0: N_1 = {v0, v1}: (1+1+2)+(1+1+2) = 8. Center: 12.
+                                           // Endpoint v0: N_1 = {v0, v1}: (1+1+2)+(1+1+2) = 8. Center: 12.
         let p = PolyBound::linear(0, 1); // p(n) = n
         let budget = CertificateAssignment::budget(&g, &id, 1, &p);
         assert_eq!(budget, vec![8, 12, 8]);
@@ -245,9 +244,17 @@ mod tests {
         )
         .unwrap();
         let list = CertificateList::from_assignments(vec![k1, k2]);
-        let s: String = list.node_string(NodeId(0)).iter().map(|c| c.to_string()).collect();
+        let s: String = list
+            .node_string(NodeId(0))
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         assert_eq!(s, "10#");
-        let s: String = list.node_string(NodeId(1)).iter().map(|c| c.to_string()).collect();
+        let s: String = list
+            .node_string(NodeId(1))
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         assert_eq!(s, "0#1");
     }
 

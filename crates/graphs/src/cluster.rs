@@ -68,7 +68,10 @@ impl ClusterMap {
                 });
             }
         }
-        Ok(ClusterMap { assignment, base_nodes: g.node_count() })
+        Ok(ClusterMap {
+            assignment,
+            base_nodes: g.node_count(),
+        })
     }
 
     /// The image `g(w')` of a node of `G'`.

@@ -19,9 +19,13 @@ use crate::{BitString, LabeledGraph};
 ///
 /// Panics if `n == 0` or `n > 8` (guard against accidental blow-ups).
 pub fn connected_graphs(n: usize) -> Vec<LabeledGraph> {
-    assert!(n >= 1 && n <= 8, "exhaustive enumeration is limited to 1..=8 nodes");
-    let pairs: Vec<(usize, usize)> =
-        (0..n).flat_map(|i| (i + 1..n).map(move |j| (i, j))).collect();
+    assert!(
+        (1..=8).contains(&n),
+        "exhaustive enumeration is limited to 1..=8 nodes"
+    );
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+        .collect();
     let m = pairs.len();
     let mut out = Vec::new();
     for mask in 0u64..(1u64 << m) {
@@ -31,9 +35,7 @@ pub fn connected_graphs(n: usize) -> Vec<LabeledGraph> {
             .filter(|(k, _)| mask >> k & 1 == 1)
             .map(|(_, &e)| e)
             .collect();
-        if let Ok(g) =
-            LabeledGraph::from_edges(vec![BitString::from_bits01("1"); n], &edges)
-        {
+        if let Ok(g) = LabeledGraph::from_edges(vec![BitString::from_bits01("1"); n], &edges) {
             out.push(g);
         }
     }
@@ -47,17 +49,19 @@ pub fn connected_graphs_up_to(max_n: usize) -> Vec<LabeledGraph> {
 
 /// Enumerates all `2^n` relabelings of `g` where each node independently
 /// receives one of the two given labels.
-pub fn binary_labelings(
-    g: &LabeledGraph,
-    zero: &BitString,
-    one: &BitString,
-) -> Vec<LabeledGraph> {
+pub fn binary_labelings(g: &LabeledGraph, zero: &BitString, one: &BitString) -> Vec<LabeledGraph> {
     let n = g.node_count();
     assert!(n <= 20, "2^n labelings; keep n small");
     (0u64..(1u64 << n))
         .map(|mask| {
             let labels = (0..n)
-                .map(|i| if mask >> i & 1 == 1 { one.clone() } else { zero.clone() })
+                .map(|i| {
+                    if mask >> i & 1 == 1 {
+                        one.clone()
+                    } else {
+                        zero.clone()
+                    }
+                })
                 .collect();
             g.with_labels(labels).expect("same node count")
         })

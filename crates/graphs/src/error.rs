@@ -53,17 +53,29 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::EmptyGraph => write!(f, "graph must contain at least one node"),
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node index {node} out of range for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node index {node} out of range for graph with {node_count} nodes"
+                )
             }
             GraphError::SelfLoop { node } => {
-                write!(f, "self-loop at node {node} is not allowed in a simple graph")
+                write!(
+                    f,
+                    "self-loop at node {node} is not allowed in a simple graph"
+                )
             }
             GraphError::DuplicateEdge { u, v } => {
-                write!(f, "duplicate edge {{{u}, {v}}} is not allowed in a simple graph")
+                write!(
+                    f,
+                    "duplicate edge {{{u}, {v}}} is not allowed in a simple graph"
+                )
             }
             GraphError::Disconnected => write!(f, "graph is not connected"),
             GraphError::AssignmentLengthMismatch { expected, found } => {
-                write!(f, "assignment has {found} entries but the graph has {expected} nodes")
+                write!(
+                    f,
+                    "assignment has {found} entries but the graph has {expected} nodes"
+                )
             }
             GraphError::InvalidClusterMap { reason } => {
                 write!(f, "invalid cluster map: {reason}")
@@ -97,7 +109,10 @@ mod tests {
 
     #[test]
     fn display_mentions_offending_data() {
-        let e = GraphError::NodeOutOfRange { node: 7, node_count: 3 };
+        let e = GraphError::NodeOutOfRange {
+            node: 7,
+            node_count: 3,
+        };
         assert!(e.to_string().contains('7'));
         assert!(e.to_string().contains('3'));
         let e = GraphError::DuplicateEdge { u: 1, v: 2 };

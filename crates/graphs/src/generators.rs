@@ -98,7 +98,11 @@ pub fn grid(rows: usize, cols: usize) -> LabeledGraph {
 /// Panics if `rows * cols != labels.len()` or either dimension is zero.
 pub fn labeled_grid_bits(rows: usize, cols: usize, labels: Vec<BitString>) -> LabeledGraph {
     assert!(rows >= 1 && cols >= 1, "grid dimensions must be positive");
-    assert_eq!(labels.len(), rows * cols, "label count must match grid size");
+    assert_eq!(
+        labels.len(),
+        rows * cols,
+        "label count must match grid size"
+    );
     let idx = |r: usize, c: usize| r * cols + c;
     let mut edges = Vec::new();
     for r in 0..rows {
@@ -178,10 +182,19 @@ impl XorShift {
     /// Creates a generator from a seed (zero is remapped to a fixed odd
     /// constant).
     pub fn new(seed: u64) -> Self {
-        XorShift { state: if seed == 0 { 0x853c_49e6_748f_ea9b } else { seed } }
+        XorShift {
+            state: if seed == 0 {
+                0x853c_49e6_748f_ea9b
+            } else {
+                seed
+            },
+        }
     }
 
     /// The next pseudo-random value.
+    // Not an Iterator: the stream is infinite and `below`/`bool` are the
+    // real interface; the name matches the generator literature.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         let mut x = self.state;
         x ^= x >> 12;

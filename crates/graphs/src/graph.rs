@@ -68,16 +68,25 @@ impl LabeledGraph {
         let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         for &(u, v) in edges {
             if u >= n {
-                return Err(GraphError::NodeOutOfRange { node: u, node_count: n });
+                return Err(GraphError::NodeOutOfRange {
+                    node: u,
+                    node_count: n,
+                });
             }
             if v >= n {
-                return Err(GraphError::NodeOutOfRange { node: v, node_count: n });
+                return Err(GraphError::NodeOutOfRange {
+                    node: v,
+                    node_count: n,
+                });
             }
             if u == v {
                 return Err(GraphError::SelfLoop { node: u });
             }
             if adj[u].contains(&NodeId(v)) {
-                return Err(GraphError::DuplicateEdge { u: u.min(v), v: u.max(v) });
+                return Err(GraphError::DuplicateEdge {
+                    u: u.min(v),
+                    v: u.max(v),
+                });
             }
             adj[u].push(NodeId(v));
             adj[v].push(NodeId(u));
@@ -95,7 +104,10 @@ impl LabeledGraph {
     /// Builds a single-node graph (the class `NODE` of the paper), which the
     /// paper identifies with the bit string labeling its unique node.
     pub fn single_node(label: BitString) -> Self {
-        LabeledGraph { adj: vec![Vec::new()], labels: vec![label] }
+        LabeledGraph {
+            adj: vec![Vec::new()],
+            labels: vec![label],
+        }
     }
 
     /// Number of nodes, written `card(G)` in the paper.
@@ -105,7 +117,7 @@ impl LabeledGraph {
 
     /// Number of undirected edges.
     pub fn edge_count(&self) -> usize {
-        self.adj.iter().map(|l| l.len()).sum::<usize>() / 2
+        self.adj.iter().map(std::vec::Vec::len).sum::<usize>() / 2
     }
 
     /// Iterates over all nodes.
@@ -116,7 +128,9 @@ impl LabeledGraph {
     /// Iterates over all undirected edges as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.adj.iter().enumerate().flat_map(|(u, list)| {
-            list.iter().filter(move |v| u < v.0).map(move |&v| (NodeId(u), v))
+            list.iter()
+                .filter(move |v| u < v.0)
+                .map(move |&v| (NodeId(u), v))
         })
     }
 
@@ -158,7 +172,10 @@ impl LabeledGraph {
                 found: labels.len(),
             });
         }
-        Ok(LabeledGraph { adj: self.adj.clone(), labels })
+        Ok(LabeledGraph {
+            adj: self.adj.clone(),
+            labels,
+        })
     }
 
     /// The *structural degree* of `u` (Section 9): its degree plus its label
@@ -248,7 +265,11 @@ impl LabeledGraph {
         let labels = members.iter().map(|&v| self.labels[v.0].clone()).collect();
         let graph = LabeledGraph::from_edges(labels, &edges)
             .expect("induced ball around a node is connected");
-        Neighborhood { graph, members, center_local: NodeId(to_local[u.0]) }
+        Neighborhood {
+            graph,
+            members,
+            center_local: NodeId(to_local[u.0]),
+        }
     }
 
     /// The induced subgraph on `members` (must be connected); returns the
@@ -294,7 +315,12 @@ impl LabeledGraph {
 
 impl fmt::Display for LabeledGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "graph with {} nodes, {} edges", self.node_count(), self.edge_count())?;
+        writeln!(
+            f,
+            "graph with {} nodes, {} edges",
+            self.node_count(),
+            self.edge_count()
+        )?;
         for u in self.nodes() {
             write!(f, "  {} [{}]:", u, self.label(u))?;
             for v in self.neighbors(u) {
@@ -341,7 +367,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_graph() {
-        assert_eq!(LabeledGraph::from_edges(vec![], &[]), Err(GraphError::EmptyGraph));
+        assert_eq!(
+            LabeledGraph::from_edges(vec![], &[]),
+            Err(GraphError::EmptyGraph)
+        );
     }
 
     #[test]
@@ -366,7 +395,10 @@ mod tests {
     fn rejects_out_of_range_edge() {
         assert_eq!(
             LabeledGraph::from_edges(labels(2), &[(0, 5)]).unwrap_err(),
-            GraphError::NodeOutOfRange { node: 5, node_count: 2 }
+            GraphError::NodeOutOfRange {
+                node: 5,
+                node_count: 2
+            }
         );
     }
 
@@ -453,7 +485,9 @@ mod tests {
     fn with_labels_validates_length() {
         let g = LabeledGraph::from_edges(labels(2), &[(0, 1)]).unwrap();
         assert!(g.with_labels(vec![BitString::new()]).is_err());
-        let g2 = g.with_labels(vec![BitString::new(), BitString::from_bits01("1")]).unwrap();
+        let g2 = g
+            .with_labels(vec![BitString::new(), BitString::from_bits01("1")])
+            .unwrap();
         assert_eq!(g2.label(NodeId(0)), &BitString::new());
         assert_eq!(g2.edge_count(), 1);
     }

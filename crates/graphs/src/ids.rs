@@ -61,8 +61,7 @@ impl IdAssignment {
         let mut chosen: Vec<Option<usize>> = vec![None; n];
         for u in g.nodes() {
             let ball = g.ball(u, 2 * r_id);
-            let used: Vec<usize> =
-                ball.iter().filter_map(|&v| chosen[v.0]).collect();
+            let used: Vec<usize> = ball.iter().filter_map(|&v| chosen[v.0]).collect();
             let mut candidate = 0;
             while used.contains(&candidate) {
                 candidate += 1;
@@ -91,7 +90,9 @@ impl IdAssignment {
         assert!(m > 0, "modulus must be positive");
         let width = ceil_log2(m).max(1);
         IdAssignment {
-            ids: (0..g.node_count()).map(|i| BitString::from_usize(i % m, width)).collect(),
+            ids: (0..g.node_count())
+                .map(|i| BitString::from_usize(i % m, width))
+                .collect(),
         }
     }
 

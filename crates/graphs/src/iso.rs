@@ -47,8 +47,10 @@ pub fn find_isomorphism(a: &LabeledGraph, b: &LabeledGraph) -> Option<Vec<NodeId
     }
     // Degree/label multiset pruning.
     let signature = |g: &LabeledGraph| {
-        let mut s: Vec<(usize, BitString)> =
-            g.nodes().map(|u| (g.degree(u), g.label(u).clone())).collect();
+        let mut s: Vec<(usize, BitString)> = g
+            .nodes()
+            .map(|u| (g.degree(u), g.label(u).clone()))
+            .collect();
         s.sort();
         s
     };
@@ -73,10 +75,7 @@ pub fn find_isomorphism(a: &LabeledGraph, b: &LabeledGraph) -> Option<Vec<NodeId
             return true;
         };
         'candidate: for v in b.nodes() {
-            if used[v.0]
-                || a.degree(u) != b.degree(v)
-                || a.label(u) != b.label(v)
-            {
+            if used[v.0] || a.degree(u) != b.degree(v) || a.label(u) != b.label(v) {
                 continue;
             }
             // Consistency with already-mapped neighbors.
@@ -107,7 +106,12 @@ pub fn find_isomorphism(a: &LabeledGraph, b: &LabeledGraph) -> Option<Vec<NodeId
     }
 
     if go(a, b, &order, 0, &mut mapping, &mut used) {
-        Some(mapping.into_iter().map(|m| m.expect("complete mapping")).collect())
+        Some(
+            mapping
+                .into_iter()
+                .map(|m| m.expect("complete mapping"))
+                .collect(),
+        )
     } else {
         None
     }

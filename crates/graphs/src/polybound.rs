@@ -83,7 +83,11 @@ impl PolyBound {
         let len = self.coeffs.len().max(other.coeffs.len());
         let coeffs = (0..len)
             .map(|i| {
-                self.coeffs.get(i).copied().unwrap_or(0).max(other.coeffs.get(i).copied().unwrap_or(0))
+                self.coeffs
+                    .get(i)
+                    .copied()
+                    .unwrap_or(0)
+                    .max(other.coeffs.get(i).copied().unwrap_or(0))
             })
             .collect();
         PolyBound::new(coeffs)

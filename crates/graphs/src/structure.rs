@@ -98,7 +98,10 @@ impl Structure {
     ///
     /// Panics if `i`, `a`, or `b` is out of range.
     pub fn add_pair(&mut self, i: usize, a: ElemId, b: ElemId) {
-        assert!(a.0 < self.domain && b.0 < self.domain, "element out of range");
+        assert!(
+            a.0 < self.domain && b.0 < self.domain,
+            "element out of range"
+        );
         if self.binary[i].insert((a, b)) {
             if let Err(pos) = self.gaifman[a.0].binary_search(&b) {
                 self.gaifman[a.0].insert(pos, b);
@@ -148,7 +151,10 @@ impl Structure {
                 }
             }
         }
-        (0..self.domain).filter(|&i| dist[i] != usize::MAX).map(ElemId).collect()
+        (0..self.domain)
+            .filter(|&i| dist[i] != usize::MAX)
+            .map(ElemId)
+            .collect()
     }
 
     /// The pairs of the binary relation `⇀_{i+1}`.
@@ -241,7 +247,12 @@ impl GraphStructure {
                 s.add_pair(1, node_elems[u.0], e);
             }
         }
-        GraphStructure { structure: s, kinds, node_elems, bit_elems }
+        GraphStructure {
+            structure: s,
+            kinds,
+            node_elems,
+            bit_elems,
+        }
     }
 
     /// The underlying structure.
@@ -378,7 +389,13 @@ mod tests {
         let s = GraphStructure::of(&g);
         assert_eq!(s.kind(s.node_elem(NodeId(2))), ElemKind::Node(NodeId(2)));
         let b = s.bit_elem(NodeId(1), 2).unwrap();
-        assert_eq!(s.kind(b), ElemKind::Bit { node: NodeId(1), pos: 2 });
+        assert_eq!(
+            s.kind(b),
+            ElemKind::Bit {
+                node: NodeId(1),
+                pos: 2
+            }
+        );
         assert_eq!(s.owner(b), NodeId(1));
         assert_eq!(s.owner(s.node_elem(NodeId(0))), NodeId(0));
     }

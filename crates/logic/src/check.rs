@@ -32,7 +32,10 @@ pub struct CheckOptions {
 
 impl Default for CheckOptions {
     fn default() -> Self {
-        CheckOptions { max_matrix_evals: 5_000_000, max_tuples_per_var: 22 }
+        CheckOptions {
+            max_matrix_evals: 5_000_000,
+            max_tuples_per_var: 22,
+        }
     }
 }
 
@@ -120,7 +123,9 @@ impl Ctx<'_> {
     fn eval_matrix(&mut self, m: &Matrix, sigma: &mut Assignment) -> Result<bool, CheckError> {
         self.evals += 1;
         if self.evals > self.opts.max_matrix_evals {
-            return Err(CheckError::BudgetExceeded { limit: self.opts.max_matrix_evals });
+            return Err(CheckError::BudgetExceeded {
+                limit: self.opts.max_matrix_evals,
+            });
         }
         Ok(match m {
             Matrix::Lfo { x, body } => self.s.elements().all(|a| {
@@ -133,12 +138,7 @@ impl Ctx<'_> {
         })
     }
 
-    fn game(
-        &mut self,
-        i: usize,
-        m: &Matrix,
-        sigma: &mut Assignment,
-    ) -> Result<bool, CheckError> {
+    fn game(&mut self, i: usize, m: &Matrix, sigma: &mut Assignment) -> Result<bool, CheckError> {
         if i == self.quants.len() {
             return self.eval_matrix(m, sigma);
         }
@@ -149,7 +149,9 @@ impl Ctx<'_> {
         for mask in 0u64..(1u64 << t) {
             let rel = Relation::from_tuples(
                 sq.var.arity as usize,
-                (0..t).filter(|j| mask >> j & 1 == 1).map(|j| universe[j].clone()),
+                (0..t)
+                    .filter(|j| mask >> j & 1 == 1)
+                    .map(|j| universe[j].clone()),
             );
             sigma.push_so(sq.var, rel);
             let sub = self.game(i + 1, m, sigma);
@@ -180,8 +182,13 @@ impl Sentence {
         nodes: Option<&[ElemId]>,
         opts: &CheckOptions,
     ) -> Result<bool, CheckError> {
-        let mut ctx =
-            Ctx { s, nodes, opts: *opts, evals: 0, quants: self.flat_quantifiers() };
+        let mut ctx = Ctx {
+            s,
+            nodes,
+            opts: *opts,
+            evals: 0,
+            quants: self.flat_quantifiers(),
+        };
         ctx.game(0, &self.matrix, &mut Assignment::new())
     }
 
@@ -252,7 +259,10 @@ mod tests {
         let x = FoVar(0);
         let big_x = SoVar::set(0);
         Sentence::new(
-            vec![SoBlock { quantifier: Quantifier::Exists, vars: vec![SoQuant::all(big_x)] }],
+            vec![SoBlock {
+                quantifier: Quantifier::Exists,
+                vars: vec![SoQuant::all(big_x)],
+            }],
             Matrix::Fo(forall(x, iff(app(big_x, vec![x]), unary(0, x)))),
         )
     }
@@ -262,7 +272,10 @@ mod tests {
         let x = FoVar(0);
         let big_x = SoVar::set(0);
         Sentence::new(
-            vec![SoBlock { quantifier: Quantifier::Forall, vars: vec![SoQuant::all(big_x)] }],
+            vec![SoBlock {
+                quantifier: Quantifier::Forall,
+                vars: vec![SoQuant::all(big_x)],
+            }],
             Matrix::Fo(exists(x, app(big_x, vec![x]))),
         )
     }
@@ -294,12 +307,17 @@ mod tests {
         let x = FoVar(0);
         let big_x = SoVar::set(0);
         let dual = Sentence::new(
-            vec![SoBlock { quantifier: Quantifier::Forall, vars: vec![SoQuant::all(big_x)] }],
+            vec![SoBlock {
+                quantifier: Quantifier::Forall,
+                vars: vec![SoQuant::all(big_x)],
+            }],
             Matrix::Fo(exists(x, not(iff(app(big_x, vec![x]), unary(0, x))))),
         );
         let g = generators::labeled_path(&["1", "0"]);
         let s = lph_graphs::GraphStructure::of(&g);
-        assert!(!dual.check(s.structure(), None, &CheckOptions::default()).unwrap());
+        assert!(!dual
+            .check(s.structure(), None, &CheckOptions::default())
+            .unwrap());
     }
 
     #[test]
@@ -325,12 +343,18 @@ mod tests {
         let x = FoVar(0);
         let big_x = SoVar::set(0);
         let phi = Sentence::new(
-            vec![SoBlock { quantifier: Quantifier::Exists, vars: vec![SoQuant::all(big_x)] }],
+            vec![SoBlock {
+                quantifier: Quantifier::Exists,
+                vars: vec![SoQuant::all(big_x)],
+            }],
             Matrix::Fo(forall(x, app(big_x, vec![x]))),
         );
         let g = generators::path(3);
         let s = lph_graphs::GraphStructure::of(&g);
-        let opts = CheckOptions { max_matrix_evals: 2, max_tuples_per_var: 22 };
+        let opts = CheckOptions {
+            max_matrix_evals: 2,
+            max_tuples_per_var: 22,
+        };
         let err = phi.check(s.structure(), None, &opts).unwrap_err();
         assert_eq!(err, CheckError::BudgetExceeded { limit: 2 });
     }
@@ -342,10 +366,15 @@ mod tests {
         let r = SoVar::binary(0);
         let x = FoVar(0);
         let phi = Sentence::new(
-            vec![SoBlock { quantifier: Quantifier::Exists, vars: vec![SoQuant::all(r)] }],
+            vec![SoBlock {
+                quantifier: Quantifier::Exists,
+                vars: vec![SoQuant::all(r)],
+            }],
             Matrix::Fo(forall(x, not(app(r, vec![x, x])))),
         );
-        let err = phi.check(s.structure(), None, &CheckOptions::default()).unwrap_err();
+        let err = phi
+            .check(s.structure(), None, &CheckOptions::default())
+            .unwrap_err();
         assert!(matches!(err, CheckError::TooManyTuples { .. }));
     }
 
@@ -372,9 +401,13 @@ mod tests {
         let phi = Sentence::new(vec![], Matrix::Fo(exists(x, unary(0, x))));
         let g = generators::labeled_path(&["0", "1"]);
         let s = lph_graphs::GraphStructure::of(&g);
-        assert!(phi.check(s.structure(), None, &CheckOptions::default()).unwrap());
+        assert!(phi
+            .check(s.structure(), None, &CheckOptions::default())
+            .unwrap());
         let g = generators::labeled_path(&["0", "0"]);
         let s = lph_graphs::GraphStructure::of(&g);
-        assert!(!phi.check(s.structure(), None, &CheckOptions::default()).unwrap());
+        assert!(!phi
+            .check(s.structure(), None, &CheckOptions::default())
+            .unwrap());
     }
 }

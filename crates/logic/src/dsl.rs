@@ -65,12 +65,18 @@ pub fn iff(a: Formula, b: Formula) -> Formula {
 
 /// Unbounded `∃x φ`.
 pub fn exists(x: FoVar, body: Formula) -> Formula {
-    Formula::Exists { x, body: Box::new(body) }
+    Formula::Exists {
+        x,
+        body: Box::new(body),
+    }
 }
 
 /// Unbounded `∀x φ`.
 pub fn forall(x: FoVar, body: Formula) -> Formula {
-    Formula::Forall { x, body: Box::new(body) }
+    Formula::Forall {
+        x,
+        body: Box::new(body),
+    }
 }
 
 /// Strict `∃x ⇌ y φ` (Table 1 line 8): `x` ranges over the elements
@@ -81,7 +87,11 @@ pub fn forall(x: FoVar, body: Formula) -> Formula {
 /// Panics if `x == anchor` (the grammar requires distinct variables).
 pub fn exists_adj(x: FoVar, anchor: FoVar, body: Formula) -> Formula {
     assert_ne!(x, anchor, "bounded quantification requires x ≠ y");
-    Formula::ExistsAdj { x, anchor, body: Box::new(body) }
+    Formula::ExistsAdj {
+        x,
+        anchor,
+        body: Box::new(body),
+    }
 }
 
 /// Strict `∀x ⇌ y φ`.
@@ -91,7 +101,11 @@ pub fn exists_adj(x: FoVar, anchor: FoVar, body: Formula) -> Formula {
 /// Panics if `x == anchor`.
 pub fn forall_adj(x: FoVar, anchor: FoVar, body: Formula) -> Formula {
     assert_ne!(x, anchor, "bounded quantification requires x ≠ y");
-    Formula::ForallAdj { x, anchor, body: Box::new(body) }
+    Formula::ForallAdj {
+        x,
+        anchor,
+        body: Box::new(body),
+    }
 }
 
 /// Bounded `∃x ⇌≤r y φ` (includes the anchor at distance 0).
@@ -101,7 +115,12 @@ pub fn forall_adj(x: FoVar, anchor: FoVar, body: Formula) -> Formula {
 /// Panics if `x == anchor` (the grammar requires distinct variables).
 pub fn exists_near(x: FoVar, anchor: FoVar, radius: usize, body: Formula) -> Formula {
     assert_ne!(x, anchor, "bounded quantification requires x ≠ y");
-    Formula::ExistsNear { x, anchor, radius, body: Box::new(body) }
+    Formula::ExistsNear {
+        x,
+        anchor,
+        radius,
+        body: Box::new(body),
+    }
 }
 
 /// Bounded `∀x ⇌≤r y φ`.
@@ -111,7 +130,12 @@ pub fn exists_near(x: FoVar, anchor: FoVar, radius: usize, body: Formula) -> For
 /// Panics if `x == anchor`.
 pub fn forall_near(x: FoVar, anchor: FoVar, radius: usize, body: Formula) -> Formula {
     assert_ne!(x, anchor, "bounded quantification requires x ≠ y");
-    Formula::ForallNear { x, anchor, radius, body: Box::new(body) }
+    Formula::ForallNear {
+        x,
+        anchor,
+        radius,
+        body: Box::new(body),
+    }
 }
 
 // --- Graph-specific helpers (structural representations, Section 5.1) ---
@@ -130,7 +154,11 @@ pub fn is_selected(x: FoVar, aux1: FoVar, aux2: FoVar) -> Formula {
         x,
         and(vec![
             is_bit1(aux1, aux2),
-            not(exists_adj(aux2, aux1, or(vec![edge(0, aux2, aux1), edge(0, aux1, aux2)]))),
+            not(exists_adj(
+                aux2,
+                aux1,
+                or(vec![edge(0, aux2, aux1), edge(0, aux1, aux2)]),
+            )),
         ]),
     )
 }

@@ -74,8 +74,10 @@ pub fn well_colored(x: FoVar) -> Formula {
     for i in 0..3 {
         for j in 0..3 {
             if i != j {
-                exclusive
-                    .push(not(and(vec![app(colors[i], vec![x]), app(colors[j], vec![x])])));
+                exclusive.push(not(and(vec![
+                    app(colors[i], vec![x]),
+                    app(colors[j], vec![x]),
+                ])));
             }
         }
     }
@@ -83,7 +85,10 @@ pub fn well_colored(x: FoVar) -> Formula {
         y,
         x,
         aux,
-        and(colors.iter().map(|&c| not(and(vec![app(c, vec![x]), app(c, vec![y])]))).collect()),
+        and(colors
+            .iter()
+            .map(|&c| not(and(vec![app(c, vec![x]), app(c, vec![y])])))
+            .collect()),
     );
     and(vec![has_some, and(exclusive), differs])
 }
@@ -95,7 +100,10 @@ pub fn three_colorable() -> Sentence {
     let aux = FoVar(15);
     Sentence::new(
         vec![SoBlock::exists(var_colors().to_vec())],
-        Matrix::Lfo { x, body: implies(is_node(x, aux), well_colored(x)) },
+        Matrix::Lfo {
+            x,
+            body: implies(is_node(x, aux), well_colored(x)),
+        },
     )
 }
 
@@ -164,8 +172,7 @@ pub fn points_to(x: FoVar, theta: impl Fn(FoVar) -> Formula) -> Formula {
             forall_node_near(z, x, 1, aux, implies(app(p, vec![x, z]), eq(z, y))),
         ]),
     );
-    let root_case =
-        implies(app(p, vec![x, x]), and(vec![theta(x), app(big_y, vec![x])]));
+    let root_case = implies(app(p, vec![x, x]), and(vec![theta(x), app(big_y, vec![x])]));
     let child_case = implies(
         not(app(p, vec![x, x])),
         exists_node_adj(
@@ -272,7 +279,10 @@ pub fn discontinuity_at(x: FoVar) -> Formula {
         y,
         x,
         aux,
-        and(vec![app(h, vec![x, y]), iff(app(s, vec![x]), not(app(s, vec![y])))]),
+        and(vec![
+            app(h, vec![x, y]),
+            iff(app(s, vec![x]), not(app(s, vec![y]))),
+        ]),
     )
 }
 
@@ -284,10 +294,8 @@ pub fn hamiltonian() -> Sentence {
     let s = var_s();
     let aux = FoVar(19);
     let trivial_case = implies(not(app(c, vec![x])), in_agreement_on(s, x));
-    let partitioned_case =
-        implies(app(c, vec![x]), points_to(x, discontinuity_at));
-    let connectivity_test =
-        and(vec![in_agreement_on(c, x), trivial_case, partitioned_case]);
+    let partitioned_case = implies(app(c, vec![x]), points_to(x, discontinuity_at));
+    let connectivity_test = and(vec![in_agreement_on(c, x), trivial_case, partitioned_case]);
     let body = implies(is_node(x, aux), and(vec![degree_two(x), connectivity_test]));
     Sentence::new(
         vec![
@@ -308,8 +316,7 @@ pub fn non_hamiltonian() -> Sentence {
     let c = var_c();
     let s = var_s();
     let aux = FoVar(19);
-    let invalid_case =
-        implies(not(app(c, vec![x])), points_to(x, |v| not(degree_two(v))));
+    let invalid_case = implies(not(app(c, vec![x])), points_to(x, |v| not(degree_two(v))));
     let division_at = |v: FoVar| not(in_agreement_on(s, v));
     let disjoint_case = implies(
         app(c, vec![x]),
@@ -337,11 +344,15 @@ mod tests {
     use lph_graphs::{enumerate, generators, BitString, GraphStructure, LabeledGraph};
 
     fn strong_opts() -> CheckOptions {
-        CheckOptions { max_matrix_evals: 50_000_000, max_tuples_per_var: 22 }
+        CheckOptions {
+            max_matrix_evals: 50_000_000,
+            max_tuples_per_var: 22,
+        }
     }
 
     fn truth(s: &Sentence, g: &LabeledGraph) -> bool {
-        s.check_on_graph(&GraphStructure::of(g), &strong_opts()).expect("within budget")
+        s.check_on_graph(&GraphStructure::of(g), &strong_opts())
+            .expect("within budget")
     }
 
     #[test]
@@ -418,7 +429,12 @@ mod tests {
     #[test]
     fn not_all_selected_on_three_node_graphs() {
         let phi = not_all_selected();
-        for labels in [["0", "1", "1"], ["1", "0", "1"], ["1", "1", "0"], ["0", "0", "0"]] {
+        for labels in [
+            ["0", "1", "1"],
+            ["1", "0", "1"],
+            ["1", "1", "0"],
+            ["0", "0", "0"],
+        ] {
             let g = generators::labeled_cycle(&labels);
             assert!(truth(&phi, &g), "labels {labels:?}");
         }
@@ -483,7 +499,10 @@ mod tests {
                 &strong_opts(),
             )
             .unwrap();
-        assert!(!won, "a cyclic P must lose: no root ever witnesses ¬IsSelected");
+        assert!(
+            !won,
+            "a cyclic P must lose: no root ever witnesses ¬IsSelected"
+        );
     }
 
     #[test]

@@ -151,8 +151,12 @@ impl Formula {
             }
             Formula::ExistsAdj { x, anchor, body }
             | Formula::ForallAdj { x, anchor, body }
-            | Formula::ExistsNear { x, anchor, body, .. }
-            | Formula::ForallNear { x, anchor, body, .. } => {
+            | Formula::ExistsNear {
+                x, anchor, body, ..
+            }
+            | Formula::ForallNear {
+                x, anchor, body, ..
+            } => {
                 let mut inner = BTreeSet::new();
                 body.collect_free_fo(&mut inner);
                 inner.remove(x);
@@ -236,15 +240,14 @@ impl Formula {
             Formula::And(fs) | Formula::Or(fs) => {
                 fs.iter().map(Formula::bounded_depth).max().unwrap_or(0)
             }
-            Formula::Implies(a, b) | Formula::Iff(a, b) => {
-                a.bounded_depth().max(b.bounded_depth())
-            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => a.bounded_depth().max(b.bounded_depth()),
             Formula::Exists { body, .. } | Formula::Forall { body, .. } => body.bounded_depth(),
             Formula::ExistsAdj { body, .. } | Formula::ForallAdj { body, .. } => {
                 1 + body.bounded_depth()
             }
-            Formula::ExistsNear { radius, body, .. }
-            | Formula::ForallNear { radius, body, .. } => radius + body.bounded_depth(),
+            Formula::ExistsNear { radius, body, .. } | Formula::ForallNear { radius, body, .. } => {
+                radius + body.bounded_depth()
+            }
         }
     }
 
@@ -298,7 +301,10 @@ impl Formula {
                     .iter()
                     .map(|a| sigma.elem(*a).expect("unassigned variable"))
                     .collect();
-                sigma.relation(*rel).expect("unassigned relation variable").contains(&tuple)
+                sigma
+                    .relation(*rel)
+                    .expect("unassigned relation variable")
+                    .contains(&tuple)
             }
             Formula::Not(f) => !f.eval(s, sigma),
             Formula::And(fs) => fs.iter().all(|f| f.eval(s, sigma)),
@@ -335,7 +341,12 @@ impl Formula {
                     v
                 })
             }
-            Formula::ExistsNear { x, anchor, radius, body } => {
+            Formula::ExistsNear {
+                x,
+                anchor,
+                radius,
+                body,
+            } => {
                 let base = sigma.elem(*anchor).expect("unassigned anchor");
                 s.gaifman_ball(base, *radius).into_iter().any(|a| {
                     sigma.push_fo(*x, a);
@@ -344,7 +355,12 @@ impl Formula {
                     v
                 })
             }
-            Formula::ForallNear { x, anchor, radius, body } => {
+            Formula::ForallNear {
+                x,
+                anchor,
+                radius,
+                body,
+            } => {
                 let base = sigma.elem(*anchor).expect("unassigned anchor");
                 s.gaifman_ball(base, *radius).into_iter().all(|a| {
                     sigma.push_fo(*x, a);
@@ -402,10 +418,20 @@ impl fmt::Display for Formula {
             Formula::Forall { x, body } => write!(f, "∀{x} {body}"),
             Formula::ExistsAdj { x, anchor, body } => write!(f, "∃{x}⇌{anchor} {body}"),
             Formula::ForallAdj { x, anchor, body } => write!(f, "∀{x}⇌{anchor} {body}"),
-            Formula::ExistsNear { x, anchor, radius, body } => {
+            Formula::ExistsNear {
+                x,
+                anchor,
+                radius,
+                body,
+            } => {
                 write!(f, "∃{x}⇌≤{radius}{anchor} {body}")
             }
-            Formula::ForallNear { x, anchor, radius, body } => {
+            Formula::ForallNear {
+                x,
+                anchor,
+                radius,
+                body,
+            } => {
                 write!(f, "∀{x}⇌≤{radius}{anchor} {body}")
             }
         }

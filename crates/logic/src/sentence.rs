@@ -60,12 +60,18 @@ pub struct SoQuant {
 impl SoQuant {
     /// A variable quantified over node tuples only.
     pub fn nodes(var: SoVar) -> Self {
-        SoQuant { var, support: Support::NodesOnly }
+        SoQuant {
+            var,
+            support: Support::NodesOnly,
+        }
     }
 
     /// A variable quantified over all tuples.
     pub fn all(var: SoVar) -> Self {
-        SoQuant { var, support: Support::All }
+        SoQuant {
+            var,
+            support: Support::All,
+        }
     }
 }
 
@@ -172,7 +178,10 @@ impl Sentence {
     pub fn new(blocks: Vec<SoBlock>, matrix: Matrix) -> Self {
         match &matrix {
             Matrix::Lfo { x, body } => {
-                assert!(body.is_bf(), "LFO matrix body must be in the bounded fragment");
+                assert!(
+                    body.is_bf(),
+                    "LFO matrix body must be in the bounded fragment"
+                );
                 let free = body.free_fo();
                 assert!(
                     free.iter().all(|v| v == x),
@@ -186,14 +195,20 @@ impl Sentence {
                 );
             }
         }
-        let bound: Vec<SoVar> =
-            blocks.iter().flat_map(|b| b.vars.iter().map(|q| q.var)).collect();
+        let bound: Vec<SoVar> = blocks
+            .iter()
+            .flat_map(|b| b.vars.iter().map(|q| q.var))
+            .collect();
         {
             let mut seen = bound.clone();
             seen.sort();
             let before = seen.len();
             seen.dedup();
-            assert_eq!(before, seen.len(), "second-order variables must be distinct");
+            assert_eq!(
+                before,
+                seen.len(),
+                "second-order variables must be distinct"
+            );
         }
         for v in matrix.body().so_vars() {
             assert!(bound.contains(&v), "unbound second-order variable {v}");
@@ -219,13 +234,18 @@ impl Sentence {
                 merged.push(b.quantifier);
             }
         }
-        Level { ell: merged.len(), leading: merged.first().copied() }
+        Level {
+            ell: merged.len(),
+            leading: merged.first().copied(),
+        }
     }
 
     /// Whether all quantified relation variables are unary (the *monadic*
     /// fragments `mΣℓ` / `mΠℓ` of Section 9.2).
     pub fn is_monadic(&self) -> bool {
-        self.blocks.iter().all(|b| b.vars.iter().all(|q| q.var.arity == 1))
+        self.blocks
+            .iter()
+            .all(|b| b.vars.iter().all(|q| q.var.arity == 1))
     }
 
     /// Whether the sentence belongs to the *local* hierarchy (`LFO` matrix).
@@ -290,10 +310,22 @@ mod tests {
         let a = SoVar::set(0);
         let b = SoVar::set(1);
         let c = SoVar::binary(2);
-        let body = and(vec![bf_body(x), app(a, vec![x]), app(b, vec![x]), app(c, vec![x, x])]);
+        let body = and(vec![
+            bf_body(x),
+            app(a, vec![x]),
+            app(b, vec![x]),
+            app(c, vec![x, x]),
+        ]);
         let s = Sentence::new(
-            vec![SoBlock::exists(vec![a]), SoBlock::forall(vec![b]), SoBlock::exists(vec![c])],
-            Matrix::Lfo { x, body: body.clone() },
+            vec![
+                SoBlock::exists(vec![a]),
+                SoBlock::forall(vec![b]),
+                SoBlock::exists(vec![c]),
+            ],
+            Matrix::Lfo {
+                x,
+                body: body.clone(),
+            },
         );
         let lv = s.level();
         assert_eq!((lv.ell, lv.leading), (3, Some(Quantifier::Exists)));
@@ -349,7 +381,10 @@ mod tests {
         let a = SoVar::set(0);
         let s = Sentence::new(
             vec![SoBlock::exists(vec![a])],
-            Matrix::Lfo { x, body: and(vec![bf_body(x), app(a, vec![x])]) },
+            Matrix::Lfo {
+                x,
+                body: and(vec![bf_body(x), app(a, vec![x])]),
+            },
         );
         assert!(s.is_monadic());
     }

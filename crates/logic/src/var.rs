@@ -53,7 +53,10 @@ impl VarPool {
     /// A pool handing out variables starting from the given indices (choose
     /// them above any manually assigned variables).
     pub fn starting_at(fo: u32, so: u32) -> Self {
-        VarPool { next_fo: fo, next_so: so }
+        VarPool {
+            next_fo: fo,
+            next_so: so,
+        }
     }
 
     /// A fresh first-order variable.
@@ -65,7 +68,10 @@ impl VarPool {
 
     /// A fresh second-order variable of the given arity.
     pub fn so(&mut self, arity: u8) -> SoVar {
-        let v = SoVar { index: self.next_so, arity };
+        let v = SoVar {
+            index: self.next_so,
+            arity,
+        };
         self.next_so += 1;
         v
     }
@@ -82,7 +88,10 @@ pub struct Relation {
 impl Relation {
     /// The empty relation of the given arity.
     pub fn empty(arity: usize) -> Self {
-        Relation { arity, tuples: BTreeSet::new() }
+        Relation {
+            arity,
+            tuples: BTreeSet::new(),
+        }
     }
 
     /// Builds a relation from tuples.
@@ -101,7 +110,10 @@ impl Relation {
 
     /// A unary relation from a set of elements.
     pub fn from_set<I: IntoIterator<Item = ElemId>>(elems: I) -> Self {
-        Relation { arity: 1, tuples: elems.into_iter().map(|e| vec![e]).collect() }
+        Relation {
+            arity: 1,
+            tuples: elems.into_iter().map(|e| vec![e]).collect(),
+        }
     }
 
     /// The arity.
@@ -162,7 +174,11 @@ impl Assignment {
 
     /// The relation assigned to `r`, if any.
     pub fn relation(&self, r: SoVar) -> Option<&Relation> {
-        self.so.iter().rev().find(|(v, _)| *v == r).map(|(_, rel)| rel)
+        self.so
+            .iter()
+            .rev()
+            .find(|(v, _)| *v == r)
+            .map(|(_, rel)| rel)
     }
 
     /// Pushes a first-order binding (`σ[x ↦ a]`); pop with

@@ -104,7 +104,11 @@ mod tests {
 
     #[test]
     fn display_mentions_details() {
-        let e = MachineError::StepLimitExceeded { node: 3, round: 2, limit: 100 };
+        let e = MachineError::StepLimitExceeded {
+            node: 3,
+            round: 2,
+            limit: 100,
+        };
         let s = e.to_string();
         assert!(s.contains("v3") && s.contains('2') && s.contains("100"));
     }

@@ -17,7 +17,10 @@ pub struct ExecLimits {
 
 impl Default for ExecLimits {
     fn default() -> Self {
-        ExecLimits { max_rounds: 64, max_steps_per_round: 1_000_000 }
+        ExecLimits {
+            max_rounds: 64,
+            max_steps_per_round: 1_000_000,
+        }
     }
 }
 
@@ -72,8 +75,7 @@ pub fn run_tm(
     }
     let n = g.node_count();
     // Neighbors in ascending identifier order, fixed for the execution.
-    let sorted_nbrs: Vec<Vec<NodeId>> =
-        g.nodes().map(|u| id.sorted_neighbors(g, u)).collect();
+    let sorted_nbrs: Vec<Vec<NodeId>> = g.nodes().map(|u| id.sorted_neighbors(g, u)).collect();
     // inbox_slot[u][j] = position of u in the sorted neighbor list of its
     // j-th sorted neighbor (which message of that neighbor is addressed to u).
     let inbox_slot: Vec<Vec<usize>> = g
@@ -198,15 +200,27 @@ pub fn run_tm(
         }
 
         if all_stopped {
-            let result_labels: Vec<BitString> =
-                nodes.iter().map(|s| content_bits(&s.int.content())).collect();
-            let verdicts: Vec<bool> =
-                result_labels.iter().map(|l| *l == BitString::from_bits01("1")).collect();
+            let result_labels: Vec<BitString> = nodes
+                .iter()
+                .map(|s| content_bits(&s.int.content()))
+                .collect();
+            let verdicts: Vec<bool> = result_labels
+                .iter()
+                .map(|l| *l == BitString::from_bits01("1"))
+                .collect();
             let accepted = verdicts.iter().all(|&v| v);
-            return Ok(TmOutcome { rounds: round, result_labels, verdicts, accepted, metrics });
+            return Ok(TmOutcome {
+                rounds: round,
+                result_labels,
+                verdicts,
+                accepted,
+                metrics,
+            });
         }
     }
-    Err(MachineError::RoundLimitExceeded { limit: limits.max_rounds })
+    Err(MachineError::RoundLimitExceeded {
+        limit: limits.max_rounds,
+    })
 }
 
 #[cfg(test)]
@@ -219,7 +233,13 @@ mod tests {
     /// material (so the verdict depends on the raw λ#id#κ̄ bits).
     fn halt_machine() -> DistributedTm {
         let mut b = TmBuilder::new();
-        b.rule(b.start(), [Pat::Any; 3], b.stop(), [WriteOp::Keep; 3], [Move::S; 3]);
+        b.rule(
+            b.start(),
+            [Pat::Any; 3],
+            b.stop(),
+            [WriteOp::Keep; 3],
+            [Move::S; 3],
+        );
         b.build()
     }
 
@@ -227,7 +247,13 @@ mod tests {
     /// limit.
     fn spin_machine() -> DistributedTm {
         let mut b = TmBuilder::new();
-        b.rule(b.start(), [Pat::Any; 3], b.pause(), [WriteOp::Keep; 3], [Move::S; 3]);
+        b.rule(
+            b.start(),
+            [Pat::Any; 3],
+            b.pause(),
+            [WriteOp::Keep; 3],
+            [Move::S; 3],
+        );
         b.build()
     }
 
@@ -235,9 +261,14 @@ mod tests {
     fn halting_machine_terminates_in_one_round() {
         let g = generators::path(3);
         let id = IdAssignment::global(&g);
-        let out =
-            run_tm(&halt_machine(), &g, &id, &CertificateList::new(), &ExecLimits::default())
-                .unwrap();
+        let out = run_tm(
+            &halt_machine(),
+            &g,
+            &id,
+            &CertificateList::new(),
+            &ExecLimits::default(),
+        )
+        .unwrap();
         assert_eq!(out.rounds, 1);
         // Verdict string is label ++ id bits (all separators ignored):
         // label "1" plus 2 id bits — not equal to "1", so nodes reject.
@@ -248,9 +279,11 @@ mod tests {
     fn spin_machine_hits_round_limit() {
         let g = generators::path(2);
         let id = IdAssignment::global(&g);
-        let limits = ExecLimits { max_rounds: 5, max_steps_per_round: 100 };
-        let err =
-            run_tm(&spin_machine(), &g, &id, &CertificateList::new(), &limits).unwrap_err();
+        let limits = ExecLimits {
+            max_rounds: 5,
+            max_steps_per_round: 100,
+        };
+        let err = run_tm(&spin_machine(), &g, &id, &CertificateList::new(), &limits).unwrap_err();
         assert_eq!(err, MachineError::RoundLimitExceeded { limit: 5 });
     }
 
@@ -274,23 +307,46 @@ mod tests {
         // A machine that moves its internal head right forever.
         let mut b = TmBuilder::new();
         let run = b.state("run");
-        b.rule(b.start(), [Pat::Any; 3], run, [WriteOp::Keep; 3], [Move::S; 3]);
-        b.rule(run, [Pat::Any; 3], run, [WriteOp::Keep; 3], [Move::S, Move::R, Move::S]);
+        b.rule(
+            b.start(),
+            [Pat::Any; 3],
+            run,
+            [WriteOp::Keep; 3],
+            [Move::S; 3],
+        );
+        b.rule(
+            run,
+            [Pat::Any; 3],
+            run,
+            [WriteOp::Keep; 3],
+            [Move::S, Move::R, Move::S],
+        );
         let tm = b.build();
         let g = generators::path(1);
         let id = IdAssignment::global(&g);
-        let limits = ExecLimits { max_rounds: 2, max_steps_per_round: 50 };
+        let limits = ExecLimits {
+            max_rounds: 2,
+            max_steps_per_round: 50,
+        };
         let err = run_tm(&tm, &g, &id, &CertificateList::new(), &limits).unwrap_err();
-        assert!(matches!(err, MachineError::StepLimitExceeded { limit: 50, .. }));
+        assert!(matches!(
+            err,
+            MachineError::StepLimitExceeded { limit: 50, .. }
+        ));
     }
 
     #[test]
     fn metrics_are_recorded_per_round() {
         let g = generators::path(2);
         let id = IdAssignment::global(&g);
-        let out =
-            run_tm(&halt_machine(), &g, &id, &CertificateList::new(), &ExecLimits::default())
-                .unwrap();
+        let out = run_tm(
+            &halt_machine(),
+            &g,
+            &id,
+            &CertificateList::new(),
+            &ExecLimits::default(),
+        )
+        .unwrap();
         assert_eq!(out.metrics.per_node.len(), 2);
         assert_eq!(out.metrics.per_node[0].len(), 1);
         // The halting transition is one step.

@@ -153,8 +153,7 @@ pub fn run_local(
         return Err(MachineError::IdsNotLocallyUnique);
     }
     let n = g.node_count();
-    let sorted_nbrs: Vec<Vec<NodeId>> =
-        g.nodes().map(|u| id.sorted_neighbors(g, u)).collect();
+    let sorted_nbrs: Vec<Vec<NodeId>> = g.nodes().map(|u| id.sorted_neighbors(g, u)).collect();
     let inbox_slot: Vec<Vec<usize>> = g
         .nodes()
         .map(|u| {
@@ -182,8 +181,10 @@ pub fn run_local(
         })
         .collect();
     let mut outputs: Vec<Option<BitString>> = vec![None; n];
-    let mut outboxes: Vec<Vec<BitString>> =
-        g.nodes().map(|u| vec![BitString::new(); g.degree(u)]).collect();
+    let mut outboxes: Vec<Vec<BitString>> = g
+        .nodes()
+        .map(|u| vec![BitString::new(); g.degree(u)])
+        .collect();
     let mut metrics = ExecMetrics::new(n);
 
     for round in 1..=limits.max_rounds {
@@ -238,15 +239,27 @@ pub fn run_local(
         }
 
         if all_halted {
-            let outputs: Vec<BitString> =
-                outputs.into_iter().map(|o| o.expect("all halted")).collect();
-            let verdicts: Vec<bool> =
-                outputs.iter().map(|l| *l == BitString::from_bits01("1")).collect();
+            let outputs: Vec<BitString> = outputs
+                .into_iter()
+                .map(|o| o.expect("all halted"))
+                .collect();
+            let verdicts: Vec<bool> = outputs
+                .iter()
+                .map(|l| *l == BitString::from_bits01("1"))
+                .collect();
             let accepted = verdicts.iter().all(|&v| v);
-            return Ok(LocalOutcome { rounds: round, outputs, verdicts, accepted, metrics });
+            return Ok(LocalOutcome {
+                rounds: round,
+                outputs,
+                verdicts,
+                accepted,
+                metrics,
+            });
         }
     }
-    Err(MachineError::RoundLimitExceeded { limit: limits.max_rounds })
+    Err(MachineError::RoundLimitExceeded {
+        limit: limits.max_rounds,
+    })
 }
 
 #[cfg(test)]
@@ -261,13 +274,15 @@ mod tests {
     impl LocalAlgorithm for LocalMinimum {
         fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
             let my_id = input.id.clone();
-            Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
-                ctx.charge(1 + inbox.iter().map(BitString::len).sum::<usize>());
-                match round {
-                    1 => RoundAction::Send(vec![my_id.clone(); inbox.len()]),
-                    _ => RoundAction::verdict(inbox.iter().all(|m| my_id < *m)),
-                }
-            })
+            Box::new(
+                move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+                    ctx.charge(1 + inbox.iter().map(BitString::len).sum::<usize>());
+                    match round {
+                        1 => RoundAction::Send(vec![my_id.clone(); inbox.len()]),
+                        _ => RoundAction::verdict(inbox.iter().all(|m| my_id < *m)),
+                    }
+                },
+            )
         }
     }
 
@@ -275,9 +290,14 @@ mod tests {
     fn local_minimum_accepts_only_at_unique_minimum() {
         let g = generators::path(4);
         let id = IdAssignment::global(&g);
-        let out =
-            run_local(&LocalMinimum, &g, &id, &CertificateList::new(), &ExecLimits::default())
-                .unwrap();
+        let out = run_local(
+            &LocalMinimum,
+            &g,
+            &id,
+            &CertificateList::new(),
+            &ExecLimits::default(),
+        )
+        .unwrap();
         assert_eq!(out.rounds, 2);
         // Node 0 has id 00, the global minimum; its neighbors are larger.
         assert!(out.verdicts[0]);
@@ -294,26 +314,32 @@ mod tests {
         impl LocalAlgorithm for SendOwnId {
             fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
                 let my_id = input.id.clone();
-                Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
-                    ctx.charge(1);
-                    match round {
-                        1 => RoundAction::Send(vec![my_id.clone(); inbox.len()]),
-                        _ => {
-                            // In a cycle with global ids, the two inbox slots
-                            // must be the two distinct neighbor ids, sorted.
-                            let sorted =
-                                inbox.windows(2).all(|w| w[0] < w[1]);
-                            RoundAction::verdict(sorted && !inbox.is_empty())
+                Box::new(
+                    move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+                        ctx.charge(1);
+                        match round {
+                            1 => RoundAction::Send(vec![my_id.clone(); inbox.len()]),
+                            _ => {
+                                // In a cycle with global ids, the two inbox slots
+                                // must be the two distinct neighbor ids, sorted.
+                                let sorted = inbox.windows(2).all(|w| w[0] < w[1]);
+                                RoundAction::verdict(sorted && !inbox.is_empty())
+                            }
                         }
-                    }
-                })
+                    },
+                )
             }
         }
         let g = generators::cycle(5);
         let id = IdAssignment::global(&g);
-        let out =
-            run_local(&SendOwnId, &g, &id, &CertificateList::new(), &ExecLimits::default())
-                .unwrap();
+        let out = run_local(
+            &SendOwnId,
+            &g,
+            &id,
+            &CertificateList::new(),
+            &ExecLimits::default(),
+        )
+        .unwrap();
         assert!(out.accepted, "inbox must arrive in ascending id order");
     }
 
@@ -330,9 +356,11 @@ mod tests {
         }
         let g = generators::path(2);
         let id = IdAssignment::global(&g);
-        let limits = ExecLimits { max_rounds: 4, max_steps_per_round: 100 };
-        let err =
-            run_local(&Expensive, &g, &id, &CertificateList::new(), &limits).unwrap_err();
+        let limits = ExecLimits {
+            max_rounds: 4,
+            max_steps_per_round: 100,
+        };
+        let err = run_local(&Expensive, &g, &id, &CertificateList::new(), &limits).unwrap_err();
         assert!(matches!(err, MachineError::StepLimitExceeded { .. }));
     }
 
@@ -342,15 +370,20 @@ mod tests {
         impl LocalAlgorithm for Forever {
             fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
                 let d = input.degree;
-                Box::new(move |ctx: &mut NodeCtx, _round: usize, _inbox: &[BitString]| {
-                    ctx.charge(1);
-                    RoundAction::Send(vec![BitString::new(); d])
-                })
+                Box::new(
+                    move |ctx: &mut NodeCtx, _round: usize, _inbox: &[BitString]| {
+                        ctx.charge(1);
+                        RoundAction::Send(vec![BitString::new(); d])
+                    },
+                )
             }
         }
         let g = generators::path(2);
         let id = IdAssignment::global(&g);
-        let limits = ExecLimits { max_rounds: 3, max_steps_per_round: 100 };
+        let limits = ExecLimits {
+            max_rounds: 3,
+            max_steps_per_round: 100,
+        };
         let err = run_local(&Forever, &g, &id, &CertificateList::new(), &limits).unwrap_err();
         assert_eq!(err, MachineError::RoundLimitExceeded { limit: 3 });
     }
@@ -363,10 +396,12 @@ mod tests {
             fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
                 let ok = input.certificates.len() == 1
                     && input.certificates[0] == BitString::from_bits01("1");
-                Box::new(move |ctx: &mut NodeCtx, _round: usize, _inbox: &[BitString]| {
-                    ctx.charge(1);
-                    RoundAction::verdict(ok)
-                })
+                Box::new(
+                    move |ctx: &mut NodeCtx, _round: usize, _inbox: &[BitString]| {
+                        ctx.charge(1);
+                        RoundAction::verdict(ok)
+                    },
+                )
             }
         }
         let g = generators::path(3);
@@ -390,26 +425,30 @@ mod tests {
         impl LocalAlgorithm for Asymmetric {
             fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
                 let halt_now = input.label == BitString::from_bits01("0");
-                Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
-                    ctx.charge(1);
-                    if halt_now {
-                        return RoundAction::accept();
-                    }
-                    match round {
-                        1 => RoundAction::Send(vec![
-                            BitString::from_bits01("1");
-                            inbox.len()
-                        ]),
-                        _ => RoundAction::verdict(inbox.iter().all(BitString::is_empty)),
-                    }
-                })
+                Box::new(
+                    move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+                        ctx.charge(1);
+                        if halt_now {
+                            return RoundAction::accept();
+                        }
+                        match round {
+                            1 => RoundAction::Send(vec![BitString::from_bits01("1"); inbox.len()]),
+                            _ => RoundAction::verdict(inbox.iter().all(BitString::is_empty)),
+                        }
+                    },
+                )
             }
         }
         let g = generators::labeled_path(&["0", "1"]);
         let id = IdAssignment::global(&g);
-        let out =
-            run_local(&Asymmetric, &g, &id, &CertificateList::new(), &ExecLimits::default())
-                .unwrap();
+        let out = run_local(
+            &Asymmetric,
+            &g,
+            &id,
+            &CertificateList::new(),
+            &ExecLimits::default(),
+        )
+        .unwrap();
         assert!(out.accepted);
         assert_eq!(out.rounds, 2);
     }

@@ -37,9 +37,21 @@ pub fn proper_coloring_verifier() -> DistributedTm {
     let stay = [Move::S; 3];
 
     // Step off the receiving tape's left-end marker and look at cell 1.
-    b.rule(b.start(), [Pat::Any; 3], r_detect, keep, [Move::R, Move::S, Move::S]);
+    b.rule(
+        b.start(),
+        [Pat::Any; 3],
+        r_detect,
+        keep,
+        [Move::R, Move::S, Move::S],
+    );
     // Blank: no neighbors at all — trivially properly colored.
-    b.rule(r_detect, [Pat::Is(Sym::Blank), Pat::Any, Pat::Any], acc, keep, stay);
+    b.rule(
+        r_detect,
+        [Pat::Is(Sym::Blank), Pat::Any, Pat::Any],
+        acc,
+        keep,
+        stay,
+    );
     // Separator: round 1 (`#^d`) — broadcast. Step the sending head off
     // its left-end marker so the sentinel lands on cell 1.
     b.rule(
@@ -93,12 +105,42 @@ pub fn proper_coloring_verifier() -> DistributedTm {
     );
     b.rule(b_copy, [Pat::Any; 3], rej, keep, stay);
     // b_rew: rewind the internal head to ⊢.
-    b.rule(b_rew, [Pat::Any, Pat::Is(Sym::LeftEnd), Pat::Any], b_next, keep, stay);
-    b.rule(b_rew, [Pat::Any; 3], b_rew, keep, [Move::S, Move::L, Move::S]);
+    b.rule(
+        b_rew,
+        [Pat::Any, Pat::Is(Sym::LeftEnd), Pat::Any],
+        b_next,
+        keep,
+        stay,
+    );
+    b.rule(
+        b_rew,
+        [Pat::Any; 3],
+        b_rew,
+        keep,
+        [Move::S, Move::L, Move::S],
+    );
     // b_next / b_look: advance to the next separator or finish the round.
-    b.rule(b_next, [Pat::Any; 3], b_look, keep, [Move::R, Move::S, Move::S]);
-    b.rule(b_look, [Pat::Is(Sym::Sep), Pat::Any, Pat::Any], b_sent, keep, stay);
-    b.rule(b_look, [Pat::Is(Sym::Blank), Pat::Any, Pat::Any], b.pause(), keep, stay);
+    b.rule(
+        b_next,
+        [Pat::Any; 3],
+        b_look,
+        keep,
+        [Move::R, Move::S, Move::S],
+    );
+    b.rule(
+        b_look,
+        [Pat::Is(Sym::Sep), Pat::Any, Pat::Any],
+        b_sent,
+        keep,
+        stay,
+    );
+    b.rule(
+        b_look,
+        [Pat::Is(Sym::Blank), Pat::Any, Pat::Any],
+        b.pause(),
+        keep,
+        stay,
+    );
     b.rule(b_look, [Pat::Any; 3], rej, keep, stay);
 
     // --- Round 2: compare each message against the label.
@@ -118,7 +160,13 @@ pub fn proper_coloring_verifier() -> DistributedTm {
         [Move::R, Move::R, Move::S],
     );
     // Both ended simultaneously: the neighbor has the same color — reject.
-    b.rule(c_cmp, [Pat::Is(Sym::Sep), Pat::Is(Sym::Sep), Pat::Any], rej, keep, stay);
+    b.rule(
+        c_cmp,
+        [Pat::Is(Sym::Sep), Pat::Is(Sym::Sep), Pat::Any],
+        rej,
+        keep,
+        stay,
+    );
     // Message ended first: colors differ; rewind and move on.
     b.rule(
         c_cmp,
@@ -128,9 +176,21 @@ pub fn proper_coloring_verifier() -> DistributedTm {
         [Move::S, Move::L, Move::S],
     );
     // Malformed tape (blank inside a message): reject.
-    b.rule(c_cmp, [Pat::Is(Sym::Blank), Pat::Any, Pat::Any], rej, keep, stay);
+    b.rule(
+        c_cmp,
+        [Pat::Is(Sym::Blank), Pat::Any, Pat::Any],
+        rej,
+        keep,
+        stay,
+    );
     // Label ended first, or the bits differ: skip the rest of the message.
-    b.rule(c_cmp, [Pat::Any; 3], c_skip, keep, [Move::R, Move::S, Move::S]);
+    b.rule(
+        c_cmp,
+        [Pat::Any; 3],
+        c_skip,
+        keep,
+        [Move::R, Move::S, Move::S],
+    );
     // c_skip: advance the receiving head to the message's separator.
     b.rule(
         c_skip,
@@ -139,13 +199,43 @@ pub fn proper_coloring_verifier() -> DistributedTm {
         keep,
         [Move::S, Move::L, Move::S],
     );
-    b.rule(c_skip, [Pat::Is(Sym::Blank), Pat::Any, Pat::Any], rej, keep, stay);
-    b.rule(c_skip, [Pat::Any; 3], c_skip, keep, [Move::R, Move::S, Move::S]);
+    b.rule(
+        c_skip,
+        [Pat::Is(Sym::Blank), Pat::Any, Pat::Any],
+        rej,
+        keep,
+        stay,
+    );
+    b.rule(
+        c_skip,
+        [Pat::Any; 3],
+        c_skip,
+        keep,
+        [Move::R, Move::S, Move::S],
+    );
     // c_rew: rewind the internal head to ⊢.
-    b.rule(c_rew, [Pat::Any, Pat::Is(Sym::LeftEnd), Pat::Any], c_adv, keep, stay);
-    b.rule(c_rew, [Pat::Any; 3], c_rew, keep, [Move::S, Move::L, Move::S]);
+    b.rule(
+        c_rew,
+        [Pat::Any, Pat::Is(Sym::LeftEnd), Pat::Any],
+        c_adv,
+        keep,
+        stay,
+    );
+    b.rule(
+        c_rew,
+        [Pat::Any; 3],
+        c_rew,
+        keep,
+        [Move::S, Move::L, Move::S],
+    );
     // c_adv: step past the separator; internal head back to cell 1.
-    b.rule(c_adv, [Pat::Any; 3], c_look, keep, [Move::R, Move::R, Move::S]);
+    b.rule(
+        c_adv,
+        [Pat::Any; 3],
+        c_look,
+        keep,
+        [Move::R, Move::R, Move::S],
+    );
     // c_look: sentinel of the next message, or the end of the inbox.
     b.rule(
         c_look,
@@ -154,7 +244,13 @@ pub fn proper_coloring_verifier() -> DistributedTm {
         keep,
         [Move::R, Move::S, Move::S],
     );
-    b.rule(c_look, [Pat::Is(Sym::Blank), Pat::Any, Pat::Any], acc, keep, stay);
+    b.rule(
+        c_look,
+        [Pat::Is(Sym::Blank), Pat::Any, Pat::Any],
+        acc,
+        keep,
+        stay,
+    );
     b.rule(c_look, [Pat::Any; 3], rej, keep, stay);
 
     b.build()
@@ -173,8 +269,10 @@ mod tests {
     #[test]
     fn agrees_with_ground_truth_on_all_small_graphs_and_labelings() {
         let tm = proper_coloring_verifier();
-        let choices: Vec<BitString> =
-            ["", "0", "1", "01"].iter().map(|s| BitString::from_bits01(s)).collect();
+        let choices: Vec<BitString> = ["", "0", "1", "01"]
+            .iter()
+            .map(|s| BitString::from_bits01(s))
+            .collect();
         for base in enumerate::connected_graphs_up_to(4) {
             for g in enumerate::labelings_from(&base, &choices) {
                 let out = run(&tm, &g);

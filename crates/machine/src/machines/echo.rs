@@ -21,11 +21,29 @@ pub fn echo_machine() -> DistributedTm {
     let stay = [Move::S; 3];
 
     // Look at receiving cell 1.
-    b.rule(b.start(), [Pat::Any; 3], detect, keep, [Move::R, Move::S, Move::R]);
+    b.rule(
+        b.start(),
+        [Pat::Any; 3],
+        detect,
+        keep,
+        [Move::R, Move::S, Move::R],
+    );
     // No neighbors: trivially accept in round 1.
-    b.rule(detect, [Pat::Is(Sym::Blank), Pat::Any, Pat::Any], acc, keep, stay);
+    b.rule(
+        detect,
+        [Pat::Is(Sym::Blank), Pat::Any, Pat::Any],
+        acc,
+        keep,
+        stay,
+    );
     // Round 1 (`#^d`): write `1#` per separator seen.
-    b.rule(detect, [Pat::Is(Sym::Sep), Pat::Any, Pat::Any], bcast, keep, stay);
+    b.rule(
+        detect,
+        [Pat::Is(Sym::Sep), Pat::Any, Pat::Any],
+        bcast,
+        keep,
+        stay,
+    );
     // Round 2 (`1#1#…#`): the leading `1` is consumed here; from then on
     // alternate separator/message checks.
     b.rule(
@@ -45,7 +63,13 @@ pub fn echo_machine() -> DistributedTm {
         [WriteOp::Keep, WriteOp::Keep, WriteOp::Put(Sym::One)],
         [Move::R, Move::S, Move::R],
     );
-    b.rule(bcast, [Pat::Is(Sym::Blank), Pat::Any, Pat::Any], b.pause(), keep, stay);
+    b.rule(
+        bcast,
+        [Pat::Is(Sym::Blank), Pat::Any, Pat::Any],
+        b.pause(),
+        keep,
+        stay,
+    );
     b.rule(bcast, [Pat::Any; 3], rej, keep, stay);
     b.rule(
         bcast_sep,
@@ -72,7 +96,13 @@ pub fn echo_machine() -> DistributedTm {
         keep,
         [Move::R, Move::S, Move::S],
     );
-    b.rule(count, [Pat::Is(Sym::Blank), Pat::Any, Pat::Any], acc, keep, stay);
+    b.rule(
+        count,
+        [Pat::Is(Sym::Blank), Pat::Any, Pat::Any],
+        acc,
+        keep,
+        stay,
+    );
     b.rule(count, [Pat::Any; 3], rej, keep, stay);
 
     b.build()
@@ -107,8 +137,14 @@ mod tests {
         let tm = echo_machine();
         let g = generators::cycle(9);
         let id = IdAssignment::small(&g, 1);
-        let out = crate::run_tm(&tm, &g, &id, &CertificateList::new(), &crate::ExecLimits::default())
-            .unwrap();
+        let out = crate::run_tm(
+            &tm,
+            &g,
+            &id,
+            &CertificateList::new(),
+            &crate::ExecLimits::default(),
+        )
+        .unwrap();
         assert!(out.accepted);
     }
 }

@@ -37,7 +37,13 @@ pub fn even_degree_decider() -> DistributedTm {
         );
         // Any other symbol (cannot occur in round 1) is skipped, keeping
         // the table total.
-        b.rule(me, [Pat::Any; 3], me, [WriteOp::Keep; 3], [Move::R, Move::S, Move::S]);
+        b.rule(
+            me,
+            [Pat::Any; 3],
+            me,
+            [WriteOp::Keep; 3],
+            [Move::R, Move::S, Move::S],
+        );
     }
     b.build()
 }
@@ -49,7 +55,7 @@ mod tests {
     use lph_graphs::{enumerate, generators};
 
     fn ground_truth_eulerian(g: &lph_graphs::LabeledGraph) -> bool {
-        g.nodes().all(|u| g.degree(u) % 2 == 0)
+        g.nodes().all(|u| g.degree(u).is_multiple_of(2))
     }
 
     #[test]

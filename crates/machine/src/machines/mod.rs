@@ -33,9 +33,10 @@ pub fn verdict_states(b: &mut TmBuilder) -> (StateId, StateId) {
     let rew_rej = b.state("verdict_rewind_rej");
     let wipe_acc = b.state("verdict_wipe_acc");
     let wipe_rej = b.state("verdict_wipe_rej");
-    for (rew, wipe, bit) in
-        [(rew_acc, wipe_acc, Sym::One), (rew_rej, wipe_rej, Sym::Zero)]
-    {
+    for (rew, wipe, bit) in [
+        (rew_acc, wipe_acc, Sym::One),
+        (rew_rej, wipe_rej, Sym::Zero),
+    ] {
         // Rewind the internal head to the left-end marker.
         b.rule(
             rew,
@@ -44,7 +45,13 @@ pub fn verdict_states(b: &mut TmBuilder) -> (StateId, StateId) {
             [WriteOp::Keep; 3],
             [Move::S, Move::R, Move::S],
         );
-        b.rule(rew, [Pat::Any; 3], rew, [WriteOp::Keep; 3], [Move::S, Move::L, Move::S]);
+        b.rule(
+            rew,
+            [Pat::Any; 3],
+            rew,
+            [WriteOp::Keep; 3],
+            [Move::S, Move::L, Move::S],
+        );
         // Erase rightwards; at the first blank, write the verdict and stop.
         b.rule(
             wipe,
@@ -70,10 +77,7 @@ mod tests {
     use crate::{run_tm, ExecLimits};
     use lph_graphs::{CertificateList, IdAssignment, LabeledGraph};
 
-    pub(crate) fn run(
-        tm: &crate::DistributedTm,
-        g: &LabeledGraph,
-    ) -> crate::TmOutcome {
+    pub(crate) fn run(tm: &crate::DistributedTm, g: &LabeledGraph) -> crate::TmOutcome {
         let id = IdAssignment::global(g);
         run_tm(tm, g, &id, &CertificateList::new(), &ExecLimits::default())
             .expect("machine must terminate cleanly")
@@ -86,14 +90,38 @@ mod tests {
         let (acc, _rej) = verdict_states(&mut b);
         let w1 = b.state("w1");
         let w2 = b.state("w2");
-        b.rule(b.start(), [Pat::Any; 3], w1, [WriteOp::Keep; 3], [Move::S, Move::R, Move::S]);
-        b.rule(w1, [Pat::Any; 3], w2, [WriteOp::Keep; 3], [Move::S, Move::R, Move::S]);
-        b.rule(w2, [Pat::Any; 3], acc, [WriteOp::Keep; 3], [Move::S, Move::R, Move::S]);
+        b.rule(
+            b.start(),
+            [Pat::Any; 3],
+            w1,
+            [WriteOp::Keep; 3],
+            [Move::S, Move::R, Move::S],
+        );
+        b.rule(
+            w1,
+            [Pat::Any; 3],
+            w2,
+            [WriteOp::Keep; 3],
+            [Move::S, Move::R, Move::S],
+        );
+        b.rule(
+            w2,
+            [Pat::Any; 3],
+            acc,
+            [WriteOp::Keep; 3],
+            [Move::S, Move::R, Move::S],
+        );
         let tm = b.build();
         let g = lph_graphs::generators::labeled_path(&["0110", "101"]);
         let out = run(&tm, &g);
         assert!(out.accepted);
-        assert_eq!(out.result_labels[0], lph_graphs::BitString::from_bits01("1"));
-        assert_eq!(out.result_labels[1], lph_graphs::BitString::from_bits01("1"));
+        assert_eq!(
+            out.result_labels[0],
+            lph_graphs::BitString::from_bits01("1")
+        );
+        assert_eq!(
+            out.result_labels[1],
+            lph_graphs::BitString::from_bits01("1")
+        );
     }
 }

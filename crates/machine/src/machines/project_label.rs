@@ -32,7 +32,13 @@ pub fn project_label_machine() -> DistributedTm {
         [WriteOp::Keep; 3],
         [Move::S; 3],
     );
-    b.rule(scan, [Pat::Any; 3], scan, [WriteOp::Keep; 3], [Move::S, Move::R, Move::S]);
+    b.rule(
+        scan,
+        [Pat::Any; 3],
+        scan,
+        [WriteOp::Keep; 3],
+        [Move::S, Move::R, Move::S],
+    );
     b.rule(
         wipe,
         [Pat::Any, Pat::Is(Sym::Blank), Pat::Any],
@@ -90,6 +96,9 @@ mod tests {
             BitString::from_bits01("0101"),
         )]);
         let out = crate::run_tm(&tm, &g, &id, &certs, &crate::ExecLimits::default()).unwrap();
-        assert!(out.accepted, "certificate bits must not leak into the result");
+        assert!(
+            out.accepted,
+            "certificate bits must not leak into the result"
+        );
     }
 }

@@ -27,7 +27,9 @@ pub struct ExecMetrics {
 impl ExecMetrics {
     /// Creates metrics storage for `n` nodes.
     pub fn new(n: usize) -> Self {
-        ExecMetrics { per_node: vec![Vec::new(); n] }
+        ExecMetrics {
+            per_node: vec![Vec::new(); n],
+        }
     }
 
     /// Records the stats of one node for the round just executed.
@@ -85,9 +87,33 @@ mod tests {
     #[test]
     fn aggregates_over_nodes_and_rounds() {
         let mut m = ExecMetrics::new(2);
-        m.record(0, RoundStats { steps: 5, space: 10, input_rcv_len: 1, input_int_len: 2 });
-        m.record(0, RoundStats { steps: 7, space: 8, input_rcv_len: 3, input_int_len: 2 });
-        m.record(1, RoundStats { steps: 2, space: 20, input_rcv_len: 0, input_int_len: 0 });
+        m.record(
+            0,
+            RoundStats {
+                steps: 5,
+                space: 10,
+                input_rcv_len: 1,
+                input_int_len: 2,
+            },
+        );
+        m.record(
+            0,
+            RoundStats {
+                steps: 7,
+                space: 8,
+                input_rcv_len: 3,
+                input_int_len: 2,
+            },
+        );
+        m.record(
+            1,
+            RoundStats {
+                steps: 2,
+                space: 20,
+                input_rcv_len: 0,
+                input_int_len: 0,
+            },
+        );
         assert_eq!(m.max_steps(), 7);
         assert_eq!(m.max_space(), 20);
         assert_eq!(m.total_steps(), 14);

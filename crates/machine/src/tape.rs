@@ -18,7 +18,11 @@ pub struct Tape {
 impl Tape {
     /// An empty tape (`⊢` followed by blanks), head on cell 0.
     pub fn empty() -> Self {
-        Tape { cells: vec![Sym::LeftEnd], head: 0, touched: 1 }
+        Tape {
+            cells: vec![Sym::LeftEnd],
+            head: 0,
+            touched: 1,
+        }
     }
 
     /// A tape initialized with `⊢` followed by the given symbols, head on
@@ -28,7 +32,11 @@ impl Tape {
         cells.push(Sym::LeftEnd);
         cells.extend_from_slice(content);
         let touched = cells.len();
-        Tape { cells, head: 0, touched }
+        Tape {
+            cells,
+            head: 0,
+            touched,
+        }
     }
 
     /// The scanned symbol.
@@ -196,7 +204,10 @@ mod tests {
     #[test]
     fn cannot_move_left_of_marker() {
         let mut t = Tape::empty();
-        assert_eq!(t.shift(Move::L, 2).unwrap_err(), MachineError::HeadOffTape { tape: 2 });
+        assert_eq!(
+            t.shift(Move::L, 2).unwrap_err(),
+            MachineError::HeadOffTape { tape: 2 }
+        );
     }
 
     #[test]
@@ -246,7 +257,14 @@ mod tests {
 
     #[test]
     fn content_bits_ignores_non_bits() {
-        let content = vec![Sym::Sep, Sym::One, Sym::Blank, Sym::Zero, Sym::Sep, Sym::One];
+        let content = vec![
+            Sym::Sep,
+            Sym::One,
+            Sym::Blank,
+            Sym::Zero,
+            Sym::Sep,
+            Sym::One,
+        ];
         assert_eq!(content_bits(&content), BitString::from_bits01("101"));
     }
 
@@ -255,7 +273,10 @@ mod tests {
         // Content: 10#1#0 — three messages for d = 2 keeps the first two.
         let content = vec![Sym::One, Sym::Zero, Sym::Sep, Sym::One, Sym::Sep, Sym::Zero];
         let m = split_messages(&content, 2);
-        assert_eq!(m, vec![BitString::from_bits01("10"), BitString::from_bits01("1")]);
+        assert_eq!(
+            m,
+            vec![BitString::from_bits01("10"), BitString::from_bits01("1")]
+        );
         // d = 4 pads with empties; the trailing "0" lacks a separator but
         // still counts as a message.
         let m = split_messages(&content, 4);
@@ -273,7 +294,10 @@ mod tests {
     #[test]
     fn split_messages_ignores_blanks() {
         let content = vec![Sym::One, Sym::Blank, Sym::Zero, Sym::Sep];
-        assert_eq!(split_messages(&content, 1), vec![BitString::from_bits01("10")]);
+        assert_eq!(
+            split_messages(&content, 1),
+            vec![BitString::from_bits01("10")]
+        );
     }
 
     #[test]

@@ -128,15 +128,37 @@ impl DistributedTm {
     /// — the paper requires total, terminating machines, so a missing
     /// transition indicates a bug in the machine's construction.
     pub fn step(&self, q: StateId, scanned: [Sym; 3]) -> Result<Transition, MachineError> {
-        self.table.get(&(q, scanned)).copied().ok_or_else(|| MachineError::MissingTransition {
-            state: self.state_names[q.0].clone(),
-            scanned: [scanned[0].as_char(), scanned[1].as_char(), scanned[2].as_char()],
-        })
+        self.table
+            .get(&(q, scanned))
+            .copied()
+            .ok_or_else(|| MachineError::MissingTransition {
+                state: self.state_names[q.0].clone(),
+                scanned: [
+                    scanned[0].as_char(),
+                    scanned[1].as_char(),
+                    scanned[2].as_char(),
+                ],
+            })
     }
 
     /// The number of populated transition entries.
     pub fn transition_count(&self) -> usize {
         self.table.len()
+    }
+
+    /// Iterates over every populated transition-table entry
+    /// `(q, scanned) ↦ δ(q, scanned)`, in unspecified order.
+    ///
+    /// This is the read surface static analyses use: totality,
+    /// reachability, and progress checks are all folds over this iterator.
+    pub fn transitions(&self) -> impl Iterator<Item = (StateId, [Sym; 3], Transition)> + '_ {
+        self.table.iter().map(|(&(q, scanned), &t)| (q, scanned, t))
+    }
+
+    /// All state identifiers, in registration order (designated states
+    /// first).
+    pub fn states(&self) -> impl Iterator<Item = StateId> {
+        (0..self.state_names.len()).map(StateId)
     }
 }
 
@@ -214,6 +236,7 @@ pub struct TmBuilder {
     state_names: Vec<String>,
     table: HashMap<(StateId, [Sym; 3]), Transition>,
     declared: Vec<(StateId, [Pat; 3])>,
+    first_conflict: Option<(StateId, [Pat; 3])>,
 }
 
 impl TmBuilder {
@@ -223,6 +246,7 @@ impl TmBuilder {
             state_names: vec!["q_start".into(), "q_pause".into(), "q_stop".into()],
             table: HashMap::new(),
             declared: Vec::new(),
+            first_conflict: None,
         }
     }
 
@@ -254,10 +278,9 @@ impl TmBuilder {
     /// `pats`, write `writes`, move `moves`, and go to `next`. Earlier rules
     /// win on overlap.
     ///
-    /// # Panics
-    ///
-    /// Panics if the exact same `(state, patterns)` pair was already
-    /// declared (a genuine authoring conflict).
+    /// Declaring the exact same `(state, patterns)` pair twice is a genuine
+    /// authoring conflict; it is recorded and reported by [`Self::build`]
+    /// (panic) or [`Self::try_build`] (typed error).
     pub fn rule(
         &mut self,
         q: StateId,
@@ -266,11 +289,10 @@ impl TmBuilder {
         writes: [WriteOp; 3],
         moves: [Move; 3],
     ) -> &mut Self {
-        assert!(
-            !self.declared.contains(&(q, pats)),
-            "conflicting duplicate rule for state {} with identical patterns",
-            self.state_names[q.0]
-        );
+        if self.declared.contains(&(q, pats)) {
+            self.first_conflict.get_or_insert((q, pats));
+            return self;
+        }
         self.declared.push((q, pats));
         for s0 in Sym::ALL {
             if !pats[0].matches(s0) {
@@ -300,14 +322,45 @@ impl TmBuilder {
         self
     }
 
-    /// Finalizes the machine.
-    pub fn build(self) -> DistributedTm {
-        DistributedTm {
+    /// Finalizes the machine, reporting rule conflicts as a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::ConflictingRule`] if the same
+    /// `(state, patterns)` pair was declared more than once; the error
+    /// carries a representative scanned triple matched by the patterns.
+    pub fn try_build(self) -> Result<DistributedTm, MachineError> {
+        if let Some((q, pats)) = self.first_conflict {
+            let representative = pats.map(|p| {
+                Sym::ALL
+                    .into_iter()
+                    .find(|&s| p.matches(s))
+                    .unwrap_or(Sym::Blank)
+                    .as_char()
+            });
+            return Err(MachineError::ConflictingRule {
+                state: self.state_names[q.0].clone(),
+                scanned: representative,
+            });
+        }
+        Ok(DistributedTm {
             state_names: self.state_names,
             start: StateId(0),
             pause: StateId(1),
             stop: StateId(2),
             table: self.table,
+        })
+    }
+
+    /// Finalizes the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rule conflicts; use [`Self::try_build`] for a typed error.
+    pub fn build(self) -> DistributedTm {
+        match self.try_build() {
+            Ok(tm) => tm,
+            Err(e) => panic!("{e}"),
         }
     }
 }
@@ -361,19 +414,67 @@ mod tests {
             [Move::S; 3],
         );
         let tm = b.build();
-        let t = tm.step(tm.start(), [Sym::Blank, Sym::One, Sym::Blank]).unwrap();
+        let t = tm
+            .step(tm.start(), [Sym::Blank, Sym::One, Sym::Blank])
+            .unwrap();
         assert_eq!(tm.state_name(t.next), "win");
-        let t = tm.step(tm.start(), [Sym::Blank, Sym::Zero, Sym::Blank]).unwrap();
+        let t = tm
+            .step(tm.start(), [Sym::Blank, Sym::Zero, Sym::Blank])
+            .unwrap();
         assert_eq!(tm.state_name(t.next), "lose");
     }
 
     #[test]
-    #[should_panic(expected = "conflicting duplicate rule")]
+    #[should_panic(expected = "conflicting rules for state")]
     fn identical_patterns_conflict() {
         let mut b = TmBuilder::new();
         let s = b.state("s");
         b.rule(s, [Pat::Any; 3], s, [WriteOp::Keep; 3], [Move::S; 3]);
         b.rule(s, [Pat::Any; 3], s, [WriteOp::Keep; 3], [Move::S; 3]);
+        b.build();
+    }
+
+    #[test]
+    fn try_build_reports_conflicts_as_typed_errors() {
+        let mut b = TmBuilder::new();
+        let s = b.state("s");
+        b.rule(
+            s,
+            [Pat::Any, Pat::Is(Sym::One), Pat::Any],
+            s,
+            [WriteOp::Keep; 3],
+            [Move::S; 3],
+        );
+        b.rule(
+            s,
+            [Pat::Any, Pat::Is(Sym::One), Pat::Any],
+            s,
+            [WriteOp::Keep; 3],
+            [Move::S; 3],
+        );
+        match b.try_build().unwrap_err() {
+            MachineError::ConflictingRule { state, scanned } => {
+                assert_eq!(state, "s");
+                assert_eq!(scanned[1], '1');
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_build_succeeds_without_conflicts() {
+        let mut b = TmBuilder::new();
+        b.rule(
+            b.start(),
+            [Pat::Any; 3],
+            b.stop(),
+            [WriteOp::Keep; 3],
+            [Move::S; 3],
+        );
+        let tm = b.try_build().unwrap();
+        assert_eq!(tm.transition_count(), 125);
+        assert_eq!(tm.transitions().count(), 125);
+        assert_eq!(tm.states().count(), 3);
     }
 
     #[test]
@@ -405,7 +506,13 @@ mod tests {
     #[test]
     fn wildcard_rule_expands_to_125_entries() {
         let mut b = TmBuilder::new();
-        b.rule(b.start(), [Pat::Any; 3], b.stop(), [WriteOp::Keep; 3], [Move::S; 3]);
+        b.rule(
+            b.start(),
+            [Pat::Any; 3],
+            b.stop(),
+            [WriteOp::Keep; 3],
+            [Move::S; 3],
+        );
         assert_eq!(b.build().transition_count(), 125);
     }
 }

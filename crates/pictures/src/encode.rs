@@ -15,16 +15,14 @@ use lph_graphs::{BitString, LabeledGraph};
 use lph_logic::dsl::*;
 use lph_logic::{FoVar, Formula, Matrix, Sentence, SoBlock, SoQuant, VarPool};
 
-use crate::Picture;
+use crate::{Picture, PictureError};
 
 /// Encodes a picture as a grid-shaped labeled graph (see module docs).
 pub fn picture_to_graph(p: &Picture) -> LabeledGraph {
     let (m, n) = p.size();
     let t = p.bits_per_pixel();
     let labels: Vec<BitString> = (1..=m)
-        .flat_map(|i| {
-            (1..=n).map(move |j| (i, j))
-        })
+        .flat_map(|i| (1..=n).map(move |j| (i, j)))
         .map(|(i, j)| {
             let mut label = p.pixel(i, j).clone();
             let rm = (i - 1) % 3;
@@ -43,20 +41,40 @@ pub fn picture_to_graph(p: &Picture) -> LabeledGraph {
 /// Decodes an encoded graph back into a picture, given the original
 /// dimensions (used by round-trip tests).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the node count does not match `rows·cols` or labels are too
-/// short.
-pub fn graph_to_picture(g: &LabeledGraph, rows: usize, cols: usize, bits: usize) -> Picture {
-    assert_eq!(g.node_count(), rows * cols);
+/// Returns [`PictureError::DimensionMismatch`] if the node count does not
+/// match `rows·cols`, and [`PictureError::LabelTooShort`] if a label
+/// cannot carry `bits` pixel bits plus the four parity bits.
+pub fn graph_to_picture(
+    g: &LabeledGraph,
+    rows: usize,
+    cols: usize,
+    bits: usize,
+) -> Result<Picture, PictureError> {
+    if g.node_count() != rows * cols {
+        return Err(PictureError::DimensionMismatch {
+            nodes: g.node_count(),
+            rows,
+            cols,
+        });
+    }
     let mut p = Picture::blank(rows, cols, bits);
     for (idx, u) in g.nodes().enumerate() {
         let label = g.label(u);
-        assert!(label.len() >= bits + 4);
-        let value: BitString = (1..=bits).map(|k| label.bit(k).expect("in range")).collect();
+        if label.len() < bits + 4 {
+            return Err(PictureError::LabelTooShort {
+                node: idx,
+                len: label.len(),
+                need: bits + 4,
+            });
+        }
+        let value: BitString = (1..=bits)
+            .map(|k| label.bit(k).expect("in range"))
+            .collect();
         p.set_pixel(idx / cols + 1, idx % cols + 1, value);
     }
-    p
+    Ok(p)
 }
 
 /// `bit k of x's label = val` as a bounded graph formula: walk from `x`
@@ -68,7 +86,11 @@ fn label_bit_is(x: FoVar, k: usize, val: bool, pool: &mut VarPool) -> Formula {
     let aux = pool.fo();
     // Innermost test at the k-th bit.
     let last = chain[k - 1];
-    let mut body = if val { unary(0, last) } else { not(unary(0, last)) };
+    let mut body = if val {
+        unary(0, last)
+    } else {
+        not(unary(0, last))
+    };
     // Chain backwards: bit_{i+1} is the ⇀₁-successor of bit_i.
     for i in (0..k - 1).rev() {
         let cur = chain[i];
@@ -156,9 +178,7 @@ fn transport_body(f: &Formula, t: usize, pool: &mut VarPool) -> Formula {
         Formula::Not(g) => not(transport_body(g, t, pool)),
         Formula::And(fs) => and(fs.iter().map(|g| transport_body(g, t, pool)).collect()),
         Formula::Or(fs) => or(fs.iter().map(|g| transport_body(g, t, pool)).collect()),
-        Formula::Implies(a, b) => {
-            implies(transport_body(a, t, pool), transport_body(b, t, pool))
-        }
+        Formula::Implies(a, b) => implies(transport_body(a, t, pool), transport_body(b, t, pool)),
         Formula::Iff(a, b) => iff(transport_body(a, t, pool), transport_body(b, t, pool)),
         Formula::Exists { x, body } => {
             let aux = pool.fo();
@@ -176,11 +196,21 @@ fn transport_body(f: &Formula, t: usize, pool: &mut VarPool) -> Formula {
             let aux = pool.fo();
             forall_node_adj(*x, *anchor, aux, transport_body(body, t, pool))
         }
-        Formula::ExistsNear { x, anchor, radius, body } => {
+        Formula::ExistsNear {
+            x,
+            anchor,
+            radius,
+            body,
+        } => {
             let aux = pool.fo();
             exists_node_near(*x, *anchor, *radius, aux, transport_body(body, t, pool))
         }
-        Formula::ForallNear { x, anchor, radius, body } => {
+        Formula::ForallNear {
+            x,
+            anchor,
+            radius,
+            body,
+        } => {
             let aux = pool.fo();
             forall_node_near(*x, *anchor, *radius, aux, transport_body(body, t, pool))
         }
@@ -193,12 +223,13 @@ fn transport_body(f: &Formula, t: usize, pool: &mut VarPool) -> Formula {
 /// quantifier alternation level is **preserved** — the property the
 /// Section 9.2.2 transfer depends on.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the sentence's matrix is not `LFO`.
-pub fn transport_sentence(sentence: &Sentence, t: usize) -> Sentence {
+/// Returns [`PictureError::NonLfoMatrix`] if the sentence's matrix is not
+/// `LFO`.
+pub fn transport_sentence(sentence: &Sentence, t: usize) -> Result<Sentence, PictureError> {
     let Matrix::Lfo { x, body } = &sentence.matrix else {
-        panic!("only LFO matrices are transported");
+        return Err(PictureError::NonLfoMatrix);
     };
     let mut pool = VarPool::starting_at(1000, 1000);
     let aux = pool.fo();
@@ -211,23 +242,47 @@ pub fn transport_sentence(sentence: &Sentence, t: usize) -> Sentence {
             vars: b.vars.iter().map(|q| SoQuant::nodes(q.var)).collect(),
         })
         .collect();
-    Sentence::new(blocks, Matrix::Lfo { x: *x, body: new_body })
+    Ok(Sentence::new(
+        blocks,
+        Matrix::Lfo {
+            x: *x,
+            body: new_body,
+        },
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::langs;
-    use lph_logic::check::CheckOptions;
     use lph_graphs::GraphStructure;
+    use lph_logic::check::CheckOptions;
 
     #[test]
     fn encoding_round_trips() {
         let p = Picture::from_rows(2, &[&["10", "01", "11"], &["00", "10", "01"]]);
         let g = picture_to_graph(&p);
         assert_eq!(g.node_count(), 6);
-        let back = graph_to_picture(&g, 2, 3, 2);
+        let back = graph_to_picture(&g, 2, 3, 2).unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn decoding_rejects_wrong_dimensions() {
+        let p = Picture::blank(2, 2, 0);
+        let g = picture_to_graph(&p);
+        assert_eq!(
+            graph_to_picture(&g, 3, 3, 0).unwrap_err(),
+            PictureError::DimensionMismatch {
+                nodes: 4,
+                rows: 3,
+                cols: 3
+            },
+        );
+        assert!(matches!(
+            graph_to_picture(&g, 2, 2, 7).unwrap_err(),
+            PictureError::LabelTooShort { need: 11, .. },
+        ));
     }
 
     #[test]
@@ -274,11 +329,14 @@ mod tests {
     #[test]
     fn transported_squares_sentence_preserves_level_and_truth() {
         let s = langs::squares_emso();
-        let ts = transport_sentence(&s, 0);
+        let ts = transport_sentence(&s, 0).unwrap();
         assert_eq!(ts.level(), s.level());
         assert!(ts.is_monadic());
         assert!(ts.is_local());
-        let opts = CheckOptions { max_matrix_evals: 50_000_000, max_tuples_per_var: 22 };
+        let opts = CheckOptions {
+            max_matrix_evals: 50_000_000,
+            max_tuples_per_var: 22,
+        };
         for (m, n) in [(1, 1), (2, 2), (1, 2), (2, 3), (3, 3), (2, 2)] {
             let p = Picture::blank(m, n, 0);
             let g = picture_to_graph(&p);

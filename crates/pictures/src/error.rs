@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the picture-to-graph encoding layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PictureError {
+    /// Formula transport is only defined for sentences with an LFO matrix
+    /// (the Section 9.2.2 transfer preserves locality through the matrix).
+    NonLfoMatrix,
+    /// The graph's node count does not match the claimed picture
+    /// dimensions.
+    DimensionMismatch {
+        /// Number of nodes in the graph.
+        nodes: usize,
+        /// Claimed number of picture rows.
+        rows: usize,
+        /// Claimed number of picture columns.
+        cols: usize,
+    },
+    /// A node label is too short to carry the pixel bits plus the four
+    /// position-parity bits.
+    LabelTooShort {
+        /// The offending node index.
+        node: usize,
+        /// The label's actual length.
+        len: usize,
+        /// The required minimum length (`bits + 4`).
+        need: usize,
+    },
+}
+
+impl fmt::Display for PictureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PictureError::NonLfoMatrix => {
+                write!(f, "only sentences with LFO matrices are transported")
+            }
+            PictureError::DimensionMismatch { nodes, rows, cols } => write!(
+                f,
+                "graph has {nodes} nodes but the picture dimensions claim {rows}x{cols}"
+            ),
+            PictureError::LabelTooShort { node, len, need } => write!(
+                f,
+                "label of node v{node} has {len} bits; the encoding needs at least {need}"
+            ),
+        }
+    }
+}
+
+impl Error for PictureError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync_error() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<PictureError>();
+    }
+
+    #[test]
+    fn display_mentions_details() {
+        let e = PictureError::DimensionMismatch {
+            nodes: 5,
+            rows: 2,
+            cols: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains('5') && s.contains("2x3"));
+    }
+}

@@ -83,7 +83,10 @@ pub fn squares_emso() -> Sentence {
         implies(and(vec![app(d, vec![x]), has_down, has_right]), dr_in_d),
     ]);
     Sentence::new(
-        vec![SoBlock { quantifier: lph_logic::Quantifier::Exists, vars: vec![SoQuant::all(d)] }],
+        vec![SoBlock {
+            quantifier: lph_logic::Quantifier::Exists,
+            vars: vec![SoQuant::all(d)],
+        }],
         Matrix::Lfo { x, body },
     )
 }
@@ -219,7 +222,8 @@ mod tests {
 
     fn emso_truth(s: &Sentence, p: &Picture) -> bool {
         let ps = p.structure();
-        s.check(ps.structure(), None, &CheckOptions::default()).expect("within budget")
+        s.check(ps.structure(), None, &CheckOptions::default())
+            .expect("within budget")
     }
 
     #[test]
@@ -319,11 +323,7 @@ mod tests {
         for m in 1..=3usize {
             for n in 1..=(1 << m) + 2 {
                 let p = Picture::blank(m, n, 0);
-                assert_eq!(
-                    ts.recognizes(&p),
-                    n == 1 << m,
-                    "size ({m}, {n})"
-                );
+                assert_eq!(ts.recognizes(&p), n == 1 << m, "size ({m}, {n})");
             }
         }
     }

@@ -33,9 +33,11 @@
 #![warn(missing_docs)]
 
 pub mod encode;
+mod error;
 pub mod langs;
 mod picture;
 mod tiling;
 
+pub use error::PictureError;
 pub use picture::{Picture, PictureStructure};
 pub use tiling::{Tile, TilingSystem};

@@ -38,7 +38,12 @@ impl Picture {
     pub fn blank(rows: usize, cols: usize, bits: usize) -> Self {
         assert!(rows >= 1 && cols >= 1, "pictures must be nonempty");
         let zero: BitString = (0..bits).map(|_| false).collect();
-        Picture { rows, cols, bits, data: vec![zero; rows * cols] }
+        Picture {
+            rows,
+            cols,
+            bits,
+            data: vec![zero; rows * cols],
+        }
     }
 
     /// Builds a picture from rows of `0`/`1` strings.
@@ -47,7 +52,10 @@ impl Picture {
     ///
     /// Panics on ragged rows or entries of the wrong length.
     pub fn from_rows(bits: usize, rows: &[&[&str]]) -> Self {
-        assert!(!rows.is_empty() && !rows[0].is_empty(), "pictures must be nonempty");
+        assert!(
+            !rows.is_empty() && !rows[0].is_empty(),
+            "pictures must be nonempty"
+        );
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for row in rows {
@@ -58,7 +66,12 @@ impl Picture {
                 data.push(b);
             }
         }
-        Picture { rows: rows.len(), cols, bits, data }
+        Picture {
+            rows: rows.len(),
+            cols,
+            bits,
+            data,
+        }
     }
 
     /// The size `(m, n)` — rows and columns.
@@ -128,7 +141,11 @@ impl Picture {
                 s.add_pair(1, idx(i, j), idx(i, j + 1));
             }
         }
-        PictureStructure { structure: s, rows: m, cols: n }
+        PictureStructure {
+            structure: s,
+            rows: m,
+            cols: n,
+        }
     }
 
     /// Enumerates all `t`-bit pictures of the given size (there are
@@ -160,7 +177,11 @@ impl Picture {
 
 impl fmt::Display for Picture {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{}×{} picture ({} bits/pixel)", self.rows, self.cols, self.bits)?;
+        writeln!(
+            f,
+            "{}×{} picture ({} bits/pixel)",
+            self.rows, self.cols, self.bits
+        )?;
         for i in 1..=self.rows {
             write!(f, "  ")?;
             for j in 1..=self.cols {

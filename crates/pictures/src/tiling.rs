@@ -47,14 +47,17 @@ impl TilingSystem {
         assert!(projection.iter().all(|p| p.len() == bits));
         for t in &tiles {
             for row in t {
-                for cell in row {
-                    if let Some(s) = cell {
-                        assert!(*s < work_symbols, "tile symbol out of range");
-                    }
+                for s in row.iter().flatten() {
+                    assert!(*s < work_symbols, "tile symbol out of range");
                 }
             }
         }
-        TilingSystem { work_symbols, tiles, projection, bits }
+        TilingSystem {
+            work_symbols,
+            tiles,
+            projection,
+            bits,
+        }
     }
 
     /// Derives a tiling system from explicit valid colorings: the tile set
@@ -89,10 +92,7 @@ impl TilingSystem {
             };
             for i in 0..=m as isize {
                 for j in 0..=n as isize {
-                    tiles.insert([
-                        [at(i, j), at(i, j + 1)],
-                        [at(i + 1, j), at(i + 1, j + 1)],
-                    ]);
+                    tiles.insert([[at(i, j), at(i, j + 1)], [at(i + 1, j), at(i + 1, j + 1)]]);
                 }
             }
         }
@@ -127,7 +127,10 @@ impl TilingSystem {
     pub fn union(&self, other: &TilingSystem) -> TilingSystem {
         assert_eq!(self.bits, other.bits, "bit width mismatch");
         let shift = self.work_symbols;
-        assert!(shift.checked_add(other.work_symbols).is_some(), "alphabet overflow");
+        assert!(
+            shift.checked_add(other.work_symbols).is_some(),
+            "alphabet overflow"
+        );
         let mut tiles = self.tiles.clone();
         for t in &other.tiles {
             let shifted: Tile = [
@@ -243,12 +246,15 @@ impl TilingSystem {
             if i < 1 || j < 1 || i > m || j > n {
                 None
             } else {
-                grid[i as usize - 1][j as usize - 1].expect("window cells are assigned")
+                grid[i as usize - 1][j as usize - 1]
+                    .expect("window cells are assigned")
                     .into()
             }
         };
-        let tile: Tile =
-            [[at(ti, tj), at(ti, tj + 1)], [at(ti + 1, tj), at(ti + 1, tj + 1)]];
+        let tile: Tile = [
+            [at(ti, tj), at(ti, tj + 1)],
+            [at(ti + 1, tj), at(ti + 1, tj + 1)],
+        ];
         self.tiles.contains(&tile)
     }
 
@@ -322,12 +328,7 @@ mod tests {
 
     #[test]
     fn empty_tile_set_recognizes_nothing() {
-        let ts = TilingSystem::new(
-            1,
-            BTreeSet::new(),
-            vec![BitString::new()],
-            0,
-        );
+        let ts = TilingSystem::new(1, BTreeSet::new(), vec![BitString::new()], 0);
         assert!(!ts.recognizes(&Picture::blank(1, 1, 0)));
     }
 
@@ -357,12 +358,7 @@ mod tests {
     #[test]
     fn from_colorings_collects_windows() {
         // A single 1×1 example yields the four corner windows.
-        let ts = TilingSystem::from_colorings(
-            1,
-            vec![BitString::new()],
-            0,
-            &[vec![vec![0]]],
-        );
+        let ts = TilingSystem::from_colorings(1, vec![BitString::new()], 0, &[vec![vec![0]]]);
         assert_eq!(ts.tile_count(), 4);
         assert!(ts.recognizes(&Picture::blank(1, 1, 0)));
         // A 1×2 picture needs windows the single example never produced.
@@ -373,10 +369,11 @@ mod tests {
     fn vertical_stripes_language() {
         // Columns alternate 1,0,1,0,… — derived from two examples; then
         // test exactness on all 2×2 and 2×3 one-bit pictures.
-        let stripe =
-            |m: usize, n: usize| -> Vec<Vec<u8>> {
-                (0..m).map(|_| (0..n).map(|j| ((j + 1) % 2) as u8).collect()).collect()
-            };
+        let stripe = |m: usize, n: usize| -> Vec<Vec<u8>> {
+            (0..m)
+                .map(|_| (0..n).map(|j| ((j + 1) % 2) as u8).collect())
+                .collect()
+        };
         let ts = TilingSystem::from_colorings(
             2,
             vec![BitString::from_bits01("0"), BitString::from_bits01("1")],
@@ -387,8 +384,7 @@ mod tests {
             for p in Picture::enumerate(m, n, 1) {
                 let expected = (1..=m).all(|i| {
                     (1..=n).all(|j| {
-                        p.pixel(i, j)
-                            == &BitString::from_bits01(if j % 2 == 1 { "1" } else { "0" })
+                        p.pixel(i, j) == &BitString::from_bits01(if j % 2 == 1 { "1" } else { "0" })
                     })
                 });
                 assert_eq!(ts.recognizes(&p), expected, "{p}");
@@ -416,7 +412,10 @@ mod tests {
         let ct = langs::counter_tiling_system();
         for m in 1..=3usize {
             assert_eq!(ct.count_witnesses(&Picture::blank(m, 1 << m, 0), 10), 1);
-            assert_eq!(ct.count_witnesses(&Picture::blank(m, (1 << m) + 1, 0), 10), 0);
+            assert_eq!(
+                ct.count_witnesses(&Picture::blank(m, (1 << m) + 1, 0), 10),
+                0
+            );
         }
     }
 

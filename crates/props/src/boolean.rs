@@ -167,7 +167,10 @@ impl BoolExpr {
                     }
                 }
                 (BoolExpr::Var(v), pos) => {
-                    vec![vec![Lit { var: v.clone(), positive: pos }]]
+                    vec![vec![Lit {
+                        var: v.clone(),
+                        positive: pos,
+                    }]]
                 }
                 (BoolExpr::Not(g), pos) => go(g, !pos),
                 (BoolExpr::And(fs), true) | (BoolExpr::Or(fs), false) => {
@@ -192,7 +195,9 @@ impl BoolExpr {
                 }
             }
         }
-        Cnf { clauses: go(self, true) }
+        Cnf {
+            clauses: go(self, true),
+        }
     }
 
     /// The Tseytin transformation: an equisatisfiable CNF of size linear in
@@ -201,7 +206,9 @@ impl BoolExpr {
     /// extends to one of the CNF, and every satisfying valuation of the CNF
     /// restricts to one of the original (Theorem 20, step 1).
     pub fn tseytin(&self, aux_prefix: &str) -> Cnf {
-        let mut out = Cnf { clauses: Vec::new() };
+        let mut out = Cnf {
+            clauses: Vec::new(),
+        };
         let mut counter = 0usize;
         let top = tseytin_go(self, aux_prefix, &mut counter, &mut out);
         out.clauses.push(vec![top]);
@@ -216,44 +223,80 @@ fn tseytin_go(f: &BoolExpr, prefix: &str, counter: &mut usize, out: &mut Cnf) ->
         BoolExpr::Const(b) => {
             // Encode constants with a dedicated always-true auxiliary.
             let v = fresh(prefix, counter);
-            let lit = Lit { var: v, positive: *b };
-            out.clauses.push(vec![Lit { var: lit.var.clone(), positive: true }]);
+            let lit = Lit {
+                var: v,
+                positive: *b,
+            };
+            out.clauses.push(vec![Lit {
+                var: lit.var.clone(),
+                positive: true,
+            }]);
             lit
         }
-        BoolExpr::Var(v) => Lit { var: v.clone(), positive: true },
+        BoolExpr::Var(v) => Lit {
+            var: v.clone(),
+            positive: true,
+        },
         BoolExpr::Not(g) => {
             let l = tseytin_go(g, prefix, counter, out);
-            Lit { var: l.var, positive: !l.positive }
+            Lit {
+                var: l.var,
+                positive: !l.positive,
+            }
         }
         BoolExpr::And(fs) => {
-            let ls: Vec<Lit> = fs.iter().map(|g| tseytin_go(g, prefix, counter, out)).collect();
+            let ls: Vec<Lit> = fs
+                .iter()
+                .map(|g| tseytin_go(g, prefix, counter, out))
+                .collect();
             let v = fresh(prefix, counter);
             // v ↔ ∧ ls:  (¬v ∨ lᵢ) for each i;  (v ∨ ¬l₁ ∨ … ∨ ¬l_n)
             for l in &ls {
                 out.clauses.push(vec![
-                    Lit { var: v.clone(), positive: false },
+                    Lit {
+                        var: v.clone(),
+                        positive: false,
+                    },
                     l.clone(),
                 ]);
             }
-            let mut big = vec![Lit { var: v.clone(), positive: true }];
+            let mut big = vec![Lit {
+                var: v.clone(),
+                positive: true,
+            }];
             big.extend(ls.iter().map(Lit::negate_ref));
             out.clauses.push(big);
-            Lit { var: v, positive: true }
+            Lit {
+                var: v,
+                positive: true,
+            }
         }
         BoolExpr::Or(fs) => {
-            let ls: Vec<Lit> = fs.iter().map(|g| tseytin_go(g, prefix, counter, out)).collect();
+            let ls: Vec<Lit> = fs
+                .iter()
+                .map(|g| tseytin_go(g, prefix, counter, out))
+                .collect();
             let v = fresh(prefix, counter);
             // v ↔ ∨ ls:  (v ∨ ¬lᵢ);  (¬v ∨ l₁ ∨ … ∨ l_n)
             for l in &ls {
                 out.clauses.push(vec![
-                    Lit { var: v.clone(), positive: true },
+                    Lit {
+                        var: v.clone(),
+                        positive: true,
+                    },
                     l.negate_ref(),
                 ]);
             }
-            let mut big = vec![Lit { var: v.clone(), positive: false }];
+            let mut big = vec![Lit {
+                var: v.clone(),
+                positive: false,
+            }];
             big.extend(ls.iter().cloned());
             out.clauses.push(big);
-            Lit { var: v, positive: true }
+            Lit {
+                var: v,
+                positive: true,
+            }
         }
     }
 }
@@ -353,7 +396,11 @@ fn parse_expr(s: &[u8], pos: usize) -> Result<(BoolExpr, usize), PropsError> {
                     }
                 }
             }
-            let e = if *op == b'&' { BoolExpr::And(items) } else { BoolExpr::Or(items) };
+            let e = if *op == b'&' {
+                BoolExpr::And(items)
+            } else {
+                BoolExpr::Or(items)
+            };
             Ok((e, cur))
         }
         _ => Err(PropsError::ParseFormula {
@@ -375,17 +422,26 @@ pub struct Lit {
 impl Lit {
     /// The positive literal of a variable.
     pub fn pos(var: impl Into<String>) -> Self {
-        Lit { var: var.into(), positive: true }
+        Lit {
+            var: var.into(),
+            positive: true,
+        }
     }
 
     /// The negative literal of a variable.
     pub fn neg(var: impl Into<String>) -> Self {
-        Lit { var: var.into(), positive: false }
+        Lit {
+            var: var.into(),
+            positive: false,
+        }
     }
 
     /// The complementary literal (borrowing helper).
     pub fn negate_ref(&self) -> Lit {
-        Lit { var: self.var.clone(), positive: !self.positive }
+        Lit {
+            var: self.var.clone(),
+            positive: !self.positive,
+        }
     }
 }
 
@@ -412,7 +468,11 @@ pub struct Cnf {
 impl Cnf {
     /// The variables occurring in the CNF.
     pub fn variables(&self) -> BTreeSet<String> {
-        self.clauses.iter().flatten().map(|l| l.var.clone()).collect()
+        self.clauses
+            .iter()
+            .flatten()
+            .map(|l| l.var.clone())
+            .collect()
     }
 
     /// Whether every clause has at most 3 literals (3-CNF).
@@ -486,7 +546,8 @@ impl Cnf {
 /// literals (the label shape required by `3-SAT-GRAPH`).
 pub fn expr_is_three_cnf(e: &BoolExpr) -> bool {
     fn is_literal(e: &BoolExpr) -> bool {
-        matches!(e, BoolExpr::Var(_)) || matches!(e, BoolExpr::Not(inner) if matches!(**inner, BoolExpr::Var(_)))
+        matches!(e, BoolExpr::Var(_))
+            || matches!(e, BoolExpr::Not(inner) if matches!(**inner, BoolExpr::Var(_)))
     }
     fn is_clause(e: &BoolExpr) -> bool {
         match e {
@@ -508,7 +569,16 @@ mod tests {
 
     #[test]
     fn parse_round_trip() {
-        for src in ["T", "F", "vp", "!vq_1", "&(vp,|(!vq,vr))", "&()", "|()", "|(va,vb,vc)"] {
+        for src in [
+            "T",
+            "F",
+            "vp",
+            "!vq_1",
+            "&(vp,|(!vq,vr))",
+            "&()",
+            "|()",
+            "|(va,vb,vc)",
+        ] {
             let e = BoolExpr::parse(src).unwrap();
             assert_eq!(e.to_string(), src);
             let e2 = BoolExpr::parse(&e.to_string()).unwrap();
@@ -566,10 +636,10 @@ mod tests {
     #[test]
     fn tseytin_is_equisatisfiable() {
         for src in [
-            "&(vp,!vp)",             // unsat
-            "|(vp,!vp)",             // sat
+            "&(vp,!vp)",              // unsat
+            "|(vp,!vp)",              // sat
             "&(|(vp,vq),|(!vp,!vq))", // sat (p ⊕ q)
-            "&(vp,&(!vp,vq))",       // unsat
+            "&(vp,&(!vp,vq))",        // unsat
             "T",
             "F",
         ] {
@@ -610,7 +680,9 @@ mod tests {
     fn three_cnf_split_preserves_satisfiability() {
         // A single long clause: satisfiable.
         let long: Clause = (0..7).map(|i| Lit::pos(format!("p{i}"))).collect();
-        let cnf = Cnf { clauses: vec![long] };
+        let cnf = Cnf {
+            clauses: vec![long],
+        };
         let three = cnf.to_three_cnf("aux.");
         assert!(three.is_three_cnf());
         assert!(dpll_sat(&three));
@@ -624,9 +696,13 @@ mod tests {
 
     #[test]
     fn three_cnf_shape_detection() {
-        assert!(expr_is_three_cnf(&BoolExpr::parse("&(|(vp,!vq,vr),|(vs))").unwrap()));
+        assert!(expr_is_three_cnf(
+            &BoolExpr::parse("&(|(vp,!vq,vr),|(vs))").unwrap()
+        ));
         assert!(expr_is_three_cnf(&BoolExpr::parse("vp").unwrap()));
-        assert!(!expr_is_three_cnf(&BoolExpr::parse("|(vp,vq,vr,vs)").unwrap()));
+        assert!(!expr_is_three_cnf(
+            &BoolExpr::parse("|(vp,vq,vr,vs)").unwrap()
+        ));
         assert!(!expr_is_three_cnf(&BoolExpr::parse("|(&(vp,vq))").unwrap()));
         assert!(!expr_is_three_cnf(&BoolExpr::parse("!!vp").unwrap()));
     }
@@ -643,8 +719,16 @@ mod tests {
             }
             match rng.below(3) {
                 0 => random_expr(rng, depth - 1).negated(),
-                1 => BoolExpr::And((0..rng.below(4)).map(|_| random_expr(rng, depth - 1)).collect()),
-                _ => BoolExpr::Or((0..rng.below(4)).map(|_| random_expr(rng, depth - 1)).collect()),
+                1 => BoolExpr::And(
+                    (0..rng.below(4))
+                        .map(|_| random_expr(rng, depth - 1))
+                        .collect(),
+                ),
+                _ => BoolExpr::Or(
+                    (0..rng.below(4))
+                        .map(|_| random_expr(rng, depth - 1))
+                        .collect(),
+                ),
             }
         }
         let mut rng = XorShift::new(7);

@@ -34,9 +34,7 @@ pub fn find_coloring(g: &LabeledGraph, k: usize) -> Option<Vec<usize>> {
         let u = g
             .nodes()
             .filter(|u| colors[u.0].is_none())
-            .min_by_key(|u| {
-                (allowed[u.0].count_ones(), std::cmp::Reverse(g.degree(*u)))
-            })
+            .min_by_key(|u| (allowed[u.0].count_ones(), std::cmp::Reverse(g.degree(*u))))
             .expect("remaining > 0");
         let mut options = allowed[u.0];
         while options != 0 {
@@ -65,7 +63,12 @@ pub fn find_coloring(g: &LabeledGraph, k: usize) -> Option<Vec<usize>> {
         false
     }
     if go(g, &mut colors, &mut allowed, n) {
-        Some(colors.into_iter().map(|c| c.expect("complete coloring")).collect())
+        Some(
+            colors
+                .into_iter()
+                .map(|c| c.expect("complete coloring"))
+                .collect(),
+        )
     } else {
         None
     }
@@ -105,7 +108,11 @@ mod tests {
 
     #[test]
     fn returned_colorings_are_proper() {
-        for g in [generators::cycle(5), generators::complete(4), generators::grid(2, 4)] {
+        for g in [
+            generators::cycle(5),
+            generators::complete(4),
+            generators::grid(2, 4),
+        ] {
             let k = chromatic_number(&g);
             let coloring = find_coloring(&g, k).unwrap();
             assert!(is_proper_coloring(&g, &coloring));

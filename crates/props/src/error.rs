@@ -32,7 +32,10 @@ impl fmt::Display for PropsError {
                 write!(f, "label of node v{node} is not a byte-aligned payload")
             }
             PropsError::ParseFormula { position, expected } => {
-                write!(f, "formula parse error at byte {position}: expected {expected}")
+                write!(
+                    f,
+                    "formula parse error at byte {position}: expected {expected}"
+                )
             }
             PropsError::NotThreeCnf { node } => {
                 write!(f, "formula of node v{node} is not in 3-CNF")
@@ -51,6 +54,8 @@ mod tests {
     fn errors_are_well_behaved() {
         fn assert_bounds<T: Error + Send + Sync + 'static>() {}
         assert_bounds::<PropsError>();
-        assert!(PropsError::NotThreeCnf { node: 4 }.to_string().contains("v4"));
+        assert!(PropsError::NotThreeCnf { node: 4 }
+            .to_string()
+            .contains("v4"));
     }
 }

@@ -86,7 +86,7 @@ impl GraphProperty for SelectedExists {
 
     fn holds(&self, g: &LabeledGraph) -> bool {
         let one = BitString::from_bits01("1");
-        g.labels().iter().any(|l| *l == one)
+        g.labels().contains(&one)
     }
 }
 

@@ -79,7 +79,7 @@ mod tests {
         let g = generators::grid(2, 3); // 2×3 grid is Hamiltonian
         let cycle = find_hamiltonian_cycle(&g).expect("2×3 grid has a Hamiltonian cycle");
         assert_eq!(cycle.len(), 6);
-        let mut seen = vec![false; 6];
+        let mut seen = [false; 6];
         for w in cycle.windows(2) {
             assert!(g.has_edge(w[0], w[1]));
         }

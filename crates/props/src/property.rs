@@ -95,7 +95,7 @@ impl GraphProperty for Eulerian {
     }
 
     fn holds(&self, g: &LabeledGraph) -> bool {
-        g.nodes().all(|u| g.degree(u) % 2 == 0)
+        g.nodes().all(|u| g.degree(u).is_multiple_of(2))
     }
 }
 

@@ -25,12 +25,19 @@ pub fn dpll_sat_with_model(cnf: &Cnf) -> Option<BTreeMap<String, bool>> {
         return None;
     }
     let names: Vec<String> = cnf.variables().into_iter().collect();
-    let index: BTreeMap<&str, usize> =
-        names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+    let index: BTreeMap<&str, usize> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
     let clauses: Vec<Vec<(usize, bool)>> = cnf
         .clauses
         .iter()
-        .map(|c| c.iter().map(|l| (index[l.var.as_str()], l.positive)).collect())
+        .map(|c| {
+            c.iter()
+                .map(|l| (index[l.var.as_str()], l.positive))
+                .collect()
+        })
         .collect();
     let mut occurs: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
     for (ci, clause) in clauses.iter().enumerate() {
@@ -173,8 +180,12 @@ mod tests {
     #[test]
     fn trivial_cases() {
         assert!(dpll_sat(&Cnf { clauses: vec![] }));
-        assert!(!dpll_sat(&Cnf { clauses: vec![vec![]] }));
-        assert!(dpll_sat(&Cnf { clauses: vec![vec![Lit::pos("a")]] }));
+        assert!(!dpll_sat(&Cnf {
+            clauses: vec![vec![]]
+        }));
+        assert!(dpll_sat(&Cnf {
+            clauses: vec![vec![Lit::pos("a")]]
+        }));
         assert!(!dpll_sat(&Cnf {
             clauses: vec![vec![Lit::pos("a")], vec![Lit::neg("a")]]
         }));
@@ -185,10 +196,10 @@ mod tests {
         let e = BoolExpr::parse("&(|(vp,vq),|(!vp,vr),|(!vq,!vr))").unwrap();
         let cnf = e.to_cnf_by_distribution();
         let model = dpll_sat_with_model(&cnf).expect("satisfiable");
-        let ok = cnf
-            .clauses
-            .iter()
-            .all(|c| c.iter().any(|l| model.get(&l.var).copied().unwrap_or(false) == l.positive));
+        let ok = cnf.clauses.iter().all(|c| {
+            c.iter()
+                .any(|l| model.get(&l.var).copied().unwrap_or(false) == l.positive)
+        });
         assert!(ok);
     }
 
@@ -210,7 +221,11 @@ mod tests {
                 })
                 .collect();
             let cnf = Cnf { clauses };
-            assert_eq!(dpll_sat(&cnf), brute_force_sat(&cnf), "round {round}: {cnf:?}");
+            assert_eq!(
+                dpll_sat(&cnf),
+                brute_force_sat(&cnf),
+                "round {round}: {cnf:?}"
+            );
         }
     }
 
@@ -219,7 +234,10 @@ mod tests {
         // PHP(3,2): three pigeons, two holes.
         let mut clauses = Vec::new();
         for p in 0..3 {
-            clauses.push(vec![Lit::pos(format!("p{p}h0")), Lit::pos(format!("p{p}h1"))]);
+            clauses.push(vec![
+                Lit::pos(format!("p{p}h0")),
+                Lit::pos(format!("p{p}h1")),
+            ]);
         }
         for h in 0..2 {
             for p in 0..3 {
@@ -245,7 +263,9 @@ mod tests {
                 Lit::pos(format!("x{:05}", i + 1)),
             ]);
         }
-        assert!(dpll_sat(&Cnf { clauses: clauses.clone() }));
+        assert!(dpll_sat(&Cnf {
+            clauses: clauses.clone()
+        }));
         clauses.push(vec![Lit::neg(format!("x{n:05}"))]);
         assert!(!dpll_sat(&Cnf { clauses }));
     }

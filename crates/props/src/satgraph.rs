@@ -45,10 +45,14 @@ impl BooleanGraph {
     /// count.
     pub fn new(topology: LabeledGraph, formulas: Vec<BoolExpr>) -> Result<Self, PropsError> {
         if formulas.len() != topology.node_count() {
-            return Err(PropsError::MalformedLabel { node: formulas.len() });
+            return Err(PropsError::MalformedLabel {
+                node: formulas.len(),
+            });
         }
-        let labels: Vec<BitString> =
-            formulas.iter().map(|f| BitString::from_bytes(f.to_string().as_bytes())).collect();
+        let labels: Vec<BitString> = formulas
+            .iter()
+            .map(|f| BitString::from_bytes(f.to_string().as_bytes()))
+            .collect();
         let graph = topology.with_labels(labels).expect("same node count");
         Ok(BooleanGraph { graph, formulas })
     }
@@ -66,11 +70,14 @@ impl BooleanGraph {
                 .label(u)
                 .to_bytes()
                 .ok_or(PropsError::MalformedLabel { node: u.0 })?;
-            let text = String::from_utf8(bytes)
-                .map_err(|_| PropsError::MalformedLabel { node: u.0 })?;
+            let text =
+                String::from_utf8(bytes).map_err(|_| PropsError::MalformedLabel { node: u.0 })?;
             formulas.push(BoolExpr::parse(&text)?);
         }
-        Ok(BooleanGraph { graph: g.clone(), formulas })
+        Ok(BooleanGraph {
+            graph: g.clone(),
+            formulas,
+        })
     }
 
     /// The underlying labeled graph (labels encode the formulas).
@@ -113,8 +120,8 @@ impl BooleanGraph {
             // formulas' own variable-ordering hints. Tseytin auxiliaries
             // are prefixed `zz.` to sort last: they are always forced once
             // the original variables are assigned.
-            let scoped = self.formulas[u.0]
-                .rename(&|p: &str| format!("{p}.s{}", scope[&(u, p.to_owned())]));
+            let scoped =
+                self.formulas[u.0].rename(&|p: &str| format!("{p}.s{}", scope[&(u, p.to_owned())]));
             let cnf = scoped.tseytin(&format!("zz.{}.", u.0));
             clauses.extend(cnf.clauses);
         }
@@ -174,7 +181,9 @@ impl BooleanGraph {
 /// `SAT-GRAPH` on raw labeled graphs: decodes and decides; malformed labels
 /// make the graph a no-instance.
 pub fn sat_graph_satisfiable(g: &LabeledGraph) -> bool {
-    BooleanGraph::decode(g).map(|bg| bg.is_satisfiable()).unwrap_or(false)
+    BooleanGraph::decode(g)
+        .map(|bg| bg.is_satisfiable())
+        .unwrap_or(false)
 }
 
 #[cfg(test)]
@@ -185,7 +194,10 @@ mod tests {
     fn bg(topology: LabeledGraph, formulas: &[&str]) -> BooleanGraph {
         BooleanGraph::new(
             topology,
-            formulas.iter().map(|s| BoolExpr::parse(s).unwrap()).collect(),
+            formulas
+                .iter()
+                .map(|s| BoolExpr::parse(s).unwrap())
+                .collect(),
         )
         .unwrap()
     }

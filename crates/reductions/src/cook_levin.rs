@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 use lph_graphs::{
     BitString, ClusterMap, ElemId, ElemKind, GraphStructure, IdAssignment, LabeledGraph,
 };
-use lph_logic::{Formula, FoVar, Matrix, Quantifier, Sentence};
+use lph_logic::{FoVar, Formula, Matrix, Quantifier, Sentence};
 use lph_props::BoolExpr;
 
 use crate::framework::{apply, ClusterPatch, LocalReduction, LocalView, ReductionError};
@@ -41,8 +41,7 @@ impl LfoToSatGraph {
     pub fn new(sentence: Sentence) -> Self {
         assert!(sentence.is_local(), "the sentence must have an LFO matrix");
         assert!(
-            sentence.level().ell <= 1
-                && sentence.level().leading != Some(Quantifier::Forall),
+            sentence.level().ell <= 1 && sentence.level().leading != Some(Quantifier::Forall),
             "the sentence must be Σ₁ (or Σ₀)"
         );
         let radius = sentence.radius();
@@ -67,9 +66,7 @@ fn atom_var_name(
     let descr = |e: ElemId| -> String {
         match gs.kind(e) {
             ElemKind::Node(v) => format!("n{}", ids[v.0]).replace('ε', ""),
-            ElemKind::Bit { node, pos } => {
-                format!("b{}p{pos}", ids[node.0]).replace('ε', "")
-            }
+            ElemKind::Bit { node, pos } => format!("b{}p{pos}", ids[node.0]).replace('ε', ""),
         }
     };
     let parts: Vec<String> = args.iter().map(|&a| descr(a)).collect();
@@ -109,12 +106,8 @@ fn tau(
             BoolExpr::Var(atom_var_name(*rel, &tuple, gs, ids))
         }
         Formula::Not(f) => tau(f, sigma, gs, ids).negated(),
-        Formula::And(fs) => {
-            BoolExpr::And(fs.iter().map(|f| tau(f, sigma, gs, ids)).collect())
-        }
-        Formula::Or(fs) => {
-            BoolExpr::Or(fs.iter().map(|f| tau(f, sigma, gs, ids)).collect())
-        }
+        Formula::And(fs) => BoolExpr::And(fs.iter().map(|f| tau(f, sigma, gs, ids)).collect()),
+        Formula::Or(fs) => BoolExpr::Or(fs.iter().map(|f| tau(f, sigma, gs, ids)).collect()),
         Formula::Implies(a, b) => BoolExpr::Or(vec![
             tau(a, sigma, gs, ids).negated(),
             tau(b, sigma, gs, ids),
@@ -155,7 +148,12 @@ fn tau(
                     .collect(),
             )
         }
-        Formula::ExistsNear { x, anchor, radius, body } => {
+        Formula::ExistsNear {
+            x,
+            anchor,
+            radius,
+            body,
+        } => {
             let base = elem(sigma, *anchor);
             let opts = gs.structure().gaifman_ball(base, *radius);
             BoolExpr::Or(
@@ -169,7 +167,12 @@ fn tau(
                     .collect(),
             )
         }
-        Formula::ForallNear { x, anchor, radius, body } => {
+        Formula::ForallNear {
+            x,
+            anchor,
+            radius,
+            body,
+        } => {
             let base = elem(sigma, *anchor);
             let opts = gs.structure().gaifman_ball(base, *radius);
             BoolExpr::And(
@@ -265,7 +268,10 @@ pub fn lfo_to_sat_graph(
 /// formula, indexed by node — the paper's polynomiality claim is that this
 /// grows polynomially with `card(N_r^{$G}(u))`.
 pub fn formula_sizes(g_prime: &LabeledGraph) -> Vec<usize> {
-    g_prime.nodes().map(|u| g_prime.label(u).len() / 8).collect()
+    g_prime
+        .nodes()
+        .map(|u| g_prime.label(u).len() / 8)
+        .collect()
 }
 
 #[cfg(test)]
@@ -341,10 +347,8 @@ mod tests {
         // sizes must be (roughly) the same.
         let g_small = generators::cycle(4);
         let g_big = generators::cycle(12);
-        let (p_small, _) =
-            lfo_to_sat_graph(&s, &g_small, &IdAssignment::global(&g_small)).unwrap();
-        let (p_big, _) =
-            lfo_to_sat_graph(&s, &g_big, &IdAssignment::global(&g_big)).unwrap();
+        let (p_small, _) = lfo_to_sat_graph(&s, &g_small, &IdAssignment::global(&g_small)).unwrap();
+        let (p_big, _) = lfo_to_sat_graph(&s, &g_big, &IdAssignment::global(&g_big)).unwrap();
         let max_small = formula_sizes(&p_small).into_iter().max().unwrap();
         let max_big = formula_sizes(&p_big).into_iter().max().unwrap();
         assert!(

@@ -59,11 +59,7 @@ mod tests {
             for g in enumerate::binary_labelings(&base, &zero, &one) {
                 let id = IdAssignment::global(&g);
                 let (g2, map) = apply(&AllSelectedToEulerian, &g, &id).unwrap();
-                assert_eq!(
-                    AllSelected.holds(&g),
-                    Eulerian.holds(&g2),
-                    "graph: {g}"
-                );
+                assert_eq!(AllSelected.holds(&g), Eulerian.holds(&g2), "graph: {g}");
                 assert!(map.is_surjective());
             }
         }
@@ -81,8 +77,7 @@ mod tests {
         assert_eq!(g2.edge_count(), 3 * 4 + 1);
         for w in g2.nodes() {
             let owner = map.image(w);
-            let expected =
-                2 * g.degree(owner) + usize::from(g.label(owner).to_usize() != 1);
+            let expected = 2 * g.degree(owner) + usize::from(g.label(owner).to_usize() != 1);
             assert_eq!(g2.degree(w), expected);
         }
     }

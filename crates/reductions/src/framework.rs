@@ -46,7 +46,11 @@ impl LocalView {
             .neighbors(self.center)
             .iter()
             .map(|&v| {
-                (v, self.ids[v.0].clone(), self.neighborhood.graph.label(v).clone())
+                (
+                    v,
+                    self.ids[v.0].clone(),
+                    self.neighborhood.graph.label(v).clone(),
+                )
             })
             .collect();
         out.sort_by(|a, b| a.1.cmp(&b.1));
@@ -90,7 +94,8 @@ impl ClusterPatch {
         neighbor_id: BitString,
         theirs: impl Into<String>,
     ) -> &mut Self {
-        self.outer_edges.push((mine.into(), neighbor_id, theirs.into()));
+        self.outer_edges
+            .push((mine.into(), neighbor_id, theirs.into()));
         self
     }
 }
@@ -150,11 +155,17 @@ impl fmt::Display for ReductionError {
                 write!(f, "malformed cluster patch at node v{node}: {reason}")
             }
             ReductionError::DanglingStub { node, id } => {
-                write!(f, "node v{node} declared an edge stub to unknown neighbor id {id}")
+                write!(
+                    f,
+                    "node v{node} declared an edge stub to unknown neighbor id {id}"
+                )
             }
             ReductionError::Assembly(e) => write!(f, "assembled graph is invalid: {e}"),
             ReductionError::BadLabel { node } => {
-                write!(f, "label of node v{node} does not decode to the expected payload")
+                write!(
+                    f,
+                    "label of node v{node} does not decode to the expected payload"
+                )
             }
             ReductionError::Machine(e) => write!(f, "simulation failed: {e}"),
         }
@@ -201,7 +212,11 @@ pub fn apply(
     for u in g.nodes() {
         let nb = g.neighborhood(u, r);
         let ids = nb.members.iter().map(|&v| id.id(v).clone()).collect();
-        let view = LocalView { center: nb.center_local, neighborhood: nb, ids };
+        let view = LocalView {
+            center: nb.center_local,
+            neighborhood: nb,
+            ids,
+        };
         patches.push(red.cluster(&view)?);
     }
     // Global node table: (original node, local name) → new index.
@@ -228,19 +243,24 @@ pub fn apply(
     };
     for (u, patch) in patches.iter().enumerate() {
         for (a, b) in &patch.inner_edges {
-            let ia = *index.get(&(u, a.as_str())).ok_or_else(|| ReductionError::BadPatch {
-                node: u,
-                reason: format!("edge endpoint {a:?} is not a cluster node"),
-            })?;
-            let ib = *index.get(&(u, b.as_str())).ok_or_else(|| ReductionError::BadPatch {
-                node: u,
-                reason: format!("edge endpoint {b:?} is not a cluster node"),
-            })?;
+            let ia = *index
+                .get(&(u, a.as_str()))
+                .ok_or_else(|| ReductionError::BadPatch {
+                    node: u,
+                    reason: format!("edge endpoint {a:?} is not a cluster node"),
+                })?;
+            let ib = *index
+                .get(&(u, b.as_str()))
+                .ok_or_else(|| ReductionError::BadPatch {
+                    node: u,
+                    reason: format!("edge endpoint {b:?} is not a cluster node"),
+                })?;
             push_edge(ia, ib);
         }
         for (mine, nbr_id, theirs) in &patch.outer_edges {
-            let ia =
-                *index.get(&(u, mine.as_str())).ok_or_else(|| ReductionError::BadPatch {
+            let ia = *index
+                .get(&(u, mine.as_str()))
+                .ok_or_else(|| ReductionError::BadPatch {
                     node: u,
                     reason: format!("stub endpoint {mine:?} is not a cluster node"),
                 })?;
@@ -254,15 +274,16 @@ pub fn apply(
                     node: u,
                     id: nbr_id.to_string(),
                 })?;
-            let ib = *index.get(&(v.0, theirs.as_str())).ok_or_else(|| {
-                ReductionError::BadPatch {
-                    node: v.0,
-                    reason: format!(
-                        "stub from v{u} references unknown node {theirs:?} in v{}'s cluster",
-                        v.0
-                    ),
-                }
-            })?;
+            let ib =
+                *index
+                    .get(&(v.0, theirs.as_str()))
+                    .ok_or_else(|| ReductionError::BadPatch {
+                        node: v.0,
+                        reason: format!(
+                            "stub from v{u} references unknown node {theirs:?} in v{}'s cluster",
+                            v.0
+                        ),
+                    })?;
             push_edge(ia, ib);
         }
     }
@@ -289,7 +310,12 @@ pub fn simulate_decider(
 ) -> Result<bool, ReductionError> {
     let (g_prime, map) = apply(red, g, id)?;
     let id_prime = derive_cluster_ids(&g_prime, &map, id);
-    let out = decider.run(&g_prime, &id_prime, &lph_graphs::CertificateList::new(), limits)?;
+    let out = decider.run(
+        &g_prime,
+        &id_prime,
+        &lph_graphs::CertificateList::new(),
+        limits,
+    )?;
     Ok(out.accepted)
 }
 
@@ -312,11 +338,12 @@ pub fn simulate_game(
 ) -> Result<bool, ReductionError> {
     let (g_prime, map) = apply(red, g, id)?;
     let id_prime = derive_cluster_ids(&g_prime, &map, id);
-    let res = lph_core::decide_game(arbiter, &g_prime, &id_prime, limits)
-        .map_err(|e| ReductionError::BadPatch {
+    let res = lph_core::decide_game(arbiter, &g_prime, &id_prime, limits).map_err(|e| {
+        ReductionError::BadPatch {
             node: 0,
             reason: format!("game on the reduced graph failed: {e}"),
-        })?;
+        }
+    })?;
     Ok(res.eve_wins)
 }
 
@@ -331,8 +358,7 @@ pub fn derive_cluster_ids(
     id: &IdAssignment,
 ) -> IdAssignment {
     let max_cluster = map.cluster_sizes().into_iter().max().unwrap_or(1).max(1);
-    let width =
-        (usize::BITS as usize - (max_cluster - 1).leading_zeros() as usize).max(1);
+    let width = (usize::BITS as usize - (max_cluster - 1).leading_zeros() as usize).max(1);
     let mut within: BTreeMap<usize, usize> = BTreeMap::new();
     let ids: Vec<BitString> = g_prime
         .nodes()
@@ -370,8 +396,7 @@ mod tests {
             patch.node("a", view.label().clone());
             patch.node("b", BitString::from_bools(&[view.label().is_empty()]));
             patch.edge("a", "b");
-            for (_, nbr_id, _) in view.sorted_neighbors().iter().map(|t| (0, t.1.clone(), 0))
-            {
+            for (_, nbr_id, _) in view.sorted_neighbors().iter().map(|t| (0, t.1.clone(), 0)) {
                 patch.outer_edge("a", nbr_id, "a");
             }
             Ok(patch)
@@ -444,7 +469,10 @@ mod tests {
         }
         let g = generators::path(1);
         let id = IdAssignment::global(&g);
-        assert!(matches!(apply(&Dup, &g, &id), Err(ReductionError::BadPatch { .. })));
+        assert!(matches!(
+            apply(&Dup, &g, &id),
+            Err(ReductionError::BadPatch { .. })
+        ));
     }
 
     #[test]
@@ -461,12 +489,19 @@ mod tests {
         let g = generators::star(4);
         let id = IdAssignment::from_vec(
             &g,
-            ["11", "10", "01", "00"].iter().map(|s| BitString::from_bits01(s)).collect(),
+            ["11", "10", "01", "00"]
+                .iter()
+                .map(|s| BitString::from_bits01(s))
+                .collect(),
         )
         .unwrap();
         let nb = g.neighborhood(NodeId(0), 1);
         let ids = nb.members.iter().map(|&v| id.id(v).clone()).collect();
-        let view = LocalView { center: nb.center_local, neighborhood: nb, ids };
+        let view = LocalView {
+            center: nb.center_local,
+            neighborhood: nb,
+            ids,
+        };
         let sorted = view.sorted_neighbors();
         let id_strs: Vec<String> = sorted.iter().map(|t| t.1.to_string()).collect();
         assert_eq!(id_strs, vec!["00", "01", "10"]);

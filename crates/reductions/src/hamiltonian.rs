@@ -56,8 +56,16 @@ impl LocalReduction for AllSelectedToHamiltonian {
         // Cross edges: {u→v, v←u} and {u←v, v→u}.
         let my_id = view.id().clone();
         for (_, nbr_id, _) in view.sorted_neighbors() {
-            patch.outer_edge(format!("to:{nbr_id}"), nbr_id.clone(), format!("from:{my_id}"));
-            patch.outer_edge(format!("from:{nbr_id}"), nbr_id.clone(), format!("to:{my_id}"));
+            patch.outer_edge(
+                format!("to:{nbr_id}"),
+                nbr_id.clone(),
+                format!("from:{my_id}"),
+            );
+            patch.outer_edge(
+                format!("from:{nbr_id}"),
+                nbr_id.clone(),
+                format!("to:{my_id}"),
+            );
         }
         // Unselected nodes get the pendant that blocks Hamiltonicity.
         if !is_selected(view) {
@@ -144,11 +152,7 @@ mod tests {
         for base in enumerate::connected_graphs_up_to(3) {
             for g in enumerate::binary_labelings(&base, &zero, &one) {
                 let g2 = transform(&AllSelectedToHamiltonian, &g);
-                assert_eq!(
-                    AllSelected.holds(&g),
-                    Hamiltonian.holds(&g2),
-                    "graph: {g}"
-                );
+                assert_eq!(AllSelected.holds(&g), Hamiltonian.holds(&g2), "graph: {g}");
             }
         }
     }

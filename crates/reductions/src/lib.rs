@@ -44,6 +44,6 @@ pub mod sat_to_three_sat;
 pub mod three_col;
 
 pub use framework::{
-    apply, derive_cluster_ids, simulate_decider, simulate_game, ClusterPatch,
-    LocalReduction, LocalView, ReductionError,
+    apply, derive_cluster_ids, simulate_decider, simulate_game, ClusterPatch, LocalReduction,
+    LocalView, ReductionError,
 };

@@ -30,16 +30,20 @@ impl LocalReduction for SatGraphToThreeSatGraph {
             .to_bytes()
             .and_then(|b| String::from_utf8(b).ok())
             .ok_or(ReductionError::BadLabel { node })?;
-        let formula =
-            BoolExpr::parse(&text).map_err(|_| ReductionError::BadLabel { node })?;
+        let formula = BoolExpr::parse(&text).map_err(|_| ReductionError::BadLabel { node })?;
         // Tseytin with id-scoped auxiliary names: "aux.<id>." cannot clash
         // with user variables of adjacent nodes (nor, thanks to local
         // uniqueness, with the auxiliaries of adjacent nodes).
         let aux_prefix = format!("aux.{}.", view.id());
-        let cnf = formula.tseytin(&aux_prefix).to_three_cnf(&format!("{aux_prefix}s"));
+        let cnf = formula
+            .tseytin(&aux_prefix)
+            .to_three_cnf(&format!("{aux_prefix}s"));
         let new_formula = cnf.to_expr();
         let mut patch = ClusterPatch::default();
-        patch.node("f", BitString::from_bytes(new_formula.to_string().as_bytes()));
+        patch.node(
+            "f",
+            BitString::from_bytes(new_formula.to_string().as_bytes()),
+        );
         for (_, nbr_id, _) in view.sorted_neighbors() {
             patch.outer_edge("f", nbr_id, "f");
         }
@@ -57,7 +61,10 @@ mod tests {
     fn boolean_graph(topology: LabeledGraph, formulas: &[&str]) -> LabeledGraph {
         BooleanGraph::new(
             topology,
-            formulas.iter().map(|s| BoolExpr::parse(s).unwrap()).collect(),
+            formulas
+                .iter()
+                .map(|s| BoolExpr::parse(s).unwrap())
+                .collect(),
         )
         .unwrap()
         .graph()
@@ -110,7 +117,10 @@ mod tests {
         let (g2, _) = apply(&SatGraphToThreeSatGraph, &g, &id).unwrap();
         let bg = BooleanGraph::decode(&g2).unwrap();
         for u in g2.nodes() {
-            assert!(bg.formula(u).variables().contains("p"), "p must survive at {u}");
+            assert!(
+                bg.formula(u).variables().contains("p"),
+                "p must survive at {u}"
+            );
         }
     }
 
@@ -133,7 +143,10 @@ mod tests {
             .filter(|v| v.starts_with("aux."))
             .collect();
         assert!(!aux0.is_empty());
-        assert!(aux0.iter().all(|v| !aux1.contains(v)), "no shared auxiliaries");
+        assert!(
+            aux0.iter().all(|v| !aux1.contains(v)),
+            "no shared auxiliaries"
+        );
     }
 
     #[test]

@@ -63,8 +63,7 @@ impl LocalReduction for ThreeSatGraphToThreeColorable {
 
     fn cluster(&self, view: &LocalView) -> Result<ClusterPatch, ReductionError> {
         let node = view.neighborhood.to_global(view.center).0;
-        let formula =
-            decode_formula(view, view.center).ok_or(ReductionError::BadLabel { node })?;
+        let formula = decode_formula(view, view.center).ok_or(ReductionError::BadLabel { node })?;
         let clauses = extract_clauses(&formula).ok_or(ReductionError::BadLabel { node })?;
         let vars: BTreeSet<String> = formula.variables();
         let blank = BitString::new();
@@ -135,10 +134,12 @@ impl LocalReduction for ThreeSatGraphToThreeColorable {
         // Equality gadgets toward each neighbor: F, G, and shared variables.
         let my_id = view.id().clone();
         for (nbr_local, nbr_id, _) in view.sorted_neighbors() {
-            let their_formula = decode_formula(view, nbr_local)
-                .ok_or(ReductionError::BadLabel { node })?;
-            let shared: Vec<String> =
-                vars.intersection(&their_formula.variables()).cloned().collect();
+            let their_formula =
+                decode_formula(view, nbr_local).ok_or(ReductionError::BadLabel { node })?;
+            let shared: Vec<String> = vars
+                .intersection(&their_formula.variables())
+                .cloned()
+                .collect();
             let mut items: Vec<String> = vec!["F".into(), "G".into()];
             items.extend(shared.iter().map(|p| format!("v+:{p}")));
             for item in items {
@@ -179,7 +180,10 @@ mod tests {
     fn boolean_graph(topology: LabeledGraph, formulas: &[&str]) -> LabeledGraph {
         BooleanGraph::new(
             topology,
-            formulas.iter().map(|s| BoolExpr::parse(s).unwrap()).collect(),
+            formulas
+                .iter()
+                .map(|s| BoolExpr::parse(s).unwrap())
+                .collect(),
         )
         .unwrap()
         .graph()
@@ -206,7 +210,12 @@ mod tests {
         assert_eq!(cs[0].len(), 3);
         assert_eq!(cs[1], vec![Lit::pos("q")]);
         assert!(extract_clauses(&BoolExpr::parse("|(vp,vq,vr,vs)").unwrap()).is_none());
-        assert_eq!(extract_clauses(&BoolExpr::parse("T").unwrap()).unwrap().len(), 0);
+        assert_eq!(
+            extract_clauses(&BoolExpr::parse("T").unwrap())
+                .unwrap()
+                .len(),
+            0
+        );
     }
 
     #[test]
@@ -216,7 +225,11 @@ mod tests {
             check_equivalence(generators::path(1), &[f]);
         }
         // Unsatisfiable formulas.
-        for f in ["&(vp,!vp)", "F", "&(|(vp,vq),|(!vp,vq),|(vp,!vq),|(!vp,!vq))"] {
+        for f in [
+            "&(vp,!vp)",
+            "F",
+            "&(|(vp,vq),|(!vp,vq),|(vp,!vq),|(!vp,!vq))",
+        ] {
             check_equivalence(generators::path(1), &[f]);
         }
     }
@@ -246,15 +259,16 @@ mod tests {
                 "&(|(vc,va),|(!vc,!va))",
             ],
         ); // unsat: a⊕b, b⊕c, c⊕a
-        check_equivalence(
-            generators::cycle(3),
-            &["|(va,vb)", "|(vb,vc)", "|(vc,va)"],
-        ); // sat
+        check_equivalence(generators::cycle(3), &["|(va,vb)", "|(vb,vc)", "|(vc,va)"]);
+        // sat
     }
 
     #[test]
     fn gadget_sizes_are_polynomial_in_the_formula() {
-        let g = boolean_graph(generators::path(2), &["&(|(vp,vq,vr),|(!vp,!vq,!vr))", "vp"]);
+        let g = boolean_graph(
+            generators::path(2),
+            &["&(|(vp,vq,vr),|(!vp,!vq,!vr))", "vp"],
+        );
         let id = IdAssignment::global(&g);
         let (g2, map) = apply(&ThreeSatGraphToThreeColorable, &g, &id).unwrap();
         // Palette 3 + 2 per var + 6 per clause + 1 per clause output… just

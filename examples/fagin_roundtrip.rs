@@ -25,19 +25,24 @@ fn main() {
     println!("sentence ({}):\n  {sentence}\n", sentence.level());
     let limits = GameLimits {
         max_runs: 50_000_000,
-        exec: ExecLimits { max_rounds: 64, max_steps_per_round: 50_000_000 },
+        exec: ExecLimits {
+            max_rounds: 64,
+            max_steps_per_round: 50_000_000,
+        },
         ..GameLimits::default()
     };
-    let opts = CheckOptions { max_matrix_evals: 50_000_000, max_tuples_per_var: 22 };
+    let opts = CheckOptions {
+        max_matrix_evals: 50_000_000,
+        max_tuples_per_var: 22,
+    };
     for labels in [["1", "0"], ["1", "1"]] {
         let g = generators::labeled_path(&labels);
-        let logical =
-            sentence.check_on_graph(&GraphStructure::of(&g), &opts).unwrap();
+        let logical = sentence
+            .check_on_graph(&GraphStructure::of(&g), &opts)
+            .unwrap();
         let id = IdAssignment::global(&g);
         let game = sentence_game(&sentence, &g, &id, &limits).unwrap();
-        println!(
-            "labels {labels:?}: model checking = {logical}, certificate game = {game}"
-        );
+        println!("labels {labels:?}: model checking = {logical}, certificate game = {game}");
         assert_eq!(logical, game);
     }
 
@@ -50,7 +55,10 @@ fn main() {
             "{}-node graph: 3-colorable sentence ⇒ SAT-GRAPH instance with max \
              formula {} bytes; satisfiable = {}",
             g.node_count(),
-            lph::reductions::cook_levin::formula_sizes(&sat_g).into_iter().max().unwrap(),
+            lph::reductions::cook_levin::formula_sizes(&sat_g)
+                .into_iter()
+                .max()
+                .unwrap(),
             SatGraph.holds(&sat_g)
         );
     }
@@ -64,7 +72,11 @@ fn main() {
             &tm,
             &g,
             &id,
-            TableauBounds { steps: 14, space: 10, cert_bits: 0 },
+            TableauBounds {
+                steps: 14,
+                space: 10,
+                cert_bits: 0,
+            },
         )
         .unwrap();
         println!(

@@ -25,7 +25,13 @@ fn main() {
             EdgeKind::ProvedStrict => "⊊ (solid)",
             EdgeKind::EqualityOnBoundedDegree => "⊆ (dashed; = on GRAPH(Δ))",
         };
-        println!("  {:10} {} {:10}   [{}]", e.lower.to_string(), marker, e.upper.to_string(), e.justification);
+        println!(
+            "  {:10} {} {:10}   [{}]",
+            e.lower.to_string(),
+            marker,
+            e.upper.to_string(),
+            e.justification
+        );
     }
 
     println!("\nThick chain on bounded structural degree (Figure 11):");
@@ -53,8 +59,7 @@ fn main() {
         GameSpec::sigma(0, 1, 1, PolyBound::constant(0)),
         machines::proper_coloring_verifier(),
     );
-    let fooled =
-        verdicts_coincide_on_pair(&coloring, &pair, &ExecLimits::default()).unwrap();
+    let fooled = verdicts_coincide_on_pair(&coloring, &pair, &ExecLimits::default()).unwrap();
     println!(
         "Prop 21: C7 vs glued C14 — machine verdicts coincide: {fooled}; \
          2-colorable: {} vs {}",
@@ -62,7 +67,10 @@ fn main() {
         is_k_colorable(&pair.2, 2)
     );
     let two_col = arbiters::two_colorable_verifier();
-    let lim = GameLimits { cert_len_cap: Some(1), ..GameLimits::default() };
+    let lim = GameLimits {
+        cert_len_cap: Some(1),
+        ..GameLimits::default()
+    };
     let c6 = generators::cycle(6);
     let id6 = IdAssignment::global(&c6);
     println!(
@@ -85,21 +93,45 @@ fn main() {
     println!(
         "Prop 23: distance verifier on C6 (one unselected): 1-bit certs → Eve wins {}, \
          2-bit certs → Eve wins {}",
-        decide_game(&d1, &g, &id, &GameLimits { cert_len_cap: Some(1), ..GameLimits::default() })
-            .unwrap()
-            .eve_wins,
-        decide_game(&d2, &g, &id, &GameLimits { cert_len_cap: Some(2), ..GameLimits::default() })
-            .unwrap()
-            .eve_wins,
+        decide_game(
+            &d1,
+            &g,
+            &id,
+            &GameLimits {
+                cert_len_cap: Some(1),
+                ..GameLimits::default()
+            }
+        )
+        .unwrap()
+        .eve_wins,
+        decide_game(
+            &d2,
+            &g,
+            &id,
+            &GameLimits {
+                cert_len_cap: Some(2),
+                ..GameLimits::default()
+            }
+        )
+        .unwrap()
+        .eve_wins,
     );
     let pointer = arbiters::pointer_to_unselected_verifier();
     let c4 = generators::cycle(4);
     let id4 = IdAssignment::global(&c4);
     println!(
         "         pointer verifier fooled on all-selected C4: Eve wins = {} (false accept)",
-        decide_game(&pointer, &c4, &id4, &GameLimits { cert_len_cap: Some(2), ..GameLimits::default() })
-            .unwrap()
-            .eve_wins
+        decide_game(
+            &pointer,
+            &c4,
+            &id4,
+            &GameLimits {
+                cert_len_cap: Some(2),
+                ..GameLimits::default()
+            }
+        )
+        .unwrap()
+        .eve_wins
     );
 
     println!("\n(The higher-level separations — Theorem 33 — ride on logic on");

@@ -36,7 +36,9 @@ fn main() {
         let id = IdAssignment::small(&g, r);
         let out = run_tm(&tm, &g, &id, &CertificateList::new(), &exec).unwrap();
         let gs = GraphStructure::of(&g);
-        let card = gs.neighborhood_card(&g, NodeId(0), 4 * r).min(gs.structure().card());
+        let card = gs
+            .neighborhood_card(&g, NodeId(0), 4 * r)
+            .min(gs.structure().card());
         let (steps, space) = out
             .metrics
             .node_maxima()

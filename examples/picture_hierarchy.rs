@@ -12,7 +12,10 @@ use lph::pictures::encode::{picture_to_graph, transport_sentence};
 use lph::pictures::{langs, Picture};
 
 fn main() {
-    let opts = CheckOptions { max_matrix_evals: 100_000_000, max_tuples_per_var: 22 };
+    let opts = CheckOptions {
+        max_matrix_evals: 100_000_000,
+        max_tuples_per_var: 22,
+    };
 
     println!("=== Theorem 29: tiling systems ⟷ EMSO, on SQUARES ===\n");
     let ts = langs::squares_tiling_system();
@@ -41,8 +44,9 @@ fn main() {
         ct.work_symbols()
     );
     for m in 1..=3usize {
-        let hits: Vec<usize> =
-            (1..=10).filter(|&n| ct.recognizes(&Picture::blank(m, n, 0))).collect();
+        let hits: Vec<usize> = (1..=10)
+            .filter(|&n| ct.recognizes(&Picture::blank(m, n, 0)))
+            .collect();
         println!("  height {m}: accepted widths in 1..=10 → {hits:?}");
     }
     println!("  (iterating this exponential gap is what makes the monadic");
@@ -50,7 +54,7 @@ fn main() {
     println!("   hierarchy on graphs — infinite.)");
 
     println!("\n=== Section 9.2.2: picture → graph, level preserved ===\n");
-    let transported = transport_sentence(&emso, 0);
+    let transported = transport_sentence(&emso, 0).expect("squares sentence has an LFO matrix");
     println!(
         "transported sentence level: {} (was {}), monadic: {}",
         transported.level(),

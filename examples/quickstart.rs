@@ -18,13 +18,22 @@ fn main() {
     let g = generators::cycle(5);
     let id = IdAssignment::small(&g, 1);
     println!("input graph:\n{g}");
-    println!("identifiers: {:?}", id.ids().iter().map(ToString::to_string).collect::<Vec<_>>());
+    println!(
+        "identifiers: {:?}",
+        id.ids().iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
 
     // --- LP: run a real distributed Turing machine (transition tables,
     // three tapes, synchronous rounds) deciding ALL-SELECTED.
     let tm = machines::all_selected_decider();
-    let out = run_tm(&tm, &g, &id, &CertificateList::new(), &ExecLimits::default())
-        .expect("machine terminates");
+    let out = run_tm(
+        &tm,
+        &g,
+        &id,
+        &CertificateList::new(),
+        &ExecLimits::default(),
+    )
+    .expect("machine terminates");
     println!(
         "ALL-SELECTED decider: accepted = {} in {} round(s), max {} steps/node",
         out.accepted,
@@ -35,22 +44,30 @@ fn main() {
     // --- NLP: the certificate game. Eve proposes 2-bit colors, the
     // verifier checks properness; Eve wins iff the graph is 3-colorable.
     let arb = arbiters::three_colorable_verifier();
-    let limits = GameLimits { cert_len_cap: Some(2), ..GameLimits::default() };
+    let limits = GameLimits {
+        cert_len_cap: Some(2),
+        ..GameLimits::default()
+    };
     let res = decide_game(&arb, &g, &id, &limits).expect("game solvable");
     println!(
         "3-COLORABLE game: Eve wins = {} after {} arbiter runs",
         res.eve_wins, res.runs
     );
     if let Some(w) = res.winning_first_move {
-        let colors: Vec<String> =
-            g.nodes().map(|u| w.cert(u).to_string()).collect();
+        let colors: Vec<String> = g.nodes().map(|u| w.cert(u).to_string()).collect();
         println!("Eve's winning coloring certificates: {colors:?}");
     }
 
     // An odd cycle is NOT 2-colorable: with 1-bit color certificates the
     // game rejects — no certificate assignment 2-colors C5.
     let two_col = arbiters::two_colorable_verifier();
-    let limits1 = GameLimits { cert_len_cap: Some(1), ..GameLimits::default() };
+    let limits1 = GameLimits {
+        cert_len_cap: Some(1),
+        ..GameLimits::default()
+    };
     let res = decide_game(&two_col, &g, &id, &limits1).expect("game solvable");
-    println!("2-COLORABLE game on C5: Eve wins = {} (odd cycle!)", res.eve_wins);
+    println!(
+        "2-COLORABLE game on C5: Eve wins = {} (odd cycle!)",
+        res.eve_wins
+    );
 }

@@ -8,8 +8,8 @@
 
 use lph::graphs::{generators, IdAssignment, LabeledGraph, NodeId};
 use lph::props::{
-    is_hamiltonian, is_k_colorable, AllSelected, BoolExpr, BooleanGraph, Eulerian,
-    GraphProperty, NotAllSelected, SatGraph, ThreeSatGraph,
+    is_hamiltonian, is_k_colorable, AllSelected, BoolExpr, BooleanGraph, Eulerian, GraphProperty,
+    NotAllSelected, SatGraph, ThreeSatGraph,
 };
 use lph::reductions::{
     apply, eulerian::AllSelectedToEulerian, hamiltonian::AllSelectedToHamiltonian,
@@ -41,19 +41,34 @@ fn main() {
     let g = generators::labeled_cycle(&["1", "1", "0"]);
     let id = IdAssignment::global(&g);
     let (g2, _) = apply(&AllSelectedToEulerian, &g, &id).unwrap();
-    show(&AllSelectedToEulerian, &g, AllSelected.holds(&g), Eulerian.holds(&g2));
+    show(
+        &AllSelectedToEulerian,
+        &g,
+        AllSelected.holds(&g),
+        Eulerian.holds(&g2),
+    );
 
     // Figure 2/8 (Proposition 16): ALL-SELECTED → HAMILTONIAN, on the
     // paper's 3-node example with node u2 unselected.
     let g = generators::labeled_path(&["1", "0", "1"]);
     let id = IdAssignment::global(&g);
     let (g2, _) = apply(&AllSelectedToHamiltonian, &g, &id).unwrap();
-    show(&AllSelectedToHamiltonian, &g, AllSelected.holds(&g), is_hamiltonian(&g2));
+    show(
+        &AllSelectedToHamiltonian,
+        &g,
+        AllSelected.holds(&g),
+        is_hamiltonian(&g2),
+    );
     // …and the all-selected variant, where the Euler tour exists.
     let g = generators::labeled_path(&["1", "1", "1"]);
     let id = IdAssignment::global(&g);
     let (g2, _) = apply(&AllSelectedToHamiltonian, &g, &id).unwrap();
-    show(&AllSelectedToHamiltonian, &g, AllSelected.holds(&g), is_hamiltonian(&g2));
+    show(
+        &AllSelectedToHamiltonian,
+        &g,
+        AllSelected.holds(&g),
+        is_hamiltonian(&g2),
+    );
 
     // Figure 9 (Proposition 17): NOT-ALL-SELECTED → HAMILTONIAN.
     let g = generators::labeled_path(&["1", "0"]);

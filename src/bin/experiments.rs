@@ -37,15 +37,20 @@ fn main() {
     // ------------------------------------------------------------------
     header("E1", "Figure 1/11 — hierarchy lattice and thick chain");
     let edges = inclusion_edges(3);
-    let strict = edges.iter().filter(|e| e.kind == EdgeKind::ProvedStrict).count();
+    let strict = edges
+        .iter()
+        .filter(|e| e.kind == EdgeKind::ProvedStrict)
+        .count();
     println!(
         "levels 0..3: {} inclusion edges, {} proved strict, {} dashed",
         edges.len(),
         strict,
         edges.len() - strict
     );
-    let chain: Vec<String> =
-        bounded_degree_chain(6).iter().map(ToString::to_string).collect();
+    let chain: Vec<String> = bounded_degree_chain(6)
+        .iter()
+        .map(ToString::to_string)
+        .collect();
     println!("GRAPH(Δ) chain: {}", chain.join(" ⊊ "));
 
     // ------------------------------------------------------------------
@@ -57,8 +62,7 @@ fn main() {
             GameSpec::sigma(0, 1, 1, PolyBound::constant(0)),
             machines::proper_coloring_verifier(),
         );
-        let fooled =
-            verdicts_coincide_on_pair(&machine, &pair, &ExecLimits::default()).unwrap();
+        let fooled = verdicts_coincide_on_pair(&machine, &pair, &ExecLimits::default()).unwrap();
         println!(
             "C_{n:<2} vs C_{:<2}: verdicts coincide = {fooled:5}; 2-colorable = {} vs {}",
             2 * n,
@@ -75,7 +79,10 @@ fn main() {
     let id = IdAssignment::global(&g);
     for bits in [1usize, 2] {
         let arb = arbiters::distance_to_unselected_verifier(bits);
-        let lim = GameLimits { cert_len_cap: Some(bits), ..GameLimits::default() };
+        let lim = GameLimits {
+            cert_len_cap: Some(bits),
+            ..GameLimits::default()
+        };
         println!(
             "distance verifier, {bits}-bit budget on C6 (yes-instance): Eve wins = {}",
             decide_game(&arb, &g, &id, &lim).unwrap().eve_wins
@@ -84,14 +91,20 @@ fn main() {
     let pointer = arbiters::pointer_to_unselected_verifier();
     let c4 = generators::cycle(4);
     let idc4 = IdAssignment::global(&c4);
-    let lim2 = GameLimits { cert_len_cap: Some(2), ..GameLimits::default() };
+    let lim2 = GameLimits {
+        cert_len_cap: Some(2),
+        ..GameLimits::default()
+    };
     println!(
         "pointer verifier on all-selected C4 (no-instance): Eve wins = {} (false accept)",
         decide_game(&pointer, &c4, &idc4, &lim2).unwrap().eve_wins
     );
 
     // ------------------------------------------------------------------
-    header("E4/E5/E6", "Figures 7, 2, 9 — the Hamiltonicity/Eulerianness gadgets");
+    header(
+        "E4/E5/E6",
+        "Figures 7, 2, 9 — the Hamiltonicity/Eulerianness gadgets",
+    );
     // (Hamiltonicity ground truth is exponential; n = 6 already yields a
     // 84-node Figure 9 instance.)
     for n in [3usize, 5, 6] {
@@ -114,13 +127,19 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
-    header("E7", "Theorem 19 — Σ₁^LFO → SAT-GRAPH, locality of formula sizes");
+    header(
+        "E7",
+        "Theorem 19 — Σ₁^LFO → SAT-GRAPH, locality of formula sizes",
+    );
     let sentence = examples::three_colorable();
     for n in [4usize, 8, 16] {
         let g = generators::cycle(n);
         let id = IdAssignment::global(&g);
         let (sg, _) = lfo_to_sat_graph(&sentence, &g, &id).unwrap();
-        let max = lph::reductions::cook_levin::formula_sizes(&sg).into_iter().max().unwrap();
+        let max = lph::reductions::cook_levin::formula_sizes(&sg)
+            .into_iter()
+            .max()
+            .unwrap();
         println!(
             "cycle n = {n:2}: SAT-GRAPH formulas ≤ {max:6} bytes; satisfiable = {}",
             SatGraph.holds(&sg)
@@ -128,7 +147,10 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
-    header("E8", "Theorem 20 / Figure 10 — SAT-GRAPH → 3-SAT → 3-COLORABLE");
+    header(
+        "E8",
+        "Theorem 20 / Figure 10 — SAT-GRAPH → 3-SAT → 3-COLORABLE",
+    );
     let bg = lph::props::BooleanGraph::new(
         generators::path(2),
         vec![
@@ -152,10 +174,16 @@ fn main() {
 
     // ------------------------------------------------------------------
     header("E9", "Theorem 12 — formula ⟷ game agreement");
-    let opts = CheckOptions { max_matrix_evals: 50_000_000, max_tuples_per_var: 22 };
+    let opts = CheckOptions {
+        max_matrix_evals: 50_000_000,
+        max_tuples_per_var: 22,
+    };
     let limits = GameLimits {
         max_runs: 50_000_000,
-        exec: ExecLimits { max_rounds: 64, max_steps_per_round: 50_000_000 },
+        exec: ExecLimits {
+            max_rounds: 64,
+            max_steps_per_round: 50_000_000,
+        },
         ..GameLimits::default()
     };
     let nas = examples::not_all_selected();
@@ -163,9 +191,7 @@ fn main() {
         let g = generators::labeled_path(&labels);
         let logic = nas.check_on_graph(&GraphStructure::of(&g), &opts).unwrap();
         let game = sentence_game(&nas, &g, &IdAssignment::global(&g), &limits).unwrap();
-        println!(
-            "Σ3 NOT-ALL-SELECTED on {labels:?}: model checking = {logic}, game = {game}"
-        );
+        println!("Σ3 NOT-ALL-SELECTED on {labels:?}: model checking = {logic}, game = {game}");
     }
 
     // ------------------------------------------------------------------
@@ -178,10 +204,17 @@ fn main() {
             &tm,
             &g,
             &id,
-            TableauBounds { steps: 14, space: 10, cert_bits: 0 },
+            TableauBounds {
+                steps: 14,
+                space: 10,
+                cert_bits: 0,
+            },
         )
         .unwrap();
-        println!("tableau for labels {labels:?}: SAT = {}", SatGraph.holds(&tb));
+        println!(
+            "tableau for labels {labels:?}: SAT = {}",
+            SatGraph.holds(&tb)
+        );
     }
 
     // ------------------------------------------------------------------
@@ -190,9 +223,14 @@ fn main() {
     for d in [2usize, 8, 32] {
         let g = generators::star(d + 1);
         let id = IdAssignment::global(&g);
-        let out =
-            run_tm(&verifier, &g, &id, &CertificateList::new(), &ExecLimits::default())
-                .unwrap();
+        let out = run_tm(
+            &verifier,
+            &g,
+            &id,
+            &CertificateList::new(),
+            &ExecLimits::default(),
+        )
+        .unwrap();
         let gs = GraphStructure::of(&g);
         let card = gs.neighborhood_card(&g, lph::graphs::NodeId(0), 8);
         let (steps, space) = out.metrics.node_maxima()[0];
@@ -200,7 +238,10 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
-    header("E12/E14", "Theorems 29 & 27 — tiling systems vs EMSO on pictures");
+    header(
+        "E12/E14",
+        "Theorems 29 & 27 — tiling systems vs EMSO on pictures",
+    );
     let ts = langs::squares_tiling_system();
     let emso = langs::squares_emso();
     let mut agree = 0;
@@ -217,14 +258,15 @@ fn main() {
     println!("SQUARES: tiling ⟷ EMSO ⟷ ground truth agree on {agree}/{total} sizes");
     let ct = langs::counter_tiling_system();
     for m in 1..=3usize {
-        let widths: Vec<usize> =
-            (1..=10).filter(|&n| ct.recognizes(&Picture::blank(m, n, 0))).collect();
+        let widths: Vec<usize> = (1..=10)
+            .filter(|&n| ct.recognizes(&Picture::blank(m, n, 0)))
+            .collect();
         println!("counter TS, height {m}: accepted widths {widths:?} (= 2^{m})");
     }
 
     // ------------------------------------------------------------------
     header("E13", "Section 9.2.2 — picture → graph transport");
-    let transported = transport_sentence(&emso, 0);
+    let transported = transport_sentence(&emso, 0).expect("squares sentence has an LFO matrix");
     for (m, n) in [(2, 2), (2, 3), (3, 3)] {
         let p = Picture::blank(m, n, 0);
         let g = picture_to_graph(&p);

@@ -1,0 +1,125 @@
+//! `lph-lint` — runs every static-analysis rule over the built-in corpus
+//! of formal artifacts (machines, sentences, arbiters, reductions).
+//!
+//! ```text
+//! USAGE: lph-lint [--format text|json] [--allow CODE]... [--deny CODE|warnings]... [--list-rules]
+//! ```
+//!
+//! Exits `0` when no error-severity diagnostics remain after the
+//! configuration is applied, `1` when some do, and `2` on a usage error.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use lph_analysis::{diagnostics_to_json, run_builtin, RuleConfig, Severity, RULES};
+
+enum Format {
+    Text,
+    Json,
+}
+
+/// Prints a line to stdout, ignoring errors so `lph-lint | head` exits
+/// quietly instead of panicking on the broken pipe.
+macro_rules! outln {
+    ($($arg:tt)*) => {
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    };
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "USAGE: lph-lint [--format text|json] [--allow CODE]... \
+         [--deny CODE|warnings]... [--list-rules]"
+    );
+    ExitCode::from(2)
+}
+
+fn list_rules() {
+    outln!("{:<8} {:<32} {:<8} description", "code", "name", "severity");
+    for r in &RULES {
+        outln!(
+            "{:<8} {:<32} {:<8} {}",
+            r.code,
+            r.name,
+            r.default_severity.to_string(),
+            r.description
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let mut format = Format::Text;
+    let mut config = RuleConfig::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                list_rules();
+                return ExitCode::SUCCESS;
+            }
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                _ => return usage(),
+            },
+            "--allow" => {
+                let Some(code) = args.next() else {
+                    return usage();
+                };
+                if let Err(e) = config.allow(&code) {
+                    eprintln!("lph-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            "--deny" => match args.next() {
+                Some(v) if v == "warnings" => config.deny_all_warnings(),
+                Some(code) => {
+                    if let Err(e) = config.deny(&code) {
+                        eprintln!("lph-lint: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let diags = run_builtin(&config);
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    match format {
+        Format::Json => {
+            outln!("{}", diagnostics_to_json(&diags).emit());
+        }
+        Format::Text => {
+            for d in &diags {
+                outln!("{d}");
+            }
+            let warnings = diags
+                .iter()
+                .filter(|d| d.severity == Severity::Warning)
+                .count();
+            let notes = diags
+                .iter()
+                .filter(|d| d.severity == Severity::Note)
+                .count();
+            if diags.is_empty() {
+                outln!("lph-lint: corpus is clean");
+            } else {
+                outln!("lph-lint: {errors} error(s), {warnings} warning(s), {notes} note(s)");
+            }
+        }
+    }
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

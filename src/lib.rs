@@ -18,13 +18,16 @@
 //! * local-polynomial reductions and all gadget constructions of the paper
 //!   ([`reductions`]),
 //! * the distributed Fagin and Cook–Levin translations ([`fagin`]),
-//! * pictures, tiling systems, and logic on pictures ([`pictures`]).
+//! * pictures, tiling systems, and logic on pictures ([`pictures`]),
+//! * a rule-based static analyzer over all of the above ([`analysis`];
+//!   CLI: `cargo run --bin lph-lint`).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
 
 #![forbid(unsafe_code)]
 
+pub use lph_analysis as analysis;
 pub use lph_core as core;
 pub use lph_fagin as fagin;
 pub use lph_graphs as graphs;

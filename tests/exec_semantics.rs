@@ -4,12 +4,11 @@
 //! closure algorithms) on the same property.
 
 use lph_graphs::{
-    enumerate, generators, BitString, CertificateAssignment, CertificateList, IdAssignment,
-    NodeId,
+    enumerate, generators, BitString, CertificateAssignment, CertificateList, IdAssignment, NodeId,
 };
 use lph_machine::{
-    machines, run_local, run_tm, ExecLimits, LocalAlgorithm, NodeCtx, NodeInput,
-    NodeProgram, RoundAction,
+    machines, run_local, run_tm, ExecLimits, LocalAlgorithm, NodeCtx, NodeInput, NodeProgram,
+    RoundAction,
 };
 
 /// The closure twin of the proper-coloring Turing machine.
@@ -18,13 +17,15 @@ struct ClosureColoring;
 impl LocalAlgorithm for ClosureColoring {
     fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
         let label = input.label.clone();
-        Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
-            ctx.charge(1 + inbox.iter().map(BitString::len).sum::<usize>());
-            match round {
-                1 => RoundAction::Send(vec![label.clone(); inbox.len()]),
-                _ => RoundAction::verdict(inbox.iter().all(|m| *m != label)),
-            }
-        })
+        Box::new(
+            move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+                ctx.charge(1 + inbox.iter().map(BitString::len).sum::<usize>());
+                match round {
+                    1 => RoundAction::Send(vec![label.clone(); inbox.len()]),
+                    _ => RoundAction::verdict(inbox.iter().all(|m| *m != label)),
+                }
+            },
+        )
     }
 }
 
@@ -40,11 +41,13 @@ fn turing_machine_and_closure_agree_nodewise() {
         BitString::from_bits01("01"),
     ];
     for base in enumerate::connected_graphs_up_to(4) {
-        for g in enumerate::labelings_from(&base, &choices).into_iter().step_by(3) {
+        for g in enumerate::labelings_from(&base, &choices)
+            .into_iter()
+            .step_by(3)
+        {
             let id = IdAssignment::global(&g);
             let a = run_tm(&tm, &g, &id, &CertificateList::new(), &exec).unwrap();
-            let b = run_local(&ClosureColoring, &g, &id, &CertificateList::new(), &exec)
-                .unwrap();
+            let b = run_local(&ClosureColoring, &g, &id, &CertificateList::new(), &exec).unwrap();
             assert_eq!(a.verdicts, b.verdicts, "graph: {g}");
         }
     }
@@ -58,24 +61,26 @@ fn inbox_order_follows_identifiers() {
     impl LocalAlgorithm for RecordInbox {
         fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
             let my_id = input.id.clone();
-            Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
-                ctx.charge(1);
-                match round {
-                    1 => RoundAction::Send(vec![my_id.clone(); inbox.len()]),
-                    _ => {
-                        // Output the concatenation of received ids.
-                        let mut out = BitString::new();
-                        for m in inbox {
-                            out = out.concat(m);
+            Box::new(
+                move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+                    ctx.charge(1);
+                    match round {
+                        1 => RoundAction::Send(vec![my_id.clone(); inbox.len()]),
+                        _ => {
+                            // Output the concatenation of received ids.
+                            let mut out = BitString::new();
+                            for m in inbox {
+                                out = out.concat(m);
+                            }
+                            RoundAction::Halt(out)
                         }
-                        RoundAction::Halt(out)
                     }
-                }
-            })
+                },
+            )
         }
     }
     let g = generators::star(4); // center v0, leaves v1..v3
-    // Give the leaves ids in decreasing order of node index.
+                                 // Give the leaves ids in decreasing order of node index.
     let id = IdAssignment::from_vec(
         &g,
         vec![
@@ -86,8 +91,14 @@ fn inbox_order_follows_identifiers() {
         ],
     )
     .unwrap();
-    let out = run_local(&RecordInbox, &g, &id, &CertificateList::new(), &ExecLimits::default())
-        .unwrap();
+    let out = run_local(
+        &RecordInbox,
+        &g,
+        &id,
+        &CertificateList::new(),
+        &ExecLimits::default(),
+    )
+    .unwrap();
     // The center receives the leaf ids in ascending identifier order:
     // 00 (v3), 01 (v2), 10 (v1).
     assert_eq!(out.outputs[0], BitString::from_bits01("000110"));
@@ -125,10 +136,12 @@ fn certificate_lists_reach_each_node_in_order() {
             for c in &input.certificates {
                 out = out.concat(c);
             }
-            Box::new(move |ctx: &mut NodeCtx, _round: usize, _inbox: &[BitString]| {
-                ctx.charge(1);
-                RoundAction::Halt(out.clone())
-            })
+            Box::new(
+                move |ctx: &mut NodeCtx, _round: usize, _inbox: &[BitString]| {
+                    ctx.charge(1);
+                    RoundAction::Halt(out.clone())
+                },
+            )
         }
     }
     let g = generators::path(2);
@@ -138,14 +151,11 @@ fn certificate_lists_reach_each_node_in_order() {
         vec![BitString::from_bits01("10"), BitString::from_bits01("0")],
     )
     .unwrap();
-    let k2 = CertificateAssignment::from_vec(
-        &g,
-        vec![BitString::from_bits01("1"), BitString::new()],
-    )
-    .unwrap();
+    let k2 =
+        CertificateAssignment::from_vec(&g, vec![BitString::from_bits01("1"), BitString::new()])
+            .unwrap();
     let certs = CertificateList::from_assignments(vec![k1, k2]);
-    let out =
-        run_local(&DumpCerts, &g, &id, &certs, &ExecLimits::default()).unwrap();
+    let out = run_local(&DumpCerts, &g, &id, &certs, &ExecLimits::default()).unwrap();
     assert_eq!(out.outputs[0], BitString::from_bits01("101"));
     assert_eq!(out.outputs[1], BitString::from_bits01("0"));
 }
@@ -156,7 +166,11 @@ fn certificate_lists_reach_each_node_in_order() {
 fn round_counts_match_across_engines() {
     let tm = machines::echo_machine();
     let exec = ExecLimits::default();
-    for g in [generators::path(2), generators::cycle(6), generators::star(5)] {
+    for g in [
+        generators::path(2),
+        generators::cycle(6),
+        generators::star(5),
+    ] {
         let id = IdAssignment::global(&g);
         let out = run_tm(&tm, &g, &id, &CertificateList::new(), &exec).unwrap();
         assert_eq!(out.rounds, 2, "graph: {g}");

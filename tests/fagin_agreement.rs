@@ -14,13 +14,19 @@ use lph_props::{AllSelected, GraphProperty, KColorable, NotAllSelected};
 fn game_limits() -> GameLimits {
     GameLimits {
         max_runs: 50_000_000,
-        exec: ExecLimits { max_rounds: 64, max_steps_per_round: 50_000_000 },
+        exec: ExecLimits {
+            max_rounds: 64,
+            max_steps_per_round: 50_000_000,
+        },
         ..GameLimits::default()
     }
 }
 
 fn logic_opts() -> CheckOptions {
-    CheckOptions { max_matrix_evals: 50_000_000, max_tuples_per_var: 22 }
+    CheckOptions {
+        max_matrix_evals: 50_000_000,
+        max_tuples_per_var: 22,
+    }
 }
 
 /// `ALL-SELECTED` (Example 2, level Σ₀): three-way agreement on every

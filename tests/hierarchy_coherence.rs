@@ -16,8 +16,14 @@ fn lp_complete_problems_have_sigma0_arbiters() {
     assert_eq!(ClassId::LP.ell(), 0);
     let lim = GameLimits::default();
     for (arb, truth) in [
-        (arbiters::all_selected_decider(), AllSelected.holds(&generators::cycle(4))),
-        (arbiters::eulerian_decider(), Eulerian.holds(&generators::cycle(4))),
+        (
+            arbiters::all_selected_decider(),
+            AllSelected.holds(&generators::cycle(4)),
+        ),
+        (
+            arbiters::eulerian_decider(),
+            Eulerian.holds(&generators::cycle(4)),
+        ),
     ] {
         assert_eq!(arb.spec().ell, 0);
         let g = generators::cycle(4);
@@ -34,11 +40,23 @@ fn dummy_moves_realize_upward_inclusions() {
     let g = generators::labeled_cycle(&["1", "1", "0"]);
     let id = IdAssignment::global(&g);
     let truth = AllSelected.holds(&g);
-    let lim = GameLimits { cert_len_cap: Some(1), ..GameLimits::default() };
+    let lim = GameLimits {
+        cert_len_cap: Some(1),
+        ..GameLimits::default()
+    };
     for first in [Player::Eve, Player::Adam] {
-        let spec = GameSpec { ell: 1, first, r_id: 1, r: 1, bound: PolyBound::constant(1) };
-        let lifted =
-            Arbiter::from_tm("lifted ALL-SELECTED", spec, machines::all_selected_decider());
+        let spec = GameSpec {
+            ell: 1,
+            first,
+            r_id: 1,
+            r: 1,
+            bound: PolyBound::constant(1),
+        };
+        let lifted = Arbiter::from_tm(
+            "lifted ALL-SELECTED",
+            spec,
+            machines::all_selected_decider(),
+        );
         let res = decide_game(&lifted, &g, &id, &lim).unwrap();
         assert_eq!(res.eve_wins, truth, "first player {first}");
     }
@@ -46,9 +64,18 @@ fn dummy_moves_realize_upward_inclusions() {
     let g = generators::cycle(3);
     let id = IdAssignment::global(&g);
     for first in [Player::Eve, Player::Adam] {
-        let spec = GameSpec { ell: 1, first, r_id: 1, r: 1, bound: PolyBound::constant(1) };
-        let lifted =
-            Arbiter::from_tm("lifted ALL-SELECTED", spec, machines::all_selected_decider());
+        let spec = GameSpec {
+            ell: 1,
+            first,
+            r_id: 1,
+            r: 1,
+            bound: PolyBound::constant(1),
+        };
+        let lifted = Arbiter::from_tm(
+            "lifted ALL-SELECTED",
+            spec,
+            machines::all_selected_decider(),
+        );
         assert!(decide_game(&lifted, &g, &id, &lim).unwrap().eve_wins);
     }
 }
@@ -61,10 +88,12 @@ fn dummy_moves_realize_upward_inclusions() {
 fn swapping_players_does_not_complement() {
     let g = generators::labeled_cycle(&["1", "0", "1"]); // NOT all selected
     let id = IdAssignment::global(&g);
-    let lim = GameLimits { cert_len_cap: Some(1), ..GameLimits::default() };
+    let lim = GameLimits {
+        cert_len_cap: Some(1),
+        ..GameLimits::default()
+    };
     let spec = GameSpec::pi(1, 1, 1, PolyBound::constant(1));
-    let pi_arb =
-        Arbiter::from_tm("Π1 ALL-SELECTED", spec, machines::all_selected_decider());
+    let pi_arb = Arbiter::from_tm("Π1 ALL-SELECTED", spec, machines::all_selected_decider());
     let res = decide_game(&pi_arb, &g, &id, &lim).unwrap();
     // Adam's move is ignored by the machine, so Eve still loses exactly
     // when the graph is not all-selected.

@@ -5,13 +5,15 @@
 
 use lph_graphs::{are_isomorphic, enumerate, generators, IdAssignment, LabeledGraph};
 use lph_props::{
-    AllSelected, Bipartite, Eulerian, GraphProperty, Hamiltonian, KColorable,
-    NotAllSelected, Regular, SatGraph, SelectedExists, ThreeSatGraph, Tree,
+    AllSelected, Bipartite, Eulerian, GraphProperty, Hamiltonian, KColorable, NotAllSelected,
+    Regular, SatGraph, SelectedExists, ThreeSatGraph, Tree,
 };
 use lph_reductions::{apply, eulerian::AllSelectedToEulerian};
 
 fn rotations(n: usize) -> Vec<Vec<usize>> {
-    (0..n).map(|s| (0..n).map(|i| (i + s) % n).collect()).collect()
+    (0..n)
+        .map(|s| (0..n).map(|i| (i + s) % n).collect())
+        .collect()
 }
 
 #[test]
@@ -34,7 +36,10 @@ fn all_properties_are_isomorphism_closed() {
     let one = lph_graphs::BitString::from_bits01("1");
     let mut rng = generators::XorShift::new(99);
     for base in enumerate::connected_graphs(4) {
-        for g in enumerate::binary_labelings(&base, &zero, &one).into_iter().take(4) {
+        for g in enumerate::binary_labelings(&base, &zero, &one)
+            .into_iter()
+            .take(4)
+        {
             // A random permutation.
             let n = g.node_count();
             let mut perm: Vec<usize> = (0..n).collect();
@@ -79,7 +84,10 @@ fn permutation_respects_certificate_games() {
     use lph_core::{arbiters, decide_game, GameLimits};
     // Game verdicts (membership) are isomorphism-invariant even though the
     // individual winning certificates are not.
-    let lim = GameLimits { cert_len_cap: Some(2), ..GameLimits::default() };
+    let lim = GameLimits {
+        cert_len_cap: Some(2),
+        ..GameLimits::default()
+    };
     let arb = arbiters::three_colorable_verifier();
     for g in [generators::cycle(4), generators::complete(4)] {
         let id = IdAssignment::global(&g);

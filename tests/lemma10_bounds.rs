@@ -12,7 +12,10 @@ use lph_machine::{machines, run_tm, ExecLimits};
 #[test]
 fn step_and_space_are_local_not_global() {
     let exec = ExecLimits::default();
-    for tm in [machines::all_selected_decider(), machines::proper_coloring_verifier()] {
+    for tm in [
+        machines::all_selected_decider(),
+        machines::proper_coloring_verifier(),
+    ] {
         let mut maxima = Vec::new();
         for n in [4, 8, 16, 32] {
             let g = generators::cycle(n);
@@ -87,8 +90,5 @@ fn certificate_length_feeds_the_input_measure() {
     let in_long = out_long.metrics.per_node[0][0].input_int_len;
     assert_eq!(in_long, in_short + 63);
     // The decider erases its whole tape, so steps track the input length.
-    assert!(
-        out_long.metrics.per_node[0][0].steps
-            > out_short.metrics.per_node[0][0].steps + 50
-    );
+    assert!(out_long.metrics.per_node[0][0].steps > out_short.metrics.per_node[0][0].steps + 50);
 }

@@ -1,0 +1,55 @@
+//! Tier-1 gate: the shipped corpus of formal artifacts is lint-clean,
+//! and the analyzer's JSON output round-trips losslessly.
+
+use lph::analysis::contract::ClusterMapArtifact;
+use lph::analysis::{
+    builtin, diagnostics_from_json, diagnostics_to_json, run, run_builtin, Json, RuleConfig,
+    Severity,
+};
+use lph::graphs::{generators, NodeId};
+
+/// Every machine, sentence, arbiter, and reduction the workspace ships
+/// passes every rule — even with all warnings escalated to errors.
+#[test]
+fn shipped_corpus_is_lint_clean() {
+    let diags = run_builtin(&RuleConfig::new());
+    assert!(diags.is_empty(), "corpus not clean:\n{diags:#?}");
+
+    let mut strict = RuleConfig::new();
+    strict.deny_all_warnings();
+    assert!(run_builtin(&strict).is_empty());
+}
+
+/// The corpus covers every artifact family.
+#[test]
+fn corpus_covers_all_artifact_families() {
+    let c = builtin();
+    assert!(c.dtms.len() >= 5, "machines missing from corpus");
+    assert!(c.sentences.len() >= 7, "sentences missing from corpus");
+    assert!(c.arbiters.len() >= 8, "arbiters missing from corpus");
+    assert!(c.reductions.len() >= 7, "reductions missing from corpus");
+}
+
+/// Real diagnostics (from a deliberately broken cluster map) survive a
+/// JSON emit → parse → decode round trip unchanged.
+#[test]
+fn json_output_round_trips_real_diagnostics() {
+    let mut corpus = builtin();
+    corpus.cluster_maps.push(ClusterMapArtifact {
+        name: "broken \"map\"\n".to_owned(), // exercises string escaping
+        g_prime: generators::path(2),
+        g: generators::path(3),
+        assignment: vec![NodeId(0), NodeId(2)],
+    });
+    let diags = run(&corpus, &RuleConfig::new());
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == "RED001" && d.severity == Severity::Error),
+        "fixture should produce a RED001 error: {diags:?}"
+    );
+    let text = diagnostics_to_json(&diags).emit();
+    let parsed = Json::parse(&text).expect("emitted JSON parses");
+    let decoded = diagnostics_from_json(&parsed).expect("parsed JSON decodes");
+    assert_eq!(decoded, diags);
+}

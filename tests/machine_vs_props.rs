@@ -17,12 +17,10 @@ fn turing_machines_agree_with_ground_truth_everywhere() {
     let one = BitString::from_bits01("1");
     for base in enumerate::connected_graphs_up_to(4) {
         let id = IdAssignment::global(&base);
-        let euler =
-            run_tm(&euler_tm, &base, &id, &CertificateList::new(), &exec).unwrap();
+        let euler = run_tm(&euler_tm, &base, &id, &CertificateList::new(), &exec).unwrap();
         assert_eq!(euler.accepted, Eulerian.holds(&base), "eulerian on {base}");
         for g in enumerate::binary_labelings(&base, &zero, &one) {
-            let out =
-                run_tm(&all_sel_tm, &g, &id, &CertificateList::new(), &exec).unwrap();
+            let out = run_tm(&all_sel_tm, &g, &id, &CertificateList::new(), &exec).unwrap();
             assert_eq!(out.accepted, AllSelected.holds(&g), "all-selected on {g}");
         }
     }
@@ -40,18 +38,28 @@ fn machine_verdicts_are_identifier_independent() {
             &BitString::from_bits01("0"),
             &BitString::from_bits01("1"),
         ) {
-            let a = run_tm(&tm, &g, &IdAssignment::global(&g), &CertificateList::new(), &exec)
-                .unwrap()
-                .accepted;
+            let a = run_tm(
+                &tm,
+                &g,
+                &IdAssignment::global(&g),
+                &CertificateList::new(),
+                &exec,
+            )
+            .unwrap()
+            .accepted;
             // A different globally unique assignment: reversed indices.
             let n = g.node_count();
             let width = (usize::BITS as usize - n.leading_zeros() as usize).max(1);
             let rev = IdAssignment::from_vec(
                 &g,
-                (0..n).map(|i| BitString::from_usize(n - 1 - i, width)).collect(),
+                (0..n)
+                    .map(|i| BitString::from_usize(n - 1 - i, width))
+                    .collect(),
             )
             .unwrap();
-            let b = run_tm(&tm, &g, &rev, &CertificateList::new(), &exec).unwrap().accepted;
+            let b = run_tm(&tm, &g, &rev, &CertificateList::new(), &exec)
+                .unwrap()
+                .accepted;
             assert_eq!(a, b, "identifier dependence on {g}");
         }
     }

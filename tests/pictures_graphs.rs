@@ -9,7 +9,10 @@ use lph_pictures::encode::{picture_to_graph, transport_sentence};
 use lph_pictures::{langs, Picture};
 
 fn opts() -> CheckOptions {
-    CheckOptions { max_matrix_evals: 100_000_000, max_tuples_per_var: 22 }
+    CheckOptions {
+        max_matrix_evals: 100_000_000,
+        max_tuples_per_var: 22,
+    }
 }
 
 /// Theorem 29 exercised: the `SQUARES` tiling system and the `mΣ₁`
@@ -41,7 +44,7 @@ fn theorem_29_squares_correspondence() {
 #[test]
 fn encoding_transport_preserves_truth_and_level() {
     let picture_sentence = langs::squares_emso();
-    let graph_sentence = transport_sentence(&picture_sentence, 0);
+    let graph_sentence = transport_sentence(&picture_sentence, 0).unwrap();
     assert_eq!(graph_sentence.level(), picture_sentence.level());
     assert!(graph_sentence.is_monadic());
     for (m, n) in [(1, 1), (1, 2), (2, 2), (2, 3), (3, 3)] {
@@ -90,6 +93,6 @@ fn labeled_picture_round_trip() {
     assert_eq!(g.node_count(), 6);
     // Labels carry pixel bits plus 4 parity bits.
     assert!(g.nodes().all(|u| g.label(u).len() == 6));
-    let back = lph_pictures::encode::graph_to_picture(&g, 3, 2, 2);
+    let back = lph_pictures::encode::graph_to_picture(&g, 3, 2, 2).unwrap();
     assert_eq!(back, p);
 }

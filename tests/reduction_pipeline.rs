@@ -6,9 +6,7 @@
 use lph_core::arbiters;
 use lph_graphs::{generators, IdAssignment, LabeledGraph};
 use lph_logic::examples;
-use lph_props::{
-    is_k_colorable, AllSelected, Eulerian, GraphProperty, SatGraph, ThreeSatGraph,
-};
+use lph_props::{is_k_colorable, AllSelected, Eulerian, GraphProperty, SatGraph, ThreeSatGraph};
 use lph_reductions::{
     apply, cook_levin::lfo_to_sat_graph, eulerian::AllSelectedToEulerian,
     sat_to_three_sat::SatGraphToThreeSatGraph, simulate_decider,
@@ -119,14 +117,15 @@ fn verifier_game_simulation_through_tseytin() {
     use lph_props::{BoolExpr, BooleanGraph};
     use lph_reductions::simulate_game;
 
-    let cases: Vec<(Vec<&str>, bool)> = vec![
-        (vec!["|(vp,vq)", "vq"], true),
-        (vec!["vp", "!vp"], false),
-    ];
+    let cases: Vec<(Vec<&str>, bool)> =
+        vec![(vec!["|(vp,vq)", "vq"], true), (vec!["vp", "!vp"], false)];
     for (formulas, expected) in cases {
         let bg = BooleanGraph::new(
             generators::path(formulas.len()),
-            formulas.iter().map(|s| BoolExpr::parse(s).unwrap()).collect(),
+            formulas
+                .iter()
+                .map(|s| BoolExpr::parse(s).unwrap())
+                .collect(),
         )
         .unwrap();
         let g = bg.graph().clone();

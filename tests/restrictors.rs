@@ -3,8 +3,7 @@
 //! and local repairability is what makes the conversion sound.
 
 use lph_core::restrictor::{
-    check_local_repairability, decide_restricted_game, CertificateRestrictor,
-    PermissiveArbiter,
+    check_local_repairability, decide_restricted_game, CertificateRestrictor, PermissiveArbiter,
 };
 use lph_core::{decide_game, Arbiter, GameLimits, GameSpec};
 use lph_graphs::{
@@ -39,18 +38,20 @@ fn lenient_coloring_arbiter() -> Arbiter {
     impl LocalAlgorithm for A {
         fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
             let color = input.certificates.first().cloned().unwrap_or_default();
-            Box::new(move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
-                ctx.charge(1 + inbox.len());
-                match round {
-                    1 => RoundAction::Send(vec![color.clone(); inbox.len()]),
-                    _ => {
-                        if color.len() != 2 {
-                            return RoundAction::accept(); // lenient!
+            Box::new(
+                move |ctx: &mut NodeCtx, round: usize, inbox: &[BitString]| {
+                    ctx.charge(1 + inbox.len());
+                    match round {
+                        1 => RoundAction::Send(vec![color.clone(); inbox.len()]),
+                        _ => {
+                            if color.len() != 2 {
+                                return RoundAction::accept(); // lenient!
+                            }
+                            RoundAction::verdict(inbox.iter().all(|m| *m != color))
                         }
-                        RoundAction::verdict(inbox.iter().all(|m| *m != color))
                     }
-                }
-            })
+                },
+            )
         }
     }
     Arbiter::from_local(
@@ -62,31 +63,52 @@ fn lenient_coloring_arbiter() -> Arbiter {
 
 #[test]
 fn restricted_game_decides_three_colorable_where_the_lenient_arbiter_alone_fails() {
-    let lim = GameLimits { cert_len_cap: Some(2), ..GameLimits::default() };
+    let lim = GameLimits {
+        cert_len_cap: Some(2),
+        ..GameLimits::default()
+    };
     let g = generators::complete(4); // not 3-colorable
     let id = IdAssignment::global(&g);
 
     // Unrestricted, the lenient arbiter is cheated by malformed
     // certificates (everyone plays the empty string and accepts).
     let arb = lenient_coloring_arbiter();
-    assert!(decide_game(&arb, &g, &id, &lim).unwrap().eve_wins, "cheat succeeds");
+    assert!(
+        decide_game(&arb, &g, &id, &lim).unwrap().eve_wins,
+        "cheat succeeds"
+    );
 
     // With the color-shape restrictor, the game decides correctly.
     let restr = vec![color_restrictor(arb.spec().clone())];
-    assert!(!decide_restricted_game(&arb, &restr, &g, &id, &lim).unwrap().eve_wins);
+    assert!(
+        !decide_restricted_game(&arb, &restr, &g, &id, &lim)
+            .unwrap()
+            .eve_wins
+    );
 
     // And on a 3-colorable instance the restricted game accepts.
     let g = generators::cycle(5);
     let id = IdAssignment::global(&g);
     let arb = lenient_coloring_arbiter();
     let restr = vec![color_restrictor(arb.spec().clone())];
-    assert!(decide_restricted_game(&arb, &restr, &g, &id, &lim).unwrap().eve_wins);
+    assert!(
+        decide_restricted_game(&arb, &restr, &g, &id, &lim)
+            .unwrap()
+            .eve_wins
+    );
 }
 
 #[test]
 fn lemma8_conversion_agrees_with_the_restricted_game() {
-    let lim = GameLimits { cert_len_cap: Some(2), ..GameLimits::default() };
-    for g in [generators::cycle(4), generators::complete(4), generators::path(3)] {
+    let lim = GameLimits {
+        cert_len_cap: Some(2),
+        ..GameLimits::default()
+    };
+    for g in [
+        generators::cycle(4),
+        generators::complete(4),
+        generators::path(3),
+    ] {
         let id = IdAssignment::global(&g);
         let arb = lenient_coloring_arbiter();
         let restr = vec![color_restrictor(arb.spec().clone())];

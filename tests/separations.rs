@@ -44,10 +44,17 @@ fn proposition_21_lp_strictly_below_nlp() {
     // enumerate 3^14 moves; the same claim on C6/C5 keeps the game within
     // the move-space guard.)
     let two_col = arbiters::two_colorable_verifier();
-    let limits = GameLimits { cert_len_cap: Some(1), ..GameLimits::default() };
+    let limits = GameLimits {
+        cert_len_cap: Some(1),
+        ..GameLimits::default()
+    };
     let even = generators::cycle(6);
     let id_even = IdAssignment::global(&even);
-    assert!(decide_game(&two_col, &even, &id_even, &limits).unwrap().eve_wins);
+    assert!(
+        decide_game(&two_col, &even, &id_even, &limits)
+            .unwrap()
+            .eve_wins
+    );
     let odd = generators::cycle(5);
     let id = IdAssignment::global(&odd);
     assert!(!decide_game(&two_col, &odd, &id, &limits).unwrap().eve_wins);
@@ -61,13 +68,17 @@ fn proposition_23_both_failure_horns() {
     // Horn 1 — bounded certificates cannot carry distances: the sound
     // distance verifier fails a *yes*-instance once the cycle outgrows its
     // certificate budget.
-    let labels: Vec<&str> =
-        std::iter::once("0").chain(std::iter::repeat("1").take(5)).collect();
+    let labels: Vec<&str> = std::iter::once("0")
+        .chain(std::iter::repeat_n("1", 5))
+        .collect();
     let g = generators::labeled_cycle(&labels);
     assert!(NotAllSelected.holds(&g));
     let id = IdAssignment::global(&g);
     let one_bit = arbiters::distance_to_unselected_verifier(1);
-    let lim = GameLimits { cert_len_cap: Some(1), ..GameLimits::default() };
+    let lim = GameLimits {
+        cert_len_cap: Some(1),
+        ..GameLimits::default()
+    };
     assert!(
         !decide_game(&one_bit, &g, &id, &lim).unwrap().eve_wins,
         "1-bit distances cannot reach around a 6-cycle"
@@ -98,7 +109,10 @@ fn proposition_23_both_failure_horns() {
     let (g_yes, id_yes, certs_yes) = cfg.build().unwrap();
     let (g_no, id_no, certs_no) = spliced.build().unwrap();
     assert!(NotAllSelected.holds(&g_yes));
-    assert!(!NotAllSelected.holds(&g_no), "splicing removed the unselected node");
+    assert!(
+        !NotAllSelected.holds(&g_no),
+        "splicing removed the unselected node"
+    );
     let ex = ExecLimits::default();
     assert!(pointer.accepts(&g_yes, &id_yes, &certs_yes, &ex).unwrap());
     assert!(
@@ -129,7 +143,7 @@ fn corollary_24_complement_asymmetry() {
     // see an all-selected neighborhood — indistinguishable, by the
     // Proposition 21 argument, from a genuinely all-selected cycle. We
     // exhibit the indistinguishability directly on views.
-    let mut labels = vec!["1"; 12];
+    let mut labels = ["1"; 12];
     labels[0] = "0";
     let cfg = CycleConfig {
         labels: labels.iter().map(|l| BitString::from_bits01(l)).collect(),

@@ -14,10 +14,10 @@ fn interior_nodes_of_paths_and_cycles_agree() {
     let tm = machines::proper_coloring_verifier();
     let exec = ExecLimits::default();
     // Alternating labels so the verdicts are interesting.
-    let path_labels: Vec<&str> =
-        (0..9).map(|i| if i % 2 == 0 { "0" } else { "1" }).collect();
-    let cycle_labels: Vec<&str> =
-        (0..10).map(|i| if i % 2 == 0 { "0" } else { "1" }).collect();
+    let path_labels: Vec<&str> = (0..9).map(|i| if i % 2 == 0 { "0" } else { "1" }).collect();
+    let cycle_labels: Vec<&str> = (0..10)
+        .map(|i| if i % 2 == 0 { "0" } else { "1" })
+        .collect();
     let gp = generators::labeled_path(&path_labels);
     let gc = generators::labeled_cycle(&cycle_labels);
     // Identifiers: make the local patterns around the probed nodes match.
