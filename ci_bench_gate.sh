@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Perf-regression gate: compares the freshly emitted BENCH_results.json
+# against the committed BENCH_baseline.json and fails when any series
+# shared by both files has regressed beyond the allowed factor
+# (LPH_BENCH_GATE_FACTOR, default 2.0 — generous on purpose: shared CI
+# runners are noisy, and the gate should only trip on real cliffs; the
+# bench-gate binary additionally ignores regressions below an absolute
+# 250µs noise floor).
+#
+# On a machine with no baseline yet, the current results are promoted to
+# the baseline and the gate passes; commit the file to arm the gate.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+RESULTS="${1:-BENCH_results.json}"
+BASELINE="${2:-BENCH_baseline.json}"
+FACTOR="${LPH_BENCH_GATE_FACTOR:-2.0}"
+
+if [[ ! -f "$RESULTS" ]]; then
+  echo "ci_bench_gate: $RESULTS not found — run ./ci.sh --stage bench-smoke first" >&2
+  exit 1
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+  cp "$RESULTS" "$BASELINE"
+  echo "ci_bench_gate: no baseline found; wrote $BASELINE from the current results"
+  echo "ci_bench_gate: commit it to arm the regression gate"
+  exit 0
+fi
+
+exec cargo run --release --bin bench-gate -- \
+  --compare "$RESULTS" "$BASELINE" --factor "$FACTOR"

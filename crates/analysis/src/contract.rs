@@ -172,7 +172,7 @@ pub fn check_metered_rounds(a: &ArbiterArtifact) -> Vec<Diagnostic> {
 /// A local reduction plus probe inputs to replay it on.
 pub struct ReductionArtifact {
     /// The reduction.
-    pub reduction: Box<dyn LocalReduction>,
+    pub reduction: Box<dyn LocalReduction + Send + Sync>,
     /// Labeled inputs (labels must match the encoding the reduction
     /// expects).
     pub probes: Vec<LabeledGraph>,
@@ -180,7 +180,10 @@ pub struct ReductionArtifact {
 
 impl ReductionArtifact {
     /// Wraps a reduction with its probes.
-    pub fn new(reduction: Box<dyn LocalReduction>, probes: Vec<LabeledGraph>) -> Self {
+    pub fn new(
+        reduction: Box<dyn LocalReduction + Send + Sync>,
+        probes: Vec<LabeledGraph>,
+    ) -> Self {
         ReductionArtifact { reduction, probes }
     }
 

@@ -146,23 +146,30 @@ pub fn builtin() -> Corpus {
 
 /// Runs every rule over a corpus, applies the configuration, and sorts
 /// the surviving diagnostics for stable output.
+///
+/// Each artifact is checked independently, so the walk fans the rule
+/// replays out over the `lph-runtime` worker pool, one artifact at a
+/// time, concatenating per-artifact diagnostics in corpus order — the
+/// diagnostic stream is byte-identical to the sequential walk even before
+/// the final severity sort.
 pub fn run(corpus: &Corpus, config: &RuleConfig) -> Vec<Diagnostic> {
-    let mut diags = Vec::new();
-    for a in &corpus.dtms {
-        diags.extend(dtm::check_all(a));
-    }
-    for a in &corpus.sentences {
-        diags.extend(formula::check_all(a));
-    }
-    for a in &corpus.arbiters {
-        diags.extend(contract::check_arbiter(a));
-    }
-    for a in &corpus.reductions {
-        diags.extend(contract::check_reduction(a));
-    }
-    for a in &corpus.cluster_maps {
-        diags.extend(contract::check_cluster_map(a));
-    }
+    let mut diags = lph_runtime::par_flat_map(&corpus.dtms, dtm::check_all);
+    diags.extend(lph_runtime::par_flat_map(
+        &corpus.sentences,
+        formula::check_all,
+    ));
+    diags.extend(lph_runtime::par_flat_map(
+        &corpus.arbiters,
+        contract::check_arbiter,
+    ));
+    diags.extend(lph_runtime::par_flat_map(
+        &corpus.reductions,
+        contract::check_reduction,
+    ));
+    diags.extend(lph_runtime::par_flat_map(
+        &corpus.cluster_maps,
+        contract::check_cluster_map,
+    ));
     let mut diags = config.apply(diags);
     sort_diagnostics(&mut diags);
     diags

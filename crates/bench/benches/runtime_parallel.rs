@@ -1,0 +1,86 @@
+//! The perf-trajectory series for the `lph-runtime` fan-out: each of the
+//! four parallelized sweeps measured twice — worker pool pinned to one
+//! thread (the sequential baseline) and at the ambient width (at least
+//! two) — under identical inputs. Since every sweep is
+//! deterministic-merge, the two series compute byte-identical results;
+//! only the wall clock may differ. On a single-core runner the parallel
+//! series simply documents the pool overhead.
+
+use lph_bench::{black_box, criterion_group, criterion_main, Criterion};
+use lph_core::enumerate_certificates;
+use lph_graphs::{enumerate, generators, iso_classes};
+
+/// The two measured pool widths: `(suffix, workers)`.
+fn widths() -> [(&'static str, usize); 2] {
+    [("seq", 1), ("par", lph_runtime::threads().max(2))]
+}
+
+fn bench_certificate_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_certificates");
+    group.sample_size(10);
+    // path(6) with 2-bit budgets: 7^6 = 117,649 assignments per sweep.
+    let g = generators::path(6);
+    let budgets = vec![2usize; 6];
+    for (suffix, workers) in widths() {
+        group.bench_function(&format!("enumerate_7pow6/{suffix}"), |b| {
+            lph_runtime::set_threads(workers);
+            b.iter(|| black_box(enumerate_certificates(&g, &budgets).len()));
+        });
+    }
+    lph_runtime::set_threads(0);
+    group.finish();
+}
+
+fn bench_graph_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_graph_family");
+    group.sample_size(10);
+    // All 2^15 edge masks on 6 nodes, 26,704 of them connected.
+    for (suffix, workers) in widths() {
+        group.bench_function(&format!("connected_graphs_n6/{suffix}"), |b| {
+            lph_runtime::set_threads(workers);
+            b.iter(|| black_box(enumerate::connected_graphs(6).len()));
+        });
+    }
+    lph_runtime::set_threads(0);
+    group.finish();
+}
+
+fn bench_iso_bucketing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_iso_bucketing");
+    group.sample_size(10);
+    // The 728 connected labeled graphs on 5 nodes fall into 21 classes.
+    let graphs = enumerate::connected_graphs(5);
+    for (suffix, workers) in widths() {
+        group.bench_function(&format!("iso_classes_n5/{suffix}"), |b| {
+            lph_runtime::set_threads(workers);
+            b.iter(|| black_box(iso_classes(&graphs).len()));
+        });
+    }
+    lph_runtime::set_threads(0);
+    group.finish();
+}
+
+fn bench_lint_corpus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_lint_corpus");
+    group.sample_size(10);
+    // The full rule set replayed over every built-in artifact.
+    let corpus = lph_analysis::builtin();
+    let config = lph_analysis::RuleConfig::new();
+    for (suffix, workers) in widths() {
+        group.bench_function(&format!("corpus_walk/{suffix}"), |b| {
+            lph_runtime::set_threads(workers);
+            b.iter(|| black_box(lph_analysis::run(&corpus, &config).len()));
+        });
+    }
+    lph_runtime::set_threads(0);
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_certificate_enumeration,
+    bench_graph_enumeration,
+    bench_iso_bucketing,
+    bench_lint_corpus,
+);
+criterion_main!(benches);

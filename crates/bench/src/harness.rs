@@ -7,24 +7,87 @@
 //! providing simple wall-clock measurement: each benchmark is warmed up,
 //! then timed over a fixed number of samples, and the median/min/max
 //! per-iteration times are printed.
+//!
+//! # Machine-readable results
+//!
+//! Besides the console report, every benchmark's statistics are recorded
+//! and — when the driving [`Criterion`] is dropped — merged into a JSON
+//! results file (`BENCH_results.json` by default, or the path named by
+//! `LPH_BENCH_OUT`). Entries are keyed by `group/name`: re-running a bench
+//! binary updates its own series in place and leaves the others' alone, so
+//! one cumulative file accrues across `cargo bench`. The document shape:
+//!
+//! ```json
+//! {"schema":"lph-bench/1",
+//!  "benches":[{"group":"certificate_games","name":"sigma0_eulerian/8",
+//!              "median_ns":123,"min_ns":101,"max_ns":160,
+//!              "samples":10,"threads":4}]}
+//! ```
+//!
+//! `ci_bench_gate.sh` compares this file against the committed
+//! `BENCH_baseline.json` and fails on large median regressions.
+//!
+//! # Environment
+//!
+//! * `LPH_BENCH_OUT` — where to write/merge the results file.
+//! * `LPH_BENCH_SAMPLES` — overrides every benchmark's sample count
+//!   (CI smoke runs use `2`); explicit `sample_size(..)` calls in bench
+//!   sources lose to it by design.
 
 use std::hint::black_box as std_black_box;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+use lph_analysis::Json;
 
 /// Re-export of [`std::hint::black_box`] under criterion's name.
 pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
 }
 
+/// One benchmark's recorded statistics, as serialized into the results
+/// file.
+#[derive(Debug, Clone)]
+struct Record {
+    group: String,
+    name: String,
+    median_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+    samples: usize,
+    threads: usize,
+}
+
+impl Record {
+    fn to_json(&self) -> Json {
+        let num = |n: u128| Json::Num(n as f64);
+        Json::Obj(vec![
+            ("group".into(), Json::Str(self.group.clone())),
+            ("name".into(), Json::Str(self.name.clone())),
+            ("median_ns".into(), num(self.median_ns)),
+            ("min_ns".into(), num(self.min_ns)),
+            ("max_ns".into(), num(self.max_ns)),
+            ("samples".into(), Json::Num(self.samples as f64)),
+            ("threads".into(), Json::Num(self.threads as f64)),
+        ])
+    }
+}
+
 /// Top-level benchmark driver, compatible with `criterion::Criterion`.
+/// Dropping it flushes the run's records into the results file.
 pub struct Criterion {
     /// Default number of timed samples per benchmark.
     sample_size: usize,
+    /// Statistics recorded by the groups of this run.
+    records: Vec<Record>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            records: Vec::new(),
+        }
     }
 }
 
@@ -34,22 +97,133 @@ impl Criterion {
         println!("\n== group: {name} ==");
         BenchmarkGroup {
             sample_size: self.sample_size,
-            _criterion: self,
+            name: name.to_owned(),
+            criterion: self,
         }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        if !self.records.is_empty() {
+            let mut records = self.records.clone();
+            records.push(calibration_record());
+            merge_into_results_file(&records);
+        }
+    }
+}
+
+/// Measures the fixed spin workload that every bench run records as the
+/// `_calibration/spin` series. `bench-gate --compare` divides each
+/// series' regression ratio by the calibration ratio, canceling
+/// machine-speed differences (and sustained CPU steal on virtualized
+/// runners) between the baseline and the current run.
+fn calibration_record() -> Record {
+    let mut b = Bencher::new(5);
+    b.iter(|| {
+        let mut x = 0x9e37_79b9_7f4a_7c15_u64;
+        for _ in 0..1 << 21 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        x
+    });
+    let (median, min, max, n) = b.stats().expect("calibration ran");
+    Record {
+        group: "_calibration".into(),
+        name: "spin".into(),
+        median_ns: median.as_nanos(),
+        min_ns: min.as_nanos(),
+        max_ns: max.as_nanos(),
+        samples: n,
+        threads: 1,
+    }
+}
+
+/// The path of the machine-readable results file.
+fn results_path() -> PathBuf {
+    std::env::var_os("LPH_BENCH_OUT")
+        .map_or_else(|| PathBuf::from("BENCH_results.json"), PathBuf::from)
+}
+
+/// The sample-count override, if any.
+fn sample_override() -> Option<usize> {
+    std::env::var("LPH_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Merges `records` into the results file, replacing same-keyed entries
+/// and appending new ones. IO or parse problems are reported to stderr but
+/// never fail the bench run.
+fn merge_into_results_file(records: &[Record]) {
+    let path = results_path();
+    let mut benches: Vec<Json> = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .and_then(|doc| {
+            doc.get("benches")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::to_vec)
+        })
+        .unwrap_or_default();
+    for r in records {
+        let same_key = |j: &Json| {
+            j.get("group").and_then(Json::as_str) == Some(&r.group)
+                && j.get("name").and_then(Json::as_str) == Some(&r.name)
+        };
+        match benches.iter_mut().find(|j| same_key(j)) {
+            Some(slot) => *slot = r.to_json(),
+            None => benches.push(r.to_json()),
+        }
+    }
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str("lph-bench/1".into())),
+        ("benches".into(), Json::Arr(benches)),
+    ]);
+    if let Err(e) = std::fs::write(&path, doc.emit() + "\n") {
+        eprintln!("lph-bench: cannot write {}: {e}", path.display());
     }
 }
 
 /// A named set of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
     sample_size: usize,
-    _criterion: &'a mut Criterion,
+    name: String,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timed samples for subsequent benchmarks.
+    /// Sets the number of timed samples for subsequent benchmarks (the
+    /// `LPH_BENCH_SAMPLES` environment variable overrides it).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
         self
+    }
+
+    fn run_one<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = sample_override().unwrap_or(self.sample_size);
+        let mut b = Bencher::new(samples);
+        f(&mut b);
+        if let Some((median, min, max, n)) = b.stats() {
+            println!("  {name}: median {median:?} (min {min:?}, max {max:?}, {n} samples)");
+            self.criterion.records.push(Record {
+                group: self.name.clone(),
+                name: name.to_owned(),
+                median_ns: median.as_nanos(),
+                min_ns: min.as_nanos(),
+                max_ns: max.as_nanos(),
+                samples: n,
+                threads: lph_runtime::threads(),
+            });
+        } else {
+            println!("  {name}: no samples (Bencher::iter never called)");
+        }
     }
 
     /// Benchmarks `f`, passing it the given input.
@@ -57,9 +231,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher::new(self.sample_size);
-        f(&mut b, input);
-        b.report(&id.to_string());
+        self.run_one(&id.to_string(), |b| f(b, input));
         self
     }
 
@@ -68,9 +240,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher::new(self.sample_size);
-        f(&mut b);
-        b.report(name);
+        self.run_one(name, |b| f(b));
         self
     }
 
@@ -141,20 +311,18 @@ impl Bencher {
         }
     }
 
-    fn report(&self, name: &str) {
+    /// `(median, min, max, sample count)` of the last [`Bencher::iter`]
+    /// call, or `None` if it never ran.
+    fn stats(&self) -> Option<(Duration, Duration, Duration, usize)> {
         if self.samples.is_empty() {
-            println!("  {name}: no samples (Bencher::iter never called)");
-            return;
+            return None;
         }
         let mut s = self.samples.clone();
         s.sort();
-        let median = s[s.len() / 2];
-        println!(
-            "  {name}: median {median:?} (min {:?}, max {:?}, {} samples)",
-            s[0],
-            s[s.len() - 1],
-            s.len()
-        );
+        // Lower middle on even counts: with the 2-sample CI smoke runs,
+        // the upper middle would systematically report the *worse* of the
+        // two samples and trip the regression gate on noise.
+        Some((s[(s.len() - 1) / 2], s[0], s[s.len() - 1], s.len()))
     }
 }
 
@@ -190,6 +358,9 @@ mod tests {
         let mut b = Bencher::new(3);
         b.iter(|| black_box(1u64 + 1));
         assert_eq!(b.samples.len(), 3);
+        let (_, min, max, n) = b.stats().unwrap();
+        assert_eq!(n, 3);
+        assert!(min <= max);
     }
 
     #[test]
@@ -198,7 +369,7 @@ mod tests {
     }
 
     #[test]
-    fn group_runs_benchmarks() {
+    fn group_runs_benchmarks_and_records_stats() {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("t");
         group.sample_size(2);
@@ -209,5 +380,30 @@ mod tests {
         });
         group.finish();
         assert!(ran);
+        assert_eq!(c.records.len(), 1);
+        assert_eq!(c.records[0].group, "t");
+        assert_eq!(c.records[0].name, "noop");
+        assert!(c.records[0].min_ns <= c.records[0].median_ns);
+        assert!(c.records[0].threads >= 1);
+        // Nothing must flush from a unit test: drop with a diverted sink.
+        c.records.clear();
+    }
+
+    #[test]
+    fn record_serializes_all_fields() {
+        let r = Record {
+            group: "g".into(),
+            name: "n/3".into(),
+            median_ns: 10,
+            min_ns: 5,
+            max_ns: 20,
+            samples: 4,
+            threads: 2,
+        };
+        let j = r.to_json();
+        assert_eq!(
+            j.emit(),
+            r#"{"group":"g","name":"n/3","median_ns":10,"min_ns":5,"max_ns":20,"samples":4,"threads":2}"#
+        );
     }
 }

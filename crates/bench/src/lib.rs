@@ -10,6 +10,10 @@
 pub mod harness;
 
 pub use harness::{black_box, Bencher, BenchmarkGroup, BenchmarkId, Criterion};
+/// The hand-rolled JSON value the harness serializes `BENCH_results.json`
+/// with, re-exported from `lph-analysis` so bench-side tooling needs no
+/// extra dependency.
+pub use lph_analysis::Json;
 
 use lph_graphs::{generators, BitString, IdAssignment, LabeledGraph};
 use lph_props::{BoolExpr, BooleanGraph};

@@ -183,40 +183,32 @@ pub struct GameResult {
 /// length at most `budgets[u]`.
 ///
 /// The space has `Π_u (2^{b_u + 1} − 1)` elements; the caller must guard
-/// against explosion (see [`GameLimits`]).
+/// against explosion (see [`GameLimits`]). Assignments are generated by
+/// mixed-radix decoding of their rank (the last node is the
+/// fastest-varying digit), fanned out over the `lph-runtime` worker pool;
+/// the output is identical, element for element, to the sequential
+/// odometer sweep this replaces.
 pub fn enumerate_certificates(g: &LabeledGraph, budgets: &[usize]) -> Vec<CertificateAssignment> {
     let per_node: Vec<Vec<lph_graphs::BitString>> = budgets
         .iter()
         .map(|&b| enumerate::bitstrings_up_to(b))
         .collect();
-    let mut out = Vec::new();
-    let mut current: Vec<usize> = vec![0; g.node_count()];
-    loop {
-        out.push(
-            CertificateAssignment::from_vec(
-                g,
-                current
-                    .iter()
-                    .zip(&per_node)
-                    .map(|(&i, opts)| opts[i].clone())
-                    .collect(),
-            )
-            .expect("one certificate per node"),
-        );
-        // Odometer increment.
-        let mut pos = g.node_count();
-        loop {
-            if pos == 0 {
-                return out;
-            }
-            pos -= 1;
-            current[pos] += 1;
-            if current[pos] < per_node[pos].len() {
-                break;
-            }
-            current[pos] = 0;
+    let total = per_node
+        .iter()
+        .map(Vec::len)
+        .try_fold(1usize, usize::checked_mul)
+        .expect("certificate space exceeds the address space");
+    let n = g.node_count();
+    lph_runtime::par_map_index(total, |rank| {
+        let mut code = rank;
+        let mut certs = vec![lph_graphs::BitString::new(); n];
+        for pos in (0..n).rev() {
+            let opts = &per_node[pos];
+            certs[pos] = opts[code % opts.len()].clone();
+            code /= opts.len();
         }
-    }
+        CertificateAssignment::from_vec(g, certs).expect("one certificate per node")
+    })
 }
 
 fn move_space_size(budgets: &[usize]) -> u128 {
@@ -518,6 +510,57 @@ mod tests {
         let mut dedup = all.clone();
         dedup.dedup();
         assert_eq!(dedup.len(), 3);
+    }
+
+    /// The sequential odometer the parallel rank decoding replaced, kept
+    /// as the ordering oracle.
+    fn enumerate_certificates_odometer(
+        g: &LabeledGraph,
+        budgets: &[usize],
+    ) -> Vec<CertificateAssignment> {
+        let per_node: Vec<Vec<lph_graphs::BitString>> = budgets
+            .iter()
+            .map(|&b| enumerate::bitstrings_up_to(b))
+            .collect();
+        let mut out = Vec::new();
+        let mut current: Vec<usize> = vec![0; g.node_count()];
+        loop {
+            out.push(
+                CertificateAssignment::from_vec(
+                    g,
+                    current
+                        .iter()
+                        .zip(&per_node)
+                        .map(|(&i, opts)| opts[i].clone())
+                        .collect(),
+                )
+                .expect("one certificate per node"),
+            );
+            let mut pos = g.node_count();
+            loop {
+                if pos == 0 {
+                    return out;
+                }
+                pos -= 1;
+                current[pos] += 1;
+                if current[pos] < per_node[pos].len() {
+                    break;
+                }
+                current[pos] = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_certificates_matches_the_odometer_order() {
+        for budgets in [vec![1usize, 0, 2], vec![0, 0, 0], vec![2, 2, 2]] {
+            let g = generators::path(budgets.len());
+            assert_eq!(
+                enumerate_certificates(&g, &budgets),
+                enumerate_certificates_odometer(&g, &budgets),
+                "budgets {budgets:?}"
+            );
+        }
     }
 
     #[test]

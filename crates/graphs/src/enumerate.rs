@@ -15,6 +15,10 @@ use crate::{BitString, LabeledGraph};
 /// The count grows as the number of connected labeled graphs
 /// (1, 1, 1, 4, 38, 728, 26704, …), so keep `n ≤ 6` in tests.
 ///
+/// The mask sweep fans out over the `lph-runtime` worker pool; the output
+/// order (ascending edge mask) is identical to the sequential sweep
+/// regardless of thread count.
+///
 /// # Panics
 ///
 /// Panics if `n == 0` or `n > 8` (guard against accidental blow-ups).
@@ -27,19 +31,15 @@ pub fn connected_graphs(n: usize) -> Vec<LabeledGraph> {
         .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
         .collect();
     let m = pairs.len();
-    let mut out = Vec::new();
-    for mask in 0u64..(1u64 << m) {
+    lph_runtime::par_filter_map_index(1usize << m, |mask| {
         let edges: Vec<(usize, usize)> = pairs
             .iter()
             .enumerate()
             .filter(|(k, _)| mask >> k & 1 == 1)
             .map(|(_, &e)| e)
             .collect();
-        if let Ok(g) = LabeledGraph::from_edges(vec![BitString::from_bits01("1"); n], &edges) {
-            out.push(g);
-        }
-    }
-    out
+        LabeledGraph::from_edges(vec![BitString::from_bits01("1"); n], &edges).ok()
+    })
 }
 
 /// Enumerates every connected graph with between `1` and `max_n` nodes.

@@ -117,6 +117,57 @@ pub fn find_isomorphism(a: &LabeledGraph, b: &LabeledGraph) -> Option<Vec<NodeId
     }
 }
 
+/// The cheap isomorphism invariant used to pre-bucket graphs: node and
+/// edge counts plus the sorted degree/label multiset. Isomorphic graphs
+/// always share a signature; the converse needs the full search.
+type IsoSignature = (usize, usize, Vec<(usize, BitString)>);
+
+fn signature(g: &LabeledGraph) -> IsoSignature {
+    let mut s: Vec<(usize, BitString)> = g
+        .nodes()
+        .map(|u| (g.degree(u), g.label(u).clone()))
+        .collect();
+    s.sort();
+    (g.node_count(), g.edge_count(), s)
+}
+
+/// Partitions `graphs` into isomorphism classes, returned as index lists.
+///
+/// Classes are ordered by their representative — the **least** index in the
+/// class — and members appear in ascending index order, so the output is
+/// exactly what the sequential greedy bucketing (scan graphs in order,
+/// join the first class with an isomorphic representative, else open a new
+/// class) produces. The signature pass and the per-signature-bucket
+/// searches fan out over the `lph-runtime` worker pool; the exponential
+/// backtracking only ever runs *within* a bucket of signature-equal
+/// graphs.
+pub fn iso_classes(graphs: &[LabeledGraph]) -> Vec<Vec<usize>> {
+    let signatures = lph_runtime::par_map(graphs, signature);
+    let mut buckets: std::collections::BTreeMap<&IsoSignature, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (i, sig) in signatures.iter().enumerate() {
+        buckets.entry(sig).or_default().push(i);
+    }
+    let buckets: Vec<Vec<usize>> = buckets.into_values().collect();
+    let mut classes = lph_runtime::par_flat_map(&buckets, |members| {
+        // Greedy within the bucket: representatives stay pairwise
+        // non-isomorphic, so each graph matches at most one class.
+        let mut local: Vec<Vec<usize>> = Vec::new();
+        for &i in members {
+            match local
+                .iter_mut()
+                .find(|class| are_isomorphic(&graphs[class[0]], &graphs[i]))
+            {
+                Some(class) => class.push(i),
+                None => local.push(vec![i]),
+            }
+        }
+        local
+    });
+    classes.sort_by_key(|class| class[0]);
+    classes
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +223,35 @@ mod tests {
         let c = generators::labeled_cycle(&["0", "0", "1"]);
         assert!(are_isomorphic(&a, &b), "rotation");
         assert!(!are_isomorphic(&a, &c), "label multisets differ");
+    }
+
+    #[test]
+    fn iso_classes_bucket_small_families() {
+        // path(3) and its relabelings/permutations collapse; star(4) and
+        // path(4) stay apart.
+        let graphs = vec![
+            generators::path(4),
+            generators::star(4),
+            generators::path(4).permuted(&[3, 2, 1, 0]),
+            generators::cycle(4),
+        ];
+        let classes = iso_classes(&graphs);
+        assert_eq!(classes, vec![vec![0, 2], vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn iso_classes_on_exhaustive_enumeration() {
+        // The 38 connected labeled graphs on 4 nodes form exactly 6
+        // unlabeled isomorphism types (OEIS A001349: 1, 1, 2, 6, 21, ...).
+        let graphs = crate::enumerate::connected_graphs(4);
+        let classes = iso_classes(&graphs);
+        assert_eq!(classes.len(), 6);
+        assert_eq!(classes.iter().map(Vec::len).sum::<usize>(), graphs.len());
+        // Classes are keyed by their least member, ascending.
+        let reps: Vec<usize> = classes.iter().map(|c| c[0]).collect();
+        let mut sorted = reps.clone();
+        sorted.sort_unstable();
+        assert_eq!(reps, sorted);
     }
 
     #[test]

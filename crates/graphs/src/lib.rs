@@ -61,6 +61,6 @@ pub use cluster::ClusterMap;
 pub use error::GraphError;
 pub use graph::{LabeledGraph, Neighborhood, NodeId};
 pub use ids::IdAssignment;
-pub use iso::{are_isomorphic, find_isomorphism};
+pub use iso::{are_isomorphic, find_isomorphism, iso_classes};
 pub use polybound::PolyBound;
 pub use structure::{ElemId, ElemKind, GraphStructure, Structure};

@@ -1,0 +1,572 @@
+//! The scoped worker pool and the deterministic-merge parallel primitives.
+//!
+//! # Execution model
+//!
+//! Every `par_*` call is one structured fork/join region:
+//!
+//! 1. The index space `0..len` is cut into contiguous chunks (several per
+//!    worker, so uneven per-item cost still balances).
+//! 2. Worker threads are spawned with [`std::thread::scope`] — they borrow
+//!    the caller's data directly, no `'static` or `Arc` required.
+//! 3. The calling thread acts as the producer: it feeds chunks into a
+//!    [`ChunkQueue`] (a [`Mutex`]-guarded deque with a [`Condvar`] for
+//!    workers that outpace the producer) and then closes the queue.
+//!    Idle workers steal the next unclaimed chunk — self-scheduling, the
+//!    simplest form of work stealing.
+//! 4. Each worker tags its chunk outputs with the chunk's start index;
+//!    after the join, tags are sorted and outputs concatenated, so the
+//!    merged result is **exactly** the sequential left-to-right result.
+//!
+//! A panic inside the mapped closure is caught on the worker, the queue is
+//! cancelled, and the original payload is re-raised on the calling thread
+//! once every worker has drained.
+//!
+//! # Thread-count resolution
+//!
+//! [`threads`] resolves, in order: the calling thread's [`set_threads`]
+//! override, the `LPH_THREADS` environment variable, then
+//! [`std::thread::available_parallelism`]. A resolved count of `1` (in
+//! particular `LPH_THREADS=1`) makes every primitive run its plain
+//! sequential loop on the calling thread — no pool, no catch boundary —
+//! which is the mode to use under a debugger.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::thread;
+
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Overrides the worker count used by the ambient-thread-count primitives
+/// (`par_map`, `par_find_first`, …) **for the calling thread**; `0` clears
+/// the override. Being thread-local, concurrent tests (or nested pools)
+/// cannot race each other's settings.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.with(|o| o.set(n));
+}
+
+/// The worker count the ambient primitives will use: the calling thread's
+/// [`set_threads`] override if set, else `LPH_THREADS` if set and positive,
+/// else the machine's available parallelism.
+pub fn threads() -> usize {
+    resolve_threads(
+        THREAD_OVERRIDE.with(Cell::get),
+        std::env::var("LPH_THREADS").ok().as_deref(),
+        thread::available_parallelism().map_or(1, usize::from),
+    )
+}
+
+/// Pure resolution order: override, then environment, then hardware.
+fn resolve_threads(overridden: usize, env: Option<&str>, available: usize) -> usize {
+    if overridden > 0 {
+        return overridden;
+    }
+    if let Some(n) = env.and_then(|v| v.trim().parse::<usize>().ok()) {
+        if n > 0 {
+            return n;
+        }
+    }
+    available.max(1)
+}
+
+/// Chunk size targeting several chunks per worker for load balance.
+fn chunk_len(len: usize, workers: usize) -> usize {
+    len.div_ceil(workers.saturating_mul(8).max(1)).max(1)
+}
+
+/// A closable chunk queue: `Mutex`-guarded deque plus a `Condvar` on which
+/// workers wait whenever they outpace the producing (calling) thread.
+struct ChunkQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    chunks: VecDeque<Range<usize>>,
+    open: bool,
+}
+
+impl ChunkQueue {
+    fn new() -> Self {
+        ChunkQueue {
+            state: Mutex::new(QueueState {
+                chunks: VecDeque::new(),
+                open: true,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a chunk; returns `false` if the queue was cancelled (the
+    /// producer should stop feeding).
+    fn push(&self, c: Range<usize>) -> bool {
+        let mut s = self.state.lock().expect("queue lock");
+        if !s.open {
+            return false;
+        }
+        s.chunks.push_back(c);
+        drop(s);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks until a chunk is available or the queue is closed and empty.
+    fn pop(&self) -> Option<Range<usize>> {
+        let mut s = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(c) = s.chunks.pop_front() {
+                return Some(c);
+            }
+            if !s.open {
+                return None;
+            }
+            s = self.ready.wait(s).expect("queue lock");
+        }
+    }
+
+    /// Marks the end of production; workers drain what remains.
+    fn close(&self) {
+        self.state.lock().expect("queue lock").open = false;
+        self.ready.notify_all();
+    }
+
+    /// Closes *and* discards pending chunks (panic or early-exit paths).
+    fn cancel(&self) {
+        let mut s = self.state.lock().expect("queue lock");
+        s.open = false;
+        s.chunks.clear();
+        drop(s);
+        self.ready.notify_all();
+    }
+}
+
+/// The fork/join engine: runs `worker` over ascending index chunks on
+/// `workers` threads and returns the `(chunk_start, output)` pairs sorted
+/// by chunk start. Chunks whose start satisfies `prune` are skipped — and
+/// since chunks are produced in ascending order and `prune` is required to
+/// be upward closed (`prune(s)` implies `prune(s')` for `s' > s`),
+/// production simply stops at the first pruned chunk.
+fn run_chunks<R, W, P>(workers: usize, len: usize, worker: W, prune: P) -> Vec<(usize, R)>
+where
+    R: Send,
+    W: Fn(Range<usize>) -> R + Sync,
+    P: Fn(usize) -> bool + Sync,
+{
+    let step = chunk_len(len, workers);
+    let queue = ChunkQueue::new();
+    let panic_slot: Mutex<Option<PanicPayload>> = Mutex::new(None);
+    let mut merged: Vec<(usize, R)> = Vec::new();
+
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    while let Some(range) = queue.pop() {
+                        if prune(range.start) {
+                            continue;
+                        }
+                        let start = range.start;
+                        match catch_unwind(AssertUnwindSafe(|| worker(range))) {
+                            Ok(r) => local.push((start, r)),
+                            Err(payload) => {
+                                let mut slot = panic_slot.lock().expect("panic slot");
+                                slot.get_or_insert(payload);
+                                drop(slot);
+                                queue.cancel();
+                                break;
+                            }
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+
+        // Produce chunks from the calling thread, then close the queue.
+        let mut start = 0;
+        while start < len {
+            let end = (start + step).min(len);
+            if prune(start) || !queue.push(start..end) {
+                break;
+            }
+            start = end;
+        }
+        queue.close();
+
+        for h in handles {
+            merged.extend(
+                h.join()
+                    .expect("worker panicked outside the catch boundary"),
+            );
+        }
+    });
+
+    if let Some(payload) = panic_slot.into_inner().expect("panic slot") {
+        resume_unwind(payload);
+    }
+    merged.sort_by_key(|&(start, _)| start);
+    merged
+}
+
+/// [`par_map_index`] with an explicit worker count.
+pub fn par_map_index_with<U, F>(workers: usize, len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    if workers <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunks = run_chunks(
+        workers.min(len),
+        len,
+        |range| range.map(&f).collect::<Vec<U>>(),
+        |_| false,
+    );
+    collect_ordered(chunks, len)
+}
+
+/// Maps `f` over `0..len`, returning the results in index order — exactly
+/// `(0..len).map(f).collect()`, computed on [`threads`] workers.
+pub fn par_map_index<U, F>(len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    par_map_index_with(threads(), len, f)
+}
+
+/// [`par_map`] with an explicit worker count.
+pub fn par_map_with<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_index_with(workers, items.len(), |i| f(&items[i]))
+}
+
+/// Maps `f` over a slice, returning the results in input order — exactly
+/// `items.iter().map(f).collect()`, computed on [`threads`] workers.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_with(threads(), items, f)
+}
+
+/// [`par_filter_map_index`] with an explicit worker count.
+pub fn par_filter_map_index_with<U, F>(workers: usize, len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> Option<U> + Sync,
+{
+    if workers <= 1 || len <= 1 {
+        return (0..len).filter_map(f).collect();
+    }
+    let chunks = run_chunks(
+        workers.min(len),
+        len,
+        |range| range.filter_map(&f).collect::<Vec<U>>(),
+        |_| false,
+    );
+    chunks.into_iter().flat_map(|(_, v)| v).collect()
+}
+
+/// Filter-maps `f` over `0..len`, keeping survivors in index order —
+/// exactly `(0..len).filter_map(f).collect()`. Memory stays proportional
+/// to the *kept* results, which is what makes it the right shape for
+/// sparse sweeps like connected-graph enumeration over all edge masks.
+pub fn par_filter_map_index<U, F>(len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> Option<U> + Sync,
+{
+    par_filter_map_index_with(threads(), len, f)
+}
+
+/// [`par_flat_map`] with an explicit worker count.
+pub fn par_flat_map_with<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> Vec<U> + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().flat_map(f).collect();
+    }
+    let chunks = run_chunks(
+        workers.min(items.len()),
+        items.len(),
+        |range| range.flat_map(|i| f(&items[i])).collect::<Vec<U>>(),
+        |_| false,
+    );
+    chunks.into_iter().flat_map(|(_, v)| v).collect()
+}
+
+/// Flat-maps `f` over a slice, concatenating the per-item vectors in input
+/// order — exactly `items.iter().flat_map(f).collect()`.
+pub fn par_flat_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> Vec<U> + Sync,
+{
+    par_flat_map_with(threads(), items, f)
+}
+
+/// [`par_find_first_index`] with an explicit worker count.
+pub fn par_find_first_index_with<U, F>(workers: usize, len: usize, f: F) -> Option<U>
+where
+    U: Send,
+    F: Fn(usize) -> Option<U> + Sync,
+{
+    if workers <= 1 || len <= 1 {
+        return (0..len).find_map(f);
+    }
+    // The least index with a hit so far; `usize::MAX` while none. Indices at
+    // or beyond it can never win, so workers break and the producer stops.
+    let best_idx = AtomicUsize::new(usize::MAX);
+    let best: Mutex<Option<(usize, U)>> = Mutex::new(None);
+    run_chunks(
+        workers.min(len),
+        len,
+        |range| {
+            for i in range {
+                if i >= best_idx.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Some(v) = f(i) {
+                    let mut b = best.lock().expect("best slot");
+                    if b.as_ref().is_none_or(|&(bi, _)| i < bi) {
+                        best_idx.fetch_min(i, Ordering::Relaxed);
+                        *b = Some((i, v));
+                    }
+                    break;
+                }
+            }
+        },
+        |start| start > best_idx.load(Ordering::Relaxed),
+    );
+    best.into_inner().expect("best slot").map(|(_, v)| v)
+}
+
+/// Returns `f(i)` for the **least** `i` in `0..len` where it is `Some` —
+/// the same value `(0..len).find_map(f)` returns. Unlike the sequential
+/// form, `f` may also be evaluated at indices past the winning one; it must
+/// therefore be effect-free (all the sweeps here are pure).
+pub fn par_find_first_index<U, F>(len: usize, f: F) -> Option<U>
+where
+    U: Send,
+    F: Fn(usize) -> Option<U> + Sync,
+{
+    par_find_first_index_with(threads(), len, f)
+}
+
+/// [`par_find_first`] with an explicit worker count.
+pub fn par_find_first_with<T, U, F>(workers: usize, items: &[T], f: F) -> Option<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> Option<U> + Sync,
+{
+    par_find_first_index_with(workers, items.len(), |i| f(&items[i]))
+}
+
+/// Returns `f(x)` for the first slice element where it is `Some` — the
+/// same value `items.iter().find_map(f)` returns (see
+/// [`par_find_first_index`] for the purity requirement on `f`).
+pub fn par_find_first<T, U, F>(items: &[T], f: F) -> Option<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> Option<U> + Sync,
+{
+    par_find_first_with(threads(), items, f)
+}
+
+/// [`par_reduce`] with an explicit worker count.
+pub fn par_reduce_with<T, A, ID, F, C>(
+    workers: usize,
+    items: &[T],
+    identity: ID,
+    fold: F,
+    combine: C,
+) -> A
+where
+    T: Sync,
+    A: Send,
+    ID: Fn() -> A + Sync,
+    F: Fn(A, &T) -> A + Sync,
+    C: Fn(A, A) -> A,
+{
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().fold(identity(), fold);
+    }
+    let chunks = run_chunks(
+        workers.min(items.len()),
+        items.len(),
+        |range| items[range].iter().fold(identity(), &fold),
+        |_| false,
+    );
+    chunks
+        .into_iter()
+        .fold(identity(), |acc, (_, a)| combine(acc, a))
+}
+
+/// Folds a slice chunk-wise and combines the chunk accumulators in input
+/// order. The result equals `items.iter().fold(identity(), fold)` whenever
+/// `combine(fold(identity(), xs), fold(identity(), ys))
+/// == fold(identity(), xs ++ ys)` — true for every accumulator used in this
+/// workspace (vector concatenation, counting, max/min, boolean and/or).
+pub fn par_reduce<T, A, ID, F, C>(items: &[T], identity: ID, fold: F, combine: C) -> A
+where
+    T: Sync,
+    A: Send,
+    ID: Fn() -> A + Sync,
+    F: Fn(A, &T) -> A + Sync,
+    C: Fn(A, A) -> A,
+{
+    par_reduce_with(threads(), items, identity, fold, combine)
+}
+
+/// Flattens sorted `(start, chunk)` pairs, checking full index coverage.
+fn collect_ordered<U>(chunks: Vec<(usize, Vec<U>)>, len: usize) -> Vec<U> {
+    let mut out = Vec::with_capacity(len);
+    for (start, chunk) in chunks {
+        debug_assert_eq!(start, out.len(), "chunk merge out of order");
+        out.extend(chunk);
+    }
+    debug_assert_eq!(out.len(), len, "chunk merge lost items");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_precedence() {
+        assert_eq!(resolve_threads(3, Some("8"), 16), 3, "override wins");
+        assert_eq!(resolve_threads(0, Some("8"), 16), 8, "env next");
+        assert_eq!(resolve_threads(0, Some(" 2 "), 16), 2, "env is trimmed");
+        assert_eq!(resolve_threads(0, Some("0"), 16), 16, "zero env ignored");
+        assert_eq!(resolve_threads(0, Some("no"), 16), 16, "bad env ignored");
+        assert_eq!(resolve_threads(0, None, 16), 16, "hardware last");
+        assert_eq!(resolve_threads(0, None, 0), 1, "at least one worker");
+        assert_eq!(resolve_threads(0, Some("1"), 16), 1, "LPH_THREADS=1");
+    }
+
+    #[test]
+    fn map_matches_sequential_for_every_worker_count() {
+        let items: Vec<u64> = (0..997).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for workers in [1, 2, 3, 4, 7, 64] {
+            assert_eq!(par_map_with(workers, &items, |&x| x * x + 1), seq);
+        }
+    }
+
+    #[test]
+    fn filter_map_keeps_order() {
+        let seq: Vec<usize> = (0..1000).filter(|i| i % 7 == 0).collect();
+        for workers in [1, 2, 5] {
+            let par = par_filter_map_index_with(workers, 1000, |i| (i % 7 == 0).then_some(i));
+            assert_eq!(par, seq);
+        }
+    }
+
+    #[test]
+    fn flat_map_concatenates_in_order() {
+        let items: Vec<usize> = (0..200).collect();
+        let seq: Vec<usize> = items.iter().flat_map(|&i| vec![i; i % 3]).collect();
+        assert_eq!(par_flat_map_with(4, &items, |&i| vec![i; i % 3]), seq);
+    }
+
+    #[test]
+    fn find_first_returns_the_least_hit() {
+        // Hits at 300, 301, ..; the least one must win on every count.
+        for workers in [1, 2, 3, 8] {
+            let got = par_find_first_index_with(workers, 1000, |i| (i >= 300).then_some(i));
+            assert_eq!(got, Some(300));
+            let none = par_find_first_index_with(workers, 1000, |_| Option::<usize>::None);
+            assert_eq!(none, None);
+        }
+    }
+
+    #[test]
+    fn reduce_matches_sequential_fold() {
+        let items: Vec<u64> = (1..=5000).collect();
+        let seq: u64 = items.iter().sum();
+        for workers in [1, 2, 4, 9] {
+            let par = par_reduce_with(workers, &items, || 0u64, |a, &x| a + x, |a, b| a + b);
+            assert_eq!(par, seq);
+        }
+    }
+
+    #[test]
+    fn reduce_concatenation_preserves_order() {
+        let items: Vec<usize> = (0..777).collect();
+        let par = par_reduce_with(
+            4,
+            &items,
+            Vec::new,
+            |mut acc, &x| {
+                acc.push(x);
+                acc
+            },
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        );
+        assert_eq!(par, items);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(par_map_with(4, &Vec::<u8>::new(), |&x| x), Vec::<u8>::new());
+        assert_eq!(par_map_with(4, &[9u8], |&x| x), vec![9]);
+        assert_eq!(
+            par_find_first_with(4, &Vec::<u8>::new(), |&x| Some(x)),
+            None
+        );
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_payload() {
+        let items: Vec<usize> = (0..256).collect();
+        let caught = std::panic::catch_unwind(|| {
+            par_map_with(4, &items, |&i| {
+                assert!(i != 97, "poisoned item {i}");
+                i
+            })
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("poisoned item 97"), "payload kept: {msg}");
+    }
+
+    #[test]
+    fn thread_override_is_thread_local() {
+        set_threads(5);
+        assert_eq!(threads(), 5);
+        let other = thread::spawn(threads).join().expect("spawned thread");
+        // The spawned thread sees its own (unset) override, not ours.
+        assert_ne!(other, 0);
+        set_threads(0);
+    }
+}

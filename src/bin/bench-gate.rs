@@ -1,0 +1,248 @@
+//! `bench-gate` — validates and compares the machine-readable benchmark
+//! results emitted by the `lph-bench` harness (`BENCH_results.json`).
+//!
+//! ```text
+//! USAGE: bench-gate --validate FILE
+//!        bench-gate --compare RESULTS BASELINE [--factor F]
+//! ```
+//!
+//! * `--validate` checks the `lph-bench/1` document shape (used by the
+//!   `bench-smoke` CI stage right after the benches run).
+//! * `--compare` fails (exit 1) when any series present in both files has
+//!   a median at least `F`× slower than the baseline (default `2.0`) *and*
+//!   at least 250µs slower in absolute terms (microsecond-scale series
+//!   double on scheduler noise alone); series present on only one side
+//!   are reported but never fail the gate, so adding or retiring benches
+//!   does not require regenerating the baseline in the same commit.
+//!   Ratios are first divided by the `_calibration/spin` ratio — a fixed
+//!   spin workload the harness times in every run — so a uniformly
+//!   slower (or faster) machine than the baseline's does not shift every
+//!   series at once.
+//!
+//! Exits `0` on success, `1` on validation failure or regression, and `2`
+//! on a usage error.
+
+use std::process::ExitCode;
+
+use lph::analysis::Json;
+
+/// One parsed benchmark series.
+struct Series {
+    key: String,
+    median_ns: f64,
+    threads: f64,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("USAGE: bench-gate --validate FILE");
+    eprintln!("       bench-gate --compare RESULTS BASELINE [--factor F]");
+    ExitCode::from(2)
+}
+
+fn num_field(entry: &Json, key: &str) -> Result<f64, String> {
+    match entry.get(key) {
+        Some(Json::Num(n)) if *n >= 0.0 => Ok(*n),
+        other => Err(format!(
+            "field {key:?} must be a non-negative number, got {other:?}"
+        )),
+    }
+}
+
+fn str_field(entry: &Json, key: &str) -> Result<String, String> {
+    entry
+        .get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or(format!("missing string field {key:?}"))
+}
+
+/// Parses and structurally validates an `lph-bench/1` results document.
+fn load(path: &str) -> Result<Vec<Series>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("lph-bench/1") => {}
+        other => return Err(format!("{path}: unsupported schema {other:?}")),
+    }
+    let benches = doc
+        .get("benches")
+        .and_then(Json::as_arr)
+        .ok_or(format!("{path}: missing \"benches\" array"))?;
+    if benches.is_empty() {
+        return Err(format!("{path}: \"benches\" is empty"));
+    }
+    let mut out = Vec::with_capacity(benches.len());
+    for (i, entry) in benches.iter().enumerate() {
+        let context = |e: String| format!("{path}: bench #{i}: {e}");
+        let group = str_field(entry, "group").map_err(context)?;
+        let name = str_field(entry, "name").map_err(context)?;
+        let median_ns = num_field(entry, "median_ns").map_err(context)?;
+        let min_ns = num_field(entry, "min_ns").map_err(context)?;
+        let max_ns = num_field(entry, "max_ns").map_err(context)?;
+        let samples = num_field(entry, "samples").map_err(context)?;
+        let threads = num_field(entry, "threads").map_err(context)?;
+        if min_ns > max_ns || samples < 1.0 || threads < 1.0 {
+            return Err(context("inconsistent statistics".into()));
+        }
+        let key = format!("{group}/{name}");
+        if out.iter().any(|s: &Series| s.key == key) {
+            return Err(context(format!("duplicate series {key:?}")));
+        }
+        out.push(Series {
+            key,
+            median_ns,
+            threads,
+        });
+    }
+    Ok(out)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn validate(path: &str) -> ExitCode {
+    match load(path) {
+        Ok(series) => {
+            println!("bench-gate: {path} valid: {} series", series.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench-gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn compare(results_path: &str, baseline_path: &str, factor: f64) -> ExitCode {
+    let (results, baseline) = match (load(results_path), load(baseline_path)) {
+        (Ok(r), Ok(b)) => (r, b),
+        (r, b) => {
+            for e in [r.err(), b.err()].into_iter().flatten() {
+                eprintln!("bench-gate: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    // Machine-speed calibration: both files carry a `_calibration/spin`
+    // series timing the same fixed CPU-bound workload; their ratio
+    // measures how much slower (or faster) this machine ran than the one
+    // the baseline came from, so dividing it out cancels hardware
+    // differences and sustained CPU steal on virtualized runners.
+    let cal_key = "_calibration/spin";
+    let find_cal = |s: &[Series]| s.iter().find(|s| s.key == cal_key).map(|s| s.median_ns);
+    let scale = match (find_cal(&results), find_cal(&baseline)) {
+        (Some(r), Some(b)) => (r / b.max(1.0)).clamp(0.25, 4.0),
+        _ => 1.0,
+    };
+    if (scale - 1.0).abs() > 0.01 {
+        println!("bench-gate: calibration ratio current/baseline = {scale:.2}x (ratios adjusted)");
+    }
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    println!(
+        "{:<44} {:>12} {:>12} {:>8}  verdict",
+        "series", "baseline", "current", "ratio"
+    );
+    for r in &results {
+        if r.key == cal_key {
+            continue;
+        }
+        let Some(b) = baseline.iter().find(|b| b.key == r.key) else {
+            println!(
+                "{:<44} {:>12} {:>12} {:>8}  new series (not gated)",
+                r.key,
+                "-",
+                fmt_ns(r.median_ns),
+                "-"
+            );
+            continue;
+        };
+        compared += 1;
+        // Sub-microsecond medians are dominated by timer noise; clamp the
+        // denominator so they cannot produce phantom ratios.
+        let ratio = r.median_ns.max(1.0) / b.median_ns.max(1000.0) / scale;
+        // Microsecond-scale series double on scheduler hiccups alone (the
+        // smoke runs take only two samples), so beyond the factor a
+        // regression must also lose real absolute time.
+        const NOISE_FLOOR_NS: f64 = 250_000.0;
+        let slow = ratio > factor && r.median_ns / scale - b.median_ns > NOISE_FLOOR_NS;
+        if slow {
+            regressions += 1;
+        }
+        let mut verdict = if slow {
+            "REGRESSION"
+        } else if ratio > factor {
+            "ok (within the 250µs noise floor)"
+        } else {
+            "ok"
+        }
+        .to_owned();
+        if (r.threads - b.threads).abs() > f64::EPSILON {
+            verdict.push_str(&format!(
+                " (threads {} vs {})",
+                r.threads as u64, b.threads as u64
+            ));
+        }
+        println!(
+            "{:<44} {:>12} {:>12} {:>7.2}x  {verdict}",
+            r.key,
+            fmt_ns(b.median_ns),
+            fmt_ns(r.median_ns),
+            ratio
+        );
+    }
+    for b in &baseline {
+        if b.key != cal_key && !results.iter().any(|r| r.key == b.key) {
+            println!(
+                "{:<44} {:>12} {:>12} {:>8}  retired (absent from results)",
+                b.key,
+                fmt_ns(b.median_ns),
+                "-",
+                "-"
+            );
+        }
+    }
+    println!(
+        "bench-gate: {compared} series compared against {baseline_path}, \
+         {regressions} regression(s) beyond {factor}x"
+    );
+    if regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--validate") if args.len() == 2 => validate(&args[1]),
+        Some("--compare") if args.len() >= 3 => {
+            let mut factor = 2.0f64;
+            let mut rest = args[3..].iter();
+            while let Some(flag) = rest.next() {
+                match (flag.as_str(), rest.next()) {
+                    ("--factor", Some(v)) => match v.parse::<f64>() {
+                        Ok(f) if f >= 1.0 => factor = f,
+                        _ => {
+                            eprintln!("bench-gate: --factor must be a number >= 1.0");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    _ => return usage(),
+                }
+            }
+            compare(&args[1], &args[2], factor)
+        }
+        _ => usage(),
+    }
+}

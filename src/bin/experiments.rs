@@ -2,8 +2,17 @@
 //! `EXPERIMENTS.md` in one go.
 //!
 //! ```bash
-//! cargo run --release --bin experiments
+//! cargo run --release --bin experiments [-- --threads N]
 //! ```
+//!
+//! `--threads N` pins the `lph-runtime` worker-pool width for every
+//! parallelized sweep (`--threads 1` forces fully sequential execution);
+//! without it the pool follows `LPH_THREADS` or the machine's available
+//! parallelism. Each section reports its wall-clock time so regenerated
+//! `experiments_output.txt` files record the timing trajectory.
+
+use std::process::ExitCode;
+use std::time::Instant;
 
 use lph::core::lattice::{bounded_degree_chain, inclusion_edges, EdgeKind};
 use lph::core::separations::{prop21_fooling_pair, verdicts_coincide_on_pair};
@@ -26,255 +35,347 @@ use lph::reductions::{
     sat_to_three_sat::SatGraphToThreeSatGraph, three_col::ThreeSatGraphToThreeColorable,
 };
 
-fn header(id: &str, title: &str) {
+/// Runs one experiment section, printing its wall-clock time at the end.
+fn section(id: &str, title: &str, body: impl FnOnce()) {
     println!("\n━━━ {id}: {title} ━━━");
+    let t = Instant::now();
+    body();
+    println!("  [{id}: {:.1?} wall clock]", t.elapsed());
 }
 
-fn main() {
+fn parse_args() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let n = args
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                lph::runtime::set_threads(n);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() -> ExitCode {
+    if let Err(e) = parse_args() {
+        eprintln!("error: {e}");
+        eprintln!("USAGE: experiments [--threads N]");
+        return ExitCode::from(2);
+    }
+    let total = Instant::now();
     println!("A LOCAL View of the Polynomial Hierarchy — experiment suite");
     println!("(paper: Reiter, PODC 2024; see EXPERIMENTS.md for the index)");
+    println!("worker pool: {} thread(s)", lph::runtime::threads());
 
     // ------------------------------------------------------------------
-    header("E1", "Figure 1/11 — hierarchy lattice and thick chain");
-    let edges = inclusion_edges(3);
-    let strict = edges
-        .iter()
-        .filter(|e| e.kind == EdgeKind::ProvedStrict)
-        .count();
-    println!(
-        "levels 0..3: {} inclusion edges, {} proved strict, {} dashed",
-        edges.len(),
-        strict,
-        edges.len() - strict
-    );
-    let chain: Vec<String> = bounded_degree_chain(6)
-        .iter()
-        .map(ToString::to_string)
-        .collect();
-    println!("GRAPH(Δ) chain: {}", chain.join(" ⊊ "));
-
-    // ------------------------------------------------------------------
-    header("E2", "Proposition 21 — LP ⊊ NLP via the fooling pair");
-    for n in [7usize, 11, 15] {
-        let pair = prop21_fooling_pair(n, 1);
-        let machine = Arbiter::from_tm(
-            "proper-coloring",
-            GameSpec::sigma(0, 1, 1, PolyBound::constant(0)),
-            machines::proper_coloring_verifier(),
-        );
-        let fooled = verdicts_coincide_on_pair(&machine, &pair, &ExecLimits::default()).unwrap();
-        println!(
-            "C_{n:<2} vs C_{:<2}: verdicts coincide = {fooled:5}; 2-colorable = {} vs {}",
-            2 * n,
-            is_k_colorable(&pair.0, 2),
-            is_k_colorable(&pair.2, 2)
-        );
-    }
-
-    // ------------------------------------------------------------------
-    header("E3", "Proposition 23 — NOT-ALL-SELECTED ∉ NLP, two horns");
-    let mut labels = vec!["1"; 6];
-    labels[0] = "0";
-    let g = generators::labeled_cycle(&labels);
-    let id = IdAssignment::global(&g);
-    for bits in [1usize, 2] {
-        let arb = arbiters::distance_to_unselected_verifier(bits);
-        let lim = GameLimits {
-            cert_len_cap: Some(bits),
-            ..GameLimits::default()
-        };
-        println!(
-            "distance verifier, {bits}-bit budget on C6 (yes-instance): Eve wins = {}",
-            decide_game(&arb, &g, &id, &lim).unwrap().eve_wins
-        );
-    }
-    let pointer = arbiters::pointer_to_unselected_verifier();
-    let c4 = generators::cycle(4);
-    let idc4 = IdAssignment::global(&c4);
-    let lim2 = GameLimits {
-        cert_len_cap: Some(2),
-        ..GameLimits::default()
-    };
-    println!(
-        "pointer verifier on all-selected C4 (no-instance): Eve wins = {} (false accept)",
-        decide_game(&pointer, &c4, &idc4, &lim2).unwrap().eve_wins
+    section(
+        "E1",
+        "Figure 1/11 — hierarchy lattice and thick chain",
+        || {
+            let edges = inclusion_edges(3);
+            let strict = edges
+                .iter()
+                .filter(|e| e.kind == EdgeKind::ProvedStrict)
+                .count();
+            println!(
+                "levels 0..3: {} inclusion edges, {} proved strict, {} dashed",
+                edges.len(),
+                strict,
+                edges.len() - strict
+            );
+            let chain: Vec<String> = bounded_degree_chain(6)
+                .iter()
+                .map(ToString::to_string)
+                .collect();
+            println!("GRAPH(Δ) chain: {}", chain.join(" ⊊ "));
+        },
     );
 
     // ------------------------------------------------------------------
-    header(
+    section(
+        "E2",
+        "Proposition 21 — LP ⊊ NLP via the fooling pair",
+        || {
+            // Independent sizes: one fooling-pair check per worker.
+            let sizes = [7usize, 11, 15];
+            for line in lph::runtime::par_map(&sizes, |&n| {
+                let pair = prop21_fooling_pair(n, 1);
+                let machine = Arbiter::from_tm(
+                    "proper-coloring",
+                    GameSpec::sigma(0, 1, 1, PolyBound::constant(0)),
+                    machines::proper_coloring_verifier(),
+                );
+                let fooled =
+                    verdicts_coincide_on_pair(&machine, &pair, &ExecLimits::default()).unwrap();
+                format!(
+                    "C_{n:<2} vs C_{:<2}: verdicts coincide = {fooled:5}; 2-colorable = {} vs {}",
+                    2 * n,
+                    is_k_colorable(&pair.0, 2),
+                    is_k_colorable(&pair.2, 2)
+                )
+            }) {
+                println!("{line}");
+            }
+        },
+    );
+
+    // ------------------------------------------------------------------
+    section(
+        "E3",
+        "Proposition 23 — NOT-ALL-SELECTED ∉ NLP, two horns",
+        || {
+            let mut labels = vec!["1"; 6];
+            labels[0] = "0";
+            let g = generators::labeled_cycle(&labels);
+            let id = IdAssignment::global(&g);
+            for bits in [1usize, 2] {
+                let arb = arbiters::distance_to_unselected_verifier(bits);
+                let lim = GameLimits {
+                    cert_len_cap: Some(bits),
+                    ..GameLimits::default()
+                };
+                println!(
+                    "distance verifier, {bits}-bit budget on C6 (yes-instance): Eve wins = {}",
+                    decide_game(&arb, &g, &id, &lim).unwrap().eve_wins
+                );
+            }
+            let pointer = arbiters::pointer_to_unselected_verifier();
+            let c4 = generators::cycle(4);
+            let idc4 = IdAssignment::global(&c4);
+            let lim2 = GameLimits {
+                cert_len_cap: Some(2),
+                ..GameLimits::default()
+            };
+            println!(
+                "pointer verifier on all-selected C4 (no-instance): Eve wins = {} (false accept)",
+                decide_game(&pointer, &c4, &idc4, &lim2).unwrap().eve_wins
+            );
+        },
+    );
+
+    // ------------------------------------------------------------------
+    section(
         "E4/E5/E6",
         "Figures 7, 2, 9 — the Hamiltonicity/Eulerianness gadgets",
+        || {
+            // (Hamiltonicity ground truth is exponential; n = 6 already yields
+            // a 84-node Figure 9 instance.) One gadget triple per worker.
+            let sizes = [3usize, 5, 6];
+            for line in lph::runtime::par_map(&sizes, |&n| {
+                let mut ls = vec!["1"; n];
+                ls[0] = "0";
+                let g = generators::labeled_cycle(&ls);
+                let id = IdAssignment::global(&g);
+                let (ge, _) = apply(&AllSelectedToEulerian, &g, &id).unwrap();
+                let (gh, _) = apply(&AllSelectedToHamiltonian, &g, &id).unwrap();
+                let (gn, _) = apply(&NotAllSelectedToHamiltonian, &g, &id).unwrap();
+                format!(
+                    "n = {n}: Fig7 {:3} nodes (equiv {}), Fig2 {:3} nodes (equiv {}), Fig9 {:3} nodes (equiv {})",
+                    ge.node_count(),
+                    AllSelected.holds(&g) == lph::props::Eulerian.holds(&ge),
+                    gh.node_count(),
+                    AllSelected.holds(&g) == is_hamiltonian(&gh),
+                    gn.node_count(),
+                    NotAllSelected.holds(&g) == is_hamiltonian(&gn),
+                )
+            }) {
+                println!("{line}");
+            }
+        },
     );
-    // (Hamiltonicity ground truth is exponential; n = 6 already yields a
-    // 84-node Figure 9 instance.)
-    for n in [3usize, 5, 6] {
-        let mut ls = vec!["1"; n];
-        ls[0] = "0";
-        let g = generators::labeled_cycle(&ls);
-        let id = IdAssignment::global(&g);
-        let (ge, _) = apply(&AllSelectedToEulerian, &g, &id).unwrap();
-        let (gh, _) = apply(&AllSelectedToHamiltonian, &g, &id).unwrap();
-        let (gn, _) = apply(&NotAllSelectedToHamiltonian, &g, &id).unwrap();
-        println!(
-            "n = {n}: Fig7 {:3} nodes (equiv {}), Fig2 {:3} nodes (equiv {}), Fig9 {:3} nodes (equiv {})",
-            ge.node_count(),
-            AllSelected.holds(&g) == lph::props::Eulerian.holds(&ge),
-            gh.node_count(),
-            AllSelected.holds(&g) == is_hamiltonian(&gh),
-            gn.node_count(),
-            NotAllSelected.holds(&g) == is_hamiltonian(&gn),
-        );
-    }
 
     // ------------------------------------------------------------------
-    header(
+    section(
         "E7",
         "Theorem 19 — Σ₁^LFO → SAT-GRAPH, locality of formula sizes",
+        || {
+            let sentence = examples::three_colorable();
+            let sizes = [4usize, 8, 16];
+            for line in lph::runtime::par_map(&sizes, |&n| {
+                let g = generators::cycle(n);
+                let id = IdAssignment::global(&g);
+                let (sg, _) = lfo_to_sat_graph(&sentence, &g, &id).unwrap();
+                let max = lph::reductions::cook_levin::formula_sizes(&sg)
+                    .into_iter()
+                    .max()
+                    .unwrap();
+                format!(
+                    "cycle n = {n:2}: SAT-GRAPH formulas ≤ {max:6} bytes; satisfiable = {}",
+                    SatGraph.holds(&sg)
+                )
+            }) {
+                println!("{line}");
+            }
+        },
     );
-    let sentence = examples::three_colorable();
-    for n in [4usize, 8, 16] {
-        let g = generators::cycle(n);
-        let id = IdAssignment::global(&g);
-        let (sg, _) = lfo_to_sat_graph(&sentence, &g, &id).unwrap();
-        let max = lph::reductions::cook_levin::formula_sizes(&sg)
-            .into_iter()
-            .max()
-            .unwrap();
-        println!(
-            "cycle n = {n:2}: SAT-GRAPH formulas ≤ {max:6} bytes; satisfiable = {}",
-            SatGraph.holds(&sg)
-        );
-    }
 
     // ------------------------------------------------------------------
-    header(
+    section(
         "E8",
         "Theorem 20 / Figure 10 — SAT-GRAPH → 3-SAT → 3-COLORABLE",
-    );
-    let bg = lph::props::BooleanGraph::new(
-        generators::path(2),
-        vec![
-            lph::props::BoolExpr::parse("|(vp,vq)").unwrap(),
-            lph::props::BoolExpr::parse("&(vq,!vp)").unwrap(),
-        ],
-    )
-    .unwrap();
-    let g = bg.graph().clone();
-    let id = IdAssignment::global(&g);
-    let (g3, _) = apply(&SatGraphToThreeSatGraph, &g, &id).unwrap();
-    let id3 = IdAssignment::global(&g3);
-    let (gc, _) = apply(&ThreeSatGraphToThreeColorable, &g3, &id3).unwrap();
-    println!(
-        "SAT {} → 3-SAT {} → 3-colorable {} ({} gadget nodes)",
-        SatGraph.holds(&g),
-        ThreeSatGraph.holds(&g3),
-        is_k_colorable(&gc, 3),
-        gc.node_count()
+        || {
+            let bg = lph::props::BooleanGraph::new(
+                generators::path(2),
+                vec![
+                    lph::props::BoolExpr::parse("|(vp,vq)").unwrap(),
+                    lph::props::BoolExpr::parse("&(vq,!vp)").unwrap(),
+                ],
+            )
+            .unwrap();
+            let g = bg.graph().clone();
+            let id = IdAssignment::global(&g);
+            let (g3, _) = apply(&SatGraphToThreeSatGraph, &g, &id).unwrap();
+            let id3 = IdAssignment::global(&g3);
+            let (gc, _) = apply(&ThreeSatGraphToThreeColorable, &g3, &id3).unwrap();
+            println!(
+                "SAT {} → 3-SAT {} → 3-colorable {} ({} gadget nodes)",
+                SatGraph.holds(&g),
+                ThreeSatGraph.holds(&g3),
+                is_k_colorable(&gc, 3),
+                gc.node_count()
+            );
+        },
     );
 
-    // ------------------------------------------------------------------
-    header("E9", "Theorem 12 — formula ⟷ game agreement");
     let opts = CheckOptions {
         max_matrix_evals: 50_000_000,
         max_tuples_per_var: 22,
     };
-    let limits = GameLimits {
-        max_runs: 50_000_000,
-        exec: ExecLimits {
-            max_rounds: 64,
-            max_steps_per_round: 50_000_000,
-        },
-        ..GameLimits::default()
-    };
-    let nas = examples::not_all_selected();
-    for labels in [["1", "0"], ["1", "1"]] {
-        let g = generators::labeled_path(&labels);
-        let logic = nas.check_on_graph(&GraphStructure::of(&g), &opts).unwrap();
-        let game = sentence_game(&nas, &g, &IdAssignment::global(&g), &limits).unwrap();
-        println!("Σ3 NOT-ALL-SELECTED on {labels:?}: model checking = {logic}, game = {game}");
-    }
 
     // ------------------------------------------------------------------
-    header("E9b", "Theorem 19 forward — machine tableau → SAT-GRAPH");
-    let tm = machines::all_selected_decider();
-    for labels in [["1", "1"], ["1", "0"]] {
-        let g = generators::labeled_path(&labels);
-        let id = IdAssignment::global(&g);
-        let tb = machine_to_sat_graph(
-            &tm,
-            &g,
-            &id,
-            TableauBounds {
-                steps: 14,
-                space: 10,
-                cert_bits: 0,
+    section("E9", "Theorem 12 — formula ⟷ game agreement", || {
+        let limits = GameLimits {
+            max_runs: 50_000_000,
+            exec: ExecLimits {
+                max_rounds: 64,
+                max_steps_per_round: 50_000_000,
             },
-        )
-        .unwrap();
-        println!(
-            "tableau for labels {labels:?}: SAT = {}",
-            SatGraph.holds(&tb)
-        );
-    }
+            ..GameLimits::default()
+        };
+        let nas = examples::not_all_selected();
+        for labels in [["1", "0"], ["1", "1"]] {
+            let g = generators::labeled_path(&labels);
+            let logic = nas.check_on_graph(&GraphStructure::of(&g), &opts).unwrap();
+            let game = sentence_game(&nas, &g, &IdAssignment::global(&g), &limits).unwrap();
+            println!("Σ3 NOT-ALL-SELECTED on {labels:?}: model checking = {logic}, game = {game}");
+        }
+    });
 
     // ------------------------------------------------------------------
-    header("E10", "Lemma 10 — step/space vs neighborhood measure");
-    let verifier = machines::proper_coloring_verifier();
-    for d in [2usize, 8, 32] {
-        let g = generators::star(d + 1);
-        let id = IdAssignment::global(&g);
-        let out = run_tm(
-            &verifier,
-            &g,
-            &id,
-            &CertificateList::new(),
-            &ExecLimits::default(),
-        )
-        .unwrap();
-        let gs = GraphStructure::of(&g);
-        let card = gs.neighborhood_card(&g, lph::graphs::NodeId(0), 8);
-        let (steps, space) = out.metrics.node_maxima()[0];
-        println!("star degree {d:2}: card(N) = {card:3}, steps = {steps:5}, space = {space:3}");
-    }
+    section(
+        "E9b",
+        "Theorem 19 forward — machine tableau → SAT-GRAPH",
+        || {
+            let tm = machines::all_selected_decider();
+            for labels in [["1", "1"], ["1", "0"]] {
+                let g = generators::labeled_path(&labels);
+                let id = IdAssignment::global(&g);
+                let tb = machine_to_sat_graph(
+                    &tm,
+                    &g,
+                    &id,
+                    TableauBounds {
+                        steps: 14,
+                        space: 10,
+                        cert_bits: 0,
+                    },
+                )
+                .unwrap();
+                println!(
+                    "tableau for labels {labels:?}: SAT = {}",
+                    SatGraph.holds(&tb)
+                );
+            }
+        },
+    );
 
     // ------------------------------------------------------------------
-    header(
+    section(
+        "E10",
+        "Lemma 10 — step/space vs neighborhood measure",
+        || {
+            let verifier = machines::proper_coloring_verifier();
+            for d in [2usize, 8, 32] {
+                let g = generators::star(d + 1);
+                let id = IdAssignment::global(&g);
+                let out = run_tm(
+                    &verifier,
+                    &g,
+                    &id,
+                    &CertificateList::new(),
+                    &ExecLimits::default(),
+                )
+                .unwrap();
+                let gs = GraphStructure::of(&g);
+                let card = gs.neighborhood_card(&g, lph::graphs::NodeId(0), 8);
+                let (steps, space) = out.metrics.node_maxima()[0];
+                println!(
+                    "star degree {d:2}: card(N) = {card:3}, steps = {steps:5}, space = {space:3}"
+                );
+            }
+        },
+    );
+
+    // ------------------------------------------------------------------
+    section(
         "E12/E14",
         "Theorems 29 & 27 — tiling systems vs EMSO on pictures",
+        || {
+            let ts = langs::squares_tiling_system();
+            let emso = langs::squares_emso();
+            let mut agree = 0;
+            let mut total_sizes = 0;
+            for m in 1..=3 {
+                for n in 1..=3 {
+                    let p = Picture::blank(m, n, 0);
+                    let r = ts.recognizes(&p);
+                    let d = emso.check(p.structure().structure(), None, &opts).unwrap();
+                    total_sizes += 1;
+                    agree += usize::from(r == d && r == (m == n));
+                }
+            }
+            println!("SQUARES: tiling ⟷ EMSO ⟷ ground truth agree on {agree}/{total_sizes} sizes");
+            let ct = langs::counter_tiling_system();
+            for m in 1..=3usize {
+                let widths: Vec<usize> = (1..=10)
+                    .filter(|&n| ct.recognizes(&Picture::blank(m, n, 0)))
+                    .collect();
+                println!("counter TS, height {m}: accepted widths {widths:?} (= 2^{m})");
+            }
+        },
     );
-    let ts = langs::squares_tiling_system();
-    let emso = langs::squares_emso();
-    let mut agree = 0;
-    let mut total = 0;
-    for m in 1..=3 {
-        for n in 1..=3 {
-            let p = Picture::blank(m, n, 0);
-            let r = ts.recognizes(&p);
-            let d = emso.check(p.structure().structure(), None, &opts).unwrap();
-            total += 1;
-            agree += usize::from(r == d && r == (m == n));
-        }
-    }
-    println!("SQUARES: tiling ⟷ EMSO ⟷ ground truth agree on {agree}/{total} sizes");
-    let ct = langs::counter_tiling_system();
-    for m in 1..=3usize {
-        let widths: Vec<usize> = (1..=10)
-            .filter(|&n| ct.recognizes(&Picture::blank(m, n, 0)))
-            .collect();
-        println!("counter TS, height {m}: accepted widths {widths:?} (= 2^{m})");
-    }
 
     // ------------------------------------------------------------------
-    header("E13", "Section 9.2.2 — picture → graph transport");
-    let transported = transport_sentence(&emso, 0).expect("squares sentence has an LFO matrix");
-    for (m, n) in [(2, 2), (2, 3), (3, 3)] {
-        let p = Picture::blank(m, n, 0);
-        let g = picture_to_graph(&p);
-        let truth = transported
-            .check_on_graph(&GraphStructure::of(&g), &opts)
-            .unwrap();
-        println!("({m}, {n}) → grid: transported SQUARES sentence = {truth}");
-    }
+    section(
+        "E13",
+        "Section 9.2.2 — picture → graph transport",
+        || {
+            let emso = langs::squares_emso();
+            let transported =
+                transport_sentence(&emso, 0).expect("squares sentence has an LFO matrix");
+            for (m, n) in [(2, 2), (2, 3), (3, 3)] {
+                let p = Picture::blank(m, n, 0);
+                let g = picture_to_graph(&p);
+                let truth = transported
+                    .check_on_graph(&GraphStructure::of(&g), &opts)
+                    .unwrap();
+                println!("({m}, {n}) → grid: transported SQUARES sentence = {truth}");
+            }
+        },
+    );
 
-    println!("\nAll experiment series regenerated. ∎");
+    println!(
+        "\nAll experiment series regenerated in {:.1?}. ∎",
+        total.elapsed()
+    );
+    ExitCode::SUCCESS
 }

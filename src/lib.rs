@@ -20,7 +20,10 @@
 //! * the distributed Fagin and Cook–Levin translations ([`fagin`]),
 //! * pictures, tiling systems, and logic on pictures ([`pictures`]),
 //! * a rule-based static analyzer over all of the above ([`analysis`];
-//!   CLI: `cargo run --bin lph-lint`).
+//!   CLI: `cargo run --bin lph-lint`),
+//! * a dependency-free structured-parallelism runtime driving the
+//!   embarrassingly parallel sweeps ([`runtime`]; `LPH_THREADS=1` forces
+//!   sequential execution).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -36,3 +39,4 @@ pub use lph_machine as machine;
 pub use lph_pictures as pictures;
 pub use lph_props as props;
 pub use lph_reductions as reductions;
+pub use lph_runtime as runtime;

@@ -1,0 +1,103 @@
+//! Determinism guarantees of the `lph-runtime` worker pool at its four
+//! wired call sites: whatever the pool width, every parallelized sweep
+//! must return a result **equal** to the sequential one — same elements,
+//! same order — because the pool merges chunk outputs in chunk order.
+//!
+//! The width override (`lph::runtime::set_threads`) is thread-local, so
+//! these tests cannot race even though the test harness runs them on
+//! concurrent threads.
+
+use lph::analysis;
+use lph::core::enumerate_certificates;
+use lph::graphs::{enumerate, generators, iso_classes};
+use lph::runtime;
+
+/// Runs `f` once at pool width 1 and once at width `workers`, returning
+/// both results, with the ambient width restored afterwards.
+fn at_widths<T>(workers: usize, f: impl Fn() -> T) -> (T, T) {
+    runtime::set_threads(1);
+    let sequential = f();
+    runtime::set_threads(workers);
+    let parallel = f();
+    runtime::set_threads(0);
+    (sequential, parallel)
+}
+
+#[test]
+fn certificate_enumeration_is_order_identical() {
+    let g = generators::path(4);
+    let budgets = [2usize, 1, 2, 1];
+    let (seq, par) = at_widths(4, || enumerate_certificates(&g, &budgets));
+    assert_eq!(seq.len(), 7 * 3 * 7 * 3);
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn graph_family_enumeration_is_order_identical() {
+    let (seq, par) = at_widths(4, || enumerate::connected_graphs(5));
+    assert_eq!(seq.len(), 728);
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn iso_bucketing_is_order_identical() {
+    let graphs = enumerate::connected_graphs(5);
+    let (seq, par) = at_widths(4, || iso_classes(&graphs));
+    assert_eq!(seq.len(), 21);
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn lint_corpus_walk_is_order_identical() {
+    let corpus = analysis::builtin();
+    let config = analysis::RuleConfig::new();
+    let (seq, par) = at_widths(4, || analysis::run(&corpus, &config));
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn wide_pools_agree_with_narrow_pools() {
+    // Odd widths exercise uneven chunk boundaries.
+    let g = generators::cycle(5);
+    let budgets = [1usize; 5];
+    runtime::set_threads(1);
+    let reference = enumerate_certificates(&g, &budgets);
+    for workers in [2, 3, 7, 16] {
+        runtime::set_threads(workers);
+        assert_eq!(enumerate_certificates(&g, &budgets), reference);
+    }
+    runtime::set_threads(0);
+}
+
+#[test]
+fn worker_panics_propagate_to_the_caller() {
+    runtime::set_threads(4);
+    let result = std::panic::catch_unwind(|| {
+        runtime::par_map_index(64, |i| {
+            assert!(i != 33, "poisoned item {i}");
+            i
+        })
+    });
+    runtime::set_threads(0);
+    let payload = result.expect_err("the worker panic must propagate");
+    let message = payload
+        .downcast_ref::<String>()
+        .expect("formatted panic payload");
+    assert!(message.contains("poisoned item 33"), "got: {message}");
+}
+
+#[test]
+fn lph_threads_env_forces_sequential_mode() {
+    // No other test in this binary reads the ambient width (they all pin
+    // explicit overrides, which take precedence over the environment), so
+    // mutating the process environment here is race-free.
+    std::env::set_var("LPH_THREADS", "1");
+    assert_eq!(runtime::threads(), 1);
+    let g = generators::path(3);
+    let budgets = [2usize, 2, 2];
+    let under_env = enumerate_certificates(&g, &budgets);
+    std::env::remove_var("LPH_THREADS");
+    runtime::set_threads(1);
+    assert_eq!(enumerate_certificates(&g, &budgets), under_env);
+    runtime::set_threads(0);
+}
