@@ -10,7 +10,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-STAGES=(fmt clippy build test lint doc bench-smoke bench-gate)
+STAGES=(fmt clippy build test lint doc trace-smoke bench-smoke bench-gate)
 
 stage_fmt() { cargo fmt --all -- --check; }
 
@@ -23,6 +23,26 @@ stage_test() { cargo test -q --workspace; }
 stage_lint() { cargo run --release --bin lph-lint -- --deny warnings; }
 
 stage_doc() { RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet; }
+
+# Runs the whole experiment suite with the lph-trace recorder enabled,
+# validates the emitted lph-trace/1 document, and greps the user-facing
+# docs for references to registry dependencies the hermetic workspace no
+# longer has (they were replaced by the seeded-XorShift suites and the
+# lph-bench shim; naming them in README/EXPERIMENTS is a doc rot bug).
+stage_trace_smoke() {
+  local out="$PWD/trace_smoke.json"
+  rm -f "$out"
+  cargo run --release --bin experiments -- --trace-out "$out" >/dev/null
+  cargo run --release --bin bench-gate -- --validate-trace "$out"
+  rm -f "$out"
+  local banned
+  if banned=$(grep -inE 'criterion|proptest' README.md EXPERIMENTS.md); then
+    echo "trace-smoke: stale toolchain references in the docs:" >&2
+    echo "$banned" >&2
+    return 1
+  fi
+  echo "trace-smoke: docs are free of stale toolchain references"
+}
 
 # Runs every bench with a tiny sample count purely to prove the harness
 # and the emitted JSON stay healthy; timings from this stage are noise.

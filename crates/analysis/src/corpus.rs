@@ -4,6 +4,12 @@
 //!
 //! `lph-lint` runs the full rule set over [`builtin`]; the tier-1 test
 //! `tests/lint_corpus.rs` asserts the result is empty.
+//!
+//! Only *formal artifacts* — objects carrying paper-level claims —
+//! register here. Infrastructure (`lph-runtime`, `lph-trace`) registers
+//! nothing: tracing instruments several corpus reductions, but a
+//! recorder has no claim a lint rule could recompute, and the
+//! instrumented reductions stay lint-clean with tracing on or off.
 
 use lph_core::arbiters;
 use lph_graphs::{generators, IdAssignment, LabeledGraph};

@@ -22,6 +22,8 @@
 //! * [`corpus`] — the built-in corpus of shipped artifacts; `lph-lint`
 //!   runs the rules over it.
 //! * [`json`] — a dependency-free JSON emitter/parser for `--format json`.
+//! * [`tracefmt`] — the `lph-trace/1` schema: serialization and
+//!   validation of execution-trace snapshots.
 //!
 //! # Example
 //!
@@ -42,6 +44,7 @@ pub mod dtm;
 pub mod formula;
 pub mod json;
 pub mod registry;
+pub mod tracefmt;
 
 pub use contract::{ArbiterArtifact, ClusterMapArtifact, ReductionArtifact};
 pub use corpus::{builtin, run, run_builtin, Corpus};
@@ -50,3 +53,4 @@ pub use dtm::DtmArtifact;
 pub use formula::SentenceArtifact;
 pub use json::{diagnostics_from_json, diagnostics_to_json, Json};
 pub use registry::{rule, RuleConfig, RuleInfo, RULES};
+pub use tracefmt::{trace_to_json, validate_trace, TraceStats};

@@ -1,0 +1,361 @@
+//! Serialization and validation of `lph-trace` snapshots as the
+//! `lph-trace/1` JSON schema, on the workspace's own [`Json`] type.
+//!
+//! The document shape:
+//!
+//! ```json
+//! {"schema":"lph-trace/1",
+//!  "spans":[{"name":"machine/run_tm","count":12,"total_ns":48211,"max_ns":9001}],
+//!  "counters":[{"name":"machine/steps","value":1234}],
+//!  "series":[{"name":"lemma10/steps","points":[[6,16],[18,58]]}],
+//!  "hists":[{"name":"machine/round_steps","count":24,"sum":480,
+//!            "buckets":[[4,20],[5,4]]}]}
+//! ```
+//!
+//! Every section is sorted by name and every series by point — a
+//! *structural* guarantee of [`lph_trace::snapshot`] that
+//! [`validate_trace`] re-checks, so a valid document is also a canonical
+//! one: two traces of the same deterministic workload are byte-identical.
+//! `bench-gate --validate-trace` and the `trace-smoke` CI stage run the
+//! validator over the output of `experiments --trace-out`.
+
+use lph_trace::Snapshot;
+
+use crate::json::Json;
+
+/// Serializes a trace snapshot as an `lph-trace/1` document.
+pub fn trace_to_json(snap: &Snapshot) -> Json {
+    let num = |n: u64| Json::Num(n as f64);
+    let spans = snap
+        .spans
+        .iter()
+        .map(|sp| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(sp.name.clone())),
+                ("count".into(), num(sp.count)),
+                ("total_ns".into(), num(sp.total_ns)),
+                ("max_ns".into(), num(sp.max_ns)),
+            ])
+        })
+        .collect();
+    let counters = snap
+        .counters
+        .iter()
+        .map(|c| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(c.name.clone())),
+                ("value".into(), num(c.value)),
+            ])
+        })
+        .collect();
+    let series = snap
+        .series
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(s.name.clone())),
+                (
+                    "points".into(),
+                    Json::Arr(
+                        s.points
+                            .iter()
+                            .map(|&(x, y)| Json::Arr(vec![num(x), num(y)]))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let hists = snap
+        .hists
+        .iter()
+        .map(|h| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(h.name.clone())),
+                ("count".into(), num(h.count)),
+                ("sum".into(), num(h.sum)),
+                (
+                    "buckets".into(),
+                    Json::Arr(
+                        h.buckets
+                            .iter()
+                            .map(|&(i, c)| Json::Arr(vec![num(u64::from(i)), num(c)]))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str("lph-trace/1".into())),
+        ("spans".into(), Json::Arr(spans)),
+        ("counters".into(), Json::Arr(counters)),
+        ("series".into(), Json::Arr(series)),
+        ("hists".into(), Json::Arr(hists)),
+    ])
+}
+
+/// Per-section entry counts of a validated trace document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Number of span aggregates.
+    pub spans: usize,
+    /// Number of counters.
+    pub counters: usize,
+    /// Number of series.
+    pub series: usize,
+    /// Number of histograms.
+    pub hists: usize,
+}
+
+fn str_field(entry: &Json, key: &str) -> Result<String, String> {
+    entry
+        .get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or(format!("missing string field {key:?}"))
+}
+
+fn num_field(entry: &Json, key: &str) -> Result<f64, String> {
+    match entry.get(key) {
+        Some(Json::Num(n)) if *n >= 0.0 => Ok(*n),
+        other => Err(format!(
+            "field {key:?} must be a non-negative number, got {other:?}"
+        )),
+    }
+}
+
+/// A `[x, y]` pair of non-negative numbers.
+fn pair(v: &Json) -> Result<(f64, f64), String> {
+    match v.as_arr() {
+        Some([Json::Num(a), Json::Num(b)]) if *a >= 0.0 && *b >= 0.0 => Ok((*a, *b)),
+        _ => Err(format!(
+            "expected a pair of non-negative numbers, got {v:?}"
+        )),
+    }
+}
+
+/// Extracts a named section and checks its entries' names are strictly
+/// ascending (sorted and unique — the canonical-form guarantee).
+fn section<'a>(doc: &'a Json, key: &str) -> Result<Vec<(String, &'a Json)>, String> {
+    let items = doc
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or(format!("missing {key:?} array"))?;
+    let mut out = Vec::with_capacity(items.len());
+    for (i, entry) in items.iter().enumerate() {
+        let name = str_field(entry, "name").map_err(|e| format!("{key}[{i}]: {e}"))?;
+        if let Some((prev, _)) = out.last() {
+            if *prev >= name {
+                return Err(format!(
+                    "{key}[{i}]: names not strictly ascending ({prev:?} then {name:?})"
+                ));
+            }
+        }
+        out.push((name, entry));
+    }
+    Ok(out)
+}
+
+/// Structurally validates an `lph-trace/1` document.
+///
+/// Checks the schema tag, the presence of all four sections, per-entry
+/// field types, strictly ascending names per section, sorted series
+/// points, and histogram bucket-count consistency.
+///
+/// # Errors
+///
+/// Returns a description of the first structural violation.
+pub fn validate_trace(doc: &Json) -> Result<TraceStats, String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("lph-trace/1") => {}
+        other => return Err(format!("unsupported schema {other:?}")),
+    }
+    let spans = section(doc, "spans")?;
+    for (name, entry) in &spans {
+        let context = |e: String| format!("span {name:?}: {e}");
+        let count = num_field(entry, "count").map_err(context)?;
+        let total = num_field(entry, "total_ns").map_err(context)?;
+        let max = num_field(entry, "max_ns").map_err(context)?;
+        if count < 1.0 || max > total {
+            return Err(format!("span {name:?}: inconsistent statistics"));
+        }
+    }
+    let counters = section(doc, "counters")?;
+    for (name, entry) in &counters {
+        num_field(entry, "value").map_err(|e| format!("counter {name:?}: {e}"))?;
+    }
+    let series = section(doc, "series")?;
+    for (name, entry) in &series {
+        let points = entry
+            .get("points")
+            .and_then(Json::as_arr)
+            .ok_or(format!("series {name:?}: missing \"points\" array"))?;
+        let mut prev: Option<(f64, f64)> = None;
+        for (i, p) in points.iter().enumerate() {
+            let p = pair(p).map_err(|e| format!("series {name:?} point {i}: {e}"))?;
+            if let Some(q) = prev {
+                if (p.0, p.1) < (q.0, q.1) {
+                    return Err(format!("series {name:?}: points not sorted at index {i}"));
+                }
+            }
+            prev = Some(p);
+        }
+    }
+    let hists = section(doc, "hists")?;
+    for (name, entry) in &hists {
+        let context = |e: String| format!("hist {name:?}: {e}");
+        let count = num_field(entry, "count").map_err(context)?;
+        num_field(entry, "sum").map_err(|e| format!("hist {name:?}: {e}"))?;
+        let buckets = entry
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or(format!("hist {name:?}: missing \"buckets\" array"))?;
+        let mut total = 0.0;
+        let mut prev_idx = -1.0f64;
+        for (i, b) in buckets.iter().enumerate() {
+            let (idx, c) = pair(b).map_err(|e| format!("hist {name:?} bucket {i}: {e}"))?;
+            if idx <= prev_idx || idx > 64.0 {
+                return Err(format!("hist {name:?}: bad bucket index at {i}"));
+            }
+            prev_idx = idx;
+            total += c;
+        }
+        if (total - count).abs() > 0.5 {
+            return Err(format!(
+                "hist {name:?}: bucket counts sum to {total}, count says {count}"
+            ));
+        }
+    }
+    Ok(TraceStats {
+        spans: spans.len(),
+        counters: counters.len(),
+        series: series.len(),
+        hists: hists.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lph_trace::{Counter, Hist, Series, SpanStat};
+
+    /// A hand-built snapshot (no global recorder state involved, so these
+    /// tests cannot race the rest of the workspace's test threads).
+    fn sample() -> Snapshot {
+        Snapshot {
+            spans: vec![SpanStat {
+                name: "machine/run_tm".into(),
+                count: 2,
+                total_ns: 900,
+                max_ns: 600,
+            }],
+            counters: vec![
+                Counter {
+                    name: "machine/steps".into(),
+                    value: 77,
+                },
+                Counter {
+                    name: "pool/chunks".into(),
+                    value: 4,
+                },
+            ],
+            series: vec![Series {
+                name: "lemma10/steps".into(),
+                points: vec![(6, 16), (18, 58)],
+            }],
+            hists: vec![Hist {
+                name: "machine/round_steps".into(),
+                count: 3,
+                sum: 30,
+                buckets: vec![(3, 1), (4, 2)],
+            }],
+        }
+    }
+
+    #[test]
+    fn emits_the_documented_shape_and_validates() {
+        let doc = trace_to_json(&sample());
+        let text = doc.emit();
+        assert!(text.starts_with(r#"{"schema":"lph-trace/1","spans":["#));
+        let reparsed = Json::parse(&text).unwrap();
+        let stats = validate_trace(&reparsed).unwrap();
+        assert_eq!(
+            stats,
+            TraceStats {
+                spans: 1,
+                counters: 2,
+                series: 1,
+                hists: 1
+            }
+        );
+    }
+
+    #[test]
+    fn emission_is_deterministic() {
+        assert_eq!(
+            trace_to_json(&sample()).emit(),
+            trace_to_json(&sample()).emit()
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid() {
+        let doc = trace_to_json(&Snapshot::default());
+        assert_eq!(
+            validate_trace(&doc).unwrap(),
+            TraceStats {
+                spans: 0,
+                counters: 0,
+                series: 0,
+                hists: 0
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let doc = Json::parse(r#"{"schema":"lph-bench/1","spans":[]}"#).unwrap();
+        assert!(validate_trace(&doc).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn rejects_unsorted_names() {
+        let mut snap = sample();
+        snap.counters.swap(0, 1);
+        let doc = trace_to_json(&snap);
+        assert!(validate_trace(&doc)
+            .unwrap_err()
+            .contains("strictly ascending"));
+    }
+
+    #[test]
+    fn rejects_unsorted_series_points() {
+        let mut snap = sample();
+        snap.series[0].points.reverse();
+        let doc = trace_to_json(&snap);
+        assert!(validate_trace(&doc).unwrap_err().contains("not sorted"));
+    }
+
+    #[test]
+    fn rejects_inconsistent_histogram() {
+        let mut snap = sample();
+        snap.hists[0].count = 99;
+        let doc = trace_to_json(&snap);
+        assert!(validate_trace(&doc).unwrap_err().contains("bucket counts"));
+    }
+
+    #[test]
+    fn rejects_span_max_above_total() {
+        let mut snap = sample();
+        snap.spans[0].max_ns = 9999;
+        let doc = trace_to_json(&snap);
+        assert!(validate_trace(&doc).unwrap_err().contains("inconsistent"));
+    }
+
+    #[test]
+    fn rejects_missing_sections() {
+        let doc = Json::parse(r#"{"schema":"lph-trace/1","spans":[]}"#).unwrap();
+        assert!(validate_trace(&doc).unwrap_err().contains("counters"));
+    }
+}

@@ -33,6 +33,11 @@
 //! * `LPH_BENCH_SAMPLES` — overrides every benchmark's sample count
 //!   (CI smoke runs use `2`); explicit `sample_size(..)` calls in bench
 //!   sources lose to it by design.
+//! * `LPH_BENCH_TRACE` — any value but `0` enables the global `lph-trace`
+//!   recorder for the run; each series then carries a `"trace"` object
+//!   (`events` emitted and `pool_chunks` executed while it was measured)
+//!   in the results file. Off by default: the perf gate times the
+//!   *untraced* fast path, and `bench-gate` ignores the extra field.
 
 use std::hint::black_box as std_black_box;
 use std::path::PathBuf;
@@ -56,12 +61,23 @@ struct Record {
     max_ns: u128,
     samples: usize,
     threads: usize,
+    trace: Option<TraceSummary>,
+}
+
+/// What the `lph-trace` recorder saw while one series was measured
+/// (only recorded under `LPH_BENCH_TRACE`).
+#[derive(Debug, Clone, Copy)]
+struct TraceSummary {
+    /// Trace events emitted during the measurement.
+    events: u64,
+    /// Worker-pool chunks executed during the measurement.
+    pool_chunks: u64,
 }
 
 impl Record {
     fn to_json(&self) -> Json {
         let num = |n: u128| Json::Num(n as f64);
-        Json::Obj(vec![
+        let mut fields = vec![
             ("group".into(), Json::Str(self.group.clone())),
             ("name".into(), Json::Str(self.name.clone())),
             ("median_ns".into(), num(self.median_ns)),
@@ -69,7 +85,17 @@ impl Record {
             ("max_ns".into(), num(self.max_ns)),
             ("samples".into(), Json::Num(self.samples as f64)),
             ("threads".into(), Json::Num(self.threads as f64)),
-        ])
+        ];
+        if let Some(t) = self.trace {
+            fields.push((
+                "trace".into(),
+                Json::Obj(vec![
+                    ("events".into(), num(u128::from(t.events))),
+                    ("pool_chunks".into(), num(u128::from(t.pool_chunks))),
+                ]),
+            ));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -84,6 +110,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
+        if std::env::var("LPH_BENCH_TRACE").is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0") {
+            lph_trace::set_enabled(true);
+        }
         Criterion {
             sample_size: 10,
             records: Vec::new(),
@@ -138,6 +167,7 @@ fn calibration_record() -> Record {
         max_ns: max.as_nanos(),
         samples: n,
         threads: 1,
+        trace: None,
     }
 }
 
@@ -209,9 +239,15 @@ impl BenchmarkGroup<'_> {
     {
         let samples = sample_override().unwrap_or(self.sample_size);
         let mut b = Bencher::new(samples);
+        let before_events = lph_trace::events();
+        let before_chunks = lph_trace::counter_value("pool/chunks");
         f(&mut b);
         if let Some((median, min, max, n)) = b.stats() {
             println!("  {name}: median {median:?} (min {min:?}, max {max:?}, {n} samples)");
+            let trace = lph_trace::enabled().then(|| TraceSummary {
+                events: lph_trace::events() - before_events,
+                pool_chunks: lph_trace::counter_value("pool/chunks") - before_chunks,
+            });
             self.criterion.records.push(Record {
                 group: self.name.clone(),
                 name: name.to_owned(),
@@ -220,6 +256,7 @@ impl BenchmarkGroup<'_> {
                 max_ns: max.as_nanos(),
                 samples: n,
                 threads: lph_runtime::threads(),
+                trace,
             });
         } else {
             println!("  {name}: no samples (Bencher::iter never called)");
@@ -391,7 +428,7 @@ mod tests {
 
     #[test]
     fn record_serializes_all_fields() {
-        let r = Record {
+        let mut r = Record {
             group: "g".into(),
             name: "n/3".into(),
             median_ns: 10,
@@ -399,11 +436,21 @@ mod tests {
             max_ns: 20,
             samples: 4,
             threads: 2,
+            trace: None,
         };
-        let j = r.to_json();
         assert_eq!(
-            j.emit(),
+            r.to_json().emit(),
             r#"{"group":"g","name":"n/3","median_ns":10,"min_ns":5,"max_ns":20,"samples":4,"threads":2}"#
         );
+        // With tracing on, the summary rides along as an extra field the
+        // gate's loader ignores.
+        r.trace = Some(TraceSummary {
+            events: 12,
+            pool_chunks: 3,
+        });
+        assert!(r
+            .to_json()
+            .emit()
+            .ends_with(r#""trace":{"events":12,"pool_chunks":3}}"#));
     }
 }

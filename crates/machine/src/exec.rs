@@ -70,6 +70,7 @@ pub fn run_tm(
     certs: &CertificateList,
     limits: &ExecLimits,
 ) -> Result<TmOutcome, MachineError> {
+    let _span = lph_trace::span("machine/run_tm");
     if !id.is_locally_unique(g, 1) {
         return Err(MachineError::IdsNotLocallyUnique);
     }
@@ -182,11 +183,16 @@ pub fn run_tm(
                 }
             }
             node.rcv_snd_space = node.rcv_snd_space.max(rcv.touched() + snd.touched());
+            let space = rcv.touched() + node.int.touched() + snd.touched();
+            if lph_trace::enabled() {
+                lph_trace::observe("machine/round_steps", steps as u64);
+                lph_trace::observe("machine/round_space", space as u64);
+            }
             metrics.record(
                 u.0,
                 RoundStats {
                     steps,
-                    space: rcv.touched() + node.int.touched() + snd.touched(),
+                    space,
                     input_rcv_len: rcv_content.len(),
                     input_int_len,
                 },
@@ -209,6 +215,11 @@ pub fn run_tm(
                 .map(|l| *l == BitString::from_bits01("1"))
                 .collect();
             let accepted = verdicts.iter().all(|&v| v);
+            if lph_trace::enabled() {
+                lph_trace::add("machine/runs", 1);
+                lph_trace::add("machine/rounds", round as u64);
+                lph_trace::add("machine/steps", metrics.total_steps() as u64);
+            }
             return Ok(TmOutcome {
                 rounds: round,
                 result_labels,

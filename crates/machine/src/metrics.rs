@@ -78,6 +78,55 @@ impl ExecMetrics {
             })
             .collect()
     }
+
+    /// Records `node`'s step/space maxima as one point of the size-scaling
+    /// trace series `<prefix>/steps` and `<prefix>/space`, keyed by `x`
+    /// (typically a neighborhood cardinality, as in the Lemma 10 profile).
+    ///
+    /// No-op unless the global [`lph_trace`] recorder is enabled. Both
+    /// quantities are deterministic functions of the execution, so the
+    /// resulting series land in the deterministic fingerprint.
+    pub fn trace_series(&self, prefix: &str, node: usize, x: u64) {
+        if !lph_trace::enabled() {
+            return;
+        }
+        let maxima = self.node_maxima();
+        let Some(&(steps, space)) = maxima.get(node) else {
+            return;
+        };
+        lph_trace::point(&format!("{prefix}/steps"), x, steps as u64);
+        lph_trace::point(&format!("{prefix}/space"), x, space as u64);
+    }
+
+    /// Records the round-by-round maxima (over nodes) of steps and space as
+    /// the trace series `<prefix>/round_steps` and `<prefix>/round_space`,
+    /// keyed by round number starting at 1 — the per-round profile behind
+    /// `examples/lemma10_profile.rs`.
+    ///
+    /// No-op unless the global [`lph_trace`] recorder is enabled.
+    pub fn trace_rounds(&self, prefix: &str) {
+        if !lph_trace::enabled() {
+            return;
+        }
+        let rounds = self.per_node.iter().map(Vec::len).max().unwrap_or(0);
+        for i in 0..rounds {
+            let steps = self
+                .per_node
+                .iter()
+                .filter_map(|r| r.get(i).map(|s| s.steps))
+                .max()
+                .unwrap_or(0);
+            let space = self
+                .per_node
+                .iter()
+                .filter_map(|r| r.get(i).map(|s| s.space))
+                .max()
+                .unwrap_or(0);
+            let round = (i + 1) as u64;
+            lph_trace::point(&format!("{prefix}/round_steps"), round, steps as u64);
+            lph_trace::point(&format!("{prefix}/round_space"), round, space as u64);
+        }
+    }
 }
 
 #[cfg(test)]

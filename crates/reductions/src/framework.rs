@@ -206,6 +206,7 @@ pub fn apply(
     g: &LabeledGraph,
     id: &IdAssignment,
 ) -> Result<(LabeledGraph, ClusterMap), ReductionError> {
+    let _span = lph_trace::span("reduction/apply");
     let r = red.radius();
     // Compute all patches from local views.
     let mut patches = Vec::with_capacity(g.node_count());
@@ -290,6 +291,21 @@ pub fn apply(
     let edges: Vec<(usize, usize)> = edge_set.into_iter().collect();
     let g_prime = LabeledGraph::from_edges(labels, &edges)?;
     let map = ClusterMap::new(&g_prime, g, owners)?;
+    if lph_trace::enabled() {
+        // Gadget size scaling: output nodes/edges keyed by input size.
+        let x = g.node_count() as u64;
+        lph_trace::add("reduction/applies", 1);
+        lph_trace::point(
+            &format!("reduction/{}/nodes", red.name()),
+            x,
+            g_prime.node_count() as u64,
+        );
+        lph_trace::point(
+            &format!("reduction/{}/edges", red.name()),
+            x,
+            g_prime.edge_count() as u64,
+        );
+    }
     Ok((g_prime, map))
 }
 

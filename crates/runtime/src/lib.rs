@@ -20,7 +20,14 @@
 //!   with its original payload on the calling thread;
 //! * runtime thread-count control: the `LPH_THREADS` environment variable
 //!   (with `LPH_THREADS=1` forcing fully sequential in-place execution for
-//!   debugging), overridable per calling thread with [`set_threads`].
+//!   debugging), overridable per calling thread with [`set_threads`];
+//! * observability: when the global [`lph_trace`] recorder is on, each
+//!   fork/join region reports queue depth, per-worker chunk counts,
+//!   steal/wait counts, and per-chunk wall time under the `pool/` trace
+//!   namespace (see the [`pool`-module docs](self) for the full list).
+//!   Because scheduling is timing-dependent, `pool/` metrics are *by
+//!   convention* excluded from trace fingerprints; the *results* of every
+//!   `par_*` call stay bit-identical across worker counts regardless.
 //!
 //! # Example
 //!

@@ -29,6 +29,20 @@
 //! particular `LPH_THREADS=1`) makes every primitive run its plain
 //! sequential loop on the calling thread — no pool, no catch boundary —
 //! which is the mode to use under a debugger.
+//!
+//! # Observability
+//!
+//! When the global [`lph_trace`] recorder is enabled, every fork/join
+//! region reports under the `pool/` namespace: `pool/regions` and
+//! `pool/workers_spawned` counters, a `pool/chunks` counter with a
+//! `pool/chunk_ns` wall-time histogram per executed chunk,
+//! `pool/chunks_per_worker` (how evenly self-scheduling balanced the
+//! load), `pool/queue_depth` observed at each enqueue, and `pool/waits`
+//! counting Condvar sleeps by workers that outpaced the producer. All of
+//! it is scheduling-dependent — which is exactly why the `pool/`
+//! namespace is excluded from [`lph_trace::Snapshot`]'s deterministic
+//! fingerprint. With the recorder disabled the instrumentation is a
+//! relaxed atomic load per site.
 
 use std::any::Any;
 use std::cell::Cell;
@@ -113,7 +127,10 @@ impl ChunkQueue {
             return false;
         }
         s.chunks.push_back(c);
+        let depth = s.chunks.len();
         drop(s);
+        // Outside the queue lock: the recorder has its own.
+        lph_trace::observe("pool/queue_depth", depth as u64);
         self.ready.notify_one();
         true
     }
@@ -128,6 +145,7 @@ impl ChunkQueue {
             if !s.open {
                 return None;
             }
+            lph_trace::add("pool/waits", 1);
             s = self.ready.wait(s).expect("queue lock");
         }
     }
@@ -160,6 +178,9 @@ where
     W: Fn(Range<usize>) -> R + Sync,
     P: Fn(usize) -> bool + Sync,
 {
+    let _span = lph_trace::span("pool/region");
+    lph_trace::add("pool/regions", 1);
+    lph_trace::add("pool/workers_spawned", workers as u64);
     let step = chunk_len(len, workers);
     let queue = ChunkQueue::new();
     let panic_slot: Mutex<Option<PanicPayload>> = Mutex::new(None);
@@ -175,8 +196,18 @@ where
                             continue;
                         }
                         let start = range.start;
+                        let t0 = lph_trace::enabled().then(std::time::Instant::now);
                         match catch_unwind(AssertUnwindSafe(|| worker(range))) {
-                            Ok(r) => local.push((start, r)),
+                            Ok(r) => {
+                                if let Some(t0) = t0 {
+                                    lph_trace::add("pool/chunks", 1);
+                                    lph_trace::observe(
+                                        "pool/chunk_ns",
+                                        u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                                    );
+                                }
+                                local.push((start, r));
+                            }
                             Err(payload) => {
                                 let mut slot = panic_slot.lock().expect("panic slot");
                                 slot.get_or_insert(payload);
@@ -186,6 +217,7 @@ where
                             }
                         }
                     }
+                    lph_trace::observe("pool/chunks_per_worker", local.len() as u64);
                     local
                 })
             })

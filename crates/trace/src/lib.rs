@@ -1,0 +1,83 @@
+//! Structured execution traces and runtime metrics for the reproduction,
+//! on `std` alone.
+//!
+//! The workspace asserts the paper's quantitative content — Lemma 10's
+//! polynomial step/space bound, gadget-size scaling in the Section 8
+//! reductions, worker-pool behaviour — but without this crate none of it
+//! is *observable*: the stack runs as a black box. `lph-trace` is the
+//! observability layer every other crate records into:
+//!
+//! * **Spans** ([`span`]) — named timed regions, aggregated by name into
+//!   `(count, total_ns, max_ns)`. Names are full paths with `/`
+//!   separators (`machine/run_tm`, `pool/region`), so the span *tree* is
+//!   the name hierarchy, independent of which thread opened the span.
+//! * **Counters** ([`add`]) — monotonically merged sums
+//!   (`machine/steps`, `pool/chunks`).
+//! * **Series** ([`point`]) — named `(x, y)` point sets for size-scaling
+//!   data (`lemma10/steps` keyed by neighborhood cardinality,
+//!   `reduction/<name>/nodes` keyed by input size).
+//! * **Histograms** ([`observe`]) — log2-bucketed value distributions
+//!   (`machine/round_steps`, `pool/chunk_ns`).
+//!
+//! # The no-op fast path
+//!
+//! Recording is off by default. Every recording function first reads one
+//! relaxed [`std::sync::atomic::AtomicBool`] and returns immediately when
+//! tracing is disabled — no allocation, no lock, no timestamp — so
+//! instrumented hot paths cost nothing measurable in production runs (the
+//! `runtime_parallel` bench gate holds with the instrumentation in place).
+//!
+//! # Determinism
+//!
+//! [`snapshot`] returns every section sorted by name and every series
+//! sorted by point, so the serialized trace (schema `lph-trace/1`, emitted
+//! by `lph_analysis::trace_to_json`) is byte-stable for a fixed workload.
+//! Counters, series, and histograms recorded by *domain* layers (machine
+//! execution, reductions) are merged commutatively, so their aggregates
+//! are identical whatever the `lph-runtime` pool width — pinned by
+//! `tests/trace_determinism.rs`. Scheduling-dependent metrics (wall-clock
+//! durations and everything under the `pool/` namespace) are excluded
+//! from [`Snapshot::deterministic_fingerprint`] by construction.
+//!
+//! # Example
+//!
+//! ```
+//! lph_trace::reset();
+//! lph_trace::set_enabled(true);
+//! {
+//!     let _span = lph_trace::span("demo/work");
+//!     lph_trace::add("demo/items", 3);
+//!     lph_trace::add("demo/items", 4);
+//!     lph_trace::point("demo/scaling", 8, 64);
+//!     lph_trace::observe("demo/sizes", 5);
+//! }
+//! let snap = lph_trace::snapshot();
+//! assert_eq!(snap.counter("demo/items"), Some(7));
+//! assert_eq!(snap.series("demo/scaling"), Some(&[(8, 64)][..]));
+//! assert_eq!(snap.spans[0].name, "demo/work");
+//! assert_eq!(snap.spans[0].count, 1);
+//! lph_trace::set_enabled(false);
+//! lph_trace::reset();
+//! ```
+//!
+//! With tracing disabled the same calls record nothing:
+//!
+//! ```
+//! lph_trace::reset();
+//! assert!(!lph_trace::enabled());
+//! lph_trace::add("demo/items", 3);
+//! let _span = lph_trace::span("demo/work");
+//! drop(_span);
+//! assert!(lph_trace::snapshot().is_empty());
+//! assert_eq!(lph_trace::events(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod recorder;
+
+pub use recorder::{
+    add, counter_value, enabled, events, observe, point, reset, set_enabled, snapshot, span,
+    Counter, Hist, Series, Snapshot, Span, SpanStat,
+};

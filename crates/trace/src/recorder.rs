@@ -1,0 +1,511 @@
+//! The global recorder: one process-wide store behind a [`Mutex`], gated
+//! by a relaxed [`AtomicBool`] so the disabled path is a single atomic
+//! load.
+//!
+//! All aggregation is commutative and monotone (sums, maxima, point-set
+//! union), so concurrent recording from `lph-runtime` worker threads
+//! merges to the same totals in any interleaving; [`snapshot`] then sorts
+//! every section by name (and every series by point) to make the exported
+//! view deterministic.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Number of log2 histogram buckets: bucket 0 holds the value `0`, bucket
+/// `i >= 1` holds values in `[2^(i-1), 2^i)`, up to bucket 64 for the top
+/// of the `u64` range.
+const HIST_BUCKETS: usize = 65;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+static STATE: Mutex<State> = Mutex::new(State::new());
+
+/// Aggregated statistics of one named span: how often it ran and how long.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Full path name (`/`-separated), e.g. `machine/run_tm`.
+    pub name: String,
+    /// Number of completed spans under this name.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across all completions.
+    pub total_ns: u64,
+    /// The longest single completion, in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// A monotonically merged counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    /// Full path name, e.g. `machine/steps`.
+    pub name: String,
+    /// The accumulated sum of all [`add`] deltas.
+    pub value: u64,
+}
+
+/// A named series of `(x, y)` points (a size-scaling measurement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Series {
+    /// Full path name, e.g. `lemma10/steps`.
+    pub name: String,
+    /// The recorded points; sorted lexicographically in snapshots.
+    pub points: Vec<(u64, u64)>,
+}
+
+/// A log2-bucketed histogram of observed values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    /// Full path name, e.g. `machine/round_steps`.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+    /// Sparse `(bucket index, count)` pairs; bucket `0` holds the value
+    /// `0` and bucket `i >= 1` holds values in `[2^(i-1), 2^i)`.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+/// Internal dense histogram storage.
+struct HistSlot {
+    name: String,
+    count: u64,
+    sum: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+struct State {
+    spans: Vec<SpanStat>,
+    counters: Vec<Counter>,
+    series: Vec<Series>,
+    hists: Vec<HistSlot>,
+}
+
+impl State {
+    const fn new() -> Self {
+        State {
+            spans: Vec::new(),
+            counters: Vec::new(),
+            series: Vec::new(),
+            hists: Vec::new(),
+        }
+    }
+}
+
+/// Locks the global state, recovering from a poisoned lock (a panic on a
+/// worker thread must not disable tracing for the rest of the process).
+fn state() -> MutexGuard<'static, State> {
+    STATE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Whether tracing is currently enabled. This is the no-op fast path:
+/// every recording function returns immediately when it is `false`, at
+/// the cost of one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Clears all recorded data and the event count (tracing stays in its
+/// current enabled/disabled state).
+pub fn reset() {
+    let mut s = state();
+    s.spans.clear();
+    s.counters.clear();
+    s.series.clear();
+    s.hists.clear();
+    drop(s);
+    EVENTS.store(0, Ordering::Relaxed);
+}
+
+/// Total number of recording operations (span completions, counter adds,
+/// series points, histogram observations) since the last [`reset`]. Cheap
+/// to read; the experiment runner prints per-section deltas of it.
+pub fn events() -> u64 {
+    EVENTS.load(Ordering::Relaxed)
+}
+
+/// Adds `delta` to the named counter (creating it at zero first).
+#[inline]
+pub fn add(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    EVENTS.fetch_add(1, Ordering::Relaxed);
+    let mut s = state();
+    match s.counters.iter_mut().find(|c| c.name == name) {
+        Some(c) => c.value = c.value.saturating_add(delta),
+        None => s.counters.push(Counter {
+            name: name.to_owned(),
+            value: delta,
+        }),
+    }
+}
+
+/// The current value of the named counter (`0` if it has never been
+/// added to, or when tracing is disabled).
+pub fn counter_value(name: &str) -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    state()
+        .counters
+        .iter()
+        .find(|c| c.name == name)
+        .map_or(0, |c| c.value)
+}
+
+/// Records the point `(x, y)` into the named series.
+#[inline]
+pub fn point(name: &str, x: u64, y: u64) {
+    if !enabled() {
+        return;
+    }
+    EVENTS.fetch_add(1, Ordering::Relaxed);
+    let mut s = state();
+    match s.series.iter_mut().find(|sr| sr.name == name) {
+        Some(sr) => sr.points.push((x, y)),
+        None => s.series.push(Series {
+            name: name.to_owned(),
+            points: vec![(x, y)],
+        }),
+    }
+}
+
+/// The log2 bucket index of a value.
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Records one observation into the named histogram.
+#[inline]
+pub fn observe(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    EVENTS.fetch_add(1, Ordering::Relaxed);
+    let mut s = state();
+    match s.hists.iter_mut().find(|h| h.name == name) {
+        Some(h) => {
+            h.count += 1;
+            h.sum = h.sum.saturating_add(value);
+            h.buckets[bucket_of(value)] += 1;
+        }
+        None => {
+            let mut buckets = [0u64; HIST_BUCKETS];
+            buckets[bucket_of(value)] = 1;
+            s.hists.push(HistSlot {
+                name: name.to_owned(),
+                count: 1,
+                sum: value,
+                buckets,
+            });
+        }
+    }
+}
+
+/// An open span; records its wall-clock duration into the aggregate for
+/// its name when dropped. Returned by [`span`].
+#[must_use = "a span records its duration when dropped"]
+pub struct Span {
+    open: Option<(String, Instant)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((name, t0)) = self.open.take() else {
+            return;
+        };
+        if !enabled() {
+            return;
+        }
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        EVENTS.fetch_add(1, Ordering::Relaxed);
+        let mut s = state();
+        match s.spans.iter_mut().find(|sp| sp.name == name) {
+            Some(sp) => {
+                sp.count += 1;
+                sp.total_ns = sp.total_ns.saturating_add(ns);
+                sp.max_ns = sp.max_ns.max(ns);
+            }
+            None => s.spans.push(SpanStat {
+                name,
+                count: 1,
+                total_ns: ns,
+                max_ns: ns,
+            }),
+        }
+    }
+}
+
+/// Opens a named span. When tracing is disabled this allocates nothing
+/// and the returned guard's drop is a no-op.
+#[inline]
+pub fn span(name: &str) -> Span {
+    if !enabled() {
+        return Span { open: None };
+    }
+    Span {
+        open: Some((name.to_owned(), Instant::now())),
+    }
+}
+
+/// A deterministic view of everything recorded so far: every section is
+/// sorted by name and every series' points are sorted lexicographically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Aggregated spans, sorted by name.
+    pub spans: Vec<SpanStat>,
+    /// Counters, sorted by name.
+    pub counters: Vec<Counter>,
+    /// Series, sorted by name, each with sorted points.
+    pub series: Vec<Series>,
+    /// Histograms, sorted by name, with sparse sorted buckets.
+    pub hists: Vec<Hist>,
+}
+
+impl Snapshot {
+    /// The value of a counter, if it was ever recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The sorted points of a series, if it was ever recorded.
+    pub fn series(&self, name: &str) -> Option<&[(u64, u64)]> {
+        self.series
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.points.as_slice())
+    }
+
+    /// `true` when nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.series.is_empty()
+            && self.hists.is_empty()
+    }
+
+    /// A stable text rendering of every *deterministic* aggregate: counter
+    /// values, series points, histogram distributions, and span **counts**
+    /// (never durations), excluding the scheduling-dependent `pool/`
+    /// namespace. Two runs of the same workload produce the same
+    /// fingerprint whatever the worker-pool width — the property
+    /// `tests/trace_determinism.rs` pins.
+    pub fn deterministic_fingerprint(&self) -> String {
+        let keep = |name: &str| !name.starts_with("pool/");
+        let mut out = String::new();
+        for sp in self.spans.iter().filter(|sp| keep(&sp.name)) {
+            out.push_str(&format!("span {} count={}\n", sp.name, sp.count));
+        }
+        for c in self.counters.iter().filter(|c| keep(&c.name)) {
+            out.push_str(&format!("counter {}={}\n", c.name, c.value));
+        }
+        for s in self.series.iter().filter(|s| keep(&s.name)) {
+            out.push_str(&format!("series {}={:?}\n", s.name, s.points));
+        }
+        for h in self.hists.iter().filter(|h| keep(&h.name)) {
+            out.push_str(&format!(
+                "hist {} count={} sum={} buckets={:?}\n",
+                h.name, h.count, h.sum, h.buckets
+            ));
+        }
+        out
+    }
+}
+
+/// Takes a deterministic snapshot of the recorder (without clearing it).
+pub fn snapshot() -> Snapshot {
+    let s = state();
+    let mut spans = s.spans.clone();
+    let mut counters = s.counters.clone();
+    let mut series = s.series.clone();
+    let mut hists: Vec<Hist> = s
+        .hists
+        .iter()
+        .map(|h| Hist {
+            name: h.name.clone(),
+            count: h.count,
+            sum: h.sum,
+            buckets: h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, &c)| (u32::try_from(i).expect("bucket index fits u32"), c))
+                .collect(),
+        })
+        .collect();
+    drop(s);
+    spans.sort_by(|a, b| a.name.cmp(&b.name));
+    counters.sort_by(|a, b| a.name.cmp(&b.name));
+    series.sort_by(|a, b| a.name.cmp(&b.name));
+    for sr in &mut series {
+        sr.points.sort_unstable();
+    }
+    hists.sort_by(|a, b| a.name.cmp(&b.name));
+    Snapshot {
+        spans,
+        counters,
+        series,
+        hists,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The recorder is process-global, and the test harness runs tests on
+    /// concurrent threads — every test that enables tracing must hold
+    /// this lock and leave the recorder disabled and clean.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn exclusive() -> MutexGuard<'static, ()> {
+        TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Restores the disabled-and-clean state even if a test panics.
+    struct Clean;
+    impl Drop for Clean {
+        fn drop(&mut self) {
+            set_enabled(false);
+            reset();
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let _x = exclusive();
+        let _c = Clean;
+        reset();
+        assert!(!enabled());
+        add("t/counter", 5);
+        point("t/series", 1, 2);
+        observe("t/hist", 9);
+        drop(span("t/span"));
+        assert_eq!(events(), 0);
+        assert!(snapshot().is_empty());
+        assert_eq!(counter_value("t/counter"), 0);
+    }
+
+    #[test]
+    fn counters_merge_monotonically() {
+        let _x = exclusive();
+        let _c = Clean;
+        reset();
+        set_enabled(true);
+        add("t/a", 1);
+        add("t/a", 41);
+        add("t/b", 7);
+        assert_eq!(counter_value("t/a"), 42);
+        let snap = snapshot();
+        assert_eq!(snap.counter("t/a"), Some(42));
+        assert_eq!(snap.counter("t/b"), Some(7));
+        assert_eq!(events(), 3);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_regardless_of_insertion_order() {
+        let _x = exclusive();
+        let _c = Clean;
+        reset();
+        set_enabled(true);
+        add("t/z", 1);
+        add("t/a", 1);
+        point("t/s", 9, 9);
+        point("t/s", 1, 1);
+        point("t/s", 9, 2);
+        let snap = snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["t/a", "t/z"]);
+        assert_eq!(snap.series("t/s"), Some(&[(1, 1), (9, 2), (9, 9)][..]));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let _x = exclusive();
+        let _c = Clean;
+        reset();
+        set_enabled(true);
+        for v in [0u64, 1, 2, 3, 4, 1024] {
+            observe("t/h", v);
+        }
+        let snap = snapshot();
+        let h = &snap.hists[0];
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1034);
+        // 0 → bucket 0; 1 → 1; 2,3 → 2; 4 → 3; 1024 → 11.
+        assert_eq!(h.buckets, vec![(0, 1), (1, 1), (2, 2), (3, 1), (11, 1)]);
+    }
+
+    #[test]
+    fn spans_aggregate_by_name() {
+        let _x = exclusive();
+        let _c = Clean;
+        reset();
+        set_enabled(true);
+        for _ in 0..3 {
+            let _s = span("t/work");
+        }
+        let snap = snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].count, 3);
+        assert!(snap.spans[0].max_ns <= snap.spans[0].total_ns);
+    }
+
+    #[test]
+    fn fingerprint_excludes_pool_namespace_and_durations() {
+        let _x = exclusive();
+        let _c = Clean;
+        reset();
+        set_enabled(true);
+        add("machine/steps", 10);
+        add("pool/chunks", 99);
+        observe("pool/chunk_ns", 123);
+        let _s = span("machine/run_tm");
+        drop(_s);
+        let fp = snapshot().deterministic_fingerprint();
+        assert!(fp.contains("counter machine/steps=10"));
+        assert!(fp.contains("span machine/run_tm count=1"));
+        assert!(!fp.contains("pool/"));
+        assert!(!fp.contains("_ns"));
+    }
+
+    #[test]
+    fn concurrent_recording_merges_to_exact_totals() {
+        let _x = exclusive();
+        let _c = Clean;
+        reset();
+        set_enabled(true);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..250 {
+                        add("t/n", 1);
+                        point("t/p", i % 5, 1);
+                    }
+                });
+            }
+        });
+        let snap = snapshot();
+        assert_eq!(snap.counter("t/n"), Some(1000));
+        assert_eq!(snap.series("t/p").map(<[(u64, u64)]>::len), Some(1000));
+    }
+}

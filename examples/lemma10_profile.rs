@@ -5,11 +5,18 @@
 //! ```bash
 //! cargo run --example lemma10_profile
 //! ```
+//!
+//! The example runs with the global `lph-trace` recorder enabled, so after
+//! the tables it prints the trace view of the same data: the
+//! `machine/run_tm` span aggregate, the `lemma10/{steps,space}` scaling
+//! series, and the round-by-round profile of the largest star — the
+//! "Reading a trace" walkthrough in `DESIGN.md` uses this output.
 
 use lph::graphs::{generators, CertificateList, GraphStructure, IdAssignment, NodeId};
 use lph::machine::{machines, run_tm, ExecLimits};
 
 fn main() {
+    lph::trace::set_enabled(true);
     let tm = machines::proper_coloring_verifier();
     let r = 2; // its round time
     let exec = ExecLimits::default();
@@ -25,6 +32,10 @@ fn main() {
         let out = run_tm(&tm, &g, &id, &CertificateList::new(), &exec).unwrap();
         let gs = GraphStructure::of(&g);
         let card = gs.neighborhood_card(&g, NodeId(0), 4 * r);
+        out.metrics.trace_series("lemma10", 0, card as u64);
+        if d == 32 {
+            out.metrics.trace_rounds("lemma10/star32");
+        }
         let (steps, space) = out.metrics.node_maxima()[0];
         println!(" {d:6} | {card:7} | {steps:5} | {space:5}");
     }
@@ -51,4 +62,20 @@ fn main() {
     println!("metrics track it (well inside a fixed polynomial); on cycles");
     println!("the measure is constant and so are the metrics, regardless of");
     println!("the global size — the locality Lemma 10 formalizes.");
+
+    let snap = lph::trace::snapshot();
+    println!("\n--- the same profile as an lph-trace snapshot ---");
+    for sp in &snap.spans {
+        println!(
+            "span    {:<24} count {:3}, total {:>9}ns, max {:>9}ns",
+            sp.name, sp.count, sp.total_ns, sp.max_ns
+        );
+    }
+    for c in &snap.counters {
+        println!("counter {:<24} {}", c.name, c.value);
+    }
+    for s in &snap.series {
+        println!("series  {:<24} {:?}", s.name, s.points);
+    }
+    println!("({} trace events in total)", lph::trace::events());
 }

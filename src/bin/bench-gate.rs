@@ -3,11 +3,15 @@
 //!
 //! ```text
 //! USAGE: bench-gate --validate FILE
+//!        bench-gate --validate-trace FILE
 //!        bench-gate --compare RESULTS BASELINE [--factor F]
 //! ```
 //!
 //! * `--validate` checks the `lph-bench/1` document shape (used by the
 //!   `bench-smoke` CI stage right after the benches run).
+//! * `--validate-trace` checks the `lph-trace/1` document shape written by
+//!   `experiments --trace-out` and `lph-lint --trace-out` (used by the
+//!   `trace-smoke` CI stage).
 //! * `--compare` fails (exit 1) when any series present in both files has
 //!   a median at least `F`× slower than the baseline (default `2.0`) *and*
 //!   at least 250µs slower in absolute terms (microsecond-scale series
@@ -35,6 +39,7 @@ struct Series {
 
 fn usage() -> ExitCode {
     eprintln!("USAGE: bench-gate --validate FILE");
+    eprintln!("       bench-gate --validate-trace FILE");
     eprintln!("       bench-gate --compare RESULTS BASELINE [--factor F]");
     ExitCode::from(2)
 }
@@ -113,6 +118,30 @@ fn validate(path: &str) -> ExitCode {
     match load(path) {
         Ok(series) => {
             println!("bench-gate: {path} valid: {} series", series.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench-gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Structurally validates an `lph-trace/1` document written by a
+/// `--trace-out` flag.
+fn validate_trace_file(path: &str) -> ExitCode {
+    let parsed = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))
+        .and_then(|text| Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}")));
+    match parsed
+        .and_then(|doc| lph::analysis::validate_trace(&doc).map_err(|e| format!("{path}: {e}")))
+    {
+        Ok(stats) => {
+            println!(
+                "bench-gate: {path} valid lph-trace/1: {} span(s), {} counter(s), \
+                 {} series, {} histogram(s)",
+                stats.spans, stats.counters, stats.series, stats.hists
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -226,6 +255,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("--validate") if args.len() == 2 => validate(&args[1]),
+        Some("--validate-trace") if args.len() == 2 => validate_trace_file(&args[1]),
         Some("--compare") if args.len() >= 3 => {
             let mut factor = 2.0f64;
             let mut rest = args[3..].iter();

@@ -2,7 +2,7 @@
 //! `EXPERIMENTS.md` in one go.
 //!
 //! ```bash
-//! cargo run --release --bin experiments [-- --threads N]
+//! cargo run --release --bin experiments [-- --threads N] [-- --trace-out PATH]
 //! ```
 //!
 //! `--threads N` pins the `lph-runtime` worker-pool width for every
@@ -10,7 +10,15 @@
 //! without it the pool follows `LPH_THREADS` or the machine's available
 //! parallelism. Each section reports its wall-clock time so regenerated
 //! `experiments_output.txt` files record the timing trajectory.
+//!
+//! `--trace-out PATH` enables the global `lph-trace` recorder for the whole
+//! run and writes the aggregated trace — machine step/space histograms, the
+//! Lemma 10 scaling series, gadget size series, and worker-pool counters —
+//! to `PATH` as an `lph-trace/1` JSON document (validated by
+//! `bench-gate --validate-trace` and the `trace-smoke` CI stage). With
+//! tracing on, each section also reports how many trace events it emitted.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -35,15 +43,26 @@ use lph::reductions::{
     sat_to_three_sat::SatGraphToThreeSatGraph, three_col::ThreeSatGraphToThreeColorable,
 };
 
-/// Runs one experiment section, printing its wall-clock time at the end.
+/// Runs one experiment section, printing its wall-clock time (and, with
+/// tracing enabled, the number of trace events it emitted) at the end.
 fn section(id: &str, title: &str, body: impl FnOnce()) {
     println!("\n━━━ {id}: {title} ━━━");
+    let before = lph::trace::events();
     let t = Instant::now();
     body();
-    println!("  [{id}: {:.1?} wall clock]", t.elapsed());
+    let elapsed = t.elapsed();
+    if lph::trace::enabled() {
+        println!(
+            "  [{id}: {elapsed:.1?} wall clock; trace +{} events]",
+            lph::trace::events() - before
+        );
+    } else {
+        println!("  [{id}: {elapsed:.1?} wall clock]");
+    }
 }
 
-fn parse_args() -> Result<(), String> {
+fn parse_args() -> Result<Option<PathBuf>, String> {
+    let mut trace_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -58,18 +77,49 @@ fn parse_args() -> Result<(), String> {
                 }
                 lph::runtime::set_threads(n);
             }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(
+                    args.next().ok_or("--trace-out needs a path")?,
+                ));
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
+    Ok(trace_out)
+}
+
+/// Serializes the aggregated trace to `path` as `lph-trace/1` JSON.
+fn write_trace(path: &std::path::Path) -> Result<(), String> {
+    let snap = lph::trace::snapshot();
+    let doc = lph::analysis::trace_to_json(&snap);
+    let stats = lph::analysis::validate_trace(&doc).map_err(|e| format!("internal: {e}"))?;
+    let mut text = doc.emit();
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!(
+        "trace: {} span(s), {} counter(s), {} series, {} histogram(s), {} events → {}",
+        stats.spans,
+        stats.counters,
+        stats.series,
+        stats.hists,
+        lph::trace::events(),
+        path.display()
+    );
     Ok(())
 }
 
 #[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
-    if let Err(e) = parse_args() {
-        eprintln!("error: {e}");
-        eprintln!("USAGE: experiments [--threads N]");
-        return ExitCode::from(2);
+    let trace_out = match parse_args() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("USAGE: experiments [--threads N] [--trace-out PATH]");
+            return ExitCode::from(2);
+        }
+    };
+    if trace_out.is_some() {
+        lph::trace::set_enabled(true);
     }
     let total = Instant::now();
     println!("A LOCAL View of the Polynomial Hierarchy — experiment suite");
@@ -317,6 +367,7 @@ fn main() -> ExitCode {
                 .unwrap();
                 let gs = GraphStructure::of(&g);
                 let card = gs.neighborhood_card(&g, lph::graphs::NodeId(0), 8);
+                out.metrics.trace_series("lemma10", 0, card as u64);
                 let (steps, space) = out.metrics.node_maxima()[0];
                 println!(
                     "star degree {d:2}: card(N) = {card:3}, steps = {steps:5}, space = {space:3}"
@@ -377,5 +428,11 @@ fn main() -> ExitCode {
         "\nAll experiment series regenerated in {:.1?}. ∎",
         total.elapsed()
     );
+    if let Some(path) = trace_out {
+        if let Err(e) = write_trace(&path) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -2,8 +2,14 @@
 //! of formal artifacts (machines, sentences, arbiters, reductions).
 //!
 //! ```text
-//! USAGE: lph-lint [--format text|json] [--allow CODE]... [--deny CODE|warnings]... [--list-rules]
+//! USAGE: lph-lint [--format text|json] [--allow CODE]... [--deny CODE|warnings]...
+//!                 [--trace-out PATH] [--list-rules]
 //! ```
+//!
+//! `--trace-out PATH` enables the global `lph-trace` recorder for the run
+//! and writes the aggregated trace (the corpus walk exercises the
+//! instrumented reduction and machine layers) to `PATH` as an
+//! `lph-trace/1` document.
 //!
 //! Exits `0` when no error-severity diagnostics remain after the
 //! configuration is applied, `1` when some do, and `2` on a usage error.
@@ -11,7 +17,7 @@
 use std::io::Write;
 use std::process::ExitCode;
 
-use lph_analysis::{diagnostics_to_json, run_builtin, RuleConfig, Severity, RULES};
+use lph_analysis::{diagnostics_to_json, run_builtin, trace_to_json, RuleConfig, Severity, RULES};
 
 enum Format {
     Text,
@@ -29,7 +35,7 @@ macro_rules! outln {
 fn usage() -> ExitCode {
     eprintln!(
         "USAGE: lph-lint [--format text|json] [--allow CODE]... \
-         [--deny CODE|warnings]... [--list-rules]"
+         [--deny CODE|warnings]... [--trace-out PATH] [--list-rules]"
     );
     ExitCode::from(2)
 }
@@ -50,9 +56,16 @@ fn list_rules() {
 fn main() -> ExitCode {
     let mut format = Format::Text;
     let mut config = RuleConfig::new();
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--trace-out" => {
+                let Some(path) = args.next() else {
+                    return usage();
+                };
+                trace_out = Some(path);
+            }
             "--list-rules" => {
                 list_rules();
                 return ExitCode::SUCCESS;
@@ -89,7 +102,20 @@ fn main() -> ExitCode {
         }
     }
 
+    if trace_out.is_some() {
+        lph_trace::set_enabled(true);
+    }
     let diags = run_builtin(&config);
+    if let Some(path) = &trace_out {
+        let doc = trace_to_json(&lph_trace::snapshot());
+        let mut text = doc.emit();
+        text.push('\n');
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("lph-lint: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        outln!("lph-lint: trace ({} events) → {path}", lph_trace::events());
+    }
     let errors = diags
         .iter()
         .filter(|d| d.severity == Severity::Error)

@@ -23,7 +23,10 @@
 //!   CLI: `cargo run --bin lph-lint`),
 //! * a dependency-free structured-parallelism runtime driving the
 //!   embarrassingly parallel sweeps ([`runtime`]; `LPH_THREADS=1` forces
-//!   sequential execution).
+//!   sequential execution),
+//! * a dependency-free structured tracing and metrics layer ([`trace`];
+//!   off by default, enabled by `experiments --trace-out` and friends;
+//!   serialized as the `lph-trace/1` schema by [`analysis::tracefmt`]).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -40,3 +43,4 @@ pub use lph_pictures as pictures;
 pub use lph_props as props;
 pub use lph_reductions as reductions;
 pub use lph_runtime as runtime;
+pub use lph_trace as trace;
