@@ -10,7 +10,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-STAGES=(fmt clippy build test lint doc trace-smoke bench-smoke bench-gate)
+STAGES=(fmt clippy build test lint analyze doc trace-smoke bench-smoke bench-gate)
 
 stage_fmt() { cargo fmt --all -- --check; }
 
@@ -21,6 +21,11 @@ stage_build() { cargo build --release; }
 stage_test() { cargo test -q --workspace; }
 
 stage_lint() { cargo run --release --bin lph-lint -- --deny warnings; }
+
+# Deep mode: the syntactic rules plus the semantic dataflow tier
+# (machine reachability + certified bounds, sentence level/radius
+# inference, reduction size-flow).
+stage_analyze() { cargo run --release --bin lph-lint -- --analyze --deny warnings; }
 
 stage_doc() { RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet; }
 

@@ -187,7 +187,7 @@ impl ReductionArtifact {
         ReductionArtifact { reduction, probes }
     }
 
-    fn artifact(&self) -> String {
+    pub(crate) fn artifact(&self) -> String {
         format!("reduction:{}", self.reduction.name())
     }
 }

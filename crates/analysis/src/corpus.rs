@@ -12,7 +12,7 @@
 //! instrumented reductions stay lint-clean with tracing on or off.
 
 use lph_core::arbiters;
-use lph_graphs::{generators, IdAssignment, LabeledGraph};
+use lph_graphs::{generators, IdAssignment, LabeledGraph, PolyBound};
 use lph_logic::examples;
 use lph_machine::machines;
 use lph_reductions::{
@@ -46,13 +46,18 @@ pub struct Corpus {
 }
 
 /// Small `{0,1}`-labeled probe inputs for selected-style artifacts.
+///
+/// Every probe satisfies [`crate::flow::reduction_domain_ok`]: the
+/// Eulerian/Hamiltonian gadget reductions need every node to have an
+/// incident edge to anchor their gadgets (`RED003` enforces this on any
+/// probe set handed to those reductions).
 fn selected_probes() -> Vec<LabeledGraph> {
-    // No single-node probe: the Eulerian/Hamiltonian gadget reductions
-    // need every node to have an incident edge to anchor their gadgets.
-    vec![
+    let probes = vec![
         generators::labeled_cycle(&["1", "1", "1"]),
         generators::labeled_path(&["1", "0"]),
-    ]
+    ];
+    debug_assert!(probes.iter().all(crate::flow::reduction_domain_ok));
+    probes
 }
 
 /// A well-formed `SAT-GRAPH` probe, produced by the Theorem 19 reduction
@@ -77,33 +82,53 @@ fn three_sat_graph_probe() -> LabeledGraph {
 /// The built-in corpus, with the claims stated in each artifact's
 /// documentation.
 pub fn builtin() -> Corpus {
+    // The step/space claims below are checked against the abstract
+    // interpreter's derived certificates by `DTM009`: each claim must
+    // dominate what `crate::flow::machine::analyze` derives (the
+    // coefficients are the derived ones, rounded up). The radius claims
+    // are likewise pinched between the variable-flow radius and the
+    // syntactic radius by `FRM007`.
     let dtms = vec![
         DtmArtifact::new(
             "all_selected_decider",
             machines::all_selected_decider(),
             true,
-        ),
+        )
+        .with_bounds(PolyBound::linear(128, 32), PolyBound::linear(384, 100)),
         DtmArtifact::new(
             "proper_coloring_verifier",
             machines::proper_coloring_verifier(),
             false,
+        )
+        .with_bounds(
+            PolyBound::new(vec![128, 60, 4]),
+            PolyBound::new(vec![384, 170, 12]),
         ),
-        DtmArtifact::new("echo_machine", machines::echo_machine(), false),
-        DtmArtifact::new("even_degree_decider", machines::even_degree_decider(), true),
+        DtmArtifact::new("echo_machine", machines::echo_machine(), false)
+            .with_bounds(PolyBound::linear(96, 24), PolyBound::linear(256, 80)),
+        DtmArtifact::new("even_degree_decider", machines::even_degree_decider(), true)
+            .with_bounds(PolyBound::linear(96, 28), PolyBound::linear(256, 90)),
         DtmArtifact::new(
             "project_label_machine",
             machines::project_label_machine(),
             true,
-        ),
+        )
+        .with_bounds(PolyBound::linear(64, 16), PolyBound::linear(128, 50)),
     ];
     let sentences = vec![
-        SentenceArtifact::new("all_selected", examples::all_selected(), "Σ0 = Π0"),
-        SentenceArtifact::new("three_colorable", examples::three_colorable(), "Σ1").monadic(),
-        SentenceArtifact::new("two_colorable", examples::k_colorable(2), "Σ1").monadic(),
-        SentenceArtifact::new("not_all_selected", examples::not_all_selected(), "Σ3"),
-        SentenceArtifact::new("non_three_colorable", examples::non_three_colorable(), "Π4"),
-        SentenceArtifact::new("hamiltonian", examples::hamiltonian(), "Σ5"),
-        SentenceArtifact::new("non_hamiltonian", examples::non_hamiltonian(), "Π4"),
+        SentenceArtifact::new("all_selected", examples::all_selected(), "Σ0 = Π0").with_radius(2),
+        SentenceArtifact::new("three_colorable", examples::three_colorable(), "Σ1")
+            .monadic()
+            .with_radius(2),
+        SentenceArtifact::new("two_colorable", examples::k_colorable(2), "Σ1")
+            .monadic()
+            .with_radius(2),
+        SentenceArtifact::new("not_all_selected", examples::not_all_selected(), "Σ3")
+            .with_radius(3),
+        SentenceArtifact::new("non_three_colorable", examples::non_three_colorable(), "Π4")
+            .with_radius(3),
+        SentenceArtifact::new("hamiltonian", examples::hamiltonian(), "Σ5").with_radius(4),
+        SentenceArtifact::new("non_hamiltonian", examples::non_hamiltonian(), "Π4").with_radius(4),
     ];
     let arbiters = vec![
         ArbiterArtifact::new(arbiters::all_selected_decider(), "Σ0", 1)
@@ -159,6 +184,18 @@ pub fn builtin() -> Corpus {
 /// diagnostic stream is byte-identical to the sequential walk even before
 /// the final severity sort.
 pub fn run(corpus: &Corpus, config: &RuleConfig) -> Vec<Diagnostic> {
+    run_with(corpus, config, false)
+}
+
+/// Runs every rule *plus* the semantic tier ([`crate::flow`]) over a
+/// corpus: the three dataflow engines fan over the worker pool like the
+/// syntactic rules do, each timed under its own `lph-trace` span
+/// (`analysis/flow/{machine,sentence,reduction}`).
+pub fn run_deep(corpus: &Corpus, config: &RuleConfig) -> Vec<Diagnostic> {
+    run_with(corpus, config, true)
+}
+
+fn run_with(corpus: &Corpus, config: &RuleConfig, deep: bool) -> Vec<Diagnostic> {
     let mut diags = lph_runtime::par_flat_map(&corpus.dtms, dtm::check_all);
     diags.extend(lph_runtime::par_flat_map(
         &corpus.sentences,
@@ -176,6 +213,29 @@ pub fn run(corpus: &Corpus, config: &RuleConfig) -> Vec<Diagnostic> {
         &corpus.cluster_maps,
         contract::check_cluster_map,
     ));
+    if deep {
+        {
+            let _span = lph_trace::span("analysis/flow/machine");
+            diags.extend(lph_runtime::par_flat_map(
+                &corpus.dtms,
+                crate::flow::machine::check_machine,
+            ));
+        }
+        {
+            let _span = lph_trace::span("analysis/flow/sentence");
+            diags.extend(lph_runtime::par_flat_map(
+                &corpus.sentences,
+                crate::flow::sentence::check_sentence,
+            ));
+        }
+        {
+            let _span = lph_trace::span("analysis/flow/reduction");
+            diags.extend(lph_runtime::par_flat_map(
+                &corpus.reductions,
+                crate::flow::reduction::check_reduction_flow,
+            ));
+        }
+    }
     let mut diags = config.apply(diags);
     sort_diagnostics(&mut diags);
     diags
@@ -184,4 +244,10 @@ pub fn run(corpus: &Corpus, config: &RuleConfig) -> Vec<Diagnostic> {
 /// Runs every rule over the built-in corpus.
 pub fn run_builtin(config: &RuleConfig) -> Vec<Diagnostic> {
     run(&builtin(), config)
+}
+
+/// Runs every rule plus the semantic tier over the built-in corpus
+/// (`lph-lint --analyze`).
+pub fn run_builtin_deep(config: &RuleConfig) -> Vec<Diagnostic> {
+    run_deep(&builtin(), config)
 }

@@ -6,7 +6,13 @@ use std::fmt;
 ///
 /// `Error` means the artifact violates a property the paper's definitions
 /// require (the corpus must never ship one); `Warning` flags likely
-/// authoring mistakes; `Note` is informational.
+/// authoring mistakes; `Note` is informational. `Proof` is the semantic
+/// tier's verdict: a statically *derived* fact (a certified step bound, an
+/// inferred hierarchy level, a composed output-size polynomial)
+/// contradicts a registered claim. A `Proof` finding outranks an `Error`
+/// in the sort order because it comes with a derivation, not a replay:
+/// no probe choice or configuration can make it go away, so it fails the
+/// lint run just as an `Error` does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
     /// Informational.
@@ -15,6 +21,8 @@ pub enum Severity {
     Warning,
     /// Definition-level violation.
     Error,
+    /// A statically derived refutation of a registered claim.
+    Proof,
 }
 
 impl Severity {
@@ -24,6 +32,7 @@ impl Severity {
             Severity::Note => "note",
             Severity::Warning => "warning",
             Severity::Error => "error",
+            Severity::Proof => "proof",
         }
     }
 
@@ -33,8 +42,14 @@ impl Severity {
             "note" => Some(Severity::Note),
             "warning" => Some(Severity::Warning),
             "error" => Some(Severity::Error),
+            "proof" => Some(Severity::Proof),
             _ => None,
         }
+    }
+
+    /// Whether this severity fails a lint run (`Error` and `Proof`).
+    pub fn is_failure(self) -> bool {
+        self >= Severity::Error
     }
 }
 
@@ -95,6 +110,18 @@ impl Diagnostic {
         }
     }
 
+    /// A proof-severity diagnostic (a derived refutation of a claim).
+    pub fn proof(
+        code: &str,
+        artifact: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Proof,
+            ..Diagnostic::error(code, artifact, message)
+        }
+    }
+
     /// Attaches a fix suggestion.
     #[must_use]
     pub fn with_suggestion(mut self, s: impl Into<String>) -> Diagnostic {
@@ -145,24 +172,43 @@ mod tests {
 
     #[test]
     fn severity_round_trips_through_names() {
-        for sev in [Severity::Note, Severity::Warning, Severity::Error] {
+        for sev in [
+            Severity::Note,
+            Severity::Warning,
+            Severity::Error,
+            Severity::Proof,
+        ] {
             assert_eq!(Severity::parse(sev.as_str()), Some(sev));
         }
         assert_eq!(Severity::parse("fatal"), None);
     }
 
     #[test]
-    fn sorting_puts_errors_first() {
+    fn sorting_puts_proofs_and_errors_first() {
         let mut ds = vec![
             Diagnostic::note("A", "z", "n"),
             Diagnostic::error("B", "a", "e"),
+            Diagnostic::proof("D", "q", "p"),
             Diagnostic::warning("C", "m", "w"),
         ];
         sort_diagnostics(&mut ds);
         let sevs: Vec<Severity> = ds.iter().map(|d| d.severity).collect();
         assert_eq!(
             sevs,
-            vec![Severity::Error, Severity::Warning, Severity::Note]
+            vec![
+                Severity::Proof,
+                Severity::Error,
+                Severity::Warning,
+                Severity::Note
+            ]
         );
+    }
+
+    #[test]
+    fn failure_severities_are_error_and_above() {
+        assert!(Severity::Proof.is_failure());
+        assert!(Severity::Error.is_failure());
+        assert!(!Severity::Warning.is_failure());
+        assert!(!Severity::Note.is_failure());
     }
 }

@@ -15,10 +15,13 @@
 //! cell, which is itself checked first.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::OnceLock;
 
+use lph_graphs::PolyBound;
 use lph_machine::{DistributedTm, Move, StateId, Sym};
 
 use crate::diagnostic::Diagnostic;
+use crate::flow::machine::MachineFlow;
 
 /// A distributed Turing machine plus the author's claims about it.
 pub struct DtmArtifact {
@@ -30,6 +33,14 @@ pub struct DtmArtifact {
     pub single_round: bool,
     /// Claimed per-round step budget, if the author states one.
     pub step_budget: Option<usize>,
+    /// Claimed per-round step bound as a polynomial in the round's input
+    /// length (checked by `DTM009` against the flow-derived certificate).
+    pub claimed_steps: Option<PolyBound>,
+    /// Claimed per-round space bound, same convention as `claimed_steps`.
+    pub claimed_space: Option<PolyBound>,
+    /// Lazily computed dataflow analysis, shared by the `DTM007`–`DTM010`
+    /// rules so the fixpoint runs once per artifact.
+    flow_cache: OnceLock<MachineFlow>,
 }
 
 impl DtmArtifact {
@@ -40,6 +51,9 @@ impl DtmArtifact {
             tm,
             single_round,
             step_budget: None,
+            claimed_steps: None,
+            claimed_space: None,
+            flow_cache: OnceLock::new(),
         }
     }
 
@@ -50,7 +64,22 @@ impl DtmArtifact {
         self
     }
 
-    fn artifact(&self) -> String {
+    /// Adds claimed per-round step and space polynomials (Lemma 10's
+    /// local-polynomial discipline, stated per machine).
+    #[must_use]
+    pub fn with_bounds(mut self, steps: PolyBound, space: PolyBound) -> Self {
+        self.claimed_steps = Some(steps);
+        self.claimed_space = Some(space);
+        self
+    }
+
+    /// The machine's dataflow analysis, computed on first use and cached.
+    pub fn flow(&self) -> &MachineFlow {
+        self.flow_cache
+            .get_or_init(|| crate::flow::machine::analyze(&self.tm))
+    }
+
+    pub(crate) fn artifact(&self) -> String {
         format!("dtm:{}", self.name)
     }
 }
@@ -67,7 +96,7 @@ fn fmt_triple(s: [Sym; 3]) -> String {
 /// States whose entries the interpreter can consult: everything reachable
 /// from `q_start` in the state graph, minus `q_pause`/`q_stop` (the round
 /// loop exits before scanning in either).
-fn reachable_states(tm: &DistributedTm) -> BTreeSet<usize> {
+pub(crate) fn reachable_states(tm: &DistributedTm) -> BTreeSet<usize> {
     let mut succ: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
     for (q, _, t) in tm.transitions() {
         succ.entry(q.0).or_default().insert(t.next.0);

@@ -1,0 +1,509 @@
+//! The machine dataflow engine (rules `DTM007`–`DTM010`): fixpoint
+//! reachability over a *blank-zone product* abstraction of a
+//! [`DistributedTm`], plus a recursive SCC certificate that derives a
+//! static per-round step/space upper bound — the Lemma 10 polynomial —
+//! and checks it against the bound the artifact claims.
+//!
+//! # The blank-zone product
+//!
+//! Abstract configurations are pairs `(state, zone)` where `zone[i]`
+//! holds for a *read-only* tape `i` (no entry writes anything but what it
+//! scanned there) when the head sits in the all-blank region beyond the
+//! tape's content. The round semantics initialize the receiving and
+//! internal tapes without embedded blanks (`λ#id#κ̄` and `msg#…#`), so on
+//! a read-only tape "scanned `□`" implies "everything rightward is `□`",
+//! and the zone bit is exact: it is set after scanning `□` without moving
+//! left, cleared otherwise, and while set the only admissible scan is
+//! `□`. This refinement kills the spurious static cycles that wildcard
+//! catch-all rules introduce (entries scanning `#` or bits in a region
+//! that is provably blank), which is what makes the SCC decomposition
+//! below fine enough to certify the corpus machines.
+//!
+//! # The step certificate
+//!
+//! Per abstract SCC `C`, `cost(C)` bounds the steps of one maximal visit
+//! (entering once, leaving once), as a [`PolyBound`] in the round's input
+//! length `n = input_rcv_len + input_int_len`:
+//!
+//! * no internal edge — `cost = 1` (just the exit step);
+//! * every internal edge rewinds one common tape `d` (`L` on `d`, `S`
+//!   elsewhere) — `cost = 1`, and the loop steps are *discounted*: heads
+//!   never move left of cell 0, so over a whole round the `L`-moves on
+//!   `d` are at most the `R`-moves on `d`, all of which happen at steps
+//!   the other cases already count (a rewind SCC never moves right);
+//! * otherwise pick a *stable*, `L`-free-in-`C` tape `j` and remove the
+//!   internal edges that consume it (move `R` scanning non-blank): a
+//!   visit makes at most `n + 1` consuming steps (the head only moves
+//!   right on `j` inside `C`, and a stable tape never grows new
+//!   non-blank cells mid-round, so consuming steps hit distinct cells of
+//!   the at most `n + 1` initially non-blank ones), separating at most
+//!   `n + 2` excursions through the sub-SCCs of the remaining graph:
+//!   `cost = (n + 2) · (1 + Σ cost(C'))`.
+//!
+//! Summing over the condensation (each SCC is visited at most once per
+//! round) and multiplying by `1 + #discount tapes` for the rewind
+//! discount yields the certified per-round step bound; the space bound
+//! adds the initial tape contents to three cells per step.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use lph_graphs::PolyBound;
+use lph_machine::{DistributedTm, Move, StateId, Sym};
+
+use crate::diagnostic::Diagnostic;
+use crate::dtm::DtmArtifact;
+
+/// One expanded transition entry.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    q: usize,
+    scanned: [Sym; 3],
+    next: usize,
+    write: [Sym; 3],
+    moves: [Move; 3],
+}
+
+/// An abstract configuration: `(state, blank-zone bit per tape)`.
+type Prod = (usize, [bool; 3]);
+
+/// The result of the machine dataflow analysis (computed once per
+/// artifact and cached; see [`DtmArtifact::flow`]).
+#[derive(Debug, Clone)]
+pub struct MachineFlow {
+    /// States some abstract configuration reaches.
+    pub reachable: BTreeSet<usize>,
+    /// Whether an admissible entry transitions into `q_stop`.
+    pub stop_reachable: bool,
+    /// Whether an admissible entry transitions into `q_pause`.
+    pub pause_reachable: bool,
+    /// Certified per-round step bound in `n = input_rcv_len +
+    /// input_int_len`, when a certificate exists.
+    pub steps: Option<PolyBound>,
+    /// Per-round space bound derived from the step bound (initial
+    /// contents plus three touched cells per step).
+    pub space: Option<PolyBound>,
+    /// Why no step certificate exists, when `steps` is `None`.
+    pub failure: Option<String>,
+}
+
+/// Which tapes every entry leaves untouched (`write == scanned`).
+fn read_only_tapes(entries: &[Entry]) -> [bool; 3] {
+    let mut ro = [true; 3];
+    for e in entries {
+        for (i, tape_ro) in ro.iter_mut().enumerate() {
+            if e.write[i] != e.scanned[i] {
+                *tape_ro = false;
+            }
+        }
+    }
+    ro
+}
+
+/// Whether the entry is admissible from the zone bits: a set zone only
+/// admits blank scans on its tape.
+fn admits(zone: [bool; 3], e: &Entry) -> bool {
+    (0..3).all(|i| !zone[i] || e.scanned[i] == Sym::Blank)
+}
+
+/// The zone bits after firing `e` (read-only tapes only; others stay
+/// out of the abstraction).
+fn zone_after(ro: [bool; 3], e: &Entry) -> [bool; 3] {
+    let mut z = [false; 3];
+    for i in 0..3 {
+        z[i] = ro[i] && e.scanned[i] == Sym::Blank && e.moves[i] != Move::L;
+    }
+    z
+}
+
+/// The admissible abstract transition graph: nodes are product states,
+/// edges are entry firings.
+struct FlowGraph {
+    nodes: Vec<Prod>,
+    index: BTreeMap<Prod, usize>,
+    /// `(from, entry index, to)`.
+    edges: Vec<(usize, usize, usize)>,
+    fired: Vec<bool>,
+}
+
+fn explore(tm: &DistributedTm, entries: &[Entry]) -> FlowGraph {
+    let ro = read_only_tapes(entries);
+    let mut by_state: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, e) in entries.iter().enumerate() {
+        by_state.entry(e.q).or_default().push(i);
+    }
+    let start: Prod = (tm.start().0, [false; 3]);
+    let mut g = FlowGraph {
+        nodes: vec![start],
+        index: BTreeMap::from([(start, 0)]),
+        edges: Vec::new(),
+        fired: vec![false; entries.len()],
+    };
+    let mut queue = VecDeque::from([0usize]);
+    while let Some(pi) = queue.pop_front() {
+        let (q, zone) = g.nodes[pi];
+        if q == tm.pause().0 || q == tm.stop().0 {
+            continue;
+        }
+        for &ei in by_state.get(&q).into_iter().flatten() {
+            let e = &entries[ei];
+            if !admits(zone, e) {
+                continue;
+            }
+            g.fired[ei] = true;
+            let succ: Prod = (e.next, zone_after(ro, e));
+            let si = *g.index.entry(succ).or_insert_with(|| {
+                g.nodes.push(succ);
+                queue.push_back(g.nodes.len() - 1);
+                g.nodes.len() - 1
+            });
+            g.edges.push((pi, ei, si));
+        }
+    }
+    g
+}
+
+/// Tarjan's SCC algorithm (iterative), returning components in reverse
+/// topological order of the condensation.
+fn sccs(node_count: usize, edges: &[(usize, usize, usize)]) -> Vec<Vec<usize>> {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); node_count];
+    for &(a, _, b) in edges {
+        adj[a].push(b);
+    }
+    let mut index = vec![usize::MAX; node_count];
+    let mut low = vec![0usize; node_count];
+    let mut on_stack = vec![false; node_count];
+    let mut stack = Vec::new();
+    let mut out = Vec::new();
+    let mut counter = 0;
+    for root in 0..node_count {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        // call stack: (node, next child position)
+        let mut calls = vec![(root, 0usize)];
+        while let Some(&mut (v, ref mut ci)) = calls.last_mut() {
+            if *ci == 0 {
+                index[v] = counter;
+                low[v] = counter;
+                counter += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(*ci) {
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    calls.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    out.push(comp);
+                }
+                calls.pop();
+                if let Some(&mut (p, _)) = calls.last_mut() {
+                    low[p] = low[p].min(low[v]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Tapes on which no admissible mid-round entry turns a blank cell
+/// non-blank (entries into `q_stop` are exempt: nothing runs after
+/// them within the round). On a stable tape the set of non-blank cells
+/// never grows, so it stays within the `≤ n + 1` initially non-blank
+/// ones.
+fn stable_tapes(tm: &DistributedTm, entries: &[Entry], g: &FlowGraph) -> [bool; 3] {
+    let mut stable = [true; 3];
+    for (ei, e) in entries.iter().enumerate() {
+        if !g.fired[ei] || e.next == tm.stop().0 {
+            continue;
+        }
+        for (i, tape_stable) in stable.iter_mut().enumerate() {
+            if e.scanned[i] == Sym::Blank && e.write[i] != Sym::Blank {
+                *tape_stable = false;
+            }
+        }
+    }
+    stable
+}
+
+/// The per-visit step cost of one SCC, plus the discount tapes used by
+/// rewind sub-SCCs. `None` when no certificate case applies.
+fn scc_cost(
+    comp: &BTreeSet<usize>,
+    intra: &[(usize, usize, usize)],
+    entries: &[Entry],
+    stable: [bool; 3],
+    discounts: &mut BTreeSet<usize>,
+) -> Option<PolyBound> {
+    if intra.is_empty() {
+        return Some(PolyBound::constant(1));
+    }
+    // Pure rewind: every internal edge moves L on one common tape and
+    // stays elsewhere; iterations are bounded by the round's R-moves on
+    // that tape (discounted globally).
+    for d in 0..3 {
+        let pure = intra.iter().all(|&(_, ei, _)| {
+            let m = entries[ei].moves;
+            m[d] == Move::L && (0..3).all(|j| j == d || m[j] == Move::S)
+        });
+        if pure {
+            discounts.insert(d);
+            return Some(PolyBound::constant(1));
+        }
+    }
+    // Consuming tape: stable, never moved left inside the SCC, with at
+    // least one consuming edge to remove.
+    for j in 0..3 {
+        if !stable[j]
+            || intra
+                .iter()
+                .any(|&(_, ei, _)| entries[ei].moves[j] == Move::L)
+        {
+            continue;
+        }
+        let (removed, kept): (Vec<_>, Vec<_>) = intra.iter().partition(|&&(_, ei, _)| {
+            entries[ei].moves[j] == Move::R && entries[ei].scanned[j] != Sym::Blank
+        });
+        if removed.is_empty() {
+            continue;
+        }
+        // Renumber the component for the sub-SCC pass.
+        let order: Vec<usize> = comp.iter().copied().collect();
+        let rank: BTreeMap<usize, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let sub_edges: Vec<(usize, usize, usize)> = kept
+            .iter()
+            .map(|&&(a, ei, b)| (rank[&a], ei, rank[&b]))
+            .collect();
+        let mut total = PolyBound::constant(0);
+        let mut ok = true;
+        for sub in sccs(order.len(), &sub_edges) {
+            let sub_set: BTreeSet<usize> = sub.iter().copied().collect();
+            let sub_intra: Vec<(usize, usize, usize)> = sub_edges
+                .iter()
+                .filter(|&&(a, _, b)| sub_set.contains(&a) && sub_set.contains(&b))
+                .copied()
+                .collect();
+            match scc_cost(&sub_set, &sub_intra, entries, stable, discounts) {
+                Some(c) => total = total.add(&c),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            // (n + 2) · (1 + Σ sub costs): ≤ n + 1 consuming steps plus
+            // one exit step, and ≤ n + 2 excursions through the sub-DAG.
+            return Some(PolyBound::linear(2, 1).mul(&PolyBound::constant(1).add(&total)));
+        }
+    }
+    None
+}
+
+/// Runs the dataflow analysis over one machine.
+pub fn analyze(tm: &DistributedTm) -> MachineFlow {
+    let entries: Vec<Entry> = tm
+        .transitions()
+        .map(|(q, scanned, t)| Entry {
+            q: q.0,
+            scanned,
+            next: t.next.0,
+            write: t.write,
+            moves: t.moves,
+        })
+        .collect();
+    let g = explore(tm, &entries);
+    let reachable: BTreeSet<usize> = g.nodes.iter().map(|&(q, _)| q).collect();
+    let stop_reachable = reachable.contains(&tm.stop().0) && tm.stop() != tm.start();
+    let pause_reachable = reachable.contains(&tm.pause().0);
+
+    let stable = stable_tapes(tm, &entries, &g);
+    let mut discounts = BTreeSet::new();
+    let mut total = PolyBound::constant(0);
+    let mut failure = None;
+    for comp in sccs(g.nodes.len(), &g.edges) {
+        let set: BTreeSet<usize> = comp.iter().copied().collect();
+        let intra: Vec<(usize, usize, usize)> = g
+            .edges
+            .iter()
+            .filter(|&&(a, _, b)| set.contains(&a) && set.contains(&b))
+            .copied()
+            .collect();
+        match scc_cost(&set, &intra, &entries, stable, &mut discounts) {
+            Some(c) => total = total.add(&c),
+            None => {
+                let names: Vec<&str> = set
+                    .iter()
+                    .map(|&p| tm.state_name(StateId(g.nodes[p].0)))
+                    .collect::<BTreeSet<_>>()
+                    .into_iter()
+                    .collect();
+                failure = Some(format!(
+                    "no consuming-tape certificate for the cycle through [{}]",
+                    names.join(", ")
+                ));
+                break;
+            }
+        }
+    }
+    let (steps, space) = match failure {
+        Some(_) => (None, None),
+        None => {
+            let factor = PolyBound::constant(1 + discounts.len() as u64);
+            let steps = total.mul(&factor);
+            // Initial contents (≤ n symbols plus three markers) plus at
+            // most three fresh cells per step.
+            let space = PolyBound::linear(3, 1).add(&steps.mul(&PolyBound::constant(3)));
+            (Some(steps), Some(space))
+        }
+    };
+    MachineFlow {
+        reachable,
+        stop_reachable,
+        pause_reachable,
+        steps,
+        space,
+        failure,
+    }
+}
+
+/// `DTM007` — semantically unreachable states: syntactically reachable
+/// (so `DTM002` is silent) but reached by no abstract configuration;
+/// the entries leading into them scan symbols that can never be under
+/// the head there.
+pub fn check_flow_reachability(a: &DtmArtifact) -> Vec<Diagnostic> {
+    let flow = a.flow();
+    let syntactic = crate::dtm::reachable_states(&a.tm);
+    let mut out = Vec::new();
+    for q in a.tm.states() {
+        let designated = [a.tm.start(), a.tm.pause(), a.tm.stop()].contains(&q);
+        if !designated && syntactic.contains(&q.0) && !flow.reachable.contains(&q.0) {
+            out.push(
+                Diagnostic::warning(
+                    "DTM007",
+                    a.artifact(),
+                    format!(
+                        "state `{}` is syntactically reachable but no abstract configuration \
+                         reaches it (every entry into it scans inside a provably blank region)",
+                        a.tm.state_name(q)
+                    ),
+                )
+                .with_suggestion("the transitions into this state can never fire; remove them"),
+            );
+        }
+    }
+    out
+}
+
+/// `DTM008` — semantic halting: some admissible entry must reach
+/// `q_stop` (for single-round machines) or at least end the round via
+/// `q_stop`/`q_pause` (for multi-round ones). Syntactic reachability
+/// (`DTM005`) is necessary but not sufficient.
+pub fn check_flow_halting(a: &DtmArtifact) -> Vec<Diagnostic> {
+    let flow = a.flow();
+    let mut out = Vec::new();
+    if a.single_round && !flow.stop_reachable {
+        out.push(
+            Diagnostic::error(
+                "DTM008",
+                a.artifact(),
+                "no abstract configuration reaches q_stop: the machine can never halt",
+            )
+            .with_suggestion(
+                "check the scan patterns on the path to q_stop against the \
+                              round's tape contents",
+            ),
+        );
+    }
+    if !a.single_round && !flow.stop_reachable && !flow.pause_reachable {
+        out.push(Diagnostic::error(
+            "DTM008",
+            a.artifact(),
+            "no abstract configuration reaches q_stop or q_pause: no round can ever end",
+        ));
+    }
+    out
+}
+
+/// `DTM009` — certified Lemma 10 bounds: when the artifact claims
+/// per-round step/space polynomials, the flow-derived bounds must be
+/// dominated by them (the claim must be at least as large, everywhere).
+pub fn check_certified_bounds(a: &DtmArtifact) -> Vec<Diagnostic> {
+    let flow = a.flow();
+    let mut out = Vec::new();
+    let cases = [
+        ("step", &a.claimed_steps, &flow.steps),
+        ("space", &a.claimed_space, &flow.space),
+    ];
+    for (what, claimed, derived) in cases {
+        let Some(claimed) = claimed else { continue };
+        match derived {
+            Some(derived) if claimed.dominates(derived) => {}
+            Some(derived) => {
+                out.push(
+                    Diagnostic::proof(
+                        "DTM009",
+                        a.artifact(),
+                        format!(
+                            "claimed per-round {what} bound {claimed} does not dominate the \
+                             certified bound {derived}",
+                        ),
+                    )
+                    .with_suggestion(format!("raise the claim to at least {derived}")),
+                );
+            }
+            None => {
+                out.push(Diagnostic::proof(
+                    "DTM009",
+                    a.artifact(),
+                    format!(
+                        "claimed per-round {what} bound {claimed} cannot be certified: {}",
+                        flow.failure.as_deref().unwrap_or("no certificate derived"),
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// `DTM010` — certificate coverage: the engine derived no polynomial
+/// step certificate at all. Such a machine may still terminate, but
+/// nothing static vouches for Lemma 10's local-polynomial discipline.
+pub fn check_step_certificate(a: &DtmArtifact) -> Vec<Diagnostic> {
+    let flow = a.flow();
+    match &flow.failure {
+        Some(reason) => vec![Diagnostic::warning(
+            "DTM010",
+            a.artifact(),
+            format!("no per-round step certificate derivable: {reason}"),
+        )
+        .with_suggestion(
+            "make every loop either rewind a single tape or consume a tape it never writes \
+             blanks back onto",
+        )],
+        None => Vec::new(),
+    }
+}
+
+/// Runs every machine flow rule over one artifact.
+pub fn check_machine(a: &DtmArtifact) -> Vec<Diagnostic> {
+    let mut out = check_flow_reachability(a);
+    out.extend(check_flow_halting(a));
+    out.extend(check_certified_bounds(a));
+    out.extend(check_step_certificate(a));
+    out
+}

@@ -1,0 +1,30 @@
+//! The semantic analysis tier: dataflow engines that *derive* the facts
+//! the syntactic rules only cross-check.
+//!
+//! Three engines, one per artifact family:
+//!
+//! * [`machine`] — abstract interpretation of transition tables
+//!   (`DTM007`–`DTM010`): blank-zone product reachability, semantic
+//!   halting, and a recursive SCC certificate deriving the Lemma 10
+//!   per-round step/space polynomial.
+//! * [`sentence`] — variable-flow analysis of sentences
+//!   (`FRM006`–`FRM008`): the semantic hierarchy level after dead-binder
+//!   elimination, the anchor-flow visibility radius, and prefix normal
+//!   form.
+//! * [`reduction`] — symbolic size flow for local reductions
+//!   (`RED003`–`RED005`): domain preconditions, per-cluster size bounds
+//!   in the view measure, and their composition to whole-output bounds.
+//!
+//! Engine verdicts that refute a registered claim carry
+//! [`Severity::Proof`](crate::diagnostic::Severity::Proof): they come
+//! with a derivation, not a replay, so no probe choice can make them go
+//! away. `lph-lint --analyze` runs this tier on top of the syntactic
+//! rules, timing each engine through `lph-trace`.
+
+pub mod machine;
+pub mod reduction;
+pub mod sentence;
+
+pub use machine::{analyze, MachineFlow};
+pub use reduction::reduction_domain_ok;
+pub use sentence::{flow_radius, infer_level};

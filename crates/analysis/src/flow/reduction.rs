@@ -1,0 +1,188 @@
+//! The reduction size-flow engine (rules `RED003`–`RED005`): symbolic
+//! output-size bounds for local reductions, checked by replaying clusters
+//! against the polynomials each reduction declares.
+//!
+//! A [`LocalReduction`] computes each cluster from a constant-radius view,
+//! so its patch size can only depend on the two view quantities that grow
+//! with the input: the center's degree and its label bit-length. Their sum
+//! is the *measure* `m` the declared [`lph_reductions::SizeBound`]
+//! polynomials are stated
+//! in; the bounds have nonnegative coefficients, hence are monotone, and
+//! compose to a whole-output bound in `N = node count + total label bits`:
+//! every cluster measure satisfies `m_u ≤ N`, so
+//! `|V(G')| ≤ N · nodes(N)` and `|E(G')| ≤ N · (inner(N) + outer(N))` —
+//! the polynomial output-size discipline of Section 8, derived rather
+//! than assumed.
+
+use lph_graphs::{IdAssignment, LabeledGraph, PolyBound};
+use lph_reductions::{LocalReduction, LocalView};
+
+use crate::contract::ReductionArtifact;
+use crate::diagnostic::Diagnostic;
+
+/// The domain precondition shared by the gadget reductions: every node
+/// must have an incident edge to anchor its gadget on. (Single-node
+/// graphs are treated separately by the paper's propositions.)
+pub fn reduction_domain_ok(g: &LabeledGraph) -> bool {
+    g.node_count() > 0 && g.nodes().all(|u| g.degree(u) > 0)
+}
+
+/// The size measure of one view: center degree plus center label
+/// bit-length.
+fn measure(view: &LocalView) -> usize {
+    view.degree() + view.label().len()
+}
+
+/// Replays `red` on every node of `g` exactly as `apply` would, passing
+/// each `(measure, patch sizes)` observation to `f`. Returns `false`
+/// when some cluster fails (those probes are `RED001`'s business).
+fn replay_clusters(
+    red: &(dyn LocalReduction + Send + Sync),
+    g: &LabeledGraph,
+    f: &mut impl FnMut(usize, usize, usize, usize),
+) -> bool {
+    let id = IdAssignment::global(g);
+    for u in g.nodes() {
+        let nb = g.neighborhood(u, red.radius());
+        let ids = nb.members.iter().map(|&v| id.id(v).clone()).collect();
+        let view = LocalView {
+            center: nb.center_local,
+            neighborhood: nb,
+            ids,
+        };
+        let Ok(patch) = red.cluster(&view) else {
+            return false;
+        };
+        f(
+            measure(&view),
+            patch.nodes.len(),
+            patch.inner_edges.len(),
+            patch.outer_edges.len(),
+        );
+    }
+    true
+}
+
+/// `RED003` — domain precondition: a reduction declaring
+/// `requires_incident_edges` must only be probed on graphs where every
+/// node has one; a violating probe would anchor a gadget on nothing and
+/// fail at runtime instead of analysis time.
+pub fn check_domain(a: &ReductionArtifact) -> Vec<Diagnostic> {
+    if !a.reduction.requires_incident_edges() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, g) in a.probes.iter().enumerate() {
+        if !reduction_domain_ok(g) {
+            out.push(
+                Diagnostic::error(
+                    "RED003",
+                    a.artifact(),
+                    format!(
+                        "probe #{i} ({} nodes) has an isolated node, outside the reduction's \
+                         declared domain",
+                        g.node_count()
+                    ),
+                )
+                .with_suggestion("probe only graphs where every node has an incident edge"),
+            );
+        }
+    }
+    out
+}
+
+/// `RED004` — per-cluster size bound: every replayed cluster patch must
+/// stay within the declared polynomials at its view's measure. A
+/// violation refutes the declaration — the reduction's own output is the
+/// counterexample.
+pub fn check_cluster_size(a: &ReductionArtifact) -> Vec<Diagnostic> {
+    let Some(bound) = a.reduction.size_bound() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (i, g) in a.probes.iter().enumerate() {
+        let mut worst: Option<String> = None;
+        replay_clusters(a.reduction.as_ref(), g, &mut |m, nodes, inner, outer| {
+            let cases = [
+                ("nodes", nodes, &bound.nodes),
+                ("inner edges", inner, &bound.inner_edges),
+                ("outer edges", outer, &bound.outer_edges),
+            ];
+            for (what, got, poly) in cases {
+                if got > poly.eval(m) && worst.is_none() {
+                    worst = Some(format!(
+                        "a cluster on probe #{i} emits {got} {what} at measure {m}, \
+                         exceeding the declared bound {poly}",
+                    ));
+                }
+            }
+        });
+        if let Some(msg) = worst {
+            out.push(
+                Diagnostic::proof("RED004", a.artifact(), msg)
+                    .with_suggestion("raise the declared size bound or shrink the gadget"),
+            );
+        }
+    }
+    out
+}
+
+/// `RED005` — whole-output size flow: composing the per-cluster bound
+/// over all clusters bounds `G'` by polynomials in
+/// `N = |V(G)| + Σ label bits`; the assembled probe outputs must obey
+/// them. Reductions declaring no bound get a note — nothing static
+/// vouches for their output-size discipline.
+pub fn check_output_size(a: &ReductionArtifact) -> Vec<Diagnostic> {
+    let Some(bound) = a.reduction.size_bound() else {
+        if a.probes.is_empty() {
+            return Vec::new();
+        }
+        return vec![Diagnostic::note(
+            "RED005",
+            a.artifact(),
+            "reduction declares no size bound; output-size flow was not checked",
+        )
+        .with_suggestion("implement LocalReduction::size_bound")];
+    };
+    let n_of = |g: &LabeledGraph| -> usize {
+        g.node_count() + g.nodes().map(|u| g.label(u).len()).sum::<usize>()
+    };
+    let whole_nodes = PolyBound::monomial(1, 1).mul(&bound.nodes);
+    let whole_edges = PolyBound::monomial(1, 1).mul(&bound.inner_edges.add(&bound.outer_edges));
+    let mut out = Vec::new();
+    for (i, g) in a.probes.iter().enumerate() {
+        let id = IdAssignment::global(g);
+        let Ok((g_prime, _)) = lph_reductions::apply(a.reduction.as_ref(), g, &id) else {
+            continue; // RED001 reports failing probes
+        };
+        let n = n_of(g);
+        let cases = [
+            ("nodes", g_prime.node_count(), &whole_nodes),
+            ("edges", g_prime.edge_count(), &whole_edges),
+        ];
+        for (what, got, poly) in cases {
+            if got > poly.eval(n) {
+                out.push(
+                    Diagnostic::proof(
+                        "RED005",
+                        a.artifact(),
+                        format!(
+                            "probe #{i} (size {n}) produced {got} output {what}, exceeding \
+                             the composed bound {poly}",
+                        ),
+                    )
+                    .with_suggestion("the per-cluster size bound is understated; raise it"),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Runs every reduction flow rule over one artifact.
+pub fn check_reduction_flow(a: &ReductionArtifact) -> Vec<Diagnostic> {
+    let mut out = check_domain(a);
+    out.extend(check_cluster_size(a));
+    out.extend(check_output_size(a));
+    out
+}

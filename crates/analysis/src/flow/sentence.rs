@@ -1,0 +1,225 @@
+//! The sentence structure engine (rules `FRM006`–`FRM008`): variable-flow
+//! analysis over [`Sentence`] prefixes and matrices.
+//!
+//! Where `FRM004` recomputes the *syntactic* level (counting the blocks as
+//! written), the semantic tier asks what the sentence actually *uses*: a
+//! quantifier block whose variables never reach an atom contributes nothing
+//! to the alternation count, and a bounded quantifier chain only "sees" as
+//! far as its anchors actually carry it. Both analyses are dataflow over
+//! the AST — variables flow from binders through anchors into atoms.
+
+use std::collections::BTreeMap;
+
+use lph_logic::{FoVar, Formula, Level, Matrix, Sentence};
+
+use crate::diagnostic::Diagnostic;
+use crate::formula::SentenceArtifact;
+
+/// The semantic hierarchy level: the syntactic level after eliminating
+/// quantifier blocks none of whose variables occur in the matrix (dead
+/// binders cannot change the alternation game) and re-merging adjacent
+/// blocks of equal quantifier.
+pub fn infer_level(sentence: &Sentence) -> Level {
+    let used = sentence.matrix.body().so_vars();
+    let mut merged = Vec::new();
+    for b in &sentence.blocks {
+        if !b.vars.iter().any(|q| used.contains(&q.var)) {
+            continue;
+        }
+        if merged.last() != Some(&b.quantifier) {
+            merged.push(b.quantifier);
+        }
+    }
+    Level {
+        ell: merged.len(),
+        leading: merged.first().copied(),
+    }
+}
+
+/// Walks `phi` tracking each variable's flow distance from the matrix
+/// root, and folds the maximum distance of a variable *occurring in an
+/// atom* into `max_used`.
+fn walk_depths(phi: &Formula, depth: &mut BTreeMap<FoVar, usize>, max_used: &mut usize) {
+    let use_var = |v: FoVar, depth: &BTreeMap<FoVar, usize>, max_used: &mut usize| {
+        *max_used = (*max_used).max(depth.get(&v).copied().unwrap_or(0));
+    };
+    match phi {
+        Formula::True | Formula::False => {}
+        Formula::Unary { x, .. } => use_var(*x, depth, max_used),
+        Formula::Edge { x, y, .. } | Formula::Eq(x, y) => {
+            use_var(*x, depth, max_used);
+            use_var(*y, depth, max_used);
+        }
+        Formula::App { args, .. } => {
+            for &a in args {
+                use_var(a, depth, max_used);
+            }
+        }
+        Formula::Not(g) => walk_depths(g, depth, max_used),
+        Formula::And(gs) | Formula::Or(gs) => {
+            for g in gs {
+                walk_depths(g, depth, max_used);
+            }
+        }
+        Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            walk_depths(a, depth, max_used);
+            walk_depths(b, depth, max_used);
+        }
+        Formula::Exists { x, body } | Formula::Forall { x, body } => {
+            // Unbounded quantifiers roam the whole domain; distance from
+            // the root is not meaningful, so they re-anchor at 0.
+            let saved = depth.insert(*x, 0);
+            walk_depths(body, depth, max_used);
+            restore(depth, *x, saved);
+        }
+        Formula::ExistsAdj { x, anchor, body } | Formula::ForallAdj { x, anchor, body } => {
+            let d = depth.get(anchor).copied().unwrap_or(0) + 1;
+            let saved = depth.insert(*x, d);
+            walk_depths(body, depth, max_used);
+            restore(depth, *x, saved);
+        }
+        Formula::ExistsNear {
+            x,
+            anchor,
+            radius,
+            body,
+        }
+        | Formula::ForallNear {
+            x,
+            anchor,
+            radius,
+            body,
+        } => {
+            let d = depth.get(anchor).copied().unwrap_or(0) + radius;
+            let saved = depth.insert(*x, d);
+            walk_depths(body, depth, max_used);
+            restore(depth, *x, saved);
+        }
+    }
+}
+
+fn restore(depth: &mut BTreeMap<FoVar, usize>, x: FoVar, saved: Option<usize>) {
+    match saved {
+        Some(d) => {
+            depth.insert(x, d);
+        }
+        None => {
+            depth.remove(&x);
+        }
+    }
+}
+
+/// The variable-flow radius: the largest distance from the matrix root at
+/// which a variable is actually *used* in an atom. Always at most the
+/// syntactic [`Sentence::radius`] (which sums nesting depths whether or
+/// not the chain of anchors reaches an atom).
+pub fn flow_radius(sentence: &Sentence) -> usize {
+    let mut depth = BTreeMap::new();
+    if let Matrix::Lfo { x, .. } = &sentence.matrix {
+        depth.insert(*x, 0);
+    }
+    let mut max_used = 0;
+    walk_depths(sentence.matrix.body(), &mut depth, &mut max_used);
+    max_used
+}
+
+/// `FRM006` — semantic hierarchy level: eliminating dead quantifier
+/// blocks must not change the registered level. When it does, the claim
+/// describes the syntax, not the property — the sentence provably lives
+/// at the inferred level.
+pub fn check_semantic_level(a: &SentenceArtifact) -> Vec<Diagnostic> {
+    let inferred = infer_level(&a.sentence).to_string();
+    if inferred == a.claimed_level {
+        return Vec::new();
+    }
+    vec![Diagnostic::proof(
+        "FRM006",
+        a.artifact(),
+        format!(
+            "claimed level {} but dead-binder elimination infers {inferred}",
+            a.claimed_level
+        ),
+    )
+    .with_suggestion(
+        "re-register the sentence at the inferred level, or make every \
+                      quantifier block reach the matrix",
+    )]
+}
+
+/// `FRM007` — radius flow: a claimed visibility radius below the
+/// variable-flow radius is refuted (some atom provably looks further),
+/// while one above the syntactic radius overstates what the matrix can
+/// see.
+pub fn check_radius_flow(a: &SentenceArtifact) -> Vec<Diagnostic> {
+    let Some(claimed) = a.claimed_radius else {
+        return Vec::new();
+    };
+    let flow = flow_radius(&a.sentence);
+    let syntactic = a.sentence.radius();
+    let mut out = Vec::new();
+    if claimed < flow {
+        out.push(
+            Diagnostic::proof(
+                "FRM007",
+                a.artifact(),
+                format!(
+                    "claimed radius {claimed} but an atom uses a variable at flow \
+                     distance {flow} from the root"
+                ),
+            )
+            .with_suggestion(format!("raise the claimed radius to {flow}")),
+        );
+    }
+    if claimed > syntactic {
+        out.push(
+            Diagnostic::warning(
+                "FRM007",
+                a.artifact(),
+                format!(
+                    "claimed radius {claimed} exceeds the syntactic radius {syntactic}; \
+                     the matrix cannot see that far"
+                ),
+            )
+            .with_suggestion(format!("lower the claimed radius to {syntactic}")),
+        );
+    }
+    out
+}
+
+/// `FRM008` — prefix normal form: adjacent non-empty blocks with the same
+/// quantifier should be one block; split blocks are level-neutral (the
+/// level computation merges them) but misstate the alternation structure
+/// to readers.
+pub fn check_prefix_normal_form(a: &SentenceArtifact) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let nonempty: Vec<_> = a
+        .sentence
+        .blocks
+        .iter()
+        .filter(|b| !b.vars.is_empty())
+        .collect();
+    for pair in nonempty.windows(2) {
+        if pair[0].quantifier == pair[1].quantifier {
+            out.push(
+                Diagnostic::warning(
+                    "FRM008",
+                    a.artifact(),
+                    format!(
+                        "adjacent {} blocks are not merged; the prefix is not in normal form",
+                        pair[0].quantifier
+                    ),
+                )
+                .with_suggestion("merge the blocks into one"),
+            );
+        }
+    }
+    out
+}
+
+/// Runs every sentence flow rule over one artifact.
+pub fn check_sentence(a: &SentenceArtifact) -> Vec<Diagnostic> {
+    let mut out = check_semantic_level(a);
+    out.extend(check_radius_flow(a));
+    out.extend(check_prefix_normal_form(a));
+    out
+}

@@ -28,6 +28,9 @@ pub struct SentenceArtifact {
     /// The structure signature the sentence is written against:
     /// `(unary relation count, binary relation count)`.
     pub signature: (usize, usize),
+    /// Claimed visibility radius of the matrix, if the author states one
+    /// (checked by `FRM007` against the variable-flow radius).
+    pub claimed_radius: Option<usize>,
 }
 
 impl SentenceArtifact {
@@ -41,7 +44,15 @@ impl SentenceArtifact {
             sentence,
             claimed_level: claimed_level.to_owned(),
             signature: (1, 2),
+            claimed_radius: None,
         }
+    }
+
+    /// Adds a claimed visibility radius.
+    #[must_use]
+    pub fn with_radius(mut self, r: usize) -> Self {
+        self.claimed_radius = Some(r);
+        self
     }
 
     /// Marks the sentence as claimed monadic.
@@ -66,7 +77,7 @@ impl SentenceArtifact {
         self
     }
 
-    fn artifact(&self) -> String {
+    pub(crate) fn artifact(&self) -> String {
         format!("sentence:{}", self.name)
     }
 }

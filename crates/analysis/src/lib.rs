@@ -18,6 +18,11 @@
 //! * [`contract`] — arbiter and reduction rules `ARB001`/`ARB002` and
 //!   `RED001`/`RED002` (game-spec realization, metered rounds,
 //!   cluster-map conditions).
+//! * [`flow`] — the semantic tier: dataflow engines deriving machine
+//!   reachability and certified Lemma 10 step/space bounds
+//!   (`DTM007`–`DTM010`), semantic hierarchy levels and flow radii
+//!   (`FRM006`–`FRM008`), and symbolic reduction output-size bounds
+//!   (`RED003`–`RED005`), surfaced at the `Proof` severity.
 //! * [`registry`] — the rule table and allow/deny configuration.
 //! * [`corpus`] — the built-in corpus of shipped artifacts; `lph-lint`
 //!   runs the rules over it.
@@ -41,15 +46,17 @@ pub mod contract;
 pub mod corpus;
 pub mod diagnostic;
 pub mod dtm;
+pub mod flow;
 pub mod formula;
 pub mod json;
 pub mod registry;
 pub mod tracefmt;
 
 pub use contract::{ArbiterArtifact, ClusterMapArtifact, ReductionArtifact};
-pub use corpus::{builtin, run, run_builtin, Corpus};
+pub use corpus::{builtin, run, run_builtin, run_builtin_deep, run_deep, Corpus};
 pub use diagnostic::{sort_diagnostics, Diagnostic, Severity};
 pub use dtm::DtmArtifact;
+pub use flow::{reduction_domain_ok, MachineFlow};
 pub use formula::SentenceArtifact;
 pub use json::{diagnostics_from_json, diagnostics_to_json, Json};
 pub use registry::{rule, RuleConfig, RuleInfo, RULES};

@@ -18,8 +18,10 @@ pub struct RuleInfo {
     pub default_severity: Severity,
 }
 
-/// Every rule the analyzer knows, in code order.
-pub const RULES: [RuleInfo; 15] = [
+/// Every rule the analyzer knows, in code order. Rules `DTM007`–`DTM010`,
+/// `FRM006`–`FRM008`, and `RED003`–`RED005` belong to the semantic tier
+/// ([`crate::flow`]) and only run in `lph-lint --analyze` deep mode.
+pub const RULES: [RuleInfo; 25] = [
     RuleInfo {
         code: "DTM001",
         name: "tm-totality",
@@ -57,6 +59,30 @@ pub const RULES: [RuleInfo; 15] = [
         default_severity: Severity::Error,
     },
     RuleInfo {
+        code: "DTM007",
+        name: "tm-flow-reachability",
+        description: "syntactically reachable states are reached by some abstract configuration",
+        default_severity: Severity::Warning,
+    },
+    RuleInfo {
+        code: "DTM008",
+        name: "tm-flow-halting",
+        description: "some abstract configuration reaches q_stop (or q_pause for multi-round)",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        code: "DTM009",
+        name: "tm-certified-bound",
+        description: "claimed per-round step/space polynomials dominate the derived certificate",
+        default_severity: Severity::Proof,
+    },
+    RuleInfo {
+        code: "DTM010",
+        name: "tm-step-certificate",
+        description: "a polynomial per-round step certificate is derivable at all",
+        default_severity: Severity::Warning,
+    },
+    RuleInfo {
         code: "FRM001",
         name: "formula-unused-var",
         description: "every quantified variable occurs in its body",
@@ -87,6 +113,24 @@ pub const RULES: [RuleInfo; 15] = [
         default_severity: Severity::Error,
     },
     RuleInfo {
+        code: "FRM006",
+        name: "formula-semantic-level",
+        description: "the claimed level survives dead-binder elimination",
+        default_severity: Severity::Proof,
+    },
+    RuleInfo {
+        code: "FRM007",
+        name: "formula-radius-flow",
+        description: "the claimed radius brackets the variable-flow and syntactic radii",
+        default_severity: Severity::Proof,
+    },
+    RuleInfo {
+        code: "FRM008",
+        name: "formula-prefix-normal-form",
+        description: "adjacent same-quantifier blocks are merged",
+        default_severity: Severity::Warning,
+    },
+    RuleInfo {
         code: "ARB001",
         name: "arbiter-game-spec",
         description: "the game spec realizes the claimed Σℓ/Πℓ class",
@@ -109,6 +153,24 @@ pub const RULES: [RuleInfo; 15] = [
         name: "reduction-cluster-surjectivity",
         description: "every input node receives a nonempty cluster",
         default_severity: Severity::Warning,
+    },
+    RuleInfo {
+        code: "RED003",
+        name: "reduction-domain",
+        description: "probes of incident-edge-requiring reductions have no isolated nodes",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        code: "RED004",
+        name: "reduction-cluster-size-bound",
+        description: "replayed cluster patches stay within the declared size polynomials",
+        default_severity: Severity::Proof,
+    },
+    RuleInfo {
+        code: "RED005",
+        name: "reduction-output-size-flow",
+        description: "assembled outputs obey the composed whole-graph size bound",
+        default_severity: Severity::Proof,
     },
 ];
 

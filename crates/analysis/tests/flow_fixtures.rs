@@ -1,0 +1,465 @@
+//! Per-rule fixtures for the semantic dataflow tier (`--analyze`): every
+//! flow rule has a known-bad artifact it fires on and a clean artifact it
+//! stays silent on, so no rule can pass vacuously.
+
+use lph_analysis::contract::ReductionArtifact;
+use lph_analysis::dtm::DtmArtifact;
+use lph_analysis::flow::machine::{
+    check_certified_bounds, check_flow_halting, check_flow_reachability, check_step_certificate,
+};
+use lph_analysis::flow::reduction::{check_cluster_size, check_domain, check_output_size};
+use lph_analysis::flow::sentence::{
+    check_prefix_normal_form, check_radius_flow, check_semantic_level,
+};
+use lph_analysis::formula::SentenceArtifact;
+use lph_analysis::{Diagnostic, Severity};
+use lph_graphs::{generators, BitString, LabeledGraph, PolyBound};
+use lph_logic::dsl::{and, app};
+use lph_logic::examples;
+use lph_logic::{FoVar, Formula, Matrix, Sentence, SoBlock, SoVar};
+use lph_machine::{machines, DistributedTm, Move, Pat, Sym, TmBuilder, WriteOp};
+use lph_reductions::{ClusterPatch, LocalReduction, LocalView, ReductionError, SizeBound};
+
+fn codes(diags: &[Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.code.as_str()).collect()
+}
+
+fn assert_fires(diags: &[Diagnostic], code: &str) {
+    assert!(codes(diags).contains(&code), "expected {code} in {diags:?}");
+}
+
+fn assert_silent(diags: &[Diagnostic], code: &str) {
+    assert!(
+        !codes(diags).contains(&code),
+        "unexpected {code} in {diags:?}"
+    );
+}
+
+/// A minimal well-behaved machine: step off the marker, then stop.
+fn clean_machine() -> DistributedTm {
+    let mut b = TmBuilder::new();
+    let go = b.state("go");
+    b.rule(
+        b.start(),
+        [Pat::Any; 3],
+        go,
+        [WriteOp::Keep; 3],
+        [Move::S, Move::R, Move::S],
+    );
+    b.rule(
+        go,
+        [Pat::Any; 3],
+        b.stop(),
+        [WriteOp::Keep; 3],
+        [Move::S; 3],
+    );
+    b.build()
+}
+
+/// A machine whose only cycle makes no progress (Keep + all-stay): no
+/// consuming-tape certificate exists for it.
+fn uncertifiable_machine() -> DistributedTm {
+    let mut b = TmBuilder::new();
+    let ping = b.state("ping");
+    let pong = b.state("pong");
+    b.rule(
+        b.start(),
+        [Pat::Any; 3],
+        ping,
+        [WriteOp::Keep; 3],
+        [Move::S, Move::R, Move::S],
+    );
+    b.rule(ping, [Pat::Any; 3], pong, [WriteOp::Keep; 3], [Move::S; 3]);
+    b.rule(pong, [Pat::Any; 3], ping, [WriteOp::Keep; 3], [Move::S; 3]);
+    b.build()
+}
+
+// ---------------------------------------------------------------- DTM007
+
+/// `ghost` is syntactically reachable (an entry of `blankland` leads to
+/// it) but flow-unreachable: `blankland` is only ever entered with the
+/// internal head inside the blank zone, where the `One`-scanning entry
+/// into `ghost` can never fire.
+#[test]
+fn dtm007_fires_on_flow_unreachable_state() {
+    let mut b = TmBuilder::new();
+    let skip = b.state("skip");
+    let blankland = b.state("blankland");
+    let ghost = b.state("ghost");
+    b.rule(
+        b.start(),
+        [Pat::Any; 3],
+        skip,
+        [WriteOp::Keep; 3],
+        [Move::S, Move::R, Move::S],
+    );
+    b.rule(
+        skip,
+        [Pat::Any, Pat::Is(Sym::One), Pat::Any],
+        skip,
+        [WriteOp::Keep; 3],
+        [Move::S, Move::R, Move::S],
+    );
+    b.rule(
+        skip,
+        [Pat::Any, Pat::Is(Sym::Blank), Pat::Any],
+        blankland,
+        [WriteOp::Keep; 3],
+        [Move::S, Move::R, Move::S],
+    );
+    b.rule(
+        blankland,
+        [Pat::Any, Pat::Is(Sym::One), Pat::Any],
+        ghost,
+        [WriteOp::Keep; 3],
+        [Move::S; 3],
+    );
+    b.rule(
+        blankland,
+        [Pat::Any, Pat::Is(Sym::Blank), Pat::Any],
+        b.stop(),
+        [WriteOp::Keep; 3],
+        [Move::S; 3],
+    );
+    b.rule(
+        ghost,
+        [Pat::Any; 3],
+        b.stop(),
+        [WriteOp::Keep; 3],
+        [Move::S; 3],
+    );
+    let a = DtmArtifact::new("ghosted", b.build(), true);
+    let diags = check_flow_reachability(&a);
+    assert_fires(&diags, "DTM007");
+    assert_eq!(diags[0].severity, Severity::Warning);
+    assert!(diags[0].message.contains("ghost"), "{diags:?}");
+}
+
+#[test]
+fn dtm007_silent_on_corpus_machines() {
+    for (name, tm) in [
+        ("all_selected", machines::all_selected_decider()),
+        ("coloring", machines::proper_coloring_verifier()),
+        ("echo", machines::echo_machine()),
+    ] {
+        let a = DtmArtifact::new(name, tm, false);
+        assert_silent(&check_flow_reachability(&a), "DTM007");
+    }
+}
+
+// ---------------------------------------------------------------- DTM008
+
+#[test]
+fn dtm008_fires_when_no_abstract_path_halts() {
+    let mut b = TmBuilder::new();
+    let spin = b.state("spin");
+    b.rule(
+        b.start(),
+        [Pat::Any; 3],
+        spin,
+        [WriteOp::Keep; 3],
+        [Move::S, Move::R, Move::S],
+    );
+    b.rule(
+        spin,
+        [Pat::Any; 3],
+        spin,
+        [WriteOp::Keep; 3],
+        [Move::S, Move::R, Move::S],
+    );
+    let single = DtmArtifact::new("never_stops", b.build(), true);
+    let diags = check_flow_halting(&single);
+    assert_fires(&diags, "DTM008");
+    assert_eq!(diags[0].severity, Severity::Error);
+    // Multi-round claim: still no q_stop/q_pause, still an error.
+    let multi = DtmArtifact::new("never_ends", uncertifiable_machine(), false);
+    assert_fires(&check_flow_halting(&multi), "DTM008");
+}
+
+#[test]
+fn dtm008_silent_on_halting_machines() {
+    let a = DtmArtifact::new("clean", clean_machine(), true);
+    assert_silent(&check_flow_halting(&a), "DTM008");
+    let echo = DtmArtifact::new("echo", machines::echo_machine(), false);
+    assert_silent(&check_flow_halting(&echo), "DTM008");
+}
+
+// ---------------------------------------------------------------- DTM009
+
+#[test]
+fn dtm009_fires_when_claim_does_not_dominate_certificate() {
+    let a = DtmArtifact::new("overclaimed", clean_machine(), true)
+        .with_bounds(PolyBound::constant(0), PolyBound::constant(0));
+    let diags = check_certified_bounds(&a);
+    assert_fires(&diags, "DTM009");
+    assert!(diags.iter().all(|d| d.severity == Severity::Proof));
+}
+
+#[test]
+fn dtm009_fires_when_claim_has_no_certificate() {
+    let a = DtmArtifact::new("unbacked", uncertifiable_machine(), false)
+        .with_bounds(PolyBound::linear(10, 10), PolyBound::linear(10, 10));
+    let diags = check_certified_bounds(&a);
+    assert_fires(&diags, "DTM009");
+    assert!(
+        diags[0].message.contains("cannot be certified"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn dtm009_silent_on_dominating_claim() {
+    let a = DtmArtifact::new("generous", clean_machine(), true).with_bounds(
+        PolyBound::linear(1000, 1000),
+        PolyBound::linear(10_000, 10_000),
+    );
+    assert_silent(&check_certified_bounds(&a), "DTM009");
+}
+
+// ---------------------------------------------------------------- DTM010
+
+#[test]
+fn dtm010_fires_when_no_certificate_derivable() {
+    let a = DtmArtifact::new("loopy", uncertifiable_machine(), false);
+    let diags = check_step_certificate(&a);
+    assert_fires(&diags, "DTM010");
+    assert_eq!(diags[0].severity, Severity::Warning);
+    assert!(diags[0].message.contains("ping") || diags[0].message.contains("pong"));
+}
+
+#[test]
+fn dtm010_silent_when_certificate_exists() {
+    let a = DtmArtifact::new("clean", clean_machine(), true);
+    assert_silent(&check_step_certificate(&a), "DTM010");
+    let coloring = DtmArtifact::new("coloring", machines::proper_coloring_verifier(), false);
+    assert_silent(&check_step_certificate(&coloring), "DTM010");
+}
+
+// ---------------------------------------------------------------- FRM006
+
+#[test]
+fn frm006_fires_on_level_inflated_by_dead_block() {
+    let x = FoVar(0);
+    let c = SoVar::set(0);
+    // ∃C ∀°x ⊤ claims Σ1, but C never reaches the matrix: the sentence
+    // provably defines a Σ0 property.
+    let s = Sentence::new(
+        vec![SoBlock::exists(vec![c])],
+        Matrix::Lfo {
+            x,
+            body: Formula::True,
+        },
+    );
+    let a = SentenceArtifact::new("dead_block", s, "Σ1");
+    let diags = check_semantic_level(&a);
+    assert_fires(&diags, "FRM006");
+    assert_eq!(diags[0].severity, Severity::Proof);
+}
+
+#[test]
+fn frm006_silent_on_corpus_sentences() {
+    for (name, s, level) in [
+        ("ham", examples::hamiltonian(), "Σ5"),
+        ("nas", examples::not_all_selected(), "Σ3"),
+        ("all_sel", examples::all_selected(), "Σ0 = Π0"),
+    ] {
+        let a = SentenceArtifact::new(name, s, level);
+        assert_silent(&check_semantic_level(&a), "FRM006");
+    }
+}
+
+// ---------------------------------------------------------------- FRM007
+
+#[test]
+fn frm007_fires_when_claimed_radius_below_flow_radius() {
+    // three_colorable's matrix uses a variable at flow distance 2.
+    let a = SentenceArtifact::new("shallow", examples::three_colorable(), "Σ1").with_radius(1);
+    let diags = check_radius_flow(&a);
+    assert_fires(&diags, "FRM007");
+    assert_eq!(diags[0].severity, Severity::Proof);
+}
+
+#[test]
+fn frm007_warns_when_claimed_radius_above_syntactic_radius() {
+    let a = SentenceArtifact::new("bloated", examples::three_colorable(), "Σ1").with_radius(10);
+    let diags = check_radius_flow(&a);
+    assert_fires(&diags, "FRM007");
+    assert_eq!(diags[0].severity, Severity::Warning);
+}
+
+#[test]
+fn frm007_silent_on_pinched_claim_or_no_claim() {
+    let claimed = SentenceArtifact::new("exact", examples::three_colorable(), "Σ1").with_radius(2);
+    assert_silent(&check_radius_flow(&claimed), "FRM007");
+    let unclaimed = SentenceArtifact::new("none", examples::three_colorable(), "Σ1");
+    assert_silent(&check_radius_flow(&unclaimed), "FRM007");
+}
+
+// ---------------------------------------------------------------- FRM008
+
+#[test]
+fn frm008_fires_on_unmerged_adjacent_blocks() {
+    let x = FoVar(0);
+    let c0 = SoVar::set(0);
+    let c1 = SoVar::set(1);
+    // ∃C₀ ∃C₁ as two separate blocks: level-neutral but not normal form.
+    let s = Sentence::new(
+        vec![SoBlock::exists(vec![c0]), SoBlock::exists(vec![c1])],
+        Matrix::Lfo {
+            x,
+            body: and(vec![app(c0, vec![x]), app(c1, vec![x])]),
+        },
+    );
+    let a = SentenceArtifact::new("split_prefix", s, "Σ1");
+    let diags = check_prefix_normal_form(&a);
+    assert_fires(&diags, "FRM008");
+    assert_eq!(diags[0].severity, Severity::Warning);
+}
+
+#[test]
+fn frm008_silent_on_corpus_sentences() {
+    for (name, s, level) in [
+        ("ham", examples::hamiltonian(), "Σ5"),
+        ("non3col", examples::non_three_colorable(), "Π4"),
+    ] {
+        let a = SentenceArtifact::new(name, s, level);
+        assert_silent(&check_prefix_normal_form(&a), "FRM008");
+    }
+}
+
+// ---------------------------------------------------------------- RED003
+
+#[test]
+fn red003_fires_on_probe_with_isolated_node() {
+    let a = ReductionArtifact::new(
+        Box::new(lph_reductions::eulerian::AllSelectedToEulerian),
+        vec![LabeledGraph::single_node(BitString::from_bits01("1"))],
+    );
+    let diags = check_domain(&a);
+    assert_fires(&diags, "RED003");
+    assert_eq!(diags[0].severity, Severity::Error);
+}
+
+#[test]
+fn red003_silent_on_domain_respecting_probes() {
+    let a = ReductionArtifact::new(
+        Box::new(lph_reductions::eulerian::AllSelectedToEulerian),
+        vec![generators::labeled_cycle(&["1", "1", "0"])],
+    );
+    assert_silent(&check_domain(&a), "RED003");
+}
+
+// ------------------------------------------------------- RED004 / RED005
+
+/// A deliberately super-polynomial gadget: `2^(d + 2)` chained nodes per
+/// cluster, against declared *linear* bounds.
+#[derive(Debug, Clone, Copy, Default)]
+struct ExponentialGadget;
+
+impl LocalReduction for ExponentialGadget {
+    fn name(&self) -> &str {
+        "exponential gadget (fixture)"
+    }
+
+    fn radius(&self) -> usize {
+        1
+    }
+
+    fn cluster(&self, view: &LocalView) -> Result<ClusterPatch, ReductionError> {
+        let k = 1usize << (view.degree() + 2);
+        let blank = BitString::new();
+        let mut patch = ClusterPatch::default();
+        for i in 0..k {
+            patch.node(format!("n{i}"), blank.clone());
+        }
+        for i in 1..k {
+            patch.edge(format!("n{}", i - 1), format!("n{i}"));
+        }
+        for (_, nbr_id, _) in view.sorted_neighbors() {
+            patch.outer_edge("n0", nbr_id.clone(), "n0");
+        }
+        Ok(patch)
+    }
+
+    fn size_bound(&self) -> Option<SizeBound> {
+        Some(SizeBound {
+            nodes: PolyBound::linear(1, 1),
+            inner_edges: PolyBound::linear(1, 1),
+            outer_edges: PolyBound::linear(0, 1),
+        })
+    }
+}
+
+/// A reduction that declares no size bound at all.
+#[derive(Debug, Clone, Copy, Default)]
+struct Undeclared;
+
+impl LocalReduction for Undeclared {
+    fn name(&self) -> &str {
+        "undeclared size (fixture)"
+    }
+
+    fn radius(&self) -> usize {
+        1
+    }
+
+    fn cluster(&self, view: &LocalView) -> Result<ClusterPatch, ReductionError> {
+        let mut patch = ClusterPatch::default();
+        patch.node("f", BitString::new());
+        for (_, nbr_id, _) in view.sorted_neighbors() {
+            patch.outer_edge("f", nbr_id.clone(), "f");
+        }
+        Ok(patch)
+    }
+}
+
+#[test]
+fn red004_fires_on_super_polynomial_cluster() {
+    let a = ReductionArtifact::new(
+        Box::new(ExponentialGadget),
+        vec![generators::labeled_cycle(&["1", "1", "1"])],
+    );
+    let diags = check_cluster_size(&a);
+    assert_fires(&diags, "RED004");
+    assert_eq!(diags[0].severity, Severity::Proof);
+}
+
+#[test]
+fn red004_silent_on_honest_declarations() {
+    let a = ReductionArtifact::new(
+        Box::new(lph_reductions::eulerian::AllSelectedToEulerian),
+        vec![generators::labeled_cycle(&["1", "1", "0"])],
+    );
+    assert_silent(&check_cluster_size(&a), "RED004");
+}
+
+#[test]
+fn red005_fires_on_super_polynomial_output() {
+    let a = ReductionArtifact::new(
+        Box::new(ExponentialGadget),
+        vec![generators::labeled_cycle(&["1", "1", "1"])],
+    );
+    let diags = check_output_size(&a);
+    assert_fires(&diags, "RED005");
+    assert!(diags.iter().any(|d| d.severity == Severity::Proof));
+}
+
+#[test]
+fn red005_notes_missing_size_bound() {
+    let a = ReductionArtifact::new(
+        Box::new(Undeclared),
+        vec![generators::labeled_cycle(&["1"; 3])],
+    );
+    let diags = check_output_size(&a);
+    assert_fires(&diags, "RED005");
+    assert_eq!(diags[0].severity, Severity::Note);
+}
+
+#[test]
+fn red005_silent_on_honest_declarations() {
+    let a = ReductionArtifact::new(
+        Box::new(lph_reductions::eulerian::AllSelectedToEulerian),
+        vec![generators::labeled_cycle(&["1", "1", "0"])],
+    );
+    assert_silent(&check_output_size(&a), "RED005");
+}

@@ -1,0 +1,116 @@
+//! Property-style check of the semantic level engine: the inferred
+//! `Σℓ/Πℓ` placement of randomly assembled sentences (random quantifier
+//! prefixes, including empty, split, and dead blocks, over a matrix
+//! using a random subset of the bound variables) must agree with an
+//! independent reference computation on the used-quantifier sequence.
+
+use lph_analysis::flow::sentence::infer_level;
+use lph_graphs::generators::XorShift;
+use lph_logic::dsl::{and, app};
+use lph_logic::{FoVar, Formula, Level, Matrix, Quantifier, Sentence, SoBlock, SoVar};
+
+/// Reference semantics, computed a different way than the engine: keep
+/// the quantifier of every block that binds at least one used variable,
+/// then count maximal runs in that sequence.
+fn reference_level(prefix: &[(Quantifier, Vec<SoVar>)], used: &[SoVar]) -> Level {
+    let survivors: Vec<Quantifier> = prefix
+        .iter()
+        .filter(|(_, vars)| vars.iter().any(|v| used.contains(v)))
+        .map(|&(q, _)| q)
+        .collect();
+    let mut runs = 0;
+    let mut leading = None;
+    let mut prev = None;
+    for &q in &survivors {
+        if prev != Some(q) {
+            runs += 1;
+            leading.get_or_insert(q);
+            prev = Some(q);
+        }
+    }
+    Level { ell: runs, leading }
+}
+
+#[test]
+fn inferred_level_matches_reference_on_random_sentences() {
+    let x = FoVar(0);
+    let mut rng = XorShift::new(0x5eed_cafe_f00d_0001);
+    for case in 0..500 {
+        // Random prefix: up to 5 blocks, each with 0–3 variables.
+        let block_count = rng.below(6);
+        let mut prefix: Vec<(Quantifier, Vec<SoVar>)> = Vec::new();
+        let mut pool: Vec<SoVar> = Vec::new();
+        for b in 0..block_count {
+            let q = if rng.bool() {
+                Quantifier::Exists
+            } else {
+                Quantifier::Forall
+            };
+            let vars: Vec<SoVar> = (0..rng.below(4))
+                .map(|i| SoVar::set((b * 4 + i) as u32))
+                .collect();
+            pool.extend(vars.iter().copied());
+            prefix.push((q, vars));
+        }
+        // Random subset of bound variables actually reaches the matrix.
+        let used: Vec<SoVar> = pool.iter().copied().filter(|_| rng.bool()).collect();
+        let body = if used.is_empty() {
+            Formula::True
+        } else {
+            and(used.iter().map(|&v| app(v, vec![x])).collect())
+        };
+        let sentence = Sentence::new(
+            prefix
+                .iter()
+                .map(|(q, vars)| match q {
+                    Quantifier::Exists => SoBlock::exists(vars.clone()),
+                    Quantifier::Forall => SoBlock::forall(vars.clone()),
+                })
+                .collect(),
+            Matrix::Lfo { x, body },
+        );
+        let inferred = infer_level(&sentence);
+        let expected = reference_level(&prefix, &used);
+        assert_eq!(
+            (inferred.ell, inferred.leading),
+            (expected.ell, expected.leading),
+            "case {case}: prefix {prefix:?}, used {used:?}"
+        );
+    }
+}
+
+/// The engine agrees with the syntactic `Sentence::level` whenever every
+/// bound variable is used (no dead binders to eliminate).
+#[test]
+fn inferred_level_matches_syntactic_level_without_dead_binders() {
+    let x = FoVar(0);
+    let mut rng = XorShift::new(0xd00d_2024_0806);
+    for _ in 0..200 {
+        let block_count = rng.below(5);
+        let mut blocks = Vec::new();
+        let mut atoms = Vec::new();
+        for b in 0..block_count {
+            let vars: Vec<SoVar> = (0..1 + rng.below(3))
+                .map(|i| SoVar::set((b * 4 + i) as u32))
+                .collect();
+            atoms.extend(vars.iter().map(|&v| app(v, vec![x])));
+            blocks.push(if rng.bool() {
+                SoBlock::exists(vars)
+            } else {
+                SoBlock::forall(vars)
+            });
+        }
+        let body = if atoms.is_empty() {
+            Formula::True
+        } else {
+            and(atoms)
+        };
+        let s = Sentence::new(blocks, Matrix::Lfo { x, body });
+        let inferred = infer_level(&s);
+        let syntactic = s.level();
+        assert_eq!(
+            (inferred.ell, inferred.leading),
+            (syntactic.ell, syntactic.leading)
+        );
+    }
+}

@@ -129,6 +129,33 @@ impl PolyBound {
         }
         acc
     }
+
+    /// Whether `self(n) ≥ other(n)` for **all** `n ≥ 0`, decided by the
+    /// suffix-sum criterion: `p ≥ q` pointwise on `n ≥ 1` whenever every
+    /// coefficient suffix sum `Σ_{i≥k} pᵢ` dominates `Σ_{i≥k} qᵢ` (Abel
+    /// summation: `p(n) = Σ_k S_p(k)·(nᵏ − nᵏ⁻¹) + S_p(0)`, and each
+    /// `nᵏ − nᵏ⁻¹ ≥ 0` for `n ≥ 1`), plus a direct constant-term
+    /// comparison for `n = 0`.
+    ///
+    /// The criterion is *sound but incomplete*: a `true` verdict proves
+    /// pointwise dominance, while `false` may be a false negative (e.g.
+    /// `10 + n` vs `2n` on small `n`). Certified-bound checks treat
+    /// `false` as "not certified", which keeps them conservative.
+    pub fn dominates(&self, other: &PolyBound) -> bool {
+        if self.coeffs[0] < other.coeffs[0] {
+            return false;
+        }
+        let len = self.coeffs.len().max(other.coeffs.len());
+        let (mut ours, mut theirs) = (0u64, 0u64);
+        for k in (0..len).rev() {
+            ours = ours.saturating_add(self.coeffs.get(k).copied().unwrap_or(0));
+            theirs = theirs.saturating_add(other.coeffs.get(k).copied().unwrap_or(0));
+            if ours < theirs {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 impl fmt::Display for PolyBound {
@@ -222,5 +249,37 @@ mod tests {
         let p = PolyBound::monomial(4, 3);
         assert_eq!(p.degree(), 3);
         assert_eq!(p.eval(2), 32);
+    }
+
+    #[test]
+    fn dominates_is_sound_on_samples() {
+        let cases = [
+            (PolyBound::new(vec![5, 3]), PolyBound::new(vec![2, 3])),
+            (PolyBound::new(vec![1, 0, 4]), PolyBound::new(vec![1, 3])),
+            (PolyBound::new(vec![10, 10]), PolyBound::new(vec![10, 10])),
+            (PolyBound::monomial(2, 2), PolyBound::linear(0, 2)),
+        ];
+        for (p, q) in &cases {
+            assert!(p.dominates(q), "{p} should dominate {q}");
+            for n in 0..50 {
+                assert!(p.eval(n) >= q.eval(n), "{p} < {q} at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dominates_rejects_smaller_bounds() {
+        // Strictly smaller somewhere → must be rejected.
+        assert!(!PolyBound::linear(0, 1).dominates(&PolyBound::linear(1, 1)));
+        assert!(!PolyBound::constant(7).dominates(&PolyBound::linear(0, 1)));
+        // Incomplete by design: higher degree but smaller low-order suffix
+        // sums is rejected even though it dominates for large n.
+        assert!(!PolyBound::monomial(1, 2).dominates(&PolyBound::linear(0, 3)));
+    }
+
+    #[test]
+    fn dominates_checks_the_constant_term() {
+        // Suffix sums dominate but p(0) < q(0).
+        assert!(!PolyBound::linear(0, 5).dominates(&PolyBound::constant(1)));
     }
 }

@@ -237,6 +237,16 @@ impl LocalReduction for LfoToSatGraph {
         }
         Ok(patch)
     }
+
+    fn size_bound(&self) -> Option<crate::framework::SizeBound> {
+        // Topology-preserving, like the Tseytin step: one formula node,
+        // no inner edges, one stub per neighbor.
+        Some(crate::framework::SizeBound {
+            nodes: lph_graphs::PolyBound::constant(1),
+            inner_edges: lph_graphs::PolyBound::constant(0),
+            outer_edges: lph_graphs::PolyBound::linear(0, 1),
+        })
+    }
 }
 
 /// Applies the Theorem 19 reduction, validating that the identifier

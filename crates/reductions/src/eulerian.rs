@@ -5,9 +5,9 @@
 //! additionally gets the "vertical" edge `{u₀, u₁}`. All degrees are even
 //! iff every node is selected.
 
-use lph_graphs::BitString;
+use lph_graphs::{BitString, PolyBound};
 
-use crate::framework::{ClusterPatch, LocalReduction, LocalView, ReductionError};
+use crate::framework::{ClusterPatch, LocalReduction, LocalView, ReductionError, SizeBound};
 
 /// The Proposition 15 reduction.
 #[derive(Debug, Clone, Copy, Default)]
@@ -38,6 +38,19 @@ impl LocalReduction for AllSelectedToEulerian {
             }
         }
         Ok(patch)
+    }
+
+    fn size_bound(&self) -> Option<SizeBound> {
+        // Two copies, at most one vertical edge, four stubs per neighbor.
+        Some(SizeBound {
+            nodes: PolyBound::constant(2),
+            inner_edges: PolyBound::constant(1),
+            outer_edges: PolyBound::linear(0, 4),
+        })
+    }
+
+    fn requires_incident_edges(&self) -> bool {
+        true
     }
 }
 

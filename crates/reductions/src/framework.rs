@@ -100,6 +100,22 @@ impl ClusterPatch {
     }
 }
 
+/// A symbolic bound on the size of one cluster patch: polynomials (with
+/// nonnegative coefficients, hence monotone) in the view's *measure*
+/// `m = center degree + center label bit-length` — the two quantities a
+/// constant-radius view exposes that can grow with the input. A
+/// local-polynomial reduction must admit such a bound (Section 8); the
+/// analyzer's size-flow engine replays clusters against it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeBound {
+    /// Bound on `ClusterPatch::nodes` length.
+    pub nodes: lph_graphs::PolyBound,
+    /// Bound on `ClusterPatch::inner_edges` length.
+    pub inner_edges: lph_graphs::PolyBound,
+    /// Bound on `ClusterPatch::outer_edges` length.
+    pub outer_edges: lph_graphs::PolyBound,
+}
+
 /// A local-polynomial reduction: a graph transformation computed cluster by
 /// cluster from constant-radius views (Section 8's implementable
 /// functions).
@@ -116,6 +132,19 @@ pub trait LocalReduction {
     ///
     /// Implementations may reject malformed inputs.
     fn cluster(&self, view: &LocalView) -> Result<ClusterPatch, ReductionError>;
+
+    /// The declared per-cluster size bound, if the reduction states one
+    /// (checked by the analyzer's `RED004`/`RED005` rules).
+    fn size_bound(&self) -> Option<SizeBound> {
+        None
+    }
+
+    /// Whether the reduction's domain is restricted to graphs where every
+    /// node has an incident edge (the precondition `RED003` enforces on
+    /// probes).
+    fn requires_incident_edges(&self) -> bool {
+        false
+    }
 }
 
 /// Errors raised while applying a reduction.

@@ -11,9 +11,9 @@
 //!   connectable only at unselected nodes, so a Hamiltonian cycle exists
 //!   iff the two global cycles can be joined somewhere.
 
-use lph_graphs::BitString;
+use lph_graphs::{BitString, PolyBound};
 
-use crate::framework::{ClusterPatch, LocalReduction, LocalView, ReductionError};
+use crate::framework::{ClusterPatch, LocalReduction, LocalView, ReductionError, SizeBound};
 
 fn is_selected(view: &LocalView) -> bool {
     *view.label() == BitString::from_bits01("1")
@@ -74,6 +74,20 @@ impl LocalReduction for AllSelectedToHamiltonian {
         }
         Ok(patch)
     }
+
+    fn size_bound(&self) -> Option<SizeBound> {
+        // Ring of max(2d, 3) ports plus the possible pendant; one cycle
+        // edge per ring node plus the pendant edge; two stubs per neighbor.
+        Some(SizeBound {
+            nodes: PolyBound::linear(4, 2),
+            inner_edges: PolyBound::linear(4, 2),
+            outer_edges: PolyBound::linear(0, 2),
+        })
+    }
+
+    fn requires_incident_edges(&self) -> bool {
+        true
+    }
 }
 
 /// The Proposition 17 reduction.
@@ -130,6 +144,20 @@ impl LocalReduction for NotAllSelectedToHamiltonian {
             patch.edge("top:c1", "bot:c1");
         }
         Ok(patch)
+    }
+
+    fn size_bound(&self) -> Option<SizeBound> {
+        // Two rings of 2d + 3 nodes/cycle edges, up to two vertical edges,
+        // four stubs per neighbor.
+        Some(SizeBound {
+            nodes: PolyBound::linear(6, 4),
+            inner_edges: PolyBound::linear(8, 4),
+            outer_edges: PolyBound::linear(0, 4),
+        })
+    }
+
+    fn requires_incident_edges(&self) -> bool {
+        true
     }
 }
 

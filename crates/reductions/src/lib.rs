@@ -45,5 +45,5 @@ pub mod three_col;
 
 pub use framework::{
     apply, derive_cluster_ids, simulate_decider, simulate_game, ClusterPatch, LocalReduction,
-    LocalView, ReductionError,
+    LocalView, ReductionError, SizeBound,
 };

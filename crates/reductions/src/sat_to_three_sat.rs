@@ -3,10 +3,10 @@
 //! the Tseytin transformation, with auxiliary variables scoped by the
 //! node's identifier so that adjacent nodes never share them.
 
-use lph_graphs::BitString;
+use lph_graphs::{BitString, PolyBound};
 use lph_props::BoolExpr;
 
-use crate::framework::{ClusterPatch, LocalReduction, LocalView, ReductionError};
+use crate::framework::{ClusterPatch, LocalReduction, LocalView, ReductionError, SizeBound};
 
 /// The Theorem 20 (step 1) reduction.
 #[derive(Debug, Clone, Copy, Default)]
@@ -48,6 +48,16 @@ impl LocalReduction for SatGraphToThreeSatGraph {
             patch.outer_edge("f", nbr_id, "f");
         }
         Ok(patch)
+    }
+
+    fn size_bound(&self) -> Option<SizeBound> {
+        // Topology-preserving: one node, no inner edges, one stub per
+        // neighbor.
+        Some(SizeBound {
+            nodes: PolyBound::constant(1),
+            inner_edges: PolyBound::constant(0),
+            outer_edges: PolyBound::linear(0, 1),
+        })
     }
 }
 

@@ -10,10 +10,10 @@
 
 use std::collections::BTreeSet;
 
-use lph_graphs::BitString;
+use lph_graphs::{BitString, PolyBound};
 use lph_props::{BoolExpr, Lit};
 
-use crate::framework::{ClusterPatch, LocalReduction, LocalView, ReductionError};
+use crate::framework::{ClusterPatch, LocalReduction, LocalView, ReductionError, SizeBound};
 
 /// The Theorem 20 reduction.
 #[derive(Debug, Clone, Copy, Default)]
@@ -167,6 +167,19 @@ impl LocalReduction for ThreeSatGraphToThreeColorable {
             }
         }
         Ok(patch)
+    }
+
+    fn size_bound(&self) -> Option<SizeBound> {
+        // Variable and clause counts are both at most the label length
+        // (each costs several formula characters), and equality gadgets
+        // contribute up to degree · (2 + vars) nodes — quadratic in the
+        // measure. Coefficients are generous; RED004/RED005 replay the
+        // actual clusters against them.
+        Some(SizeBound {
+            nodes: PolyBound::new(vec![8, 16, 2]),
+            inner_edges: PolyBound::new(vec![8, 20, 2]),
+            outer_edges: PolyBound::new(vec![0, 8, 4]),
+        })
     }
 }
 

@@ -2,22 +2,31 @@
 //! of formal artifacts (machines, sentences, arbiters, reductions).
 //!
 //! ```text
-//! USAGE: lph-lint [--format text|json] [--allow CODE]... [--deny CODE|warnings]...
-//!                 [--trace-out PATH] [--list-rules]
+//! USAGE: lph-lint [--analyze] [--format text|json] [--allow CODE]...
+//!                 [--deny CODE|warnings]... [--trace-out PATH] [--list-rules]
 //! ```
+//!
+//! `--analyze` additionally runs the semantic dataflow tier
+//! ([`lph_analysis::flow`]): machine reachability and certified step/space
+//! bounds, sentence level/radius inference, and reduction size-flow. The
+//! deep engines are timed under `lph-trace` spans, visible with
+//! `--trace-out`.
 //!
 //! `--trace-out PATH` enables the global `lph-trace` recorder for the run
 //! and writes the aggregated trace (the corpus walk exercises the
 //! instrumented reduction and machine layers) to `PATH` as an
 //! `lph-trace/1` document.
 //!
-//! Exits `0` when no error-severity diagnostics remain after the
-//! configuration is applied, `1` when some do, and `2` on a usage error.
+//! Exits `0` when no failure-severity (error or proof) diagnostics remain
+//! after the configuration is applied, `1` when some do, and `2` on a
+//! usage error.
 
 use std::io::Write;
 use std::process::ExitCode;
 
-use lph_analysis::{diagnostics_to_json, run_builtin, trace_to_json, RuleConfig, Severity, RULES};
+use lph_analysis::{
+    diagnostics_to_json, run_builtin, run_builtin_deep, trace_to_json, RuleConfig, Severity, RULES,
+};
 
 enum Format {
     Text,
@@ -34,7 +43,7 @@ macro_rules! outln {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "USAGE: lph-lint [--format text|json] [--allow CODE]... \
+        "USAGE: lph-lint [--analyze] [--format text|json] [--allow CODE]... \
          [--deny CODE|warnings]... [--trace-out PATH] [--list-rules]"
     );
     ExitCode::from(2)
@@ -53,59 +62,88 @@ fn list_rules() {
     }
 }
 
+/// Pulls the value of a value-taking flag, rejecting a missing value and
+/// — since no rule code, format, or path starts with `--` — a value that
+/// is itself a flag (the classic `--deny --format json` mistake, which
+/// would otherwise silently eat `--format`).
+fn flag_value(flag: &str, args: &mut impl Iterator<Item = String>) -> Result<String, ExitCode> {
+    match args.next() {
+        Some(v) if !v.starts_with("--") => Ok(v),
+        Some(v) => {
+            eprintln!("lph-lint: {flag} needs a value, found flag `{v}`");
+            Err(usage())
+        }
+        None => {
+            eprintln!("lph-lint: {flag} needs a value");
+            Err(usage())
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut format = Format::Text;
     let mut config = RuleConfig::new();
     let mut trace_out: Option<String> = None;
+    let mut analyze = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--trace-out" => {
-                let Some(path) = args.next() else {
-                    return usage();
-                };
-                trace_out = Some(path);
-            }
+            "--analyze" => analyze = true,
+            "--trace-out" => match flag_value("--trace-out", &mut args) {
+                Ok(path) => trace_out = Some(path),
+                Err(code) => return code,
+            },
             "--list-rules" => {
                 list_rules();
                 return ExitCode::SUCCESS;
             }
-            "--format" => match args.next().as_deref() {
-                Some("text") => format = Format::Text,
-                Some("json") => format = Format::Json,
-                _ => return usage(),
-            },
-            "--allow" => {
-                let Some(code) = args.next() else {
+            "--format" => match flag_value("--format", &mut args) {
+                Ok(v) if v == "text" => format = Format::Text,
+                Ok(v) if v == "json" => format = Format::Json,
+                Ok(v) => {
+                    eprintln!("lph-lint: unknown format `{v}`");
                     return usage();
-                };
-                if let Err(e) = config.allow(&code) {
-                    eprintln!("lph-lint: {e}");
-                    return ExitCode::from(2);
                 }
-            }
-            "--deny" => match args.next() {
-                Some(v) if v == "warnings" => config.deny_all_warnings(),
-                Some(code) => {
+                Err(code) => return code,
+            },
+            "--allow" => match flag_value("--allow", &mut args) {
+                Ok(code) => {
+                    if let Err(e) = config.allow(&code) {
+                        eprintln!("lph-lint: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+                Err(code) => return code,
+            },
+            "--deny" => match flag_value("--deny", &mut args) {
+                Ok(v) if v == "warnings" => config.deny_all_warnings(),
+                Ok(code) => {
                     if let Err(e) = config.deny(&code) {
                         eprintln!("lph-lint: {e}");
                         return ExitCode::from(2);
                     }
                 }
-                None => return usage(),
+                Err(code) => return code,
             },
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
             }
-            _ => return usage(),
+            other => {
+                eprintln!("lph-lint: unknown argument `{other}`");
+                return usage();
+            }
         }
     }
 
     if trace_out.is_some() {
         lph_trace::set_enabled(true);
     }
-    let diags = run_builtin(&config);
+    let diags = if analyze {
+        run_builtin_deep(&config)
+    } else {
+        run_builtin(&config)
+    };
     if let Some(path) = &trace_out {
         let doc = trace_to_json(&lph_trace::snapshot());
         let mut text = doc.emit();
@@ -116,10 +154,7 @@ fn main() -> ExitCode {
         }
         outln!("lph-lint: trace ({} events) → {path}", lph_trace::events());
     }
-    let errors = diags
-        .iter()
-        .filter(|d| d.severity == Severity::Error)
-        .count();
+    let failures = diags.iter().filter(|d| d.severity.is_failure()).count();
     match format {
         Format::Json => {
             outln!("{}", diagnostics_to_json(&diags).emit());
@@ -128,22 +163,21 @@ fn main() -> ExitCode {
             for d in &diags {
                 outln!("{d}");
             }
-            let warnings = diags
-                .iter()
-                .filter(|d| d.severity == Severity::Warning)
-                .count();
-            let notes = diags
-                .iter()
-                .filter(|d| d.severity == Severity::Note)
-                .count();
+            let count = |s: Severity| diags.iter().filter(|d| d.severity == s).count();
             if diags.is_empty() {
                 outln!("lph-lint: corpus is clean");
             } else {
-                outln!("lph-lint: {errors} error(s), {warnings} warning(s), {notes} note(s)");
+                outln!(
+                    "lph-lint: {} proof refutation(s), {} error(s), {} warning(s), {} note(s)",
+                    count(Severity::Proof),
+                    count(Severity::Error),
+                    count(Severity::Warning),
+                    count(Severity::Note)
+                );
             }
         }
     }
-    if errors > 0 {
+    if failures > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

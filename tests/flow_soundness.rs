@@ -1,0 +1,112 @@
+//! Tier-1 gate for the semantic analyzer tier: the step/space bounds the
+//! machine dataflow engine *derives* statically are sound — no corpus
+//! machine, on any probe, in any round, exceeds them dynamically.
+//!
+//! Steps are compared per round at that round's input length
+//! `n = len(rcv) + len(int)`; space (a running high-water mark that can
+//! survive into later, cheaper rounds) is compared at the running maximum
+//! of `n` over the rounds seen so far.
+
+use lph::analysis::builtin;
+use lph::graphs::{
+    generators, BitString, CertificateAssignment, CertificateList, IdAssignment, LabeledGraph,
+};
+use lph::machine::{run_tm, ExecLimits};
+
+fn probe_family() -> Vec<LabeledGraph> {
+    vec![
+        generators::labeled_cycle(&["1", "1", "1"]),
+        generators::labeled_path(&["1", "0"]),
+        generators::labeled_cycle(&["1", "0", "1", "1"]),
+        generators::labeled_path(&["0", "1", "1", "0", "1"]),
+        generators::star(5),
+        generators::complete(4),
+    ]
+}
+
+fn certificate_variants(g: &LabeledGraph) -> Vec<CertificateList> {
+    vec![
+        CertificateList::new(),
+        CertificateList::from_assignments(vec![CertificateAssignment::uniform(
+            g,
+            BitString::from_bits01("01"),
+        )]),
+        CertificateList::from_assignments(vec![
+            CertificateAssignment::uniform(g, BitString::from_bits01("1")),
+            CertificateAssignment::uniform(g, BitString::from_bits01("0011")),
+        ]),
+    ]
+}
+
+#[test]
+fn derived_bounds_dominate_observed_metrics() {
+    let corpus = builtin();
+    assert!(!corpus.dtms.is_empty());
+    for a in &corpus.dtms {
+        let flow = a.flow();
+        let steps_bound = flow
+            .steps
+            .as_ref()
+            .unwrap_or_else(|| panic!("{} must certify: {:?}", a.name, flow.failure));
+        let space_bound = flow.space.as_ref().expect("space accompanies steps");
+        for g in &probe_family() {
+            let id = IdAssignment::global(g);
+            for certs in certificate_variants(g) {
+                let out = run_tm(&a.tm, g, &id, &certs, &ExecLimits::default())
+                    .unwrap_or_else(|e| panic!("{} failed on {g}: {e:?}", a.name));
+                for (u, rounds) in out.metrics.per_node.iter().enumerate() {
+                    let mut max_n = 0usize;
+                    for (r, s) in rounds.iter().enumerate() {
+                        let n = s.input_rcv_len + s.input_int_len;
+                        max_n = max_n.max(n);
+                        assert!(
+                            s.steps <= steps_bound.eval(n),
+                            "{}: node {u} round {} made {} steps at n = {n}, \
+                             exceeding the certified bound {steps_bound}",
+                            a.name,
+                            r + 1,
+                            s.steps
+                        );
+                        assert!(
+                            s.space <= space_bound.eval(max_n),
+                            "{}: node {u} round {} used {} cells at max n = {max_n}, \
+                             exceeding the certified bound {space_bound}",
+                            a.name,
+                            r + 1,
+                            s.space
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The registered corpus claims dominate the derived certificates — the
+/// `DTM009` contract, checked here without going through the rule engine
+/// so a corpus edit cannot silently weaken it.
+#[test]
+fn corpus_claims_dominate_derived_certificates() {
+    let corpus = builtin();
+    for a in &corpus.dtms {
+        let flow = a.flow();
+        let claimed_steps = a
+            .claimed_steps
+            .as_ref()
+            .expect("corpus machines claim bounds");
+        let claimed_space = a
+            .claimed_space
+            .as_ref()
+            .expect("corpus machines claim bounds");
+        assert!(
+            claimed_steps.dominates(flow.steps.as_ref().unwrap()),
+            "{}",
+            a.name
+        );
+        assert!(
+            claimed_space.dominates(flow.space.as_ref().unwrap()),
+            "{}",
+            a.name
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! End-to-end tests of the `lph-lint` binary: exit codes, usage-error
+//! handling, and the `--analyze` deep mode.
+
+use std::process::{Command, Output};
+
+fn lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_lph-lint"))
+        .args(args)
+        .output()
+        .expect("lph-lint runs")
+}
+
+#[test]
+fn clean_corpus_exits_zero() {
+    let out = lint(&[]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("corpus is clean"));
+}
+
+#[test]
+fn analyze_mode_is_clean_even_with_denied_warnings() {
+    let out = lint(&["--analyze", "--deny", "warnings"]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("corpus is clean"));
+}
+
+#[test]
+fn analyze_mode_emits_json() {
+    let out = lint(&["--analyze", "--format", "json"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.trim_start().starts_with('['),
+        "JSON array expected: {text}"
+    );
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error_naming_the_flag() {
+    let out = lint(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--frobnicate"), "must name the flag: {err}");
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
+fn flag_like_value_for_a_value_taking_flag_is_rejected() {
+    for args in [
+        &["--deny", "--format"][..],
+        &["--allow", "--deny"][..],
+        &["--trace-out", "--analyze"][..],
+        &["--format"][..],
+    ] {
+        let out = lint(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}: {out:?}");
+    }
+}
+
+#[test]
+fn unknown_rule_code_is_a_usage_error() {
+    let out = lint(&["--deny", "XYZ999"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn list_rules_includes_the_semantic_tier() {
+    let out = lint(&["--list-rules"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for code in [
+        "DTM007", "DTM008", "DTM009", "DTM010", "FRM006", "FRM007", "FRM008", "RED003", "RED004",
+        "RED005",
+    ] {
+        assert!(text.contains(code), "missing {code} in --list-rules");
+    }
+    assert!(text.contains("proof"), "Proof severity must be listed");
+}
