@@ -141,6 +141,7 @@ pub fn builtin() -> Corpus {
             .with_probes(vec![generators::cycle(4), generators::path(3)]),
         ArbiterArtifact::new(arbiters::sat_graph_verifier(), "Σ1", 2)
             .with_probes(vec![sat_graph_probe()]),
+        ArbiterArtifact::new(arbiters::all_selected_pi1(), "Π1", 1).with_probes(selected_probes()),
         ArbiterArtifact::new(arbiters::not_all_selected_sigma3(), "Σ3", 2)
             .with_probes(selected_probes()),
         ArbiterArtifact::new(arbiters::distance_to_unselected_verifier(2), "Σ1", 2)

@@ -1,0 +1,86 @@
+//! E15 — the CDCL certificate engine: game families at sizes the
+//! exhaustive enumerator's move-space guard forbids outright (`n ≥ 50`,
+//! move spaces of 7⁶⁰ and beyond), plus the named-CNF `SAT-GRAPH` solver
+//! bridge measured against the DPLL ground truth on identical instances.
+
+use lph_bench::with_ids;
+use lph_bench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lph_core::{arbiters, decide_game_backend, GameBackend, GameLimits};
+use lph_graphs::generators::{self, XorShift};
+use lph_props::{cdcl_sat, dpll_sat, Cnf, Lit};
+
+fn bench_cdcl_games(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_games");
+    group.sample_size(10);
+
+    // Σ₁ 3-coloring far past the exhaustive ceiling (7ⁿ first moves; the
+    // enumerator's guard trips at n ≈ 7).
+    for n in [60usize, 120] {
+        group.bench_with_input(BenchmarkId::new("cdcl_three_col_cycle", n), &n, |b, &n| {
+            let (g, id) = with_ids(generators::cycle(n));
+            let arb = arbiters::three_colorable_verifier();
+            let lim = GameLimits::default();
+            b.iter(|| decide_game_backend(&arb, &g, &id, &lim, GameBackend::Cdcl).unwrap());
+        });
+    }
+
+    // The UNSAT side: refuting 2-colorability of a large odd cycle means
+    // proving unsatisfiability, not finding a witness.
+    group.bench_function("cdcl_two_col_refute_c61", |b| {
+        let (g, id) = with_ids(generators::cycle(61));
+        let arb = arbiters::two_colorable_verifier();
+        let lim = GameLimits::default();
+        b.iter(|| decide_game_backend(&arb, &g, &id, &lim, GameBackend::Cdcl).unwrap());
+    });
+
+    // Π₁ at n = 50: the rejection-selector encoding over 3⁵⁰ universal
+    // moves.
+    group.bench_function("cdcl_pi1_all_selected_c50", |b| {
+        let base = generators::cycle(50);
+        let labels = vec![lph_graphs::BitString::from_bits01("1"); base.node_count()];
+        let (g, id) = with_ids(base.with_labels(labels).expect("arity matches"));
+        let arb = arbiters::all_selected_pi1();
+        let lim = GameLimits::default();
+        b.iter(|| decide_game_backend(&arb, &g, &id, &lim, GameBackend::Cdcl).unwrap());
+    });
+
+    group.finish();
+}
+
+/// A seeded random 3-CNF over `n` named variables at the hard ratio.
+fn random_three_cnf(n: usize, seed: u64) -> Cnf {
+    let mut rng = XorShift::new(seed);
+    let clauses = (0..n * 43 / 10)
+        .map(|_| {
+            (0..3)
+                .map(|_| Lit {
+                    var: format!("x{:03}", rng.below(n)),
+                    positive: rng.bool(),
+                })
+                .collect()
+        })
+        .collect();
+    Cnf { clauses }
+}
+
+fn bench_sat_graph_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_solvers");
+    group.sample_size(10);
+
+    // The same named-CNF instance through both engines: DPLL is the
+    // ground truth, the CDCL bridge is the scaling path.
+    for n in [20usize, 40] {
+        let cnf = random_three_cnf(n, 0xA5A5);
+        group.bench_with_input(BenchmarkId::new("dpll_3cnf", n), &cnf, |b, cnf| {
+            b.iter(|| black_box(dpll_sat(cnf)));
+        });
+        group.bench_with_input(BenchmarkId::new("cdcl_3cnf", n), &cnf, |b, cnf| {
+            b.iter(|| black_box(cdcl_sat(cnf)));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cdcl_games, bench_sat_graph_solvers);
+criterion_main!(benches);

@@ -24,6 +24,26 @@ pub trait Arbitrating {
         certs: &CertificateList,
         limits: &ExecLimits,
     ) -> Result<bool, MachineError>;
+
+    /// The full per-node outcome of one execution, if this implementation
+    /// can report one. The CNF game backend (`crate::backend`) needs
+    /// per-node verdicts and round counts to build local acceptance
+    /// tables; implementations that only expose the global conjunction
+    /// keep the default `Ok(None)` and are decided exhaustively.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors.
+    fn outcome(
+        &self,
+        g: &LabeledGraph,
+        id: &IdAssignment,
+        certs: &CertificateList,
+        limits: &ExecLimits,
+    ) -> Result<Option<LocalOutcome>, MachineError> {
+        let _ = (g, id, certs, limits);
+        Ok(None)
+    }
 }
 
 /// The implementation backing an arbiter: an honest Turing-machine table or
@@ -147,6 +167,16 @@ impl Arbitrating for Arbiter {
         limits: &ExecLimits,
     ) -> Result<bool, MachineError> {
         Arbiter::accepts(self, g, id, certs, limits)
+    }
+
+    fn outcome(
+        &self,
+        g: &LabeledGraph,
+        id: &IdAssignment,
+        certs: &CertificateList,
+        limits: &ExecLimits,
+    ) -> Result<Option<LocalOutcome>, MachineError> {
+        self.run(g, id, certs, limits).map(Some)
     }
 }
 

@@ -249,6 +249,34 @@ pub fn not_all_selected_sigma3() -> Arbiter {
     )
 }
 
+/// A `Π₁` arbiter for `ALL-SELECTED`, witnessing the inclusion
+/// `Σ₀ ⊆ Π₁` (Figure 1's upward edges): nodes accept iff their own label
+/// is `1`, ignoring Adam's certificate entirely — so the arbiter accepts
+/// under *every* universal move exactly when the graph is all-selected.
+///
+/// Deliberately trivial: it exercises the Π-side game plumbing (and the
+/// CDCL backend's rejection-selector encoding) without entangling the
+/// verdict with certificate content.
+pub fn all_selected_pi1() -> Arbiter {
+    struct V;
+    impl LocalAlgorithm for V {
+        fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
+            let selected = input.label == BitString::from_bits01("1");
+            Box::new(
+                move |ctx: &mut NodeCtx, _round: usize, inbox: &[BitString]| {
+                    ctx.charge(1 + inbox.len());
+                    RoundAction::verdict(selected)
+                },
+            )
+        }
+    }
+    Arbiter::from_local(
+        "ALL-SELECTED Π1 arbiter (Σ0 ⊆ Π1)",
+        GameSpec::pi(1, 1, 1, PolyBound::constant(1)),
+        V,
+    )
+}
+
 /// A *sound but budget-limited* `Σ₁` candidate for `NOT-ALL-SELECTED`:
 /// Eve's certificate is the exact distance to an unselected node, encoded
 /// in at most `bits` bits. Nodes check `d = 0 ⟺ unselected` and
@@ -461,6 +489,19 @@ mod tests {
             assert_eq!(SatGraph.holds(bg.graph()), expected, "ground truth sanity");
             // Certificates: one bit per variable (≤ 2 here).
             assert_eq!(play(&arb, bg.graph(), &limits(2)), expected, "{formulas:?}");
+        }
+    }
+
+    #[test]
+    fn pi1_arbiter_decides_all_selected() {
+        let arb = all_selected_pi1();
+        let lim = limits(1);
+        let zero = lph_graphs::BitString::from_bits01("0");
+        let one = lph_graphs::BitString::from_bits01("1");
+        for base in enumerate::connected_graphs_up_to(3) {
+            for g in enumerate::binary_labelings(&base, &zero, &one) {
+                assert_eq!(play(&arb, &g, &lim), AllSelected.holds(&g), "graph: {g}");
+            }
         }
     }
 

@@ -1,0 +1,535 @@
+//! The CNF certificate-game backend: compiles `ℓ ≤ 1` games to SAT and
+//! decides them with the `lph-sat` CDCL solver, scaling far beyond the
+//! exhaustive move enumeration of [`decide_game`].
+//!
+//! # How the compilation works
+//!
+//! An arbiter is a LOCAL machine, so after `R` rounds a node's verdict
+//! depends only on the inputs (labels, identifiers, degrees, certificates)
+//! of nodes within distance `R − 1` — round-1 inboxes are empty, and a
+//! message sent in round `k` arrives in round `k + 1`. The backend
+//! exploits this: for each node `v` it extracts the ball `N_R(v)` (whose
+//! interior nodes keep their degrees), replays the arbiter on that small
+//! subgraph for **every** combination of certificates of the inner ball
+//! `N_{R−1}(v)`, and records `v`'s verdict. The radius is discovered
+//! adaptively: a replay that runs more than `R` rounds bumps `R`, and each
+//! combination is run under two paddings of the boundary ring (empty vs.
+//! all-ones certificates) — a verdict that differs between the paddings
+//! falsifies the locality assumption and also bumps `R`. Arbiters that
+//! never stabilize are reported as [`GameError::BackendUnsupported`]
+//! rather than silently mis-encoded.
+//!
+//! The per-node truth tables then compile to CNF over choice variables
+//! (each node's certificate choice is a binary-coded index into its
+//! `(r, p)`-bounded option list, with out-of-range codes blocked):
+//!
+//! * **`Σ₁`** (Eve moves once): one blocking clause per *rejecting* table
+//!   row. A model is exactly an assignment every node accepts; `UNSAT`
+//!   means Eve has no witness.
+//! * **`Π₁`** (Adam moves once): one fresh selector variable `r_v` per
+//!   node with `∨_v r_v`, and a clause `¬r_v ∨ ¬row` per *accepting* row.
+//!   A model is an assignment some selected node rejects — Adam's
+//!   refutation; `UNSAT` means Eve wins every play.
+//!
+//! Either way, the extracted witness is replayed through the arbiter **on
+//! the full graph** before the result is returned — the truth tables are
+//! an optimization, never the authority.
+//!
+//! `Σ₀` games have no certificates and run the arbiter once. Games with
+//! `ℓ ≥ 2` are quantified-Boolean, not propositional; they stay on the
+//! exhaustive game-tree search ([`GameBackend::Auto`] falls back
+//! automatically).
+
+use lph_graphs::{
+    enumerate, BitString, CertificateAssignment, CertificateList, IdAssignment, LabeledGraph,
+    NodeId,
+};
+use lph_machine::LocalOutcome;
+use lph_sat::{Cnf, Lit, SolveOutcome, Solver, SolverConfig};
+
+use crate::arbiter::Arbitrating;
+use crate::class::Player;
+use crate::game::{decide_game, GameError, GameLimits, GameResult};
+
+/// Hard cap on the number of certificate combinations replayed per node
+/// while building its local acceptance table. Beyond this the compilation
+/// is no cheaper than exhaustive search and the backend bows out. Sized
+/// so a degree-5 ball of 3-coloring certificates (7⁶ ≈ 118k rows) still
+/// compiles — the per-node table is what makes the whole-graph move
+/// space (7ⁿ) tractable, so the cap only guards genuinely global balls.
+const TABLE_COMBO_CAP: usize = 1 << 17;
+
+/// Cap on the adaptive locality radius probe.
+const MAX_RADIUS: usize = 8;
+
+/// Which engine decides a certificate game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GameBackend {
+    /// The exhaustive game-tree search of [`decide_game`]: enumerates
+    /// every move. Complete for all `ℓ`, but bounded by the move-space
+    /// guard — this is the differential oracle for small instances.
+    Exhaustive,
+    /// The CNF compilation described in the module docs, decided by the
+    /// `lph-sat` CDCL solver. `ℓ ≤ 1` only; errors with
+    /// [`GameError::BackendUnsupported`] where it does not apply.
+    Cdcl,
+    /// [`GameBackend::Cdcl`] for `ℓ = 1` games, falling back to
+    /// [`GameBackend::Exhaustive`] whenever the CNF backend reports
+    /// [`GameError::BackendUnsupported`] (and for all other `ℓ`).
+    #[default]
+    Auto,
+}
+
+/// Solves the certificate game with the selected [`GameBackend`].
+///
+/// Agrees with [`decide_game`] on `eve_wins` wherever both apply; the
+/// CDCL backend additionally certifies any `Some` `winning_first_move` by
+/// replaying it through the arbiter on the full graph.
+///
+/// # Errors
+///
+/// Returns [`GameError`] as for [`decide_game`]; the `Cdcl` backend
+/// additionally reports [`GameError::BackendUnsupported`] for games it
+/// cannot compile (`ℓ ≥ 2`, oversized local tables, arbiters without
+/// per-node outcomes or with unstable locality).
+pub fn decide_game_backend(
+    arbiter: &dyn Arbitrating,
+    g: &LabeledGraph,
+    id: &IdAssignment,
+    limits: &GameLimits,
+    backend: GameBackend,
+) -> Result<GameResult, GameError> {
+    match backend {
+        GameBackend::Exhaustive => decide_game(arbiter, g, id, limits),
+        GameBackend::Cdcl => decide_game_cdcl(arbiter, g, id, limits),
+        GameBackend::Auto => {
+            if arbiter.spec().ell != 1 {
+                return decide_game(arbiter, g, id, limits);
+            }
+            match decide_game_cdcl(arbiter, g, id, limits) {
+                Err(GameError::BackendUnsupported { .. }) => decide_game(arbiter, g, id, limits),
+                other => other,
+            }
+        }
+    }
+}
+
+/// One node's local acceptance table: `verdicts[rank]` is the node's
+/// verdict when the nodes of `support` hold the certificate options coded
+/// by `rank` (mixed-radix, first support node most significant).
+struct NodeTable {
+    support: Vec<NodeId>,
+    verdicts: Vec<bool>,
+}
+
+/// The binary choice encoding: node `u`'s certificate option index is the
+/// little-endian value of variables `var_base[u] .. var_base[u] + bits[u]`.
+struct Encoding {
+    cnf: Cnf,
+    var_base: Vec<usize>,
+    bits: Vec<usize>,
+}
+
+fn ceil_log2(m: usize) -> usize {
+    if m <= 1 {
+        0
+    } else {
+        (usize::BITS - (m - 1).leading_zeros()) as usize
+    }
+}
+
+/// Mixed-radix decode of `rank` into one digit per entry of `ms` (first
+/// entry most significant) — the shared convention between table building
+/// and clause emission.
+fn combo_digits(rank: usize, ms: &[usize]) -> Vec<usize> {
+    let mut digits = vec![0; ms.len()];
+    let mut code = rank;
+    for i in (0..ms.len()).rev() {
+        digits[i] = code % ms[i];
+        code /= ms[i];
+    }
+    digits
+}
+
+fn run_outcome(
+    arbiter: &dyn Arbitrating,
+    g: &LabeledGraph,
+    id: &IdAssignment,
+    certs: Vec<BitString>,
+    limits: &GameLimits,
+    runs: &mut u64,
+) -> Result<LocalOutcome, GameError> {
+    *runs += 1;
+    if *runs > limits.max_runs {
+        return Err(GameError::BudgetExceeded {
+            limit: limits.max_runs,
+        });
+    }
+    let assignment = CertificateAssignment::from_vec(g, certs).expect("one certificate per node");
+    let list = CertificateList::new().extended(assignment);
+    arbiter
+        .outcome(g, id, &list, &limits.exec)?
+        .ok_or_else(|| GameError::BackendUnsupported {
+            reason: "arbiter does not report per-node outcomes".into(),
+        })
+}
+
+/// Builds the local acceptance table of node `v`, discovering the needed
+/// radius adaptively (see the module docs).
+#[allow(clippy::too_many_arguments)]
+fn build_table(
+    arbiter: &dyn Arbitrating,
+    g: &LabeledGraph,
+    id: &IdAssignment,
+    budgets: &[usize],
+    options: &[Vec<BitString>],
+    v: NodeId,
+    limits: &GameLimits,
+    runs: &mut u64,
+) -> Result<NodeTable, GameError> {
+    let mut radius = 1;
+    'radius: loop {
+        if radius > MAX_RADIUS {
+            return Err(GameError::BackendUnsupported {
+                reason: format!(
+                    "locality of node {} did not stabilize within radius {MAX_RADIUS}",
+                    v.0
+                ),
+            });
+        }
+        let ball = g.neighborhood(v, radius);
+        let inner_set: Vec<bool> = {
+            let mut inner = vec![false; g.node_count()];
+            for w in g.ball(v, radius - 1) {
+                inner[w.0] = true;
+            }
+            inner
+        };
+        let inner: Vec<usize> = (0..ball.members.len())
+            .filter(|&i| inner_set[ball.members[i].0])
+            .collect();
+        let ring: Vec<usize> = (0..ball.members.len())
+            .filter(|&i| !inner_set[ball.members[i].0])
+            .collect();
+        let ms: Vec<usize> = inner
+            .iter()
+            .map(|&i| options[ball.members[i].0].len())
+            .collect();
+        let combos = ms
+            .iter()
+            .try_fold(1usize, |acc, &m| {
+                acc.checked_mul(m).filter(|&c| c <= TABLE_COMBO_CAP)
+            })
+            .ok_or_else(|| GameError::BackendUnsupported {
+                reason: format!(
+                    "local certificate table of node {} exceeds {TABLE_COMBO_CAP} rows",
+                    v.0
+                ),
+            })?;
+        let sub_id = IdAssignment::from_vec(
+            &ball.graph,
+            ball.members.iter().map(|&w| id.id(w).clone()).collect(),
+        )
+        .expect("one identifier per ball member");
+
+        let mut verdicts = Vec::with_capacity(combos);
+        for rank in 0..combos {
+            let digits = combo_digits(rank, &ms);
+            let mut certs = vec![BitString::new(); ball.members.len()];
+            for (d, &i) in digits.iter().zip(&inner) {
+                certs[i] = options[ball.members[i].0][*d].clone();
+            }
+            // Padding A: boundary-ring certificates empty.
+            let out_a = run_outcome(arbiter, &ball.graph, &sub_id, certs.clone(), limits, runs)?;
+            let verdict = out_a.verdicts[ball.center_local.0];
+            if ring.is_empty() {
+                // The ball is the whole (connected) graph: the replay IS
+                // the real run, no locality argument needed.
+                verdicts.push(verdict);
+                continue;
+            }
+            if out_a.rounds > radius {
+                radius = out_a.rounds;
+                continue 'radius;
+            }
+            // Padding B: boundary-ring certificates all-ones at budget.
+            let mut certs_b = certs;
+            for &i in &ring {
+                let b = budgets[ball.members[i].0];
+                certs_b[i] = BitString::from_bits01(&"1".repeat(b));
+            }
+            let out_b = run_outcome(arbiter, &ball.graph, &sub_id, certs_b, limits, runs)?;
+            if out_b.rounds > radius {
+                radius = out_b.rounds;
+                continue 'radius;
+            }
+            if out_b.verdicts[ball.center_local.0] != verdict {
+                // The verdict leaked past the assumed radius: grow it.
+                radius += 1;
+                continue 'radius;
+            }
+            verdicts.push(verdict);
+        }
+        return Ok(NodeTable {
+            support: inner.iter().map(|&i| ball.members[i]).collect(),
+            verdicts,
+        });
+    }
+}
+
+/// Allocates the per-node choice variables and blocks out-of-range codes.
+fn encode_choices(options: &[Vec<BitString>]) -> Encoding {
+    let mut cnf = Cnf::new();
+    let n = options.len();
+    let mut var_base = vec![0; n];
+    let mut bits = vec![0; n];
+    for (u, opts) in options.iter().enumerate() {
+        let m = opts.len();
+        let k = ceil_log2(m);
+        var_base[u] = cnf.new_vars(k);
+        bits[u] = k;
+        for bad in m..(1usize << k) {
+            cnf.add_clause((0..k).map(|j| Lit::with_sign(var_base[u] + j, (bad >> j) & 1 == 0)));
+        }
+    }
+    Encoding {
+        cnf,
+        var_base,
+        bits,
+    }
+}
+
+/// The clause asserting "the support's choices differ from this table
+/// row": one literal per code bit, with the opposite polarity.
+fn row_blocking_lits(
+    table: &NodeTable,
+    rank: usize,
+    options: &[Vec<BitString>],
+    enc: &Encoding,
+) -> Vec<Lit> {
+    let ms: Vec<usize> = table.support.iter().map(|u| options[u.0].len()).collect();
+    let digits = combo_digits(rank, &ms);
+    let mut clause = Vec::new();
+    for (digit, &u) in digits.iter().zip(&table.support) {
+        for j in 0..enc.bits[u.0] {
+            let bit = (digit >> j) & 1 == 1;
+            clause.push(Lit::with_sign(enc.var_base[u.0] + j, !bit));
+        }
+    }
+    clause
+}
+
+/// Reads the certificate assignment chosen by a SAT model.
+fn decode_model(
+    model: &[bool],
+    g: &LabeledGraph,
+    options: &[Vec<BitString>],
+    enc: &Encoding,
+) -> CertificateAssignment {
+    let certs: Vec<BitString> = options
+        .iter()
+        .enumerate()
+        .map(|(u, opts)| {
+            let mut code = 0usize;
+            for j in 0..enc.bits[u] {
+                if model[enc.var_base[u] + j] {
+                    code |= 1 << j;
+                }
+            }
+            opts[code].clone()
+        })
+        .collect();
+    CertificateAssignment::from_vec(g, certs).expect("one certificate per node")
+}
+
+fn decide_game_cdcl(
+    arbiter: &dyn Arbitrating,
+    g: &LabeledGraph,
+    id: &IdAssignment,
+    limits: &GameLimits,
+) -> Result<GameResult, GameError> {
+    let _span = lph_trace::span("game/cdcl");
+    let spec = arbiter.spec().clone();
+    if !id.is_locally_unique(g, spec.r_id) {
+        return Err(GameError::IdsNotAdmissible { r_id: spec.r_id });
+    }
+    if spec.ell == 0 {
+        let accepted = arbiter.accepts(g, id, &CertificateList::new(), &limits.exec)?;
+        return Ok(GameResult {
+            eve_wins: accepted,
+            runs: 1,
+            winning_first_move: None,
+        });
+    }
+    if spec.ell > 1 {
+        return Err(GameError::BackendUnsupported {
+            reason: format!(
+                "CNF compilation covers ℓ ≤ 1 games (ℓ ≥ 2 is quantified-Boolean), got ℓ = {}",
+                spec.ell
+            ),
+        });
+    }
+
+    let budgets = spec.budgets(g, id, limits.cap_for_move(0));
+    let options: Vec<Vec<BitString>> = budgets
+        .iter()
+        .map(|&b| enumerate::bitstrings_up_to(b))
+        .collect();
+
+    let mut runs = 0u64;
+    let tables = {
+        let _compile = lph_trace::span("game/cdcl_compile");
+        let tables: Result<Vec<NodeTable>, GameError> = g
+            .nodes()
+            .map(|v| build_table(arbiter, g, id, &budgets, &options, v, limits, &mut runs))
+            .collect();
+        lph_trace::add("game/table_runs", runs);
+        tables?
+    };
+
+    let mut enc = encode_choices(&options);
+    match spec.first {
+        Player::Eve => {
+            for table in &tables {
+                for (rank, &ok) in table.verdicts.iter().enumerate() {
+                    if !ok {
+                        enc.cnf
+                            .add_clause(row_blocking_lits(table, rank, &options, &enc));
+                    }
+                }
+            }
+        }
+        Player::Adam => {
+            let selectors: Vec<usize> = tables.iter().map(|_| enc.cnf.new_var()).collect();
+            enc.cnf.add_clause(selectors.iter().map(|&s| Lit::pos(s)));
+            for (table, &s) in tables.iter().zip(&selectors) {
+                for (rank, &ok) in table.verdicts.iter().enumerate() {
+                    if ok {
+                        let mut clause = vec![Lit::neg(s)];
+                        clause.extend(row_blocking_lits(table, rank, &options, &enc));
+                        enc.cnf.add_clause(clause);
+                    }
+                }
+            }
+        }
+    }
+    lph_trace::add("game/cnf_vars", enc.cnf.num_vars() as u64);
+    lph_trace::add("game/cnf_clauses", enc.cnf.clauses().len() as u64);
+
+    let mut solver = Solver::with_config(
+        &enc.cnf,
+        SolverConfig {
+            max_conflicts: Some(limits.max_runs),
+            ..SolverConfig::default()
+        },
+    );
+    let eve_moves_first = spec.first == Player::Eve;
+    match solver.solve() {
+        SolveOutcome::Unknown => Err(GameError::BudgetExceeded {
+            limit: limits.max_runs,
+        }),
+        SolveOutcome::Unsat => Ok(GameResult {
+            eve_wins: !eve_moves_first,
+            runs,
+            winning_first_move: None,
+        }),
+        SolveOutcome::Sat(model) => {
+            let assignment = decode_model(&model, g, &options, &enc);
+            // Certify the witness on the full graph: the local tables are
+            // an optimization, the arbiter is the authority.
+            runs += 1;
+            let list = CertificateList::new().extended(assignment.clone());
+            let accepted = arbiter.accepts(g, id, &list, &limits.exec)?;
+            if accepted != eve_moves_first {
+                return Err(GameError::BackendUnsupported {
+                    reason: "extracted certificate assignment failed its arbiter replay — \
+                             the local acceptance tables are not faithful for this arbiter"
+                        .into(),
+                });
+            }
+            Ok(GameResult {
+                eve_wins: eve_moves_first,
+                runs,
+                winning_first_move: Some(assignment),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiters;
+    use lph_graphs::generators;
+
+    #[test]
+    fn cdcl_agrees_with_exhaustive_on_three_coloring() {
+        for (g, colorable) in [
+            (generators::cycle(4), true),
+            (generators::cycle(5), true),
+            (generators::complete(3), true),
+            (generators::complete(4), false),
+        ] {
+            let arb = arbiters::three_colorable_verifier();
+            let id = IdAssignment::global(&g);
+            let limits = GameLimits::default();
+            let ex = decide_game_backend(&arb, &g, &id, &limits, GameBackend::Exhaustive).unwrap();
+            let sat = decide_game_backend(&arb, &g, &id, &limits, GameBackend::Cdcl).unwrap();
+            assert_eq!(ex.eve_wins, colorable);
+            assert_eq!(sat.eve_wins, colorable, "CDCL disagrees on {g:?}");
+            if colorable {
+                assert!(sat.winning_first_move.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn cdcl_scales_past_the_exhaustive_move_guard() {
+        // Cycle of 60 nodes: the Σ₁ move space is 7⁶⁰ assignments, far past
+        // the exhaustive enumerator's 2²⁰ guard — but 3-coloring tables are
+        // 343 rows per node and CDCL settles the game.
+        let g = generators::cycle(60);
+        let arb = arbiters::three_colorable_verifier();
+        let id = IdAssignment::global(&g);
+        let limits = GameLimits::default();
+        let err = decide_game_backend(&arb, &g, &id, &limits, GameBackend::Exhaustive).unwrap_err();
+        assert!(matches!(err, GameError::MoveSpaceTooLarge { .. }));
+        let res = decide_game_backend(&arb, &g, &id, &limits, GameBackend::Cdcl).unwrap();
+        assert!(res.eve_wins, "even cycles are 3-colorable");
+        assert!(res.winning_first_move.is_some());
+    }
+
+    #[test]
+    fn auto_falls_back_for_higher_levels() {
+        // Σ₂ game: quantified-Boolean, so Auto must route to exhaustive and
+        // still produce an answer.
+        use crate::arbiter::Arbiter;
+        use crate::game::GameSpec;
+        use lph_graphs::PolyBound;
+        use lph_machine::{LocalAlgorithm, NodeCtx, NodeInput, NodeProgram, RoundAction};
+
+        struct Match12;
+        impl LocalAlgorithm for Match12 {
+            fn spawn(&self, input: NodeInput) -> Box<dyn NodeProgram> {
+                let ok =
+                    input.certificates.len() == 2 && input.certificates[0] == input.certificates[1];
+                Box::new(move |ctx: &mut NodeCtx, _r: usize, _i: &[BitString]| {
+                    ctx.charge(1);
+                    RoundAction::verdict(ok)
+                })
+            }
+        }
+        let spec = GameSpec::sigma(2, 1, 1, PolyBound::linear(0, 1));
+        let arb = Arbiter::from_local("match", spec, Match12);
+        let g = generators::path(2);
+        let id = IdAssignment::global(&g);
+        let limits = GameLimits {
+            cert_len_cap: Some(1),
+            ..GameLimits::default()
+        };
+        let auto = decide_game_backend(&arb, &g, &id, &limits, GameBackend::Auto).unwrap();
+        assert!(!auto.eve_wins);
+        let err = decide_game_backend(&arb, &g, &id, &limits, GameBackend::Cdcl).unwrap_err();
+        assert!(matches!(err, GameError::BackendUnsupported { .. }));
+    }
+}

@@ -100,7 +100,7 @@ impl Default for GameLimits {
 
 impl GameLimits {
     /// The certificate-length cap for move `i`.
-    fn cap_for_move(&self, i: usize) -> Option<usize> {
+    pub(crate) fn cap_for_move(&self, i: usize) -> Option<usize> {
         match &self.per_move_caps {
             Some(caps) if i < caps.len() => Some(caps[i]),
             _ => self.cert_len_cap,
@@ -122,11 +122,34 @@ pub enum GameError {
         /// Number of certificate assignments in one move.
         combinations: u128,
     },
+    /// The certificate space cannot even be *indexed* on this machine: the
+    /// assignment count overflows `usize`. Distinct from
+    /// [`GameError::MoveSpaceTooLarge`], which is a configured policy cap —
+    /// this one is the hard address-space wall.
+    CertificateSpaceTooLarge {
+        /// Number of certificate assignments (saturating).
+        combinations: u128,
+    },
+    /// A budget slice's length does not match the graph's node count.
+    BudgetArityMismatch {
+        /// Nodes in the graph.
+        expected: usize,
+        /// Budget entries supplied.
+        got: usize,
+    },
     /// The identifier assignment is not `r_id`-locally unique for the
     /// game's specification.
     IdsNotAdmissible {
         /// The required radius.
         r_id: usize,
+    },
+    /// The selected game backend cannot decide this instance (e.g. the
+    /// CNF backend on a game with `ℓ ≥ 2`, or an arbiter that fails its
+    /// locality audit). [`crate::backend::GameBackend::Auto`] treats this
+    /// as "fall back to the exhaustive search".
+    BackendUnsupported {
+        /// Human-readable explanation.
+        reason: String,
     },
     /// An arbiter execution failed.
     Machine(MachineError),
@@ -144,8 +167,23 @@ impl fmt::Display for GameError {
                     "a single move has {combinations} certificate assignments"
                 )
             }
+            GameError::CertificateSpaceTooLarge { combinations } => {
+                write!(
+                    f,
+                    "certificate space of {combinations} assignments exceeds the address space"
+                )
+            }
+            GameError::BudgetArityMismatch { expected, got } => {
+                write!(
+                    f,
+                    "expected one budget per node ({expected}), got {got} entries"
+                )
+            }
             GameError::IdsNotAdmissible { r_id } => {
                 write!(f, "identifier assignment is not {r_id}-locally unique")
+            }
+            GameError::BackendUnsupported { reason } => {
+                write!(f, "game backend cannot decide this instance: {reason}")
             }
             GameError::Machine(e) => write!(f, "arbiter execution failed: {e}"),
         }
@@ -188,7 +226,25 @@ pub struct GameResult {
 /// fastest-varying digit), fanned out over the `lph-runtime` worker pool;
 /// the output is identical, element for element, to the sequential
 /// odometer sweep this replaces.
-pub fn enumerate_certificates(g: &LabeledGraph, budgets: &[usize]) -> Vec<CertificateAssignment> {
+///
+/// # Errors
+///
+/// Returns [`GameError::BudgetArityMismatch`] unless `budgets` has exactly
+/// one entry per node, and [`GameError::CertificateSpaceTooLarge`] when the
+/// assignment count overflows `usize` (it used to panic on this — a
+/// malformed large game must surface as a typed error, not abort the
+/// process).
+pub fn enumerate_certificates(
+    g: &LabeledGraph,
+    budgets: &[usize],
+) -> Result<Vec<CertificateAssignment>, GameError> {
+    let n = g.node_count();
+    if budgets.len() != n {
+        return Err(GameError::BudgetArityMismatch {
+            expected: n,
+            got: budgets.len(),
+        });
+    }
     let per_node: Vec<Vec<lph_graphs::BitString>> = budgets
         .iter()
         .map(|&b| enumerate::bitstrings_up_to(b))
@@ -197,9 +253,10 @@ pub fn enumerate_certificates(g: &LabeledGraph, budgets: &[usize]) -> Vec<Certif
         .iter()
         .map(Vec::len)
         .try_fold(1usize, usize::checked_mul)
-        .expect("certificate space exceeds the address space");
-    let n = g.node_count();
-    lph_runtime::par_map_index(total, |rank| {
+        .ok_or(GameError::CertificateSpaceTooLarge {
+            combinations: move_space_size(budgets),
+        })?;
+    Ok(lph_runtime::par_map_index(total, |rank| {
         let mut code = rank;
         let mut certs = vec![lph_graphs::BitString::new(); n];
         for pos in (0..n).rev() {
@@ -208,7 +265,7 @@ pub fn enumerate_certificates(g: &LabeledGraph, budgets: &[usize]) -> Vec<Certif
             code /= opts.len();
         }
         CertificateAssignment::from_vec(g, certs).expect("one certificate per node")
-    })
+    }))
 }
 
 fn move_space_size(budgets: &[usize]) -> u128 {
@@ -245,7 +302,7 @@ pub fn decide_game(
                 combinations: space,
             });
         }
-        moves_per_move.push(enumerate_certificates(g, &budgets));
+        moves_per_move.push(enumerate_certificates(g, &budgets)?);
     }
     decide_game_with(arbiter, g, id, &moves_per_move, limits)
 }
@@ -505,11 +562,44 @@ mod tests {
     fn enumerate_certificates_counts() {
         let g = generators::path(2);
         // budgets [1, 0]: (2^2 - 1) * (2^1 - 1) = 3 * 1 = 3.
-        let all = enumerate_certificates(&g, &[1, 0]);
+        let all = enumerate_certificates(&g, &[1, 0]).unwrap();
         assert_eq!(all.len(), 3);
         let mut dedup = all.clone();
         dedup.dedup();
         assert_eq!(dedup.len(), 3);
+    }
+
+    #[test]
+    fn enumerate_certificates_rejects_wrong_budget_arity() {
+        let g = generators::path(3);
+        let err = enumerate_certificates(&g, &[1, 0]).unwrap_err();
+        assert_eq!(
+            err,
+            GameError::BudgetArityMismatch {
+                expected: 3,
+                got: 2
+            }
+        );
+        let err = enumerate_certificates(&g, &[1, 0, 0, 0]).unwrap_err();
+        assert!(matches!(err, GameError::BudgetArityMismatch { got: 4, .. }));
+    }
+
+    #[test]
+    fn enumerate_certificates_reports_address_space_overflow() {
+        // 40 nodes with 6-bit budgets: 127^40 ≫ 2^64 — this used to panic
+        // with "certificate space exceeds the address space".
+        let g = generators::cycle(40);
+        let budgets = vec![6usize; 40];
+        let err = enumerate_certificates(&g, &budgets).unwrap_err();
+        match err {
+            GameError::CertificateSpaceTooLarge { combinations } => {
+                assert!(combinations > u128::from(u64::MAX));
+            }
+            other => panic!("expected CertificateSpaceTooLarge, got {other:?}"),
+        }
+        // And it propagates through `decide_game` as an error, not a panic:
+        // budgets large enough to overflow always trip the move-space guard
+        // first, so exercise the overflow path directly via the enumerator.
     }
 
     /// The sequential odometer the parallel rank decoding replaced, kept
@@ -556,7 +646,7 @@ mod tests {
         for budgets in [vec![1usize, 0, 2], vec![0, 0, 0], vec![2, 2, 2]] {
             let g = generators::path(budgets.len());
             assert_eq!(
-                enumerate_certificates(&g, &budgets),
+                enumerate_certificates(&g, &budgets).unwrap(),
                 enumerate_certificates_odometer(&g, &budgets),
                 "budgets {budgets:?}"
             );

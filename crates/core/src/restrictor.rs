@@ -185,7 +185,7 @@ pub fn decide_restricted_game(
         };
         let budgets = spec.budgets(g, id, cap);
         let player = spec.player_of_move(move_idx);
-        for k in enumerate_certificates(g, &budgets) {
+        for k in enumerate_certificates(g, &budgets)? {
             *runs += 1;
             if *runs > limits.max_runs {
                 return Err(GameError::BudgetExceeded {

@@ -50,5 +50,5 @@ pub use property::{
     AllSelected, Eulerian, GraphProperty, Hamiltonian, KColorable, NotAllSelected,
     PropertyComplement, SatGraph, ThreeSatGraph, Tree,
 };
-pub use sat::{dpll_sat, dpll_sat_with_model};
+pub use sat::{cdcl_sat, cdcl_sat_with_model, dpll_sat, dpll_sat_with_model};
 pub use satgraph::{sat_graph_satisfiable, BooleanGraph};

@@ -1,5 +1,6 @@
 //! A DPLL satisfiability solver over named-variable CNFs — the ground
-//! truth behind `SAT` / `SAT-GRAPH` (Theorems 18 and 19).
+//! truth behind `SAT` / `SAT-GRAPH` (Theorems 18 and 19) — plus a bridge
+//! to the `lph-sat` CDCL engine for instances DPLL cannot touch.
 //!
 //! The solver uses occurrence lists and a unit-propagation worklist, so
 //! propagation touches only clauses containing newly assigned variables —
@@ -15,6 +16,40 @@ use crate::boolean::Cnf;
 /// Decides satisfiability of a CNF.
 pub fn dpll_sat(cnf: &Cnf) -> bool {
     dpll_sat_with_model(cnf).is_some()
+}
+
+/// Decides satisfiability with the `lph-sat` CDCL solver instead of DPLL:
+/// names are interned to dense indices, the clauses shipped verbatim, and
+/// the model translated back. Agrees with [`dpll_sat_with_model`] on
+/// satisfiability everywhere (the models themselves may differ); prefer it
+/// for conflict-heavy instances where chronological backtracking blows up.
+/// Variables not occurring in any clause are reported as `false`.
+pub fn cdcl_sat_with_model(cnf: &Cnf) -> Option<BTreeMap<String, bool>> {
+    let names: Vec<String> = cnf.variables().into_iter().collect();
+    let index: BTreeMap<&str, usize> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let mut compiled = lph_sat::Cnf::new();
+    compiled.new_vars(names.len());
+    for clause in &cnf.clauses {
+        compiled.add_clause(
+            clause
+                .iter()
+                .map(|l| lph_sat::Lit::with_sign(index[l.var.as_str()], l.positive)),
+        );
+    }
+    match lph_sat::Solver::new(&compiled).solve() {
+        lph_sat::SolveOutcome::Sat(model) => Some(names.into_iter().zip(model).collect()),
+        lph_sat::SolveOutcome::Unsat => None,
+        lph_sat::SolveOutcome::Unknown => unreachable!("no conflict budget configured"),
+    }
+}
+
+/// [`cdcl_sat_with_model`], discarding the model.
+pub fn cdcl_sat(cnf: &Cnf) -> bool {
+    cdcl_sat_with_model(cnf).is_some()
 }
 
 /// Decides satisfiability and returns a satisfying model (as a map from
@@ -226,6 +261,39 @@ mod tests {
                 brute_force_sat(&cnf),
                 "round {round}: {cnf:?}"
             );
+        }
+    }
+
+    #[test]
+    fn cdcl_bridge_agrees_with_dpll_on_random_cnfs() {
+        let mut rng = XorShift::new(7);
+        for round in 0..200 {
+            let nvars = 1 + rng.below(6);
+            let nclauses = rng.below(14);
+            let clauses: Vec<Vec<Lit>> = (0..nclauses)
+                .map(|_| {
+                    let len = 1 + rng.below(3);
+                    (0..len)
+                        .map(|_| Lit {
+                            var: format!("x{}", rng.below(nvars)),
+                            positive: rng.bool(),
+                        })
+                        .collect()
+                })
+                .collect();
+            let cnf = Cnf { clauses };
+            let dpll = dpll_sat(&cnf);
+            match cdcl_sat_with_model(&cnf) {
+                Some(model) => {
+                    assert!(dpll, "round {round}: CDCL SAT but DPLL UNSAT: {cnf:?}");
+                    let ok = cnf.clauses.iter().all(|c| {
+                        c.iter()
+                            .any(|l| model.get(&l.var).copied().unwrap_or(false) == l.positive)
+                    });
+                    assert!(ok, "round {round}: CDCL model violates a clause: {cnf:?}");
+                }
+                None => assert!(!dpll, "round {round}: CDCL UNSAT but DPLL SAT: {cnf:?}"),
+            }
         }
     }
 

@@ -1,0 +1,160 @@
+use std::fmt;
+
+/// A literal: a propositional variable (an index) or its negation, packed
+/// as `var << 1 | sign` (sign bit set ⇔ negated) like MiniSat.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of variable `v`.
+    pub fn pos(v: usize) -> Lit {
+        Lit((v as u32) << 1)
+    }
+
+    /// The negative literal of variable `v`.
+    pub fn neg(v: usize) -> Lit {
+        Lit(((v as u32) << 1) | 1)
+    }
+
+    /// The literal of `v` with the given polarity (`true` = positive).
+    pub fn with_sign(v: usize, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The literal's variable.
+    pub fn var(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// Whether the literal is positive.
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The opposite literal of the same variable.
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// The dense code used to index watch lists (`2·var + sign`).
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", if self.is_pos() { "" } else { "¬" }, self.var())
+    }
+}
+
+/// A CNF formula under construction: a variable counter plus a clause
+/// list. Clauses are kept verbatim (no preprocessing); the [`Solver`]
+/// normalizes them at load time.
+///
+/// [`Solver`]: crate::Solver
+#[derive(Debug, Clone, Default)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// An empty formula over zero variables.
+    pub fn new() -> Cnf {
+        Cnf::default()
+    }
+
+    /// Allocates a fresh variable and returns its index.
+    pub fn new_var(&mut self) -> usize {
+        self.num_vars += 1;
+        self.num_vars - 1
+    }
+
+    /// Allocates `n` fresh variables, returning the index of the first.
+    pub fn new_vars(&mut self, n: usize) -> usize {
+        self.num_vars += n;
+        self.num_vars - n
+    }
+
+    /// The number of variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The clauses added so far.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Adds a clause (a disjunction of literals). An empty clause makes
+    /// the formula trivially unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal names a variable that was never allocated —
+    /// encoders that hit this have built the clause from the wrong
+    /// variable map, which must not be silently accepted.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        let clause: Vec<Lit> = lits.into_iter().collect();
+        for l in &clause {
+            assert!(
+                l.var() < self.num_vars,
+                "literal {l:?} names an unallocated variable (have {})",
+                self.num_vars
+            );
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Whether `model` (indexed by variable) satisfies every clause.
+    pub fn eval(&self, model: &[bool]) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| model[l.var()] == l.is_pos()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_packing_round_trips() {
+        let p = Lit::pos(7);
+        let n = Lit::neg(7);
+        assert_eq!(p.var(), 7);
+        assert_eq!(n.var(), 7);
+        assert!(p.is_pos());
+        assert!(!n.is_pos());
+        assert_eq!(p.negated(), n);
+        assert_eq!(n.negated(), p);
+        assert_eq!(p.code(), 14);
+        assert_eq!(n.code(), 15);
+        assert_eq!(Lit::with_sign(7, true), p);
+        assert_eq!(Lit::with_sign(7, false), n);
+    }
+
+    #[test]
+    fn eval_checks_every_clause() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+        cnf.add_clause([Lit::neg(a), Lit::pos(b)]);
+        assert!(cnf.eval(&[false, true]));
+        assert!(cnf.eval(&[true, true]));
+        assert!(!cnf.eval(&[true, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn unallocated_variables_are_rejected() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([Lit::pos(0)]);
+    }
+}

@@ -1,0 +1,60 @@
+//! A dependency-free CDCL SAT solver for the certificate-game engine.
+//!
+//! The exhaustive certificate search of `lph-core` enumerates every
+//! `(r, p)`-bounded assignment, which caps game instances at toy sizes
+//! (the move space on a cycle with 2-bit budgets is `7^n`). This crate is
+//! the scale unlock named by ROADMAP item 1: games whose acceptance is
+//! *local* compile into CNF (see `lph_core::backend`), and a conflict-driven
+//! clause-learning solver decides them at hundreds of nodes.
+//!
+//! The solver is a classical CDCL core on `std` alone:
+//!
+//! * **Two-watched-literal propagation** ([`Solver`]) — each clause is
+//!   watched by two of its literals; only clauses watching the falsified
+//!   literal are visited on propagation.
+//! * **First-UIP clause learning** — conflicts are analyzed back to the
+//!   first unique implication point, and the learned clause is minimized
+//!   by removing literals implied by the rest of the clause through their
+//!   propagation reasons.
+//! * **VSIDS-style activity** — variables touched by conflict analysis are
+//!   bumped and decisions pick the most active unassigned variable from an
+//!   indexed max-heap; activities decay geometrically per conflict.
+//! * **Luby restarts** ([`luby`]) — the solver restarts after
+//!   `unit · luby(k)` conflicts, keeping learned clauses and saved phases.
+//!
+//! Instrumentation: with the global `lph-trace` recorder enabled, a solve
+//! runs under the `sat/solve` span and reports `sat/decisions`,
+//! `sat/propagations`, `sat/conflicts`, `sat/restarts`, and
+//! `sat/learned_clauses` counters plus a `sat/learned_len` histogram of
+//! learned-clause sizes. The same numbers are always available on the
+//! returned [`Stats`].
+//!
+//! # Example
+//!
+//! ```
+//! use lph_sat::{Cnf, Lit, Solver, SolveOutcome};
+//!
+//! let mut cnf = Cnf::new();
+//! let a = cnf.new_var();
+//! let b = cnf.new_var();
+//! cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+//! cnf.add_clause([Lit::neg(a)]);
+//! let mut solver = Solver::new(&cnf);
+//! match solver.solve() {
+//!     SolveOutcome::Sat(model) => {
+//!         assert!(!model[a]);
+//!         assert!(model[b]);
+//!     }
+//!     other => panic!("expected SAT, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cnf;
+pub mod luby;
+mod solver;
+
+pub use cnf::{Cnf, Lit};
+pub use solver::{SolveOutcome, Solver, SolverConfig, Stats};

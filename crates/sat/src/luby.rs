@@ -1,0 +1,41 @@
+//! The Luby restart sequence `1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …`
+//! (Luby, Sinclair & Zuckerman 1993): the universally optimal schedule for
+//! restarting a Las Vegas search, used by the solver to space its restarts.
+
+/// The `i`-th element of the Luby sequence, 1-indexed.
+///
+/// Defined by: `luby(i) = 2^(k-1)` if `i = 2^k - 1`, else
+/// `luby(i - 2^(k-1) + 1)` where `2^(k-1) ≤ i < 2^k - 1`.
+pub fn luby(mut i: u64) -> u64 {
+    assert!(i >= 1, "the Luby sequence is 1-indexed");
+    loop {
+        // Smallest k with i ≤ 2^k - 1.
+        let k = u64::BITS - i.leading_zeros();
+        let top = (1u64 << k) - 1;
+        if i == top {
+            return 1 << (k - 1);
+        }
+        i -= top / 2; // = i - (2^(k-1) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_prefix() {
+        let want = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1];
+        let got: Vec<u64> = (1..=want.len() as u64).map(luby).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn values_are_powers_of_two_and_bounded() {
+        for i in 1..4096u64 {
+            let v = luby(i);
+            assert!(v.is_power_of_two());
+            assert!(v <= i);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Differential suite pinning the CDCL engine against ground truth:
+//!
+//! * solver vs. brute force over seeded random CNF families (the solver
+//!   must agree on satisfiability *and* return genuine models);
+//! * `GameBackend::Cdcl` vs. `GameBackend::Exhaustive` over `Σ₁` and `Π₁`
+//!   certificate games on small structured and random graphs, where the
+//!   exhaustive enumerator is still feasible and serves as the oracle.
+//!
+//! The `sat` CI stage runs exactly this file, so every clause of the
+//! backend-equivalence claim in DESIGN.md is re-checked on each push.
+
+use lph_core::{arbiters, decide_game_backend, GameBackend, GameLimits};
+use lph_graphs::{generators, generators::XorShift, BitString, IdAssignment};
+use lph_sat::{Cnf, Lit, SolveOutcome, Solver};
+
+/// Exhaustively checks satisfiability of a small CNF.
+fn brute_force_sat(cnf: &Cnf) -> bool {
+    let n = cnf.num_vars();
+    assert!(n <= 16, "brute force is the small-n oracle only");
+    (0u32..1 << n).any(|mask| {
+        let model: Vec<bool> = (0..n).map(|v| mask >> v & 1 == 1).collect();
+        cnf.eval(&model)
+    })
+}
+
+/// A random CNF with `nvars` variables and clauses of width 1–4.
+fn random_cnf(rng: &mut XorShift, nvars: usize, nclauses: usize) -> Cnf {
+    let mut cnf = Cnf::new();
+    cnf.new_vars(nvars);
+    for _ in 0..nclauses {
+        let width = 1 + rng.below(4);
+        let clause: Vec<Lit> = (0..width)
+            .map(|_| Lit::with_sign(rng.below(nvars), rng.bool()))
+            .collect();
+        cnf.add_clause(clause);
+    }
+    cnf
+}
+
+#[test]
+fn solver_matches_brute_force_on_random_families() {
+    // Several seeded families spanning the under- and over-constrained
+    // regimes; every SAT answer must come with a model that evaluates.
+    for seed in [1u64, 7, 42, 1234, 0xdead_beef] {
+        let mut rng = XorShift::new(seed);
+        for round in 0..60 {
+            let nvars = 3 + rng.below(6);
+            let nclauses = rng.below(5 * nvars);
+            let cnf = random_cnf(&mut rng, nvars, nclauses);
+            let expected = brute_force_sat(&cnf);
+            match Solver::new(&cnf).solve() {
+                SolveOutcome::Sat(model) => {
+                    assert!(expected, "seed {seed} round {round}: false SAT");
+                    assert!(
+                        cnf.eval(&model),
+                        "seed {seed} round {round}: model violates a clause"
+                    );
+                }
+                SolveOutcome::Unsat => {
+                    assert!(!expected, "seed {seed} round {round}: false UNSAT");
+                }
+                SolveOutcome::Unknown => panic!("no conflict budget configured"),
+            }
+        }
+    }
+}
+
+#[test]
+fn solver_matches_brute_force_at_the_phase_transition() {
+    // 3-CNFs near clause ratio 4.3, where random instances are hardest
+    // and conflict analysis actually fires.
+    let mut rng = XorShift::new(2026);
+    for round in 0..40 {
+        let nvars = 8 + rng.below(5);
+        let nclauses = nvars * 43 / 10;
+        let mut cnf = Cnf::new();
+        cnf.new_vars(nvars);
+        for _ in 0..nclauses {
+            let clause: Vec<Lit> = (0..3)
+                .map(|_| Lit::with_sign(rng.below(nvars), rng.bool()))
+                .collect();
+            cnf.add_clause(clause);
+        }
+        assert_eq!(
+            matches!(Solver::new(&cnf).solve(), SolveOutcome::Sat(_)),
+            brute_force_sat(&cnf),
+            "round {round}"
+        );
+    }
+}
+
+/// Structured + seeded-random small graphs where exhaustive search is
+/// still comfortable.
+fn oracle_graphs() -> Vec<lph_graphs::LabeledGraph> {
+    let mut gs = vec![
+        generators::path(4),
+        generators::cycle(3),
+        generators::cycle(4),
+        generators::cycle(5),
+        generators::cycle(6),
+        generators::star(4),
+        generators::complete(3),
+        generators::complete(4),
+    ];
+    for seed in 1..=4 {
+        gs.push(generators::random_connected(5, 2, seed));
+    }
+    gs
+}
+
+#[test]
+fn backends_agree_on_sigma1_games() {
+    for arb in [
+        arbiters::three_colorable_verifier(),
+        arbiters::two_colorable_verifier(),
+    ] {
+        for g in oracle_graphs() {
+            let id = IdAssignment::global(&g);
+            let limits = GameLimits::default();
+            let ex = decide_game_backend(&arb, &g, &id, &limits, GameBackend::Exhaustive)
+                .expect("oracle within budget");
+            let sat = decide_game_backend(&arb, &g, &id, &limits, GameBackend::Cdcl)
+                .expect("CDCL within budget");
+            assert_eq!(ex.eve_wins, sat.eve_wins, "{} disagrees on {g}", arb.name());
+            // A winning claim must come with a witness from both backends.
+            assert_eq!(ex.winning_first_move.is_some(), ex.eve_wins);
+            assert_eq!(sat.winning_first_move.is_some(), sat.eve_wins);
+        }
+    }
+}
+
+#[test]
+fn backends_agree_on_pi1_games() {
+    // Π₁: Adam moves, the CDCL side exercises the rejection-selector
+    // encoding. Ground truth for the arbiter is ALL-SELECTED itself.
+    let arb = arbiters::all_selected_pi1();
+    let mut rng = XorShift::new(99);
+    let mut cases = Vec::new();
+    for seed in 1..=4 {
+        let base = generators::random_connected(4 + seed as usize % 2, 1, seed);
+        let n = base.node_count();
+        // One random labeling and the all-selected labeling of each base.
+        let random: Vec<BitString> = (0..n)
+            .map(|_| BitString::from_bits01(if rng.bool() { "1" } else { "0" }))
+            .collect();
+        let ones = vec![BitString::from_bits01("1"); n];
+        cases.push(base.with_labels(random).expect("arity matches"));
+        cases.push(base.with_labels(ones).expect("arity matches"));
+    }
+    for g in cases {
+        let id = IdAssignment::global(&g);
+        let limits = GameLimits::default();
+        let ex = decide_game_backend(&arb, &g, &id, &limits, GameBackend::Exhaustive)
+            .expect("oracle within budget");
+        let sat = decide_game_backend(&arb, &g, &id, &limits, GameBackend::Cdcl)
+            .expect("CDCL within budget");
+        let all_selected = g.labels().iter().all(|l| *l == BitString::from_bits01("1"));
+        assert_eq!(
+            ex.eve_wins, all_selected,
+            "exhaustive vs ground truth on {g}"
+        );
+        assert_eq!(sat.eve_wins, all_selected, "CDCL vs ground truth on {g}");
+    }
+}
+
+#[test]
+fn auto_backend_matches_both_on_the_oracle_set() {
+    // Auto must route Σ₁ games to the CDCL path and produce identical
+    // verdicts to the exhaustive oracle.
+    let arb = arbiters::three_colorable_verifier();
+    for g in oracle_graphs() {
+        let id = IdAssignment::global(&g);
+        let limits = GameLimits::default();
+        let ex = decide_game_backend(&arb, &g, &id, &limits, GameBackend::Exhaustive)
+            .expect("oracle within budget");
+        let auto = decide_game_backend(&arb, &g, &id, &limits, GameBackend::Auto)
+            .expect("auto within budget");
+        assert_eq!(ex.eve_wins, auto.eve_wins, "auto disagrees on {g}");
+    }
+}

@@ -17,6 +17,10 @@
 //! to `PATH` as an `lph-trace/1` JSON document (validated by
 //! `bench-gate --validate-trace` and the `trace-smoke` CI stage). With
 //! tracing on, each section also reports how many trace events it emitted.
+//!
+//! `--sat-smoke` runs only the E16 CDCL-engine section (the `sat` CI
+//! stage): a fast health check of the game backend and the solver's
+//! conflict-budget/resume path on a fresh build.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -24,7 +28,9 @@ use std::time::Instant;
 
 use lph::core::lattice::{bounded_degree_chain, inclusion_edges, EdgeKind};
 use lph::core::separations::{prop21_fooling_pair, verdicts_coincide_on_pair};
-use lph::core::{arbiters, decide_game, Arbiter, GameLimits, GameSpec};
+use lph::core::{
+    arbiters, decide_game, decide_game_backend, Arbiter, GameBackend, GameLimits, GameSpec,
+};
 use lph::fagin::compiler::sentence_game;
 use lph::fagin::{machine_to_sat_graph, TableauBounds};
 use lph::graphs::{generators, CertificateList, GraphStructure, IdAssignment, PolyBound};
@@ -61,8 +67,9 @@ fn section(id: &str, title: &str, body: impl FnOnce()) {
     }
 }
 
-fn parse_args() -> Result<Option<PathBuf>, String> {
+fn parse_args() -> Result<(Option<PathBuf>, bool), String> {
     let mut trace_out = None;
+    let mut sat_smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -82,10 +89,103 @@ fn parse_args() -> Result<Option<PathBuf>, String> {
                     args.next().ok_or("--trace-out needs a path")?,
                 ));
             }
+            "--sat-smoke" => sat_smoke = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    Ok(trace_out)
+    Ok((trace_out, sat_smoke))
+}
+
+/// The E16 body, also run standalone by `--sat-smoke` (the `sat` CI
+/// stage): the CDCL backend on game families past the exhaustive
+/// enumerator's move-space guard, plus a bounded-conflict solve that
+/// exercises the `Unknown` → resume path of the solver itself.
+fn sat_engine_series() {
+    let lim = GameLimits::default();
+    // Σ₁ 3-coloring: exhaustive play dies at 7ⁿ first moves, the CDCL
+    // backend compiles 343-row local tables instead.
+    let arb = arbiters::three_colorable_verifier();
+    for n in [6usize, 60, 120] {
+        let g = generators::cycle(n);
+        let id = IdAssignment::global(&g);
+        let exh = match decide_game_backend(&arb, &g, &id, &lim, GameBackend::Exhaustive) {
+            Ok(r) => format!("eve_wins={} in {} runs", r.eve_wins, r.runs),
+            Err(e) => format!("infeasible ({e})"),
+        };
+        let r = decide_game_backend(&arb, &g, &id, &lim, GameBackend::Cdcl)
+            .expect("CDCL within budget");
+        println!(
+            "3-COLORABLE on C{n}: exhaustive {exh}; CDCL eve_wins={} in {} arbiter runs",
+            r.eve_wins, r.runs
+        );
+    }
+    // The UNSAT side (a refutation, not a witness) and the Π₁ encoding.
+    let g = generators::cycle(61);
+    let id = IdAssignment::global(&g);
+    let r = decide_game_backend(
+        &arbiters::two_colorable_verifier(),
+        &g,
+        &id,
+        &lim,
+        GameBackend::Cdcl,
+    )
+    .expect("CDCL within budget");
+    println!("2-COLORABLE on C61: CDCL refutes (eve_wins={})", r.eve_wins);
+    let base = generators::cycle(50);
+    let labels = vec![lph::graphs::BitString::from_bits01("1"); base.node_count()];
+    let g = base.with_labels(labels).expect("arity matches");
+    let id = IdAssignment::global(&g);
+    let r = decide_game_backend(
+        &arbiters::all_selected_pi1(),
+        &g,
+        &id,
+        &lim,
+        GameBackend::Cdcl,
+    )
+    .expect("CDCL within budget");
+    println!(
+        "ALL-SELECTED (Π₁) on C50, all ones: CDCL eve_wins={}",
+        r.eve_wins
+    );
+    // Solver-level smoke: pigeonhole PHP(7, 6) under a conflict budget —
+    // first Unknown, then resumed to the full UNSAT proof.
+    let (pigeons, holes) = (7usize, 6);
+    let mut cnf = lph::sat::Cnf::new();
+    cnf.new_vars(pigeons * holes);
+    let lit = |p: usize, h: usize| lph::sat::Lit::pos(p * holes + h);
+    for p in 0..pigeons {
+        cnf.add_clause((0..holes).map(|h| lit(p, h)));
+    }
+    for h in 0..holes {
+        for p in 0..pigeons {
+            for q in p + 1..pigeons {
+                cnf.add_clause([lit(p, h).negated(), lit(q, h).negated()]);
+            }
+        }
+    }
+    let mut solver = lph::sat::Solver::with_config(
+        &cnf,
+        lph::sat::SolverConfig {
+            max_conflicts: Some(50),
+            ..lph::sat::SolverConfig::default()
+        },
+    );
+    let first = solver.solve();
+    let budgeted = matches!(first, lph::sat::SolveOutcome::Unknown);
+    let mut rounds = 1usize;
+    let mut outcome = first;
+    while matches!(outcome, lph::sat::SolveOutcome::Unknown) {
+        outcome = solver.solve();
+        rounds += 1;
+    }
+    assert!(matches!(outcome, lph::sat::SolveOutcome::Unsat));
+    let stats = solver.stats();
+    println!(
+        "PHP({pigeons},{holes}): budget pause after 50 conflicts = {budgeted}; \
+         UNSAT after {rounds} budget rounds, {} conflicts, {} learned clauses, \
+         {} restarts",
+        stats.conflicts, stats.learned_clauses, stats.restarts
+    );
 }
 
 /// Serializes the aggregated trace to `path` as `lph-trace/1` JSON.
@@ -110,16 +210,21 @@ fn write_trace(path: &std::path::Path) -> Result<(), String> {
 
 #[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
-    let trace_out = match parse_args() {
+    let (trace_out, sat_smoke) = match parse_args() {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("USAGE: experiments [--threads N] [--trace-out PATH]");
+            eprintln!("USAGE: experiments [--threads N] [--trace-out PATH] [--sat-smoke]");
             return ExitCode::from(2);
         }
     };
     if trace_out.is_some() {
         lph::trace::set_enabled(true);
+    }
+    if sat_smoke {
+        // The `sat` CI stage: just the CDCL engine series, fast.
+        section("E16", "CDCL certificate engine (smoke)", sat_engine_series);
+        return ExitCode::SUCCESS;
     }
     let total = Instant::now();
     println!("A LOCAL View of the Polynomial Hierarchy — experiment suite");
@@ -422,6 +527,13 @@ fn main() -> ExitCode {
                 println!("({m}, {n}) → grid: transported SQUARES sentence = {truth}");
             }
         },
+    );
+
+    // ------------------------------------------------------------------
+    section(
+        "E16",
+        "CDCL certificate engine — games past the exhaustive ceiling",
+        sat_engine_series,
     );
 
     println!(

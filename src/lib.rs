@@ -19,6 +19,9 @@
 //!   ([`reductions`]),
 //! * the distributed Fagin and Cook–Levin translations ([`fagin`]),
 //! * pictures, tiling systems, and logic on pictures ([`pictures`]),
+//! * a conflict-driven clause-learning SAT solver compiling certificate
+//!   games to CNF for the backend of [`core::decide_game_backend`]
+//!   ([`sat`]),
 //! * a rule-based static analyzer over all of the above ([`analysis`];
 //!   CLI: `cargo run --bin lph-lint`),
 //! * a dependency-free structured-parallelism runtime driving the
@@ -43,4 +46,5 @@ pub use lph_pictures as pictures;
 pub use lph_props as props;
 pub use lph_reductions as reductions;
 pub use lph_runtime as runtime;
+pub use lph_sat as sat;
 pub use lph_trace as trace;

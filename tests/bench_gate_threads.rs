@@ -1,0 +1,75 @@
+//! End-to-end tests of `bench-gate --compare`'s thread-count handling: a
+//! slow series measured at a different parallelism than the baseline is
+//! a warning (exit 0), while the same slowdown at matching parallelism
+//! is a gated regression (exit 1).
+
+use std::process::{Command, Output};
+
+/// Builds an `lph-bench/1` document with one series at the given median
+/// and thread count (plus the calibration series pinned equal on both
+/// sides so no ratio adjustment kicks in).
+fn doc(median_ns: f64, threads: u64) -> String {
+    format!(
+        r#"{{"schema":"lph-bench/1","benches":[
+  {{"group":"_calibration","name":"spin","median_ns":1000000,"min_ns":1000000,"max_ns":1000000,"samples":2,"threads":{threads}}},
+  {{"group":"game","name":"sweep","median_ns":{median_ns},"min_ns":{median_ns},"max_ns":{median_ns},"samples":2,"threads":{threads}}}
+]}}"#
+    )
+}
+
+fn compare(results: &str, baseline: &str, tag: &str) -> Output {
+    let dir = std::env::temp_dir().join(format!("lph-bench-gate-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let r = dir.join("results.json");
+    let b = dir.join("baseline.json");
+    std::fs::write(&r, results).expect("write results");
+    std::fs::write(&b, baseline).expect("write baseline");
+    let out = Command::new(env!("CARGO_BIN_EXE_bench-gate"))
+        .args(["--compare"])
+        .arg(&r)
+        .arg(&b)
+        .output()
+        .expect("bench-gate runs");
+    std::fs::remove_dir_all(&dir).ok();
+    out
+}
+
+#[test]
+fn matching_threads_regression_fails_the_gate() {
+    // 10x slower, 9ms absolute: a genuine regression at equal parallelism.
+    let out = compare(&doc(10_000_000.0, 4), &doc(1_000_000.0, 4), "match");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("REGRESSION"), "{text}");
+    assert!(text.contains("1 regression(s)"), "{text}");
+}
+
+#[test]
+fn thread_mismatch_downgrades_the_same_slowdown_to_a_warning() {
+    // The identical slowdown, but measured with 1 worker against a
+    // baseline from 4: not comparable, so warn and pass.
+    let out = compare(&doc(10_000_000.0, 1), &doc(1_000_000.0, 4), "mismatch");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("WARNING: slow, but thread counts differ"),
+        "{text}"
+    );
+    assert!(text.contains("threads 1 vs 4"), "{text}");
+    assert!(text.contains("0 regression(s)"), "{text}");
+    assert!(
+        text.contains("downgraded to warnings"),
+        "summary note expected: {text}"
+    );
+}
+
+#[test]
+fn thread_mismatch_on_a_healthy_series_still_passes_quietly() {
+    // No slowdown: the mismatch is annotated but produces no warning
+    // count in the summary.
+    let out = compare(&doc(1_000_000.0, 1), &doc(1_000_000.0, 4), "healthy");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("threads 1 vs 4"), "{text}");
+    assert!(!text.contains("downgraded"), "{text}");
+}

@@ -27,7 +27,7 @@ fn at_widths<T>(workers: usize, f: impl Fn() -> T) -> (T, T) {
 fn certificate_enumeration_is_order_identical() {
     let g = generators::path(4);
     let budgets = [2usize, 1, 2, 1];
-    let (seq, par) = at_widths(4, || enumerate_certificates(&g, &budgets));
+    let (seq, par) = at_widths(4, || enumerate_certificates(&g, &budgets).unwrap());
     assert_eq!(seq.len(), 7 * 3 * 7 * 3);
     assert_eq!(seq, par);
 }
@@ -61,10 +61,10 @@ fn wide_pools_agree_with_narrow_pools() {
     let g = generators::cycle(5);
     let budgets = [1usize; 5];
     runtime::set_threads(1);
-    let reference = enumerate_certificates(&g, &budgets);
+    let reference = enumerate_certificates(&g, &budgets).unwrap();
     for workers in [2, 3, 7, 16] {
         runtime::set_threads(workers);
-        assert_eq!(enumerate_certificates(&g, &budgets), reference);
+        assert_eq!(enumerate_certificates(&g, &budgets).unwrap(), reference);
     }
     runtime::set_threads(0);
 }
@@ -95,9 +95,9 @@ fn lph_threads_env_forces_sequential_mode() {
     assert_eq!(runtime::threads(), 1);
     let g = generators::path(3);
     let budgets = [2usize, 2, 2];
-    let under_env = enumerate_certificates(&g, &budgets);
+    let under_env = enumerate_certificates(&g, &budgets).unwrap();
     std::env::remove_var("LPH_THREADS");
     runtime::set_threads(1);
-    assert_eq!(enumerate_certificates(&g, &budgets), under_env);
+    assert_eq!(enumerate_certificates(&g, &budgets).unwrap(), under_env);
     runtime::set_threads(0);
 }

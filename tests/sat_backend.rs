@@ -1,0 +1,78 @@
+//! Tier-1 guarantees for the CDCL game backend: it decides certificate
+//! game families at sizes the exhaustive enumerator provably cannot
+//! reach (its move-space guard trips), and every extracted witness
+//! replays through the real arbiter on the full graph.
+
+use lph::core::{arbiters, decide_game_backend, GameBackend, GameError, GameLimits};
+use lph::graphs::{generators, BitString, CertificateList, IdAssignment};
+
+#[test]
+fn cdcl_decides_three_coloring_far_beyond_the_exhaustive_ceiling() {
+    // 7⁶⁰ first moves: the enumerator's 2²⁰ guard rejects the game
+    // outright, while the CDCL backend settles it from 343-row tables.
+    let g = generators::cycle(60);
+    let arb = arbiters::three_colorable_verifier();
+    let id = IdAssignment::global(&g);
+    let limits = GameLimits::default();
+    let err = decide_game_backend(&arb, &g, &id, &limits, GameBackend::Exhaustive).unwrap_err();
+    assert!(matches!(err, GameError::MoveSpaceTooLarge { .. }));
+    let res = decide_game_backend(&arb, &g, &id, &limits, GameBackend::Cdcl).unwrap();
+    assert!(res.eve_wins, "C60 is 3-colorable");
+    let w = res.winning_first_move.expect("a winning move is extracted");
+    // The witness is a genuine proper coloring...
+    for (u, v) in g.edges() {
+        assert_ne!(w.cert(u), w.cert(v), "adjacent nodes share a color");
+    }
+    // ...and replays through the arbiter itself on the full graph.
+    let list = CertificateList::new().extended(w);
+    assert!(arb.accepts(&g, &id, &list, &limits.exec).unwrap());
+}
+
+#[test]
+fn cdcl_refutes_two_coloring_of_a_large_odd_cycle() {
+    // The UNSAT side at n = 61: no witness exists, and the backend must
+    // prove it rather than time out.
+    let g = generators::cycle(61);
+    let arb = arbiters::two_colorable_verifier();
+    let id = IdAssignment::global(&g);
+    let limits = GameLimits::default();
+    let err = decide_game_backend(&arb, &g, &id, &limits, GameBackend::Exhaustive).unwrap_err();
+    assert!(matches!(err, GameError::MoveSpaceTooLarge { .. }));
+    let res = decide_game_backend(&arb, &g, &id, &limits, GameBackend::Cdcl).unwrap();
+    assert!(!res.eve_wins, "odd cycles are not 2-colorable");
+    assert!(res.winning_first_move.is_none());
+}
+
+#[test]
+fn cdcl_decides_pi1_games_beyond_the_exhaustive_ceiling() {
+    // Π₁ at n = 50 (3⁵⁰ universal moves): Eve wins the all-selected
+    // instance for every Adam move, and loses as soon as one node is
+    // unselected.
+    let arb = arbiters::all_selected_pi1();
+    let limits = GameLimits::default();
+    let base = generators::cycle(50);
+    let n = base.node_count();
+    let ones = vec![BitString::from_bits01("1"); n];
+    let mut holed = ones.clone();
+    holed[17] = BitString::from_bits01("0");
+    for (labels, expected) in [(ones, true), (holed, false)] {
+        let g = base.with_labels(labels).expect("arity matches");
+        let id = IdAssignment::global(&g);
+        let err = decide_game_backend(&arb, &g, &id, &limits, GameBackend::Exhaustive).unwrap_err();
+        assert!(matches!(err, GameError::MoveSpaceTooLarge { .. }));
+        let res = decide_game_backend(&arb, &g, &id, &limits, GameBackend::Cdcl).unwrap();
+        assert_eq!(res.eve_wins, expected);
+    }
+}
+
+#[test]
+fn auto_backend_uses_cdcl_past_the_ceiling() {
+    // Auto must reach for CDCL (not die on the move-space guard) when
+    // the exhaustive path is infeasible but the game is level 1.
+    let g = generators::cycle(54);
+    let arb = arbiters::three_colorable_verifier();
+    let id = IdAssignment::global(&g);
+    let res = decide_game_backend(&arb, &g, &id, &GameLimits::default(), GameBackend::Auto)
+        .expect("auto routes Σ1 to CDCL");
+    assert!(res.eve_wins);
+}
