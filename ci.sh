@@ -20,10 +20,12 @@ stage_build() { cargo build --release; }
 
 stage_test() { cargo test -q --workspace; }
 
-# SAT backend health: the CDCL-vs-exhaustive differential suite, then a
-# bounded-conflict solver smoke through the experiments binary (proves
-# the solver, its trace counters, and the game backend wiring agree on a
-# fresh build before the heavier lint/bench stages run).
+# SAT backend health: the CDCL-vs-exhaustive differential suite (which
+# now replays every logged refutation through the independent RUP
+# checker and proves mutated proofs are rejected), then a solver smoke
+# through the experiments binary. The smoke is also the proof-check
+# gate: its C61 refutation asserts `RefutationEvidence::Checked`, so an
+# `Unchecked` verdict anywhere on that path fails this stage.
 stage_sat() {
   cargo test -q -p lph-sat --test differential
   cargo run --release --bin experiments -- --sat-smoke
@@ -67,6 +69,12 @@ stage_bench_smoke() {
   LPH_BENCH_SAMPLES=2 LPH_BENCH_OUT="$PWD/BENCH_results.json" \
     cargo bench -p lph-bench
   cargo run --release --bin bench-gate -- --validate BENCH_results.json
+  # The proof-logging series must keep emitting: it is the only
+  # measurement of checker cost and logging overhead.
+  if ! grep -q '"group":"sat_proof"' BENCH_results.json; then
+    echo "bench-smoke: sat_proof series missing from BENCH_results.json" >&2
+    return 1
+  fi
 }
 
 # Compares the results bench-smoke just emitted against the committed

@@ -27,6 +27,10 @@ pub struct ArbiterArtifact {
     /// Labeled inputs the arbiter is replayed on (labels must match the
     /// encoding the arbiter expects).
     pub probes: Vec<LabeledGraph>,
+    /// Concrete game instances with claimed winners, re-decided (with a
+    /// checked refutation on the UNSAT side) by
+    /// [`crate::proofcheck::check_game_claims`].
+    pub game_claims: Vec<crate::proofcheck::GameClaim>,
 }
 
 impl ArbiterArtifact {
@@ -37,6 +41,7 @@ impl ArbiterArtifact {
             claimed_class: claimed_class.to_owned(),
             declared_rounds,
             probes: Vec::new(),
+            game_claims: Vec::new(),
         }
     }
 
@@ -47,7 +52,14 @@ impl ArbiterArtifact {
         self
     }
 
-    fn artifact(&self) -> String {
+    /// Adds game claims (`SAT001`–`SAT003`).
+    #[must_use]
+    pub fn with_game_claims(mut self, claims: Vec<crate::proofcheck::GameClaim>) -> Self {
+        self.game_claims = claims;
+        self
+    }
+
+    pub(crate) fn artifact(&self) -> String {
         format!("arbiter:{}", self.arbiter.name())
     }
 }
@@ -332,9 +344,11 @@ pub fn check_reduction(a: &ReductionArtifact) -> Vec<Diagnostic> {
     out
 }
 
-/// Runs every contract rule over one arbiter artifact.
+/// Runs every contract rule over one arbiter artifact, including the
+/// proof-carrying game claims (`SAT001`–`SAT003`).
 pub fn check_arbiter(a: &ArbiterArtifact) -> Vec<Diagnostic> {
     let mut out = check_game_spec(a);
     out.extend(check_metered_rounds(a));
+    out.extend(crate::proofcheck::check_game_claims(a));
     out
 }

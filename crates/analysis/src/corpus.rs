@@ -28,6 +28,7 @@ use crate::contract::{self, ArbiterArtifact, ClusterMapArtifact, ReductionArtifa
 use crate::diagnostic::{sort_diagnostics, Diagnostic};
 use crate::dtm::{self, DtmArtifact};
 use crate::formula::{self, SentenceArtifact};
+use crate::proofcheck::GameClaim;
 use crate::registry::RuleConfig;
 
 /// Every artifact the analyzer ships with.
@@ -138,10 +139,35 @@ pub fn builtin() -> Corpus {
         ArbiterArtifact::new(arbiters::three_colorable_verifier(), "Σ1", 2)
             .with_probes(vec![generators::cycle(4), generators::complete(3)]),
         ArbiterArtifact::new(arbiters::two_colorable_verifier(), "Σ1", 2)
-            .with_probes(vec![generators::cycle(4), generators::path(3)]),
+            .with_probes(vec![generators::cycle(4), generators::path(3)])
+            // Σ₁-no claim: an odd cycle is not 2-colorable, so the CDCL
+            // backend must refute Eve's witness search — and `SAT001`
+            // demands the refutation pass the independent RUP checker.
+            .with_game_claims(vec![
+                GameClaim::new("odd 5-cycle (not 2-colorable)", generators::cycle(5), false),
+                GameClaim::new("even 4-cycle (2-colorable)", generators::cycle(4), true),
+            ]),
         ArbiterArtifact::new(arbiters::sat_graph_verifier(), "Σ1", 2)
             .with_probes(vec![sat_graph_probe()]),
-        ArbiterArtifact::new(arbiters::all_selected_pi1(), "Π1", 1).with_probes(selected_probes()),
+        ArbiterArtifact::new(arbiters::all_selected_pi1(), "Π1", 1)
+            .with_probes(selected_probes())
+            // Π₁-yes claim: on an all-selected cycle Adam has no
+            // refutation, so Eve's win *is* an UNSAT answer — the
+            // deliberately-unsatisfiable instance that pins the checked
+            // refutation path. The partially-selected path is the SAT
+            // side (Adam's rejection play is found and replayed).
+            .with_game_claims(vec![
+                GameClaim::new(
+                    "all-selected 5-cycle (Adam has no play)",
+                    generators::labeled_cycle(&["1", "1", "1", "1", "1"]),
+                    true,
+                ),
+                GameClaim::new(
+                    "partially-selected 2-path",
+                    generators::labeled_path(&["1", "0"]),
+                    false,
+                ),
+            ]),
         ArbiterArtifact::new(arbiters::not_all_selected_sigma3(), "Σ3", 2)
             .with_probes(selected_probes()),
         ArbiterArtifact::new(arbiters::distance_to_unselected_verifier(2), "Σ1", 2)

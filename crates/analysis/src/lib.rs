@@ -23,6 +23,10 @@
 //!   (`DTM007`–`DTM010`), semantic hierarchy levels and flow radii
 //!   (`FRM006`–`FRM008`), and symbolic reduction output-size bounds
 //!   (`RED003`–`RED005`), surfaced at the `Proof` severity.
+//! * [`proofcheck`] — proof-carrying game claims (`SAT001`–`SAT003`):
+//!   registered instances are re-decided by the CDCL backend, UNSAT-side
+//!   verdicts must carry refutations accepted by the independent RUP
+//!   checker, and proofs serialize as `lph-proof/1` JSON.
 //! * [`registry`] — the rule table and allow/deny configuration.
 //! * [`corpus`] — the built-in corpus of shipped artifacts; `lph-lint`
 //!   runs the rules over it.
@@ -49,6 +53,7 @@ pub mod dtm;
 pub mod flow;
 pub mod formula;
 pub mod json;
+pub mod proofcheck;
 pub mod registry;
 pub mod tracefmt;
 
@@ -59,5 +64,9 @@ pub use dtm::DtmArtifact;
 pub use flow::{reduction_domain_ok, MachineFlow};
 pub use formula::SentenceArtifact;
 pub use json::{diagnostics_from_json, diagnostics_to_json, Json};
+pub use proofcheck::{
+    check_game_claims, evidence_diagnostics, proof_from_json, proof_to_json, GameClaim,
+    PROOF_SCHEMA,
+};
 pub use registry::{rule, RuleConfig, RuleInfo, RULES};
 pub use tracefmt::{trace_to_json, validate_trace, TraceStats};

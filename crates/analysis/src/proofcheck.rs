@@ -1,0 +1,321 @@
+//! Proof-carrying game claims (rules `SAT001`–`SAT003`) and the
+//! `lph-proof/1` serialization of solver refutations.
+//!
+//! PR 6's CDCL backend decides certificate games far past the exhaustive
+//! ceiling, and since the proof-logging work every `Unsat` answer comes
+//! back with a [`RefutationEvidence`] verdict from the independent RUP
+//! checker (`lph_sat::checker`). This module surfaces that trust chain
+//! through the lint registry: corpus arbiters may register [`GameClaim`]s
+//! — concrete instances with an expected winner — and the analyzer
+//! re-decides each claim with the CDCL backend, demanding that
+//!
+//! * the verdict matches the claim and any UNSAT-side verdict carries a
+//!   checker-**accepted** refutation (`SAT001`, `proof` severity);
+//! * the logged proof is about the formula it claims to refute — no
+//!   unknown variables, no deletions of absent clauses (`SAT002`);
+//! * a claim is never asserted past an exhausted solver budget
+//!   (`SAT003`).
+//!
+//! Serialization follows the `lph-trace/1` pattern: [`proof_to_json`]
+//! renders a [`ProofLog`] as canonical `lph-proof/1` JSON (DIMACS-style
+//! signed literals), and [`proof_from_json`] parses it back, rejecting
+//! malformed documents with a description.
+
+use lph_core::{
+    decide_game_backend, GameBackend, GameError, GameLimits, GameResult, RefutationEvidence,
+};
+use lph_graphs::{IdAssignment, LabeledGraph};
+use lph_sat::{Lit, ProofLog, ProofStep};
+
+use crate::contract::ArbiterArtifact;
+use crate::diagnostic::Diagnostic;
+use crate::json::Json;
+
+/// The `lph-proof/1` schema tag.
+pub const PROOF_SCHEMA: &str = "lph-proof/1";
+
+/// A concrete game instance an arbiter claims to win or lose.
+///
+/// Attached to an [`ArbiterArtifact`] via
+/// [`ArbiterArtifact::with_game_claims`]; checked by
+/// [`check_game_claims`].
+pub struct GameClaim {
+    /// Short instance name used in diagnostics, e.g. `"odd 5-cycle"`.
+    pub instance: String,
+    /// The labeled input the game is played on.
+    pub graph: LabeledGraph,
+    /// The claimed outcome: `true` = Eve has a winning strategy.
+    pub expected_eve_wins: bool,
+    /// Budgets for the decision procedure.
+    pub limits: GameLimits,
+}
+
+impl GameClaim {
+    /// A claim under [`GameLimits::default`].
+    pub fn new(instance: &str, graph: LabeledGraph, expected_eve_wins: bool) -> GameClaim {
+        GameClaim {
+            instance: instance.to_owned(),
+            graph,
+            expected_eve_wins,
+            limits: GameLimits::default(),
+        }
+    }
+
+    /// Overrides the decision budgets.
+    #[must_use]
+    pub fn with_limits(mut self, limits: GameLimits) -> GameClaim {
+        self.limits = limits;
+        self
+    }
+}
+
+/// Diagnostics for one decided game against its claim: `SAT001` when the
+/// verdict contradicts the claim or rests on a refutation the checker
+/// rejected for derivation reasons, `SAT002` when the rejection says the
+/// proof is about a different formula.
+///
+/// Exposed separately from [`check_game_claims`] so synthetic
+/// [`GameResult`]s can pin each firing shape without a solver in the
+/// loop.
+pub fn evidence_diagnostics(
+    artifact: &str,
+    instance: &str,
+    expected_eve_wins: bool,
+    result: &GameResult,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if result.eve_wins != expected_eve_wins {
+        let (want, got) = if expected_eve_wins {
+            ("Eve", "Adam")
+        } else {
+            ("Adam", "Eve")
+        };
+        out.push(Diagnostic::proof(
+            "SAT001",
+            artifact,
+            format!("game claim on {instance}: claimed {want} wins, the backend decided {got}"),
+        ));
+    }
+    match &result.refutation {
+        Some(RefutationEvidence::Unchecked {
+            cnf_mismatch: true,
+            reason,
+        }) => {
+            out.push(
+                Diagnostic::proof(
+                    "SAT002",
+                    artifact,
+                    format!("refutation for {instance} is about a different formula: {reason}"),
+                )
+                .with_suggestion("the proof log and the game CNF disagree; neither can be trusted"),
+            );
+        }
+        Some(RefutationEvidence::Unchecked {
+            cnf_mismatch: false,
+            reason,
+        }) => {
+            out.push(
+                Diagnostic::proof(
+                    "SAT001",
+                    artifact,
+                    format!("refutation for {instance} failed its RUP check: {reason}"),
+                )
+                .with_suggestion("an UNSAT-side verdict must carry a checker-accepted refutation"),
+            );
+        }
+        Some(RefutationEvidence::Checked { .. }) | None => {}
+    }
+    out
+}
+
+/// Re-decides every registered [`GameClaim`] with [`GameBackend::Cdcl`]
+/// and reports `SAT001`–`SAT003` findings at `proof` severity. Arbiters
+/// without claims produce nothing.
+pub fn check_game_claims(a: &ArbiterArtifact) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if a.game_claims.is_empty() {
+        return out;
+    }
+    let _span = lph_trace::span("analysis/proofcheck");
+    let artifact = a.artifact();
+    for claim in &a.game_claims {
+        let id = IdAssignment::global(&claim.graph);
+        match decide_game_backend(
+            &a.arbiter,
+            &claim.graph,
+            &id,
+            &claim.limits,
+            GameBackend::Cdcl,
+        ) {
+            Ok(result) => out.extend(evidence_diagnostics(
+                &artifact,
+                &claim.instance,
+                claim.expected_eve_wins,
+                &result,
+            )),
+            Err(GameError::BudgetExceeded { limit }) => {
+                out.push(
+                    Diagnostic::proof(
+                        "SAT003",
+                        &artifact,
+                        format!(
+                            "game claim on {} exhausted the solver budget of {limit} \
+                             conflicts without a verdict",
+                            claim.instance
+                        ),
+                    )
+                    .with_suggestion("raise GameLimits::max_runs or shrink the claimed instance"),
+                );
+            }
+            Err(e) => {
+                out.push(Diagnostic::proof(
+                    "SAT001",
+                    &artifact,
+                    format!(
+                        "game claim on {} could not be decided by the CDCL backend: {e}",
+                        claim.instance
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Serializes a proof trace as canonical `lph-proof/1` JSON: a `schema`
+/// tag plus one `{op, lits}` object per step, literals in DIMACS
+/// convention (variable `v` is `v + 1`, negation is the sign).
+pub fn proof_to_json(proof: &ProofLog) -> Json {
+    let steps: Vec<Json> = proof
+        .steps()
+        .iter()
+        .map(|s| {
+            let (op, lits) = match s {
+                ProofStep::Add(c) => ("add", c),
+                ProofStep::Delete(c) => ("delete", c),
+            };
+            let lits: Vec<Json> = lits
+                .iter()
+                .map(|l| {
+                    let dimacs = (l.var() + 1) as f64;
+                    Json::Num(if l.is_pos() { dimacs } else { -dimacs })
+                })
+                .collect();
+            Json::Obj(vec![
+                ("op".to_owned(), Json::Str(op.to_owned())),
+                ("lits".to_owned(), Json::Arr(lits)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".to_owned(), Json::Str(PROOF_SCHEMA.to_owned())),
+        ("steps".to_owned(), Json::Arr(steps)),
+    ])
+}
+
+/// Parses an `lph-proof/1` document back into a [`ProofLog`].
+///
+/// # Errors
+///
+/// Returns a description when the schema tag, a step shape, or a literal
+/// is malformed (zero, fractional, or out of range).
+pub fn proof_from_json(v: &Json) -> Result<ProofLog, String> {
+    match v.get("schema").and_then(Json::as_str) {
+        Some(PROOF_SCHEMA) => {}
+        Some(other) => return Err(format!("unsupported proof schema {other:?}")),
+        None => return Err("missing schema tag".to_owned()),
+    }
+    let steps = v
+        .get("steps")
+        .and_then(Json::as_arr)
+        .ok_or("missing steps array")?;
+    let mut out = Vec::with_capacity(steps.len());
+    for (i, step) in steps.iter().enumerate() {
+        let op = step
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("step {i}: missing op"))?;
+        let lits = step
+            .get("lits")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("step {i}: missing lits"))?;
+        let mut clause = Vec::with_capacity(lits.len());
+        for l in lits {
+            let Json::Num(x) = l else {
+                return Err(format!("step {i}: literal is not a number"));
+            };
+            let n = *x as i64;
+            if n as f64 != *x || n == 0 || n.unsigned_abs() > u64::from(u32::MAX >> 1) {
+                return Err(format!("step {i}: invalid DIMACS literal {x}"));
+            }
+            clause.push(Lit::with_sign(n.unsigned_abs() as usize - 1, n > 0));
+        }
+        out.push(match op {
+            "add" => ProofStep::Add(clause),
+            "delete" => ProofStep::Delete(clause),
+            other => return Err(format!("step {i}: unknown op {other:?}")),
+        });
+    }
+    Ok(ProofLog::from_steps(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lph_sat::{Cnf, SolveOutcome, Solver, SolverConfig};
+
+    #[test]
+    fn solver_proofs_round_trip_through_lph_proof_1() {
+        // A real refutation: clashing implication chains.
+        let mut cnf = Cnf::new();
+        let vars: Vec<usize> = (0..4).map(|_| cnf.new_var()).collect();
+        for w in vars.windows(2) {
+            cnf.add_clause([Lit::neg(w[0]), Lit::pos(w[1])]);
+        }
+        cnf.add_clause([Lit::pos(vars[0])]);
+        cnf.add_clause([Lit::neg(vars[3])]);
+        let mut solver = Solver::with_config(
+            &cnf,
+            SolverConfig {
+                proof_log: true,
+                ..SolverConfig::default()
+            },
+        );
+        assert_eq!(solver.solve(), SolveOutcome::Unsat);
+        let proof = solver.take_proof().expect("logging on");
+        let doc = proof_to_json(&proof);
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(PROOF_SCHEMA));
+        let text = doc.emit();
+        let parsed = Json::parse(&text).expect("emitted JSON parses");
+        let back = proof_from_json(&parsed).expect("round trip");
+        assert_eq!(back, proof);
+        lph_sat::check_refutation(&cnf, &back).expect("deserialized proof still checks");
+    }
+
+    #[test]
+    fn delete_steps_and_signs_survive_the_round_trip() {
+        let mut log = ProofLog::new();
+        log.push_add(vec![Lit::pos(0), Lit::neg(2)]);
+        log.push_delete(vec![Lit::neg(0)]);
+        log.push_add(vec![]);
+        let back = proof_from_json(&proof_to_json(&log)).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_a_reason() {
+        let missing = Json::Obj(vec![]);
+        assert!(proof_from_json(&missing).unwrap_err().contains("schema"));
+        let wrong = Json::parse(r#"{"schema":"lph-proof/9","steps":[]}"#).unwrap();
+        assert!(proof_from_json(&wrong).unwrap_err().contains("lph-proof/9"));
+        let zero =
+            Json::parse(r#"{"schema":"lph-proof/1","steps":[{"op":"add","lits":[0]}]}"#).unwrap();
+        assert!(proof_from_json(&zero).unwrap_err().contains("literal"));
+        let frac =
+            Json::parse(r#"{"schema":"lph-proof/1","steps":[{"op":"add","lits":[1.5]}]}"#).unwrap();
+        assert!(proof_from_json(&frac).unwrap_err().contains("literal"));
+        let op = Json::parse(r#"{"schema":"lph-proof/1","steps":[{"op":"resolve","lits":[]}]}"#)
+            .unwrap();
+        assert!(proof_from_json(&op).unwrap_err().contains("resolve"));
+    }
+}

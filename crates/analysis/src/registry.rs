@@ -20,8 +20,10 @@ pub struct RuleInfo {
 
 /// Every rule the analyzer knows, in code order. Rules `DTM007`–`DTM010`,
 /// `FRM006`–`FRM008`, and `RED003`–`RED005` belong to the semantic tier
-/// ([`crate::flow`]) and only run in `lph-lint --analyze` deep mode.
-pub const RULES: [RuleInfo; 25] = [
+/// ([`crate::flow`]) and only run in `lph-lint --analyze` deep mode;
+/// `SAT001`–`SAT003` ([`crate::proofcheck`]) re-decide registered game
+/// claims with the CDCL backend in every mode.
+pub const RULES: [RuleInfo; 28] = [
     RuleInfo {
         code: "DTM001",
         name: "tm-totality",
@@ -170,6 +172,25 @@ pub const RULES: [RuleInfo; 25] = [
         code: "RED005",
         name: "reduction-output-size-flow",
         description: "assembled outputs obey the composed whole-graph size bound",
+        default_severity: Severity::Proof,
+    },
+    RuleInfo {
+        code: "SAT001",
+        name: "sat-unverifiable-refutation",
+        description: "game claims match the CDCL verdict, with a checker-accepted RUP refutation \
+                      on the UNSAT side",
+        default_severity: Severity::Proof,
+    },
+    RuleInfo {
+        code: "SAT002",
+        name: "sat-proof-cnf-mismatch",
+        description: "refutation proofs are about the formula they claim to refute",
+        default_severity: Severity::Proof,
+    },
+    RuleInfo {
+        code: "SAT003",
+        name: "sat-budget-exhausted-claim",
+        description: "game claims are never asserted past an exhausted solver budget",
         default_severity: Severity::Proof,
     },
 ];

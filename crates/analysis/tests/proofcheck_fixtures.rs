@@ -1,0 +1,131 @@
+//! Firing and non-firing fixtures for the proof-carrying game-claim
+//! rules `SAT001`–`SAT003`.
+//!
+//! The corpus claims themselves are pinned lint-clean by the tier-1 gate
+//! `tests/lint_corpus.rs`; here each rule is driven to fire — with the
+//! real CDCL backend where the shape allows it (wrong claims, exhausted
+//! budgets) and with synthetic [`GameResult`]s for the shapes an honest
+//! backend cannot produce (unchecked refutations).
+
+use lph_analysis::proofcheck::{check_game_claims, evidence_diagnostics, GameClaim};
+use lph_analysis::{ArbiterArtifact, Severity};
+use lph_core::{arbiters, GameLimits, GameResult, RefutationEvidence};
+use lph_graphs::generators;
+
+fn artifact_with(claims: Vec<GameClaim>) -> ArbiterArtifact {
+    ArbiterArtifact::new(arbiters::two_colorable_verifier(), "Σ1", 2).with_game_claims(claims)
+}
+
+#[test]
+fn no_claims_no_diagnostics() {
+    let diags = check_game_claims(&artifact_with(Vec::new()));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn true_claims_on_both_polarities_are_clean() {
+    let diags = check_game_claims(&artifact_with(vec![
+        GameClaim::new("even cycle", generators::cycle(4), true),
+        GameClaim::new("odd cycle", generators::cycle(5), false),
+    ]));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn sat001_fires_on_a_wrong_claim() {
+    // Claiming the odd cycle 2-colorable contradicts the (checked)
+    // refutation the backend produces.
+    let diags = check_game_claims(&artifact_with(vec![GameClaim::new(
+        "odd cycle claimed colorable",
+        generators::cycle(5),
+        true,
+    )]));
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "SAT001");
+    assert_eq!(diags[0].severity, Severity::Proof);
+    assert!(diags[0].message.contains("claimed Eve wins"));
+}
+
+#[test]
+fn sat003_fires_when_the_budget_is_exhausted() {
+    let limits = GameLimits {
+        max_runs: 1,
+        ..GameLimits::default()
+    };
+    let diags = check_game_claims(&artifact_with(vec![GameClaim::new(
+        "odd cycle under a one-run budget",
+        generators::cycle(5),
+        false,
+    )
+    .with_limits(limits)]));
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "SAT003");
+    assert_eq!(diags[0].severity, Severity::Proof);
+}
+
+#[test]
+fn sat001_fires_on_an_unchecked_refutation() {
+    // An honest backend never returns this shape (Auto re-decides), but
+    // the rule must catch it if one ever does.
+    let result = GameResult {
+        eve_wins: false,
+        runs: 0,
+        winning_first_move: None,
+        refutation: Some(RefutationEvidence::Unchecked {
+            cnf_mismatch: false,
+            reason: "step 3 is not confirmed by reverse unit propagation".into(),
+        }),
+    };
+    let diags = evidence_diagnostics("arbiter:test", "synthetic", false, &result);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "SAT001");
+    assert!(diags[0].message.contains("failed its RUP check"));
+}
+
+#[test]
+fn sat002_fires_on_a_formula_mismatch() {
+    let result = GameResult {
+        eve_wins: false,
+        runs: 0,
+        winning_first_move: None,
+        refutation: Some(RefutationEvidence::Unchecked {
+            cnf_mismatch: true,
+            reason: "step 0 names a variable the formula never allocated".into(),
+        }),
+    };
+    let diags = evidence_diagnostics("arbiter:test", "synthetic", false, &result);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "SAT002");
+    assert_eq!(diags[0].severity, Severity::Proof);
+}
+
+#[test]
+fn wrong_verdict_and_unchecked_evidence_both_surface() {
+    let result = GameResult {
+        eve_wins: true,
+        runs: 0,
+        winning_first_move: None,
+        refutation: Some(RefutationEvidence::Unchecked {
+            cnf_mismatch: false,
+            reason: "the trace never derives the empty clause".into(),
+        }),
+    };
+    let diags = evidence_diagnostics("arbiter:test", "synthetic", false, &result);
+    let codes: Vec<&str> = diags.iter().map(|d| d.code.as_str()).collect();
+    assert_eq!(codes, ["SAT001", "SAT001"], "{diags:?}");
+}
+
+#[test]
+fn checked_refutations_are_clean_evidence() {
+    let result = GameResult {
+        eve_wins: false,
+        runs: 0,
+        winning_first_move: None,
+        refutation: Some(RefutationEvidence::Checked {
+            proof_steps: 12,
+            rup_propagations: 340,
+        }),
+    };
+    let diags = evidence_diagnostics("arbiter:test", "synthetic", false, &result);
+    assert!(diags.is_empty(), "{diags:?}");
+}

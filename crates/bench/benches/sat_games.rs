@@ -8,6 +8,7 @@ use lph_bench::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use lph_core::{arbiters, decide_game_backend, GameBackend, GameLimits};
 use lph_graphs::generators::{self, XorShift};
 use lph_props::{cdcl_sat, dpll_sat, Cnf, Lit};
+use lph_sat::{check_refutation, SolveOutcome, Solver, SolverConfig};
 
 fn bench_cdcl_games(c: &mut Criterion) {
     let mut group = c.benchmark_group("sat_games");
@@ -63,6 +64,73 @@ fn random_three_cnf(n: usize, seed: u64) -> Cnf {
     Cnf { clauses }
 }
 
+/// `n + 1` pigeons into `n` holes: a small classically-UNSAT family on
+/// which CDCL must genuinely learn, so the proof log has real content.
+fn pigeonhole(n: usize) -> lph_sat::Cnf {
+    let mut cnf = lph_sat::Cnf::new();
+    let var = |p: usize, h: usize| p * n + h;
+    cnf.new_vars((n + 1) * n);
+    for p in 0..=n {
+        cnf.add_clause((0..n).map(|h| lph_sat::Lit::pos(var(p, h))));
+    }
+    for h in 0..n {
+        for p1 in 0..=n {
+            for p2 in (p1 + 1)..=n {
+                cnf.add_clause([lph_sat::Lit::neg(var(p1, h)), lph_sat::Lit::neg(var(p2, h))]);
+            }
+        }
+    }
+    cnf
+}
+
+fn bench_sat_proof(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_proof");
+    group.sample_size(10);
+
+    // The overhead question: the same refutation with logging off
+    // (default config, the bench-gated configuration everywhere else)
+    // and on.
+    let cnf = pigeonhole(5);
+    group.bench_function("refute_php5_nolog", |b| {
+        b.iter(|| {
+            let out = Solver::new(&cnf).solve();
+            assert_eq!(out, SolveOutcome::Unsat);
+        });
+    });
+    group.bench_function("refute_php5_logged", |b| {
+        b.iter(|| {
+            let mut s = Solver::with_config(
+                &cnf,
+                SolverConfig {
+                    proof_log: true,
+                    ..SolverConfig::default()
+                },
+            );
+            assert_eq!(s.solve(), SolveOutcome::Unsat);
+            black_box(s.take_proof().expect("logging on"));
+        });
+    });
+
+    // The checker itself: re-deriving every logged clause by unit
+    // propagation over the deliberately dumb counting propagator.
+    let proof = {
+        let mut s = Solver::with_config(
+            &cnf,
+            SolverConfig {
+                proof_log: true,
+                ..SolverConfig::default()
+            },
+        );
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        s.take_proof().expect("logging on")
+    };
+    group.bench_function("check_php5_proof", |b| {
+        b.iter(|| check_refutation(&cnf, &proof).expect("solver proofs check"));
+    });
+
+    group.finish();
+}
+
 fn bench_sat_graph_solvers(c: &mut Criterion) {
     let mut group = c.benchmark_group("sat_solvers");
     group.sample_size(10);
@@ -82,5 +150,10 @@ fn bench_sat_graph_solvers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cdcl_games, bench_sat_graph_solvers);
+criterion_group!(
+    benches,
+    bench_cdcl_games,
+    bench_sat_graph_solvers,
+    bench_sat_proof
+);
 criterion_main!(benches);

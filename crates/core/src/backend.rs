@@ -35,6 +35,13 @@
 //! the full graph** before the result is returned — the truth tables are
 //! an optimization, never the authority.
 //!
+//! The UNSAT side is certified too: the solver runs with proof logging
+//! on, and the logged RUP refutation is re-derived by the independent
+//! `lph_sat::checker` before the verdict is returned. The verdict carries
+//! the outcome as [`RefutationEvidence`] — [`GameBackend::Auto`] treats a
+//! failed check like an unsupported game and falls back to the exhaustive
+//! oracle, so an unchecked refutation never silently decides a game.
+//!
 //! `Σ₀` games have no certificates and run the arbiter once. Games with
 //! `ℓ ≥ 2` are quantified-Boolean, not propositional; they stay on the
 //! exhaustive game-tree search ([`GameBackend::Auto`] falls back
@@ -45,7 +52,7 @@ use lph_graphs::{
     NodeId,
 };
 use lph_machine::LocalOutcome;
-use lph_sat::{Cnf, Lit, SolveOutcome, Solver, SolverConfig};
+use lph_sat::{check_refutation, Cnf, Lit, SolveOutcome, Solver, SolverConfig};
 
 use crate::arbiter::Arbitrating;
 use crate::class::Player;
@@ -80,6 +87,40 @@ pub enum GameBackend {
     Auto,
 }
 
+/// How an UNSAT-side verdict of the CDCL backend is certified.
+///
+/// Attached to [`GameResult::refutation`] whenever the verdict rests on
+/// the solver's refutation rather than a replayed witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefutationEvidence {
+    /// The independent RUP checker re-derived the solver's refutation
+    /// from the game CNF.
+    Checked {
+        /// Steps in the logged proof (learned clauses + the empty clause).
+        proof_steps: usize,
+        /// Literals the checker assigned while re-deriving the steps.
+        rup_propagations: u64,
+    },
+    /// The checker rejected (or could not complete) the refutation; the
+    /// verdict is the solver's word alone. [`GameBackend::Auto`] discards
+    /// such results and re-decides exhaustively.
+    Unchecked {
+        /// Whether the failure says the proof is about a *different*
+        /// formula (unknown variables / deletions of absent clauses), as
+        /// opposed to a derivation gap.
+        cnf_mismatch: bool,
+        /// The checker's error, human-readable.
+        reason: String,
+    },
+}
+
+impl RefutationEvidence {
+    /// Whether the evidence is a checker-accepted proof.
+    pub fn is_checked(&self) -> bool {
+        matches!(self, RefutationEvidence::Checked { .. })
+    }
+}
+
 /// Solves the certificate game with the selected [`GameBackend`].
 ///
 /// Agrees with [`decide_game`] on `eve_wins` wherever both apply; the
@@ -108,6 +149,11 @@ pub fn decide_game_backend(
             }
             match decide_game_cdcl(arbiter, g, id, limits) {
                 Err(GameError::BackendUnsupported { .. }) => decide_game(arbiter, g, id, limits),
+                // An unchecked refutation is not evidence: re-decide with
+                // the exhaustive oracle rather than trust the solver.
+                Ok(r) if matches!(r.refutation, Some(RefutationEvidence::Unchecked { .. })) => {
+                    decide_game(arbiter, g, id, limits)
+                }
                 other => other,
             }
         }
@@ -359,6 +405,7 @@ fn decide_game_cdcl(
             eve_wins: accepted,
             runs: 1,
             winning_first_move: None,
+            refutation: None,
         });
     }
     if spec.ell > 1 {
@@ -420,6 +467,7 @@ fn decide_game_cdcl(
         &enc.cnf,
         SolverConfig {
             max_conflicts: Some(limits.max_runs),
+            proof_log: true,
             ..SolverConfig::default()
         },
     );
@@ -428,11 +476,29 @@ fn decide_game_cdcl(
         SolveOutcome::Unknown => Err(GameError::BudgetExceeded {
             limit: limits.max_runs,
         }),
-        SolveOutcome::Unsat => Ok(GameResult {
-            eve_wins: !eve_moves_first,
-            runs,
-            winning_first_move: None,
-        }),
+        SolveOutcome::Unsat => {
+            // Certify the refutation: the independent checker re-derives
+            // the solver's proof from the game CNF, so "no witness" is
+            // never taken on the solver's word alone.
+            let proof = solver.take_proof().expect("proof logging is on");
+            let evidence = match check_refutation(&enc.cnf, &proof) {
+                Ok(stats) => RefutationEvidence::Checked {
+                    proof_steps: proof.len(),
+                    rup_propagations: stats.propagations,
+                },
+                Err(e) => RefutationEvidence::Unchecked {
+                    cnf_mismatch: e.is_cnf_mismatch(),
+                    reason: e.to_string(),
+                },
+            };
+            lph_trace::add("game/refutations_checked", u64::from(evidence.is_checked()));
+            Ok(GameResult {
+                eve_wins: !eve_moves_first,
+                runs,
+                winning_first_move: None,
+                refutation: Some(evidence),
+            })
+        }
         SolveOutcome::Sat(model) => {
             let assignment = decode_model(&model, g, &options, &enc);
             // Certify the witness on the full graph: the local tables are
@@ -451,6 +517,7 @@ fn decide_game_cdcl(
                 eve_wins: eve_moves_first,
                 runs,
                 winning_first_move: Some(assignment),
+                refutation: None,
             })
         }
     }
@@ -477,9 +544,42 @@ mod tests {
             let sat = decide_game_backend(&arb, &g, &id, &limits, GameBackend::Cdcl).unwrap();
             assert_eq!(ex.eve_wins, colorable);
             assert_eq!(sat.eve_wins, colorable, "CDCL disagrees on {g:?}");
+            assert!(ex.refutation.is_none(), "exhaustive results carry none");
             if colorable {
                 assert!(sat.winning_first_move.is_some());
+                assert!(sat.refutation.is_none(), "witness verdicts carry none");
+            } else {
+                // Σ₁-no: the verdict must come with a checked refutation.
+                let ev = sat.refutation.expect("UNSAT verdicts carry evidence");
+                assert!(ev.is_checked(), "refutation not checked: {ev:?}");
             }
+        }
+    }
+
+    #[test]
+    fn pi1_yes_verdicts_carry_checked_refutations() {
+        // ALL-SELECTED on an all-ones cycle: Eve wins the Π₁ game, which
+        // the CDCL side establishes via UNSAT of the rejection encoding.
+        use lph_graphs::BitString;
+        let arb = arbiters::all_selected_pi1();
+        let base = generators::cycle(5);
+        let ones = vec![BitString::from_bits01("1"); base.node_count()];
+        let g = base.with_labels(ones).expect("arity matches");
+        let id = IdAssignment::global(&g);
+        let res =
+            decide_game_backend(&arb, &g, &id, &GameLimits::default(), GameBackend::Cdcl).unwrap();
+        assert!(res.eve_wins);
+        let ev = res.refutation.expect("Π₁-yes rests on an UNSAT answer");
+        assert!(ev.is_checked(), "refutation not checked: {ev:?}");
+        match ev {
+            RefutationEvidence::Checked {
+                proof_steps,
+                rup_propagations,
+            } => {
+                assert!(proof_steps >= 1);
+                assert!(rup_propagations > 0);
+            }
+            RefutationEvidence::Unchecked { .. } => unreachable!("is_checked held"),
         }
     }
 

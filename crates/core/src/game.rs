@@ -215,6 +215,11 @@ pub struct GameResult {
     pub runs: u64,
     /// If the **first** player wins and `ℓ ≥ 1`: a winning first move.
     pub winning_first_move: Option<CertificateAssignment>,
+    /// For verdicts the CDCL backend established by an UNSAT answer
+    /// (Σ₁ "Eve has no witness" / Π₁ "no play refutes Eve"): the status of
+    /// the machine-checked refutation proof. `None` for verdicts carried
+    /// by a replayed witness or decided exhaustively.
+    pub refutation: Option<crate::backend::RefutationEvidence>,
 }
 
 /// Enumerates every certificate assignment where node `u`'s certificate has
@@ -405,6 +410,7 @@ pub fn decide_game_with(
         eve_wins,
         runs,
         winning_first_move,
+        refutation: None,
     })
 }
 

@@ -47,7 +47,7 @@ pub mod restrictor;
 pub mod separations;
 
 pub use arbiter::{Arbiter, ArbiterKind, Arbitrating};
-pub use backend::{decide_game_backend, GameBackend};
+pub use backend::{decide_game_backend, GameBackend, RefutationEvidence};
 pub use class::{ClassId, Hierarchy, Player};
 pub use game::{
     decide_game, decide_game_with, enumerate_certificates, GameError, GameLimits, GameResult,

@@ -228,6 +228,7 @@ pub fn decide_restricted_game(
         eve_wins,
         runs,
         winning_first_move: None,
+        refutation: None,
     })
 }
 

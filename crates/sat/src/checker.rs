@@ -1,0 +1,520 @@
+//! An independent RUP proof checker — the trusted half of the refutation
+//! story.
+//!
+//! [`check_refutation`] re-derives every step of a [`ProofLog`] by **unit
+//! propagation from scratch** over a deliberately dumb propagator:
+//! occurrence lists plus a full clause scan per visit. No watched
+//! literals, no conflict analysis, no activity heuristics — none of the
+//! solver's 750 lines are shared, so a bug in the CDCL machinery cannot
+//! vouch for itself. A clause passes when assuming the negation of all its
+//! literals and propagating yields a conflict (reverse unit propagation);
+//! an UNSAT claim is accepted only when the **empty clause** passes.
+//!
+//! The checker is sound by construction: it accepts a refutation only if
+//! unit propagation — a truth-preserving inference — derives a conflict
+//! from the original formula, so a satisfiable formula can never acquire
+//! an accepted refutation. It is deliberately *not* complete for
+//! arbitrary DRAT (no RAT checks): the CDCL solver only ever emits RUP
+//! steps, and rejecting anything stronger keeps the trusted core small.
+
+use crate::cnf::{Cnf, Lit};
+use crate::proof::{ProofLog, ProofStep};
+use std::fmt;
+
+/// What a successful [`check_refutation`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// `Add` steps verified by reverse unit propagation (including the
+    /// final empty clause).
+    pub rup_steps: usize,
+    /// `Delete` steps applied.
+    pub deletions: usize,
+    /// Literals assigned across all propagation runs.
+    pub propagations: u64,
+}
+
+/// Why a proof was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// Step `step` claims a clause that reverse unit propagation cannot
+    /// confirm from the clauses available at that point.
+    NotRup {
+        /// Index into [`ProofLog::steps`].
+        step: usize,
+    },
+    /// Step `step` mentions a variable the formula never allocated — the
+    /// proof cannot be about this CNF.
+    UnknownVariable {
+        /// Index into [`ProofLog::steps`].
+        step: usize,
+    },
+    /// Step `step` deletes a clause that is not in the active database.
+    DeleteUnknownClause {
+        /// Index into [`ProofLog::steps`].
+        step: usize,
+    },
+    /// The trace ran out without ever deriving the empty clause: it proves
+    /// nothing about satisfiability.
+    NoRefutation,
+}
+
+impl CheckError {
+    /// Whether the error indicates the proof talks about a *different*
+    /// formula (as opposed to a derivation gap in a proof about this one).
+    pub fn is_cnf_mismatch(&self) -> bool {
+        matches!(
+            self,
+            CheckError::UnknownVariable { .. } | CheckError::DeleteUnknownClause { .. }
+        )
+    }
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::NotRup { step } => {
+                write!(
+                    f,
+                    "step {step} is not confirmed by reverse unit propagation"
+                )
+            }
+            CheckError::UnknownVariable { step } => {
+                write!(
+                    f,
+                    "step {step} names a variable the formula never allocated"
+                )
+            }
+            CheckError::DeleteUnknownClause { step } => {
+                write!(f, "step {step} deletes a clause absent from the database")
+            }
+            CheckError::NoRefutation => {
+                write!(f, "the trace never derives the empty clause")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// A stored clause: canonical literals plus a liveness flag (`Delete`
+/// deactivates instead of removing, keeping occurrence lists stable).
+#[derive(Debug)]
+struct DbClause {
+    lits: Vec<Lit>,
+    active: bool,
+}
+
+/// The dumb propagator: an assignment array, a trail for undo, and
+/// occurrence lists that visit *every* clause containing a falsified
+/// literal, scanning it in full.
+#[derive(Debug)]
+struct Propagator {
+    num_vars: usize,
+    clauses: Vec<DbClause>,
+    /// Clause indices by literal code.
+    occ: Vec<Vec<usize>>,
+    /// Indices of (possibly since-deactivated) unit clauses, re-asserted
+    /// at the start of every propagation run.
+    units: Vec<usize>,
+    /// Indices of empty clauses: any active one is an immediate conflict.
+    empties: Vec<usize>,
+    assign: Vec<Option<bool>>,
+    trail: Vec<Lit>,
+}
+
+/// Sorted, deduplicated literals — the canonical form used for storage
+/// and `Delete` matching.
+fn canonical(clause: &[Lit]) -> Vec<Lit> {
+    let mut lits = clause.to_vec();
+    lits.sort();
+    lits.dedup();
+    lits
+}
+
+impl Propagator {
+    fn new(cnf: &Cnf) -> Propagator {
+        let n = cnf.num_vars();
+        let mut p = Propagator {
+            num_vars: n,
+            clauses: Vec::with_capacity(cnf.clauses().len()),
+            occ: vec![Vec::new(); 2 * n],
+            units: Vec::new(),
+            empties: Vec::new(),
+            assign: vec![None; n],
+            trail: Vec::new(),
+        };
+        for clause in cnf.clauses() {
+            p.add(clause);
+        }
+        p
+    }
+
+    fn add(&mut self, clause: &[Lit]) {
+        let lits = canonical(clause);
+        let idx = self.clauses.len();
+        for l in &lits {
+            self.occ[l.code()].push(idx);
+        }
+        match lits.len() {
+            0 => self.empties.push(idx),
+            1 => self.units.push(idx),
+            _ => {}
+        }
+        self.clauses.push(DbClause { lits, active: true });
+    }
+
+    /// Deactivates the first active clause equal to `clause`; false if
+    /// none matches.
+    fn delete(&mut self, clause: &[Lit]) -> bool {
+        let key = canonical(clause);
+        match self.clauses.iter().position(|c| c.active && c.lits == key) {
+            Some(idx) => {
+                self.clauses[idx].active = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Makes `l` true. `Ok(())` on success or no-op, `Err(())` on
+    /// conflict with the current assignment.
+    fn assert_true(&mut self, l: Lit, propagations: &mut u64) -> Result<(), ()> {
+        match self.assign[l.var()] {
+            Some(v) if v == l.is_pos() => Ok(()),
+            Some(_) => Err(()),
+            None => {
+                self.assign[l.var()] = Some(l.is_pos());
+                self.trail.push(l);
+                *propagations += 1;
+                Ok(())
+            }
+        }
+    }
+
+    fn value(&self, l: Lit) -> Option<bool> {
+        self.assign[l.var()].map(|v| v == l.is_pos())
+    }
+
+    /// Whether assuming the negation of every literal of `candidate` and
+    /// unit-propagating over the active database derives a conflict.
+    /// Always leaves the assignment empty again.
+    fn rup_holds(&mut self, candidate: &[Lit], propagations: &mut u64) -> bool {
+        debug_assert!(self.trail.is_empty());
+        let conflict = self.rup_run(candidate, propagations).is_err();
+        for l in self.trail.drain(..) {
+            self.assign[l.var()] = None;
+        }
+        conflict
+    }
+
+    fn rup_run(&mut self, candidate: &[Lit], propagations: &mut u64) -> Result<(), ()> {
+        // An active empty clause is a standing conflict.
+        if self.empties.iter().any(|&i| self.clauses[i].active) {
+            return Err(());
+        }
+        // Assume the candidate's negation. A tautological candidate makes
+        // the assumption itself contradictory — vacuously RUP.
+        for &l in candidate {
+            self.assert_true(l.negated(), propagations)?;
+        }
+        // Unit clauses hold unconditionally in every run.
+        let units = std::mem::take(&mut self.units);
+        for &i in &units {
+            if self.clauses[i].active {
+                let unit = self.clauses[i].lits[0];
+                if let err @ Err(()) = self.assert_true(unit, propagations) {
+                    self.units = units;
+                    return err;
+                }
+            }
+        }
+        self.units = units;
+        // Propagate: every clause containing the negation of a true
+        // literal may have become unit or empty.
+        let mut qhead = 0;
+        while qhead < self.trail.len() {
+            let p = self.trail[qhead];
+            qhead += 1;
+            let falsified = p.negated();
+            let watchers = std::mem::take(&mut self.occ[falsified.code()]);
+            let mut outcome = Ok(());
+            for &ci in &watchers {
+                if !self.clauses[ci].active {
+                    continue;
+                }
+                let mut unassigned = None;
+                let mut satisfied = false;
+                let mut open = 0usize;
+                for &l in &self.clauses[ci].lits {
+                    match self.value(l) {
+                        Some(true) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => {
+                            open += 1;
+                            unassigned = Some(l);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match (open, unassigned) {
+                    (0, _) => {
+                        outcome = Err(());
+                        break;
+                    }
+                    (1, Some(l)) => {
+                        if let err @ Err(()) = self.assert_true(l, propagations) {
+                            outcome = err;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            self.occ[falsified.code()] = watchers;
+            outcome?;
+        }
+        Ok(())
+    }
+}
+
+fn check_inner(cnf: &Cnf, proof: &ProofLog, stats: &mut CheckStats) -> Result<(), CheckError> {
+    let mut db = Propagator::new(cnf);
+    for (step, s) in proof.steps().iter().enumerate() {
+        let clause = match s {
+            ProofStep::Add(c) | ProofStep::Delete(c) => c,
+        };
+        if clause.iter().any(|l| l.var() >= db.num_vars) {
+            return Err(CheckError::UnknownVariable { step });
+        }
+        match s {
+            ProofStep::Add(c) => {
+                if !db.rup_holds(c, &mut stats.propagations) {
+                    return Err(CheckError::NotRup { step });
+                }
+                stats.rup_steps += 1;
+                if c.is_empty() {
+                    // Refutation complete; trailing steps are irrelevant.
+                    return Ok(());
+                }
+                db.add(c);
+            }
+            ProofStep::Delete(c) => {
+                if !db.delete(c) {
+                    return Err(CheckError::DeleteUnknownClause { step });
+                }
+                stats.deletions += 1;
+            }
+        }
+    }
+    Err(CheckError::NoRefutation)
+}
+
+/// Checks that `proof` is a valid RUP refutation of `cnf`: every `Add`
+/// step must pass reverse unit propagation over the original clauses plus
+/// the not-yet-deleted earlier additions, and the trace must derive the
+/// empty clause.
+///
+/// Instrumentation: runs under the `sat/proof/check` span and reports
+/// `sat/proof/rup_steps` and `sat/proof/propagations` counters.
+///
+/// # Errors
+///
+/// Returns the first failing step as a [`CheckError`]; see its variants.
+pub fn check_refutation(cnf: &Cnf, proof: &ProofLog) -> Result<CheckStats, CheckError> {
+    let _span = lph_trace::span("sat/proof/check");
+    let mut stats = CheckStats::default();
+    let res = check_inner(cnf, proof, &mut stats);
+    lph_trace::add("sat/proof/rup_steps", stats.rup_steps as u64);
+    lph_trace::add("sat/proof/propagations", stats.propagations);
+    res.map(|()| stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_contradiction() -> Cnf {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        cnf.add_clause([Lit::pos(a)]);
+        cnf.add_clause([Lit::neg(a)]);
+        cnf
+    }
+
+    #[test]
+    fn empty_clause_in_formula_is_immediately_refuted() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([]);
+        let proof = ProofLog::from_steps(vec![ProofStep::Add(vec![])]);
+        let stats = check_refutation(&cnf, &proof).expect("standing conflict");
+        assert_eq!(stats.rup_steps, 1);
+    }
+
+    #[test]
+    fn unit_contradiction_is_refuted_without_assumptions() {
+        let cnf = unit_contradiction();
+        let proof = ProofLog::from_steps(vec![ProofStep::Add(vec![])]);
+        assert!(check_refutation(&cnf, &proof).is_ok());
+    }
+
+    #[test]
+    fn satisfiable_formula_rejects_the_bare_empty_clause() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+        let proof = ProofLog::from_steps(vec![ProofStep::Add(vec![])]);
+        assert_eq!(
+            check_refutation(&cnf, &proof),
+            Err(CheckError::NotRup { step: 0 })
+        );
+    }
+
+    #[test]
+    fn chained_rup_steps_build_to_the_empty_clause() {
+        // (a ∨ b) ∧ (a ∨ ¬b) ∧ (¬a ∨ c) ∧ (¬a ∨ ¬c): derive a, then ⊥.
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        let c = cnf.new_var();
+        cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+        cnf.add_clause([Lit::pos(a), Lit::neg(b)]);
+        cnf.add_clause([Lit::neg(a), Lit::pos(c)]);
+        cnf.add_clause([Lit::neg(a), Lit::neg(c)]);
+        let proof = ProofLog::from_steps(vec![
+            ProofStep::Add(vec![Lit::pos(a)]),
+            ProofStep::Add(vec![]),
+        ]);
+        let stats = check_refutation(&cnf, &proof).expect("valid RUP chain");
+        assert_eq!(stats.rup_steps, 2);
+        assert!(stats.propagations > 0);
+    }
+
+    #[test]
+    fn a_non_rup_step_is_rejected_with_its_index() {
+        // [a] is not RUP for (a ∨ b) ∧ (¬a ∨ ¬b): assuming ¬a propagates b
+        // without conflict.
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+        cnf.add_clause([Lit::neg(a), Lit::neg(b)]);
+        let proof = ProofLog::from_steps(vec![
+            ProofStep::Add(vec![Lit::pos(a)]),
+            ProofStep::Add(vec![]),
+        ]);
+        assert_eq!(
+            check_refutation(&cnf, &proof),
+            Err(CheckError::NotRup { step: 0 })
+        );
+    }
+
+    #[test]
+    fn a_trace_without_the_empty_clause_proves_nothing() {
+        let cnf = unit_contradiction();
+        let proof = ProofLog::from_steps(vec![]);
+        assert_eq!(
+            check_refutation(&cnf, &proof),
+            Err(CheckError::NoRefutation)
+        );
+    }
+
+    #[test]
+    fn unknown_variables_are_a_formula_mismatch() {
+        let cnf = unit_contradiction(); // one variable
+        let proof = ProofLog::from_steps(vec![ProofStep::Add(vec![Lit::pos(7)])]);
+        let err = check_refutation(&cnf, &proof).unwrap_err();
+        assert_eq!(err, CheckError::UnknownVariable { step: 0 });
+        assert!(err.is_cnf_mismatch());
+        assert!(!CheckError::NotRup { step: 0 }.is_cnf_mismatch());
+    }
+
+    #[test]
+    fn deleting_a_needed_clause_breaks_later_steps() {
+        let cnf = unit_contradiction();
+        // Deleting [a] first leaves only [¬a]: no conflict without it.
+        let proof = ProofLog::from_steps(vec![
+            ProofStep::Delete(vec![Lit::pos(0)]),
+            ProofStep::Add(vec![]),
+        ]);
+        assert_eq!(
+            check_refutation(&cnf, &proof),
+            Err(CheckError::NotRup { step: 1 })
+        );
+    }
+
+    #[test]
+    fn deleting_an_absent_clause_is_rejected() {
+        let cnf = unit_contradiction();
+        let proof = ProofLog::from_steps(vec![ProofStep::Delete(vec![Lit::pos(0), Lit::neg(0)])]);
+        let err = check_refutation(&cnf, &proof).unwrap_err();
+        assert_eq!(err, CheckError::DeleteUnknownClause { step: 0 });
+        assert!(err.is_cnf_mismatch());
+    }
+
+    #[test]
+    fn delete_matches_clauses_up_to_order_and_duplicates() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+        cnf.add_clause([Lit::pos(a), Lit::neg(b)]);
+        cnf.add_clause([Lit::neg(a), Lit::pos(b)]);
+        cnf.add_clause([Lit::neg(a), Lit::neg(b)]);
+        let proof = ProofLog::from_steps(vec![
+            // Same clause as the first one, permuted and duplicated.
+            ProofStep::Delete(vec![Lit::pos(b), Lit::pos(a), Lit::pos(b)]),
+            ProofStep::Add(vec![Lit::pos(a)]),
+            ProofStep::Add(vec![]),
+        ]);
+        // Without (a ∨ b), the step [a] is no longer RUP (assuming ¬a
+        // satisfies both remaining a-clauses' ¬a literal).
+        assert_eq!(
+            check_refutation(&cnf, &proof),
+            Err(CheckError::NotRup { step: 1 })
+        );
+        // Deleting a clause the remaining derivation no longer needs keeps
+        // the refutation intact: once [a] is derived, (a ∨ ¬b) is spent.
+        let proof = ProofLog::from_steps(vec![
+            ProofStep::Add(vec![Lit::pos(a)]),
+            ProofStep::Delete(vec![Lit::pos(a), Lit::neg(b)]),
+            ProofStep::Add(vec![Lit::pos(b)]),
+            ProofStep::Add(vec![]),
+        ]);
+        let stats = check_refutation(&cnf, &proof).expect("still refutable");
+        assert_eq!(stats.deletions, 1);
+        assert_eq!(stats.rup_steps, 3);
+    }
+
+    #[test]
+    fn tautological_candidates_are_vacuously_rup() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+        let proof = ProofLog::from_steps(vec![
+            ProofStep::Add(vec![Lit::pos(a), Lit::neg(a)]),
+            ProofStep::Add(vec![]),
+        ]);
+        // The tautology passes; the empty clause still must not.
+        assert_eq!(
+            check_refutation(&cnf, &proof),
+            Err(CheckError::NotRup { step: 1 })
+        );
+    }
+
+    #[test]
+    fn steps_after_the_empty_clause_are_ignored() {
+        let cnf = unit_contradiction();
+        let proof = ProofLog::from_steps(vec![
+            ProofStep::Add(vec![]),
+            ProofStep::Add(vec![Lit::pos(99)]), // would be UnknownVariable
+        ]);
+        assert!(check_refutation(&cnf, &proof).is_ok());
+    }
+}

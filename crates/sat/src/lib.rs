@@ -22,6 +22,16 @@
 //! * **Luby restarts** ([`luby`]) — the solver restarts after
 //!   `unit · luby(k)` conflicts, keeping learned clauses and saved phases.
 //!
+//! # Proof logging and the independent checker
+//!
+//! With [`SolverConfig::proof_log`] set, the solver records a DRAT-style
+//! [`ProofLog`]: every learned clause as a RUP step, closed by the empty
+//! clause on `Unsat`. The [`checker`] module re-derives each step by unit
+//! propagation over a deliberately dumb propagator that shares no code
+//! with the solver, so an UNSAT verdict can be machine-checked instead of
+//! trusted ([`checker::check_refutation`]). Logging is off by default and
+//! costs one branch per learned clause when disabled.
+//!
 //! Instrumentation: with the global `lph-trace` recorder enabled, a solve
 //! runs under the `sat/solve` span and reports `sat/decisions`,
 //! `sat/propagations`, `sat/conflicts`, `sat/restarts`, and
@@ -40,21 +50,24 @@
 //! cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
 //! cnf.add_clause([Lit::neg(a)]);
 //! let mut solver = Solver::new(&cnf);
-//! match solver.solve() {
-//!     SolveOutcome::Sat(model) => {
-//!         assert!(!model[a]);
-//!         assert!(model[b]);
-//!     }
-//!     other => panic!("expected SAT, got {other:?}"),
-//! }
+//! let outcome = solver.solve();
+//! let SolveOutcome::Sat(model) = outcome else {
+//!     panic!("expected SAT, got {outcome:?} for {cnf:?}")
+//! };
+//! assert!(!model[a]);
+//! assert!(model[b]);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checker;
 mod cnf;
 pub mod luby;
+mod proof;
 mod solver;
 
+pub use checker::{check_refutation, CheckError, CheckStats};
 pub use cnf::{Cnf, Lit};
+pub use proof::{ProofLog, ProofStep};
 pub use solver::{SolveOutcome, Solver, SolverConfig, Stats};

@@ -1,0 +1,123 @@
+//! Clause-level proof logging: a DRAT-style trace of the solver's
+//! derivation.
+//!
+//! Every clause the solver learns is a **RUP** (reverse unit propagation)
+//! consequence of the original formula plus the previously logged clauses:
+//! assuming the negation of all its literals and unit-propagating over the
+//! accumulated clause database must yield a conflict. An unsatisfiability
+//! run ends by logging the **empty clause**, whose RUP check (propagate
+//! with no assumptions, reach a conflict) certifies the refutation.
+//!
+//! The log is the untrusted half of the proof story: it is produced by the
+//! 750-line CDCL machinery and consumed by the deliberately dumb
+//! [`checker`](crate::checker), which shares no solver code. `Delete`
+//! steps are part of the format (and the checker honors them) even though
+//! the current solver never garbage-collects learned clauses — external
+//! producers and the mutation tests exercise them.
+
+use crate::cnf::Lit;
+
+/// One step of a proof trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofStep {
+    /// Assert a clause claimed to be RUP over the original formula plus
+    /// all earlier `Add` steps (minus deleted ones). The empty clause
+    /// asserts unsatisfiability.
+    Add(Vec<Lit>),
+    /// Drop a previously available clause from the database. Checkers must
+    /// reject deletions of clauses that are not present.
+    Delete(Vec<Lit>),
+}
+
+/// An in-memory DRAT-style proof trace, in derivation order.
+///
+/// Produced by [`Solver`](crate::Solver) when
+/// [`SolverConfig::proof_log`](crate::SolverConfig::proof_log) is set;
+/// consumed by [`checker::check_refutation`](crate::checker::check_refutation).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProofLog {
+    steps: Vec<ProofStep>,
+}
+
+impl ProofLog {
+    /// An empty trace.
+    pub fn new() -> ProofLog {
+        ProofLog::default()
+    }
+
+    /// Builds a trace from explicit steps (deserialization, mutation
+    /// tests).
+    pub fn from_steps(steps: Vec<ProofStep>) -> ProofLog {
+        ProofLog { steps }
+    }
+
+    /// Appends an `Add` step.
+    pub fn push_add(&mut self, clause: Vec<Lit>) {
+        self.steps.push(ProofStep::Add(clause));
+    }
+
+    /// Appends a `Delete` step.
+    pub fn push_delete(&mut self, clause: Vec<Lit>) {
+        self.steps.push(ProofStep::Delete(clause));
+    }
+
+    /// The recorded steps, in derivation order.
+    pub fn steps(&self) -> &[ProofStep] {
+        &self.steps
+    }
+
+    /// The number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether no step has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Whether the trace ends with the empty-clause `Add` — the shape of a
+    /// completed refutation. (Necessary but not sufficient: only the
+    /// checker makes it a certificate.)
+    pub fn ends_with_empty_clause(&self) -> bool {
+        matches!(self.steps.last(), Some(ProofStep::Add(c)) if c.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_records_steps_in_order() {
+        let mut log = ProofLog::new();
+        assert!(log.is_empty());
+        log.push_add(vec![Lit::pos(0), Lit::neg(1)]);
+        log.push_delete(vec![Lit::pos(0), Lit::neg(1)]);
+        log.push_add(vec![]);
+        assert_eq!(log.len(), 3);
+        assert_eq!(
+            log.steps()[0],
+            ProofStep::Add(vec![Lit::pos(0), Lit::neg(1)])
+        );
+        assert_eq!(
+            log.steps()[1],
+            ProofStep::Delete(vec![Lit::pos(0), Lit::neg(1)])
+        );
+        assert!(log.ends_with_empty_clause());
+    }
+
+    #[test]
+    fn empty_clause_detection_requires_a_trailing_add() {
+        let mut log = ProofLog::new();
+        assert!(!log.ends_with_empty_clause());
+        log.push_add(vec![]);
+        assert!(log.ends_with_empty_clause());
+        log.push_add(vec![Lit::pos(0)]);
+        assert!(!log.ends_with_empty_clause());
+        log.push_delete(vec![]);
+        assert!(!log.ends_with_empty_clause());
+        let rebuilt = ProofLog::from_steps(log.steps().to_vec());
+        assert_eq!(rebuilt, log);
+    }
+}

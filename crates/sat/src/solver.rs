@@ -1,5 +1,6 @@
 use crate::cnf::{Cnf, Lit};
 use crate::luby::luby;
+use crate::proof::ProofLog;
 
 /// Tuning knobs of the CDCL search.
 #[derive(Debug, Clone)]
@@ -13,6 +14,11 @@ pub struct SolverConfig {
     /// Geometric VSIDS decay per conflict (activity increment grows by
     /// `1/decay`).
     pub var_decay: f64,
+    /// Record a [`ProofLog`] of every learned clause (and the final empty
+    /// clause on `Unsat`), retrievable via [`Solver::proof`]. Off by
+    /// default; when off the only cost is one `Option` check per learned
+    /// clause.
+    pub proof_log: bool,
 }
 
 impl Default for SolverConfig {
@@ -21,6 +27,7 @@ impl Default for SolverConfig {
             max_conflicts: None,
             restart_unit: 64,
             var_decay: 0.95,
+            proof_log: false,
         }
     }
 }
@@ -182,6 +189,9 @@ pub struct Solver {
     seen: Vec<bool>,
     /// False once an unconditional conflict has been derived.
     ok: bool,
+    /// The DRAT-style trace, present iff `config.proof_log`. Survives
+    /// resumed solves: learned clauses keep accumulating in order.
+    proof: Option<ProofLog>,
     stats: Stats,
 }
 
@@ -196,6 +206,7 @@ impl Solver {
     /// clause makes the solver start out unsatisfiable.
     pub fn with_config(cnf: &Cnf, config: SolverConfig) -> Solver {
         let n = cnf.num_vars();
+        let proof = config.proof_log.then(ProofLog::new);
         let mut s = Solver {
             config,
             num_vars: n,
@@ -213,6 +224,7 @@ impl Solver {
             phase: vec![false; n],
             seen: vec![false; n],
             ok: true,
+            proof,
             stats: Stats::default(),
         };
         for clause in cnf.clauses() {
@@ -257,6 +269,26 @@ impl Solver {
     /// Cumulative search statistics.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// The proof trace recorded so far, if
+    /// [`SolverConfig::proof_log`] was set. After an
+    /// [`SolveOutcome::Unsat`] it ends with the empty clause and is a
+    /// candidate refutation for
+    /// [`checker::check_refutation`](crate::checker::check_refutation).
+    pub fn proof(&self) -> Option<&ProofLog> {
+        self.proof.as_ref()
+    }
+
+    /// Takes ownership of the proof trace, leaving an empty one behind
+    /// (further solving would log into the fresh trace, so take it only
+    /// when done).
+    pub fn take_proof(&mut self) -> Option<ProofLog> {
+        let taken = self.proof.take();
+        if taken.is_some() {
+            self.proof = Some(ProofLog::new());
+        }
+        taken
     }
 
     fn value_lit(&self, l: Lit) -> Option<bool> {
@@ -445,8 +477,24 @@ impl Solver {
             .all(|q| self.seen[q.var()] || self.level[q.var()] == 0)
     }
 
+    /// Logs the empty clause, closing the proof trace as a refutation.
+    /// Idempotent so a re-`solve` after `Unsat` does not log it twice.
+    fn log_refutation(&mut self) {
+        if let Some(p) = &mut self.proof {
+            if !p.ends_with_empty_clause() {
+                p.push_add(Vec::new());
+            }
+        }
+    }
+
     /// Records a learned clause and asserts its first literal.
     fn learn(&mut self, learnt: Vec<Lit>) {
+        if let Some(p) = &mut self.proof {
+            // Every learned clause is RUP over the original formula plus
+            // the earlier log entries: it is derived by resolution from
+            // clauses of the current database.
+            p.push_add(learnt.clone());
+        }
         self.stats.learned_clauses += 1;
         self.stats.learned_literals += learnt.len() as u64;
         self.stats.max_learned_len = self.stats.max_learned_len.max(learnt.len());
@@ -468,7 +516,11 @@ impl Solver {
     pub fn solve(&mut self) -> SolveOutcome {
         let _span = lph_trace::span("sat/solve");
         let stats_before = self.stats;
+        let logged_before = self.proof.as_ref().map_or(0, ProofLog::len);
         let outcome = self.solve_inner();
+        if let Some(p) = &self.proof {
+            lph_trace::add("sat/proof/clauses_logged", (p.len() - logged_before) as u64);
+        }
         let d = |f: fn(&Stats) -> u64| f(&self.stats) - f(&stats_before);
         lph_trace::add("sat/decisions", d(|s| s.decisions));
         lph_trace::add("sat/propagations", d(|s| s.propagations));
@@ -480,6 +532,9 @@ impl Solver {
 
     fn solve_inner(&mut self) -> SolveOutcome {
         if !self.ok {
+            // Load-time contradiction (empty clause or clashing units):
+            // the empty clause is RUP over the formula directly.
+            self.log_refutation();
             return SolveOutcome::Unsat;
         }
         let mut budget = self.config.max_conflicts;
@@ -489,7 +544,11 @@ impl Solver {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 if self.decision_level() == 0 {
+                    // A conflict with no decisions: unit propagation alone
+                    // refutes the accumulated database, so the empty
+                    // clause is RUP over the log so far.
                     self.ok = false;
+                    self.log_refutation();
                     return SolveOutcome::Unsat;
                 }
                 let (learnt, back) = self.analyze(confl);
@@ -622,10 +681,13 @@ mod tests {
         cnf.add_clause([Lit::pos(vars[0])]);
         match Solver::new(&cnf).solve() {
             SolveOutcome::Sat(model) => {
-                assert!(cnf.eval(&model));
+                assert!(
+                    cnf.eval(&model),
+                    "model {model:?} violates a clause of {cnf:?}"
+                );
                 assert!(model.iter().all(|&b| b), "implication chain forces all");
             }
-            other => panic!("expected SAT, got {other:?}"),
+            other => panic!("expected SAT, got {other:?} on {cnf:?}"),
         }
     }
 
@@ -657,7 +719,9 @@ mod tests {
             match s.solve() {
                 SolveOutcome::Unsat => break,
                 SolveOutcome::Unknown => rounds += 1,
-                SolveOutcome::Sat(_) => panic!("pigeonhole cannot be SAT"),
+                SolveOutcome::Sat(model) => {
+                    panic!("pigeonhole(5) cannot be SAT; got model {model:?} for {cnf:?}")
+                }
             }
             assert!(rounds < 100_000, "budgeted solve failed to converge");
         }
@@ -734,6 +798,100 @@ mod tests {
             minimized += s.stats().minimized_literals;
         }
         assert!(minimized > 0, "minimization never fired across the family");
+    }
+
+    #[test]
+    fn proof_logging_is_opt_in() {
+        let cnf = pigeonhole(3);
+        let mut off = Solver::new(&cnf);
+        assert_eq!(off.solve(), SolveOutcome::Unsat);
+        assert!(off.proof().is_none(), "logging must be off by default");
+        let mut on = Solver::with_config(
+            &cnf,
+            SolverConfig {
+                proof_log: true,
+                ..SolverConfig::default()
+            },
+        );
+        assert_eq!(on.solve(), SolveOutcome::Unsat);
+        let proof = on.proof().expect("logging was requested");
+        assert!(proof.ends_with_empty_clause());
+        assert!(proof.len() as u64 >= on.stats().learned_clauses);
+    }
+
+    #[test]
+    fn logged_refutations_pass_the_independent_checker() {
+        // Conflict-driven refutation (clauses actually learned) ...
+        let cnf = pigeonhole(4);
+        let mut s = Solver::with_config(
+            &cnf,
+            SolverConfig {
+                proof_log: true,
+                ..SolverConfig::default()
+            },
+        );
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        let stats = crate::checker::check_refutation(&cnf, s.proof().unwrap())
+            .expect("solver proof must be RUP-checkable");
+        assert!(stats.rup_steps > 1);
+
+        // ... and the two load-time shortcuts: clashing units and an
+        // empty clause, both refuted before any conflict analysis runs.
+        let mut units = Cnf::new();
+        let a = units.new_var();
+        units.add_clause([Lit::pos(a)]);
+        units.add_clause([Lit::neg(a)]);
+        let mut empty = Cnf::new();
+        empty.add_clause([]);
+        for cnf in [units, empty] {
+            let mut s = Solver::with_config(
+                &cnf,
+                SolverConfig {
+                    proof_log: true,
+                    ..SolverConfig::default()
+                },
+            );
+            assert_eq!(s.solve(), SolveOutcome::Unsat);
+            // Solving again must not log a second empty clause.
+            assert_eq!(s.solve(), SolveOutcome::Unsat);
+            let proof = s.proof().unwrap();
+            assert_eq!(proof.len(), 1);
+            crate::checker::check_refutation(&cnf, proof).expect("load-time refutation checks");
+        }
+    }
+
+    #[test]
+    fn resumed_solves_accumulate_one_checkable_proof() {
+        let cnf = pigeonhole(4);
+        let mut s = Solver::with_config(
+            &cnf,
+            SolverConfig {
+                max_conflicts: Some(5),
+                proof_log: true,
+                ..SolverConfig::default()
+            },
+        );
+        let mut rounds = 0;
+        loop {
+            match s.solve() {
+                SolveOutcome::Unsat => break,
+                SolveOutcome::Unknown => rounds += 1,
+                SolveOutcome::Sat(model) => {
+                    panic!("pigeonhole(4) cannot be SAT; got model {model:?} for {cnf:?}")
+                }
+            }
+            assert!(rounds < 100_000, "budgeted solve failed to converge");
+        }
+        assert!(
+            rounds > 0,
+            "budget of 5 conflicts must interrupt at least once"
+        );
+        let proof = s.take_proof().expect("logging was requested");
+        assert!(proof.ends_with_empty_clause());
+        crate::checker::check_refutation(&cnf, &proof)
+            .expect("proof spliced across resumed solves must still check");
+        // take_proof leaves a fresh, empty log behind.
+        assert_eq!(s.proof().map(crate::ProofLog::len), Some(0));
     }
 
     #[test]

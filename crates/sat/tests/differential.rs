@@ -11,7 +11,9 @@
 
 use lph_core::{arbiters, decide_game_backend, GameBackend, GameLimits};
 use lph_graphs::{generators, generators::XorShift, BitString, IdAssignment};
-use lph_sat::{Cnf, Lit, SolveOutcome, Solver};
+use lph_sat::{
+    check_refutation, CheckError, Cnf, Lit, ProofLog, ProofStep, SolveOutcome, Solver, SolverConfig,
+};
 
 /// Exhaustively checks satisfiability of a small CNF.
 fn brute_force_sat(cnf: &Cnf) -> bool {
@@ -89,6 +91,137 @@ fn solver_matches_brute_force_at_the_phase_transition() {
     }
 }
 
+#[test]
+fn resumed_budgeted_solves_match_unbudgeted_verdicts() {
+    // The resumable conflict-budget path: a solver interrupted by
+    // `Unknown` and resumed (keeping learned clauses, phases, and the
+    // proof log) must reach the same verdict as an unbudgeted run — and
+    // refutations spliced across resumes must still check.
+    for seed in [3u64, 11, 2025] {
+        let mut rng = XorShift::new(seed);
+        for round in 0..20 {
+            let nvars = 4 + rng.below(5);
+            let nclauses = rng.below(5 * nvars);
+            let cnf = random_cnf(&mut rng, nvars, nclauses);
+            let expected = matches!(Solver::new(&cnf).solve(), SolveOutcome::Sat(_));
+            let mut s = Solver::with_config(
+                &cnf,
+                SolverConfig {
+                    max_conflicts: Some(1),
+                    proof_log: true,
+                    ..SolverConfig::default()
+                },
+            );
+            let mut resumes = 0;
+            let verdict = loop {
+                match s.solve() {
+                    SolveOutcome::Sat(model) => {
+                        assert!(
+                            cnf.eval(&model),
+                            "seed {seed} round {round}: resumed model violates {cnf:?}"
+                        );
+                        break true;
+                    }
+                    SolveOutcome::Unsat => break false,
+                    SolveOutcome::Unknown => {
+                        resumes += 1;
+                        assert!(
+                            resumes < 100_000,
+                            "seed {seed} round {round}: resume loop diverges on {cnf:?}"
+                        );
+                    }
+                }
+            };
+            assert_eq!(
+                verdict, expected,
+                "seed {seed} round {round}: resumed verdict diverges on {cnf:?}"
+            );
+            if !verdict {
+                check_refutation(&cnf, s.proof().expect("logging on")).unwrap_or_else(|e| {
+                    panic!("seed {seed} round {round}: resumed proof rejected ({e}) on {cnf:?}")
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn every_seeded_unsat_instance_yields_a_checkable_proof() {
+    // End-to-end over the same seeded families as the brute-force test:
+    // whenever the solver answers Unsat, the logged refutation must pass
+    // the independent checker — and mutated variants must not.
+    let mut unsat_seen = 0u32;
+    for seed in [1u64, 7, 42, 1234, 0xdead_beef] {
+        let mut rng = XorShift::new(seed);
+        for round in 0..60 {
+            let nvars = 3 + rng.below(6);
+            let nclauses = rng.below(5 * nvars);
+            let cnf = random_cnf(&mut rng, nvars, nclauses);
+            let mut s = Solver::with_config(
+                &cnf,
+                SolverConfig {
+                    proof_log: true,
+                    ..SolverConfig::default()
+                },
+            );
+            if !matches!(s.solve(), SolveOutcome::Unsat) {
+                continue;
+            }
+            unsat_seen += 1;
+            let proof = s.take_proof().expect("logging on");
+            assert!(proof.ends_with_empty_clause());
+            check_refutation(&cnf, &proof).unwrap_or_else(|e| {
+                panic!("seed {seed} round {round}: checker rejected ({e}) on {cnf:?}")
+            });
+
+            // Mutation 1: drop the final empty clause — the remaining
+            // trace proves nothing.
+            let mut steps = proof.steps().to_vec();
+            steps.pop();
+            assert_eq!(
+                check_refutation(&cnf, &ProofLog::from_steps(steps)),
+                Err(CheckError::NoRefutation),
+                "seed {seed} round {round}: truncated proof accepted on {cnf:?}"
+            );
+
+            // Mutation 2: splice in a deletion of a clause the database
+            // cannot contain (5 canonical literals; the family's clauses
+            // have at most 4).
+            let mut steps = proof.steps().to_vec();
+            steps.insert(
+                0,
+                ProofStep::Delete(vec![
+                    Lit::pos(0),
+                    Lit::neg(0),
+                    Lit::pos(1),
+                    Lit::neg(1),
+                    Lit::pos(2),
+                ]),
+            );
+            assert_eq!(
+                check_refutation(&cnf, &ProofLog::from_steps(steps)),
+                Err(CheckError::DeleteUnknownClause { step: 0 }),
+                "seed {seed} round {round}: corrupted proof accepted on {cnf:?}"
+            );
+
+            // Mutation 3 (soundness): the same proof against a trivially
+            // satisfiable formula over the same variables must be
+            // rejected — RUP cannot refute a satisfiable CNF.
+            let mut trivial = Cnf::new();
+            trivial.new_vars(cnf.num_vars());
+            assert!(
+                check_refutation(&trivial, &proof).is_err(),
+                "seed {seed} round {round}: proof of {cnf:?} accepted for an empty formula"
+            );
+        }
+    }
+    assert!(
+        unsat_seen >= 50,
+        "only {unsat_seen} UNSAT instances; the families no longer cover the over-constrained \
+         regime"
+    );
+}
+
 /// Structured + seeded-random small graphs where exhaustive search is
 /// still comfortable.
 fn oracle_graphs() -> Vec<lph_graphs::LabeledGraph> {
@@ -125,6 +258,18 @@ fn backends_agree_on_sigma1_games() {
             // A winning claim must come with a witness from both backends.
             assert_eq!(ex.winning_first_move.is_some(), ex.eve_wins);
             assert_eq!(sat.winning_first_move.is_some(), sat.eve_wins);
+            // Σ₁-no verdicts rest on UNSAT and must carry a checked
+            // refutation; witness verdicts carry none.
+            if sat.eve_wins {
+                assert!(sat.refutation.is_none());
+            } else {
+                let ev = sat.refutation.as_ref().expect("UNSAT verdict evidence");
+                assert!(
+                    ev.is_checked(),
+                    "{}: unchecked refutation on {g}",
+                    arb.name()
+                );
+            }
         }
     }
 }
@@ -160,6 +305,14 @@ fn backends_agree_on_pi1_games() {
             "exhaustive vs ground truth on {g}"
         );
         assert_eq!(sat.eve_wins, all_selected, "CDCL vs ground truth on {g}");
+        // Π₁-yes verdicts rest on UNSAT of the rejection encoding and
+        // must carry a checked refutation.
+        if sat.eve_wins {
+            let ev = sat.refutation.as_ref().expect("Π₁-yes evidence");
+            assert!(ev.is_checked(), "unchecked Π₁ refutation on {g}");
+        } else {
+            assert!(sat.refutation.is_none());
+        }
     }
 }
 

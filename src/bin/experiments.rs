@@ -30,6 +30,7 @@ use lph::core::lattice::{bounded_degree_chain, inclusion_edges, EdgeKind};
 use lph::core::separations::{prop21_fooling_pair, verdicts_coincide_on_pair};
 use lph::core::{
     arbiters, decide_game, decide_game_backend, Arbiter, GameBackend, GameLimits, GameSpec,
+    RefutationEvidence,
 };
 use lph::fagin::compiler::sentence_game;
 use lph::fagin::{machine_to_sat_graph, TableauBounds};
@@ -130,7 +131,20 @@ fn sat_engine_series() {
         GameBackend::Cdcl,
     )
     .expect("CDCL within budget");
-    println!("2-COLORABLE on C61: CDCL refutes (eve_wins={})", r.eve_wins);
+    // The proof-check smoke: an UNSAT verdict must carry a refutation the
+    // independent RUP checker accepted. `Unchecked` here fails CI.
+    let Some(RefutationEvidence::Checked {
+        proof_steps,
+        rup_propagations,
+    }) = r.refutation
+    else {
+        panic!("C61 refutation is not checker-accepted: {:?}", r.refutation);
+    };
+    println!(
+        "2-COLORABLE on C61: CDCL refutes (eve_wins={}); \
+         RUP check passed ({proof_steps} proof steps, {rup_propagations} propagations)",
+        r.eve_wins
+    );
     let base = generators::cycle(50);
     let labels = vec![lph::graphs::BitString::from_bits01("1"); base.node_count()];
     let g = base.with_labels(labels).expect("arity matches");
@@ -143,8 +157,13 @@ fn sat_engine_series() {
         GameBackend::Cdcl,
     )
     .expect("CDCL within budget");
+    let checked = r
+        .refutation
+        .as_ref()
+        .is_some_and(RefutationEvidence::is_checked);
+    assert!(checked, "Π₁-yes verdict without a checked refutation");
     println!(
-        "ALL-SELECTED (Π₁) on C50, all ones: CDCL eve_wins={}",
+        "ALL-SELECTED (Π₁) on C50, all ones: CDCL eve_wins={} (refutation checked={checked})",
         r.eve_wins
     );
     // Solver-level smoke: pigeonhole PHP(7, 6) under a conflict budget —

@@ -8,6 +8,7 @@
 //! of `n` over the rounds seen so far.
 
 use lph::analysis::builtin;
+use lph::core::{decide_game_backend, GameBackend};
 use lph::graphs::{
     generators, BitString, CertificateAssignment, CertificateList, IdAssignment, LabeledGraph,
 };
@@ -109,4 +110,43 @@ fn corpus_claims_dominate_derived_certificates() {
             a.name
         );
     }
+}
+
+/// The corpus game claims are themselves sound: on every registered
+/// instance the ground-truth exhaustive enumerator agrees with the
+/// claimed winner. The lint gate re-decides the same claims with the
+/// CDCL backend, so together the two tests pin both engines — and the
+/// refutation checker between them — to the same small oracles.
+#[test]
+fn corpus_game_claims_agree_with_the_exhaustive_oracle() {
+    let corpus = builtin();
+    let mut checked = 0usize;
+    for a in &corpus.arbiters {
+        for claim in &a.game_claims {
+            let id = IdAssignment::global(&claim.graph);
+            let res = decide_game_backend(
+                &a.arbiter,
+                &claim.graph,
+                &id,
+                &claim.limits,
+                GameBackend::Exhaustive,
+            )
+            .unwrap_or_else(|e| {
+                panic!(
+                    "{}: {} undecidable exhaustively: {e:?}",
+                    a.arbiter.name(),
+                    claim.instance
+                )
+            });
+            assert_eq!(
+                res.eve_wins,
+                claim.expected_eve_wins,
+                "{}: claim on {} contradicts the exhaustive oracle",
+                a.arbiter.name(),
+                claim.instance
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 4, "corpus game claims went missing");
 }

@@ -30,6 +30,34 @@ fn corpus_covers_all_artifact_families() {
     assert!(c.reductions.len() >= 7, "reductions missing from corpus");
 }
 
+/// The corpus pins the proof-carrying refutation path: at least one Σ₁
+/// arbiter and one Π₁ arbiter register game claims, with both claim
+/// polarities present, so the lint-clean gate above actually exercises
+/// `SAT001`–`SAT003` against checked refutations every run.
+#[test]
+fn corpus_registers_game_claims_on_both_polarities() {
+    let c = builtin();
+    let claimed: Vec<_> = c
+        .arbiters
+        .iter()
+        .filter(|a| !a.game_claims.is_empty())
+        .collect();
+    assert!(claimed.len() >= 2, "proof-carrying game claims missing");
+    assert!(claimed.iter().any(|a| a.claimed_class == "Σ1"));
+    assert!(
+        claimed.iter().any(|a| a.claimed_class == "Π1"),
+        "the deliberately-unsatisfiable Π₁ instance must stay registered"
+    );
+    for a in &claimed {
+        assert!(
+            a.game_claims.iter().any(|cl| cl.expected_eve_wins)
+                && a.game_claims.iter().any(|cl| !cl.expected_eve_wins),
+            "{}: claims must cover both winners",
+            a.arbiter.name()
+        );
+    }
+}
+
 /// Real diagnostics (from a deliberately broken cluster map) survive a
 /// JSON emit → parse → decode round trip unchanged.
 #[test]

@@ -3,7 +3,9 @@
 //! reach (its move-space guard trips), and every extracted witness
 //! replays through the real arbiter on the full graph.
 
-use lph::core::{arbiters, decide_game_backend, GameBackend, GameError, GameLimits};
+use lph::core::{
+    arbiters, decide_game_backend, GameBackend, GameError, GameLimits, RefutationEvidence,
+};
 use lph::graphs::{generators, BitString, CertificateList, IdAssignment};
 
 #[test]
@@ -26,6 +28,8 @@ fn cdcl_decides_three_coloring_far_beyond_the_exhaustive_ceiling() {
     // ...and replays through the arbiter itself on the full graph.
     let list = CertificateList::new().extended(w);
     assert!(arb.accepts(&g, &id, &list, &limits.exec).unwrap());
+    // SAT verdicts are certified by the replay above, not a refutation.
+    assert!(res.refutation.is_none());
 }
 
 #[test]
@@ -41,6 +45,20 @@ fn cdcl_refutes_two_coloring_of_a_large_odd_cycle() {
     let res = decide_game_backend(&arb, &g, &id, &limits, GameBackend::Cdcl).unwrap();
     assert!(!res.eve_wins, "odd cycles are not 2-colorable");
     assert!(res.winning_first_move.is_none());
+    // The refutation is machine-checked: the logged RUP trace must pass
+    // the independent checker, and a real proof at n = 61 is nontrivial.
+    let Some(RefutationEvidence::Checked {
+        proof_steps,
+        rup_propagations,
+    }) = res.refutation
+    else {
+        panic!(
+            "UNSAT verdict without a checked refutation: {:?}",
+            res.refutation
+        );
+    };
+    assert!(proof_steps > 0, "a C61 refutation needs learned clauses");
+    assert!(rup_propagations > 0, "checking it needs propagation work");
 }
 
 #[test]
@@ -62,6 +80,14 @@ fn cdcl_decides_pi1_games_beyond_the_exhaustive_ceiling() {
         assert!(matches!(err, GameError::MoveSpaceTooLarge { .. }));
         let res = decide_game_backend(&arb, &g, &id, &limits, GameBackend::Cdcl).unwrap();
         assert_eq!(res.eve_wins, expected);
+        // Π₁ polarity flip: Eve winning means Adam's rejection search is
+        // UNSAT, so the *yes* side carries the checked refutation.
+        if expected {
+            let ev = res.refutation.expect("Π₁-yes verdicts carry evidence");
+            assert!(ev.is_checked(), "refutation not checker-accepted: {ev:?}");
+        } else {
+            assert!(res.refutation.is_none());
+        }
     }
 }
 
