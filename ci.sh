@@ -2,15 +2,20 @@
 # Local CI gate, split into named, individually timed stages.
 #
 #   ./ci.sh                    run every stage in order
+#   ./ci.sh --quick            short inner-loop profile: fmt clippy build test
+#   ./ci.sh --from <name>      resume a full run at <name> (skip earlier stages)
 #   ./ci.sh --stage <name>     run a single stage
 #   ./ci.sh --list             list the stage names
 #
-# Every stage must pass; a full run stops at the first failure and ends
-# with a per-stage timing table.
+# Every stage must pass; a run stops at the first failure and ends with a
+# per-stage timing table. Multi-stage runs also write the table as
+# `ci_timings.json` (schema `lph-ci/1`, checked by `bench-gate
+# --validate-ci`) so stage-cost drift is machine-readable.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-STAGES=(fmt clippy build test sat lint analyze doc trace-smoke bench-smoke bench-gate)
+STAGES=(fmt clippy build test compile sat lint analyze doc trace-smoke bench-smoke bench-gate)
+QUICK_STAGES=(fmt clippy build test)
 
 stage_fmt() { cargo fmt --all -- --check; }
 
@@ -19,6 +24,19 @@ stage_clippy() { cargo clippy --workspace --all-targets -- -D warnings; }
 stage_build() { cargo build --release; }
 
 stage_test() { cargo test -q --workspace; }
+
+# Compilation-tier health: the bytecode VM and the sentence plan compiler
+# are pinned to their interpreters by differential suites (corpus
+# machines/sentences plus seeded random tables and sentences), the
+# workspace-root gate re-checks the corpus bit for bit with `Auto`
+# routing held deterministic, and the experiments binary replays a quick
+# interpreted-vs-compiled agreement sweep end to end.
+stage_compile() {
+  cargo test -q -p lph-machine --test bytecode_differential
+  cargo test -q -p lph-logic --test compiled_differential
+  cargo test -q --test backend_equivalence
+  cargo run --release --bin experiments -- --compile-smoke
+}
 
 # SAT backend health: the CDCL-vs-exhaustive differential suite (which
 # now replays every logged refutation through the independent RUP
@@ -69,12 +87,17 @@ stage_bench_smoke() {
   LPH_BENCH_SAMPLES=2 LPH_BENCH_OUT="$PWD/BENCH_results.json" \
     cargo bench -p lph-bench
   cargo run --release --bin bench-gate -- --validate BENCH_results.json
-  # The proof-logging series must keep emitting: it is the only
-  # measurement of checker cost and logging overhead.
-  if ! grep -q '"group":"sat_proof"' BENCH_results.json; then
-    echo "bench-smoke: sat_proof series missing from BENCH_results.json" >&2
-    return 1
-  fi
+  # Load-bearing series must keep emitting: sat_proof is the only
+  # measurement of checker cost and logging overhead, and the two
+  # *_compiled groups carry the interpreted-vs-compiled pairs the
+  # compilation tier's speedup claims rest on.
+  local series
+  for series in '"group":"sat_proof"' '"group":"machine_compiled"' '"group":"logic_compiled"'; do
+    if ! grep -q "$series" BENCH_results.json; then
+      echo "bench-smoke: $series series missing from BENCH_results.json" >&2
+      return 1
+    fi
+  done
 }
 
 # Compares the results bench-smoke just emitted against the committed
@@ -97,10 +120,38 @@ run_stage() {
   "$fn"
   local dt=$((SECONDS - t0))
   SUMMARY+=("$(printf '%-12s %4ds' "$name" "$dt")")
+  TIMED_NAMES+=("$name")
+  TIMED_SECS+=("$dt")
   echo "<== stage: $name ok (${dt}s)"
 }
 
+# Writes the timing table of a multi-stage run as `ci_timings.json` and
+# re-reads it through the schema validator, so the document the next
+# tool consumes is the one this run actually produced.
+emit_timings() {
+  local profile="$1" out="$PWD/ci_timings.json"
+  {
+    printf '{"schema":"lph-ci/1","profile":"%s","stages":[' "$profile"
+    local i
+    for i in "${!TIMED_NAMES[@]}"; do
+      [[ $i -gt 0 ]] && printf ','
+      printf '{"name":"%s","seconds":%d}' "${TIMED_NAMES[$i]}" "${TIMED_SECS[$i]}"
+    done
+    printf ']}\n'
+  } >"$out"
+  cargo run --release --quiet --bin bench-gate -- --validate-ci "$out"
+}
+
+run_profile() {
+  local profile="$1"
+  shift
+  for s in "$@"; do run_stage "$s"; done
+  emit_timings "$profile"
+}
+
 SUMMARY=()
+TIMED_NAMES=()
+TIMED_SECS=()
 case "${1:-}" in
   --list)
     printf '%s\n' "${STAGES[@]}"
@@ -110,11 +161,28 @@ case "${1:-}" in
     [[ $# -eq 2 ]] || { echo "ci: --stage needs exactly one name" >&2; exit 2; }
     run_stage "$2"
     ;;
+  --quick)
+    run_profile quick "${QUICK_STAGES[@]}"
+    ;;
+  --from)
+    [[ $# -eq 2 ]] || { echo "ci: --from needs exactly one stage name" >&2; exit 2; }
+    REST=()
+    seen=0
+    for s in "${STAGES[@]}"; do
+      [[ "$s" == "$2" ]] && seen=1
+      [[ $seen -eq 1 ]] && REST+=("$s")
+    done
+    if [[ $seen -eq 0 ]]; then
+      echo "ci: unknown stage '$2' (try --list)" >&2
+      exit 2
+    fi
+    run_profile "from-$2" "${REST[@]}"
+    ;;
   "")
-    for s in "${STAGES[@]}"; do run_stage "$s"; done
+    run_profile full "${STAGES[@]}"
     ;;
   *)
-    echo "usage: ./ci.sh [--stage <name> | --list]" >&2
+    echo "usage: ./ci.sh [--quick | --from <stage> | --stage <name> | --list]" >&2
     exit 2
     ;;
 esac

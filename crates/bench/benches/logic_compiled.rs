@@ -1,0 +1,67 @@
+//! E17 — the sentence plan compiler: interpreted-vs-compiled pairs over
+//! the same sentences and structures, measuring what lowering to a fused
+//! evaluation plan (constant folding, hash-consing, selectivity-ordered
+//! conjunctions, dense variable slots) buys over the tree-walking
+//! checker. `CompiledSentence::compile` runs outside the timed loop —
+//! one sentence is checked against many structures in practice.
+
+use lph_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lph_graphs::{generators, GraphStructure};
+use lph_logic::check::CheckOptions;
+use lph_logic::{examples, CompiledSentence, Sentence};
+
+fn opts() -> CheckOptions {
+    CheckOptions {
+        max_matrix_evals: 500_000_000,
+        max_tuples_per_var: 22,
+    }
+}
+
+fn pair(
+    group: &mut lph_bench::BenchmarkGroup<'_>,
+    name: &str,
+    n: usize,
+    phi: &Sentence,
+    gs: &GraphStructure,
+) {
+    group.bench_with_input(
+        BenchmarkId::new(format!("interpreted_{name}"), n),
+        &n,
+        |b, _| b.iter(|| phi.check_on_graph(gs, &opts()).unwrap()),
+    );
+    let compiled = CompiledSentence::compile(phi);
+    group.bench_with_input(
+        BenchmarkId::new(format!("compiled_{name}"), n),
+        &n,
+        |b, _| b.iter(|| compiled.check_on_graph(gs, &opts()).unwrap()),
+    );
+}
+
+fn bench_logic_compiled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logic_compiled");
+    group.sample_size(10);
+
+    let three_col = examples::three_colorable();
+    for n in [4usize, 5] {
+        let gs = GraphStructure::of(&generators::cycle(n));
+        pair(&mut group, "three_col_cycle", n, &three_col, &gs);
+    }
+
+    let nas = examples::not_all_selected();
+    for n in [2usize, 3] {
+        let g = generators::labeled_path_bits(vec![lph_graphs::BitString::from_bits01("1"); n]);
+        let gs = GraphStructure::of(&g);
+        pair(&mut group, "sigma3_nas_path", n, &nas, &gs);
+    }
+
+    let two_col = examples::k_colorable(2);
+    for n in [6usize, 8] {
+        let gs = GraphStructure::of(&generators::cycle(n));
+        pair(&mut group, "two_col_cycle", n, &two_col, &gs);
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_logic_compiled);
+criterion_main!(benches);

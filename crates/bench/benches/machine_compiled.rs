@@ -1,0 +1,70 @@
+//! E17 — the bytecode VM tier: interpreted-vs-compiled pairs over the
+//! same machines and inputs, so the compilation speedup is measured
+//! (and regression-gated) rather than asserted. `CompiledTm::compile`
+//! runs outside the timed loop — compilation is a per-machine cost paid
+//! once, amortized across the many replays a game search performs.
+
+use lph_bench::with_ids;
+use lph_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lph_graphs::{generators, CertificateList, IdAssignment, LabeledGraph};
+use lph_machine::{machines, run_tm, run_tm_compiled, CompiledTm, DistributedTm, ExecLimits};
+
+fn pair(
+    group: &mut lph_bench::BenchmarkGroup<'_>,
+    name: &str,
+    n: usize,
+    tm: &DistributedTm,
+    g: &LabeledGraph,
+    id: &IdAssignment,
+) {
+    let certs = CertificateList::new();
+    group.bench_with_input(
+        BenchmarkId::new(format!("interpreted_{name}"), n),
+        &n,
+        |b, _| b.iter(|| run_tm(tm, g, id, &certs, &ExecLimits::default()).unwrap()),
+    );
+    let ct = CompiledTm::compile(tm);
+    group.bench_with_input(
+        BenchmarkId::new(format!("compiled_{name}"), n),
+        &n,
+        |b, _| b.iter(|| run_tm_compiled(&ct, g, id, &certs, &ExecLimits::default()).unwrap()),
+    );
+}
+
+fn bench_machine_compiled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_compiled");
+    for n in [32usize, 128] {
+        let (g, id) = with_ids(generators::cycle(n));
+        pair(
+            &mut group,
+            "all_selected_cycle",
+            n,
+            &machines::all_selected_decider(),
+            &g,
+            &id,
+        );
+        pair(
+            &mut group,
+            "coloring_cycle",
+            n,
+            &machines::proper_coloring_verifier(),
+            &g,
+            &id,
+        );
+    }
+    for d in [16usize, 64] {
+        let (g, id) = with_ids(generators::star(d + 1));
+        pair(
+            &mut group,
+            "coloring_star",
+            d,
+            &machines::proper_coloring_verifier(),
+            &g,
+            &id,
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine_compiled);
+criterion_main!(benches);

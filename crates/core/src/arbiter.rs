@@ -1,6 +1,9 @@
+use std::sync::OnceLock;
+
 use lph_graphs::{CertificateList, IdAssignment, LabeledGraph};
 use lph_machine::{
-    run_local, run_tm, DistributedTm, ExecLimits, LocalAlgorithm, LocalOutcome, MachineError,
+    run_local, run_tm, run_tm_compiled, CompiledTm, DistributedTm, ExecLimits, LocalAlgorithm,
+    LocalOutcome, MachineError, TmBackend,
 };
 
 use crate::game::GameSpec;
@@ -71,6 +74,11 @@ pub struct Arbiter {
     name: String,
     spec: GameSpec,
     kind: ArbiterKind,
+    exec_backend: TmBackend,
+    /// Lazily compiled bytecode program for `ArbiterKind::Tm` under a
+    /// compiling [`TmBackend`]; shared across the many replays a game
+    /// search performs.
+    compiled: OnceLock<CompiledTm>,
 }
 
 impl Arbiter {
@@ -84,6 +92,8 @@ impl Arbiter {
             name: name.into(),
             spec,
             kind: ArbiterKind::Local(Box::new(alg)),
+            exec_backend: TmBackend::default(),
+            compiled: OnceLock::new(),
         }
     }
 
@@ -93,7 +103,23 @@ impl Arbiter {
             name: name.into(),
             spec,
             kind: ArbiterKind::Tm(tm),
+            exec_backend: TmBackend::default(),
+            compiled: OnceLock::new(),
         }
+    }
+
+    /// Selects the execution engine for `ArbiterKind::Tm` arbiters (no
+    /// effect on `Local` ones). The default is [`TmBackend::Auto`]; the
+    /// interpreter remains reachable for differential testing.
+    #[must_use]
+    pub fn with_exec_backend(mut self, backend: TmBackend) -> Self {
+        self.exec_backend = backend;
+        self
+    }
+
+    /// The configured execution engine.
+    pub fn exec_backend(&self) -> TmBackend {
+        self.exec_backend
     }
 
     /// The arbiter's name.
@@ -126,7 +152,13 @@ impl Arbiter {
         match &self.kind {
             ArbiterKind::Local(alg) => run_local(alg.as_ref(), g, id, certs, limits),
             ArbiterKind::Tm(tm) => {
-                let out = run_tm(tm, g, id, certs, limits)?;
+                let out = match self.exec_backend {
+                    TmBackend::Interpreted => run_tm(tm, g, id, certs, limits)?,
+                    TmBackend::Compiled | TmBackend::Auto => {
+                        let ct = self.compiled.get_or_init(|| CompiledTm::compile(tm));
+                        run_tm_compiled(ct, g, id, certs, limits)?
+                    }
+                };
                 Ok(LocalOutcome {
                     rounds: out.rounds,
                     outputs: out.result_labels,
@@ -207,6 +239,27 @@ mod tests {
             .unwrap());
         assert_eq!(arb.name(), "all-selected");
         assert_eq!(arb.spec().ell, 0);
+    }
+
+    #[test]
+    fn exec_backends_agree_on_tm_arbiters() {
+        let g = generators::labeled_cycle(&["1", "0", "1"]);
+        let id = IdAssignment::small(&g, 1);
+        let mk = || Arbiter::from_tm("coloring", spec0(), machines::proper_coloring_verifier());
+        let interp = mk()
+            .with_exec_backend(TmBackend::Interpreted)
+            .run(&g, &id, &CertificateList::new(), &ExecLimits::default())
+            .unwrap();
+        for backend in [TmBackend::Compiled, TmBackend::Auto] {
+            let out = mk()
+                .with_exec_backend(backend)
+                .run(&g, &id, &CertificateList::new(), &ExecLimits::default())
+                .unwrap();
+            assert_eq!(interp.accepted, out.accepted);
+            assert_eq!(interp.verdicts, out.verdicts);
+            assert_eq!(interp.outputs, out.outputs);
+            assert_eq!(interp.metrics.per_node, out.metrics.per_node);
+        }
     }
 
     #[test]

@@ -41,9 +41,11 @@ pub mod check;
 pub mod dsl;
 pub mod examples;
 mod formula;
+mod plan;
 mod sentence;
 mod var;
 
 pub use formula::Formula;
+pub use plan::{CompiledSentence, EvalBackend};
 pub use sentence::{Level, Matrix, Quantifier, Sentence, SoBlock, SoQuant, Support};
 pub use var::{Assignment, FoVar, Relation, SoVar, VarPool};

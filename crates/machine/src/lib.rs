@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bytecode;
 mod error;
 mod exec;
 mod local;
@@ -43,6 +44,7 @@ mod metrics;
 mod tape;
 mod tm;
 
+pub use bytecode::{run_tm_backend, run_tm_compiled, CompiledTm, TmBackend};
 pub use error::MachineError;
 pub use exec::{run_tm, ExecLimits, TmOutcome};
 pub use local::{

@@ -1,0 +1,213 @@
+//! Differential suite pinning the bytecode VM to the interpreter: over the
+//! crate's hand-built machines and a seeded family of random transition
+//! tables, `run_tm_compiled` must reproduce `run_tm` bit for bit — the
+//! same `TmOutcome` (rounds, labels, verdicts, acceptance, per-node
+//! per-round step/space metrics) or the same `MachineError` (including
+//! missing transitions, head/left-end violations, and step/round limits at
+//! identical counts).
+
+use lph_graphs::generators::{self, XorShift};
+use lph_graphs::{BitString, CertificateAssignment, CertificateList, IdAssignment, LabeledGraph};
+use lph_machine::{
+    machines, run_tm, run_tm_compiled, CompiledTm, DistributedTm, ExecLimits, Move, Pat, Sym,
+    TmBuilder, WriteOp,
+};
+
+fn probe_family() -> Vec<LabeledGraph> {
+    vec![
+        generators::labeled_cycle(&["1", "1", "1"]),
+        generators::labeled_path(&["1", "0"]),
+        generators::labeled_cycle(&["1", "0", "1", "1"]),
+        generators::labeled_path(&["0", "1", "1", "0", "1"]),
+        generators::star(5),
+        generators::complete(4),
+    ]
+}
+
+fn certificate_variants(g: &LabeledGraph) -> Vec<CertificateList> {
+    vec![
+        CertificateList::new(),
+        CertificateList::from_assignments(vec![CertificateAssignment::uniform(
+            g,
+            BitString::from_bits01("01"),
+        )]),
+        CertificateList::from_assignments(vec![
+            CertificateAssignment::uniform(g, BitString::from_bits01("1")),
+            CertificateAssignment::uniform(g, BitString::from_bits01("0011")),
+        ]),
+    ]
+}
+
+/// Runs both engines and asserts observational equality.
+fn assert_equivalent(
+    label: &str,
+    tm: &DistributedTm,
+    ct: &CompiledTm,
+    g: &LabeledGraph,
+    certs: &CertificateList,
+    limits: &ExecLimits,
+) {
+    let id = IdAssignment::global(g);
+    let interp = run_tm(tm, g, &id, certs, limits);
+    let compiled = run_tm_compiled(ct, g, &id, certs, limits);
+    match (interp, compiled) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a.rounds, b.rounds, "{label}: rounds diverge on {g}");
+            assert_eq!(
+                a.result_labels, b.result_labels,
+                "{label}: labels diverge on {g}"
+            );
+            assert_eq!(a.verdicts, b.verdicts, "{label}: verdicts diverge on {g}");
+            assert_eq!(
+                a.accepted, b.accepted,
+                "{label}: acceptance diverges on {g}"
+            );
+            assert_eq!(
+                a.metrics.per_node, b.metrics.per_node,
+                "{label}: metrics diverge on {g}"
+            );
+        }
+        (Err(a), Err(b)) => assert_eq!(a, b, "{label}: errors diverge on {g}"),
+        (a, b) => panic!("{label}: backends disagree on {g}: {a:?} vs {b:?}"),
+    }
+}
+
+#[test]
+fn builtin_machines_agree_over_probes_and_certificates() {
+    for (name, tm) in [
+        ("all_selected", machines::all_selected_decider()),
+        ("coloring", machines::proper_coloring_verifier()),
+        ("echo", machines::echo_machine()),
+        ("even_degree", machines::even_degree_decider()),
+        ("project_label", machines::project_label_machine()),
+    ] {
+        let ct = CompiledTm::compile(&tm);
+        for g in &probe_family() {
+            for certs in certificate_variants(g) {
+                assert_equivalent(name, &tm, &ct, g, &certs, &ExecLimits::default());
+            }
+        }
+    }
+}
+
+#[test]
+fn builtin_machines_agree_under_tight_limits() {
+    // Small step/round budgets force both engines into the limit-error
+    // paths; counts must trip at the identical step.
+    let tight = [
+        ExecLimits {
+            max_rounds: 1,
+            max_steps_per_round: 5,
+        },
+        ExecLimits {
+            max_rounds: 2,
+            max_steps_per_round: 23,
+        },
+        ExecLimits {
+            max_rounds: 64,
+            max_steps_per_round: 61,
+        },
+    ];
+    for (name, tm) in [
+        ("all_selected", machines::all_selected_decider()),
+        ("coloring", machines::proper_coloring_verifier()),
+        ("echo", machines::echo_machine()),
+    ] {
+        let ct = CompiledTm::compile(&tm);
+        for g in &probe_family() {
+            for limits in &tight {
+                assert_equivalent(name, &tm, &ct, g, &CertificateList::new(), limits);
+            }
+        }
+    }
+}
+
+fn random_sym(rng: &mut XorShift) -> Sym {
+    Sym::ALL[rng.below(Sym::ALL.len())]
+}
+
+fn random_pat(rng: &mut XorShift) -> Pat {
+    match rng.below(4) {
+        0 => Pat::Any,
+        1 => Pat::Is(random_sym(rng)),
+        2 => Pat::Bit,
+        _ => Pat::Not(random_sym(rng)),
+    }
+}
+
+fn random_write(rng: &mut XorShift) -> WriteOp {
+    // Puts may emit ⊢ or overwrite it — deliberate, so the differential
+    // covers the OverwroteLeftEnd error paths too.
+    if rng.bool() {
+        WriteOp::Keep
+    } else {
+        WriteOp::Put(random_sym(rng))
+    }
+}
+
+fn random_move(rng: &mut XorShift) -> Move {
+    match rng.below(4) {
+        0 => Move::L,
+        1 | 2 => Move::S,
+        _ => Move::R,
+    }
+}
+
+/// A seeded random transition table. Tables may be partial (missing
+/// transitions), non-halting (limit errors), or ill-behaved (head/left-end
+/// errors) — every failure mode must still match the interpreter.
+fn random_machine(rng: &mut XorShift) -> Option<DistributedTm> {
+    let mut b = TmBuilder::new();
+    let extra: Vec<_> = (0..1 + rng.below(3))
+        .map(|i| b.state(&format!("s{i}")))
+        .collect();
+    let mut targets = vec![b.pause(), b.stop()];
+    targets.extend(&extra);
+    let sources: Vec<_> = std::iter::once(b.start()).chain(extra).collect();
+    for &q in &sources {
+        for _ in 0..1 + rng.below(4) {
+            let pats = [random_pat(rng), random_pat(rng), random_pat(rng)];
+            let next = targets[rng.below(targets.len())];
+            let writes = [random_write(rng), random_write(rng), random_write(rng)];
+            let moves = [random_move(rng), random_move(rng), random_move(rng)];
+            b.rule(q, pats, next, writes, moves);
+        }
+        if rng.bool() {
+            // Catch-all self-loop scanning right: prime fast-path material.
+            b.rule(
+                q,
+                [Pat::Any; 3],
+                q,
+                [WriteOp::Keep; 3],
+                [Move::S, Move::R, Move::S],
+            );
+        }
+    }
+    b.try_build().ok()
+}
+
+#[test]
+fn seeded_random_tables_agree() {
+    let graphs = [
+        generators::labeled_path(&["1", "0"]),
+        generators::labeled_cycle(&["1", "0", "1"]),
+        generators::star(3),
+    ];
+    let limits = ExecLimits {
+        max_rounds: 4,
+        max_steps_per_round: 150,
+    };
+    let mut rng = XorShift::new(0x001b_c0de);
+    let mut built = 0usize;
+    for _ in 0..120 {
+        let Some(tm) = random_machine(&mut rng) else {
+            continue;
+        };
+        built += 1;
+        let ct = CompiledTm::compile(&tm);
+        for g in &graphs {
+            assert_equivalent("random", &tm, &ct, g, &CertificateList::new(), &limits);
+        }
+    }
+    assert!(built >= 100, "only {built} random tables built");
+}

@@ -4,6 +4,7 @@
 //! ```text
 //! USAGE: bench-gate --validate FILE
 //!        bench-gate --validate-trace FILE
+//!        bench-gate --validate-ci FILE
 //!        bench-gate --compare RESULTS BASELINE [--factor F]
 //! ```
 //!
@@ -12,6 +13,9 @@
 //! * `--validate-trace` checks the `lph-trace/1` document shape written by
 //!   `experiments --trace-out` and `lph-lint --trace-out` (used by the
 //!   `trace-smoke` CI stage).
+//! * `--validate-ci` checks the `lph-ci/1` stage-timing document
+//!   `./ci.sh` writes as `ci_timings.json` at the end of every
+//!   multi-stage run.
 //! * `--compare` fails (exit 1) when any series present in both files has
 //!   a median at least `F`× slower than the baseline (default `2.0`) *and*
 //!   at least 250µs slower in absolute terms (microsecond-scale series
@@ -42,6 +46,7 @@ struct Series {
 fn usage() -> ExitCode {
     eprintln!("USAGE: bench-gate --validate FILE");
     eprintln!("       bench-gate --validate-trace FILE");
+    eprintln!("       bench-gate --validate-ci FILE");
     eprintln!("       bench-gate --compare RESULTS BASELINE [--factor F]");
     ExitCode::from(2)
 }
@@ -144,6 +149,60 @@ fn validate_trace_file(path: &str) -> ExitCode {
                  {} series, {} histogram(s)",
                 stats.spans, stats.counters, stats.series, stats.hists
             );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench-gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Structurally validates the `lph-ci/1` stage-timing document `./ci.sh`
+/// emits: a profile name and a non-empty list of `{name, seconds}` stage
+/// entries with unique names and non-negative durations.
+fn load_ci(path: &str) -> Result<(String, usize), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("lph-ci/1") => {}
+        other => return Err(format!("{path}: unsupported schema {other:?}")),
+    }
+    let profile = doc
+        .get("profile")
+        .and_then(Json::as_str)
+        .filter(|p| !p.is_empty())
+        .ok_or(format!(
+            "{path}: missing non-empty string field \"profile\""
+        ))?
+        .to_owned();
+    let stages = doc
+        .get("stages")
+        .and_then(Json::as_arr)
+        .ok_or(format!("{path}: missing \"stages\" array"))?;
+    if stages.is_empty() {
+        return Err(format!("{path}: \"stages\" is empty"));
+    }
+    let mut names: Vec<String> = Vec::with_capacity(stages.len());
+    for (i, entry) in stages.iter().enumerate() {
+        let context = |e: String| format!("{path}: stage #{i}: {e}");
+        let name = str_field(entry, "name").map_err(context)?;
+        if name.is_empty() {
+            return Err(context("empty stage name".into()));
+        }
+        num_field(entry, "seconds").map_err(context)?;
+        if names.contains(&name) {
+            return Err(context(format!("duplicate stage {name:?}")));
+        }
+        names.push(name);
+    }
+    Ok((profile, names.len()))
+}
+
+fn validate_ci_file(path: &str) -> ExitCode {
+    match load_ci(path) {
+        Ok((profile, stages)) => {
+            println!("bench-gate: {path} valid lph-ci/1: profile {profile:?}, {stages} stage(s)");
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -275,6 +334,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("--validate") if args.len() == 2 => validate(&args[1]),
         Some("--validate-trace") if args.len() == 2 => validate_trace_file(&args[1]),
+        Some("--validate-ci") if args.len() == 2 => validate_ci_file(&args[1]),
         Some("--compare") if args.len() >= 3 => {
             let mut factor = 2.0f64;
             let mut rest = args[3..].iter();

@@ -21,6 +21,11 @@
 //! `--sat-smoke` runs only the E16 CDCL-engine section (the `sat` CI
 //! stage): a fast health check of the game backend and the solver's
 //! conflict-budget/resume path on a fresh build.
+//!
+//! `--compile-smoke` runs only the E17 compilation-tier section (the
+//! `compile` CI stage): the bytecode VM and the sentence plan compiler
+//! replayed against their interpreters on live workloads, asserting
+//! agreement end to end and printing the measured speedups.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -36,8 +41,8 @@ use lph::fagin::compiler::sentence_game;
 use lph::fagin::{machine_to_sat_graph, TableauBounds};
 use lph::graphs::{generators, CertificateList, GraphStructure, IdAssignment, PolyBound};
 use lph::logic::check::CheckOptions;
-use lph::logic::examples;
-use lph::machine::{machines, run_tm, ExecLimits};
+use lph::logic::{examples, CompiledSentence, EvalBackend};
+use lph::machine::{machines, run_tm, run_tm_compiled, CompiledTm, ExecLimits};
 use lph::pictures::encode::{picture_to_graph, transport_sentence};
 use lph::pictures::{langs, Picture};
 use lph::props::{
@@ -68,9 +73,10 @@ fn section(id: &str, title: &str, body: impl FnOnce()) {
     }
 }
 
-fn parse_args() -> Result<(Option<PathBuf>, bool), String> {
+fn parse_args() -> Result<(Option<PathBuf>, bool, bool), String> {
     let mut trace_out = None;
     let mut sat_smoke = false;
+    let mut compile_smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -91,10 +97,95 @@ fn parse_args() -> Result<(Option<PathBuf>, bool), String> {
                 ));
             }
             "--sat-smoke" => sat_smoke = true,
+            "--compile-smoke" => compile_smoke = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    Ok((trace_out, sat_smoke))
+    Ok((trace_out, sat_smoke, compile_smoke))
+}
+
+/// Times one closure with a few repetitions, returning the median
+/// per-call duration (rough — the real series live in `lph-bench`).
+fn quick_median(mut f: impl FnMut()) -> std::time::Duration {
+    let mut samples: Vec<std::time::Duration> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[2]
+}
+
+/// The E17 body, also run standalone by `--compile-smoke` (the `compile`
+/// CI stage): the bytecode VM against the TM interpreter and the sentence
+/// plan compiler against the tree-walking checker, on live workloads —
+/// verdict agreement is asserted, speedups are printed for the record.
+fn compiled_tier_series() {
+    // Machines: every arbiter-corpus machine over a cycle, bit-for-bit.
+    let limits = ExecLimits::default();
+    for (name, tm) in [
+        ("all_selected", machines::all_selected_decider()),
+        ("coloring", machines::proper_coloring_verifier()),
+        ("echo", machines::echo_machine()),
+        ("even_degree", machines::even_degree_decider()),
+    ] {
+        let ct = CompiledTm::compile(&tm);
+        let g = generators::cycle(24);
+        let id = IdAssignment::global(&g);
+        let interp = run_tm(&tm, &g, &id, &CertificateList::new(), &limits).unwrap();
+        let vm = run_tm_compiled(&ct, &g, &id, &CertificateList::new(), &limits).unwrap();
+        assert_eq!(interp.accepted, vm.accepted, "{name}: verdicts diverge");
+        assert_eq!(
+            interp.metrics.per_node, vm.metrics.per_node,
+            "{name}: metrics diverge"
+        );
+        let ti = quick_median(|| {
+            run_tm(&tm, &g, &id, &CertificateList::new(), &limits).unwrap();
+        });
+        let tc = quick_median(|| {
+            run_tm_compiled(&ct, &g, &id, &CertificateList::new(), &limits).unwrap();
+        });
+        println!(
+            "TM {name:12} on C24: accepted={} ({} program slots); \
+             interpreted {ti:.1?}, VM {tc:.1?} ({:.2}x)",
+            vm.accepted,
+            ct.program_len(),
+            ti.as_secs_f64() / tc.as_secs_f64().max(1e-9)
+        );
+    }
+    // Sentences: plan sizes show what folding/hash-consing removed; the
+    // verdict must match the interpreter on every probe.
+    let opts = CheckOptions {
+        max_matrix_evals: 50_000_000,
+        max_tuples_per_var: 22,
+    };
+    for (name, phi, n) in [
+        ("three_colorable", examples::three_colorable(), 5usize),
+        ("two_colorable", examples::k_colorable(2), 6),
+        ("not_all_selected", examples::not_all_selected(), 3),
+    ] {
+        let compiled = CompiledSentence::compile(&phi);
+        let gs = GraphStructure::of(&generators::cycle(n));
+        let interp = phi.check_on_graph(&gs, &opts).unwrap();
+        let fast = compiled.check_on_graph(&gs, &opts).unwrap();
+        assert_eq!(interp, fast, "{name}: backends disagree on C{n}");
+        let ti = quick_median(|| {
+            phi.check_on_graph(&gs, &opts).unwrap();
+        });
+        let tc = quick_median(|| {
+            compiled.check_on_graph(&gs, &opts).unwrap();
+        });
+        println!(
+            "Φ {name:16} on C{n}: {fast} (auto → {:?}; {:3} formula nodes → {:3} plan ops); \
+             interpreted {ti:.1?}, compiled {tc:.1?} ({:.2}x)",
+            EvalBackend::Auto.resolve(&phi),
+            phi.matrix.body().node_count(),
+            compiled.plan_len(),
+            ti.as_secs_f64() / tc.as_secs_f64().max(1e-9)
+        );
+    }
 }
 
 /// The E16 body, also run standalone by `--sat-smoke` (the `sat` CI
@@ -229,11 +320,13 @@ fn write_trace(path: &std::path::Path) -> Result<(), String> {
 
 #[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
-    let (trace_out, sat_smoke) = match parse_args() {
+    let (trace_out, sat_smoke, compile_smoke) = match parse_args() {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("USAGE: experiments [--threads N] [--trace-out PATH] [--sat-smoke]");
+            eprintln!(
+                "USAGE: experiments [--threads N] [--trace-out PATH] [--sat-smoke] [--compile-smoke]"
+            );
             return ExitCode::from(2);
         }
     };
@@ -243,6 +336,15 @@ fn main() -> ExitCode {
     if sat_smoke {
         // The `sat` CI stage: just the CDCL engine series, fast.
         section("E16", "CDCL certificate engine (smoke)", sat_engine_series);
+        return ExitCode::SUCCESS;
+    }
+    if compile_smoke {
+        // The `compile` CI stage: bytecode VM + sentence plans, fast.
+        section(
+            "E17",
+            "Compilation tier — bytecode VM and sentence plans (smoke)",
+            compiled_tier_series,
+        );
         return ExitCode::SUCCESS;
     }
     let total = Instant::now();
@@ -553,6 +655,13 @@ fn main() -> ExitCode {
         "E16",
         "CDCL certificate engine — games past the exhaustive ceiling",
         sat_engine_series,
+    );
+
+    // ------------------------------------------------------------------
+    section(
+        "E17",
+        "Compilation tier — bytecode VM and sentence plans",
+        compiled_tier_series,
     );
 
     println!(

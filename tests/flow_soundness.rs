@@ -12,7 +12,7 @@ use lph::core::{decide_game_backend, GameBackend};
 use lph::graphs::{
     generators, BitString, CertificateAssignment, CertificateList, IdAssignment, LabeledGraph,
 };
-use lph::machine::{run_tm, ExecLimits};
+use lph::machine::{run_tm_backend, ExecLimits, TmBackend};
 
 fn probe_family() -> Vec<LabeledGraph> {
     vec![
@@ -50,32 +50,41 @@ fn derived_bounds_dominate_observed_metrics() {
             .as_ref()
             .unwrap_or_else(|| panic!("{} must certify: {:?}", a.name, flow.failure));
         let space_bound = flow.space.as_ref().expect("space accompanies steps");
-        for g in &probe_family() {
-            let id = IdAssignment::global(g);
-            for certs in certificate_variants(g) {
-                let out = run_tm(&a.tm, g, &id, &certs, &ExecLimits::default())
-                    .unwrap_or_else(|e| panic!("{} failed on {g}: {e:?}", a.name));
-                for (u, rounds) in out.metrics.per_node.iter().enumerate() {
-                    let mut max_n = 0usize;
-                    for (r, s) in rounds.iter().enumerate() {
-                        let n = s.input_rcv_len + s.input_int_len;
-                        max_n = max_n.max(n);
-                        assert!(
-                            s.steps <= steps_bound.eval(n),
-                            "{}: node {u} round {} made {} steps at n = {n}, \
-                             exceeding the certified bound {steps_bound}",
-                            a.name,
-                            r + 1,
-                            s.steps
-                        );
-                        assert!(
-                            s.space <= space_bound.eval(max_n),
-                            "{}: node {u} round {} used {} cells at max n = {max_n}, \
-                             exceeding the certified bound {space_bound}",
-                            a.name,
-                            r + 1,
-                            s.space
-                        );
+        // The certified polynomials are statements about the *machine*, so
+        // they must dominate whichever engine executes it — the interpreter
+        // and the bytecode VM alike (the VM's run-length fast path still
+        // charges every skipped step).
+        for backend in [TmBackend::Interpreted, TmBackend::Compiled] {
+            for g in &probe_family() {
+                let id = IdAssignment::global(g);
+                for certs in certificate_variants(g) {
+                    let out =
+                        run_tm_backend(&a.tm, g, &id, &certs, &ExecLimits::default(), backend)
+                            .unwrap_or_else(|e| {
+                                panic!("{} failed on {g} ({backend:?}): {e:?}", a.name)
+                            });
+                    for (u, rounds) in out.metrics.per_node.iter().enumerate() {
+                        let mut max_n = 0usize;
+                        for (r, s) in rounds.iter().enumerate() {
+                            let n = s.input_rcv_len + s.input_int_len;
+                            max_n = max_n.max(n);
+                            assert!(
+                                s.steps <= steps_bound.eval(n),
+                                "{}: node {u} round {} made {} steps at n = {n} \
+                                 ({backend:?}), exceeding the certified bound {steps_bound}",
+                                a.name,
+                                r + 1,
+                                s.steps
+                            );
+                            assert!(
+                                s.space <= space_bound.eval(max_n),
+                                "{}: node {u} round {} used {} cells at max n = {max_n} \
+                                 ({backend:?}), exceeding the certified bound {space_bound}",
+                                a.name,
+                                r + 1,
+                                s.space
+                            );
+                        }
                     }
                 }
             }
