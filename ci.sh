@@ -14,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-STAGES=(fmt clippy build test compile sat lint analyze doc trace-smoke bench-smoke bench-gate)
+STAGES=(fmt clippy build test compile sat serve lint analyze doc trace-smoke bench-smoke bench-gate)
 QUICK_STAGES=(fmt clippy build test)
 
 stage_fmt() { cargo fmt --all -- --check; }
@@ -49,6 +49,40 @@ stage_sat() {
   cargo run --release --bin experiments -- --sat-smoke
 }
 
+# Serving health: the protocol edge-case suite, then PROTOCOL.md's two
+# session transcripts replayed against a live stdio-mode server — the
+# docs are executable fixtures. Each ```transcript block names its
+# server flags on the `$` line; `C:` lines are piped in and the output
+# is diffed byte for byte against the `S:` lines.
+stage_serve() {
+  cargo test -q -p lph-serve
+  cargo build --release --bin lph-serve
+  mkdir -p target
+  rm -f target/transcript_*
+  awk '/^```transcript$/{n++; f=sprintf("target/transcript_%d.txt", n); keep=1; next}
+       /^```$/{keep=0} keep{print > f}' PROTOCOL.md
+  local count=0 block flags
+  for block in target/transcript_*.txt; do
+    [[ -e "$block" ]] || break
+    count=$((count + 1))
+    flags=$(sed -n '1s/^\$ lph-serve //p' "$block")
+    sed -n 's/^C: //p' "$block" >"$block.in"
+    sed -n 's/^S: //p' "$block" >"$block.expected"
+    # shellcheck disable=SC2086
+    ./target/release/lph-serve $flags <"$block.in" >"$block.actual"
+    if ! diff -u "$block.expected" "$block.actual"; then
+      echo "serve: transcript $count diverges from PROTOCOL.md" >&2
+      return 1
+    fi
+    echo "serve: transcript $count ok ($(wc -l <"$block.expected") responses)"
+  done
+  if [[ $count -lt 2 ]]; then
+    echo "serve: expected at least 2 transcripts in PROTOCOL.md, found $count" >&2
+    return 1
+  fi
+  rm -f target/transcript_*
+}
+
 stage_lint() { cargo run --release --bin lph-lint -- --deny warnings; }
 
 # Deep mode: the syntactic rules plus the semantic dataflow tier
@@ -70,7 +104,7 @@ stage_trace_smoke() {
   cargo run --release --bin bench-gate -- --validate-trace "$out"
   rm -f "$out"
   local banned
-  if banned=$(grep -inE 'criterion|proptest' README.md EXPERIMENTS.md); then
+  if banned=$(grep -inE 'criterion|proptest' README.md EXPERIMENTS.md PROTOCOL.md); then
     echo "trace-smoke: stale toolchain references in the docs:" >&2
     echo "$banned" >&2
     return 1
@@ -91,8 +125,10 @@ stage_bench_smoke() {
   # measurement of checker cost and logging overhead, and the two
   # *_compiled groups carry the interpreted-vs-compiled pairs the
   # compilation tier's speedup claims rest on.
+  # serve_throughput carries the serving-layer seq/par × cache-on/off
+  # quadrant the ROADMAP's batching and memoization claims rest on.
   local series
-  for series in '"group":"sat_proof"' '"group":"machine_compiled"' '"group":"logic_compiled"'; do
+  for series in '"group":"sat_proof"' '"group":"machine_compiled"' '"group":"logic_compiled"' '"group":"serve_throughput"'; do
     if ! grep -q "$series" BENCH_results.json; then
       echo "bench-smoke: $series series missing from BENCH_results.json" >&2
       return 1

@@ -33,6 +33,8 @@
 //! * [`json`] — a dependency-free JSON emitter/parser for `--format json`.
 //! * [`tracefmt`] — the `lph-trace/1` schema: serialization and
 //!   validation of execution-trace snapshots.
+//! * [`servefmt`] — the `lph-serve/1` schema: structural validation of
+//!   the query service's newline-delimited wire documents.
 //!
 //! # Example
 //!
@@ -55,6 +57,7 @@ pub mod formula;
 pub mod json;
 pub mod proofcheck;
 pub mod registry;
+pub mod servefmt;
 pub mod tracefmt;
 
 pub use contract::{ArbiterArtifact, ClusterMapArtifact, ReductionArtifact};
@@ -69,4 +72,7 @@ pub use proofcheck::{
     PROOF_SCHEMA,
 };
 pub use registry::{rule, RuleConfig, RuleInfo, RULES};
+pub use servefmt::{
+    validate_serve_request, validate_serve_response, SERVE_ERROR_CODES, SERVE_SCHEMA,
+};
 pub use tracefmt::{trace_to_json, validate_trace, TraceStats};

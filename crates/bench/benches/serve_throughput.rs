@@ -1,0 +1,73 @@
+//! E18 — the `lph-serve` throughput series: one mixed batch of
+//! membership requests processed by the in-process engine, measured
+//! sequential vs pooled and cache-off vs cache-on.
+//!
+//! The batch is the serving hot path end to end — request parsing, graph
+//! materialization, admission pricing, iso-cache consultation, game
+//! decision, response emission — minus only the socket. Cache-on series
+//! measure the *steady state*: the engine (and its iso-class cache)
+//! persists across iterations, so after the first iteration every
+//! request in the batch is an iso-class hit. Cache-off series rebuild
+//! every verdict every time. The four series quantify the ROADMAP's two
+//! serving wins separately: pool batching (seq → par) and iso-class
+//! memoization (nocache → cache).
+
+use lph_bench::{black_box, criterion_group, criterion_main, Criterion};
+use lph_serve::{Engine, EngineConfig};
+
+/// The two measured pool widths: `(suffix, workers)`.
+fn widths() -> [(&'static str, usize); 2] {
+    [("seq", 1), ("par", lph_runtime::threads().max(2))]
+}
+
+/// A mixed membership batch over small families: four arbiters (two
+/// certified TM deciders, two Σ₁ CDCL verifiers), cycle sizes 3..11 —
+/// 32 requests, all admissible under default budgets.
+fn mixed_batch() -> Vec<String> {
+    let arbiters = [
+        "all_selected_decider",
+        "eulerian_decider",
+        "two_colorable_verifier",
+        "three_colorable_verifier",
+    ];
+    let mut lines = Vec::new();
+    for n in 3usize..11 {
+        for arbiter in arbiters {
+            lines.push(format!(
+                "{{\"id\":\"q{}\",\"kind\":\"membership\",\"arbiter\":\"{arbiter}\",\"graph\":{{\"family\":\"cycle\",\"n\":{n}}}}}",
+                lines.len()
+            ));
+        }
+    }
+    lines
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let batch = mixed_batch();
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    for cache in [false, true] {
+        for (suffix, workers) in widths() {
+            let label = format!(
+                "batch32_{suffix}_{}",
+                if cache { "cache" } else { "nocache" }
+            );
+            group.bench_function(&label, |b| {
+                lph_runtime::set_threads(workers);
+                // One engine per series: cache-on amortizes across
+                // iterations (steady-state hit path), cache-off never
+                // stores a verdict.
+                let engine = Engine::new(EngineConfig {
+                    cache,
+                    ..EngineConfig::default()
+                });
+                b.iter(|| black_box(engine.process_batch(&batch).len()));
+            });
+        }
+    }
+    lph_runtime::set_threads(0);
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

@@ -87,6 +87,28 @@ pub enum GameBackend {
     Auto,
 }
 
+impl GameBackend {
+    /// The stable wire name used by external callers (the `lph-serve/1`
+    /// protocol's optional `"backend"` request field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GameBackend::Exhaustive => "exhaustive",
+            GameBackend::Cdcl => "cdcl",
+            GameBackend::Auto => "auto",
+        }
+    }
+
+    /// Parses a wire name produced by [`GameBackend::as_str`].
+    pub fn parse(s: &str) -> Option<GameBackend> {
+        match s {
+            "exhaustive" => Some(GameBackend::Exhaustive),
+            "cdcl" => Some(GameBackend::Cdcl),
+            "auto" => Some(GameBackend::Auto),
+            _ => None,
+        }
+    }
+}
+
 /// How an UNSAT-side verdict of the CDCL backend is certified.
 ///
 /// Attached to [`GameResult::refutation`] whenever the verdict rests on
@@ -528,6 +550,18 @@ mod tests {
     use super::*;
     use crate::arbiters;
     use lph_graphs::generators;
+
+    #[test]
+    fn backend_wire_names_round_trip() {
+        for b in [
+            GameBackend::Exhaustive,
+            GameBackend::Cdcl,
+            GameBackend::Auto,
+        ] {
+            assert_eq!(GameBackend::parse(b.as_str()), Some(b));
+        }
+        assert_eq!(GameBackend::parse("sat"), None);
+    }
 
     #[test]
     fn cdcl_agrees_with_exhaustive_on_three_coloring() {

@@ -50,6 +50,6 @@ mod pool;
 pub use pool::{
     par_filter_map_index, par_filter_map_index_with, par_find_first, par_find_first_index,
     par_find_first_index_with, par_find_first_with, par_flat_map, par_flat_map_with, par_map,
-    par_map_index, par_map_index_with, par_map_with, par_reduce, par_reduce_with, set_threads,
-    threads,
+    par_map_index, par_map_index_with, par_map_threshold, par_map_with, par_reduce,
+    par_reduce_with, set_threads, threads,
 };

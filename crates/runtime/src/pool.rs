@@ -298,6 +298,27 @@ where
     par_map_with(threads(), items, f)
 }
 
+/// [`par_map`] that stays sequential below a batch-size threshold.
+///
+/// Latency-sensitive callers (the `lph-serve` request batcher) use this
+/// instead of [`par_map`]: a fork/join region costs worker spawns and a
+/// queue round-trip, which dominates tiny batches. Below `min_parallel`
+/// items the call is exactly the sequential map on the calling thread; at
+/// or above it, exactly [`par_map`] — either way the output order is the
+/// input order.
+pub fn par_map_threshold<T, U, F>(min_parallel: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if items.len() < min_parallel {
+        items.iter().map(f).collect()
+    } else {
+        par_map(items, f)
+    }
+}
+
 /// [`par_filter_map_index`] with an explicit worker count.
 pub fn par_filter_map_index_with<U, F>(workers: usize, len: usize, f: F) -> Vec<U>
 where
@@ -516,6 +537,20 @@ mod tests {
             let par = par_filter_map_index_with(workers, 1000, |i| (i % 7 == 0).then_some(i));
             assert_eq!(par, seq);
         }
+    }
+
+    #[test]
+    fn threshold_map_matches_sequential_on_both_sides() {
+        let items: Vec<u64> = (0..37).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * 3).collect();
+        // Below the threshold (sequential path) and above it (pool path)
+        // must produce identical output.
+        assert_eq!(par_map_threshold(100, &items, |&x| x * 3), seq);
+        assert_eq!(par_map_threshold(2, &items, |&x| x * 3), seq);
+        assert_eq!(
+            par_map_threshold(2, &Vec::<u64>::new(), |&x| x),
+            Vec::<u64>::new()
+        );
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! The iso-class verdict cache.
+//!
+//! Membership verdicts are properties of *iso-classes*, not of concrete
+//! adjacency lists: every class in the local-polynomial hierarchy is
+//! closed under label-preserving isomorphism (paper Section 3; the repo
+//! pins this with `tests/isomorphism_closure.rs`). So the service caches
+//! each computed membership payload under its instance's iso-class and
+//! replays it for any isomorphic instance.
+//!
+//! Keying is two-stage, mirroring `lph_graphs::iso`:
+//!
+//! 1. an **invariant bucket** — query kind, artifact key, backend, node
+//!    count, edge count, and the sorted `(degree, label)` multiset — is a
+//!    cheap string that isomorphic graphs agree on;
+//! 2. within a bucket, candidates are confirmed by the exact
+//!    [`lph_graphs::are_isomorphic`] search, so invariant collisions
+//!    (same bucket, non-isomorphic graphs) can never alias a verdict.
+//!
+//! The cached value is the serialized response *payload* (everything
+//! after the `"id"` field), which is how cache hits are byte-identical
+//! to cold verdicts: the engine splices the requester's id onto the
+//! stored bytes. Hits and misses are counted under `serve/cache_hits`
+//! and `serve/cache_misses` when the trace recorder is on.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use lph_graphs::{are_isomorphic, LabeledGraph};
+
+use crate::proto::Payload;
+
+/// A concurrency-safe iso-class → payload map.
+#[derive(Default)]
+pub struct IsoCache {
+    buckets: Mutex<HashMap<String, Vec<(LabeledGraph, Payload)>>>,
+}
+
+/// The invariant bucket key for `g` under a query context string.
+/// Isomorphic graphs produce equal keys; unequal keys prove
+/// non-isomorphism.
+pub fn bucket_key(context: &str, g: &LabeledGraph) -> String {
+    let mut sig: Vec<(usize, String)> = g
+        .nodes()
+        .map(|u| (g.degree(u), g.label(u).to_string()))
+        .collect();
+    sig.sort_unstable();
+    let mut key = format!("{context}|n={}|m={}", g.node_count(), g.edge_count());
+    for (d, l) in sig {
+        let _ = write!(key, "|{d}:{l}");
+    }
+    key
+}
+
+impl IsoCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        IsoCache::default()
+    }
+
+    /// Replays the payload cached for `g`'s iso-class, if any.
+    pub fn lookup(&self, key: &str, g: &LabeledGraph) -> Option<Payload> {
+        let buckets = self.buckets.lock().expect("cache lock");
+        let hit = buckets
+            .get(key)
+            .and_then(|b| b.iter().find(|(rep, _)| are_isomorphic(rep, g)))
+            .map(|(_, payload)| payload.clone());
+        drop(buckets);
+        if hit.is_some() {
+            lph_trace::add("serve/cache_hits", 1);
+        } else {
+            lph_trace::add("serve/cache_misses", 1);
+        }
+        hit
+    }
+
+    /// Records `g`'s iso-class representative and its payload. Two
+    /// workers racing on the same class keep the first insertion; the
+    /// loser's identical payload is dropped.
+    pub fn insert(&self, key: String, g: LabeledGraph, payload: Payload) {
+        let mut buckets = self.buckets.lock().expect("cache lock");
+        let bucket = buckets.entry(key).or_default();
+        if !bucket.iter().any(|(rep, _)| are_isomorphic(rep, &g)) {
+            bucket.push((g, payload));
+        }
+    }
+
+    /// Number of cached iso-class representatives.
+    pub fn len(&self) -> usize {
+        self.buckets
+            .lock()
+            .expect("cache lock")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lph_analysis::json::Json;
+    use lph_graphs::generators;
+
+    fn payload(tag: &str) -> Payload {
+        vec![("tag".to_owned(), Json::Str(tag.to_owned()))]
+    }
+
+    #[test]
+    fn isomorphic_instances_share_a_verdict() {
+        let cache = IsoCache::new();
+        // The same cycle with rotated labels: isomorphic, different arrays.
+        let a = generators::labeled_cycle(&["1", "1", "0"]);
+        let b = generators::labeled_cycle(&["0", "1", "1"]);
+        let (ka, kb) = (bucket_key("m|x", &a), bucket_key("m|x", &b));
+        assert_eq!(ka, kb);
+        cache.insert(ka, a, payload("verdict"));
+        assert_eq!(cache.lookup(&kb, &b).unwrap(), payload("verdict"));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn bucket_collisions_do_not_alias() {
+        // Equal (degree, label) multisets, different label order along
+        // the path: 1-0-1-0 vs 1-1-0-0 agree on endpoints {1,0} and
+        // middles {0,1} but neither forward nor reversed orders match.
+        let a = generators::labeled_path(&["1", "0", "1", "0"]);
+        let b = generators::labeled_path(&["1", "1", "0", "0"]);
+        let (ka, kb) = (bucket_key("m|x", &a), bucket_key("m|x", &b));
+        assert_eq!(ka, kb, "same invariants");
+        assert!(!are_isomorphic(&a, &b));
+        let cache = IsoCache::new();
+        cache.insert(ka, a, payload("a"));
+        assert!(cache.lookup(&kb, &b).is_none(), "must not alias");
+    }
+
+    #[test]
+    fn different_context_never_hits() {
+        let cache = IsoCache::new();
+        let g = generators::cycle(4);
+        cache.insert(bucket_key("m|arb1", &g), g.clone(), payload("a"));
+        assert!(cache.lookup(&bucket_key("m|arb2", &g), &g).is_none());
+    }
+}

@@ -1,0 +1,399 @@
+//! Request parsing and response construction for the `lph-serve/1` wire
+//! protocol.
+//!
+//! One JSON object per line, both directions. The structural schema
+//! authority is [`lph_analysis::servefmt`]; this module does the
+//! protocol-level work on top of it: decoding request lines into typed
+//! [`Request`] values (including materializing the `"graph"` field into a
+//! [`LabeledGraph`]) and emitting response lines with a stable field
+//! order, so a response is *byte-identical* whenever its payload is equal
+//! — the property the iso-class cache depends on.
+
+use lph_analysis::json::Json;
+use lph_core::GameBackend;
+use lph_graphs::{generators, BitString, LabeledGraph};
+
+/// Hard cap on `n` for generator-family graphs: `complete(n)` allocates
+/// `n(n−1)/2` edges *before* admission control can look at the instance,
+/// so the parser itself refuses absurd sizes.
+pub const MAX_FAMILY_N: usize = 4096;
+
+/// One decoded request line.
+#[derive(Debug)]
+pub struct Request {
+    /// The caller-chosen correlation id, echoed on the response line.
+    pub id: String,
+    /// What is being asked.
+    pub query: Query,
+}
+
+/// The query kinds of the protocol.
+#[derive(Debug)]
+pub enum Query {
+    /// Decide class membership of an instance under a registered arbiter.
+    Membership {
+        /// Registry key of the arbiter.
+        arbiter: String,
+        /// The instance.
+        graph: LabeledGraph,
+        /// If set, the hierarchy level the caller expects; a mismatch
+        /// with the arbiter's game is an `unsupported_level` error.
+        level: Option<usize>,
+        /// Game backend (`auto` when absent).
+        backend: GameBackend,
+    },
+    /// Run the static-analysis rules for a registered artifact against a
+    /// submitted probe graph.
+    Lint {
+        /// `"arbiter:KEY"` or `"reduction:KEY"`, split at the colon.
+        target_kind: LintTarget,
+        /// Registry key of the artifact.
+        key: String,
+        /// The probe instance.
+        graph: LabeledGraph,
+        /// Also run the semantic flow tier (slower).
+        deep: bool,
+    },
+    /// Apply a registered local reduction to an instance.
+    Reduction {
+        /// Registry key of the reduction.
+        reduction: String,
+        /// The input instance.
+        graph: LabeledGraph,
+    },
+    /// Enumerate the registry with certified bounds.
+    List,
+}
+
+/// Which registry a lint target names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintTarget {
+    /// An arbiter artifact.
+    Arbiter,
+    /// A reduction artifact.
+    Reduction,
+}
+
+/// A protocol-level decode failure, carried into an error response.
+#[derive(Debug)]
+pub struct ProtoError {
+    /// One of [`lph_analysis::servefmt::SERVE_ERROR_CODES`].
+    pub code: &'static str,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl ProtoError {
+    fn parse(detail: impl Into<String>) -> Self {
+        ProtoError {
+            code: "parse_error",
+            detail: detail.into(),
+        }
+    }
+
+    fn bad_graph(detail: impl Into<String>) -> Self {
+        ProtoError {
+            code: "bad_graph",
+            detail: detail.into(),
+        }
+    }
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, ProtoError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| ProtoError::parse(format!("missing string field {key:?}")))
+}
+
+fn usize_field(v: &Json, key: &str) -> Result<usize, ProtoError> {
+    match v.get(key) {
+        Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 && *n < 1e15 => Ok(*n as usize),
+        _ => Err(ProtoError::parse(format!(
+            "field {key:?} must be a nonnegative integer"
+        ))),
+    }
+}
+
+/// Materializes a `"graph"` value: generator family or explicit
+/// labels/edges form (see `PROTOCOL.md` § Graphs).
+///
+/// # Errors
+///
+/// `parse_error` for structural problems, `bad_graph` when the described
+/// graph is invalid (unconnected, self-loops, out-of-range family size).
+pub fn parse_graph(v: &Json) -> Result<LabeledGraph, ProtoError> {
+    if !matches!(v, Json::Obj(_)) {
+        return Err(ProtoError::parse("graph must be a JSON object"));
+    }
+    if v.get("family").is_some() {
+        let family = str_field(v, "family")?;
+        let n = usize_field(v, "n")?;
+        if n > MAX_FAMILY_N {
+            return Err(ProtoError::bad_graph(format!(
+                "family size n={n} exceeds the parser cap {MAX_FAMILY_N}"
+            )));
+        }
+        let min = match family.as_str() {
+            "cycle" | "one_unselected_cycle" => 3,
+            "star" | "complete" => 2,
+            "path" => 1,
+            other => {
+                return Err(ProtoError::parse(format!("unknown graph family {other:?}")));
+            }
+        };
+        if n < min {
+            return Err(ProtoError::bad_graph(format!(
+                "family {family:?} needs n >= {min}, got {n}"
+            )));
+        }
+        return Ok(match family.as_str() {
+            "cycle" => generators::cycle(n),
+            "path" => generators::path(n),
+            "star" => generators::star(n),
+            "complete" => generators::complete(n),
+            // A cycle that is all-selected except one node: the canonical
+            // "no" instance for the selection properties.
+            _ => {
+                let mut labels = vec![BitString::from_bits01("1"); n];
+                labels[0] = BitString::from_bits01("0");
+                generators::labeled_cycle_bits(labels)
+            }
+        });
+    }
+    let labels_json = v
+        .get("labels")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ProtoError::parse("graph needs \"labels\" (or \"family\")"))?;
+    let mut labels = Vec::with_capacity(labels_json.len());
+    for l in labels_json {
+        let s = l
+            .as_str()
+            .ok_or_else(|| ProtoError::parse("labels must be 0/1 strings"))?;
+        labels.push(
+            BitString::try_from_bits01(s)
+                .map_err(|e| ProtoError::parse(format!("bad label {s:?}: {e}")))?,
+        );
+    }
+    let edges_json = v
+        .get("edges")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ProtoError::parse("graph needs \"edges\""))?;
+    let mut edges = Vec::with_capacity(edges_json.len());
+    for e in edges_json {
+        let pair = e
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| ProtoError::parse("edges must be [u,v] pairs"))?;
+        let mut ends = [0usize; 2];
+        for (slot, end) in ends.iter_mut().zip(pair) {
+            *slot = match end {
+                Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < 1e15 => *n as usize,
+                _ => return Err(ProtoError::parse("edge endpoints must be node indices")),
+            };
+        }
+        edges.push((ends[0], ends[1]));
+    }
+    LabeledGraph::from_edges(labels, &edges).map_err(|e| ProtoError::bad_graph(e.to_string()))
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// On failure returns `(id, error)` where `id` is the request id if one
+/// could still be extracted (so the error response can be correlated),
+/// else `None`.
+pub fn parse_request(line: &str) -> Result<Request, (Option<String>, ProtoError)> {
+    let v =
+        Json::parse(line).map_err(|e| (None, ProtoError::parse(format!("invalid JSON: {e}"))))?;
+    // Salvage the id before any further validation so even malformed
+    // requests get correlated error responses.
+    let id = v.get("id").and_then(Json::as_str).map(str::to_owned);
+    let fail = |e: ProtoError| (id.clone(), e);
+    let id_ok = id
+        .clone()
+        .ok_or_else(|| (None, ProtoError::parse("missing string field \"id\"")))?;
+    let kind = str_field(&v, "kind").map_err(fail)?;
+    let graph_of = |v: &Json| -> Result<LabeledGraph, (Option<String>, ProtoError)> {
+        let g = v
+            .get("graph")
+            .ok_or_else(|| ProtoError::parse("missing field \"graph\""))
+            .and_then(parse_graph)
+            .map_err(fail)?;
+        Ok(g)
+    };
+    let query = match kind.as_str() {
+        "membership" => {
+            let arbiter = str_field(&v, "arbiter").map_err(fail)?;
+            let graph = graph_of(&v)?;
+            let level = match v.get("level") {
+                Some(_) => Some(usize_field(&v, "level").map_err(fail)?),
+                None => None,
+            };
+            let backend = match v.get("backend") {
+                None => GameBackend::Auto,
+                Some(b) => b.as_str().and_then(GameBackend::parse).ok_or_else(|| {
+                    fail(ProtoError::parse(
+                        "backend must be \"auto\", \"cdcl\", or \"exhaustive\"",
+                    ))
+                })?,
+            };
+            Query::Membership {
+                arbiter,
+                graph,
+                level,
+                backend,
+            }
+        }
+        "lint" => {
+            let target = str_field(&v, "target").map_err(fail)?;
+            let (target_kind, key) = if let Some(k) = target.strip_prefix("arbiter:") {
+                (LintTarget::Arbiter, k.to_owned())
+            } else if let Some(k) = target.strip_prefix("reduction:") {
+                (LintTarget::Reduction, k.to_owned())
+            } else {
+                return Err(fail(ProtoError::parse(
+                    "target must be \"arbiter:KEY\" or \"reduction:KEY\"",
+                )));
+            };
+            let graph = graph_of(&v)?;
+            let deep = matches!(v.get("deep"), Some(Json::Bool(true)));
+            Query::Lint {
+                target_kind,
+                key,
+                graph,
+                deep,
+            }
+        }
+        "reduction" => Query::Reduction {
+            reduction: str_field(&v, "reduction").map_err(fail)?,
+            graph: graph_of(&v)?,
+        },
+        "list" => Query::List,
+        other => {
+            return Err(fail(ProtoError::parse(format!(
+                "unknown request kind {other:?}"
+            ))));
+        }
+    };
+    Ok(Request { id: id_ok, query })
+}
+
+/// The payload of an ok response: the field list after `"id"` and `"ok"`,
+/// in emit order. Equal payloads emit byte-identical lines, which is what
+/// the iso-class cache stores and replays.
+pub type Payload = Vec<(String, Json)>;
+
+/// Emits an ok response line: `{"id":ID,"ok":true,<payload fields>}`.
+pub fn ok_line(id: &str, payload: &Payload) -> String {
+    let mut fields = vec![
+        ("id".to_owned(), Json::Str(id.to_owned())),
+        ("ok".to_owned(), Json::Bool(true)),
+    ];
+    fields.extend(payload.iter().cloned());
+    Json::Obj(fields).emit()
+}
+
+/// Emits an error response line. `extra` lands inside the `"error"`
+/// object after `code`/`detail` (the structured `over_budget` fields ride
+/// here).
+pub fn error_line(id: Option<&str>, code: &str, detail: &str, extra: &[(String, Json)]) -> String {
+    let mut err = vec![
+        ("code".to_owned(), Json::Str(code.to_owned())),
+        ("detail".to_owned(), Json::Str(detail.to_owned())),
+    ];
+    err.extend(extra.iter().cloned());
+    Json::Obj(vec![
+        (
+            "id".to_owned(),
+            id.map_or(Json::Null, |s| Json::Str(s.to_owned())),
+        ),
+        ("ok".to_owned(), Json::Bool(false)),
+        ("error".to_owned(), Json::Obj(err)),
+    ])
+    .emit()
+}
+
+/// Serializes a graph in the explicit labels/edges form (used for
+/// reduction outputs).
+pub fn graph_json(g: &LabeledGraph) -> Json {
+    let labels = g
+        .labels()
+        .iter()
+        .map(|l| Json::Str(l.iter().map(|b| if b { '1' } else { '0' }).collect()))
+        .collect();
+    let edges = g
+        .edges()
+        .map(|(u, v)| {
+            Json::Arr(vec![
+                Json::Num(u.index() as f64),
+                Json::Num(v.index() as f64),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("labels".to_owned(), Json::Arr(labels)),
+        ("edges".to_owned(), Json::Arr(edges)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_family_and_explicit_graphs() {
+        let g = parse_graph(&Json::parse(r#"{"family":"cycle","n":5}"#).unwrap()).unwrap();
+        assert_eq!((g.node_count(), g.edge_count()), (5, 5));
+        let g =
+            parse_graph(&Json::parse(r#"{"labels":["1","0"],"edges":[[0,1]]}"#).unwrap()).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.label(lph_graphs::NodeId(1)).to_string(), "0");
+    }
+
+    #[test]
+    fn graph_json_round_trips() {
+        let g = generators::labeled_path(&["1", "0", "1"]);
+        let back = parse_graph(&graph_json(&g)).unwrap();
+        assert!(lph_graphs::are_isomorphic(&g, &back));
+    }
+
+    #[test]
+    fn family_bounds_are_bad_graph_not_panics() {
+        for (doc, needle) in [
+            (r#"{"family":"cycle","n":2}"#, "n >= 3"),
+            (r#"{"family":"complete","n":5000}"#, "parser cap"),
+            (r#"{"labels":["1"],"edges":[[0,0]]}"#, ""),
+        ] {
+            let err = parse_graph(&Json::parse(doc).unwrap()).unwrap_err();
+            assert_eq!(err.code, "bad_graph", "{doc}");
+            assert!(err.detail.contains(needle), "{doc}: {}", err.detail);
+        }
+    }
+
+    #[test]
+    fn request_errors_keep_salvageable_ids() {
+        let (id, e) = parse_request(r#"{"id":"q7","kind":"frobnicate"}"#).unwrap_err();
+        assert_eq!(id.as_deref(), Some("q7"));
+        assert_eq!(e.code, "parse_error");
+        let (id, e) = parse_request("not json").unwrap_err();
+        assert!(id.is_none());
+        assert_eq!(e.code, "parse_error");
+    }
+
+    #[test]
+    fn ok_and_error_lines_validate_against_the_schema() {
+        let line = ok_line(
+            "a",
+            &vec![
+                ("kind".to_owned(), Json::Str("list".to_owned())),
+                ("arbiters".to_owned(), Json::Arr(vec![])),
+                ("reductions".to_owned(), Json::Arr(vec![])),
+            ],
+        );
+        lph_analysis::validate_serve_response(&Json::parse(&line).unwrap()).unwrap();
+        let line = error_line(None, "parse_error", "bad json", &[]);
+        lph_analysis::validate_serve_response(&Json::parse(&line).unwrap()).unwrap();
+    }
+}

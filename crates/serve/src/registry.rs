@@ -1,0 +1,241 @@
+//! The serving registry: every arbiter and reduction a client can query
+//! by key, with the metadata admission control and the `list` query need.
+//!
+//! Keys are stable snake-case slugs (they appear verbatim in
+//! `PROTOCOL.md`). The registry mirrors the analyzer's built-in corpus
+//! ([`lph_analysis::corpus::builtin`]) — same artifacts, same claims — but
+//! holds *factories* instead of constructed artifacts so each request
+//! builds its own arbiter (arbiters are not `Sync`; the batch workers each
+//! construct from the factory).
+//!
+//! For TM-backed arbiters the registry runs the flow tier's machine
+//! analysis once at construction and records the certified Lemma 10
+//! per-round step polynomial; admission control prices requests with it.
+//! Closure-backed (Local) arbiters have no certificate — they are marked
+//! uncertified and the engine counts their admissions separately.
+
+use lph_analysis::flow::machine::analyze;
+use lph_core::{arbiters, Arbiter, ArbiterKind, Player};
+use lph_graphs::PolyBound;
+use lph_logic::examples;
+use lph_reductions::{
+    cook_levin::LfoToSatGraph,
+    eulerian::AllSelectedToEulerian,
+    hamiltonian::{AllSelectedToHamiltonian, NotAllSelectedToHamiltonian},
+    sat_to_three_sat::SatGraphToThreeSatGraph,
+    three_col::ThreeSatGraphToThreeColorable,
+    LocalReduction,
+};
+
+/// A registered arbiter.
+pub struct ArbiterEntry {
+    /// The wire key (`"eulerian_decider"` etc.).
+    pub key: &'static str,
+    /// Builds a fresh arbiter.
+    pub factory: fn() -> Arbiter,
+    /// The documented hierarchy class (matches the corpus claim).
+    pub claimed_class: &'static str,
+    /// The documented metered round count (matches the corpus claim).
+    pub declared_rounds: usize,
+    /// Hierarchy level `ℓ` of the arbitrated game.
+    pub level: usize,
+    /// `"Σ"` or `"Π"` by who moves first.
+    pub side: &'static str,
+    /// Certified per-round step polynomial from the flow tier, for
+    /// TM-backed arbiters whose analysis produced a bound.
+    pub certified_steps: Option<PolyBound>,
+}
+
+/// A registered reduction.
+pub struct ReductionEntry {
+    /// The wire key (`"all_selected_to_eulerian"` etc.).
+    pub key: &'static str,
+    /// Builds a fresh reduction.
+    pub factory: fn() -> Box<dyn LocalReduction + Send + Sync>,
+}
+
+fn entry(
+    key: &'static str,
+    factory: fn() -> Arbiter,
+    claimed_class: &'static str,
+    declared_rounds: usize,
+) -> ArbiterEntry {
+    let a = factory();
+    let spec = a.spec();
+    let certified_steps = match a.kind() {
+        ArbiterKind::Tm(tm) => analyze(tm).steps,
+        ArbiterKind::Local(_) => None,
+    };
+    ArbiterEntry {
+        key,
+        factory,
+        claimed_class,
+        declared_rounds,
+        level: spec.ell,
+        side: if spec.first == Player::Eve {
+            "Σ"
+        } else {
+            "Π"
+        },
+        certified_steps,
+    }
+}
+
+fn distance_to_unselected_2() -> Arbiter {
+    arbiters::distance_to_unselected_verifier(2)
+}
+
+fn lfo_all_selected() -> Box<dyn LocalReduction + Send + Sync> {
+    Box::new(LfoToSatGraph::new(examples::all_selected()))
+}
+
+fn lfo_three_colorable() -> Box<dyn LocalReduction + Send + Sync> {
+    Box::new(LfoToSatGraph::new(examples::three_colorable()))
+}
+
+/// Every arbiter the service answers `membership` and `lint` queries for.
+/// Claims are copied from the analyzer corpus and cross-checked by a test.
+pub fn arbiter_entries() -> Vec<ArbiterEntry> {
+    vec![
+        entry(
+            "all_selected_decider",
+            arbiters::all_selected_decider,
+            "Σ0",
+            1,
+        ),
+        entry("eulerian_decider", arbiters::eulerian_decider, "Σ0", 1),
+        entry(
+            "three_colorable_verifier",
+            arbiters::three_colorable_verifier,
+            "Σ1",
+            2,
+        ),
+        entry(
+            "two_colorable_verifier",
+            arbiters::two_colorable_verifier,
+            "Σ1",
+            2,
+        ),
+        entry("sat_graph_verifier", arbiters::sat_graph_verifier, "Σ1", 2),
+        entry("all_selected_pi1", arbiters::all_selected_pi1, "Π1", 1),
+        entry(
+            "not_all_selected_sigma3",
+            arbiters::not_all_selected_sigma3,
+            "Σ3",
+            2,
+        ),
+        entry(
+            "distance_to_unselected_verifier",
+            distance_to_unselected_2,
+            "Σ1",
+            2,
+        ),
+        entry(
+            "pointer_to_unselected_verifier",
+            arbiters::pointer_to_unselected_verifier,
+            "Σ1",
+            2,
+        ),
+    ]
+}
+
+/// Every reduction the service answers `reduction` and `lint` queries for.
+pub fn reduction_entries() -> Vec<ReductionEntry> {
+    vec![
+        ReductionEntry {
+            key: "all_selected_to_eulerian",
+            factory: || Box::new(AllSelectedToEulerian),
+        },
+        ReductionEntry {
+            key: "all_selected_to_hamiltonian",
+            factory: || Box::new(AllSelectedToHamiltonian),
+        },
+        ReductionEntry {
+            key: "not_all_selected_to_hamiltonian",
+            factory: || Box::new(NotAllSelectedToHamiltonian),
+        },
+        ReductionEntry {
+            key: "lfo_all_selected_to_sat_graph",
+            factory: lfo_all_selected,
+        },
+        ReductionEntry {
+            key: "lfo_three_colorable_to_sat_graph",
+            factory: lfo_three_colorable,
+        },
+        ReductionEntry {
+            key: "sat_graph_to_three_sat_graph",
+            factory: || Box::new(SatGraphToThreeSatGraph),
+        },
+        ReductionEntry {
+            key: "three_sat_graph_to_three_colorable",
+            factory: || Box::new(ThreeSatGraphToThreeColorable),
+        },
+    ]
+}
+
+/// Looks up an arbiter entry by wire key.
+pub fn find_arbiter(key: &str) -> Option<ArbiterEntry> {
+    arbiter_entries().into_iter().find(|e| e.key == key)
+}
+
+/// Looks up a reduction entry by wire key.
+pub fn find_reduction(key: &str) -> Option<ReductionEntry> {
+    reduction_entries().into_iter().find(|e| e.key == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_unique_and_stable() {
+        let arbs = arbiter_entries();
+        let mut keys: Vec<_> = arbs.iter().map(|e| e.key).collect();
+        keys.extend(reduction_entries().iter().map(|e| e.key));
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), keys.len(), "duplicate registry key");
+    }
+
+    #[test]
+    fn claims_match_the_analyzer_corpus() {
+        let corpus = lph_analysis::builtin();
+        for e in arbiter_entries() {
+            let name = (e.factory)().name().to_owned();
+            let art = corpus
+                .arbiters
+                .iter()
+                .find(|a| a.arbiter.name() == name)
+                .unwrap_or_else(|| panic!("{name} not in the analyzer corpus"));
+            assert_eq!(e.claimed_class, art.claimed_class, "{name}");
+            assert_eq!(e.declared_rounds, art.declared_rounds, "{name}");
+        }
+        // Every corpus reduction is servable and vice versa.
+        assert_eq!(reduction_entries().len(), corpus.reductions.len());
+    }
+
+    #[test]
+    fn tm_backed_arbiters_carry_certified_bounds() {
+        for key in ["all_selected_decider", "eulerian_decider"] {
+            let e = find_arbiter(key).unwrap();
+            let steps = e
+                .certified_steps
+                .as_ref()
+                .unwrap_or_else(|| panic!("{key} should have a certified step bound"));
+            assert!(steps.eval(8) > 0, "{key}");
+        }
+        assert!(find_arbiter("three_colorable_verifier")
+            .unwrap()
+            .certified_steps
+            .is_none());
+    }
+
+    #[test]
+    fn derived_level_and_side_match_claims() {
+        for e in arbiter_entries() {
+            let claim = format!("{}{}", e.side, e.level);
+            assert_eq!(claim, e.claimed_class, "{}", e.key);
+        }
+    }
+}

@@ -298,6 +298,96 @@ fn sat_engine_series() {
     );
 }
 
+/// The E18 body: the `lph-serve` engine driven in-process — batch
+/// throughput across the pool-width × iso-cache quadrant, per-request
+/// latency percentiles, and a live certified-budget shed (the
+/// `over_budget` structured error is an acceptance criterion, so the
+/// section asserts its shape rather than merely printing it).
+fn serve_series() {
+    use lph::serve::{Engine, EngineConfig};
+    let arbiters = [
+        "all_selected_decider",
+        "eulerian_decider",
+        "two_colorable_verifier",
+        "three_colorable_verifier",
+    ];
+    let batch: Vec<String> = (3usize..11)
+        .flat_map(|n| arbiters.iter().map(move |a| (n, a)))
+        .enumerate()
+        .map(|(i, (n, arbiter))| {
+            format!(
+                "{{\"id\":\"q{i}\",\"kind\":\"membership\",\"arbiter\":\"{arbiter}\",\
+                 \"graph\":{{\"family\":\"cycle\",\"n\":{n}}}}}"
+            )
+        })
+        .collect();
+
+    // Throughput quadrant: pool width 1 vs N, iso-cache off vs on. Each
+    // cell keeps its engine across the median's repetitions, so cache-on
+    // cells measure the steady state (every request an iso-class hit).
+    let ambient = lph::runtime::threads();
+    for cache in [false, true] {
+        for (label, workers) in [("1 thread ", 1usize), ("N threads", ambient.max(2))] {
+            lph::runtime::set_threads(workers);
+            let engine = Engine::new(EngineConfig {
+                cache,
+                ..EngineConfig::default()
+            });
+            engine.process_batch(&batch); // warm-up (fills the cache when on)
+            let t = quick_median(|| {
+                assert_eq!(engine.process_batch(&batch).len(), batch.len());
+            });
+            println!(
+                "batch of {:2} | cache {} | {label} ({workers} worker(s)): {t:9.1?} \
+                 ({:6.0} req/s)",
+                batch.len(),
+                if cache { "on " } else { "off" },
+                batch.len() as f64 / t.as_secs_f64().max(1e-9)
+            );
+        }
+    }
+    lph::runtime::set_threads(0);
+
+    // Per-request latency: time each line individually (sequentially) on
+    // a cold cache, then again on the now-warm cache.
+    let engine = Engine::new(EngineConfig::default());
+    for pass in ["cold", "warm"] {
+        let mut lat: Vec<std::time::Duration> = batch
+            .iter()
+            .map(|line| {
+                let t = Instant::now();
+                let _ = engine.process_line(line);
+                t.elapsed()
+            })
+            .collect();
+        lat.sort();
+        println!(
+            "per-request latency ({pass} cache): p50 {:8.1?}  p99 {:8.1?}",
+            lat[lat.len() / 2],
+            lat[(lat.len() - 1).min(lat.len() * 99 / 100)]
+        );
+    }
+
+    // Admission control, live: cycle(256) prices the eulerian decider's
+    // certified bound (28n + 74 steps, × n·rounds) past the default 1M
+    // budget, so the engine sheds it with a structured `over_budget`.
+    let shed = engine.process_line(
+        "{\"id\":\"shed1\",\"kind\":\"membership\",\"arbiter\":\"eulerian_decider\",\
+         \"graph\":{\"family\":\"cycle\",\"n\":256}}",
+    );
+    let doc = lph::analysis::json::Json::parse(&shed).expect("response is JSON");
+    lph::analysis::validate_serve_response(&doc).expect("response is schema-valid");
+    assert_eq!(
+        doc.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(lph::analysis::json::Json::as_str),
+        Some("over_budget"),
+        "cycle(256) membership must be shed by admission control"
+    );
+    println!("admission shed (certified pricing, verbatim response):");
+    println!("  {shed}");
+}
+
 /// Serializes the aggregated trace to `path` as `lph-trace/1` JSON.
 fn write_trace(path: &std::path::Path) -> Result<(), String> {
     let snap = lph::trace::snapshot();
@@ -662,6 +752,13 @@ fn main() -> ExitCode {
         "E17",
         "Compilation tier — bytecode VM and sentence plans",
         compiled_tier_series,
+    );
+
+    // ------------------------------------------------------------------
+    section(
+        "E18",
+        "lph-serve — batched query service and admission control",
+        serve_series,
     );
 
     println!(

@@ -1,0 +1,188 @@
+//! `lph-load` — a small load-generating client for `lph-serve`.
+//!
+//! ```text
+//! USAGE: lph-load [--addr ADDR] [--requests N] [--pipeline N] [--seed N]
+//! ```
+//!
+//! Connects to a running `lph-serve` TCP endpoint (default
+//! `127.0.0.1:7878`), sends `--requests` membership/lint/reduction
+//! queries drawn from a deterministic seeded mix, `--pipeline` lines per
+//! write (so the server's opportunistic batcher actually sees batches),
+//! and reports wall time, request rate, response-latency percentiles per
+//! pipeline flight, and the error-code histogram.
+//!
+//! Exits `0` when every response was well-formed (error responses are
+//! still well-formed — an `over_budget` shed counts as service working
+//! as configured), `1` on transport failure or a malformed response,
+//! `2` on a usage error.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use lph_analysis::json::Json;
+use lph_analysis::validate_serve_response;
+use lph_graphs::generators::XorShift;
+
+fn usage() -> ExitCode {
+    eprintln!("USAGE: lph-load [--addr ADDR] [--requests N] [--pipeline N] [--seed N]");
+    ExitCode::from(2)
+}
+
+/// One request line from the seeded mix: mostly cachable membership
+/// probes over small families, some lints and reductions, an occasional
+/// deliberately over-sized instance to exercise admission control.
+fn request_line(rng: &mut XorShift, i: usize) -> String {
+    match rng.below(10) {
+        0..=5 => {
+            let arbiters = [
+                "all_selected_decider",
+                "eulerian_decider",
+                "two_colorable_verifier",
+                "three_colorable_verifier",
+            ];
+            let arbiter = arbiters[rng.below(arbiters.len())];
+            let n = 3 + rng.below(6);
+            format!(
+                "{{\"id\":\"q{i}\",\"kind\":\"membership\",\"arbiter\":\"{arbiter}\",\"graph\":{{\"family\":\"cycle\",\"n\":{n}}}}}"
+            )
+        }
+        6 => {
+            let n = 3 + rng.below(4);
+            format!(
+                "{{\"id\":\"q{i}\",\"kind\":\"lint\",\"target\":\"reduction:all_selected_to_eulerian\",\"graph\":{{\"family\":\"cycle\",\"n\":{n}}}}}"
+            )
+        }
+        7 => {
+            let n = 3 + rng.below(4);
+            format!(
+                "{{\"id\":\"q{i}\",\"kind\":\"reduction\",\"reduction\":\"all_selected_to_eulerian\",\"graph\":{{\"family\":\"cycle\",\"n\":{n}}}}}"
+            )
+        }
+        8 => format!("{{\"id\":\"q{i}\",\"kind\":\"list\"}}"),
+        _ => format!(
+            // cycle(256) prices over the default certified budget (the
+            // eulerian decider's bound crosses 1M steps near n = 190).
+            "{{\"id\":\"q{i}\",\"kind\":\"membership\",\"arbiter\":\"eulerian_decider\",\"graph\":{{\"family\":\"cycle\",\"n\":256}}}}"
+        ),
+    }
+}
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut requests = 1000usize;
+    let mut pipeline = 32usize;
+    let mut seed = 1u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let Some(value) = args.next() else {
+            return usage();
+        };
+        let ok = match arg.as_str() {
+            "--addr" => {
+                addr = value;
+                true
+            }
+            "--requests" => value.parse().map(|v| requests = v).is_ok(),
+            "--pipeline" => value.parse().map(|v| pipeline = v).is_ok(),
+            "--seed" => value.parse().map(|v| seed = v).is_ok(),
+            _ => false,
+        };
+        if !ok {
+            return usage();
+        }
+    }
+    let pipeline = pipeline.max(1);
+
+    let stream = match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lph-load: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("lph-load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+
+    let mut rng = XorShift::new(seed);
+    let mut flight_latencies: Vec<u128> = Vec::new();
+    let mut errors: Vec<(String, usize)> = Vec::new();
+    let mut ok_count = 0usize;
+    let started = Instant::now();
+    let mut sent = 0usize;
+    while sent < requests {
+        let flight = pipeline.min(requests - sent);
+        let mut block = String::new();
+        for _ in 0..flight {
+            block.push_str(&request_line(&mut rng, sent));
+            block.push('\n');
+            sent += 1;
+        }
+        let flight_start = Instant::now();
+        if writer.write_all(block.as_bytes()).is_err() {
+            eprintln!("lph-load: write failed");
+            return ExitCode::FAILURE;
+        }
+        for _ in 0..flight {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(n) if n > 0 => {}
+                _ => {
+                    eprintln!("lph-load: server closed mid-flight");
+                    return ExitCode::FAILURE;
+                }
+            }
+            let Ok(v) = Json::parse(line.trim_end()) else {
+                eprintln!("lph-load: malformed response: {line}");
+                return ExitCode::FAILURE;
+            };
+            if let Err(e) = validate_serve_response(&v) {
+                eprintln!("lph-load: invalid response ({e}): {line}");
+                return ExitCode::FAILURE;
+            }
+            match v
+                .get("error")
+                .and_then(|x| x.get("code"))
+                .and_then(Json::as_str)
+            {
+                None => ok_count += 1,
+                Some(code) => match errors.iter_mut().find(|(c, _)| c == code) {
+                    Some((_, n)) => *n += 1,
+                    None => errors.push((code.to_owned(), 1)),
+                },
+            }
+        }
+        flight_latencies.push(flight_start.elapsed().as_micros());
+    }
+    let elapsed = started.elapsed();
+
+    flight_latencies.sort_unstable();
+    let secs = elapsed.as_secs_f64();
+    println!("requests:   {requests} ({ok_count} ok) in {secs:.3}s");
+    println!("rate:       {:.0} req/s", requests as f64 / secs.max(1e-9));
+    println!(
+        "flight p50: {} us  p99: {} us  (pipeline={pipeline})",
+        percentile(&flight_latencies, 0.50),
+        percentile(&flight_latencies, 0.99),
+    );
+    errors.sort();
+    for (code, n) in &errors {
+        println!("error {code}: {n}");
+    }
+    ExitCode::SUCCESS
+}

@@ -29,7 +29,11 @@
 //!   sequential execution),
 //! * a dependency-free structured tracing and metrics layer ([`trace`];
 //!   off by default, enabled by `experiments --trace-out` and friends;
-//!   serialized as the `lph-trace/1` schema by [`analysis::tracefmt`]).
+//!   serialized as the `lph-trace/1` schema by [`analysis::tracefmt`]),
+//! * a batched membership/lint/reduction query service speaking the
+//!   newline-delimited `lph-serve/1` protocol, with an iso-class verdict
+//!   cache and certified-polynomial admission control ([`serve`]; CLI:
+//!   `cargo run --bin lph-serve`; spec: `PROTOCOL.md`).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -47,4 +51,5 @@ pub use lph_props as props;
 pub use lph_reductions as reductions;
 pub use lph_runtime as runtime;
 pub use lph_sat as sat;
+pub use lph_serve as serve;
 pub use lph_trace as trace;
