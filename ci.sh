@@ -127,8 +127,10 @@ stage_bench_smoke() {
   # compilation tier's speedup claims rest on.
   # serve_throughput carries the serving-layer seq/par × cache-on/off
   # quadrant the ROADMAP's batching and memoization claims rest on.
+  # bytecode_verify prices the translation-validation tier compiled
+  # admission trusts.
   local series
-  for series in '"group":"sat_proof"' '"group":"machine_compiled"' '"group":"logic_compiled"' '"group":"serve_throughput"'; do
+  for series in '"group":"sat_proof"' '"group":"machine_compiled"' '"group":"logic_compiled"' '"group":"serve_throughput"' '"group":"bytecode_verify"'; do
     if ! grep -q "$series" BENCH_results.json; then
       echo "bench-smoke: $series series missing from BENCH_results.json" >&2
       return 1

@@ -215,9 +215,9 @@ pub fn run(corpus: &Corpus, config: &RuleConfig) -> Vec<Diagnostic> {
 }
 
 /// Runs every rule *plus* the semantic tier ([`crate::flow`]) over a
-/// corpus: the three dataflow engines fan over the worker pool like the
+/// corpus: the five dataflow engines fan over the worker pool like the
 /// syntactic rules do, each timed under its own `lph-trace` span
-/// (`analysis/flow/{machine,sentence,reduction}`).
+/// (`analysis/flow/{machine,sentence,reduction,bytecode,plan}`).
 pub fn run_deep(corpus: &Corpus, config: &RuleConfig) -> Vec<Diagnostic> {
     run_with(corpus, config, true)
 }
@@ -260,6 +260,20 @@ fn run_with(corpus: &Corpus, config: &RuleConfig, deep: bool) -> Vec<Diagnostic>
             diags.extend(lph_runtime::par_flat_map(
                 &corpus.reductions,
                 crate::flow::reduction::check_reduction_flow,
+            ));
+        }
+        {
+            let _span = lph_trace::span("analysis/flow/bytecode");
+            diags.extend(lph_runtime::par_flat_map(
+                &corpus.dtms,
+                crate::flow::bytecode::check_bytecode,
+            ));
+        }
+        {
+            let _span = lph_trace::span("analysis/flow/plan");
+            diags.extend(lph_runtime::par_flat_map(
+                &corpus.sentences,
+                crate::flow::plan::check_plan,
             ));
         }
     }

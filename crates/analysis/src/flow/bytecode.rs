@@ -1,0 +1,307 @@
+//! The bytecode translation validator (rules `VM001`–`VM004`): a static
+//! verifier for the compiled execution tier that certifies a
+//! [`CompiledTm`] dispatch program against its source transition table
+//! and re-derives the Lemma 10 step/space polynomials *from the bytecode
+//! alone*.
+//!
+//! The compiled tier (see `lph-machine`'s `bytecode` module) is the hot
+//! path: serve answers membership queries by running the VM, not the
+//! interpreter. Until now its only evidence was differential testing.
+//! This module closes the trust chain statically, one translation
+//! obligation per rule:
+//!
+//! * `VM001` (dispatch translation) — every source entry must sit at its
+//!   dense-dispatch index `q · 125 + s₀ · 25 + s₁ · 5 + s₂` with the
+//!   exact same successor, writes, and moves. A mis-indexed or mangled
+//!   op would silently execute the wrong transition.
+//! * `VM002` (halt-sentinel coverage) — the program must have exactly
+//!   `|Q| · 125` slots, every populated slot must correspond to a source
+//!   entry, and every sourceless slot must hold the *canonical* halt
+//!   sentinel (blank writes, all-stay moves, no skip). A sentinel
+//!   replaced by a live op would keep running where the interpreter
+//!   reports `MissingTransition`.
+//! * `VM003` (skip soundness) — the run-length fast path may only be
+//!   flagged on an op that is provably step-metering-equivalent to its
+//!   unrolled loop: a self-loop (`next` = own state) with identity
+//!   writes (`write` = the slot's scanned triple) moving exactly the
+//!   flagged head right and the others not at all. Under exactly these
+//!   conditions a `k`-cell jump charging `k` steps is observationally
+//!   identical to `k` iterations of the loop; any other flagged op would
+//!   corrupt step metering (and so the metrics the flow tier bounds).
+//! * `VM004` (certified bounds) — rebuild the abstract transition table
+//!   from the dispatch program (trusting nothing but the bytecode), run
+//!   the same blank-zone/SCC flow core as the interpreter tier, and
+//!   require the two derived step/space polynomials to dominate each
+//!   other ([`PolyBound::dominates`] both ways, i.e. agree as bounds).
+//!   This is the translation-validation counterpart of `DTM009`: the
+//!   polynomial serve prices compiled queries with is derived from what
+//!   actually runs.
+//!
+//! All four rules carry [`proof` severity](crate::Severity::Proof): each
+//! firing is a statically checkable witness that the compiled program
+//! diverges from its source semantics. [`verify_bytecode`] bundles the
+//! four checks; [`check_bytecode`] is the corpus entry point (compile
+//! then verify); [`analyze_bytecode`] exposes the bytecode-derived
+//! [`MachineFlow`] for serve admission.
+
+use lph_graphs::PolyBound;
+use lph_machine::{CompiledTm, DistributedTm, Move, Sym};
+
+use crate::diagnostic::Diagnostic;
+use crate::dtm::DtmArtifact;
+use crate::flow::machine::{analyze_table, Entry, MachineFlow, TableView};
+
+/// Pretty-prints a scanned triple the way `MachineError` does.
+fn triple(scanned: [Sym; 3]) -> String {
+    let [a, b, c] = scanned.map(Sym::as_char);
+    format!("({a}, {b}, {c})")
+}
+
+/// Rebuilds the abstract transition table from the dispatch program
+/// alone — deliberately *not* consulting the source machine — so the
+/// flow core's verdict is about what the VM would execute.
+fn table_of_bytecode(ct: &CompiledTm) -> TableView {
+    let mut entries = Vec::new();
+    for slot in 0..ct.program_len() {
+        let op = ct.op_view(slot);
+        let Some(next) = op.next else { continue };
+        let (q, scanned) = CompiledTm::decode_slot(slot);
+        entries.push(Entry {
+            q,
+            scanned,
+            next,
+            write: op.write,
+            moves: op.moves,
+        });
+    }
+    TableView {
+        entries,
+        start: ct.start_state(),
+        pause: ct.pause_state(),
+        stop: ct.stop_state(),
+        state_names: (0..ct.state_count())
+            .map(|q| ct.state_name(q).to_owned())
+            .collect(),
+    }
+}
+
+/// Derives the Lemma 10 step/space bounds directly from a dispatch
+/// program, via the same blank-zone/SCC core as [`super::analyze`].
+pub fn analyze_bytecode(ct: &CompiledTm) -> MachineFlow {
+    analyze_table(&table_of_bytecode(ct))
+}
+
+/// `VM001` — dispatch translation: every source entry must be lowered
+/// to its dense-dispatch slot with an identical payload.
+pub fn check_dispatch_translation(
+    artifact: &str,
+    tm: &DistributedTm,
+    ct: &CompiledTm,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (q, scanned, t) in tm.transitions() {
+        let slot = CompiledTm::slot_of(q.0, scanned);
+        let Some(op) = (slot < ct.program_len()).then(|| ct.op_view(slot)) else {
+            out.push(Diagnostic::proof(
+                "VM001",
+                artifact,
+                format!(
+                    "source entry ({}, {}) has no dispatch slot: the program ends at {} slots",
+                    tm.state_name(q),
+                    triple(scanned),
+                    ct.program_len(),
+                ),
+            ));
+            continue;
+        };
+        if op.next != Some(t.next.0) || op.write != t.write || op.moves != t.moves {
+            out.push(
+                Diagnostic::proof(
+                    "VM001",
+                    artifact,
+                    format!(
+                        "dispatch slot {slot} for ({}, {}) does not translate its source entry: \
+                         the VM would execute a different transition than the interpreter",
+                        tm.state_name(q),
+                        triple(scanned),
+                    ),
+                )
+                .with_suggestion("recompile the program from the source table"),
+            );
+        }
+    }
+    out
+}
+
+/// `VM002` — halt-sentinel coverage: the program is exactly `|Q| · 125`
+/// slots, populated slots are backed by source entries, and sourceless
+/// slots hold the canonical sentinel.
+pub fn check_halt_coverage(artifact: &str, tm: &DistributedTm, ct: &CompiledTm) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if ct.program_len() != tm.state_count() * 125 {
+        out.push(Diagnostic::proof(
+            "VM002",
+            artifact,
+            format!(
+                "dispatch program has {} slots; {} states require {}",
+                ct.program_len(),
+                tm.state_count(),
+                tm.state_count() * 125,
+            ),
+        ));
+        return out;
+    }
+    let sourced: std::collections::BTreeSet<usize> = tm
+        .transitions()
+        .map(|(q, scanned, _)| CompiledTm::slot_of(q.0, scanned))
+        .collect();
+    for slot in 0..ct.program_len() {
+        if sourced.contains(&slot) {
+            continue;
+        }
+        let op = ct.op_view(slot);
+        let (q, scanned) = CompiledTm::decode_slot(slot);
+        if op.next.is_some() {
+            out.push(
+                Diagnostic::proof(
+                    "VM002",
+                    artifact,
+                    format!(
+                        "slot {slot} for ({}, {}) holds a live op but the source table has no \
+                         entry there: the VM would keep running where the interpreter halts \
+                         with MissingTransition",
+                        ct.state_name(q),
+                        triple(scanned),
+                    ),
+                )
+                .with_suggestion("restore the halt sentinel (recompile from the source table)"),
+            );
+        } else if op.write != [Sym::Blank; 3] || op.moves != [Move::S; 3] || op.skip.is_some() {
+            out.push(Diagnostic::proof(
+                "VM002",
+                artifact,
+                format!(
+                    "slot {slot} for ({}, {}) is a halt sentinel with a non-canonical payload",
+                    ct.state_name(q),
+                    triple(scanned),
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// `VM003` — skip soundness: every run-length annotation must satisfy
+/// the eligibility predicate that makes the fast path step-metering
+/// equivalent to the unrolled self-loop.
+pub fn check_skip_soundness(artifact: &str, ct: &CompiledTm) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for slot in 0..ct.program_len() {
+        let op = ct.op_view(slot);
+        let Some(t) = op.skip else { continue };
+        let (q, scanned) = CompiledTm::decode_slot(slot);
+        let sound = t < 3
+            && op.next == Some(q)
+            && op.write == scanned
+            && (0..3).all(|i| op.moves[i] == if i == t { Move::R } else { Move::S });
+        if !sound {
+            out.push(
+                Diagnostic::proof(
+                    "VM003",
+                    artifact,
+                    format!(
+                        "slot {slot} for ({}, {}) flags tape {t} for the run-length fast path \
+                         but is not a one-head-right identity self-loop: a k-cell jump charging \
+                         k steps is not equivalent to k iterations of this op",
+                        ct.state_name(q),
+                        triple(scanned),
+                    ),
+                )
+                .with_suggestion(
+                    "only self-loops with identity writes and exactly one R-move may carry a \
+                     skip annotation",
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// `VM004` — certified bounds: the step/space polynomials derived from
+/// the bytecode must agree (mutual domination) with the interpreter-tier
+/// bounds in `flow`.
+pub fn check_bytecode_bounds(
+    artifact: &str,
+    ct: &CompiledTm,
+    flow: &MachineFlow,
+) -> Vec<Diagnostic> {
+    let bc = analyze_bytecode(ct);
+    let mut out = Vec::new();
+    let cases: [(&str, &Option<PolyBound>, &Option<PolyBound>); 2] = [
+        ("step", &bc.steps, &flow.steps),
+        ("space", &bc.space, &flow.space),
+    ];
+    for (what, from_bytecode, from_table) in cases {
+        match (from_bytecode, from_table) {
+            (Some(b), Some(t)) if b.dominates(t) && t.dominates(b) => {}
+            (Some(b), Some(t)) => {
+                out.push(Diagnostic::proof(
+                    "VM004",
+                    artifact,
+                    format!(
+                        "bytecode-derived per-round {what} bound {b} disagrees with the \
+                         table-derived bound {t}: the compiled program does not execute the \
+                         certified machine",
+                    ),
+                ));
+            }
+            (None, Some(t)) => {
+                out.push(Diagnostic::proof(
+                    "VM004",
+                    artifact,
+                    format!(
+                        "no per-round {what} certificate derivable from the bytecode ({}), but \
+                         the source table certifies {t}",
+                        bc.failure.as_deref().unwrap_or("no certificate derived"),
+                    ),
+                ));
+            }
+            (Some(b), None) => {
+                out.push(Diagnostic::proof(
+                    "VM004",
+                    artifact,
+                    format!(
+                        "bytecode derives a per-round {what} bound {b} but the source table \
+                         admits no certificate: the translation changed the machine's loops",
+                    ),
+                ));
+            }
+            (None, None) => {}
+        }
+    }
+    out
+}
+
+/// Runs all four translation-validation rules against an explicit
+/// compiled program — the entry point for mutation fixtures and for
+/// serve, which verifies the exact `CompiledTm` it is about to execute.
+pub fn verify_bytecode(
+    artifact: &str,
+    tm: &DistributedTm,
+    ct: &CompiledTm,
+    flow: &MachineFlow,
+) -> Vec<Diagnostic> {
+    let mut out = check_dispatch_translation(artifact, tm, ct);
+    out.extend(check_halt_coverage(artifact, tm, ct));
+    out.extend(check_skip_soundness(artifact, ct));
+    out.extend(check_bytecode_bounds(artifact, ct, flow));
+    out
+}
+
+/// Corpus entry point: compile the artifact's machine and verify the
+/// result. An unmutated compilation must come back clean — anything
+/// else is a miscompilation witness.
+pub fn check_bytecode(a: &DtmArtifact) -> Vec<Diagnostic> {
+    let ct = CompiledTm::compile(&a.tm);
+    verify_bytecode(&a.artifact(), &a.tm, &ct, a.flow())
+}

@@ -48,19 +48,58 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use lph_graphs::PolyBound;
-use lph_machine::{DistributedTm, Move, StateId, Sym};
+use lph_machine::{DistributedTm, Move, Sym};
 
 use crate::diagnostic::Diagnostic;
 use crate::dtm::DtmArtifact;
 
 /// One expanded transition entry.
 #[derive(Debug, Clone, Copy)]
-struct Entry {
-    q: usize,
-    scanned: [Sym; 3],
-    next: usize,
-    write: [Sym; 3],
-    moves: [Move; 3],
+pub(crate) struct Entry {
+    pub(crate) q: usize,
+    pub(crate) scanned: [Sym; 3],
+    pub(crate) next: usize,
+    pub(crate) write: [Sym; 3],
+    pub(crate) moves: [Move; 3],
+}
+
+/// A transition table abstracted away from its carrier: the shared input
+/// of the flow core, buildable both from a [`DistributedTm`] (this
+/// module) and from a rebuilt `CompiledTm` dispatch program (the
+/// `flow::bytecode` verifier, which must *not* trust the source table).
+pub(crate) struct TableView {
+    pub(crate) entries: Vec<Entry>,
+    pub(crate) start: usize,
+    pub(crate) pause: usize,
+    pub(crate) stop: usize,
+    pub(crate) state_names: Vec<String>,
+}
+
+impl TableView {
+    fn state_name(&self, q: usize) -> &str {
+        self.state_names
+            .get(q)
+            .map_or("<unknown state>", String::as_str)
+    }
+}
+
+fn table_of(tm: &DistributedTm) -> TableView {
+    TableView {
+        entries: tm
+            .transitions()
+            .map(|(q, scanned, t)| Entry {
+                q: q.0,
+                scanned,
+                next: t.next.0,
+                write: t.write,
+                moves: t.moves,
+            })
+            .collect(),
+        start: tm.start().0,
+        pause: tm.pause().0,
+        stop: tm.stop().0,
+        state_names: tm.states().map(|q| tm.state_name(q).to_owned()).collect(),
+    }
 }
 
 /// An abstract configuration: `(state, blank-zone bit per tape)`.
@@ -125,13 +164,14 @@ struct FlowGraph {
     fired: Vec<bool>,
 }
 
-fn explore(tm: &DistributedTm, entries: &[Entry]) -> FlowGraph {
+fn explore(view: &TableView) -> FlowGraph {
+    let entries = &view.entries;
     let ro = read_only_tapes(entries);
     let mut by_state: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for (i, e) in entries.iter().enumerate() {
         by_state.entry(e.q).or_default().push(i);
     }
-    let start: Prod = (tm.start().0, [false; 3]);
+    let start: Prod = (view.start, [false; 3]);
     let mut g = FlowGraph {
         nodes: vec![start],
         index: BTreeMap::from([(start, 0)]),
@@ -141,7 +181,7 @@ fn explore(tm: &DistributedTm, entries: &[Entry]) -> FlowGraph {
     let mut queue = VecDeque::from([0usize]);
     while let Some(pi) = queue.pop_front() {
         let (q, zone) = g.nodes[pi];
-        if q == tm.pause().0 || q == tm.stop().0 {
+        if q == view.pause || q == view.stop {
             continue;
         }
         for &ei in by_state.get(&q).into_iter().flatten() {
@@ -224,10 +264,10 @@ fn sccs(node_count: usize, edges: &[(usize, usize, usize)]) -> Vec<Vec<usize>> {
 /// them within the round). On a stable tape the set of non-blank cells
 /// never grows, so it stays within the `≤ n + 1` initially non-blank
 /// ones.
-fn stable_tapes(tm: &DistributedTm, entries: &[Entry], g: &FlowGraph) -> [bool; 3] {
+fn stable_tapes(view: &TableView, g: &FlowGraph) -> [bool; 3] {
     let mut stable = [true; 3];
-    for (ei, e) in entries.iter().enumerate() {
-        if !g.fired[ei] || e.next == tm.stop().0 {
+    for (ei, e) in view.entries.iter().enumerate() {
+        if !g.fired[ei] || e.next == view.stop {
             continue;
         }
         for (i, tape_stable) in stable.iter_mut().enumerate() {
@@ -315,22 +355,18 @@ fn scc_cost(
 
 /// Runs the dataflow analysis over one machine.
 pub fn analyze(tm: &DistributedTm) -> MachineFlow {
-    let entries: Vec<Entry> = tm
-        .transitions()
-        .map(|(q, scanned, t)| Entry {
-            q: q.0,
-            scanned,
-            next: t.next.0,
-            write: t.write,
-            moves: t.moves,
-        })
-        .collect();
-    let g = explore(tm, &entries);
-    let reachable: BTreeSet<usize> = g.nodes.iter().map(|&(q, _)| q).collect();
-    let stop_reachable = reachable.contains(&tm.stop().0) && tm.stop() != tm.start();
-    let pause_reachable = reachable.contains(&tm.pause().0);
+    analyze_table(&table_of(tm))
+}
 
-    let stable = stable_tapes(tm, &entries, &g);
+/// Runs the dataflow analysis over an abstract transition table — the
+/// carrier-independent core shared with the bytecode verifier.
+pub(crate) fn analyze_table(view: &TableView) -> MachineFlow {
+    let g = explore(view);
+    let reachable: BTreeSet<usize> = g.nodes.iter().map(|&(q, _)| q).collect();
+    let stop_reachable = reachable.contains(&view.stop) && view.stop != view.start;
+    let pause_reachable = reachable.contains(&view.pause);
+
+    let stable = stable_tapes(view, &g);
     let mut discounts = BTreeSet::new();
     let mut total = PolyBound::constant(0);
     let mut failure = None;
@@ -342,12 +378,12 @@ pub fn analyze(tm: &DistributedTm) -> MachineFlow {
             .filter(|&&(a, _, b)| set.contains(&a) && set.contains(&b))
             .copied()
             .collect();
-        match scc_cost(&set, &intra, &entries, stable, &mut discounts) {
+        match scc_cost(&set, &intra, &view.entries, stable, &mut discounts) {
             Some(c) => total = total.add(&c),
             None => {
                 let names: Vec<&str> = set
                     .iter()
-                    .map(|&p| tm.state_name(StateId(g.nodes[p].0)))
+                    .map(|&p| view.state_name(g.nodes[p].0))
                     .collect::<BTreeSet<_>>()
                     .into_iter()
                     .collect();

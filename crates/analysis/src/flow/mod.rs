@@ -1,7 +1,7 @@
 //! The semantic analysis tier: dataflow engines that *derive* the facts
 //! the syntactic rules only cross-check.
 //!
-//! Three engines, one per artifact family:
+//! Five engines — one per artifact family, plus one per compiled tier:
 //!
 //! * [`machine`] — abstract interpretation of transition tables
 //!   (`DTM007`–`DTM010`): blank-zone product reachability, semantic
@@ -14,6 +14,14 @@
 //! * [`reduction`] — symbolic size flow for local reductions
 //!   (`RED003`–`RED005`): domain preconditions, per-cluster size bounds
 //!   in the view measure, and their composition to whole-output bounds.
+//! * [`bytecode`] — translation validation of the compiled machine tier
+//!   (`VM001`–`VM004`): dispatch-slot faithfulness, halt-sentinel
+//!   coverage, skip fast-path soundness, and Lemma 10 bounds re-derived
+//!   from the bytecode itself.
+//! * [`plan`] — translation validation of the compiled sentence tier
+//!   (`PLN001`–`PLN003`): constant-fold soundness, guard-fusion range
+//!   correctness, and a worst-case evaluation-cost pinch against the
+//!   source matrix.
 //!
 //! Engine verdicts that refute a registered claim carry
 //! [`Severity::Proof`](crate::diagnostic::Severity::Proof): they come
@@ -21,10 +29,14 @@
 //! away. `lph-lint --analyze` runs this tier on top of the syntactic
 //! rules, timing each engine through `lph-trace`.
 
+pub mod bytecode;
 pub mod machine;
+pub mod plan;
 pub mod reduction;
 pub mod sentence;
 
+pub use bytecode::{analyze_bytecode, verify_bytecode};
 pub use machine::{analyze, MachineFlow};
+pub use plan::{plan_cost, verify_plan};
 pub use reduction::reduction_domain_ok;
 pub use sentence::{flow_radius, infer_level};

@@ -1,0 +1,540 @@
+//! The plan translation validator (rules `PLN001`–`PLN003`): a static
+//! verifier for the compiled sentence tier that certifies a
+//! [`CompiledSentence`]'s hash-consed plan arena against its source
+//! matrix.
+//!
+//! The plan compiler (see `lph-logic`'s `plan` module) folds constants,
+//! fuses bounded-quantifier guards into `Adj`/`Near` range ops, and
+//! reorders connective children — all soundness-critical rewrites that
+//! were previously vouched for only by differential tests. Each rule
+//! discharges one translation obligation:
+//!
+//! * `PLN001` (constant-fold soundness) — an independent three-valued
+//!   (`⊤`/`⊥`/unknown) abstract evaluation of the source matrix, using
+//!   only the fold premises the compiler is entitled to (non-empty
+//!   domains for `∃x`/`∀x`, anchor-containing balls for `⇌≤r`, one-way
+//!   folds for plain `⇌` whose range may be empty), must not contradict
+//!   a constant plan root. Additionally, no arena node may retain a
+//!   constant operand in a position a sound fold pass always eliminates
+//!   (`¬⊤`, a constant conjunct, `∃x ⊤`, …): such a node cannot have
+//!   been produced by the fold rules at all.
+//! * `PLN002` (guard-fusion ranges) — every `Adj`/`Near` op in the arena
+//!   must carry exactly the `(slot, anchor, radius)` of a source bounded
+//!   quantifier, under a replay of the compiler's first-seen dense slot
+//!   assignment. A corrupted radius or anchor silently evaluates the
+//!   quantifier over the wrong Gaifman range.
+//! * `PLN003` (worst-case cost pinch) — a matrix-evaluation cost
+//!   polynomial in the structure size `n` is derived from the plan arena
+//!   (atoms cost 1, quantified ranges at most `n`) and independently
+//!   from the source matrix; the source-derived bound must dominate the
+//!   plan-derived one ([`PolyBound::dominates`]), since folding,
+//!   deduplication, and reordering may only shrink work. This pinches
+//!   the compiled tier's cost against the sentence-flow tier the same
+//!   way `VM004` pinches bytecode against the machine-flow tier.
+//!
+//! All three rules carry [`proof` severity](crate::Severity::Proof).
+//! [`verify_plan`] bundles them for an explicit compiled plan (mutation
+//! fixtures, demos); [`check_plan`] is the corpus entry point;
+//! [`plan_cost`] exposes the plan-derived cost bound.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lph_graphs::PolyBound;
+use lph_logic::{CompiledSentence, FoVar, Formula, Matrix, PlanOp};
+
+use crate::diagnostic::Diagnostic;
+use crate::formula::SentenceArtifact;
+
+/// Three-valued abstract truth: definitely true, definitely false, or
+/// structure-dependent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tri {
+    True,
+    False,
+    Unknown,
+}
+
+impl Tri {
+    fn of(b: bool) -> Tri {
+        if b {
+            Tri::True
+        } else {
+            Tri::False
+        }
+    }
+
+    fn not(self) -> Tri {
+        match self {
+            Tri::True => Tri::False,
+            Tri::False => Tri::True,
+            Tri::Unknown => Tri::Unknown,
+        }
+    }
+}
+
+/// Independent constant propagation over the source matrix, mirroring
+/// exactly the fold premises the compiler may use (and nothing more):
+/// the result is sound for *every* structure the sentence could check.
+fn tri_eval(f: &Formula) -> Tri {
+    match f {
+        Formula::True => Tri::True,
+        Formula::False => Tri::False,
+        Formula::Unary { .. } | Formula::Edge { .. } | Formula::App { .. } => Tri::Unknown,
+        Formula::Eq(x, y) => {
+            if x == y {
+                Tri::True
+            } else {
+                Tri::Unknown
+            }
+        }
+        Formula::Not(g) => tri_eval(g).not(),
+        Formula::And(fs) => {
+            let mut out = Tri::True;
+            for g in fs {
+                match tri_eval(g) {
+                    Tri::False => return Tri::False,
+                    Tri::Unknown => out = Tri::Unknown,
+                    Tri::True => {}
+                }
+            }
+            out
+        }
+        Formula::Or(fs) => {
+            let mut out = Tri::False;
+            for g in fs {
+                match tri_eval(g) {
+                    Tri::True => return Tri::True,
+                    Tri::Unknown => out = Tri::Unknown,
+                    Tri::False => {}
+                }
+            }
+            out
+        }
+        Formula::Implies(a, b) => match (tri_eval(a), tri_eval(b)) {
+            (Tri::False, _) | (_, Tri::True) => Tri::True,
+            (Tri::True, Tri::False) => Tri::False,
+            _ => Tri::Unknown,
+        },
+        Formula::Iff(a, b) => match (tri_eval(a), tri_eval(b)) {
+            (Tri::Unknown, _) | (_, Tri::Unknown) => {
+                // Structural equality is the one non-constant premise the
+                // compiler uses (`a ↔ a` after interning): mirror it.
+                if a == b {
+                    Tri::True
+                } else {
+                    Tri::Unknown
+                }
+            }
+            (x, y) => Tri::of(x == y),
+        },
+        // Non-empty domain: a constant body decides either quantifier.
+        Formula::Exists { body, .. } | Formula::Forall { body, .. } => tri_eval(body),
+        // The adjacency range may be empty, so only one polarity folds.
+        Formula::ExistsAdj { body, .. } => match tri_eval(body) {
+            Tri::False => Tri::False,
+            _ => Tri::Unknown,
+        },
+        Formula::ForallAdj { body, .. } => match tri_eval(body) {
+            Tri::True => Tri::True,
+            _ => Tri::Unknown,
+        },
+        // A ball always contains its anchor: both polarities fold.
+        Formula::ExistsNear { body, .. } | Formula::ForallNear { body, .. } => tri_eval(body),
+    }
+}
+
+/// A fused bounded-quantifier guard: what an `Adj`/`Near` op claims
+/// about its evaluation range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Guard {
+    exists: bool,
+    /// `None` for plain adjacency, `Some(r)` for a radius-`r` ball.
+    radius: Option<usize>,
+    slot: usize,
+    anchor: usize,
+}
+
+impl Guard {
+    fn describe(self) -> String {
+        let q = if self.exists { "∃" } else { "∀" };
+        match self.radius {
+            None => format!("{q}(slot {} ⇌ slot {})", self.slot, self.anchor),
+            Some(r) => format!("{q}(slot {} ⇌≤{r} slot {})", self.slot, self.anchor),
+        }
+    }
+}
+
+/// A replay of the compiler's first-seen dense slot assignment: the
+/// traversal below calls [`SlotMirror::slot`] in exactly the order
+/// `Lowerer::lower` calls `fo_slot`.
+#[derive(Default)]
+struct SlotMirror {
+    slots: BTreeMap<FoVar, usize>,
+}
+
+impl SlotMirror {
+    fn slot(&mut self, x: FoVar) -> usize {
+        let next = self.slots.len();
+        *self.slots.entry(x).or_insert(next)
+    }
+}
+
+/// Collects the source matrix's bounded-quantifier guards under the
+/// replayed slot assignment.
+fn source_guards(f: &Formula, m: &mut SlotMirror, out: &mut BTreeSet<Guard>) {
+    match f {
+        Formula::True | Formula::False => {}
+        Formula::Unary { x, .. } => {
+            m.slot(*x);
+        }
+        Formula::Edge { x, y, .. } | Formula::Eq(x, y) => {
+            m.slot(*x);
+            m.slot(*y);
+        }
+        Formula::App { args, .. } => {
+            for &a in args {
+                m.slot(a);
+            }
+        }
+        Formula::Not(g) => source_guards(g, m, out),
+        Formula::And(fs) | Formula::Or(fs) => {
+            for g in fs {
+                source_guards(g, m, out);
+            }
+        }
+        Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            source_guards(a, m, out);
+            source_guards(b, m, out);
+        }
+        Formula::Exists { x, body } | Formula::Forall { x, body } => {
+            m.slot(*x);
+            source_guards(body, m, out);
+        }
+        Formula::ExistsAdj { x, anchor, body } | Formula::ForallAdj { x, anchor, body } => {
+            let exists = matches!(f, Formula::ExistsAdj { .. });
+            let slot = m.slot(*x);
+            let anchor = m.slot(*anchor);
+            out.insert(Guard {
+                exists,
+                radius: None,
+                slot,
+                anchor,
+            });
+            source_guards(body, m, out);
+        }
+        Formula::ExistsNear {
+            x,
+            anchor,
+            radius,
+            body,
+        }
+        | Formula::ForallNear {
+            x,
+            anchor,
+            radius,
+            body,
+        } => {
+            let exists = matches!(f, Formula::ExistsNear { .. });
+            let slot = m.slot(*x);
+            let anchor = m.slot(*anchor);
+            out.insert(Guard {
+                exists,
+                radius: Some(*radius),
+                slot,
+                anchor,
+            });
+            source_guards(body, m, out);
+        }
+    }
+}
+
+/// The guard an arena op claims, if it is an `Adj`/`Near` range op.
+fn plan_guard(op: &PlanOp) -> Option<Guard> {
+    match *op {
+        PlanOp::ExistsAdj { slot, anchor, .. } => Some(Guard {
+            exists: true,
+            radius: None,
+            slot,
+            anchor,
+        }),
+        PlanOp::ForallAdj { slot, anchor, .. } => Some(Guard {
+            exists: false,
+            radius: None,
+            slot,
+            anchor,
+        }),
+        PlanOp::ExistsNear {
+            slot,
+            anchor,
+            radius,
+            ..
+        } => Some(Guard {
+            exists: true,
+            radius: Some(radius),
+            slot,
+            anchor,
+        }),
+        PlanOp::ForallNear {
+            slot,
+            anchor,
+            radius,
+            ..
+        } => Some(Guard {
+            exists: false,
+            radius: Some(radius),
+            slot,
+            anchor,
+        }),
+        _ => None,
+    }
+}
+
+/// The matrix body of the compiled sentence's source.
+fn matrix_body(cs: &CompiledSentence) -> &Formula {
+    match &cs.sentence().matrix {
+        Matrix::Lfo { body, .. } => body,
+        Matrix::Fo(f) => f,
+    }
+}
+
+/// `PLN001` — constant-fold soundness (see the module docs).
+pub fn check_plan_folds(artifact: &str, cs: &CompiledSentence) -> Vec<Diagnostic> {
+    let ops = cs.ops();
+    let mut out = Vec::new();
+    if let PlanOp::Const(b) = ops[cs.root()] {
+        let reference = tri_eval(matrix_body(cs));
+        if reference == Tri::of(!b) {
+            out.push(
+                Diagnostic::proof(
+                    "PLN001",
+                    artifact,
+                    format!(
+                        "plan root folded to the constant {b} but sound constant propagation \
+                         over the source matrix derives {}: the compiled sentence answers \
+                         every query wrong",
+                        !b,
+                    ),
+                )
+                .with_suggestion("recompile the plan from the source sentence"),
+            );
+        }
+    }
+    let is_const = |id: usize| matches!(ops.get(id), Some(PlanOp::Const(_)));
+    let const_val = |id: usize| match ops.get(id) {
+        Some(&PlanOp::Const(b)) => Some(b),
+        _ => None,
+    };
+    for (id, op) in ops.iter().enumerate() {
+        let violation = match op {
+            PlanOp::Not(a) => is_const(*a),
+            PlanOp::And(children) | PlanOp::Or(children) => children.iter().any(|&c| is_const(c)),
+            PlanOp::Iff(a, b) => is_const(*a) || is_const(*b),
+            PlanOp::Exists { body, .. }
+            | PlanOp::Forall { body, .. }
+            | PlanOp::ExistsNear { body, .. }
+            | PlanOp::ForallNear { body, .. } => is_const(*body),
+            // Plain adjacency only folds one polarity; the other constant
+            // body is a legitimate residual.
+            PlanOp::ExistsAdj { body, .. } => const_val(*body) == Some(false),
+            PlanOp::ForallAdj { body, .. } => const_val(*body) == Some(true),
+            _ => false,
+        };
+        if violation {
+            out.push(Diagnostic::proof(
+                "PLN001",
+                artifact,
+                format!(
+                    "plan node {id} ({op:?}) retains a constant operand a sound fold pass \
+                     always eliminates: this plan was not produced by the compiler's rewrite \
+                     rules",
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// `PLN002` — guard-fusion range correctness (see the module docs).
+pub fn check_plan_guards(artifact: &str, cs: &CompiledSentence) -> Vec<Diagnostic> {
+    let mut mirror = SlotMirror::default();
+    if let Matrix::Lfo { x, .. } = &cs.sentence().matrix {
+        mirror.slot(*x);
+    }
+    let mut source = BTreeSet::new();
+    source_guards(matrix_body(cs), &mut mirror, &mut source);
+    let mut out = Vec::new();
+    for (id, op) in cs.ops().iter().enumerate() {
+        let Some(guard) = plan_guard(op) else {
+            continue;
+        };
+        if !source.contains(&guard) {
+            out.push(
+                Diagnostic::proof(
+                    "PLN002",
+                    artifact,
+                    format!(
+                        "plan node {id} evaluates {} but no source bounded quantifier has that \
+                         guard: the fused range differs from the sentence's Gaifman range",
+                        guard.describe(),
+                    ),
+                )
+                .with_suggestion(
+                    "every Adj/Near op must replay a source quantifier's (slot, anchor, radius)",
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Worst-case evaluation cost of one source subformula, in the
+/// structure size `n` (every quantifier range has at most `n` elements).
+fn formula_cost(f: &Formula) -> PolyBound {
+    let one = PolyBound::constant(1);
+    let n = PolyBound::linear(0, 1);
+    match f {
+        Formula::True
+        | Formula::False
+        | Formula::Unary { .. }
+        | Formula::Edge { .. }
+        | Formula::Eq(..)
+        | Formula::App { .. } => one,
+        Formula::Not(g) => one.add(&formula_cost(g)),
+        Formula::And(fs) | Formula::Or(fs) => {
+            fs.iter().fold(one, |acc, g| acc.add(&formula_cost(g)))
+        }
+        // `→` lowers to `¬∨`, which costs one extra node.
+        Formula::Implies(a, b) => PolyBound::constant(2)
+            .add(&formula_cost(a))
+            .add(&formula_cost(b)),
+        Formula::Iff(a, b) => one.add(&formula_cost(a)).add(&formula_cost(b)),
+        Formula::Exists { body, .. }
+        | Formula::Forall { body, .. }
+        | Formula::ExistsAdj { body, .. }
+        | Formula::ForallAdj { body, .. }
+        | Formula::ExistsNear { body, .. }
+        | Formula::ForallNear { body, .. } => one.add(&n.mul(&formula_cost(body))),
+    }
+}
+
+/// Bottom-up per-node cost of the plan arena, or an error naming a node
+/// that references a non-prior node (the arena is built bottom-up, so a
+/// forward or self reference proves the plan was tampered with).
+fn plan_costs(cs: &CompiledSentence) -> Result<Vec<PolyBound>, usize> {
+    let ops = cs.ops();
+    let one = PolyBound::constant(1);
+    let n = PolyBound::linear(0, 1);
+    let mut costs: Vec<PolyBound> = Vec::with_capacity(ops.len());
+    for (id, op) in ops.iter().enumerate() {
+        let child = |c: usize| -> Result<&PolyBound, usize> {
+            if c < id {
+                Ok(&costs[c])
+            } else {
+                Err(id)
+            }
+        };
+        let cost = match op {
+            PlanOp::Const(_)
+            | PlanOp::Unary { .. }
+            | PlanOp::Edge { .. }
+            | PlanOp::Eq(..)
+            | PlanOp::App { .. } => one.clone(),
+            PlanOp::Not(a) => one.add(child(*a)?),
+            PlanOp::And(children) | PlanOp::Or(children) => {
+                let mut acc = one.clone();
+                for &c in children {
+                    acc = acc.add(child(c)?);
+                }
+                acc
+            }
+            PlanOp::Iff(a, b) => one.add(child(*a)?).add(child(*b)?),
+            PlanOp::Exists { body, .. }
+            | PlanOp::Forall { body, .. }
+            | PlanOp::ExistsAdj { body, .. }
+            | PlanOp::ForallAdj { body, .. }
+            | PlanOp::ExistsNear { body, .. }
+            | PlanOp::ForallNear { body, .. } => one.add(&n.mul(child(*body)?)),
+        };
+        costs.push(cost);
+    }
+    Ok(costs)
+}
+
+/// The plan-derived worst-case cost of one full matrix evaluation (the
+/// `Lfo` wrapper's `∀°x` sweep included), in the structure size `n`.
+/// `None` when the arena is malformed (see [`check_plan_cost`]).
+pub fn plan_cost(cs: &CompiledSentence) -> Option<PolyBound> {
+    let costs = plan_costs(cs).ok()?;
+    let root = costs.get(cs.root())?.clone();
+    Some(match cs.lfo_slot() {
+        Some(_) => PolyBound::constant(1).add(&PolyBound::linear(0, 1).mul(&root)),
+        None => root,
+    })
+}
+
+/// The source-derived worst-case cost of one full matrix evaluation —
+/// the sentence-tier reference [`check_plan_cost`] pinches against.
+pub fn sentence_cost(cs: &CompiledSentence) -> PolyBound {
+    let body = formula_cost(matrix_body(cs));
+    match &cs.sentence().matrix {
+        Matrix::Lfo { .. } => PolyBound::constant(1).add(&PolyBound::linear(0, 1).mul(&body)),
+        Matrix::Fo(_) => body,
+    }
+}
+
+/// `PLN003` — worst-case cost pinch (see the module docs).
+pub fn check_plan_cost(artifact: &str, cs: &CompiledSentence) -> Vec<Diagnostic> {
+    let costs = match plan_costs(cs) {
+        Ok(costs) => costs,
+        Err(id) => {
+            return vec![Diagnostic::proof(
+                "PLN003",
+                artifact,
+                format!(
+                    "plan node {id} references a node the bottom-up arena has not built yet: \
+                     no cost bound is derivable from a tampered arena",
+                ),
+            )];
+        }
+    };
+    let Some(root) = costs.get(cs.root()) else {
+        return vec![Diagnostic::proof(
+            "PLN003",
+            artifact,
+            format!("plan root {} is out of the arena's bounds", cs.root()),
+        )];
+    };
+    let from_plan = match cs.lfo_slot() {
+        Some(_) => PolyBound::constant(1).add(&PolyBound::linear(0, 1).mul(root)),
+        None => root.clone(),
+    };
+    let from_source = sentence_cost(cs);
+    if !from_source.dominates(&from_plan) {
+        return vec![Diagnostic::proof(
+            "PLN003",
+            artifact,
+            format!(
+                "plan-derived evaluation cost {from_plan} exceeds the source-derived bound \
+                 {from_source}: folding and deduplication may only shrink work, so the plan \
+                 does not evaluate the source matrix",
+            ),
+        )];
+    }
+    Vec::new()
+}
+
+/// Runs all three plan translation-validation rules against an explicit
+/// compiled plan — the entry point for mutation fixtures and demos.
+pub fn verify_plan(artifact: &str, cs: &CompiledSentence) -> Vec<Diagnostic> {
+    let mut out = check_plan_folds(artifact, cs);
+    out.extend(check_plan_guards(artifact, cs));
+    out.extend(check_plan_cost(artifact, cs));
+    out
+}
+
+/// Corpus entry point: compile the artifact's sentence and verify the
+/// plan. An unmutated compilation must come back clean.
+pub fn check_plan(a: &SentenceArtifact) -> Vec<Diagnostic> {
+    let cs = CompiledSentence::compile(&a.sentence);
+    verify_plan(&a.artifact(), &cs)
+}

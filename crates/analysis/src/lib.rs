@@ -21,8 +21,11 @@
 //! * [`flow`] — the semantic tier: dataflow engines deriving machine
 //!   reachability and certified Lemma 10 step/space bounds
 //!   (`DTM007`–`DTM010`), semantic hierarchy levels and flow radii
-//!   (`FRM006`–`FRM008`), and symbolic reduction output-size bounds
-//!   (`RED003`–`RED005`), surfaced at the `Proof` severity.
+//!   (`FRM006`–`FRM008`), symbolic reduction output-size bounds
+//!   (`RED003`–`RED005`), and the compiled-tier translation validators
+//!   certifying `CompiledTm` bytecode (`VM001`–`VM004`) and
+//!   `CompiledSentence` plans (`PLN001`–`PLN003`), surfaced at the
+//!   `Proof` severity.
 //! * [`proofcheck`] — proof-carrying game claims (`SAT001`–`SAT003`):
 //!   registered instances are re-decided by the CDCL backend, UNSAT-side
 //!   verdicts must carry refutations accepted by the independent RUP
@@ -64,7 +67,9 @@ pub use contract::{ArbiterArtifact, ClusterMapArtifact, ReductionArtifact};
 pub use corpus::{builtin, run, run_builtin, run_builtin_deep, run_deep, Corpus};
 pub use diagnostic::{sort_diagnostics, Diagnostic, Severity};
 pub use dtm::DtmArtifact;
-pub use flow::{reduction_domain_ok, MachineFlow};
+pub use flow::{
+    analyze_bytecode, plan_cost, reduction_domain_ok, verify_bytecode, verify_plan, MachineFlow,
+};
 pub use formula::SentenceArtifact;
 pub use json::{diagnostics_from_json, diagnostics_to_json, Json};
 pub use proofcheck::{

@@ -19,11 +19,13 @@ pub struct RuleInfo {
 }
 
 /// Every rule the analyzer knows, in code order. Rules `DTM007`–`DTM010`,
-/// `FRM006`–`FRM008`, and `RED003`–`RED005` belong to the semantic tier
-/// ([`crate::flow`]) and only run in `lph-lint --analyze` deep mode;
-/// `SAT001`–`SAT003` ([`crate::proofcheck`]) re-decide registered game
-/// claims with the CDCL backend in every mode.
-pub const RULES: [RuleInfo; 28] = [
+/// `FRM006`–`FRM008`, `RED003`–`RED005`, `VM001`–`VM004`, and
+/// `PLN001`–`PLN003` belong to the semantic tier ([`crate::flow`]) and
+/// only run in `lph-lint --analyze` deep mode (the `VM`/`PLN` families
+/// are the compiled-tier translation validators); `SAT001`–`SAT003`
+/// ([`crate::proofcheck`]) re-decide registered game claims with the
+/// CDCL backend in every mode.
+pub const RULES: [RuleInfo; 35] = [
     RuleInfo {
         code: "DTM001",
         name: "tm-totality",
@@ -172,6 +174,55 @@ pub const RULES: [RuleInfo; 28] = [
         code: "RED005",
         name: "reduction-output-size-flow",
         description: "assembled outputs obey the composed whole-graph size bound",
+        default_severity: Severity::Proof,
+    },
+    RuleInfo {
+        code: "VM001",
+        name: "vm-dispatch-translation",
+        description: "every source transition sits at its dense-dispatch slot with an identical \
+                      payload",
+        default_severity: Severity::Proof,
+    },
+    RuleInfo {
+        code: "VM002",
+        name: "vm-halt-sentinel",
+        description: "sourceless dispatch slots hold the canonical halt sentinel and populated \
+                      slots are source-backed",
+        default_severity: Severity::Proof,
+    },
+    RuleInfo {
+        code: "VM003",
+        name: "vm-skip-soundness",
+        description: "run-length fast-path annotations are step-metering-equivalent to the \
+                      unrolled self-loop",
+        default_severity: Severity::Proof,
+    },
+    RuleInfo {
+        code: "VM004",
+        name: "vm-bytecode-certified-bound",
+        description: "step/space polynomials re-derived from the bytecode agree with the \
+                      interpreter-tier certificate",
+        default_severity: Severity::Proof,
+    },
+    RuleInfo {
+        code: "PLN001",
+        name: "plan-constant-fold",
+        description: "plan constant folds are sound against independent constant propagation \
+                      over the source matrix",
+        default_severity: Severity::Proof,
+    },
+    RuleInfo {
+        code: "PLN002",
+        name: "plan-guard-fusion",
+        description: "fused Adj/Near ranges replay a source bounded quantifier's slot, anchor, \
+                      and radius",
+        default_severity: Severity::Proof,
+    },
+    RuleInfo {
+        code: "PLN003",
+        name: "plan-cost-pinch",
+        description: "the plan-derived worst-case evaluation cost is dominated by the \
+                      source-derived bound",
         default_severity: Severity::Proof,
     },
     RuleInfo {

@@ -10,7 +10,8 @@
 //!
 //! ```json
 //! {"id":"r1","kind":"membership","arbiter":"eulerian_decider",
-//!  "graph":{"family":"cycle","n":6},"level":0,"backend":"auto"}
+//!  "graph":{"family":"cycle","n":6},"level":0,"backend":"auto",
+//!  "exec":"compiled"}
 //! {"id":"r2","kind":"lint","target":"arbiter:two_colorable_verifier",
 //!  "graph":{"labels":["1","1","1"],"edges":[[0,1],[1,2],[2,0]]}}
 //! {"id":"r3","kind":"reduction","reduction":"all_selected_to_eulerian",
@@ -34,12 +35,13 @@ pub const SERVE_SCHEMA: &str = "lph-serve/1";
 pub const SERVE_KINDS: [&str; 4] = ["membership", "lint", "reduction", "list"];
 
 /// Every structured error code a response may carry.
-pub const SERVE_ERROR_CODES: [&str; 6] = [
+pub const SERVE_ERROR_CODES: [&str; 7] = [
     "parse_error",
     "unknown_artifact",
     "bad_graph",
     "unsupported_level",
     "over_budget",
+    "unverified_bytecode",
     "engine_error",
 ];
 
@@ -128,6 +130,12 @@ pub fn validate_serve_request(v: &Json) -> Result<(), String> {
                 let b = b.as_str().ok_or("backend must be a string")?;
                 if !["auto", "cdcl", "exhaustive"].contains(&b) {
                     return Err(format!("unknown backend {b:?}"));
+                }
+            }
+            if let Some(e) = v.get("exec") {
+                let e = e.as_str().ok_or("exec must be a string")?;
+                if !["auto", "interpreted", "compiled"].contains(&e) {
+                    return Err(format!("unknown exec backend {e:?}"));
                 }
             }
         }
@@ -221,6 +229,13 @@ pub fn validate_serve_response(v: &Json) -> Result<(), String> {
                 uint_field(err, "cost", "over_budget error")?;
                 uint_field(err, "budget", "over_budget error")?;
             }
+            if code == "unverified_bytecode" {
+                // The translation-validation rejection names the rules
+                // (`VM001`…) the compiled artifact failed.
+                err.get("findings")
+                    .and_then(Json::as_arr)
+                    .ok_or("unverified_bytecode error needs a \"findings\" array")?;
+            }
         }
         _ => return Err("response needs a boolean \"ok\"".into()),
     }
@@ -240,6 +255,7 @@ mod tests {
         for line in [
             r#"{"id":"a","kind":"membership","arbiter":"eulerian_decider","graph":{"family":"cycle","n":6}}"#,
             r#"{"id":"b","kind":"membership","arbiter":"x","graph":{"labels":["1","1"],"edges":[[0,1]]},"level":1,"backend":"cdcl"}"#,
+            r#"{"id":"b2","kind":"membership","arbiter":"x","graph":{"family":"cycle","n":4},"exec":"compiled"}"#,
             r#"{"id":"c","kind":"lint","target":"arbiter:two_colorable_verifier","graph":{"family":"path","n":3},"deep":true}"#,
             r#"{"id":"d","kind":"reduction","reduction":"all_selected_to_eulerian","graph":{"family":"cycle","n":3}}"#,
             r#"{"id":"e","kind":"list"}"#,
@@ -273,6 +289,10 @@ mod tests {
                 r#"{"id":"a","kind":"membership","arbiter":"x","graph":{"labels":["1","1"],"edges":[[0]]}}"#,
                 "pairs",
             ),
+            (
+                r#"{"id":"a","kind":"membership","arbiter":"x","graph":{"family":"cycle","n":3},"exec":"jit"}"#,
+                "exec",
+            ),
         ] {
             let err = validate_serve_request(&parse(line)).expect_err(line);
             assert!(err.contains(needle), "{line}: {err}");
@@ -288,6 +308,7 @@ mod tests {
             r#"{"id":"d","ok":true,"kind":"list","arbiters":[],"reductions":[]}"#,
             r#"{"id":null,"ok":false,"error":{"code":"parse_error","detail":"bad json"}}"#,
             r#"{"id":"e","ok":false,"error":{"code":"over_budget","detail":"x","cost":900,"budget":100}}"#,
+            r#"{"id":"f","ok":false,"error":{"code":"unverified_bytecode","detail":"x","findings":["VM003"]}}"#,
         ] {
             validate_serve_response(&parse(line)).unwrap_or_else(|e| panic!("{line}: {e}"));
         }
@@ -305,6 +326,11 @@ mod tests {
                 // over_budget without the structured cost/budget fields.
                 r#"{"id":"a","ok":false,"error":{"code":"over_budget","detail":"d"}}"#,
                 "cost",
+            ),
+            (
+                // unverified_bytecode without the failed-rule list.
+                r#"{"id":"a","ok":false,"error":{"code":"unverified_bytecode","detail":"d"}}"#,
+                "findings",
             ),
             (
                 r#"{"id":7,"ok":true,"kind":"list","arbiters":[],"reductions":[]}"#,

@@ -4,20 +4,27 @@
 
 use lph_analysis::contract::ReductionArtifact;
 use lph_analysis::dtm::DtmArtifact;
-use lph_analysis::flow::machine::{
-    check_certified_bounds, check_flow_halting, check_flow_reachability, check_step_certificate,
+use lph_analysis::flow::bytecode::{
+    check_bytecode_bounds, check_dispatch_translation, check_halt_coverage, check_skip_soundness,
 };
+use lph_analysis::flow::machine::{
+    analyze, check_certified_bounds, check_flow_halting, check_flow_reachability,
+    check_step_certificate,
+};
+use lph_analysis::flow::plan::{check_plan_cost, check_plan_folds, check_plan_guards};
 use lph_analysis::flow::reduction::{check_cluster_size, check_domain, check_output_size};
 use lph_analysis::flow::sentence::{
     check_prefix_normal_form, check_radius_flow, check_semantic_level,
 };
 use lph_analysis::formula::SentenceArtifact;
-use lph_analysis::{Diagnostic, Severity};
+use lph_analysis::{verify_bytecode, verify_plan, Diagnostic, Severity};
 use lph_graphs::{generators, BitString, LabeledGraph, PolyBound};
-use lph_logic::dsl::{and, app};
+use lph_logic::dsl::{and, app, exists_near, unary};
 use lph_logic::examples;
-use lph_logic::{FoVar, Formula, Matrix, Sentence, SoBlock, SoVar};
-use lph_machine::{machines, DistributedTm, Move, Pat, Sym, TmBuilder, WriteOp};
+use lph_logic::{CompiledSentence, FoVar, Formula, Matrix, PlanOp, Sentence, SoBlock, SoVar};
+use lph_machine::{
+    machines, CompiledTm, DistributedTm, Move, OpView, Pat, Sym, TmBuilder, WriteOp,
+};
 use lph_reductions::{ClusterPatch, LocalReduction, LocalView, ReductionError, SizeBound};
 
 fn codes(diags: &[Diagnostic]) -> Vec<&str> {
@@ -462,4 +469,245 @@ fn red005_silent_on_honest_declarations() {
         vec![generators::labeled_cycle(&["1", "1", "0"])],
     );
     assert_silent(&check_output_size(&a), "RED005");
+}
+
+// --------------------------------------------------------- VM001 – VM004
+
+/// The first populated (source-backed) dispatch slot of `ct`.
+fn populated_slot(ct: &CompiledTm) -> usize {
+    (0..ct.program_len())
+        .find(|&s| ct.op_view(s).next.is_some())
+        .expect("compiled program has at least one live op")
+}
+
+#[test]
+fn vm001_fires_on_retargeted_dispatch_slot() {
+    let tm = clean_machine();
+    let mut ct = CompiledTm::compile(&tm);
+    let slot = populated_slot(&ct);
+    let mut op = ct.op_view(slot);
+    // Redirect the op to a state its source entry does not name.
+    op.next = if op.next == Some(ct.start_state()) {
+        Some(ct.stop_state())
+    } else {
+        Some(ct.start_state())
+    };
+    ct.patch_op(slot, op);
+    let diags = check_dispatch_translation("dtm:clean", &tm, &ct);
+    assert_fires(&diags, "VM001");
+    assert!(diags.iter().all(|d| d.severity == Severity::Proof));
+    // The slot is still source-backed, so halt coverage has no complaint:
+    // the two rules split the obligation.
+    assert_silent(&check_halt_coverage("dtm:clean", &tm, &ct), "VM002");
+}
+
+#[test]
+fn vm001_silent_on_honest_compilation() {
+    let tm = clean_machine();
+    let ct = CompiledTm::compile(&tm);
+    assert_silent(&check_dispatch_translation("dtm:clean", &tm, &ct), "VM001");
+}
+
+#[test]
+fn vm002_fires_on_sentinel_replaced_by_live_op() {
+    let tm = clean_machine();
+    let mut ct = CompiledTm::compile(&tm);
+    // q_stop never scans: all of its slots are halt sentinels.
+    let slot = CompiledTm::slot_of(ct.stop_state(), [Sym::Blank; 3]);
+    let mut op = ct.op_view(slot);
+    assert!(op.next.is_none(), "q_stop slots must start as sentinels");
+    op.next = Some(ct.start_state());
+    ct.patch_op(slot, op);
+    let diags = check_halt_coverage("dtm:clean", &tm, &ct);
+    assert_fires(&diags, "VM002");
+    assert!(diags.iter().all(|d| d.severity == Severity::Proof));
+    // VM001 checks the source→bytecode direction only; every source
+    // entry still translates faithfully.
+    assert_silent(&check_dispatch_translation("dtm:clean", &tm, &ct), "VM001");
+}
+
+#[test]
+fn vm003_fires_on_lying_skip_annotation() {
+    let tm = clean_machine();
+    let mut ct = CompiledTm::compile(&tm);
+    // clean_machine has no self-loops, so no op is skip-eligible.
+    let slot = populated_slot(&ct);
+    let mut op = ct.op_view(slot);
+    assert!(op.skip.is_none());
+    op.skip = Some(1);
+    ct.patch_op(slot, op);
+    let diags = check_skip_soundness("dtm:clean", &ct);
+    assert_fires(&diags, "VM003");
+    assert!(diags.iter().all(|d| d.severity == Severity::Proof));
+    // The skip flag is bytecode-local: dispatch translation compares
+    // next/write/moves and stays silent.
+    assert_silent(&check_dispatch_translation("dtm:clean", &tm, &ct), "VM001");
+}
+
+#[test]
+fn vm003_silent_on_honest_skip_annotations() {
+    // The coloring verifier's scan loops compile with real skip
+    // annotations (identity-write self-loops moving one head right).
+    let ct = CompiledTm::compile(&machines::proper_coloring_verifier());
+    assert!(
+        (0..ct.program_len()).any(|s| ct.op_view(s).skip.is_some()),
+        "fixture should exercise a real skip annotation"
+    );
+    assert_silent(&check_skip_soundness("dtm:coloring", &ct), "VM003");
+}
+
+#[test]
+fn vm004_fires_when_bytecode_bounds_diverge_from_interpreter_tier() {
+    let tm = clean_machine();
+    let flow = analyze(&tm);
+    assert!(
+        flow.steps.is_some(),
+        "interpreter tier certifies clean_machine"
+    );
+    let mut ct = CompiledTm::compile(&tm);
+    // Rewrite every `go` slot into a no-progress self-loop: re-deriving
+    // the Lemma 10 bound from this bytecode fails while the interpreter
+    // tier still certifies one.
+    let go = (0..ct.state_count())
+        .find(|&q| ct.state_name(q) == "go")
+        .expect("clean_machine has a go state");
+    for a in Sym::ALL {
+        for b in Sym::ALL {
+            for c in Sym::ALL {
+                ct.patch_op(
+                    CompiledTm::slot_of(go, [a, b, c]),
+                    OpView {
+                        next: Some(go),
+                        write: [a, b, c],
+                        moves: [Move::S; 3],
+                        skip: None,
+                    },
+                );
+            }
+        }
+    }
+    let diags = check_bytecode_bounds("dtm:clean", &ct, &flow);
+    assert_fires(&diags, "VM004");
+    assert!(diags.iter().all(|d| d.severity == Severity::Proof));
+}
+
+#[test]
+fn vm_rules_silent_on_corpus_machines() {
+    for (name, tm) in [
+        ("all_selected", machines::all_selected_decider()),
+        ("coloring", machines::proper_coloring_verifier()),
+        ("echo", machines::echo_machine()),
+        ("clean", clean_machine()),
+        ("uncertifiable", uncertifiable_machine()),
+    ] {
+        let ct = CompiledTm::compile(&tm);
+        let flow = analyze(&tm);
+        let diags = verify_bytecode(&format!("dtm:{name}"), &tm, &ct, &flow);
+        assert!(diags.is_empty(), "{name}: {diags:?}");
+    }
+}
+
+// --------------------------------------------------------- PLN001 – PLN003
+
+/// A sentence whose matrix body constant-folds: a ball always contains
+/// its anchor, so `∃y⇌≤1x ⊥` lowers to `⊥` (and stays in `BF`).
+fn folding_sentence() -> Sentence {
+    let x = FoVar(0);
+    let y = FoVar(1);
+    Sentence::new(
+        vec![],
+        Matrix::Lfo {
+            x,
+            body: exists_near(y, x, 1, Formula::False),
+        },
+    )
+}
+
+#[test]
+fn pln001_fires_on_flipped_constant_fold() {
+    let mut cs = CompiledSentence::compile(&folding_sentence());
+    assert!(
+        matches!(cs.ops()[cs.root()], PlanOp::Const(false)),
+        "compiler folds ∃y ⊥ to ⊥"
+    );
+    cs.patch_op(cs.root(), PlanOp::Const(true));
+    let diags = check_plan_folds("sentence:fold", &cs);
+    assert_fires(&diags, "PLN001");
+    assert!(diags.iter().all(|d| d.severity == Severity::Proof));
+}
+
+#[test]
+fn pln001_silent_on_honest_fold() {
+    let cs = CompiledSentence::compile(&folding_sentence());
+    assert_silent(&check_plan_folds("sentence:fold", &cs), "PLN001");
+}
+
+#[test]
+fn pln002_fires_on_widened_guard_radius() {
+    let x = FoVar(0);
+    let y = FoVar(1);
+    let s = Sentence::new(
+        vec![],
+        Matrix::Lfo {
+            x,
+            body: exists_near(y, x, 2, unary(0, y)),
+        },
+    );
+    let mut cs = CompiledSentence::compile(&s);
+    let (id, widened) = cs
+        .ops()
+        .iter()
+        .enumerate()
+        .find_map(|(i, op)| match op {
+            PlanOp::ExistsNear {
+                slot,
+                anchor,
+                radius,
+                body,
+            } => {
+                assert_eq!(*radius, 2, "guard carries the source radius");
+                Some((
+                    i,
+                    PlanOp::ExistsNear {
+                        slot: *slot,
+                        anchor: *anchor,
+                        radius: radius + 3,
+                        body: *body,
+                    },
+                ))
+            }
+            _ => None,
+        })
+        .expect("plan contains the fused range quantifier");
+    cs.patch_op(id, widened);
+    let diags = check_plan_guards("sentence:guard", &cs);
+    assert_fires(&diags, "PLN002");
+    assert!(diags.iter().all(|d| d.severity == Severity::Proof));
+}
+
+#[test]
+fn pln003_fires_on_tampered_arena() {
+    let mut cs = CompiledSentence::compile(&examples::three_colorable());
+    // A self-referential node breaks the bottom-up arena invariant the
+    // cost derivation rests on.
+    let root = cs.root();
+    cs.patch_op(root, PlanOp::Not(root));
+    let diags = check_plan_cost("sentence:cost", &cs);
+    assert_fires(&diags, "PLN003");
+    assert!(diags.iter().all(|d| d.severity == Severity::Proof));
+}
+
+#[test]
+fn pln_rules_silent_on_corpus_sentences() {
+    for (name, s) in [
+        ("all_selected", examples::all_selected()),
+        ("not_all_selected", examples::not_all_selected()),
+        ("three_colorable", examples::three_colorable()),
+        ("hamiltonian", examples::hamiltonian()),
+        ("non_three_colorable", examples::non_three_colorable()),
+    ] {
+        let cs = CompiledSentence::compile(&s);
+        let diags = verify_plan(&format!("sentence:{name}"), &cs);
+        assert!(diags.is_empty(), "{name}: {diags:?}");
+    }
 }

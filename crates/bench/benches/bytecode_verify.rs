@@ -1,0 +1,57 @@
+//! E19 — the translation-validation tier: what certifying the compiled
+//! tier costs. One series per verifier — the bytecode checks
+//! (`VM001`–`VM004`) over each corpus machine's compiled artifact and
+//! the plan checks (`PLN001`–`PLN003`) over each example sentence's
+//! evaluation plan — plus the bytecode bound re-derivation alone, so
+//! the abstract-interpretation share of the cost is visible. Everything
+//! the verifier consumes (`CompiledTm::compile`, the interpreter-tier
+//! flow) is built outside the timed loop: admission validates artifacts
+//! once per registry construction, not per query.
+
+use lph_analysis::flow::machine::analyze;
+use lph_analysis::{analyze_bytecode, verify_bytecode, verify_plan};
+use lph_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lph_logic::{examples, CompiledSentence};
+use lph_machine::{machines, CompiledTm};
+
+fn bench_bytecode_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bytecode_verify");
+    for (name, tm) in [
+        ("all_selected", machines::all_selected_decider()),
+        ("coloring", machines::proper_coloring_verifier()),
+        ("echo", machines::echo_machine()),
+    ] {
+        let ct = CompiledTm::compile(&tm);
+        let flow = analyze(&tm);
+        let artifact = format!("dtm:{name}");
+        group.bench_with_input(BenchmarkId::new("verify_machine", name), &name, |b, _| {
+            b.iter(|| {
+                let diags = verify_bytecode(&artifact, &tm, &ct, &flow);
+                assert!(diags.is_empty());
+                diags
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("derive_bounds", name), &name, |b, _| {
+            b.iter(|| analyze_bytecode(&ct).steps.expect("corpus certifies"));
+        });
+    }
+    for (name, s) in [
+        ("all_selected", examples::all_selected()),
+        ("three_colorable", examples::three_colorable()),
+        ("hamiltonian", examples::hamiltonian()),
+    ] {
+        let cs = CompiledSentence::compile(&s);
+        let artifact = format!("sentence:{name}");
+        group.bench_with_input(BenchmarkId::new("verify_plan", name), &name, |b, _| {
+            b.iter(|| {
+                let diags = verify_plan(&artifact, &cs);
+                assert!(diags.is_empty());
+                diags
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bytecode_verify);
+criterion_main!(benches);

@@ -125,55 +125,98 @@ impl Sentence {
 
 /// One lowered plan node. Children are arena indices; variables are dense
 /// slot indices assigned at compile time.
+///
+/// Public for introspection by static verifiers (see `lph-analysis`'s
+/// `flow::plan`); the evaluator in this module is the only executor.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum PlanOp {
+pub enum PlanOp {
+    /// A folded constant.
     Const(bool),
+    /// A unary-relation atom `Rel(x)`.
     Unary {
+        /// Unary relation index.
         rel: usize,
+        /// First-order slot of the argument.
         x: usize,
     },
+    /// A binary-relation atom `Rel(x, y)`.
     Edge {
+        /// Binary relation index.
         rel: usize,
+        /// First-order slot of the first argument.
         x: usize,
+        /// First-order slot of the second argument.
         y: usize,
     },
+    /// Equality of two first-order slots.
     Eq(usize, usize),
+    /// A second-order atom `X(args…)`.
     App {
+        /// Second-order slot (prefix position).
         so: usize,
+        /// First-order slots of the arguments.
         args: Vec<usize>,
     },
+    /// Negation.
     Not(usize),
+    /// Conjunction over child nodes (short-circuit, cheapest-first).
     And(Vec<usize>),
+    /// Disjunction over child nodes (short-circuit, cheapest-first).
     Or(Vec<usize>),
+    /// Biconditional.
     Iff(usize, usize),
+    /// Unbounded `∃x` over the whole domain.
     Exists {
+        /// Slot bound by the quantifier.
         slot: usize,
+        /// Body node.
         body: usize,
     },
+    /// Unbounded `∀x` over the whole domain.
     Forall {
+        /// Slot bound by the quantifier.
         slot: usize,
+        /// Body node.
         body: usize,
     },
+    /// Bounded `∃x ⇌ anchor` over the anchor's Gaifman neighbors.
     ExistsAdj {
+        /// Slot bound by the quantifier.
         slot: usize,
+        /// Slot of the anchor variable.
         anchor: usize,
+        /// Body node.
         body: usize,
     },
+    /// Bounded `∀x ⇌ anchor` over the anchor's Gaifman neighbors.
     ForallAdj {
+        /// Slot bound by the quantifier.
         slot: usize,
+        /// Slot of the anchor variable.
         anchor: usize,
+        /// Body node.
         body: usize,
     },
+    /// Bounded `∃x ⇌≤r anchor` over the anchor's radius-`r` ball.
     ExistsNear {
+        /// Slot bound by the quantifier.
         slot: usize,
+        /// Slot of the anchor variable.
         anchor: usize,
+        /// Ball radius.
         radius: usize,
+        /// Body node.
         body: usize,
     },
+    /// Bounded `∀x ⇌≤r anchor` over the anchor's radius-`r` ball.
     ForallNear {
+        /// Slot bound by the quantifier.
         slot: usize,
+        /// Slot of the anchor variable.
         anchor: usize,
+        /// Ball radius.
         radius: usize,
+        /// Body node.
         body: usize,
     },
 }
@@ -474,6 +517,46 @@ impl CompiledSentence {
     /// (at most the matrix's [`Formula::node_count`]).
     pub fn plan_len(&self) -> usize {
         self.ops.len()
+    }
+
+    /// The hash-consed plan arena, for introspection by static verifiers.
+    /// Node `i`'s children are always indices `< i` (the arena is built
+    /// bottom-up), so a single forward pass visits children first.
+    pub fn ops(&self) -> &[PlanOp] {
+        &self.ops
+    }
+
+    /// The arena index of the matrix's root node.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// The slot of the `Lfo` matrix's implicit `∀°x` variable, if the
+    /// matrix is local.
+    pub fn lfo_slot(&self) -> Option<usize> {
+        self.lfo_slot
+    }
+
+    /// The number of dense first-order slots the plan binds.
+    pub fn fo_slot_count(&self) -> usize {
+        self.fo_slots
+    }
+
+    /// The number of second-order slots (prefix positions).
+    pub fn so_slot_count(&self) -> usize {
+        self.so_slots
+    }
+
+    /// Overwrites one arena node with an arbitrary payload. This is a
+    /// *mutation hook* for verifier fixtures and demos: it deliberately
+    /// performs no validity checks, so the result can (and usually
+    /// should) be a plan the static verifier rejects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn patch_op(&mut self, id: usize, op: PlanOp) {
+        self.ops[id] = op;
     }
 
     /// The compiled counterpart of [`Sentence::check`]: same verdicts,

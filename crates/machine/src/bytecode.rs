@@ -48,6 +48,28 @@ pub enum TmBackend {
     Auto,
 }
 
+impl TmBackend {
+    /// The stable wire name used by external callers (the `lph-serve/1`
+    /// protocol's optional `"exec"` request field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TmBackend::Interpreted => "interpreted",
+            TmBackend::Compiled => "compiled",
+            TmBackend::Auto => "auto",
+        }
+    }
+
+    /// Parses a wire name produced by [`TmBackend::as_str`].
+    pub fn parse(s: &str) -> Option<TmBackend> {
+        match s {
+            "interpreted" => Some(TmBackend::Interpreted),
+            "compiled" => Some(TmBackend::Compiled),
+            "auto" => Some(TmBackend::Auto),
+            _ => None,
+        }
+    }
+}
+
 /// Executes `tm` with the chosen [`TmBackend`].
 ///
 /// # Errors
@@ -109,6 +131,14 @@ fn move_code(m: Move) -> i8 {
     }
 }
 
+fn code_move(c: i8) -> Move {
+    match c {
+        -1 => Move::L,
+        0 => Move::S,
+        _ => Move::R,
+    }
+}
+
 /// One lowered transition: the dense-dispatch payload for a
 /// `(state, scanned-triple)` configuration.
 #[derive(Debug, Clone, Copy)]
@@ -131,6 +161,25 @@ const MISSING_OP: Op = Op {
     moves: [0; 3],
     skip: NO_SKIP,
 };
+
+/// A decoded view of one dispatch slot, for introspection by static
+/// verifiers (see `lph-analysis`'s `flow::bytecode`): the same payload as
+/// the private `Op`, expressed in source-level types.
+///
+/// A halt-sentinel slot decodes to `next == None`; the canonical sentinel
+/// additionally carries blank writes, all-stay moves, and no skip
+/// annotation (anything else in a sentinel slot is a mis-lowered program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpView {
+    /// Successor state, or `None` for a halt sentinel.
+    pub next: Option<usize>,
+    /// Symbols written to the three tapes.
+    pub write: [Sym; 3],
+    /// Head movements on the three tapes.
+    pub moves: [Move; 3],
+    /// Tape index flagged for the run-length fast path, if any.
+    pub skip: Option<usize>,
+}
 
 /// A [`DistributedTm`] lowered to a flat bytecode program: one op per
 /// `(state, scanned-triple)` configuration, indexed `state · 125 + triple`.
@@ -177,6 +226,90 @@ impl CompiledTm {
     /// (populated or halt-sentinel).
     pub fn program_len(&self) -> usize {
         self.ops.len()
+    }
+
+    /// The start state's index.
+    pub fn start_state(&self) -> usize {
+        self.start as usize
+    }
+
+    /// The pause state's index.
+    pub fn pause_state(&self) -> usize {
+        self.pause as usize
+    }
+
+    /// The stop state's index.
+    pub fn stop_state(&self) -> usize {
+        self.stop as usize
+    }
+
+    /// The name of state `q` (as carried over from the source machine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a state of the program.
+    pub fn state_name(&self, q: usize) -> &str {
+        &self.state_names[q]
+    }
+
+    /// The dispatch-slot index of configuration `(q, scanned)` — the
+    /// same `q · 125 + s₀ · 25 + s₁ · 5 + s₂` computation the VM's inner
+    /// loop performs.
+    pub fn slot_of(q: usize, scanned: [Sym; 3]) -> usize {
+        let codes = scanned.map(sym_code);
+        q * TRIPLES + codes[0] as usize * SYMS * SYMS + codes[1] as usize * SYMS + codes[2] as usize
+    }
+
+    /// The `(state, scanned-triple)` configuration a dispatch slot
+    /// serves — the inverse of [`CompiledTm::slot_of`].
+    pub fn decode_slot(slot: usize) -> (usize, [Sym; 3]) {
+        let q = slot / TRIPLES;
+        let t = slot % TRIPLES;
+        (
+            q,
+            [
+                code_sym((t / (SYMS * SYMS)) as u8),
+                code_sym(((t / SYMS) % SYMS) as u8),
+                code_sym((t % SYMS) as u8),
+            ],
+        )
+    }
+
+    /// Decodes the op at `slot` for introspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn op_view(&self, slot: usize) -> OpView {
+        let op = self.ops[slot];
+        OpView {
+            next: (op.next != MISSING).then_some(op.next as usize),
+            write: op.write.map(code_sym),
+            moves: op.moves.map(code_move),
+            skip: usize::try_from(op.skip).ok(),
+        }
+    }
+
+    /// Overwrites the op at `slot` with an arbitrary payload. This is a
+    /// *mutation hook* for verifier fixtures and demos: it deliberately
+    /// performs no validity checks, so the result can (and usually
+    /// should) be a program the static verifier rejects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range or `view` names a state or skip
+    /// tape the program cannot encode.
+    pub fn patch_op(&mut self, slot: usize, view: OpView) {
+        self.ops[slot] = Op {
+            next: view
+                .next
+                .map_or(MISSING, |q| u32::try_from(q).expect("state fits u32")),
+            write: view.write.map(sym_code),
+            moves: view.moves.map(move_code),
+            skip: view
+                .skip
+                .map_or(NO_SKIP, |t| i8::try_from(t).expect("tape index fits")),
+        };
     }
 
     fn missing_transition(&self, q: u32, scanned: [u8; 3]) -> MachineError {

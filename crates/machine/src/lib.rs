@@ -44,7 +44,7 @@ mod metrics;
 mod tape;
 mod tm;
 
-pub use bytecode::{run_tm_backend, run_tm_compiled, CompiledTm, TmBackend};
+pub use bytecode::{run_tm_backend, run_tm_compiled, CompiledTm, OpView, TmBackend};
 pub use error::MachineError;
 pub use exec::{run_tm, ExecLimits, TmOutcome};
 pub use local::{

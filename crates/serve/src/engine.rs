@@ -29,6 +29,9 @@ pub struct EngineConfig {
     pub admission: Admission,
     /// Whether the iso-class verdict cache is consulted and filled.
     pub cache: bool,
+    /// Bound on cached iso-class representatives (`None` = unbounded);
+    /// past it the least-recently-used class is evicted.
+    pub cache_cap: Option<usize>,
     /// Batches below this size are processed on the calling thread;
     /// larger ones fan out over the runtime pool.
     pub min_parallel: usize,
@@ -41,6 +44,7 @@ impl Default for EngineConfig {
         EngineConfig {
             admission: Admission::default(),
             cache: true,
+            cache_cap: None,
             min_parallel: 2,
             limits: GameLimits::default(),
         }
@@ -56,10 +60,11 @@ pub struct Engine {
 impl Engine {
     /// An engine with the given configuration and an empty cache.
     pub fn new(config: EngineConfig) -> Self {
-        Engine {
-            config,
-            cache: IsoCache::new(),
-        }
+        let cache = match config.cache_cap {
+            Some(cap) => IsoCache::with_cap(cap),
+            None => IsoCache::new(),
+        };
+        Engine { config, cache }
     }
 
     /// The configuration the engine runs with.
@@ -98,6 +103,7 @@ impl Engine {
                 graph,
                 level,
                 backend,
+                exec,
             } => {
                 let Some(entry) = find_arbiter(arbiter) else {
                     return unknown_artifact(id, "arbiter", arbiter);
@@ -115,15 +121,20 @@ impl Engine {
                         );
                     }
                 }
-                if let Err(rej) = self
-                    .config
-                    .admission
-                    .admit_membership(&entry, graph.node_count())
+                if let Err(rej) =
+                    self.config
+                        .admission
+                        .admit_membership(&entry, graph.node_count(), *exec)
                 {
-                    return error_line(Some(id), "over_budget", &rej.detail, &rej.extra_fields());
+                    return error_line(Some(id), rej.code, &rej.detail, &rej.extra_fields());
                 }
                 let key = bucket_key(
-                    &format!("membership|{}|{}", entry.key, backend.as_str()),
+                    &format!(
+                        "membership|{}|{}|{}",
+                        entry.key,
+                        backend.as_str(),
+                        exec.as_str()
+                    ),
                     graph,
                 );
                 if self.config.cache {
@@ -131,7 +142,7 @@ impl Engine {
                         return ok_line(id, &payload);
                     }
                 }
-                let a = (entry.factory)();
+                let a = (entry.factory)().with_exec_backend(*exec);
                 let ids = IdAssignment::global(graph);
                 let result =
                     match decide_game_backend(&a, graph, &ids, &self.config.limits, *backend) {
@@ -183,7 +194,7 @@ impl Engine {
                 deep,
             } => {
                 if let Err(rej) = self.config.admission.admit_nodes(graph.node_count()) {
-                    return error_line(Some(id), "over_budget", &rej.detail, &rej.extra_fields());
+                    return error_line(Some(id), rej.code, &rej.detail, &rej.extra_fields());
                 }
                 let (target, mut diags) = match target_kind {
                     LintTarget::Arbiter => {
@@ -231,7 +242,7 @@ impl Engine {
                     return unknown_artifact(id, "reduction", reduction);
                 };
                 if let Err(rej) = self.config.admission.admit_nodes(graph.node_count()) {
-                    return error_line(Some(id), "over_budget", &rej.detail, &rej.extra_fields());
+                    return error_line(Some(id), rej.code, &rej.detail, &rej.extra_fields());
                 }
                 let red = (entry.factory)();
                 if red.requires_incident_edges() && !flow::reduction_domain_ok(graph) {
@@ -275,6 +286,12 @@ impl Engine {
                             (
                                 "certified_steps".to_owned(),
                                 e.certified_steps
+                                    .as_ref()
+                                    .map_or(Json::Null, |p| Json::Str(p.to_string())),
+                            ),
+                            (
+                                "bytecode_certified_steps".to_owned(),
+                                e.bytecode_certified_steps
                                     .as_ref()
                                     .map_or(Json::Null, |p| Json::Str(p.to_string())),
                             ),
@@ -395,6 +412,68 @@ mod tests {
             v.get("reductions").and_then(Json::as_arr).unwrap().len(),
             reduction_entries().len()
         );
+    }
+
+    #[test]
+    fn compiled_exec_agrees_with_interpreted_and_is_priced_from_bytecode() {
+        let e = engine();
+        // The verdict is exec-tier-invariant (the differential suite
+        // pins the VM to the interpreter); only the pricing differs.
+        for exec in ["interpreted", "compiled"] {
+            let v = check(&e.process_line(&format!(
+                r#"{{"id":"x","kind":"membership","arbiter":"eulerian_decider","graph":{{"family":"cycle","n":6}},"exec":"{exec}"}}"#
+            )));
+            assert_eq!(v.get("eve_wins"), Some(&Json::Bool(true)), "{exec}");
+        }
+        // Pinning the compiled tier prices from the bytecode-derived
+        // bound: over budget, the detail quotes it.
+        let tight = Engine::new(EngineConfig {
+            admission: crate::admission::Admission {
+                max_cost: 10,
+                max_nodes: 512,
+            },
+            ..EngineConfig::default()
+        });
+        let v = check(&tight.process_line(
+            r#"{"id":"s","kind":"membership","arbiter":"eulerian_decider","graph":{"family":"cycle","n":6},"exec":"compiled"}"#,
+        ));
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("code"), Some(&Json::Str("over_budget".to_owned())));
+        let detail = err.get("detail").and_then(Json::as_str).unwrap();
+        assert!(detail.contains("bytecode-certified"), "{detail}");
+        assert!(err.get("bound").is_some());
+    }
+
+    #[test]
+    fn bad_exec_value_is_a_parse_error() {
+        let v = check(&engine().process_line(
+            r#"{"id":"a","kind":"membership","arbiter":"eulerian_decider","graph":{"family":"cycle","n":4},"exec":"jit"}"#,
+        ));
+        let code = v.get("error").and_then(|x| x.get("code")).unwrap();
+        assert_eq!(code, &Json::Str("parse_error".to_owned()));
+    }
+
+    #[test]
+    fn cache_cap_bounds_cached_classes() {
+        let e = Engine::new(EngineConfig {
+            cache_cap: Some(2),
+            ..EngineConfig::default()
+        });
+        for n in 3..8 {
+            e.process_line(&format!(
+                r#"{{"id":"q","kind":"membership","arbiter":"all_selected_decider","graph":{{"family":"cycle","n":{n}}}}}"#
+            ));
+        }
+        assert_eq!(e.cached_classes(), 2);
+        // The most recent class is still a hit: byte-identical replay.
+        let a = e.process_line(
+            r#"{"id":"h1","kind":"membership","arbiter":"all_selected_decider","graph":{"family":"cycle","n":7}}"#,
+        );
+        let b = e.process_line(
+            r#"{"id":"h1","kind":"membership","arbiter":"all_selected_decider","graph":{"family":"cycle","n":7}}"#,
+        );
+        assert_eq!(a, b);
+        assert_eq!(e.cached_classes(), 2);
     }
 
     #[test]

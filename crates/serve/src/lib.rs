@@ -62,5 +62,7 @@ pub use admission::{Admission, Rejection};
 pub use cache::IsoCache;
 pub use engine::{Engine, EngineConfig};
 pub use proto::{parse_request, ProtoError, Query, Request};
-pub use registry::{arbiter_entries, reduction_entries, ArbiterEntry, ReductionEntry};
+pub use registry::{
+    arbiter_entries, find_arbiter, find_reduction, reduction_entries, ArbiterEntry, ReductionEntry,
+};
 pub use server::{serve_connection, serve_stdio, serve_tcp, ServerConfig};

@@ -12,6 +12,7 @@
 use lph_analysis::json::Json;
 use lph_core::GameBackend;
 use lph_graphs::{generators, BitString, LabeledGraph};
+use lph_machine::TmBackend;
 
 /// Hard cap on `n` for generator-family graphs: `complete(n)` allocates
 /// `n(n−1)/2` edges *before* admission control can look at the instance,
@@ -41,6 +42,11 @@ pub enum Query {
         level: Option<usize>,
         /// Game backend (`auto` when absent).
         backend: GameBackend,
+        /// Machine execution tier (`auto` when absent). Pinning
+        /// `compiled` prices the request from the bytecode-certified
+        /// bound and refuses arbiters whose compiled artifact failed
+        /// translation validation.
+        exec: TmBackend,
     },
     /// Run the static-analysis rules for a registered artifact against a
     /// submitted probe graph.
@@ -239,11 +245,20 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<String>, ProtoError)
                     ))
                 })?,
             };
+            let exec = match v.get("exec") {
+                None => TmBackend::Auto,
+                Some(e) => e.as_str().and_then(TmBackend::parse).ok_or_else(|| {
+                    fail(ProtoError::parse(
+                        "exec must be \"auto\", \"interpreted\", or \"compiled\"",
+                    ))
+                })?,
+            };
             Query::Membership {
                 arbiter,
                 graph,
                 level,
                 backend,
+                exec,
             }
         }
         "lint" => {

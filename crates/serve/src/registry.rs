@@ -13,11 +13,24 @@
 //! per-round step polynomial; admission control prices requests with it.
 //! Closure-backed (Local) arbiters have no certificate — they are marked
 //! uncertified and the engine counts their admissions separately.
+//!
+//! The compiled execution tier gets the same treatment one level down:
+//! the registry compiles each TM arbiter to [`lph_machine::CompiledTm`]
+//! bytecode, runs the translation validators (`VM001`–`VM004`) against
+//! it, and — only when they all pass — records the step polynomial
+//! re-derived *from the bytecode* by
+//! [`lph_analysis::analyze_bytecode`]. Requests that pin
+//! `"exec":"compiled"` are priced from that bound; when validation fails
+//! the failed rule codes are kept so admission can reject compiled
+//! execution with a structured `unverified_bytecode` error instead of
+//! running unverified code.
 
+use lph_analysis::flow::bytecode::{analyze_bytecode, verify_bytecode};
 use lph_analysis::flow::machine::analyze;
 use lph_core::{arbiters, Arbiter, ArbiterKind, Player};
 use lph_graphs::PolyBound;
 use lph_logic::examples;
+use lph_machine::CompiledTm;
 use lph_reductions::{
     cook_levin::LfoToSatGraph,
     eulerian::AllSelectedToEulerian,
@@ -44,6 +57,13 @@ pub struct ArbiterEntry {
     /// Certified per-round step polynomial from the flow tier, for
     /// TM-backed arbiters whose analysis produced a bound.
     pub certified_steps: Option<PolyBound>,
+    /// Step polynomial re-derived from the compiled bytecode, present
+    /// only when every translation validator (`VM001`–`VM004`) passed.
+    pub bytecode_certified_steps: Option<PolyBound>,
+    /// Rule codes the translation validators fired on the compiled
+    /// artifact (empty for verified and for Local arbiters). Non-empty
+    /// means `"exec":"compiled"` requests are rejected.
+    pub bytecode_findings: Vec<String>,
 }
 
 /// A registered reduction.
@@ -62,9 +82,23 @@ fn entry(
 ) -> ArbiterEntry {
     let a = factory();
     let spec = a.spec();
-    let certified_steps = match a.kind() {
-        ArbiterKind::Tm(tm) => analyze(tm).steps,
-        ArbiterKind::Local(_) => None,
+    let (certified_steps, bytecode_certified_steps, bytecode_findings) = match a.kind() {
+        ArbiterKind::Tm(tm) => {
+            let flow = analyze(tm);
+            let compiled = CompiledTm::compile(tm);
+            let artifact = format!("dtm:{}", a.name());
+            let findings: Vec<String> = verify_bytecode(&artifact, tm, &compiled, &flow)
+                .into_iter()
+                .map(|d| d.code)
+                .collect();
+            let bytecode_steps = if findings.is_empty() {
+                analyze_bytecode(&compiled).steps
+            } else {
+                None
+            };
+            (flow.steps, bytecode_steps, findings)
+        }
+        ArbiterKind::Local(_) => (None, None, Vec::new()),
     };
     ArbiterEntry {
         key,
@@ -78,6 +112,8 @@ fn entry(
             "Π"
         },
         certified_steps,
+        bytecode_certified_steps,
+        bytecode_findings,
     }
 }
 
@@ -229,6 +265,30 @@ mod tests {
             .unwrap()
             .certified_steps
             .is_none());
+    }
+
+    #[test]
+    fn shipped_bytecode_verifies_and_matches_the_interpreter_tier() {
+        for e in arbiter_entries() {
+            assert!(
+                e.bytecode_findings.is_empty(),
+                "{}: compiled tier fails {:?}",
+                e.key,
+                e.bytecode_findings
+            );
+            // Where the interpreter tier certifies a bound, the bytecode
+            // tier must too, and the bounds must agree at sample sizes
+            // (VM004 pins mutual domination at construction).
+            match (&e.certified_steps, &e.bytecode_certified_steps) {
+                (Some(interp), Some(byte)) => {
+                    for n in [1, 8, 64] {
+                        assert_eq!(interp.eval(n), byte.eval(n), "{} at n={n}", e.key);
+                    }
+                }
+                (None, None) => {}
+                (a, b) => panic!("{}: tier mismatch {a:?} vs {b:?}", e.key),
+            }
+        }
     }
 
     #[test]

@@ -25,7 +25,9 @@
 //! `--compile-smoke` runs only the E17 compilation-tier section (the
 //! `compile` CI stage): the bytecode VM and the sentence plan compiler
 //! replayed against their interpreters on live workloads, asserting
-//! agreement end to end and printing the measured speedups.
+//! agreement end to end and printing the measured speedups — then a
+//! `verify-compiled` pass re-certifying every artifact it ran through
+//! the `VM001`–`VM004` / `PLN001`–`PLN003` translation validators.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -184,6 +186,40 @@ fn compiled_tier_series() {
             phi.matrix.body().node_count(),
             compiled.plan_len(),
             ti.as_secs_f64() / tc.as_secs_f64().max(1e-9)
+        );
+    }
+    // verify-compiled: the differential replays above sample agreement;
+    // the translation validators certify it statically. Every artifact
+    // this section just ran must come out clean, with a bytecode-derived
+    // bound to show for it.
+    for (name, tm) in [
+        ("all_selected", machines::all_selected_decider()),
+        ("coloring", machines::proper_coloring_verifier()),
+        ("echo", machines::echo_machine()),
+        ("even_degree", machines::even_degree_decider()),
+    ] {
+        let ct = CompiledTm::compile(&tm);
+        let flow = lph::analysis::flow::machine::analyze(&tm);
+        let diags = lph::analysis::verify_bytecode(&format!("dtm:{name}"), &tm, &ct, &flow);
+        assert!(diags.is_empty(), "{name}: {diags:?}");
+        let steps = lph::analysis::analyze_bytecode(&ct)
+            .steps
+            .expect("clean artifacts re-derive a bound");
+        println!(
+            "verify-compiled dtm:{name:12} VM001–VM004 clean; bytecode-certified steps ≤ {steps}"
+        );
+    }
+    for (name, phi) in [
+        ("three_colorable", examples::three_colorable()),
+        ("two_colorable", examples::k_colorable(2)),
+        ("not_all_selected", examples::not_all_selected()),
+    ] {
+        let cs = CompiledSentence::compile(&phi);
+        let diags = lph::analysis::verify_plan(&format!("sentence:{name}"), &cs);
+        assert!(diags.is_empty(), "{name}: {diags:?}");
+        println!(
+            "verify-compiled Φ {name:16} PLN001–PLN003 clean ({} plan ops)",
+            cs.plan_len()
         );
     }
 }
@@ -386,6 +422,90 @@ fn serve_series() {
     );
     println!("admission shed (certified pricing, verbatim response):");
     println!("  {shed}");
+}
+
+/// The E19 body: the compiled execution tier behind the service, priced
+/// by translation validation. A membership query pinning
+/// `"exec":"compiled"` must agree with the interpreted tier and be
+/// priced from the *bytecode*-certified bound; a compiled artifact the
+/// validators rejected must be refused compiled execution with a
+/// structured `unverified_bytecode` error naming the failed rules. Both
+/// shapes are acceptance criteria, so the section asserts them.
+fn compiled_admission_series() {
+    use lph::analysis::json::Json;
+    use lph::machine::TmBackend;
+    use lph::serve::{find_arbiter, Admission, Engine, EngineConfig};
+    let engine = Engine::new(EngineConfig::default());
+    let json = |line: &str| {
+        let resp = engine.process_line(line);
+        let doc = Json::parse(&resp).expect("response is JSON");
+        lph::analysis::validate_serve_response(&doc).expect("response is schema-valid");
+        (resp, doc)
+    };
+
+    // Both execution tiers answer identically; only the provenance of
+    // the admission price differs.
+    for exec in ["interpreted", "compiled"] {
+        let (_, doc) = json(&format!(
+            "{{\"id\":\"x-{exec}\",\"kind\":\"membership\",\"arbiter\":\"eulerian_decider\",\
+             \"graph\":{{\"family\":\"cycle\",\"n\":8}},\"exec\":\"{exec}\"}}"
+        ));
+        let verdict = matches!(doc.get("eve_wins"), Some(Json::Bool(true)));
+        assert!(
+            matches!(doc.get("eve_wins"), Some(Json::Bool(_))),
+            "admitted membership carries a verdict"
+        );
+        println!("eulerian_decider on C8, exec={exec:12}: eve_wins={verdict}");
+        assert!(verdict, "C8 is Eulerian under both tiers");
+    }
+
+    // Compiled pricing, live: the same over-budget shed as E18 but pinned
+    // to the compiled tier — the bound in the error is the one re-derived
+    // from the bytecode that would have run.
+    let (shed, doc) = json(
+        "{\"id\":\"shed2\",\"kind\":\"membership\",\"arbiter\":\"eulerian_decider\",\
+         \"graph\":{\"family\":\"cycle\",\"n\":256},\"exec\":\"compiled\"}",
+    );
+    let detail = doc
+        .get("error")
+        .and_then(|e| e.get("detail"))
+        .and_then(Json::as_str)
+        .expect("shed carries a detail");
+    assert_eq!(
+        doc.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("over_budget")
+    );
+    assert!(
+        detail.starts_with("bytecode-certified bound"),
+        "compiled shed must be priced from the bytecode tier: {detail}"
+    );
+    println!("compiled admission shed (bytecode-certified pricing, verbatim response):");
+    println!("  {shed}");
+
+    // Refusal, live: tamper with a registry entry the way a failed
+    // validation would leave it and ask for compiled execution. The
+    // admission layer answers `unverified_bytecode` with the failed rule
+    // codes; the interpreted tier still admits the same query.
+    let mut entry = find_arbiter("eulerian_decider").expect("registered");
+    entry.bytecode_certified_steps = None;
+    entry.bytecode_findings = vec!["VM001".into(), "VM003".into()];
+    let adm = Admission::default();
+    let rej = adm
+        .admit_membership(&entry, 8, TmBackend::Compiled)
+        .expect_err("unverified bytecode must be refused compiled execution");
+    assert_eq!(rej.code, "unverified_bytecode");
+    assert_eq!(rej.findings, ["VM001", "VM003"]);
+    assert!(
+        adm.admit_membership(&entry, 8, TmBackend::Interpreted)
+            .expect("interpreted tier unaffected"),
+        "interpreted tier stays certified-admitted"
+    );
+    println!(
+        "tampered artifact, exec=compiled: refused ({}): {}",
+        rej.code, rej.detail
+    );
 }
 
 /// Serializes the aggregated trace to `path` as `lph-trace/1` JSON.
@@ -759,6 +879,13 @@ fn main() -> ExitCode {
         "E18",
         "lph-serve — batched query service and admission control",
         serve_series,
+    );
+
+    // ------------------------------------------------------------------
+    section(
+        "E19",
+        "Compiled admission — bytecode-certified pricing and refusal",
+        compiled_admission_series,
     );
 
     println!(

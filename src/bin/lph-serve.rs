@@ -3,7 +3,7 @@
 //! ```text
 //! USAGE: lph-serve [--stdio | --listen ADDR] [--max-cost N] [--max-nodes N]
 //!                  [--max-batch N] [--max-line-bytes N] [--min-parallel N]
-//!                  [--threads N] [--no-cache] [--trace]
+//!                  [--threads N] [--no-cache] [--cache-cap N] [--trace]
 //! ```
 //!
 //! Speaks the newline-delimited `lph-serve/1` protocol (see
@@ -17,7 +17,10 @@
 //! `--max-cost` is the admission-control budget on the certified price
 //! of a membership request (see `DESIGN.md` § Serving); `--max-nodes`
 //! the hard instance-size cap. `--no-cache` disables the iso-class
-//! verdict cache. `--threads` pins the runtime pool width for this
+//! verdict cache; `--cache-cap N` bounds it to `N` cached iso-class
+//! representatives with least-recently-used eviction (evictions are
+//! counted under `serve/cache_evictions`). `--threads` pins the runtime
+//! pool width for this
 //! process (equivalent to `LPH_THREADS`). `--trace` turns the global
 //! recorder on and prints the `serve/*` counters to stderr when a stdio
 //! session ends.
@@ -35,7 +38,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "USAGE: lph-serve [--stdio | --listen ADDR] [--max-cost N] [--max-nodes N] \
          [--max-batch N] [--max-line-bytes N] [--min-parallel N] [--threads N] \
-         [--no-cache] [--trace]"
+         [--no-cache] [--cache-cap N] [--trace]"
     );
     ExitCode::from(2)
 }
@@ -83,6 +86,9 @@ fn parse_args() -> Result<Options, ()> {
             }
             "--threads" => opts.threads = Some(parse_num(&value("--threads")?)?),
             "--no-cache" => opts.engine.cache = false,
+            "--cache-cap" => {
+                opts.engine.cache_cap = Some(parse_num(&value("--cache-cap")?)?);
+            }
             "--trace" => opts.trace = true,
             other => {
                 eprintln!("lph-serve: unknown flag {other:?}");

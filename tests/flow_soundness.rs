@@ -7,12 +7,12 @@
 //! survive into later, cheaper rounds) is compared at the running maximum
 //! of `n` over the rounds seen so far.
 
-use lph::analysis::builtin;
+use lph::analysis::{analyze_bytecode, builtin, verify_bytecode};
 use lph::core::{decide_game_backend, GameBackend};
 use lph::graphs::{
     generators, BitString, CertificateAssignment, CertificateList, IdAssignment, LabeledGraph,
 };
-use lph::machine::{run_tm_backend, ExecLimits, TmBackend};
+use lph::machine::{run_tm_backend, CompiledTm, ExecLimits, TmBackend};
 
 fn probe_family() -> Vec<LabeledGraph> {
     vec![
@@ -80,6 +80,77 @@ fn derived_bounds_dominate_observed_metrics() {
                                 s.space <= space_bound.eval(max_n),
                                 "{}: node {u} round {} used {} cells at max n = {max_n} \
                                  ({backend:?}), exceeding the certified bound {space_bound}",
+                                a.name,
+                                r + 1,
+                                s.space
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The bytecode tier is sound too: the step/space polynomials re-derived
+/// from each corpus machine's *compiled* artifact (the bytecode that
+/// `TmBackend::Compiled` actually executes) dominate the metrics observed
+/// under both execution backends, and agree with the interpreter-tier
+/// certificate in both directions — the dynamic anchor behind `VM004`.
+#[test]
+fn bytecode_derived_bounds_dominate_observed_metrics() {
+    let corpus = builtin();
+    for a in &corpus.dtms {
+        let flow = a.flow();
+        let compiled = CompiledTm::compile(&a.tm);
+        let artifact = format!("dtm:{}", a.name);
+        let diags = verify_bytecode(&artifact, &a.tm, &compiled, flow);
+        assert!(diags.is_empty(), "{}: {diags:?}", a.name);
+        let byte = analyze_bytecode(&compiled);
+        let steps_bound = byte
+            .steps
+            .as_ref()
+            .unwrap_or_else(|| panic!("{} bytecode must certify: {:?}", a.name, byte.failure));
+        let space_bound = byte.space.as_ref().expect("space accompanies steps");
+        // Mutual domination with the interpreter tier, both polarities.
+        let interp_steps = flow.steps.as_ref().expect("interpreter tier certifies");
+        let interp_space = flow.space.as_ref().expect("interpreter tier certifies");
+        assert!(
+            steps_bound.dominates(interp_steps) && interp_steps.dominates(steps_bound),
+            "{}: step bounds diverge: bytecode {steps_bound} vs interpreter {interp_steps}",
+            a.name
+        );
+        assert!(
+            space_bound.dominates(interp_space) && interp_space.dominates(space_bound),
+            "{}: space bounds diverge: bytecode {space_bound} vs interpreter {interp_space}",
+            a.name
+        );
+        for backend in [TmBackend::Interpreted, TmBackend::Compiled] {
+            for g in &probe_family() {
+                let id = IdAssignment::global(g);
+                for certs in certificate_variants(g) {
+                    let out =
+                        run_tm_backend(&a.tm, g, &id, &certs, &ExecLimits::default(), backend)
+                            .unwrap_or_else(|e| {
+                                panic!("{} failed on {g} ({backend:?}): {e:?}", a.name)
+                            });
+                    for (u, rounds) in out.metrics.per_node.iter().enumerate() {
+                        let mut max_n = 0usize;
+                        for (r, s) in rounds.iter().enumerate() {
+                            let n = s.input_rcv_len + s.input_int_len;
+                            max_n = max_n.max(n);
+                            assert!(
+                                s.steps <= steps_bound.eval(n),
+                                "{}: node {u} round {} made {} steps at n = {n} \
+                                 ({backend:?}), over the bytecode-derived bound {steps_bound}",
+                                a.name,
+                                r + 1,
+                                s.steps
+                            );
+                            assert!(
+                                s.space <= space_bound.eval(max_n),
+                                "{}: node {u} round {} used {} cells at max n = {max_n} \
+                                 ({backend:?}), over the bytecode-derived bound {space_bound}",
                                 a.name,
                                 r + 1,
                                 s.space
